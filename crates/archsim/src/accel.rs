@@ -1,0 +1,187 @@
+//! First-order model of the Section VII accelerator proposal: a
+//! programmable SIMD engine with special functional units for the
+//! popular distributions (Gaussian `erf`, Cauchy `atan`) and a private
+//! scratchpad sized to the working set.
+//!
+//! The paper argues (VII-A) that BayesSuite exposes three levels of
+//! parallelism — chain-level, per-datum likelihood terms, and
+//! same-layer variable sampling — and that "a programmable SIMD
+//! architecture augmented with special functional units is a good
+//! accelerator style". This model quantifies that claim per workload
+//! from the measured tape composition:
+//!
+//! * the data-parallel fraction (likelihood sweep) vectorizes across
+//!   `lanes`;
+//! * transcendental kernels dispatch to `sfu_count` special units
+//!   instead of stalling the scalar pipeline;
+//! * the serial remainder (tree doubling, chain bookkeeping) stays
+//!   scalar — the Amdahl term;
+//! * the scratchpad removes the LLC-contention cliff entirely when the
+//!   working set fits (VII-B's sizing discussion).
+
+use crate::signature::WorkloadSignature;
+
+/// A SIMD accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimdAccelerator {
+    /// Vector lanes (double-precision).
+    pub lanes: usize,
+    /// Parallel special-function units for `exp`/`ln`/`erf`/`atan`.
+    pub sfu_count: usize,
+    /// Cycles per transcendental on an SFU (pipelined).
+    pub sfu_cycles: f64,
+    /// Accelerator clock, GHz (accelerators clock lower than CPUs).
+    pub clock_ghz: f64,
+    /// On-chip scratchpad per chain, bytes.
+    pub scratchpad_bytes: usize,
+}
+
+impl SimdAccelerator {
+    /// A modest 16-lane design with 4 SFUs at 1.5 GHz and 16 MB of
+    /// scratchpad — the "GPU-adjacent" point of the design space.
+    pub fn baseline() -> Self {
+        Self {
+            lanes: 16,
+            sfu_count: 4,
+            sfu_cycles: 4.0,
+            clock_ghz: 1.5,
+            scratchpad_bytes: 16 * 1024 * 1024,
+        }
+    }
+
+    /// Estimates the per-gradient-evaluation cycle count and speedup
+    /// over a `cpu_ghz` scalar core with `cpu_ipc` sustained IPC.
+    pub fn estimate(&self, sig: &WorkloadSignature, cpu_ghz: f64, cpu_ipc: f64) -> AccelEstimate {
+        const INSTR_PER_NODE: f64 = 6.0;
+        const CPU_TRANS_CYCLES: f64 = 14.0;
+        // Serial fraction: parameter-coupled ops scale with the model
+        // dimension (priors, linear predictor reductions), everything
+        // touching a datum vectorizes.
+        let serial_nodes = (sig.dim as f64 * 8.0).min(sig.tape_nodes as f64);
+        let parallel_nodes = sig.tape_nodes as f64 - serial_nodes;
+        let trans = sig.transcendental_nodes as f64;
+
+        // Accelerator cycles per gradient evaluation.
+        let vec_cycles = parallel_nodes * INSTR_PER_NODE / (self.lanes as f64);
+        let serial_cycles = serial_nodes * INSTR_PER_NODE;
+        let sfu_cycles = trans * self.sfu_cycles / self.sfu_count as f64;
+        // Scratchpad spill penalty if the working set does not fit.
+        let spill = if sig.working_set_bytes() > self.scratchpad_bytes {
+            let overflow = (sig.working_set_bytes() - self.scratchpad_bytes) as f64;
+            overflow / 64.0 * 2.0 // two sweeps per leapfrog at ~1 line/cycle
+        } else {
+            0.0
+        };
+        let accel_cycles = vec_cycles + serial_cycles + sfu_cycles.max(0.0) + spill;
+        let accel_time = accel_cycles / (self.clock_ghz * 1e9);
+
+        // Scalar-core reference.
+        let cpu_cycles =
+            sig.tape_nodes as f64 * INSTR_PER_NODE / cpu_ipc + trans * CPU_TRANS_CYCLES;
+        let cpu_time = cpu_cycles / (cpu_ghz * 1e9);
+
+        AccelEstimate {
+            workload: sig.name.clone(),
+            accel_cycles,
+            cpu_cycles,
+            speedup: cpu_time / accel_time,
+            parallel_fraction: parallel_nodes / sig.tape_nodes as f64,
+            fits_scratchpad: sig.working_set_bytes() <= self.scratchpad_bytes,
+        }
+    }
+}
+
+/// Per-workload accelerator estimate.
+#[derive(Debug, Clone)]
+pub struct AccelEstimate {
+    /// Workload name.
+    pub workload: String,
+    /// Accelerator cycles per gradient evaluation.
+    pub accel_cycles: f64,
+    /// Scalar-CPU cycles per gradient evaluation.
+    pub cpu_cycles: f64,
+    /// Single-chain speedup over the scalar core.
+    pub speedup: f64,
+    /// Fraction of tape nodes that vectorize.
+    pub parallel_fraction: f64,
+    /// Whether the working set fits the scratchpad (no LLC cliff).
+    pub fits_scratchpad: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(nodes: usize, trans: usize, dim: usize, data: usize) -> WorkloadSignature {
+        WorkloadSignature {
+            name: "toy".into(),
+            data_bytes: data,
+            tape_nodes: nodes,
+            tape_bytes: nodes * 32,
+            transcendental_nodes: trans,
+            code_bytes: 16 * 1024,
+            dim,
+            leapfrogs_per_iter: 16.0,
+            chain_imbalance: vec![1.0; 4],
+            accept_mean: 0.8,
+            default_iters: 2000,
+            default_chains: 4,
+        }
+    }
+
+    #[test]
+    fn data_heavy_workloads_vectorize_well() {
+        let acc = SimdAccelerator::baseline();
+        // ad-like: 80k nodes, small dim → almost everything parallel.
+        let est = acc.estimate(&sig(80_000, 5_000, 7, 250_000), 4.2, 2.8);
+        assert!(est.parallel_fraction > 0.99);
+        assert!(est.speedup > 2.0, "speedup {}", est.speedup);
+        assert!(est.fits_scratchpad);
+    }
+
+    #[test]
+    fn dim_heavy_workloads_hit_amdahl() {
+        let acc = SimdAccelerator::baseline();
+        // High-dimensional, small data: serial prior work dominates.
+        let est = acc.estimate(&sig(10_000, 500, 1000, 4_000), 4.2, 2.8);
+        assert!(est.parallel_fraction < 0.3, "pf {}", est.parallel_fraction);
+        assert!(est.speedup < 1.5, "speedup {}", est.speedup);
+    }
+
+    #[test]
+    fn sfus_pay_off_on_transcendental_mixes() {
+        let acc = SimdAccelerator::baseline();
+        let few = acc.estimate(&sig(50_000, 100, 10, 100_000), 4.2, 2.8);
+        let many = acc.estimate(&sig(50_000, 10_000, 10, 100_000), 4.2, 2.8);
+        assert!(
+            many.speedup > few.speedup,
+            "SFU advantage grows with transcendental share: {} vs {}",
+            many.speedup,
+            few.speedup
+        );
+    }
+
+    #[test]
+    fn scratchpad_overflow_is_pena1ized() {
+        let small = SimdAccelerator { scratchpad_bytes: 1 << 20, ..SimdAccelerator::baseline() };
+        let big = SimdAccelerator::baseline();
+        let s = sig(400_000, 20_000, 1000, 640_000); // tickets-like, ~13 MB
+        let over = small.estimate(&s, 4.2, 2.8);
+        let fits = big.estimate(&s, 4.2, 2.8);
+        assert!(!over.fits_scratchpad);
+        assert!(fits.fits_scratchpad);
+        assert!(fits.speedup > over.speedup);
+    }
+
+    #[test]
+    fn more_lanes_help_until_amdahl() {
+        let narrow = SimdAccelerator { lanes: 4, ..SimdAccelerator::baseline() };
+        let wide = SimdAccelerator { lanes: 64, ..SimdAccelerator::baseline() };
+        let s = sig(100_000, 5_000, 20, 250_000);
+        let n = narrow.estimate(&s, 4.2, 2.8).speedup;
+        let w = wide.estimate(&s, 4.2, 2.8).speedup;
+        assert!(w > n);
+        // But sublinear: 16× the lanes buys < 16× the speedup.
+        assert!(w < n * 16.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Architecture simulation for the BayesSuite reproduction.
+//!
+//! The paper characterizes BayesSuite with hardware performance
+//! counters on two Intel servers (Table II). We cannot access those
+//! machines, so this crate provides the substitute substrate: a
+//! multi-level set-associative cache simulator driven by access streams
+//! derived from each workload's *measured* memory footprint (AD-tape +
+//! modeled data), an analytic core model, and a TDP-based energy model.
+//!
+//! The methodology (documented in `DESIGN.md`) mirrors the paper's own
+//! two-timescale structure:
+//!
+//! 1. [`WorkloadSignature::measure`] extracts per-iteration facts from
+//!    a real short NUTS run (leapfrogs per iteration, chain imbalance,
+//!    acceptance entropy) and a single full-scale gradient evaluation
+//!    (tape size — the working set).
+//! 2. [`perf::characterize`] replays synthetic per-leapfrog access
+//!    sweeps through the simulated cache hierarchy of a
+//!    [`platform::Platform`] and scales per-leapfrog costs by the
+//!    configured iteration counts, exactly as perf-counter sampling
+//!    scales to full executions.
+//!
+//! The key mechanism of the paper falls out naturally: one chain's
+//! working set fits the LLC, four concurrent chains' working sets do
+//! not (Section IV-B).
+
+pub mod accel;
+pub mod cache;
+pub mod perf;
+pub mod platform;
+pub mod signature;
+pub mod stream;
+
+pub use perf::{characterize, PerfReport, SimConfig};
+pub use platform::Platform;
+pub use signature::WorkloadSignature;

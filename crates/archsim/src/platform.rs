@@ -1,0 +1,189 @@
+//! Experiment platforms — Table II of the paper.
+
+/// Hardware description of an experiment platform, extended beyond
+/// Table II with the cache-hierarchy and core-model constants the
+/// simulator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Codename used in the paper ("Skylake", "Broadwell").
+    pub name: &'static str,
+    /// Processor model.
+    pub processor: &'static str,
+    /// Microarchitecture (Table II lists E5-2697A v4 as "Haswell").
+    pub microarch: &'static str,
+    /// Process technology, nm.
+    pub tech_nm: u32,
+    /// Turbo frequency, GHz.
+    pub turbo_ghz: f64,
+    /// Physical cores.
+    pub cores: usize,
+    /// Shared last-level cache, bytes.
+    pub llc_bytes: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// Peak memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Thermal design power, W.
+    pub tdp_w: f64,
+    /// Private L1 data cache, bytes.
+    pub l1d_bytes: usize,
+    /// Private L1 instruction cache, bytes.
+    pub l1i_bytes: usize,
+    /// Private L2 cache, bytes.
+    pub l2_bytes: usize,
+    /// Peak sustainable IPC of the core on this workload class.
+    pub ipc_base: f64,
+    /// L2 hit latency, cycles.
+    pub lat_l2: f64,
+    /// LLC hit latency, cycles.
+    pub lat_llc: f64,
+    /// Memory latency, cycles.
+    pub lat_mem: f64,
+    /// Memory-level parallelism (outstanding-miss overlap divisor).
+    pub mlp: f64,
+    /// Fraction of sequential-stream demand misses hidden by the
+    /// hardware prefetcher when a single core is active.
+    pub prefetch_coverage_1core: f64,
+    /// Same, when all cores contend for the prefetcher and DRAM banks.
+    pub prefetch_coverage_allcores: f64,
+    /// Per-extra-active-core divisor growth of the effective
+    /// memory-level parallelism (DRAM bank / fill-buffer contention).
+    pub mlp_contention: f64,
+    /// Way-partition the LLC per active core instead of sharing it —
+    /// the isolation ablation (each chain gets `llc/cores`, no
+    /// interference, no borrowing).
+    pub llc_partitioned: bool,
+}
+
+impl Platform {
+    /// The Intel Core i7-6700K of Table II: few fast cores, small LLC.
+    pub fn skylake() -> Self {
+        Self {
+            name: "Skylake",
+            processor: "i7-6700K",
+            microarch: "Skylake",
+            tech_nm: 14,
+            turbo_ghz: 4.2,
+            cores: 4,
+            llc_bytes: 8 * 1024 * 1024,
+            llc_ways: 16,
+            mem_bw_gbs: 34.1,
+            tdp_w: 91.0,
+            l1d_bytes: 32 * 1024,
+            l1i_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            ipc_base: 2.8,
+            lat_l2: 12.0,
+            lat_llc: 42.0,
+            lat_mem: 220.0,
+            mlp: 6.0,
+            prefetch_coverage_1core: 0.94,
+            prefetch_coverage_allcores: 0.88,
+            mlp_contention: 0.4,
+            llc_partitioned: false,
+        }
+    }
+
+    /// The Skylake of Table II with its LLC way-partitioned per core —
+    /// the isolation ablation of the multicore contention study.
+    pub fn skylake_partitioned() -> Self {
+        Self {
+            name: "Skylake-part",
+            llc_partitioned: true,
+            ..Self::skylake()
+        }
+    }
+
+    /// The Xeon E5-2697A v4 of Table II: many slower cores, 40 MB LLC.
+    pub fn broadwell() -> Self {
+        Self {
+            name: "Broadwell",
+            processor: "E5-2697A v4",
+            microarch: "Haswell",
+            tech_nm: 14,
+            turbo_ghz: 3.6,
+            cores: 16,
+            llc_bytes: 40 * 1024 * 1024,
+            llc_ways: 20,
+            mem_bw_gbs: 78.8,
+            tdp_w: 145.0,
+            l1d_bytes: 32 * 1024,
+            l1i_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            ipc_base: 2.6,
+            lat_l2: 12.0,
+            lat_llc: 50.0,
+            lat_mem: 240.0,
+            mlp: 6.0,
+            prefetch_coverage_1core: 0.94,
+            prefetch_coverage_allcores: 0.88,
+            mlp_contention: 0.4,
+            llc_partitioned: false,
+        }
+    }
+
+    /// Both Table II platforms, Skylake first.
+    pub fn table2() -> Vec<Platform> {
+        vec![Self::skylake(), Self::broadwell()]
+    }
+
+    /// Prefetch coverage interpolated for `active` of [`Platform::cores`]
+    /// busy cores.
+    pub fn prefetch_coverage(&self, active: usize) -> f64 {
+        if self.cores <= 1 {
+            return self.prefetch_coverage_1core;
+        }
+        let t = (active.saturating_sub(1)) as f64 / (self.cores - 1) as f64;
+        self.prefetch_coverage_1core
+            + t * (self.prefetch_coverage_allcores - self.prefetch_coverage_1core)
+    }
+
+    /// Package power with `active` busy cores: idle floor plus a
+    /// near-linear active-core component (RAPL-style).
+    pub fn power_w(&self, active: usize) -> f64 {
+        let frac = (active.min(self.cores)) as f64 / self.cores as f64;
+        self.tdp_w * (0.35 + 0.65 * frac.powf(0.9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let sky = Platform::skylake();
+        assert_eq!(sky.cores, 4);
+        assert_eq!(sky.llc_bytes, 8 << 20);
+        assert!((sky.turbo_ghz - 4.2).abs() < 1e-12);
+        assert!((sky.tdp_w - 91.0).abs() < 1e-12);
+        let bdw = Platform::broadwell();
+        assert_eq!(bdw.cores, 16);
+        assert_eq!(bdw.llc_bytes, 40 << 20);
+        assert!((bdw.turbo_ghz - 3.6).abs() < 1e-12);
+        assert!((bdw.mem_bw_gbs - 78.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_coverage_degrades_with_contention() {
+        let sky = Platform::skylake();
+        assert!(sky.prefetch_coverage(1) > sky.prefetch_coverage(4));
+        assert!((sky.prefetch_coverage(1) - sky.prefetch_coverage_1core).abs() < 1e-12);
+        assert!(
+            (sky.prefetch_coverage(4) - sky.prefetch_coverage_allcores).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn power_is_monotone_in_active_cores() {
+        let bdw = Platform::broadwell();
+        let mut prev = 0.0;
+        for a in 1..=16 {
+            let p = bdw.power_w(a);
+            assert!(p > prev);
+            prev = p;
+        }
+        assert!(bdw.power_w(16) <= bdw.tdp_w + 1e-9);
+        assert!(bdw.power_w(1) > 0.35 * bdw.tdp_w);
+    }
+}

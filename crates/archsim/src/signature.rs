@@ -1,0 +1,121 @@
+//! Workload signatures: the measured facts the simulator consumes.
+
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::{chain, RunConfig};
+use bayes_suite::Workload;
+
+/// Everything the performance model needs to know about a workload,
+/// obtained from (a) one full-scale gradient evaluation and (b) a
+/// short real NUTS run on the reduced-scale dynamics model.
+#[derive(Debug, Clone)]
+pub struct WorkloadSignature {
+    /// Workload name.
+    pub name: String,
+    /// Bytes of modeled data (static feature of Figure 3).
+    pub data_bytes: usize,
+    /// AD-tape nodes per gradient evaluation at full scale.
+    pub tape_nodes: usize,
+    /// AD-tape bytes per gradient evaluation at full scale.
+    pub tape_bytes: usize,
+    /// Transcendental nodes per gradient evaluation (op-mix feature:
+    /// special-function-heavy models run at lower IPC, Figure 1a).
+    pub transcendental_nodes: usize,
+    /// Generated-code footprint (i-cache pressure).
+    pub code_bytes: usize,
+    /// Unconstrained parameter count at full scale.
+    pub dim: usize,
+    /// Mean leapfrog steps per NUTS iteration (measured).
+    pub leapfrogs_per_iter: f64,
+    /// Relative per-chain work factors, mean 1 (measured; the slowest
+    /// chain bounds multicore latency, Section VI-A).
+    pub chain_imbalance: Vec<f64>,
+    /// Mean Metropolis acceptance statistic (drives the branch model).
+    pub accept_mean: f64,
+    /// User-configured iterations (Table I defaults).
+    pub default_iters: usize,
+    /// User-configured chain count.
+    pub default_chains: usize,
+}
+
+impl WorkloadSignature {
+    /// Measures a workload: profiles the full-scale tape and runs
+    /// `probe_iters` NUTS iterations (4 chains) on the dynamics model.
+    pub fn measure(w: &Workload, probe_iters: usize, seed: u64) -> Self {
+        let profile = w.profile();
+        let cfg = RunConfig::new(probe_iters)
+            .with_chains(4)
+            .with_seed(seed)
+            .with_warmup(probe_iters / 2);
+        let run = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+        let evals: Vec<f64> = run
+            .chains
+            .iter()
+            .map(|c| c.grad_evals as f64 / probe_iters as f64)
+            .collect();
+        let mean_evals = evals.iter().sum::<f64>() / evals.len() as f64;
+        let imbalance: Vec<f64> = evals.iter().map(|e| e / mean_evals).collect();
+        let accept_mean = run
+            .chains
+            .iter()
+            .map(|c| c.accept_mean)
+            .sum::<f64>()
+            / run.chains.len() as f64;
+        Self {
+            name: w.name().to_string(),
+            data_bytes: w.meta().modeled_data_bytes,
+            tape_nodes: profile.tape_nodes,
+            tape_bytes: profile.tape_bytes,
+            transcendental_nodes: profile.transcendental_nodes,
+            code_bytes: w.meta().code_footprint_bytes,
+            dim: w.model().dim(),
+            leapfrogs_per_iter: mean_evals,
+            chain_imbalance: imbalance,
+            accept_mean: accept_mean.clamp(0.0, 1.0),
+            default_iters: w.meta().default_iters,
+            default_chains: w.meta().default_chains,
+        }
+    }
+
+    /// Per-chain working-set bytes (data + tape + sampler state).
+    pub fn working_set_bytes(&self) -> usize {
+        self.data_bytes + self.tape_bytes + self.dim * 8 * 4
+    }
+
+    /// Work factor of chain `c` (cycled if more chains than measured).
+    pub fn imbalance(&self, c: usize) -> f64 {
+        if self.chain_imbalance.is_empty() {
+            1.0
+        } else {
+            self.chain_imbalance[c % self.chain_imbalance.len()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_suite::registry;
+
+    #[test]
+    fn measure_produces_sane_signature() {
+        let w = registry::workload("12cities", 1.0, 7).unwrap();
+        let sig = WorkloadSignature::measure(&w, 20, 3);
+        assert_eq!(sig.name, "12cities");
+        assert!(sig.tape_nodes > 500);
+        assert!(sig.leapfrogs_per_iter >= 1.0);
+        assert!((0.0..=1.0).contains(&sig.accept_mean));
+        assert_eq!(sig.chain_imbalance.len(), 4);
+        let mean: f64 =
+            sig.chain_imbalance.iter().sum::<f64>() / sig.chain_imbalance.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9, "imbalance normalized to mean 1");
+        assert!(sig.working_set_bytes() > sig.data_bytes);
+    }
+
+    #[test]
+    fn imbalance_cycles_beyond_measured_chains() {
+        let w = registry::workload("butterfly", 0.2, 7).unwrap();
+        let sig = WorkloadSignature::measure(&w, 10, 5);
+        assert_eq!(sig.imbalance(0), sig.imbalance(4));
+        assert!(sig.imbalance(2) > 0.0);
+    }
+}

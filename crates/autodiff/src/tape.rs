@@ -1,0 +1,200 @@
+//! The operation tape (Wengert list) behind reverse-mode AD.
+
+use crate::var::Var;
+use std::cell::RefCell;
+
+/// One recorded elementary operation: up to two parents with the local
+/// partial derivative of the node with respect to each.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) parents: [u32; 2],
+    pub(crate) weights: [f64; 2],
+}
+
+/// Size statistics of a tape, used by the architecture simulation as a
+/// working-set probe (Section V-A of the paper: intermediates in the
+/// inference algorithm amplify KB-scale modeled data to MB-scale
+/// working sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TapeStats {
+    /// Number of recorded elementary operations (≈ flops per pass).
+    pub nodes: usize,
+    /// Bytes occupied by the tape nodes plus the adjoint array that the
+    /// reverse sweep allocates.
+    pub bytes: usize,
+    /// Transcendental operations (`exp`, `ln`, `lgamma`, …) among
+    /// [`TapeStats::nodes`] — long-latency kernels that depress IPC.
+    /// The performance model uses the ratio to differentiate the
+    /// dense-linear-algebra workloads (high IPC) from the
+    /// special-function-heavy ones, as in Figure 1a of the paper.
+    pub transcendental: usize,
+}
+
+/// A reverse-mode AD tape. Create leaf variables with [`Tape::var`],
+/// build an expression with [`Var`] arithmetic, then call [`Tape::grad`].
+///
+/// Interior mutability lets `Var` stay `Copy`; the tape is not `Sync`
+/// and is intended to live for a single gradient evaluation (Stan's
+/// per-iteration arena pattern).
+///
+/// # Example
+///
+/// ```
+/// use bayes_autodiff::Tape;
+///
+/// let tape = Tape::new();
+/// let x = tape.var(2.0);
+/// let y = x * x + x.ln();
+/// let g = tape.grad(y);
+/// assert!((g[x.index()] - (4.0 + 0.5)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+    transcendental: std::cell::Cell<usize>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty tape with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            nodes: RefCell::new(Vec::with_capacity(cap)),
+            transcendental: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Registers a new leaf (independent) variable with value `value`.
+    pub fn var(&self, value: f64) -> Var<'_> {
+        let idx = self.push([0, 0], [0.0, 0.0], true);
+        Var::new(self, idx, value)
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// Current size statistics.
+    pub fn stats(&self) -> TapeStats {
+        let n = self.len();
+        TapeStats {
+            nodes: n,
+            bytes: n * (std::mem::size_of::<Node>() + std::mem::size_of::<f64>()),
+            transcendental: self.transcendental.get(),
+        }
+    }
+
+    pub(crate) fn note_transcendental(&self) {
+        self.transcendental.set(self.transcendental.get() + 1);
+    }
+
+    pub(crate) fn push(&self, parents: [u32; 2], weights: [f64; 2], leaf: bool) -> u32 {
+        let mut nodes = self.nodes.borrow_mut();
+        let idx = nodes.len() as u32;
+        // A leaf points at itself with zero weight so the reverse sweep
+        // treats it as a source.
+        let parents = if leaf { [idx, idx] } else { parents };
+        nodes.push(Node { parents, weights });
+        idx
+    }
+
+    /// Reverse sweep: returns the adjoint (∂output/∂node) for every node
+    /// on the tape. Index with [`Var::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` was created on a different tape.
+    pub fn grad(&self, output: Var<'_>) -> Vec<f64> {
+        assert!(
+            std::ptr::eq(output.tape(), self),
+            "output variable belongs to a different tape"
+        );
+        let nodes = self.nodes.borrow();
+        let mut adj = vec![0.0; nodes.len()];
+        adj[output.index()] = 1.0;
+        for i in (0..nodes.len()).rev() {
+            let a = adj[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = nodes[i];
+            for k in 0..2 {
+                let p = node.parents[k] as usize;
+                if p != i {
+                    adj[p] += node.weights[k] * a;
+                }
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tape() {
+        let t = Tape::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.stats().nodes, 0);
+    }
+
+    #[test]
+    fn leaf_gradient_is_identity() {
+        let t = Tape::new();
+        let x = t.var(5.0);
+        let g = t.grad(x);
+        assert_eq!(g[x.index()], 1.0);
+    }
+
+    #[test]
+    fn unused_leaf_gets_zero_adjoint() {
+        let t = Tape::new();
+        let x = t.var(1.0);
+        let y = t.var(2.0);
+        let out = x * x;
+        let g = t.grad(out);
+        assert_eq!(g[y.index()], 0.0);
+        assert_eq!(g[x.index()], 2.0);
+    }
+
+    #[test]
+    fn fan_out_accumulates_adjoints() {
+        // f = x·x + x  →  f' = 2x + 1
+        let t = Tape::new();
+        let x = t.var(3.0);
+        let f = x * x + x;
+        let g = t.grad(f);
+        assert!((g[x.index()] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_grow_with_expression() {
+        let t = Tape::new();
+        let x = t.var(1.0);
+        let before = t.stats().nodes;
+        let _ = x.exp() + x.ln_1p();
+        assert!(t.stats().nodes > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tape")]
+    fn cross_tape_grad_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let x = t1.var(1.0);
+        let _ = t2.grad(x);
+    }
+}

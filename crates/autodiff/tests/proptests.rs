@@ -1,0 +1,96 @@
+//! Property tests: AD gradients against finite differences on random
+//! compositional expressions.
+
+use bayes_autodiff::{grad_of, Real};
+use proptest::prelude::*;
+
+/// A tiny expression language to generate random differentiable
+/// programs over two inputs.
+#[derive(Debug, Clone)]
+enum Expr {
+    X,
+    Y,
+    Const(f64),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Sig(Box<Expr>),
+    Softplus(Box<Expr>),
+    Tanh(Box<Expr>),
+    Sin(Box<Expr>),
+}
+
+impl Expr {
+    fn eval<R: Real>(&self, x: R, y: R) -> R {
+        match self {
+            Expr::X => x,
+            Expr::Y => y,
+            Expr::Const(c) => x * 0.0 + *c,
+            Expr::Add(a, b) => a.eval(x, y) + b.eval(x, y),
+            Expr::Mul(a, b) => a.eval(x, y) * b.eval(x, y),
+            Expr::Sig(a) => a.eval(x, y).sigmoid(),
+            Expr::Softplus(a) => a.eval(x, y).log1p_exp(),
+            Expr::Tanh(a) => a.eval(x, y).tanh(),
+            Expr::Sin(a) => a.eval(x, y).sin(),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::X),
+        Just(Expr::Y),
+        (-2.0..2.0f64).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Sig(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Softplus(Box::new(a))),
+            inner.clone().prop_map(|a| Expr::Tanh(Box::new(a))),
+            inner.prop_map(|a| Expr::Sin(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gradients_match_finite_differences(
+        e in expr_strategy(),
+        x in -1.5..1.5f64,
+        y in -1.5..1.5f64,
+    ) {
+        let f = |v: &[f64]| e.eval(v[0], v[1]);
+        let (val, grad, _) = grad_of(&[x, y], |v| e.eval(v[0], v[1]));
+        prop_assume!(val.is_finite());
+        let h = 1e-5;
+        for i in 0..2 {
+            let mut p = [x, y];
+            let mut m = [x, y];
+            p[i] += h;
+            m[i] -= h;
+            let fd = (f(&p) - f(&m)) / (2.0 * h);
+            prop_assert!(
+                (grad[i] - fd).abs() < 1e-3 * (1.0 + fd.abs()),
+                "coord {i}: ad {} vs fd {fd} on {e:?}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn value_paths_agree(
+        e in expr_strategy(),
+        x in -1.5..1.5f64,
+        y in -1.5..1.5f64,
+    ) {
+        let plain = e.eval(x, y);
+        let (taped, _, stats) = grad_of(&[x, y], |v| e.eval(v[0], v[1]));
+        prop_assert!((plain - taped).abs() <= 1e-12 * (1.0 + plain.abs()));
+        prop_assert!(stats.transcendental <= stats.nodes);
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion: throughput of the architecture-simulation substrate —
+//! the cache simulator and one full characterization point.
+
+use bayes_core::archsim::cache::{CacheSim, Hierarchy, Replacement};
+use bayes_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    group.bench_function("lru_sweep_64k", |b| {
+        let mut cache = CacheSim::new(64 * 1024, 8, Replacement::Lru);
+        b.iter(|| {
+            for a in (0..128 * 1024u64).step_by(64) {
+                black_box(cache.access(a));
+            }
+        })
+    });
+    group.bench_function("hierarchy_sweep_1mb", |b| {
+        let mut h = Hierarchy::new(4, 32 * 1024, 256 * 1024, 8 * 1024 * 1024, 16);
+        b.iter(|| {
+            for a in (0..1_048_576u64).step_by(64) {
+                h.access((a % 4) as usize, a);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let sig = WorkloadSignature {
+        name: "bench".into(),
+        data_bytes: 256 * 1024,
+        tape_nodes: 64 * 1024,
+        tape_bytes: 2 * 1024 * 1024,
+        transcendental_nodes: 4096,
+        code_bytes: 16 * 1024,
+        dim: 64,
+        leapfrogs_per_iter: 16.0,
+        chain_imbalance: vec![0.9, 1.0, 1.0, 1.1],
+        accept_mean: 0.8,
+        default_iters: 2000,
+        default_chains: 4,
+    };
+    let plat = Platform::skylake();
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    group.bench_function("4core_2mb_tape", |b| {
+        b.iter(|| {
+            black_box(characterize(
+                &sig,
+                &plat,
+                &SimConfig { cores: 4, chains: 4, iters: 2000 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_characterize);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion: per-iteration cost of the three samplers on a standard
+//! hierarchical target (the Section II cost comparison: NUTS
+//! iterations are dearer but mix far better).
+
+use bayes_core::mcmc::hmc::StaticHmc;
+use bayes_core::mcmc::mh::MetropolisHastings;
+use bayes_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct Hierarchical;
+
+impl LogDensity for Hierarchical {
+    fn dim(&self) -> usize {
+        12
+    }
+    fn eval<R: Real>(&self, t: &[R]) -> R {
+        // Funnel-lite: group effects under a sampled scale.
+        let log_tau = t[0];
+        let tau = log_tau.exp();
+        let mut acc = -(log_tau * log_tau) * 0.5;
+        for &x in &t[1..] {
+            let z = x / tau;
+            acc = acc - z * z * 0.5 - log_tau;
+        }
+        acc
+    }
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let model = AdModel::new("hier", Hierarchical);
+    let mut group = c.benchmark_group("sampler_100_iters");
+    group.sample_size(10);
+    let cfg = RunConfig::new(100).with_chains(1).with_seed(3);
+    group.bench_function("nuts", |b| {
+        b.iter(|| black_box(chain::run(&Nuts::default(), &model, &cfg)))
+    });
+    group.bench_function("hmc16", |b| {
+        b.iter(|| black_box(chain::run(&StaticHmc::new(16), &model, &cfg)))
+    });
+    group.bench_function("mh", |b| {
+        b.iter(|| black_box(chain::run(&MetropolisHastings::new(), &model, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: one full-scale gradient evaluation per workload — the
+//! kernel whose cost per iteration drives every figure.
+
+use bayes_core::prelude::registry;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_gradients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grad_eval_full_scale");
+    group.sample_size(10);
+    for name in registry::workload_names() {
+        let w = registry::workload(name, 1.0, 42).expect("registry name");
+        let dim = w.model().dim();
+        let theta = vec![0.1; dim];
+        let mut grad = vec![0.0; dim];
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let lp = w.model().ln_posterior_grad(black_box(&theta), &mut grad);
+                black_box(lp)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_value_full_scale");
+    group.sample_size(10);
+    for name in ["12cities", "ad", "tickets"] {
+        let w = registry::workload(name, 1.0, 42).expect("registry name");
+        let theta = vec![0.1; w.model().dim()];
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(w.model().ln_posterior(black_box(&theta))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradients, bench_value_only);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table II: a summary of experiment platforms.
+
+use bayes_core::prelude::Platform;
+
+fn main() {
+    bayes_bench::banner("Table II", "A summary of experiment platforms.");
+    println!(
+        "{:<10} {:<12} {:<10} {:>9} {:>11} {:>6} {:>9} {:>16} {:>8}",
+        "Codename", "Processor #", "Microarch", "Tech (nm)", "Turbo (GHz)", "Cores",
+        "LLC (MB)", "Bandwidth (GB/s)", "TDP (W)"
+    );
+    for p in Platform::table2() {
+        println!(
+            "{:<10} {:<12} {:<10} {:>9} {:>11.1} {:>6} {:>9} {:>16.1} {:>8.0}",
+            p.name,
+            p.processor,
+            p.microarch,
+            p.tech_nm,
+            p.turbo_ghz,
+            p.cores,
+            p.llc_bytes / (1024 * 1024),
+            p.mem_bw_gbs,
+            p.tdp_w
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! High-level facade for the BayesSuite reproduction.
+//!
+//! This crate re-exports the full stack under one roof and provides a
+//! small convenience API for the common end-to-end flows:
+//!
+//! * run a BayesSuite workload with NUTS ([`run_workload`]);
+//! * characterize it on a simulated platform ([`characterize_workload`]);
+//! * apply the paper's scheduling + elision mechanism
+//!   ([`sched::Pipeline`]).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use bayes_core::prelude::*;
+//!
+//! // Sample the 12cities posterior with 2 chains of 400 iterations.
+//! let summary = bayes_core::run_workload("12cities", 400, 2, 7).unwrap();
+//! assert!(summary.max_rhat < 1.2);
+//! ```
+
+pub use bayes_archsim as archsim;
+pub use bayes_autodiff as autodiff;
+pub use bayes_linalg as linalg;
+pub use bayes_mcmc as mcmc;
+pub use bayes_odeint as odeint;
+pub use bayes_prob as prob;
+pub use bayes_sched as sched;
+pub use bayes_suite as suite;
+
+use bayes_archsim::{characterize, PerfReport, Platform, SimConfig, WorkloadSignature};
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::{chain, RunConfig};
+
+/// Common imports for application code.
+pub mod prelude {
+    pub use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
+    pub use bayes_autodiff::Real;
+    pub use bayes_mcmc::nuts::Nuts;
+    pub use bayes_mcmc::{
+        chain, AdModel, ConvergenceDetector, LogDensity, Model, MultiChainRun, RunConfig,
+    };
+    pub use bayes_sched::{DesignSpace, ElisionStudy, LlcMissPredictor, Pipeline};
+    pub use bayes_suite::{registry, Workload, WorkloadMeta};
+}
+
+/// Posterior summary returned by [`run_workload`].
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Posterior mean per unconstrained parameter.
+    pub means: Vec<f64>,
+    /// Posterior standard deviation per parameter.
+    pub sds: Vec<f64>,
+    /// Largest split-R̂ across parameters.
+    pub max_rhat: f64,
+    /// Total gradient evaluations across chains.
+    pub grad_evals: u64,
+}
+
+/// Error from the high-level API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The workload name is not in the registry.
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownWorkload(name) => write!(f, "unknown workload: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Samples the named BayesSuite workload's posterior with NUTS
+/// (reduced-scale dynamics model, suitable for interactive use).
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownWorkload`] for a name outside
+/// [`bayes_suite::registry::NAMES`].
+pub fn run_workload(
+    name: &str,
+    iters: usize,
+    chains: usize,
+    seed: u64,
+) -> Result<RunSummary, CoreError> {
+    let w = bayes_suite::registry::workload(name, 1.0, seed)
+        .ok_or_else(|| CoreError::UnknownWorkload(name.to_string()))?;
+    let cfg = RunConfig::new(iters).with_chains(chains).with_seed(seed);
+    let run = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+    let dim = run.dim;
+    Ok(RunSummary {
+        workload: name.to_string(),
+        means: (0..dim).map(|j| run.mean(j)).collect(),
+        sds: (0..dim).map(|j| run.sd(j)).collect(),
+        max_rhat: run.max_rhat(),
+        grad_evals: run.total_grad_evals(),
+    })
+}
+
+/// Simulates the named workload's performance counters on a platform —
+/// the Figure 1/2 flow in one call.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownWorkload`] for an unregistered name.
+pub fn characterize_workload(
+    name: &str,
+    platform: &Platform,
+    cores: usize,
+    seed: u64,
+) -> Result<PerfReport, CoreError> {
+    let w = bayes_suite::registry::workload(name, 1.0, seed)
+        .ok_or_else(|| CoreError::UnknownWorkload(name.to_string()))?;
+    let sig = WorkloadSignature::measure(&w, 20, seed);
+    Ok(characterize(
+        &sig,
+        platform,
+        &SimConfig {
+            cores,
+            chains: sig.default_chains,
+            iters: sig.default_iters,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_workload_smoke() {
+        let s = run_workload("butterfly", 150, 2, 3).unwrap();
+        assert_eq!(s.workload, "butterfly");
+        assert!(!s.means.is_empty());
+        assert_eq!(s.means.len(), s.sds.len());
+        assert!(s.grad_evals > 0);
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        assert!(matches!(
+            run_workload("nope", 10, 2, 1),
+            Err(CoreError::UnknownWorkload(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn characterize_workload_smoke() {
+        let r = characterize_workload("12cities", &Platform::skylake(), 4, 5).unwrap();
+        assert!(r.ipc > 0.0);
+        assert!(r.time_s > 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Cholesky factorization and triangular solves.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L·Lᵀ`.
+///
+/// The workhorse of the `votes` Gaussian-process workload: the GP
+/// log-likelihood needs `ln det A` and `A⁻¹·y`, both of which come out
+/// of this factorization.
+///
+/// # Example
+///
+/// ```
+/// use bayes_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), bayes_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::factor(&a)?;
+/// let x = ch.solve(&[8.0, 7.0])?;          // A·x = b
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not
+    /// positive.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "cholesky of {}×{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                d -= ljk * ljk;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite(j));
+            }
+            let djj = d.sqrt();
+            l.set(j, j, djj);
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / djj);
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `L·y = b` (forward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_lower: {}-vector against dim {n}",
+                b.len()
+            )));
+        }
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l.get(i, j) * y[j];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ·x = y` (backward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "solve_upper: {}-vector against dim {n}",
+                y.len()
+            )));
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l.get(j, i) * x[j];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves the full system `A·x = b` via the two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.solve_upper(&self.solve_lower(b)?)
+    }
+
+    /// `ln det A = 2 · Σ ln L_ii`, the GP-likelihood normalizer.
+    pub fn ln_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Quadratic form `bᵀ·A⁻¹·b`, computed stably as `‖L⁻¹b‖²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn quad_form_inv(&self, b: &[f64]) -> Result<f64> {
+        let y = self.solve_lower(b)?;
+        Ok(crate::dot(&y, &y))
+    }
+
+    /// Applies `L` to `z` (`x = L·z`), mapping iid standard normals to a
+    /// draw from `N(0, A)` — the GP sampler kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn l_matvec(&self, z: &[f64]) -> Result<Vec<f64>> {
+        self.l.matvec(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rebuilt = ch.l().matmul(&ch.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rebuilt.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalue -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite(1))
+        ));
+        let r = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&r),
+            Err(LinalgError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_det_matches_product_of_pivots() {
+        // det of spd3 computed by cofactor expansion: 6(20-4)-2(8-2)+1(4-5)=83
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        assert!((ch.ln_det() - 83f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_inv_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((ch.quad_form_inv(&b).unwrap() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_solves_match_full_solve() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, 0.0, -1.0];
+        let via_parts = ch.solve_upper(&ch.solve_lower(&b).unwrap()).unwrap();
+        let direct = ch.solve(&b).unwrap();
+        assert_eq!(via_parts, direct);
+    }
+
+    #[test]
+    fn shape_errors_on_wrong_length() {
+        let ch = Cholesky::factor(&Matrix::identity(3)).unwrap();
+        assert!(ch.solve(&[1.0, 2.0]).is_err());
+        assert!(ch.solve_lower(&[1.0; 4]).is_err());
+        assert!(ch.quad_form_inv(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Dense linear algebra for the BayesSuite reproduction.
+//!
+//! A deliberately small, from-scratch kernel set: column-major
+//! [`Matrix`], Cholesky factorization, triangular solves, and the
+//! matrix/vector products needed by the `votes` Gaussian-process
+//! workload and the NUTS mass matrix. The paper notes BayesSuite
+//! "contains a diverse collection of vector and matrix operations beyond
+//! matrix multiplication" (Section VII-A); these are those kernels.
+
+mod cholesky;
+mod lu;
+mod matrix;
+
+pub use cholesky::Cholesky;
+pub use lu::{solve_tridiagonal, Lu};
+pub use matrix::Matrix;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error for linear-algebra operations (shape mismatches, non-SPD
+/// matrices in Cholesky).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible; payload is a description.
+    ShapeMismatch(String),
+    /// Matrix is not symmetric positive definite; payload is the pivot
+    /// index where factorization failed.
+    NotPositiveDefinite(usize),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            Self::NotPositiveDefinite(i) => {
+                write!(f, "matrix not positive definite at pivot {i}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha·x` (the BLAS `axpy` kernel).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of unequal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn dot_rejects_mismatched() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+}

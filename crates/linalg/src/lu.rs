@@ -1,0 +1,254 @@
+//! LU decomposition with partial pivoting — the general-purpose
+//! solver complementing [`crate::Cholesky`] for non-symmetric systems
+//! (e.g. implicit ODE steps and the "diverse collection of matrix
+//! operations" of the paper's Section VII-A).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// The factorization `P·A = L·U` with partial pivoting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lu {
+    /// Packed LU factors (unit lower triangle implicit).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] (reused to signal a
+    /// singular pivot) when no usable pivot exists.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "LU of {}×{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below k.
+            let mut p = k;
+            let mut best = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < 1e-300 {
+                return Err(LinalgError::NotPositiveDefinite(k));
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, tmp);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                for j in (k + 1)..n {
+                    lu.set(i, j, lu.get(i, j) - m * lu.get(k, j));
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] on length mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "LU solve: {}-vector against dim {n}",
+                b.len()
+            )));
+        }
+        // Forward substitution on the permuted rhs (unit lower).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = s;
+        }
+        // Backward substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.lu.get(i, i)).product::<f64>() * self.sign
+    }
+}
+
+/// Solves a tridiagonal system with the Thomas algorithm: `sub`, `diag`,
+/// `sup` are the three bands (`sub[0]` and `sup[n-1]` ignored).
+///
+/// The kernel behind Gauss–Markov (state-space) approximations of the
+/// `votes` Gaussian process, where the dense `O(n³)` solve collapses to
+/// `O(n)`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when band lengths differ, and
+/// [`LinalgError::NotPositiveDefinite`] on a vanishing pivot.
+pub fn solve_tridiagonal(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    let n = diag.len();
+    if sub.len() != n || sup.len() != n || b.len() != n {
+        return Err(LinalgError::ShapeMismatch(
+            "tridiagonal bands must share the diagonal's length".into(),
+        ));
+    }
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    let mut pivot = diag[0];
+    if pivot.abs() < 1e-300 {
+        return Err(LinalgError::NotPositiveDefinite(0));
+    }
+    c[0] = sup[0] / pivot;
+    d[0] = b[0] / pivot;
+    for i in 1..n {
+        pivot = diag[i] - sub[i] * c[i - 1];
+        if pivot.abs() < 1e-300 {
+            return Err(LinalgError::NotPositiveDefinite(i));
+        }
+        c[i] = sup[i] / pivot;
+        d[i] = (b[i] - sub[i] * d[i - 1]) / pivot;
+    }
+    let mut x = d;
+    for i in (0..n - 1).rev() {
+        x[i] -= c[i] * x[i + 1];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a3() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]])
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        // Classic system with solution (2, 3, -1).
+        let lu = Lu::factor(&a3()).unwrap();
+        let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
+        for (xi, ti) in x.iter().zip(&[2.0, 3.0, -1.0]) {
+            assert!((xi - ti).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion() {
+        // det(a3) = -1.
+        let lu = Lu::factor(&a3()).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12, "det {}", lu.det());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            Lu::factor(&a),
+            Err(LinalgError::NotPositiveDefinite(_))
+        ));
+        assert!(Lu::factor(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn lu_agrees_with_cholesky_on_spd() {
+        let a = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
+        let b = [1.0, -2.0, 0.5];
+        let via_lu = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let via_chol = crate::Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (x, y) in via_lu.iter().zip(&via_chol) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tridiagonal_matches_dense_solve() {
+        let n = 6;
+        let sub = vec![-1.0; n];
+        let diag = vec![2.5; n];
+        let sup = vec![-1.0; n];
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = solve_tridiagonal(&sub, &diag, &sup, &b).unwrap();
+        // Rebuild dense and verify A·x = b.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a.set(i, i, 2.5);
+            if i > 0 {
+                a.set(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.set(i, i + 1, -1.0);
+            }
+        }
+        let back = a.matvec(&x).unwrap();
+        for (bi, ti) in back.iter().zip(&b) {
+            assert!((bi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tridiagonal_rejects_bad_bands() {
+        assert!(solve_tridiagonal(&[0.0], &[1.0, 1.0], &[0.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(matches!(
+            solve_tridiagonal(&[0.0, 0.0], &[0.0, 1.0], &[0.0, 0.0], &[1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite(0))
+        ));
+    }
+}

@@ -1,0 +1,331 @@
+//! Multi-chain execution: the outer loop of Algorithm 1.
+//!
+//! Chains are independent, so they can run sequentially (the paper's
+//! 1-core configuration) or one OS thread per chain (the 4-core
+//! configuration whose LLC contention Section IV-B analyzes).
+
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How to map chains onto cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// All chains on the calling thread, one after another.
+    #[default]
+    Sequential,
+    /// One OS thread per chain (crossbeam scoped threads).
+    Threads,
+}
+
+/// Configuration shared by all samplers.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of Markov chains (the paper follows Brooks et al. and
+    /// uses 4).
+    pub chains: usize,
+    /// Total iterations per chain, *including* warmup.
+    pub iters: usize,
+    /// Warmup (adaptation) iterations; Stan convention is `iters / 2`.
+    pub warmup: usize,
+    /// Base RNG seed; chain `c` uses `seed + c`.
+    pub seed: u64,
+    /// Sequential or threaded chain execution.
+    pub parallelism: Parallelism,
+}
+
+impl RunConfig {
+    /// Stan-style defaults: 4 chains, `iters` total with half warmup.
+    pub fn new(iters: usize) -> Self {
+        Self {
+            chains: 4,
+            iters,
+            warmup: iters / 2,
+            seed: 0,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+
+    /// Sets the chain count.
+    pub fn with_chains(mut self, chains: usize) -> Self {
+        self.chains = chains;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects threaded chain execution.
+    pub fn threaded(mut self) -> Self {
+        self.parallelism = Parallelism::Threads;
+        self
+    }
+
+    /// Sets the warmup length.
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = warmup;
+        self
+    }
+}
+
+/// Everything one chain produced.
+#[derive(Debug, Clone)]
+pub struct ChainOutput {
+    /// Every iteration's parameter vector, warmup included.
+    pub draws: Vec<Vec<f64>>,
+    /// Number of leading warmup iterations in [`ChainOutput::draws`].
+    pub warmup: usize,
+    /// Mean Metropolis acceptance statistic over sampling iterations.
+    pub accept_mean: f64,
+    /// Total gradient evaluations (leapfrog steps), the unit of work
+    /// the performance model charges.
+    pub grad_evals: u64,
+    /// Divergent transitions encountered.
+    pub divergences: u64,
+    /// Gradient evaluations per iteration (empty for samplers that do
+    /// exactly one density evaluation per iteration). Used by the
+    /// elision study: stopping at iteration `t` saves the *work* after
+    /// `t`, which is not proportional to iterations because NUTS trees
+    /// shrink after convergence (Section VI-A).
+    pub evals_per_iter: Vec<u32>,
+}
+
+impl ChainOutput {
+    /// Post-warmup draws. For a run truncated by the convergence
+    /// monitor (fewer draws than the configured warmup), falls back to
+    /// the paper's second-half convention.
+    pub fn sampling_draws(&self) -> &[Vec<f64>] {
+        let effective = self.warmup.min(self.draws.len() / 2);
+        &self.draws[effective..]
+    }
+
+    /// Trace of one parameter over post-warmup draws.
+    pub fn param_trace(&self, j: usize) -> Vec<f64> {
+        self.sampling_draws().iter().map(|d| d[j]).collect()
+    }
+
+    /// Gradient evaluations spent in iterations `[0, t)`; falls back to
+    /// a proportional estimate when no per-iteration trace is recorded.
+    pub fn evals_until(&self, t: usize) -> u64 {
+        if self.evals_per_iter.is_empty() {
+            let frac = t.min(self.draws.len()) as f64 / self.draws.len().max(1) as f64;
+            (self.grad_evals as f64 * frac) as u64
+        } else {
+            self.evals_per_iter[..t.min(self.evals_per_iter.len())]
+                .iter()
+                .map(|&e| e as u64)
+                .sum()
+        }
+    }
+}
+
+/// Output of a multi-chain run.
+#[derive(Debug, Clone)]
+pub struct MultiChainRun {
+    /// Per-chain outputs, in chain order.
+    pub chains: Vec<ChainOutput>,
+    /// Parameter dimensionality.
+    pub dim: usize,
+}
+
+impl MultiChainRun {
+    /// Per-chain post-warmup traces of parameter `j`.
+    pub fn traces(&self, j: usize) -> Vec<Vec<f64>> {
+        self.chains.iter().map(|c| c.param_trace(j)).collect()
+    }
+
+    /// Pooled post-warmup draws across all chains.
+    pub fn pooled_draws(&self) -> Vec<&[f64]> {
+        self.chains
+            .iter()
+            .flat_map(|c| c.sampling_draws().iter().map(Vec::as_slice))
+            .collect()
+    }
+
+    /// Posterior mean of parameter `j` (pooled, post-warmup).
+    pub fn mean(&self, j: usize) -> f64 {
+        let pooled = self.pooled_draws();
+        pooled.iter().map(|d| d[j]).sum::<f64>() / pooled.len() as f64
+    }
+
+    /// Posterior standard deviation of parameter `j`.
+    pub fn sd(&self, j: usize) -> f64 {
+        let pooled = self.pooled_draws();
+        let m = self.mean(j);
+        (pooled.iter().map(|d| (d[j] - m) * (d[j] - m)).sum::<f64>()
+            / (pooled.len() as f64 - 1.0))
+            .sqrt()
+    }
+
+    /// Largest split-R̂ across all parameters (the convergence headline
+    /// number; the paper's threshold is 1.1).
+    pub fn max_rhat(&self) -> f64 {
+        (0..self.dim)
+            .map(|j| crate::diag::split_rhat(&self.traces(j)))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total gradient evaluations across chains.
+    pub fn total_grad_evals(&self) -> u64 {
+        self.chains.iter().map(|c| c.grad_evals).sum()
+    }
+
+    /// Per-chain gradient evaluations — the per-core work distribution
+    /// whose imbalance makes 4-core latency track the slowest chain
+    /// (Section VI-A).
+    pub fn grad_evals_per_chain(&self) -> Vec<u64> {
+        self.chains.iter().map(|c| c.grad_evals).collect()
+    }
+
+    /// Moment-matched Gaussian summary `(mean, sd)` for every parameter.
+    pub fn gaussian_summary(&self) -> Vec<(f64, f64)> {
+        (0..self.dim).map(|j| (self.mean(j), self.sd(j))).collect()
+    }
+}
+
+/// A sampler that can advance one chain from an initial point.
+pub trait Sampler: Sync {
+    /// Runs one chain of `cfg.iters` iterations starting at `init`.
+    fn sample_chain(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+    ) -> ChainOutput;
+}
+
+/// Runs `cfg.chains` chains of `sampler` over `model`.
+///
+/// Initial points are drawn uniformly from `(-2, 2)` on the
+/// unconstrained scale (Stan's default) with per-chain seeds, so runs
+/// are fully reproducible.
+pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
+    let inits: Vec<Vec<f64>> = (0..cfg.chains)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + c as u64));
+            (0..model.dim()).map(|_| rng.gen_range(-2.0..2.0)).collect()
+        })
+        .collect();
+
+    let chains: Vec<ChainOutput> = match cfg.parallelism {
+        Parallelism::Sequential => inits
+            .iter()
+            .enumerate()
+            .map(|(c, init)| sampler.sample_chain(model, init, cfg, cfg.seed + c as u64))
+            .collect(),
+        Parallelism::Threads => crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = inits
+                .iter()
+                .enumerate()
+                .map(|(c, init)| {
+                    scope.spawn(move |_| {
+                        sampler.sample_chain(model, init, cfg, cfg.seed + c as u64)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chain thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed"),
+    };
+
+    MultiChainRun {
+        chains,
+        dim: model.dim(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AdModel, LogDensity};
+    use bayes_autodiff::Real;
+
+    pub(crate) struct StdNormalNd(pub usize);
+
+    impl LogDensity for StdNormalNd {
+        fn dim(&self) -> usize {
+            self.0
+        }
+        fn eval<R: Real>(&self, theta: &[R]) -> R {
+            let mut acc = theta[0] * 0.0;
+            for &t in theta {
+                acc = acc - t.square() * 0.5;
+            }
+            acc
+        }
+    }
+
+    /// A deterministic toy sampler: ignores the model and emits the
+    /// iteration index, letting us test the plumbing exactly.
+    struct CountingSampler;
+
+    impl Sampler for CountingSampler {
+        fn sample_chain(
+            &self,
+            model: &dyn Model,
+            _init: &[f64],
+            cfg: &RunConfig,
+            seed: u64,
+        ) -> ChainOutput {
+            let draws = (0..cfg.iters)
+                .map(|i| vec![i as f64 + seed as f64; model.dim()])
+                .collect();
+            ChainOutput {
+                draws,
+                warmup: cfg.warmup,
+                accept_mean: 1.0,
+                grad_evals: cfg.iters as u64,
+                divergences: 0,
+                evals_per_iter: vec![1; cfg.iters],
+            }
+        }
+    }
+
+    #[test]
+    fn run_config_builder() {
+        let cfg = RunConfig::new(2000).with_chains(2).with_seed(9).threaded();
+        assert_eq!(cfg.chains, 2);
+        assert_eq!(cfg.warmup, 1000);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.parallelism, Parallelism::Threads);
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let model = AdModel::new("n", StdNormalNd(2));
+        let cfg_seq = RunConfig::new(10).with_chains(3);
+        let cfg_thr = RunConfig::new(10).with_chains(3).threaded();
+        let a = run(&CountingSampler, &model, &cfg_seq);
+        let b = run(&CountingSampler, &model, &cfg_thr);
+        for (ca, cb) in a.chains.iter().zip(&b.chains) {
+            assert_eq!(ca.draws, cb.draws);
+        }
+    }
+
+    #[test]
+    fn warmup_is_excluded_from_sampling_draws() {
+        let model = AdModel::new("n", StdNormalNd(1));
+        let cfg = RunConfig::new(10).with_chains(1); // warmup 5
+        let out = run(&CountingSampler, &model, &cfg);
+        assert_eq!(out.chains[0].sampling_draws().len(), 5);
+        assert_eq!(out.chains[0].param_trace(0), vec![5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn pooled_statistics() {
+        let model = AdModel::new("n", StdNormalNd(1));
+        let cfg = RunConfig::new(4).with_chains(2).with_warmup(0);
+        let out = run(&CountingSampler, &model, &cfg);
+        // Chain seeds 0 and 1: draws {0,1,2,3} and {1,2,3,4}.
+        assert!((out.mean(0) - 2.0).abs() < 1e-12);
+        assert_eq!(out.total_grad_evals(), 8);
+        assert_eq!(out.grad_evals_per_chain(), vec![4, 4]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Runtime convergence detection — the paper's computation-elision
+//! mechanism (Section VI-A).
+//!
+//! "Instead of executing a preset number of iterations, as in line 3 of
+//! Algorithm 1, the workload exits each iteration when it is determined
+//! to have converged." The detector periodically computes the
+//! Gelman–Rubin R̂ over the *second half* of the draws so far (the
+//! paper's warm-up discard convention) and declares convergence when
+//! every parameter's R̂ falls below the threshold (1.1 per Brooks et
+//! al.).
+
+use crate::chain::MultiChainRun;
+use crate::diag;
+
+/// Online/offline convergence detector.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    threshold: f64,
+    check_every: usize,
+    min_iters: usize,
+    consecutive: usize,
+}
+
+impl Default for ConvergenceDetector {
+    fn default() -> Self {
+        Self {
+            threshold: 1.1,
+            check_every: 50,
+            min_iters: 200,
+            consecutive: 3,
+        }
+    }
+}
+
+/// Result of scanning a run for its convergence point.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// First checked iteration count at which every parameter's R̂ was
+    /// below threshold, if any.
+    pub converged_at: Option<usize>,
+    /// `(iterations, max R̂)` at every checkpoint — the blue line of
+    /// Figure 5.
+    pub rhat_trace: Vec<(usize, f64)>,
+    /// Iterations the user configured (length of the chains).
+    pub total_iters: usize,
+}
+
+impl ConvergenceReport {
+    /// Fraction of iterations that were unnecessary
+    /// (the paper finds >70% on average across BayesSuite).
+    pub fn excess_fraction(&self) -> f64 {
+        match self.converged_at {
+            Some(c) if self.total_iters > 0 => {
+                1.0 - c as f64 / self.total_iters as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector with the paper's defaults: R̂ < 1.1, checked
+    /// every 50 iterations, starting at iteration 100.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the R̂ threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold > 1`.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 1.0, "R-hat threshold must exceed 1");
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the checking cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn with_check_every(mut self, every: usize) -> Self {
+        assert!(every > 0, "check cadence must be positive");
+        self.check_every = every;
+        self
+    }
+
+    /// Requires `n` consecutive sub-threshold checkpoints before
+    /// declaring convergence. The paper notes that "the trace of R̂
+    /// fluctuates" as chains explore different regions; demanding a
+    /// sustained pass avoids stopping on a transient dip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_consecutive(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one checkpoint");
+        self.consecutive = n;
+        self
+    }
+
+    /// The R̂ threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Max R̂ across parameters using draws `[t/2, t)` of each chain —
+    /// the quantity a runtime implementation computes in place.
+    ///
+    /// `chains` is indexed `[chain][iteration][param]`. Returns `NaN`
+    /// when there is not enough data.
+    pub fn rhat_at(&self, chains: &[&[Vec<f64>]], t: usize) -> f64 {
+        if chains.is_empty() || t < 4 {
+            return f64::NAN;
+        }
+        let dim = chains[0].first().map_or(0, Vec::len);
+        let lo = t / 2;
+        (0..dim)
+            .map(|j| {
+                let traces: Vec<Vec<f64>> = chains
+                    .iter()
+                    .map(|c| c[lo..t.min(c.len())].iter().map(|d| d[j]).collect())
+                    .collect();
+                diag::rhat(&traces)
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Scans a finished run and reports where it would have stopped —
+    /// used for the convergence studies (Figure 5) and by the
+    /// scheduler's elision runner.
+    pub fn detect(&self, run: &MultiChainRun) -> ConvergenceReport {
+        let chains: Vec<&[Vec<f64>]> = run.chains.iter().map(|c| c.draws.as_slice()).collect();
+        let total = chains.iter().map(|c| c.len()).min().unwrap_or(0);
+        let mut trace = Vec::new();
+        let mut converged_at = None;
+        let mut streak = 0usize;
+        let mut t = self.min_iters.max(self.check_every);
+        while t <= total {
+            let r = self.rhat_at(&chains, t);
+            trace.push((t, r));
+            if r.is_finite() && r < self.threshold {
+                streak += 1;
+                if converged_at.is_none() && streak >= self.consecutive {
+                    converged_at = Some(t);
+                }
+            } else {
+                streak = 0;
+            }
+            t += self.check_every;
+        }
+        ConvergenceReport {
+            converged_at,
+            rhat_trace: trace,
+            total_iters: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainOutput, MultiChainRun};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Chains that start far apart and merge after `merge_at`
+    /// iterations — a caricature of warmup.
+    fn merging_run(merge_at: usize, total: usize) -> MultiChainRun {
+        let mut rng = StdRng::seed_from_u64(8);
+        let chains = (0..4)
+            .map(|c| {
+                let offset = c as f64 * 8.0;
+                let draws = (0..total)
+                    .map(|i| {
+                        let noise: f64 =
+                            (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+                        let drift = if i < merge_at {
+                            offset * (1.0 - i as f64 / merge_at as f64)
+                        } else {
+                            0.0
+                        };
+                        vec![drift + noise]
+                    })
+                    .collect();
+                ChainOutput {
+                    draws,
+                    warmup: 0,
+                    accept_mean: 1.0,
+                    grad_evals: total as u64,
+                    divergences: 0,
+                    evals_per_iter: vec![1; total],
+                }
+            })
+            .collect();
+        MultiChainRun { chains, dim: 1 }
+    }
+
+    #[test]
+    fn detects_convergence_after_merge() {
+        let run = merging_run(300, 2000);
+        let report = ConvergenceDetector::new().detect(&run);
+        let at = report.converged_at.expect("should converge");
+        assert!(at >= 300, "converged at {at} before the merge");
+        assert!(at < 1500, "converged too late: {at}");
+        assert!(report.excess_fraction() > 0.2);
+    }
+
+    #[test]
+    fn no_convergence_for_separated_chains() {
+        // Chains that never merge.
+        let run = merging_run(usize::MAX, 800);
+        let report = ConvergenceDetector::new().detect(&run);
+        assert_eq!(report.converged_at, None);
+        assert_eq!(report.excess_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rhat_trace_is_recorded_at_cadence() {
+        let run = merging_run(100, 500);
+        let det = ConvergenceDetector::new().with_check_every(100);
+        let report = det.detect(&run);
+        let iters: Vec<usize> = report.rhat_trace.iter().map(|&(t, _)| t).collect();
+        // min_iters (200) sets the first checkpoint.
+        assert_eq!(iters, vec![200, 300, 400, 500]);
+        assert_eq!(report.total_iters, 500);
+    }
+
+    #[test]
+    fn rhat_at_handles_degenerate_input() {
+        let det = ConvergenceDetector::new();
+        assert!(det.rhat_at(&[], 100).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn rejects_bad_threshold() {
+        let _ = ConvergenceDetector::new().with_threshold(0.9);
+    }
+}

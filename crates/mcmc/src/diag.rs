@@ -1,0 +1,272 @@
+//! Convergence diagnostics: Gelman–Rubin R̂, effective sample size,
+//! and KL divergence against a ground-truth run.
+//!
+//! These are the quantities of Section VI of the paper: R̂ < 1.1 is the
+//! convergence criterion (Brooks et al.), and the KL divergence between
+//! the intermediate posterior and a 2×-iterations ground truth is the
+//! quality metric. The paper's KL follows Hershey & Olsen's Gaussian
+//! approximation; we moment-match each marginal with a Gaussian and
+//! average the per-dimension KL, which preserves the monotone-decrease
+//! behaviour of Figure 5.
+
+/// Classic (non-split) Gelman–Rubin potential scale reduction factor
+/// over per-chain traces of one scalar parameter.
+///
+/// Returns `NaN` if fewer than 2 chains or fewer than 4 samples per
+/// chain are supplied.
+pub fn rhat(traces: &[Vec<f64>]) -> f64 {
+    let m = traces.len();
+    if m < 2 {
+        return f64::NAN;
+    }
+    let n = traces.iter().map(Vec::len).min().unwrap_or(0);
+    if n < 4 {
+        return f64::NAN;
+    }
+    let chain_means: Vec<f64> = traces
+        .iter()
+        .map(|t| t[..n].iter().sum::<f64>() / n as f64)
+        .collect();
+    let grand = chain_means.iter().sum::<f64>() / m as f64;
+    let b = n as f64 / (m as f64 - 1.0)
+        * chain_means.iter().map(|&x| (x - grand) * (x - grand)).sum::<f64>();
+    let w = traces
+        .iter()
+        .zip(&chain_means)
+        .map(|(t, &mu)| {
+            t[..n].iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
+        })
+        .sum::<f64>()
+        / m as f64;
+    if w <= 0.0 {
+        return 1.0;
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+/// Split-R̂: each chain is halved before the classic computation,
+/// catching within-chain trends (Stan's default diagnostic).
+pub fn split_rhat(traces: &[Vec<f64>]) -> f64 {
+    let mut halves: Vec<Vec<f64>> = Vec::with_capacity(traces.len() * 2);
+    for t in traces {
+        let n = t.len();
+        if n < 4 {
+            return f64::NAN;
+        }
+        let mid = n / 2;
+        halves.push(t[..mid].to_vec());
+        halves.push(t[mid..].to_vec());
+    }
+    rhat(&halves)
+}
+
+/// Effective sample size of pooled chains via Geyer's initial positive
+/// sequence on the averaged autocorrelation.
+///
+/// Returns `NaN` on fewer than 4 samples.
+pub fn ess(traces: &[Vec<f64>]) -> f64 {
+    let m = traces.len();
+    let n = traces.iter().map(Vec::len).min().unwrap_or(0);
+    if m == 0 || n < 4 {
+        return f64::NAN;
+    }
+    // Per-chain autocovariances, averaged.
+    let chain_means: Vec<f64> = traces
+        .iter()
+        .map(|t| t[..n].iter().sum::<f64>() / n as f64)
+        .collect();
+    let chain_vars: Vec<f64> = traces
+        .iter()
+        .zip(&chain_means)
+        .map(|(t, &mu)| t[..n].iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / n as f64)
+        .collect();
+    let w = chain_vars.iter().sum::<f64>() / m as f64;
+    if w <= 0.0 {
+        return (m * n) as f64;
+    }
+    // Between-chain term folds into var+ as in rhat.
+    let grand = chain_means.iter().sum::<f64>() / m as f64;
+    let b_over_n = if m > 1 {
+        chain_means.iter().map(|&x| (x - grand) * (x - grand)).sum::<f64>() / (m as f64 - 1.0)
+    } else {
+        0.0
+    };
+    let var_plus = w * (n as f64 - 1.0) / n as f64 + b_over_n;
+
+    let acov = |t: &[f64], mu: f64, lag: usize| -> f64 {
+        (0..n - lag)
+            .map(|i| (t[i] - mu) * (t[i + lag] - mu))
+            .sum::<f64>()
+            / n as f64
+    };
+
+    let mut rho_sum = 0.0;
+    let mut lag = 1;
+    let mut prev_pair = f64::INFINITY;
+    while lag + 1 < n {
+        let rho_a = 1.0
+            - (w - traces
+                .iter()
+                .zip(&chain_means)
+                .map(|(t, &mu)| acov(&t[..n], mu, lag))
+                .sum::<f64>()
+                / m as f64)
+                / var_plus;
+        let rho_b = 1.0
+            - (w - traces
+                .iter()
+                .zip(&chain_means)
+                .map(|(t, &mu)| acov(&t[..n], mu, lag + 1))
+                .sum::<f64>()
+                / m as f64)
+                / var_plus;
+        let pair = rho_a + rho_b;
+        if pair < 0.0 {
+            break;
+        }
+        // Initial monotone sequence: clamp to the previous pair.
+        let pair = pair.min(prev_pair);
+        prev_pair = pair;
+        rho_sum += pair;
+        lag += 2;
+    }
+    let tau = 1.0 + 2.0 * rho_sum;
+    ((m * n) as f64 / tau).min((m * n) as f64)
+}
+
+/// KL divergence between two univariate Gaussians
+/// `KL(N(mu_p, sd_p²) ‖ N(mu_q, sd_q²))`.
+pub fn gaussian_kl(mu_p: f64, sd_p: f64, mu_q: f64, sd_q: f64) -> f64 {
+    let vr = (sd_p / sd_q).powi(2);
+    (sd_q / sd_p).ln() + (vr + ((mu_p - mu_q) / sd_q).powi(2) - 1.0) / 2.0
+}
+
+/// Average per-dimension moment-matched Gaussian KL between a result
+/// summary and a ground-truth summary (both `(mean, sd)` per
+/// parameter) — the quality metric of Figure 5.
+///
+/// # Panics
+///
+/// Panics if the summaries have different lengths.
+pub fn kl_to_ground_truth(result: &[(f64, f64)], truth: &[(f64, f64)]) -> f64 {
+    assert_eq!(result.len(), truth.len(), "summary length mismatch");
+    if result.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    result
+        .iter()
+        .zip(truth)
+        .map(|(&(mp, sp), &(mq, sq))| gaussian_kl(mp, sp.max(eps), mq, sq.max(eps)))
+        .sum::<f64>()
+        / result.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn iid_chains(m: usize, n: usize, mu: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        // Sum of 12 uniforms − 6 ≈ standard normal.
+                        let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+                        mu + s - 6.0
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rhat_near_one_for_identical_distributions() {
+        let chains = iid_chains(4, 500, 0.0, 1);
+        let r = rhat(&chains);
+        assert!((r - 1.0).abs() < 0.05, "rhat {r}");
+        let rs = split_rhat(&chains);
+        assert!((rs - 1.0).abs() < 0.05, "split rhat {rs}");
+    }
+
+    #[test]
+    fn rhat_large_for_separated_chains() {
+        let mut chains = iid_chains(2, 300, 0.0, 2);
+        chains.extend(iid_chains(2, 300, 10.0, 3));
+        assert!(rhat(&chains) > 2.0);
+        assert!(split_rhat(&chains) > 2.0);
+    }
+
+    #[test]
+    fn split_rhat_catches_within_chain_trend() {
+        // One chain drifts: classic R̂ of a single pair of drifting
+        // chains stays moderate, split-R̂ flags it.
+        let n = 400;
+        let drift: Vec<f64> = (0..n).map(|i| i as f64 / 50.0).collect();
+        let chains = vec![drift.clone(), drift];
+        let split = split_rhat(&chains);
+        assert!(split > 1.5, "split {split}");
+    }
+
+    #[test]
+    fn rhat_degenerate_inputs() {
+        assert!(rhat(&[vec![1.0, 2.0, 3.0, 4.0]]).is_nan()); // one chain
+        assert!(rhat(&[vec![1.0], vec![2.0]]).is_nan()); // too short
+    }
+
+    #[test]
+    fn ess_of_iid_samples_is_near_total() {
+        let chains = iid_chains(4, 400, 0.0, 4);
+        let e = ess(&chains);
+        assert!(e > 1000.0, "ess {e}");
+        assert!(e <= 1600.0);
+    }
+
+    #[test]
+    fn ess_of_correlated_samples_is_small() {
+        // AR(1) with phi = 0.95: ESS ≈ N(1-φ)/(1+φ) ≈ N/39.
+        let mut rng = StdRng::seed_from_u64(5);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| {
+                let mut x = 0.0;
+                (0..1000)
+                    .map(|_| {
+                        let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+                        x = 0.95 * x + s;
+                        x
+                    })
+                    .collect()
+            })
+            .collect();
+        let e = ess(&chains);
+        assert!(e < 800.0, "ess {e}");
+        assert!(e > 20.0, "ess {e}");
+    }
+
+    #[test]
+    fn gaussian_kl_properties() {
+        assert_eq!(gaussian_kl(0.0, 1.0, 0.0, 1.0), 0.0);
+        // Symmetric mean shift: KL = Δ²/2 when variances match.
+        assert!((gaussian_kl(1.0, 1.0, 0.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!(gaussian_kl(0.0, 2.0, 0.0, 1.0) > 0.0);
+        assert!(gaussian_kl(0.0, 0.5, 0.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn kl_to_ground_truth_averages_dimensions() {
+        let truth = vec![(0.0, 1.0), (5.0, 2.0)];
+        assert_eq!(kl_to_ground_truth(&truth, &truth), 0.0);
+        let off = vec![(1.0, 1.0), (5.0, 2.0)];
+        assert!((kl_to_ground_truth(&off, &truth) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "summary length mismatch")]
+    fn kl_rejects_mismatched_lengths() {
+        let _ = kl_to_ground_truth(&[(0.0, 1.0)], &[(0.0, 1.0), (1.0, 1.0)]);
+    }
+}

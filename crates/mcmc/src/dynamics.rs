@@ -1,0 +1,205 @@
+//! Shared Hamiltonian machinery for HMC and NUTS: diagonal-metric
+//! kinetic energy, leapfrog integration, and the initial step-size
+//! heuristic.
+
+use crate::model::Model;
+use rand::Rng;
+
+/// Phase-space point carried through the integrator: position, its
+/// log-posterior and gradient.
+#[derive(Debug, Clone)]
+pub(crate) struct State {
+    pub q: Vec<f64>,
+    pub lp: f64,
+    pub grad: Vec<f64>,
+}
+
+impl State {
+    pub(crate) fn at(model: &dyn Model, q: Vec<f64>) -> Self {
+        let mut grad = vec![0.0; q.len()];
+        let lp = model.ln_posterior_grad(&q, &mut grad);
+        Self { q, lp, grad }
+    }
+}
+
+/// Diagonal-metric Hamiltonian over a model.
+pub(crate) struct Hamiltonian<'m> {
+    pub model: &'m dyn Model,
+    /// Inverse mass diagonal (posterior variance estimate); kinetic
+    /// energy is `½ Σ inv_mass_i p_i²`.
+    pub inv_mass: Vec<f64>,
+}
+
+impl<'m> Hamiltonian<'m> {
+    pub(crate) fn unit(model: &'m dyn Model) -> Self {
+        let dim = model.dim();
+        Self {
+            model,
+            inv_mass: vec![1.0; dim],
+        }
+    }
+
+    /// Draws `p ~ N(0, M)` with `M = diag(1 / inv_mass)`.
+    pub(crate) fn draw_momentum<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.inv_mass
+            .iter()
+            .map(|&im| crate::mh::draw_std_normal(rng) / im.sqrt())
+            .collect()
+    }
+
+    pub(crate) fn kinetic(&self, p: &[f64]) -> f64 {
+        0.5 * p
+            .iter()
+            .zip(&self.inv_mass)
+            .map(|(&pi, &im)| im * pi * pi)
+            .sum::<f64>()
+    }
+
+    /// Log joint density `lp(q) − K(p)` (negative Hamiltonian).
+    pub(crate) fn log_joint(&self, s: &State, p: &[f64]) -> f64 {
+        s.lp - self.kinetic(p)
+    }
+
+    /// One leapfrog step of size `eps`; increments `grad_evals`.
+    pub(crate) fn leapfrog(
+        &self,
+        s: &State,
+        p: &[f64],
+        eps: f64,
+        grad_evals: &mut u64,
+    ) -> (State, Vec<f64>) {
+        let dim = s.q.len();
+        let mut p_half = vec![0.0; dim];
+        for i in 0..dim {
+            p_half[i] = p[i] + 0.5 * eps * s.grad[i];
+        }
+        let mut q_new = vec![0.0; dim];
+        for i in 0..dim {
+            q_new[i] = s.q[i] + eps * self.inv_mass[i] * p_half[i];
+        }
+        let s_new = State::at(self.model, q_new);
+        *grad_evals += 1;
+        let mut p_new = p_half;
+        for i in 0..dim {
+            p_new[i] += 0.5 * eps * s_new.grad[i];
+        }
+        (s_new, p_new)
+    }
+
+    /// Hoffman–Gelman heuristic: double/halve `eps` until the one-step
+    /// acceptance probability crosses ½.
+    pub(crate) fn find_initial_eps<R: Rng + ?Sized>(
+        &self,
+        s: &State,
+        rng: &mut R,
+        grad_evals: &mut u64,
+    ) -> f64 {
+        let mut eps = 1.0;
+        let p = self.draw_momentum(rng);
+        let h0 = self.log_joint(s, &p);
+        let (s1, p1) = self.leapfrog(s, &p, eps, grad_evals);
+        let mut ratio = self.log_joint(&s1, &p1) - h0;
+        if !ratio.is_finite() {
+            ratio = f64::NEG_INFINITY;
+        }
+        let a: f64 = if ratio > (0.5f64).ln() { 1.0 } else { -1.0 };
+        for _ in 0..50 {
+            let (s1, p1) = self.leapfrog(s, &p, eps, grad_evals);
+            let mut r = self.log_joint(&s1, &p1) - h0;
+            if !r.is_finite() {
+                r = f64::NEG_INFINITY;
+            }
+            if a * r <= a * (0.5f64).ln() {
+                break;
+            }
+            eps *= 2.0f64.powf(a);
+            if !(1e-10..=1e10).contains(&eps) {
+                break;
+            }
+        }
+        eps.clamp(1e-10, 1e10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AdModel, LogDensity};
+    use bayes_autodiff::Real;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct StdNormal2;
+    impl LogDensity for StdNormal2 {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval<R: Real>(&self, t: &[R]) -> R {
+            -(t[0].square() + t[1].square()) * 0.5
+        }
+    }
+
+    #[test]
+    fn leapfrog_is_reversible() {
+        let model = AdModel::new("n", StdNormal2);
+        let h = Hamiltonian::unit(&model);
+        let s0 = State::at(&model, vec![0.3, -0.7]);
+        let p0 = vec![1.0, 0.5];
+        let mut evals = 0;
+        let (s1, p1) = h.leapfrog(&s0, &p0, 0.1, &mut evals);
+        // Flip momentum and step back.
+        let p1_neg: Vec<f64> = p1.iter().map(|x| -x).collect();
+        let (s2, p2) = h.leapfrog(&s1, &p1_neg, 0.1, &mut evals);
+        for i in 0..2 {
+            assert!((s2.q[i] - s0.q[i]).abs() < 1e-12);
+            assert!((-p2[i] - p0[i]).abs() < 1e-12);
+        }
+        assert_eq!(evals, 2);
+    }
+
+    #[test]
+    fn leapfrog_approximately_conserves_energy() {
+        let model = AdModel::new("n", StdNormal2);
+        let h = Hamiltonian::unit(&model);
+        let mut s = State::at(&model, vec![1.0, 0.0]);
+        let mut p = vec![0.0, 1.0];
+        let h0 = h.log_joint(&s, &p);
+        let mut evals = 0;
+        for _ in 0..100 {
+            let (s1, p1) = h.leapfrog(&s, &p, 0.05, &mut evals);
+            s = s1;
+            p = p1;
+        }
+        assert!((h.log_joint(&s, &p) - h0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mass_matrix_scales_momentum() {
+        let model = AdModel::new("n", StdNormal2);
+        let mut h = Hamiltonian::unit(&model);
+        h.inv_mass = vec![100.0, 0.01];
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 4000;
+        let (mut v0, mut v1) = (0.0, 0.0);
+        for _ in 0..n {
+            let p = h.draw_momentum(&mut rng);
+            v0 += p[0] * p[0];
+            v1 += p[1] * p[1];
+        }
+        // Var(p_i) = 1/inv_mass_i.
+        assert!((v0 / n as f64 - 0.01).abs() < 0.002);
+        assert!((v1 / n as f64 - 100.0).abs() < 20.0);
+    }
+
+    #[test]
+    fn initial_eps_is_sane_for_std_normal() {
+        let model = AdModel::new("n", StdNormal2);
+        let h = Hamiltonian::unit(&model);
+        let s = State::at(&model, vec![0.1, 0.1]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut evals = 0;
+        let eps = h.find_initial_eps(&s, &mut rng, &mut evals);
+        assert!((0.01..10.0).contains(&eps), "eps {eps}");
+        assert!(evals > 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Static Hamiltonian Monte Carlo.
+//!
+//! The paper reports (Section IV-A) that HMC's single-core profile is
+//! very close to NUTS's; this sampler exists to reproduce that
+//! comparison (`hmc_vs_nuts` bench binary). It uses a fixed number of
+//! leapfrog steps per iteration with warmup step-size and mass-matrix
+//! adaptation.
+
+use crate::adapt::{DualAveraging, WelfordVar};
+use crate::chain::{ChainOutput, RunConfig, Sampler};
+use crate::dynamics::{Hamiltonian, State};
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Static HMC with `steps` leapfrog steps per proposal.
+#[derive(Debug, Clone)]
+pub struct StaticHmc {
+    steps: usize,
+    target_accept: f64,
+}
+
+impl StaticHmc {
+    /// Creates a sampler taking `steps` leapfrog steps per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn new(steps: usize) -> Self {
+        assert!(steps > 0, "HMC needs at least one leapfrog step");
+        Self {
+            steps,
+            target_accept: 0.8,
+        }
+    }
+
+    /// Sets the dual-averaging target acceptance rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target < 1`.
+    pub fn with_target_accept(mut self, target: f64) -> Self {
+        assert!((0.0..1.0).contains(&target) && target > 0.0);
+        self.target_accept = target;
+        self
+    }
+}
+
+impl Sampler for StaticHmc {
+    fn sample_chain(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+    ) -> ChainOutput {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ham = Hamiltonian::unit(model);
+        let mut state = State::at(model, init.to_vec());
+        let mut grad_evals = 1u64;
+
+        let eps0 = ham.find_initial_eps(&state, &mut rng, &mut grad_evals);
+        let mut da = DualAveraging::new(eps0, self.target_accept);
+        let mut eps = eps0;
+        let mut welford = WelfordVar::new(model.dim());
+        let window = (cfg.warmup / 4, cfg.warmup * 3 / 4);
+
+        let mut draws = Vec::with_capacity(cfg.iters);
+        let mut accept_sum = 0.0;
+        let mut divergences = 0u64;
+
+        for iter in 0..cfg.iters {
+            let p0 = ham.draw_momentum(&mut rng);
+            let h0 = ham.log_joint(&state, &p0);
+            let mut s = state.clone();
+            let mut p = p0;
+            let mut diverged = false;
+            for _ in 0..self.steps {
+                let (s1, p1) = ham.leapfrog(&s, &p, eps, &mut grad_evals);
+                if !s1.lp.is_finite() {
+                    diverged = true;
+                    break;
+                }
+                s = s1;
+                p = p1;
+            }
+            let accept_prob = if diverged {
+                0.0
+            } else {
+                (ham.log_joint(&s, &p) - h0).exp().min(1.0)
+            };
+            if diverged {
+                divergences += 1;
+            }
+            if !diverged && rng.gen_range(0.0..1.0) < accept_prob {
+                state = s;
+            }
+            if iter >= cfg.warmup {
+                accept_sum += accept_prob;
+            }
+
+            if iter < cfg.warmup {
+                eps = da.update(accept_prob);
+                if iter >= window.0 && iter < window.1 {
+                    welford.push(&state.q);
+                }
+                if iter + 1 == window.1 && welford.count() >= 10 {
+                    ham.inv_mass = welford.regularized_variance();
+                    // Re-anchor step-size adaptation on the new metric.
+                    da = DualAveraging::new(eps, self.target_accept);
+                }
+                if iter + 1 == cfg.warmup {
+                    eps = da.final_eps();
+                }
+            }
+            draws.push(state.q.clone());
+        }
+
+        let sampling = (cfg.iters - cfg.warmup).max(1) as f64;
+        // Static HMC does a fixed number of leapfrogs per iteration.
+        let evals_per_iter = vec![self.steps as u32; cfg.iters];
+        ChainOutput {
+            draws,
+            warmup: cfg.warmup,
+            accept_mean: accept_sum / sampling,
+            grad_evals,
+            divergences,
+            evals_per_iter,
+        }
+    }
+}
+
+impl crate::runtime::StoppableSampler for StaticHmc {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain;
+    use crate::model::{AdModel, LogDensity};
+    use bayes_autodiff::Real;
+
+    struct CorrGauss;
+
+    impl LogDensity for CorrGauss {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval<R: Real>(&self, t: &[R]) -> R {
+            // N(mu=(1,-1), sd=(1, 3)), independent.
+            let z0 = t[0] - 1.0;
+            let z1 = (t[1] + 1.0) / 3.0;
+            -(z0.square() + z1.square()) * 0.5
+        }
+    }
+
+    #[test]
+    fn recovers_anisotropic_gaussian() {
+        let model = AdModel::new("g", CorrGauss);
+        let cfg = RunConfig::new(2000).with_chains(2).with_seed(3);
+        let out = chain::run(&StaticHmc::new(16), &model, &cfg);
+        assert!((out.mean(0) - 1.0).abs() < 0.25, "mean0 {}", out.mean(0));
+        assert!((out.mean(1) + 1.0).abs() < 0.6, "mean1 {}", out.mean(1));
+        assert!((out.sd(1) - 3.0).abs() < 0.8, "sd1 {}", out.sd(1));
+        assert!(out.max_rhat() < 1.1);
+    }
+
+    #[test]
+    fn grad_evals_scale_with_steps() {
+        let model = AdModel::new("g", CorrGauss);
+        let cfg = RunConfig::new(100).with_chains(1).with_seed(1);
+        let small = chain::run(&StaticHmc::new(2), &model, &cfg);
+        let big = chain::run(&StaticHmc::new(32), &model, &cfg);
+        assert!(big.total_grad_evals() > 8 * small.total_grad_evals());
+    }
+
+    #[test]
+    fn acceptance_near_target_after_warmup() {
+        let model = AdModel::new("g", CorrGauss);
+        let cfg = RunConfig::new(3000).with_chains(2).with_seed(5);
+        let out = chain::run(&StaticHmc::new(8), &model, &cfg);
+        for c in &out.chains {
+            assert!(c.accept_mean > 0.5, "accept {}", c.accept_mean);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leapfrog")]
+    fn rejects_zero_steps() {
+        let _ = StaticHmc::new(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! MCMC inference engine for the BayesSuite reproduction.
+//!
+//! This crate is the counterpart of Stan's inference core in the paper:
+//!
+//! * [`model`] — the [`Model`] trait every workload implements, plus the
+//!   [`AdModel`] adapter that derives gradients via the
+//!   [`bayes_autodiff`] tape;
+//! * [`lp`] — generic log-density building blocks (`normal_lpdf`,
+//!   `bernoulli_logit_lpmf`, …) written once against
+//!   [`bayes_autodiff::Real`];
+//! * [`mh`] — the Metropolis–Hastings sampler of Algorithm 1;
+//! * [`hmc`] — static Hamiltonian Monte Carlo;
+//! * [`nuts`] — the No-U-Turn Sampler with dual-averaging step-size and
+//!   diagonal mass-matrix adaptation (Stan's default engine and the one
+//!   the paper characterizes);
+//! * [`chain`] — multi-chain runner (sequential or one OS thread per
+//!   chain, the paper's multicore execution model);
+//! * [`diag`] — Gelman–Rubin R̂, effective sample size, KL divergence;
+//! * [`converge`] — the online convergence detector behind the paper's
+//!   computation-elision technique (Section VI).
+
+pub mod chain;
+pub mod converge;
+pub mod diag;
+pub mod hmc;
+pub mod lp;
+pub mod mh;
+pub mod model;
+pub mod nuts;
+pub mod runtime;
+pub mod summary;
+pub mod vi;
+
+mod adapt;
+mod dynamics;
+
+pub use chain::{MultiChainRun, RunConfig, Parallelism};
+pub use converge::{ConvergenceDetector, ConvergenceReport};
+pub use model::{AdModel, EvalProfile, LogDensity, Model};
+pub use nuts::NutsConfig;
+pub use runtime::{run_until_converged, ElidedRun, StoppableSampler};

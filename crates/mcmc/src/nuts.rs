@@ -1,0 +1,425 @@
+//! The No-U-Turn Sampler (Hoffman & Gelman 2014), Stan's default
+//! engine and the algorithm the paper characterizes.
+//!
+//! NUTS "explores high-dimensional space by building a set of likely
+//! candidate points recursively, which eliminates random-walk behavior"
+//! (Section II-B): each iteration doubles a trajectory of leapfrog
+//! steps until the path makes a U-turn, then samples a point from the
+//! trajectory via slice sampling. The acceptance statistic fed to
+//! dual averaging is the mean Metropolis probability over the whole
+//! candidate set, exactly as in the Stan implementation the paper
+//! describes.
+
+use crate::adapt::{DualAveraging, WelfordVar};
+use crate::chain::{ChainOutput, RunConfig, Sampler};
+use crate::dynamics::{Hamiltonian, State};
+use crate::model::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Divergence threshold on the joint-density error (Stan's default).
+const MAX_DELTA_H: f64 = 1000.0;
+
+/// Tuning knobs for [`Nuts`].
+#[derive(Debug, Clone, Copy)]
+pub struct NutsConfig {
+    /// Maximum tree depth (Stan default 10 → up to 1023 leapfrogs).
+    pub max_depth: usize,
+    /// Dual-averaging target acceptance statistic (Stan default 0.8).
+    pub target_accept: f64,
+}
+
+impl Default for NutsConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            target_accept: 0.8,
+        }
+    }
+}
+
+/// The No-U-Turn Sampler.
+///
+/// # Example
+///
+/// ```
+/// use bayes_autodiff::Real;
+/// use bayes_mcmc::nuts::Nuts;
+/// use bayes_mcmc::{chain, AdModel, LogDensity, RunConfig};
+///
+/// struct StdNormal;
+/// impl LogDensity for StdNormal {
+///     fn dim(&self) -> usize { 1 }
+///     fn eval<R: Real>(&self, t: &[R]) -> R { -(t[0] * t[0]) * 0.5 }
+/// }
+///
+/// let model = AdModel::new("n", StdNormal);
+/// let out = chain::run(&Nuts::default(), &model, &RunConfig::new(600).with_chains(2));
+/// assert!(out.mean(0).abs() < 0.3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Nuts {
+    cfg: NutsConfig,
+}
+
+impl Nuts {
+    /// Creates a NUTS sampler with the given configuration.
+    pub fn new(cfg: NutsConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NutsConfig {
+        &self.cfg
+    }
+}
+
+/// One subtree built by the doubling procedure.
+struct Tree {
+    s_minus: State,
+    p_minus: Vec<f64>,
+    s_plus: State,
+    p_plus: Vec<f64>,
+    s_prop: State,
+    /// Number of slice-valid states in the subtree.
+    n: f64,
+    /// False once a U-turn or divergence is detected inside.
+    ok: bool,
+    alpha: f64,
+    n_alpha: f64,
+    diverged: bool,
+}
+
+fn no_uturn(ham: &Hamiltonian<'_>, minus: &Tree) -> bool {
+    let dq: Vec<f64> = minus
+        .s_plus
+        .q
+        .iter()
+        .zip(&minus.s_minus.q)
+        .map(|(a, b)| a - b)
+        .collect();
+    let dot = |p: &[f64]| -> f64 {
+        dq.iter()
+            .zip(p)
+            .zip(&ham.inv_mass)
+            .map(|((d, pi), im)| d * pi * im)
+            .sum()
+    };
+    dot(&minus.p_minus) >= 0.0 && dot(&minus.p_plus) >= 0.0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tree(
+    ham: &Hamiltonian<'_>,
+    s: &State,
+    p: &[f64],
+    ln_u: f64,
+    dir: f64,
+    depth: usize,
+    eps: f64,
+    h0: f64,
+    rng: &mut StdRng,
+    grad_evals: &mut u64,
+) -> Tree {
+    if depth == 0 {
+        let (s1, p1) = ham.leapfrog(s, p, dir * eps, grad_evals);
+        let joint = ham.log_joint(&s1, &p1);
+        let valid = ln_u <= joint;
+        let diverged = !(joint.is_finite() && ln_u - MAX_DELTA_H < joint);
+        let alpha = if joint.is_finite() {
+            (joint - h0).exp().min(1.0)
+        } else {
+            0.0
+        };
+        return Tree {
+            s_minus: s1.clone(),
+            p_minus: p1.clone(),
+            s_plus: s1.clone(),
+            p_plus: p1.clone(),
+            s_prop: s1,
+            n: if valid { 1.0 } else { 0.0 },
+            ok: !diverged,
+            alpha,
+            n_alpha: 1.0,
+            diverged,
+        };
+    }
+
+    let mut t1 = build_tree(ham, s, p, ln_u, dir, depth - 1, eps, h0, rng, grad_evals);
+    if !t1.ok {
+        return t1;
+    }
+    let t2 = if dir < 0.0 {
+        build_tree(
+            ham, &t1.s_minus.clone(), &t1.p_minus.clone(), ln_u, dir, depth - 1, eps, h0, rng,
+            grad_evals,
+        )
+    } else {
+        build_tree(
+            ham, &t1.s_plus.clone(), &t1.p_plus.clone(), ln_u, dir, depth - 1, eps, h0, rng,
+            grad_evals,
+        )
+    };
+    // Merge: extend the relevant edge, sample the proposal
+    // proportionally to subtree weights.
+    if dir < 0.0 {
+        t1.s_minus = t2.s_minus;
+        t1.p_minus = t2.p_minus;
+    } else {
+        t1.s_plus = t2.s_plus;
+        t1.p_plus = t2.p_plus;
+    }
+    let total = t1.n + t2.n;
+    if total > 0.0 && rng.gen_range(0.0..1.0) < t2.n / total {
+        t1.s_prop = t2.s_prop;
+    }
+    t1.alpha += t2.alpha;
+    t1.n_alpha += t2.n_alpha;
+    t1.n = total;
+    t1.diverged |= t2.diverged;
+    t1.ok = t2.ok && no_uturn(ham, &t1);
+    t1
+}
+
+impl Sampler for Nuts {
+    fn sample_chain(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+    ) -> ChainOutput {
+        self.sample_chain_core(model, init, cfg, seed, None, None)
+    }
+}
+
+impl crate::runtime::StoppableSampler for Nuts {
+    fn sample_chain_stoppable(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        stop: &std::sync::atomic::AtomicBool,
+        on_draw: &(dyn Fn(usize, &[f64]) + Sync),
+    ) -> ChainOutput {
+        self.sample_chain_core(model, init, cfg, seed, Some(stop), Some(on_draw))
+    }
+}
+
+impl Nuts {
+    fn sample_chain_core(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+        on_draw: Option<&(dyn Fn(usize, &[f64]) + Sync)>,
+    ) -> ChainOutput {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ham = Hamiltonian::unit(model);
+        let mut state = State::at(model, init.to_vec());
+        let mut grad_evals = 1u64;
+
+        let eps0 = ham.find_initial_eps(&state, &mut rng, &mut grad_evals);
+        let mut da = DualAveraging::new(eps0, self.cfg.target_accept);
+        let mut eps = eps0;
+        let mut welford = WelfordVar::new(model.dim());
+        let window = (cfg.warmup / 4, cfg.warmup * 3 / 4);
+
+        let mut draws = Vec::with_capacity(cfg.iters);
+        let mut evals_per_iter = Vec::with_capacity(cfg.iters);
+        let mut accept_sum = 0.0;
+        let mut divergences = 0u64;
+
+        for iter in 0..cfg.iters {
+            let evals_at_start = grad_evals;
+            let p0 = ham.draw_momentum(&mut rng);
+            let h0 = ham.log_joint(&state, &p0);
+            let ln_u = h0 + rng.gen_range(0.0f64..1.0).ln();
+
+            let mut tree = Tree {
+                s_minus: state.clone(),
+                p_minus: p0.clone(),
+                s_plus: state.clone(),
+                p_plus: p0.clone(),
+                s_prop: state.clone(),
+                n: 1.0,
+                ok: true,
+                alpha: 0.0,
+                n_alpha: 0.0,
+                diverged: false,
+            };
+
+            for depth in 0..self.cfg.max_depth {
+                let dir: f64 = if rng.gen_range(0.0..1.0) < 0.5 { -1.0 } else { 1.0 };
+                let sub = if dir < 0.0 {
+                    build_tree(
+                        &ham, &tree.s_minus.clone(), &tree.p_minus.clone(), ln_u, dir, depth,
+                        eps, h0, &mut rng, &mut grad_evals,
+                    )
+                } else {
+                    build_tree(
+                        &ham, &tree.s_plus.clone(), &tree.p_plus.clone(), ln_u, dir, depth,
+                        eps, h0, &mut rng, &mut grad_evals,
+                    )
+                };
+                tree.alpha += sub.alpha;
+                tree.n_alpha += sub.n_alpha;
+                tree.diverged |= sub.diverged;
+                if !sub.ok {
+                    break;
+                }
+                if rng.gen_range(0.0..1.0) < sub.n / tree.n.max(1.0) {
+                    tree.s_prop = sub.s_prop.clone();
+                }
+                if dir < 0.0 {
+                    tree.s_minus = sub.s_minus;
+                    tree.p_minus = sub.p_minus;
+                } else {
+                    tree.s_plus = sub.s_plus;
+                    tree.p_plus = sub.p_plus;
+                }
+                tree.n += sub.n;
+                if !no_uturn(&ham, &tree) {
+                    break;
+                }
+            }
+
+            state = tree.s_prop;
+            // Stan convention: report divergences only after warmup
+            // (large trial step sizes make them routine during
+            // adaptation).
+            if tree.diverged && iter >= cfg.warmup {
+                divergences += 1;
+            }
+            let accept_stat = if tree.n_alpha > 0.0 {
+                tree.alpha / tree.n_alpha
+            } else {
+                0.0
+            };
+            if iter >= cfg.warmup {
+                accept_sum += accept_stat;
+            }
+
+            if iter < cfg.warmup {
+                eps = da.update(accept_stat);
+                if iter >= window.0 && iter < window.1 {
+                    welford.push(&state.q);
+                }
+                if iter + 1 == window.1 && welford.count() >= 10 {
+                    ham.inv_mass = welford.regularized_variance();
+                    da = DualAveraging::new(eps, self.cfg.target_accept);
+                }
+                if iter + 1 == cfg.warmup {
+                    eps = da.final_eps();
+                }
+            }
+            draws.push(state.q.clone());
+            evals_per_iter.push((grad_evals - evals_at_start) as u32);
+            if let Some(cb) = on_draw {
+                cb(iter, &state.q);
+            }
+            if let Some(flag) = stop {
+                if flag.load(std::sync::atomic::Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+
+        let sampling = (cfg.iters - cfg.warmup).max(1) as f64;
+        ChainOutput {
+            draws,
+            warmup: cfg.warmup,
+            accept_mean: accept_sum / sampling,
+            grad_evals,
+            divergences,
+            evals_per_iter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain;
+    use crate::model::{AdModel, LogDensity};
+    use bayes_autodiff::Real;
+
+    struct Gauss3;
+
+    impl LogDensity for Gauss3 {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn eval<R: Real>(&self, t: &[R]) -> R {
+            // Independent normals: mu = (0, 2, -1), sd = (1, 0.5, 2).
+            let z0 = t[0];
+            let z1 = (t[1] - 2.0) / 0.5;
+            let z2 = (t[2] + 1.0) / 2.0;
+            -(z0.square() + z1.square() + z2.square()) * 0.5
+        }
+    }
+
+    #[test]
+    fn recovers_gaussian_posterior() {
+        let model = AdModel::new("g3", Gauss3);
+        let cfg = RunConfig::new(1200).with_chains(4).with_seed(17);
+        let out = chain::run(&Nuts::default(), &model, &cfg);
+        assert!(out.mean(0).abs() < 0.15, "mean0 {}", out.mean(0));
+        assert!((out.mean(1) - 2.0).abs() < 0.1, "mean1 {}", out.mean(1));
+        assert!((out.mean(2) + 1.0).abs() < 0.35, "mean2 {}", out.mean(2));
+        assert!((out.sd(0) - 1.0).abs() < 0.15, "sd0 {}", out.sd(0));
+        assert!((out.sd(1) - 0.5).abs() < 0.1, "sd1 {}", out.sd(1));
+        assert!((out.sd(2) - 2.0).abs() < 0.4, "sd2 {}", out.sd(2));
+        assert!(out.max_rhat() < 1.05, "rhat {}", out.max_rhat());
+    }
+
+    #[test]
+    fn no_divergences_on_well_conditioned_target() {
+        let model = AdModel::new("g3", Gauss3);
+        let cfg = RunConfig::new(600).with_chains(2).with_seed(3);
+        let out = chain::run(&Nuts::default(), &model, &cfg);
+        let total: u64 = out.chains.iter().map(|c| c.divergences).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn grad_evals_counted_per_chain() {
+        let model = AdModel::new("g3", Gauss3);
+        let cfg = RunConfig::new(200).with_chains(2).with_seed(5);
+        let out = chain::run(&Nuts::default(), &model, &cfg);
+        for c in &out.chains {
+            // At least one leapfrog per iteration.
+            assert!(c.grad_evals >= 200, "evals {}", c.grad_evals);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = AdModel::new("g3", Gauss3);
+        let cfg = RunConfig::new(150).with_chains(2).with_seed(23);
+        let a = chain::run(&Nuts::default(), &model, &cfg);
+        let b = chain::run(&Nuts::default(), &model, &cfg);
+        for (ca, cb) in a.chains.iter().zip(&b.chains) {
+            assert_eq!(ca.draws, cb.draws);
+            assert_eq!(ca.grad_evals, cb.grad_evals);
+        }
+    }
+
+    #[test]
+    fn nuts_beats_mh_on_effective_samples_per_iteration() {
+        use crate::diag::ess;
+        let model = AdModel::new("g3", Gauss3);
+        let cfg = RunConfig::new(1000).with_chains(2).with_seed(29);
+        let nuts_out = chain::run(&Nuts::default(), &model, &cfg);
+        let mh_out = chain::run(&crate::mh::MetropolisHastings::new(), &model, &cfg);
+        let nuts_ess = ess(&nuts_out.traces(1));
+        let mh_ess = ess(&mh_out.traces(1));
+        assert!(
+            nuts_ess > 2.0 * mh_ess,
+            "nuts {nuts_ess} vs mh {mh_ess}: NUTS should mix much faster"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Runtime computation elision: the paper's Section VI-A mechanism as
+//! an actual online stopper.
+//!
+//! "Instead of executing a preset number of iterations, as in line 3
+//! of Algorithm 1, the workload exits … when it is determined to have
+//! converged." [`run_until_converged`] runs one OS thread per chain
+//! (the multicore execution model of Section IV-B); a monitor thread
+//! recomputes R̂ over the shared draw buffers at the detector cadence
+//! and raises a stop flag that every chain polls each iteration.
+//!
+//! Unlike [`crate::converge::ConvergenceDetector::detect`] (a post-hoc
+//! replay used by the studies), this never executes the elided
+//! iterations at all.
+
+use crate::chain::{ChainOutput, MultiChainRun, RunConfig, Sampler};
+use crate::converge::ConvergenceDetector;
+use crate::model::Model;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A sampler that can be asked to stop between iterations.
+///
+/// The default implementation ignores the stop flag (full-length run),
+/// so every [`Sampler`] works; [`crate::nuts::Nuts`] overrides it.
+pub trait StoppableSampler: Sampler {
+    /// Like [`Sampler::sample_chain`], but polls `stop` each iteration
+    /// and reports every accepted draw through `on_draw(iter, draw)`.
+    fn sample_chain_stoppable(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        stop: &AtomicBool,
+        on_draw: &(dyn Fn(usize, &[f64]) + Sync),
+    ) -> ChainOutput {
+        let _ = stop; // default: run to completion
+        let out = self.sample_chain(model, init, cfg, seed);
+        for (i, d) in out.draws.iter().enumerate() {
+            on_draw(i, d);
+        }
+        out
+    }
+}
+
+/// Outcome of a runtime-elided run.
+#[derive(Debug, Clone)]
+pub struct ElidedRun {
+    /// The (possibly truncated) multi-chain run.
+    pub run: MultiChainRun,
+    /// Iteration at which the monitor raised the stop flag, if it did.
+    pub stopped_at: Option<usize>,
+    /// Iterations configured by the user.
+    pub configured_iters: usize,
+}
+
+impl ElidedRun {
+    /// Fraction of configured iterations that were never executed,
+    /// from the chains' actual lengths (chains may overrun the stop
+    /// decision by however many iterations were in flight).
+    pub fn iterations_elided(&self) -> f64 {
+        if self.stopped_at.is_none() {
+            return 0.0;
+        }
+        let executed = self
+            .run
+            .chains
+            .iter()
+            .map(|c| c.draws.len())
+            .max()
+            .unwrap_or(0);
+        (1.0 - executed as f64 / self.configured_iters as f64).max(0.0)
+    }
+}
+
+/// Runs `cfg.chains` chains on OS threads with a live convergence
+/// monitor; chains halt within one iteration of the stop decision.
+///
+/// The RNG/seed discipline matches [`crate::chain::run`], so a run
+/// that never converges is draw-for-draw identical to the plain one.
+pub fn run_until_converged<S: StoppableSampler + Sync>(
+    sampler: &S,
+    model: &dyn Model,
+    cfg: &RunConfig,
+    detector: &ConvergenceDetector,
+) -> ElidedRun {
+    let inits: Vec<Vec<f64>> = (0..cfg.chains)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + c as u64));
+            (0..model.dim()).map(|_| rng.gen_range(-2.0..2.0)).collect()
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let stopped_at = Mutex::new(None::<usize>);
+    let buffers: Vec<Mutex<Vec<Vec<f64>>>> =
+        (0..cfg.chains).map(|_| Mutex::new(Vec::new())).collect();
+    let done = AtomicBool::new(false);
+
+    let chains: Vec<ChainOutput> = crossbeam::thread::scope(|scope| {
+        // Monitor thread: recompute R̂ whenever every chain has
+        // reached the next checkpoint.
+        let monitor = {
+            let stop = &stop;
+            let stopped_at = &stopped_at;
+            let buffers = &buffers;
+            let done = &done;
+            scope.spawn(move |_| {
+                let cadence = 25; // poll interval, ms-free: iteration based
+                let mut next_check = 200usize.max(cadence);
+                let mut streak = 0usize;
+                while !done.load(Ordering::Acquire) && !stop.load(Ordering::Acquire) {
+                    let progress = buffers
+                        .iter()
+                        .map(|b| b.lock().len())
+                        .min()
+                        .unwrap_or(0);
+                    if progress < next_check {
+                        std::thread::yield_now();
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        continue;
+                    }
+                    // Snapshot the prefixes and compute R̂ at t.
+                    let snaps: Vec<Vec<Vec<f64>>> = buffers
+                        .iter()
+                        .map(|b| b.lock()[..next_check].to_vec())
+                        .collect();
+                    let views: Vec<&[Vec<f64>]> =
+                        snaps.iter().map(|s| s.as_slice()).collect();
+                    let r = detector.rhat_at(&views, next_check);
+                    if r.is_finite() && r < detector.threshold() {
+                        streak += 1;
+                    } else {
+                        streak = 0;
+                    }
+                    if streak >= 3 {
+                        *stopped_at.lock() = Some(next_check);
+                        stop.store(true, Ordering::Release);
+                        break;
+                    }
+                    next_check += cadence.max(next_check / 8);
+                }
+            })
+        };
+
+        let outs: Vec<_> = inits
+            .iter()
+            .enumerate()
+            .map(|(c, init)| {
+                let stop = &stop;
+                let buffer = &buffers[c];
+                scope.spawn(move |_| {
+                    sampler.sample_chain_stoppable(
+                        model,
+                        init,
+                        cfg,
+                        cfg.seed + c as u64,
+                        stop,
+                        &move |_iter, draw: &[f64]| {
+                            buffer.lock().push(draw.to_vec());
+                        },
+                    )
+                })
+            })
+            .collect();
+        let chains = outs
+            .into_iter()
+            .map(|h| h.join().expect("chain thread panicked"))
+            .collect();
+        done.store(true, Ordering::Release);
+        monitor.join().expect("monitor thread panicked");
+        chains
+    })
+    .expect("crossbeam scope failed");
+
+    let stopped = *stopped_at.lock();
+    ElidedRun {
+        run: MultiChainRun {
+            chains,
+            dim: model.dim(),
+        },
+        stopped_at: stopped,
+        configured_iters: cfg.iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AdModel, LogDensity};
+    use crate::nuts::Nuts;
+    use bayes_autodiff::Real;
+
+    struct Gauss;
+    impl LogDensity for Gauss {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval<R: Real>(&self, t: &[R]) -> R {
+            -(t[0].square() + (t[1] - 1.0).square()) * 0.5
+        }
+    }
+
+    #[test]
+    fn stops_early_on_an_easy_target() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(4000).with_chains(4).with_seed(11);
+        let det = ConvergenceDetector::new();
+        let out = run_until_converged(&Nuts::default(), &model, &cfg, &det);
+        let at = out.stopped_at.expect("should converge");
+        assert!(at < 2000, "stopped at {at}");
+        // Chains stop some time after the decision (in-flight slack on
+        // this very fast toy target), but clearly short of the
+        // configured length.
+        for c in &out.run.chains {
+            assert!(
+                c.draws.len() < 4000,
+                "chain {} should have been truncated",
+                c.draws.len()
+            );
+        }
+        assert!(out.iterations_elided() > 0.1, "{}", out.iterations_elided());
+        // And the truncated draws still estimate the posterior.
+        let tail: Vec<f64> = out.run.chains[0]
+            .draws
+            .iter()
+            .rev()
+            .take(100)
+            .map(|d| d[1])
+            .collect();
+        let m = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((m - 1.0).abs() < 0.6, "tail mean {m}");
+    }
+
+    #[test]
+    fn never_stops_when_threshold_is_unreachable() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(300).with_chains(2).with_seed(3);
+        let det = ConvergenceDetector::new().with_threshold(1.0 + 1e-12);
+        let out = run_until_converged(&Nuts::default(), &model, &cfg, &det);
+        assert_eq!(out.stopped_at, None);
+        assert_eq!(out.iterations_elided(), 0.0);
+        for c in &out.run.chains {
+            assert_eq!(c.draws.len(), 300, "full-length run expected");
+        }
+    }
+
+    #[test]
+    fn default_stoppable_impl_runs_to_completion() {
+        // MetropolisHastings doesn't override the stoppable API; the
+        // default ignores the flag but still reports draws.
+        use crate::mh::MetropolisHastings;
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(150).with_chains(2).with_seed(5);
+        let det = ConvergenceDetector::new();
+        let out = run_until_converged(&MetropolisHastings::new(), &model, &cfg, &det);
+        for c in &out.run.chains {
+            assert_eq!(c.draws.len(), 150);
+        }
+    }
+}

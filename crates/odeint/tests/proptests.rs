@@ -1,0 +1,50 @@
+//! Property tests: integrator consistency on random linear systems.
+
+use bayes_odeint::{rk4, rk45};
+use proptest::prelude::*;
+
+proptest! {
+    /// RK4 and RK45 agree on random 2×2 linear systems y' = A·y with
+    /// mildly stable eigenvalues.
+    #[test]
+    fn rk4_and_rk45_agree_on_linear_systems(
+        a00 in -1.0..0.0f64,
+        a01 in -0.5..0.5f64,
+        a10 in -0.5..0.5f64,
+        a11 in -1.0..0.0f64,
+        y0 in -2.0..2.0f64,
+        y1 in -2.0..2.0f64,
+    ) {
+        let f = move |_t: f64, y: &[f64]| {
+            vec![a00 * y[0] + a01 * y[1], a10 * y[0] + a11 * y[1]]
+        };
+        let fine = rk4(f, &[y0, y1], 0.0, 2.0, 2000);
+        let adaptive = rk45(f, &[y0, y1], 0.0, 2.0, 1e-9, 1e-12, 100_000).unwrap();
+        for (x, y) in fine.iter().zip(&adaptive) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    /// Halving the RK4 step shrinks the error ~16× (4th order).
+    #[test]
+    fn rk4_is_fourth_order(k in 0.2..2.0f64) {
+        let f = move |_t: f64, y: &[f64]| vec![-k * y[0]];
+        let exact = (-2.0 * k).exp();
+        let coarse = (rk4(f, &[1.0], 0.0, 2.0, 20)[0] - exact).abs();
+        let fine = (rk4(f, &[1.0], 0.0, 2.0, 40)[0] - exact).abs();
+        // Allow slack for floating-point noise at tiny errors.
+        prop_assert!(fine <= coarse / 8.0 + 1e-13, "coarse {coarse}, fine {fine}");
+    }
+
+    /// The adaptive integrator respects its tolerance on exponentials.
+    #[test]
+    fn rk45_meets_tolerance(k in 0.1..3.0f64, tol_exp in 4.0..9.0f64) {
+        let rtol = 10f64.powf(-tol_exp);
+        let f = move |_t: f64, y: &[f64]| vec![-k * y[0]];
+        let got = rk45(f, &[1.0], 0.0, 1.5, rtol, rtol * 1e-2, 1_000_000).unwrap()[0];
+        let exact = (-1.5 * k).exp();
+        // Global error can exceed the per-step tolerance by the step
+        // count; 100× slack is still a meaningful bound.
+        prop_assert!((got - exact).abs() < 100.0 * rtol * (1.0 + exact));
+    }
+}

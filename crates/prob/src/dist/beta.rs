@@ -1,0 +1,118 @@
+//! Beta distribution.
+
+use super::{require, ContinuousDist, Gamma};
+use crate::special::{beta_inc, ln_beta};
+use rand::Rng;
+
+/// Beta distribution on `(0, 1)` with shapes `α`, `β`.
+///
+/// Prior for detection/search probabilities in the `racial`,
+/// `butterfly`, and `survival` workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: f64,
+    b: f64,
+}
+
+impl Beta {
+    /// Creates a beta distribution with shape parameters `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if either shape is not finite and
+    /// positive.
+    pub fn new(a: f64, b: f64) -> crate::Result<Self> {
+        require(a.is_finite() && a > 0.0, "beta shape a must be finite and > 0")?;
+        require(b.is_finite() && b > 0.0, "beta shape b must be finite and > 0")?;
+        Ok(Self { a, b })
+    }
+
+    /// First shape parameter `α`.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter `β`.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+}
+
+impl ContinuousDist for Beta {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln() - ln_beta(self.a, self.b)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            beta_inc(self.a, self.b, x)
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Ratio of gammas: X/(X+Y), X~Γ(a,1), Y~Γ(b,1).
+        let ga = Gamma::new(self.a, 1.0).expect("validated").sample(rng);
+        let gb = Gamma::new(self.b, 1.0).expect("validated").sample(rng);
+        (ga / (ga + gb)).clamp(f64::MIN_POSITIVE, 1.0 - f64::EPSILON)
+    }
+
+    fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.a + self.b;
+        self.a * self.b / (s * s * (s + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn beta_1_1_is_uniform() {
+        let b = Beta::new(1.0, 1.0).unwrap();
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((b.pdf(x) - 1.0).abs() < 1e-12);
+            assert!((b.cdf(x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn support_is_open_unit_interval() {
+        let b = Beta::new(2.0, 3.0).unwrap();
+        assert_eq!(b.ln_pdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(b.ln_pdf(1.0), f64::NEG_INFINITY);
+        assert_eq!(b.cdf(-0.5), 0.0);
+        assert_eq!(b.cdf(1.5), 1.0);
+    }
+
+    #[test]
+    fn cdf_consistent_with_pdf() {
+        let b = Beta::new(2.5, 1.5).unwrap();
+        assert_cdf_matches_pdf(&b, 1e-9, 1.0 - 1e-9, 1e-3);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let b = Beta::new(3.0, 7.0).unwrap();
+        let xs = b.sample_n(&mut rng(12), 60_000);
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert_moments(&xs, b.mean(), b.variance(), 0.02);
+    }
+}

@@ -1,0 +1,199 @@
+//! Cauchy and half-Cauchy distributions.
+//!
+//! The paper singles out the Cauchy (with its `atan`-based CDF) together
+//! with the Gaussian as the two most popular distributions across
+//! BayesSuite, motivating the lookup-table sampling units of Section VII
+//! (see [`crate::lut`]).
+
+use super::{require, ContinuousDist};
+use rand::Rng;
+use std::f64::consts::{FRAC_1_PI, PI};
+
+/// Cauchy distribution with location `x₀` and scale `γ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cauchy {
+    loc: f64,
+    scale: f64,
+}
+
+impl Cauchy {
+    /// Creates a Cauchy distribution with location `loc` and scale
+    /// `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] on non-finite `loc` or non-positive
+    /// `scale`.
+    pub fn new(loc: f64, scale: f64) -> crate::Result<Self> {
+        require(loc.is_finite(), "cauchy location must be finite")?;
+        require(
+            scale.is_finite() && scale > 0.0,
+            "cauchy scale must be finite and > 0",
+        )?;
+        Ok(Self { loc, scale })
+    }
+
+    /// Location parameter.
+    pub fn loc(&self) -> f64 {
+        self.loc
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantile function (inverse CDF); the exact counterpart of the
+    /// lookup-table unit in [`crate::lut::CauchyLut`].
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.loc + self.scale * (PI * (p - 0.5)).tan()
+    }
+}
+
+impl ContinuousDist for Cauchy {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.loc) / self.scale;
+        -(PI * self.scale).ln() - (1.0 + z * z).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        FRAC_1_PI * ((x - self.loc) / self.scale).atan() + 0.5
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling, as in the accelerator discussion.
+        self.quantile(rng.gen_range(f64::EPSILON..1.0))
+    }
+
+    fn mean(&self) -> f64 {
+        f64::NAN
+    }
+
+    fn variance(&self) -> f64 {
+        f64::NAN
+    }
+}
+
+/// Half-Cauchy distribution on `[0, ∞)`, the conventional prior for
+/// hierarchical scale parameters (used by `racial`, `butterfly`,
+/// `memory` in BayesSuite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfCauchy {
+    scale: f64,
+}
+
+impl HalfCauchy {
+    /// Creates a half-Cauchy distribution with scale `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if `scale` is not finite and positive.
+    pub fn new(scale: f64) -> crate::Result<Self> {
+        require(
+            scale.is_finite() && scale > 0.0,
+            "half-cauchy scale must be finite and > 0",
+        )?;
+        Ok(Self { scale })
+    }
+}
+
+impl ContinuousDist for HalfCauchy {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = x / self.scale;
+        (2.0 * FRAC_1_PI / self.scale).ln() - (1.0 + z * z).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        2.0 * FRAC_1_PI * (x / self.scale).atan()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let p: f64 = rng.gen_range(0.0..1.0);
+        self.scale * (PI * p / 2.0).tan()
+    }
+
+    fn mean(&self) -> f64 {
+        f64::NAN
+    }
+
+    fn variance(&self) -> f64 {
+        f64::NAN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, rng};
+    use super::*;
+
+    #[test]
+    fn cauchy_rejects_bad_params() {
+        assert!(Cauchy::new(f64::INFINITY, 1.0).is_err());
+        assert!(Cauchy::new(0.0, 0.0).is_err());
+        assert!(HalfCauchy::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn cauchy_pdf_reference() {
+        let c = Cauchy::new(0.0, 1.0).unwrap();
+        assert!((c.pdf(0.0) - FRAC_1_PI).abs() < 1e-12);
+        assert!((c.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((c.cdf(1.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cauchy_quantile_inverts_cdf() {
+        let c = Cauchy::new(2.0, 0.5).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+            assert!((c.cdf(c.quantile(p)) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cauchy_cdf_consistent_with_pdf() {
+        let c = Cauchy::new(0.0, 1.0).unwrap();
+        assert_cdf_matches_pdf(&c, -20.0, 20.0, 5e-3);
+    }
+
+    #[test]
+    fn cauchy_median_of_samples() {
+        let c = Cauchy::new(5.0, 1.0).unwrap();
+        let mut xs = c.sample_n(&mut rng(4), 40_001);
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 5.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn cauchy_moments_undefined() {
+        let c = Cauchy::new(0.0, 1.0).unwrap();
+        assert!(c.mean().is_nan());
+        assert!(c.variance().is_nan());
+    }
+
+    #[test]
+    fn half_cauchy_support() {
+        let h = HalfCauchy::new(1.0).unwrap();
+        assert_eq!(h.ln_pdf(-0.1), f64::NEG_INFINITY);
+        assert_eq!(h.cdf(0.0), 0.0);
+        // CDF at scale is 2/π · atan(1) = 1/2.
+        assert!((h.cdf(1.0) - 0.5).abs() < 1e-12);
+        let xs = h.sample_n(&mut rng(5), 10_000);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn half_cauchy_is_folded_cauchy() {
+        let h = HalfCauchy::new(2.0).unwrap();
+        let c = Cauchy::new(0.0, 2.0).unwrap();
+        for &x in &[0.3, 1.0, 4.0] {
+            assert!((h.pdf(x) - 2.0 * c.pdf(x)).abs() < 1e-12);
+        }
+    }
+}

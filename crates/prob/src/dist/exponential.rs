@@ -1,0 +1,109 @@
+//! Exponential distribution.
+
+use super::{require, ContinuousDist};
+use rand::Rng;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+///
+/// Appears in BayesSuite as the prior on survival/recapture rates and
+/// as the waiting-time component of the `tickets` generative model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> crate::Result<Self> {
+        require(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be finite and > 0",
+        )?;
+        Ok(Self { rate })
+    }
+
+    /// Rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn density_reference() {
+        let e = Exponential::new(2.0).unwrap();
+        assert!((e.pdf(0.0) - 2.0).abs() < 1e-12);
+        assert!((e.cdf(1.0) - (1.0 - (-2.0f64).exp())).abs() < 1e-12);
+        assert_eq!(e.ln_pdf(-0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cdf_consistent_with_pdf() {
+        let e = Exponential::new(0.7).unwrap();
+        assert_cdf_matches_pdf(&e, 1e-9, 12.0, 1e-3);
+    }
+
+    #[test]
+    fn memorylessness_of_samples() {
+        // P(X > s + t | X > s) = P(X > t): compare tail fractions.
+        let e = Exponential::new(1.0).unwrap();
+        let xs = e.sample_n(&mut rng(7), 100_000);
+        let beyond_1 = xs.iter().filter(|&&x| x > 1.0).count() as f64;
+        let beyond_2 = xs.iter().filter(|&&x| x > 2.0).count() as f64;
+        let cond = beyond_2 / beyond_1;
+        assert!((cond - (-1.0f64).exp()).abs() < 0.02, "cond {cond}");
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let e = Exponential::new(4.0).unwrap();
+        let xs = e.sample_n(&mut rng(8), 60_000);
+        assert_moments(&xs, 0.25, 1.0 / 16.0, 0.02);
+    }
+}

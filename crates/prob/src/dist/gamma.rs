@@ -1,0 +1,236 @@
+//! Gamma and inverse-gamma distributions.
+
+use super::{draw_std_normal, require, ContinuousDist};
+use crate::special::{gamma_p, ln_gamma};
+use rand::Rng;
+
+/// Gamma distribution with shape `α` and rate `β` (mean `α/β`).
+///
+/// Sampling uses the Marsaglia–Tsang squeeze method (with the boost to
+/// shape ≥ 1 for small shapes), the standard hand-written kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    rate: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution with shape `shape` and rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if either parameter is not finite
+    /// and positive.
+    pub fn new(shape: f64, rate: f64) -> crate::Result<Self> {
+        require(
+            shape.is_finite() && shape > 0.0,
+            "gamma shape must be finite and > 0",
+        )?;
+        require(
+            rate.is_finite() && rate > 0.0,
+            "gamma rate must be finite and > 0",
+        )?;
+        Ok(Self { shape, rate })
+    }
+
+    /// Shape parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Rate parameter `β`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn draw_standard<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        if shape < 1.0 {
+            // Boost: X ~ Gamma(a+1) · U^{1/a}.
+            let x = Self::draw_standard(shape + 1.0, rng);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            return x * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let z = draw_std_normal(rng);
+            let v = 1.0 + c * z;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            if u.ln() < 0.5 * z * z + d - d * v3 + d * v3.ln() {
+                return d * v3;
+            }
+        }
+    }
+}
+
+impl ContinuousDist for Gamma {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.shape * self.rate.ln() - ln_gamma(self.shape) + (self.shape - 1.0) * x.ln()
+            - self.rate * x
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, self.rate * x)
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Self::draw_standard(self.shape, rng) / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape / (self.rate * self.rate)
+    }
+}
+
+/// Inverse-gamma distribution: `1/X ~ Gamma(α, β)`.
+///
+/// The conjugate prior for Gaussian variances, used by the `votes`
+/// Gaussian-process workload's length-scale prior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvGamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl InvGamma {
+    /// Creates an inverse-gamma distribution with shape `shape` and
+    /// scale `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if either parameter is not finite
+    /// and positive.
+    pub fn new(shape: f64, scale: f64) -> crate::Result<Self> {
+        require(
+            shape.is_finite() && shape > 0.0,
+            "inv-gamma shape must be finite and > 0",
+        )?;
+        require(
+            scale.is_finite() && scale > 0.0,
+            "inv-gamma scale must be finite and > 0",
+        )?;
+        Ok(Self { shape, scale })
+    }
+}
+
+impl ContinuousDist for InvGamma {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.shape * self.scale.ln() - ln_gamma(self.shape) - (self.shape + 1.0) * x.ln()
+            - self.scale / x
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - gamma_p(self.shape, self.scale / x)
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let g = Gamma::new(self.shape, self.scale).expect("validated params");
+        1.0 / g.sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.shape > 1.0 {
+            self.scale / (self.shape - 1.0)
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.shape > 2.0 {
+            let a = self.shape;
+            self.scale * self.scale / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(InvGamma::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn gamma_shape_one_is_exponential() {
+        let g = Gamma::new(1.0, 3.0).unwrap();
+        for &x in &[0.1, 0.5, 2.0] {
+            let expected = 3.0f64.ln() - 3.0 * x;
+            assert!((g.ln_pdf(x) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_cdf_consistent_with_pdf() {
+        let g = Gamma::new(2.5, 1.5).unwrap();
+        assert_cdf_matches_pdf(&g, 1e-9, 12.0, 1e-3);
+    }
+
+    #[test]
+    fn gamma_sampling_moments_large_shape() {
+        let g = Gamma::new(4.0, 2.0).unwrap();
+        let xs = g.sample_n(&mut rng(9), 60_000);
+        assert_moments(&xs, 2.0, 1.0, 0.02);
+    }
+
+    #[test]
+    fn gamma_sampling_moments_small_shape() {
+        let g = Gamma::new(0.4, 1.0).unwrap();
+        let xs = g.sample_n(&mut rng(10), 80_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        assert_moments(&xs, 0.4, 0.4, 0.04);
+    }
+
+    #[test]
+    fn inv_gamma_reciprocal_relation() {
+        // ln_pdf of InvGamma at x equals Gamma pdf at 1/x with Jacobian 1/x².
+        let ig = InvGamma::new(3.0, 2.0).unwrap();
+        let g = Gamma::new(3.0, 2.0).unwrap();
+        for &x in &[0.3, 1.0, 2.5] {
+            let expected = g.ln_pdf(1.0 / x) - 2.0 * x.ln();
+            assert!((ig.ln_pdf(x) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inv_gamma_sampling_moments() {
+        let ig = InvGamma::new(5.0, 4.0).unwrap();
+        let xs = ig.sample_n(&mut rng(11), 80_000);
+        assert_moments(&xs, ig.mean(), ig.variance(), 0.05);
+    }
+
+    #[test]
+    fn inv_gamma_undefined_moments() {
+        assert!(InvGamma::new(0.5, 1.0).unwrap().mean().is_nan());
+        assert!(InvGamma::new(1.5, 1.0).unwrap().variance().is_nan());
+    }
+}

@@ -1,0 +1,104 @@
+//! Laplace (double-exponential) distribution.
+
+use super::{require, ContinuousDist};
+use rand::Rng;
+
+/// Laplace distribution with location `μ` and scale `b` — the robust
+/// (L1) alternative to the Gaussian likelihood, and the classic prior
+/// behind Bayesian lasso regressions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    loc: f64,
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with location `loc` and scale
+    /// `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] on non-finite `loc` or non-positive
+    /// `scale`.
+    pub fn new(loc: f64, scale: f64) -> crate::Result<Self> {
+        require(loc.is_finite(), "laplace location must be finite")?;
+        require(
+            scale.is_finite() && scale > 0.0,
+            "laplace scale must be finite and > 0",
+        )?;
+        Ok(Self { loc, scale })
+    }
+
+    /// Location parameter.
+    pub fn loc(&self) -> f64 {
+        self.loc
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDist for Laplace {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        -(x - self.loc).abs() / self.scale - (2.0 * self.scale).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.loc) / self.scale;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF via a symmetric uniform.
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        self.loc - self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.loc
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+        assert!(Laplace::new(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn density_reference() {
+        let d = Laplace::new(0.0, 1.0).unwrap();
+        assert!((d.pdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        // Symmetry.
+        assert!((d.pdf(1.3) - d.pdf(-1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_consistent_with_pdf() {
+        let d = Laplace::new(1.0, 0.7).unwrap();
+        assert_cdf_matches_pdf(&d, -8.0, 10.0, 1e-3);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let d = Laplace::new(-2.0, 1.5).unwrap();
+        let xs = d.sample_n(&mut rng(41), 80_000);
+        assert_moments(&xs, -2.0, 4.5, 0.03);
+    }
+}

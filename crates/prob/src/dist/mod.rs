@@ -1,0 +1,154 @@
+//! Univariate probability distributions.
+//!
+//! Every distribution validates its parameters at construction
+//! ([`crate::DistError`] on failure) and exposes log-density, CDF,
+//! sampling, and moments through the [`ContinuousDist`] / [`DiscreteDist`]
+//! traits. Samplers are hand-written (Box–Muller / Marsaglia-polar normal,
+//! Marsaglia–Tsang gamma, inversion for the discrete families) because the
+//! reproduction deliberately avoids external statistics crates.
+
+mod beta;
+mod cauchy;
+mod discrete;
+mod exponential;
+mod gamma;
+mod laplace;
+mod multivariate;
+mod normal;
+mod student_t;
+mod truncated;
+mod uniform;
+mod weibull;
+
+pub use beta::Beta;
+pub use cauchy::{Cauchy, HalfCauchy};
+pub use discrete::{Bernoulli, Binomial, Categorical, Geometric, NegBinomial, Poisson};
+pub use exponential::Exponential;
+pub use gamma::{Gamma, InvGamma};
+pub use laplace::Laplace;
+pub use multivariate::{Dirichlet, Multinomial};
+pub use normal::{HalfNormal, LogNormal, Normal};
+pub use student_t::StudentT;
+pub use truncated::TruncatedNormal;
+pub use uniform::Uniform;
+pub use weibull::{Pareto, Weibull};
+
+use rand::Rng;
+
+/// A continuous univariate distribution over (a subset of) the reals.
+pub trait ContinuousDist {
+    /// Natural logarithm of the probability density at `x`.
+    ///
+    /// Returns `-INFINITY` outside the support.
+    fn ln_pdf(&self, x: f64) -> f64;
+
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Mean of the distribution, `NaN` if undefined (e.g. Cauchy).
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution, `NaN` if undefined.
+    fn variance(&self) -> f64;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A discrete univariate distribution over the non-negative integers.
+pub trait DiscreteDist {
+    /// Natural logarithm of the probability mass at `k`.
+    fn ln_pmf(&self, k: u64) -> f64;
+
+    /// Probability mass at `k`.
+    fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// Cumulative distribution function `P(X ≤ k)`.
+    fn cdf(&self, k: u64) -> f64;
+
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+pub(crate) fn require(cond: bool, what: &str) -> crate::Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(crate::DistError::new(what))
+    }
+}
+
+/// Draws a standard normal variate via the Marsaglia polar method.
+pub(crate) fn draw_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Asserts that the empirical mean/variance of `xs` match within
+    /// `tol_mean` / `tol_var` (absolute, scaled by magnitude + 1).
+    pub fn assert_moments(xs: &[f64], mean: f64, var: f64, tol: f64) {
+        let n = xs.len() as f64;
+        let m = xs.iter().sum::<f64>() / n;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1.0);
+        assert!(
+            (m - mean).abs() < tol * (1.0 + mean.abs()),
+            "mean {m} vs {mean}"
+        );
+        assert!(
+            (v - var).abs() < 3.0 * tol * (1.0 + var.abs()),
+            "var {v} vs {var}"
+        );
+    }
+
+    /// Checks that `cdf` is consistent with the density via a midpoint
+    /// quadrature on `[lo, hi]`.
+    pub fn assert_cdf_matches_pdf<D: super::ContinuousDist>(d: &D, lo: f64, hi: f64, tol: f64) {
+        let n = 20_000;
+        let h = (hi - lo) / n as f64;
+        let mut acc = d.cdf(lo);
+        for i in 0..n {
+            let x = lo + (i as f64 + 0.5) * h;
+            acc += d.pdf(x) * h;
+            let c = d.cdf(x + 0.5 * h);
+            assert!((acc - c).abs() < tol, "cdf mismatch at {x}: {acc} vs {c}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Small multivariate family: Dirichlet and Multinomial — the
+//! simplex-valued building blocks of mixture and occupancy models.
+
+use super::{require, Categorical, ContinuousDist, DiscreteDist, Gamma};
+use crate::special::{ln_factorial, ln_gamma};
+use rand::Rng;
+
+/// Dirichlet distribution over the `(K−1)`-simplex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet with concentration vector `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if fewer than two components or
+    /// any concentration is not finite and positive.
+    pub fn new(alpha: Vec<f64>) -> crate::Result<Self> {
+        require(alpha.len() >= 2, "dirichlet needs at least two components")?;
+        require(
+            alpha.iter().all(|a| a.is_finite() && *a > 0.0),
+            "dirichlet concentrations must be finite and > 0",
+        )?;
+        Ok(Self { alpha })
+    }
+
+    /// Symmetric Dirichlet with `k` components and concentration `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] per [`Dirichlet::new`].
+    pub fn symmetric(k: usize, a: f64) -> crate::Result<Self> {
+        Self::new(vec![a; k])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Always false for a constructed value.
+    pub fn is_empty(&self) -> bool {
+        self.alpha.is_empty()
+    }
+
+    /// Log-density at a simplex point `p` (must sum to ~1, all
+    /// positive; returns `-INFINITY` otherwise).
+    pub fn ln_pdf(&self, p: &[f64]) -> f64 {
+        if p.len() != self.alpha.len()
+            || p.iter().any(|&x| x <= 0.0)
+            || (p.iter().sum::<f64>() - 1.0).abs() > 1e-8
+        {
+            return f64::NEG_INFINITY;
+        }
+        let norm: f64 = ln_gamma(self.alpha.iter().sum())
+            - self.alpha.iter().map(|&a| ln_gamma(a)).sum::<f64>();
+        norm + p
+            .iter()
+            .zip(&self.alpha)
+            .map(|(&x, &a)| (a - 1.0) * x.ln())
+            .sum::<f64>()
+    }
+
+    /// Draws a simplex point via normalized gammas.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let draws: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| Gamma::new(a, 1.0).expect("validated").sample(rng).max(1e-300))
+            .collect();
+        let total: f64 = draws.iter().sum();
+        draws.into_iter().map(|g| g / total).collect()
+    }
+
+    /// Mean simplex point.
+    pub fn mean(&self) -> Vec<f64> {
+        let s: f64 = self.alpha.iter().sum();
+        self.alpha.iter().map(|&a| a / s).collect()
+    }
+}
+
+/// Multinomial distribution: counts over `K` categories from `n`
+/// trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Multinomial {
+    n: u64,
+    probs: Vec<f64>,
+}
+
+impl Multinomial {
+    /// Creates a multinomial with `n` trials and category weights
+    /// `weights` (normalized internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] per [`Categorical::new`].
+    pub fn new(n: u64, weights: &[f64]) -> crate::Result<Self> {
+        let cat = Categorical::new(weights)?;
+        let probs = (0..cat.len()).map(|k| cat.prob(k)).collect();
+        Ok(Self { n, probs })
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Log-mass of a count vector (must sum to `n`).
+    pub fn ln_pmf(&self, counts: &[u64]) -> f64 {
+        if counts.len() != self.probs.len() || counts.iter().sum::<u64>() != self.n {
+            return f64::NEG_INFINITY;
+        }
+        let mut lp = ln_factorial(self.n);
+        for (&k, &p) in counts.iter().zip(&self.probs) {
+            lp -= ln_factorial(k);
+            if k > 0 {
+                if p == 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                lp += k as f64 * p.ln();
+            }
+        }
+        lp
+    }
+
+    /// Draws one count vector by sequential binomial splitting.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut remaining = self.n;
+        let mut rest_mass = 1.0;
+        let mut counts = vec![0u64; self.probs.len()];
+        for k in 0..self.probs.len() - 1 {
+            if remaining == 0 || rest_mass <= 0.0 {
+                break;
+            }
+            let p = (self.probs[k] / rest_mass).clamp(0.0, 1.0);
+            let draw = super::Binomial::new(remaining, p)
+                .expect("valid p")
+                .sample(rng);
+            counts[k] = draw;
+            remaining -= draw;
+            rest_mass -= self.probs[k];
+        }
+        *counts.last_mut().expect("nonempty") = remaining;
+        counts
+    }
+
+    /// Mean count per category.
+    pub fn mean(&self) -> Vec<f64> {
+        self.probs.iter().map(|&p| p * self.n as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::rng;
+    use super::*;
+
+    #[test]
+    fn dirichlet_validation() {
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::symmetric(3, 2.0).is_ok());
+    }
+
+    #[test]
+    fn dirichlet_uniform_case() {
+        // Dirichlet(1,1,1) is uniform on the simplex: density Γ(3)=2.
+        let d = Dirichlet::symmetric(3, 1.0).unwrap();
+        let p = [0.2, 0.3, 0.5];
+        assert!((d.ln_pdf(&p) - 2f64.ln()).abs() < 1e-10);
+        assert_eq!(d.ln_pdf(&[0.5, 0.5]), f64::NEG_INFINITY); // wrong len
+        assert_eq!(d.ln_pdf(&[0.7, 0.2, 0.2]), f64::NEG_INFINITY); // not simplex
+    }
+
+    #[test]
+    fn dirichlet_samples_live_on_simplex_with_right_mean() {
+        let d = Dirichlet::new(vec![2.0, 5.0, 3.0]).unwrap();
+        let mut rng = rng(51);
+        let n = 20_000;
+        let mut acc = vec![0.0; 3];
+        for _ in 0..n {
+            let p = d.sample(&mut rng);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&x| x > 0.0));
+            for (a, &x) in acc.iter_mut().zip(&p) {
+                *a += x;
+            }
+        }
+        let mean = d.mean();
+        for k in 0..3 {
+            assert!((acc[k] / n as f64 - mean[k]).abs() < 0.01, "component {k}");
+        }
+    }
+
+    #[test]
+    fn multinomial_pmf_marginals() {
+        // K=2 multinomial reduces to a binomial.
+        let m = Multinomial::new(10, &[0.3, 0.7]).unwrap();
+        let b = super::super::Binomial::new(10, 0.3).unwrap();
+        for k in 0..=10u64 {
+            assert!((m.ln_pmf(&[k, 10 - k]) - b.ln_pmf(k)).abs() < 1e-10, "k={k}");
+        }
+        assert_eq!(m.ln_pmf(&[5, 6]), f64::NEG_INFINITY); // wrong total
+    }
+
+    #[test]
+    fn multinomial_sampling_totals_and_means() {
+        let m = Multinomial::new(60, &[0.5, 0.25, 0.25]).unwrap();
+        let mut rng = rng(52);
+        let n = 20_000;
+        let mut acc = vec![0.0; 3];
+        for _ in 0..n {
+            let c = m.sample(&mut rng);
+            assert_eq!(c.iter().sum::<u64>(), 60);
+            for (a, &x) in acc.iter_mut().zip(&c) {
+                *a += x as f64;
+            }
+        }
+        for (k, &mu) in m.mean().iter().enumerate() {
+            assert!((acc[k] / n as f64 - mu).abs() < 0.3, "component {k}");
+        }
+    }
+}

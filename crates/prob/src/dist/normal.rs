@@ -1,0 +1,261 @@
+//! Normal, log-normal and half-normal distributions.
+
+use super::{draw_std_normal, require, ContinuousDist};
+use crate::special::std_normal_cdf;
+use rand::Rng;
+
+pub(crate) const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
+
+/// Normal (Gaussian) distribution `N(μ, σ²)`, the most common
+/// distribution in BayesSuite models (Section VII of the paper).
+///
+/// # Example
+///
+/// ```
+/// use bayes_prob::dist::{Normal, ContinuousDist};
+/// # fn main() -> Result<(), bayes_prob::DistError> {
+/// let n = Normal::new(1.0, 2.0)?;
+/// assert!((n.mean() - 1.0).abs() < 1e-12);
+/// assert!((n.cdf(1.0) - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if `sigma` is not finite and positive
+    /// or `mu` is not finite.
+    pub fn new(mu: f64, sigma: f64) -> crate::Result<Self> {
+        require(mu.is_finite(), "normal mean must be finite")?;
+        require(
+            sigma.is_finite() && sigma > 0.0,
+            "normal sigma must be finite and > 0",
+        )?;
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Mean parameter `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * draw_std_normal(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with log-scale location `mu`
+    /// and log-scale standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] on non-finite `mu` or non-positive
+    /// `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> crate::Result<Self> {
+        require(mu.is_finite(), "lognormal mu must be finite")?;
+        require(
+            sigma.is_finite() && sigma > 0.0,
+            "lognormal sigma must be finite and > 0",
+        )?;
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let lx = x.ln();
+        let z = (lx - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI - lx
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        std_normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * draw_std_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+/// Half-normal distribution on `[0, ∞)` with scale `σ`; the standard
+/// weakly-informative prior for hierarchical scale parameters in the
+/// BayesSuite models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfNormal {
+    sigma: f64,
+}
+
+impl HalfNormal {
+    /// Creates a half-normal distribution with scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if `sigma` is not finite and positive.
+    pub fn new(sigma: f64) -> crate::Result<Self> {
+        require(
+            sigma.is_finite() && sigma > 0.0,
+            "half-normal sigma must be finite and > 0",
+        )?;
+        Ok(Self { sigma })
+    }
+}
+
+impl ContinuousDist for HalfNormal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = x / self.sigma;
+        std::f64::consts::LN_2 - 0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        2.0 * std_normal_cdf(x / self.sigma) - 1.0
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.sigma * draw_std_normal(rng)).abs()
+    }
+
+    fn mean(&self) -> f64 {
+        self.sigma * (2.0 / std::f64::consts::PI).sqrt()
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma * (1.0 - 2.0 / std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_ln_pdf_reference() {
+        let n = Normal::standard();
+        // φ(0) = 1/sqrt(2π)
+        assert!((n.pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-12);
+        let n = Normal::new(2.0, 3.0).unwrap();
+        assert!((n.ln_pdf(2.0) - (-(3f64.ln()) - LN_SQRT_2PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_consistent_with_pdf() {
+        let n = Normal::new(-1.0, 0.7).unwrap();
+        assert_cdf_matches_pdf(&n, -6.0, 4.0, 1e-3);
+    }
+
+    #[test]
+    fn normal_sampling_moments() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        let xs = n.sample_n(&mut rng(1), 60_000);
+        assert_moments(&xs, 3.0, 4.0, 0.03);
+    }
+
+    #[test]
+    fn lognormal_support_and_moments() {
+        let d = LogNormal::new(0.5, 0.4).unwrap();
+        assert_eq!(d.ln_pdf(-1.0), f64::NEG_INFINITY);
+        assert_eq!(d.cdf(0.0), 0.0);
+        let xs = d.sample_n(&mut rng(2), 80_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        assert_moments(&xs, d.mean(), d.variance(), 0.03);
+    }
+
+    #[test]
+    fn lognormal_cdf_consistent_with_pdf() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        assert_cdf_matches_pdf(&d, 1e-9, 8.0, 2e-3);
+    }
+
+    #[test]
+    fn half_normal_is_folded_normal() {
+        let h = HalfNormal::new(1.5).unwrap();
+        let n = Normal::new(0.0, 1.5).unwrap();
+        for &x in &[0.1, 0.9, 2.5] {
+            assert!((h.pdf(x) - 2.0 * n.pdf(x)).abs() < 1e-12);
+        }
+        assert_eq!(h.ln_pdf(-0.1), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn half_normal_sampling_moments() {
+        let h = HalfNormal::new(2.0).unwrap();
+        let xs = h.sample_n(&mut rng(3), 60_000);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert_moments(&xs, h.mean(), h.variance(), 0.03);
+    }
+}

@@ -1,0 +1,138 @@
+//! Student-t distribution.
+
+use super::{draw_std_normal, require, ContinuousDist, Gamma};
+use crate::special::{beta_inc, ln_gamma};
+use rand::Rng;
+
+/// Student-t distribution with `ν` degrees of freedom, location `μ`,
+/// and scale `σ`.
+///
+/// Heavy-tailed likelihood used in robust-regression variants of the
+/// BayesSuite models and as a prior in the `disease` workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl StudentT {
+    /// Creates a Student-t distribution with `nu` degrees of freedom,
+    /// location `mu`, and scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if `nu` or `sigma` is not finite and
+    /// positive, or `mu` is not finite.
+    pub fn new(nu: f64, mu: f64, sigma: f64) -> crate::Result<Self> {
+        require(nu.is_finite() && nu > 0.0, "student-t nu must be finite and > 0")?;
+        require(mu.is_finite(), "student-t mu must be finite")?;
+        require(
+            sigma.is_finite() && sigma > 0.0,
+            "student-t sigma must be finite and > 0",
+        )?;
+        Ok(Self { nu, mu, sigma })
+    }
+
+    /// Degrees of freedom `ν`.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+}
+
+impl ContinuousDist for StudentT {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        ln_gamma((self.nu + 1.0) / 2.0)
+            - ln_gamma(self.nu / 2.0)
+            - 0.5 * (self.nu * std::f64::consts::PI).ln()
+            - self.sigma.ln()
+            - 0.5 * (self.nu + 1.0) * (1.0 + z * z / self.nu).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        let w = self.nu / (self.nu + z * z);
+        let tail = 0.5 * beta_inc(self.nu / 2.0, 0.5, w);
+        if z >= 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Z / sqrt(V/ν), V ~ χ²_ν = Gamma(ν/2, 1/2).
+        let z = draw_std_normal(rng);
+        let v = Gamma::new(self.nu / 2.0, 0.5).expect("validated").sample(rng);
+        self.mu + self.sigma * z / (v / self.nu).sqrt()
+    }
+
+    fn mean(&self) -> f64 {
+        if self.nu > 1.0 {
+            self.mu
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.nu > 2.0 {
+            self.sigma * self.sigma * self.nu / (self.nu - 2.0)
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+    use crate::dist::{Cauchy, Normal};
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(StudentT::new(0.0, 0.0, 1.0).is_err());
+        assert!(StudentT::new(1.0, f64::NAN, 1.0).is_err());
+        assert!(StudentT::new(1.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn nu_one_is_cauchy() {
+        let t = StudentT::new(1.0, 2.0, 1.5).unwrap();
+        let c = Cauchy::new(2.0, 1.5).unwrap();
+        for &x in &[-3.0, 0.0, 2.0, 5.0] {
+            assert!((t.ln_pdf(x) - c.ln_pdf(x)).abs() < 1e-10);
+            assert!((t.cdf(x) - c.cdf(x)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn large_nu_approaches_normal() {
+        let t = StudentT::new(1e6, 0.0, 1.0).unwrap();
+        let n = Normal::standard();
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 2.5] {
+            assert!((t.ln_pdf(x) - n.ln_pdf(x)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cdf_consistent_with_pdf() {
+        let t = StudentT::new(5.0, 0.0, 1.0).unwrap();
+        assert_cdf_matches_pdf(&t, -15.0, 15.0, 2e-3);
+    }
+
+    #[test]
+    fn cdf_at_location_is_half() {
+        let t = StudentT::new(3.0, 4.0, 2.0).unwrap();
+        assert!((t.cdf(4.0) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let t = StudentT::new(8.0, 1.0, 2.0).unwrap();
+        let xs = t.sample_n(&mut rng(13), 120_000);
+        assert_moments(&xs, 1.0, 4.0 * 8.0 / 6.0, 0.06);
+    }
+}

@@ -1,0 +1,162 @@
+//! Truncated normal distribution — the latent-variable kernel of
+//! threshold models like the `racial` workload's search decision.
+
+use super::{require, ContinuousDist, Normal};
+use crate::special::std_normal_quantile;
+use rand::Rng;
+
+/// Normal distribution truncated to `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    base: Normal,
+    lo: f64,
+    hi: f64,
+    /// Φ((lo−μ)/σ) and Φ((hi−μ)/σ), cached.
+    cdf_lo: f64,
+    cdf_hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates a normal `N(mu, sigma²)` truncated to `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if the base parameters are invalid,
+    /// `lo >= hi`, or the interval carries no probability mass.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> crate::Result<Self> {
+        let base = Normal::new(mu, sigma)?;
+        require(lo < hi, "truncation requires lo < hi")?;
+        let cdf_lo = if lo == f64::NEG_INFINITY { 0.0 } else { base.cdf(lo) };
+        let cdf_hi = if hi == f64::INFINITY { 1.0 } else { base.cdf(hi) };
+        require(
+            cdf_hi - cdf_lo > 1e-300,
+            "truncation interval carries no probability mass",
+        )?;
+        Ok(Self {
+            base,
+            lo,
+            hi,
+            cdf_lo,
+            cdf_hi,
+        })
+    }
+
+    /// Lower-truncated normal on `[lo, ∞)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] per [`TruncatedNormal::new`].
+    pub fn lower(mu: f64, sigma: f64, lo: f64) -> crate::Result<Self> {
+        Self::new(mu, sigma, lo, f64::INFINITY)
+    }
+
+    /// Probability mass of the untruncated normal inside the interval.
+    pub fn mass(&self) -> f64 {
+        self.cdf_hi - self.cdf_lo
+    }
+}
+
+impl ContinuousDist for TruncatedNormal {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return f64::NEG_INFINITY;
+        }
+        self.base.ln_pdf(x) - self.mass().ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (self.base.cdf(x) - self.cdf_lo) / self.mass()
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF through the untruncated quantile.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let p = (self.cdf_lo + u * self.mass()).clamp(1e-15, 1.0 - 1e-15);
+        let z = std_normal_quantile(p);
+        (self.base.mu() + self.base.sigma() * z).clamp(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        // μ + σ(φ(α) − φ(β)) / Z with α, β the standardized bounds.
+        let (mu, s) = (self.base.mu(), self.base.sigma());
+        let phi = |z: f64| (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let a = if self.lo == f64::NEG_INFINITY { f64::NEG_INFINITY } else { (self.lo - mu) / s };
+        let b = if self.hi == f64::INFINITY { f64::INFINITY } else { (self.hi - mu) / s };
+        let pa = if a.is_finite() { phi(a) } else { 0.0 };
+        let pb = if b.is_finite() { phi(b) } else { 0.0 };
+        mu + s * (pa - pb) / self.mass()
+    }
+
+    fn variance(&self) -> f64 {
+        let (mu, s) = (self.base.mu(), self.base.sigma());
+        let phi = |z: f64| (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        let a = if self.lo == f64::NEG_INFINITY { f64::NEG_INFINITY } else { (self.lo - mu) / s };
+        let b = if self.hi == f64::INFINITY { f64::INFINITY } else { (self.hi - mu) / s };
+        let pa = if a.is_finite() { phi(a) } else { 0.0 };
+        let pb = if b.is_finite() { phi(b) } else { 0.0 };
+        let apa = if a.is_finite() { a * phi(a) } else { 0.0 };
+        let bpb = if b.is_finite() { b * phi(b) } else { 0.0 };
+        let z = self.mass();
+        let t1 = (apa - bpb) / z;
+        let t2 = (pa - pb) / z;
+        s * s * (1.0 + t1 - t2 * t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(TruncatedNormal::new(0.0, 1.0, 2.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 0.0, 0.0, 1.0).is_err());
+        // Interval 40σ away has no mass.
+        assert!(TruncatedNormal::new(0.0, 1.0, 40.0, 41.0).is_err());
+    }
+
+    #[test]
+    fn wide_truncation_matches_base_normal() {
+        let t = TruncatedNormal::new(1.0, 2.0, -100.0, 100.0).unwrap();
+        let n = Normal::new(1.0, 2.0).unwrap();
+        for &x in &[-3.0, 0.0, 1.0, 4.0] {
+            assert!((t.ln_pdf(x) - n.ln_pdf(x)).abs() < 1e-6);
+        }
+        assert!((t.mean() - 1.0).abs() < 1e-6);
+        assert!((t.variance() - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn support_is_respected() {
+        let t = TruncatedNormal::new(0.0, 1.0, -1.0, 2.0).unwrap();
+        assert_eq!(t.ln_pdf(-1.5), f64::NEG_INFINITY);
+        assert_eq!(t.ln_pdf(2.5), f64::NEG_INFINITY);
+        assert_eq!(t.cdf(-1.0), 0.0);
+        assert_eq!(t.cdf(2.0), 1.0);
+        let xs = t.sample_n(&mut rng(61), 20_000);
+        assert!(xs.iter().all(|&x| (-1.0..=2.0).contains(&x)));
+    }
+
+    #[test]
+    fn cdf_consistent_with_pdf() {
+        let t = TruncatedNormal::new(0.5, 1.5, -1.0, 3.0).unwrap();
+        assert_cdf_matches_pdf(&t, -1.0 + 1e-9, 3.0 - 1e-9, 1e-3);
+    }
+
+    #[test]
+    fn analytic_moments_match_samples() {
+        let t = TruncatedNormal::lower(0.0, 1.0, 0.0).unwrap();
+        // Half-normal moments: mean √(2/π), var 1 − 2/π.
+        assert!((t.mean() - (2.0 / std::f64::consts::PI).sqrt()).abs() < 1e-6);
+        assert!((t.variance() - (1.0 - 2.0 / std::f64::consts::PI)).abs() < 1e-6);
+        let xs = t.sample_n(&mut rng(62), 60_000);
+        assert_moments(&xs, t.mean(), t.variance(), 0.02);
+    }
+}

@@ -1,0 +1,102 @@
+//! Continuous uniform distribution.
+
+use super::{require, ContinuousDist};
+use rand::Rng;
+
+/// Uniform distribution on the interval `[lo, hi)`.
+///
+/// Used both as a prior and as the accept/reject draw in the
+/// Metropolis–Hastings rule (line 6 of Algorithm 1 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if the bounds are not finite or
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64) -> crate::Result<Self> {
+        require(lo.is_finite() && hi.is_finite(), "uniform bounds must be finite")?;
+        require(lo < hi, "uniform requires lo < hi")?;
+        Ok(Self { lo, hi })
+    }
+
+    /// The unit interval `[0, 1)`.
+    pub fn unit() -> Self {
+        Self { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x >= self.hi {
+            f64::NEG_INFINITY
+        } else {
+            -(self.hi - self.lo).ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn density_and_cdf() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert!((u.pdf(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(u.ln_pdf(1.9), f64::NEG_INFINITY);
+        assert_eq!(u.ln_pdf(6.0), f64::NEG_INFINITY);
+        assert_eq!(u.cdf(1.0), 0.0);
+        assert!((u.cdf(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(u.cdf(7.0), 1.0);
+    }
+
+    #[test]
+    fn samples_in_range_with_right_moments() {
+        let u = Uniform::new(-1.0, 3.0).unwrap();
+        let xs = u.sample_n(&mut rng(6), 50_000);
+        assert!(xs.iter().all(|&x| (-1.0..3.0).contains(&x)));
+        assert_moments(&xs, 1.0, 16.0 / 12.0, 0.02);
+    }
+}

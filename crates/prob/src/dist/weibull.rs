@@ -1,0 +1,204 @@
+//! Weibull and Pareto distributions — the survival-analysis and
+//! heavy-tail building blocks.
+
+use super::{require, ContinuousDist};
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Weibull distribution with shape `k` and scale `λ`; the parametric
+/// hazard model that the Cormack–Jolly–Seber workload's survival rates
+/// generalize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with shape `shape` and scale
+    /// `scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if either parameter is not finite
+    /// and positive.
+    pub fn new(shape: f64, scale: f64) -> crate::Result<Self> {
+        require(
+            shape.is_finite() && shape > 0.0,
+            "weibull shape must be finite and > 0",
+        )?;
+        require(
+            scale.is_finite() && scale > 0.0,
+            "weibull scale must be finite and > 0",
+        )?;
+        Ok(Self { shape, scale })
+    }
+}
+
+impl ContinuousDist for Weibull {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = x / self.scale;
+        self.shape.ln() - self.scale.ln() + (self.shape - 1.0) * z.ln() - z.powf(self.shape)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-((x / self.scale).powf(self.shape))).exp_m1()
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+/// Pareto (power-law) distribution with minimum `x_m` and shape `α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with scale `x_min` and shape
+    /// `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DistError`] if either parameter is not finite
+    /// and positive.
+    pub fn new(x_min: f64, alpha: f64) -> crate::Result<Self> {
+        require(
+            x_min.is_finite() && x_min > 0.0,
+            "pareto x_min must be finite and > 0",
+        )?;
+        require(
+            alpha.is_finite() && alpha > 0.0,
+            "pareto alpha must be finite and > 0",
+        )?;
+        Ok(Self { x_min, alpha })
+    }
+}
+
+impl ContinuousDist for Pareto {
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            return f64::NEG_INFINITY;
+        }
+        self.alpha.ln() + self.alpha * self.x_min.ln() - (self.alpha + 1.0) * x.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.x_min {
+            0.0
+        } else {
+            1.0 - (self.x_min / x).powf(self.alpha)
+        }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha > 2.0 {
+            let a = self.alpha;
+            self.x_min * self.x_min * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_cdf_matches_pdf, assert_moments, rng};
+    use super::*;
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 2.0).unwrap();
+        // Exponential with rate 1/2.
+        for &x in &[0.3, 1.0, 4.0] {
+            let expected = (0.5f64).ln() - x / 2.0;
+            assert!((w.ln_pdf(x) - expected).abs() < 1e-12);
+        }
+        assert_eq!(w.ln_pdf(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn weibull_cdf_consistent_with_pdf() {
+        let w = Weibull::new(1.7, 1.2).unwrap();
+        assert_cdf_matches_pdf(&w, 1e-9, 8.0, 1e-3);
+    }
+
+    #[test]
+    fn weibull_sampling_moments() {
+        let w = Weibull::new(2.0, 3.0).unwrap();
+        let xs = w.sample_n(&mut rng(42), 60_000);
+        assert!(xs.iter().all(|&x| x > 0.0));
+        assert_moments(&xs, w.mean(), w.variance(), 0.02);
+    }
+
+    #[test]
+    fn pareto_support_and_tail() {
+        let p = Pareto::new(1.0, 2.5).unwrap();
+        assert_eq!(p.ln_pdf(0.5), f64::NEG_INFINITY);
+        assert_eq!(p.cdf(1.0), 0.0);
+        // Survival function at 2: (1/2)^2.5.
+        assert!((1.0 - p.cdf(2.0) - 0.5f64.powf(2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_cdf_consistent_with_pdf() {
+        let p = Pareto::new(1.0, 3.0).unwrap();
+        assert_cdf_matches_pdf(&p, 1.0 + 1e-9, 30.0, 2e-3);
+    }
+
+    #[test]
+    fn pareto_sampling_moments() {
+        let p = Pareto::new(2.0, 4.0).unwrap();
+        let xs = p.sample_n(&mut rng(43), 120_000);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        assert_moments(&xs, p.mean(), p.variance(), 0.06);
+    }
+
+    #[test]
+    fn undefined_moments_are_nan() {
+        assert!(Pareto::new(1.0, 0.8).unwrap().mean().is_nan());
+        assert!(Pareto::new(1.0, 1.5).unwrap().variance().is_nan());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, -1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Probability substrate for the BayesSuite reproduction.
+//!
+//! This crate provides the numerical foundation that the Stan framework
+//! supplied in the original paper: special functions ([`special`]),
+//! univariate probability distributions with log-densities, gradients,
+//! CDFs and samplers ([`dist`]), and the lookup-table based "sampling
+//! accelerator" units discussed in Section VII of the paper ([`lut`]).
+//!
+//! # Example
+//!
+//! ```
+//! use bayes_prob::dist::{Normal, ContinuousDist};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), bayes_prob::DistError> {
+//! let n = Normal::new(0.0, 1.0)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let x = n.sample(&mut rng);
+//! assert!(n.ln_pdf(x).is_finite());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dist;
+pub mod lut;
+pub mod special;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid
+/// parameters (non-finite, or outside the parameter's support).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistError {
+    what: String,
+}
+
+impl DistError {
+    /// Creates an error describing the invalid parameter.
+    pub fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl Error for DistError {}
+
+/// Crate-wide result alias for fallible constructors.
+pub type Result<T> = std::result::Result<T, DistError>;
+
+pub use dist::{ContinuousDist, DiscreteDist};

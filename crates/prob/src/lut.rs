@@ -1,0 +1,259 @@
+//! Lookup-table sampling units (Section VII of the paper).
+//!
+//! The paper observes that the most popular distributions across
+//! BayesSuite are the Gaussian and the Cauchy, and proposes hardware
+//! sampling accelerators whose CDFs "use functions with values stored in
+//! lookup tables, such as the error function `erf` (Gaussian) and
+//! arctangent function `atan` (Cauchy), which … trades off precision for
+//! efficiency". This module models those units in software: a
+//! quantile lookup table with linear interpolation, a configurable table
+//! size (the hardware area knob), and exact-vs-LUT error measurement so
+//! the precision/efficiency trade-off can be quantified (see the
+//! `accel_study` bench binary).
+
+use crate::dist::{Cauchy, Normal};
+use crate::special::std_normal_quantile;
+use rand::Rng;
+
+/// A generic quantile lookup table: maps `p ∈ (0, 1)` to `F⁻¹(p)` by
+/// linear interpolation between precomputed knots.
+#[derive(Debug, Clone)]
+pub struct QuantileLut {
+    /// Quantile values at knots `p_i = p_lo + i · Δ`.
+    table: Vec<f64>,
+    p_lo: f64,
+    p_hi: f64,
+}
+
+impl QuantileLut {
+    /// Builds a table with `size` knots of the quantile function `q`,
+    /// covering `p ∈ [p_lo, p_hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 2` or the probability bounds are not ordered
+    /// inside `(0, 1)`.
+    pub fn build(size: usize, p_lo: f64, p_hi: f64, q: impl Fn(f64) -> f64) -> Self {
+        assert!(size >= 2, "lookup table needs at least two knots");
+        assert!(
+            0.0 < p_lo && p_lo < p_hi && p_hi < 1.0,
+            "probability bounds must satisfy 0 < p_lo < p_hi < 1"
+        );
+        let step = (p_hi - p_lo) / (size - 1) as f64;
+        let table = (0..size).map(|i| q(p_lo + i as f64 * step)).collect();
+        Self { table, p_lo, p_hi }
+    }
+
+    /// Number of knots (the hardware area proxy).
+    pub fn size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Bytes occupied by the table (one `f64` per knot), the scratchpad
+    /// footprint of the modeled sampling unit.
+    pub fn bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Interpolated quantile at `p` (clamped to the covered range).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(self.p_lo, self.p_hi);
+        let t = (p - self.p_lo) / (self.p_hi - self.p_lo) * (self.table.len() - 1) as f64;
+        let i = (t as usize).min(self.table.len() - 2);
+        let frac = t - i as f64;
+        self.table[i] * (1.0 - frac) + self.table[i + 1] * frac
+    }
+
+    /// Maximum absolute interpolation error against the exact quantile
+    /// `q`, scanned at `n` midpoints over the full covered range.
+    pub fn max_abs_error(&self, n: usize, q: impl Fn(f64) -> f64) -> f64 {
+        self.max_abs_error_in(self.p_lo, self.p_hi, n, q)
+    }
+
+    /// Maximum absolute interpolation error over `p ∈ [lo, hi]`.
+    ///
+    /// Useful because a uniform-knot table is far less accurate in the
+    /// extreme tails where the quantile function has high curvature; the
+    /// paper's precision/efficiency trade-off is usually quoted for the
+    /// central mass.
+    pub fn max_abs_error_in(&self, lo: f64, hi: f64, n: usize, q: impl Fn(f64) -> f64) -> f64 {
+        (0..n)
+            .map(|i| {
+                let p = lo + (i as f64 + 0.5) / n as f64 * (hi - lo);
+                (self.quantile(p) - q(p)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Lookup-table Gaussian sampling unit: `Φ⁻¹` knots + interpolation.
+#[derive(Debug, Clone)]
+pub struct NormalLut {
+    lut: QuantileLut,
+    mu: f64,
+    sigma: f64,
+}
+
+impl NormalLut {
+    /// Builds a Gaussian sampling unit for `N(mu, sigma²)` with a
+    /// `size`-entry table covering `p ∈ [1e-6, 1 - 1e-6]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 2` or `sigma <= 0`.
+    pub fn new(mu: f64, sigma: f64, size: usize) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        let lut = QuantileLut::build(size, 1e-6, 1.0 - 1e-6, std_normal_quantile);
+        Self { lut, mu, sigma }
+    }
+
+    /// Draws one sample through the lookup table.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.mu + self.sigma * self.lut.quantile(u)
+    }
+
+    /// Worst-case absolute quantile error of this unit (in standard
+    /// deviations) over the central 98% of probability mass, the
+    /// precision half of the trade-off.
+    pub fn precision(&self) -> f64 {
+        self.lut
+            .max_abs_error_in(0.01, 0.99, 10_000, std_normal_quantile)
+    }
+
+    /// Underlying table.
+    pub fn lut(&self) -> &QuantileLut {
+        &self.lut
+    }
+
+    /// The exact distribution this unit approximates.
+    pub fn exact(&self) -> Normal {
+        Normal::new(self.mu, self.sigma).expect("validated in constructor")
+    }
+}
+
+/// Lookup-table Cauchy sampling unit: `tan(π(p − ½))` knots +
+/// interpolation (the `atan` unit of the paper, inverted).
+#[derive(Debug, Clone)]
+pub struct CauchyLut {
+    lut: QuantileLut,
+    loc: f64,
+    scale: f64,
+}
+
+impl CauchyLut {
+    /// Builds a Cauchy sampling unit with a `size`-entry table covering
+    /// `p ∈ [1e-4, 1 - 1e-4]` (the Cauchy quantile diverges fast, so the
+    /// covered range is narrower than the Gaussian unit's).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 2` or `scale <= 0`.
+    pub fn new(loc: f64, scale: f64, size: usize) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        let q = |p: f64| (std::f64::consts::PI * (p - 0.5)).tan();
+        let lut = QuantileLut::build(size, 1e-4, 1.0 - 1e-4, q);
+        Self { lut, loc, scale }
+    }
+
+    /// Draws one sample through the lookup table.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.loc + self.scale * self.lut.quantile(u)
+    }
+
+    /// Worst-case absolute quantile error over the central 98% of
+    /// probability mass.
+    pub fn precision(&self) -> f64 {
+        self.lut
+            .max_abs_error_in(0.01, 0.99, 10_000, |p| {
+                (std::f64::consts::PI * (p - 0.5)).tan()
+            })
+    }
+
+    /// The exact distribution this unit approximates.
+    pub fn exact(&self) -> Cauchy {
+        Cauchy::new(self.loc, self.scale).expect("validated in constructor")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::ContinuousDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantile_lut_hits_knots_exactly() {
+        let lut = QuantileLut::build(11, 0.1, 0.9, |p| p * p);
+        for i in 0..11 {
+            let p = 0.1 + i as f64 * 0.08;
+            assert!((lut.quantile(p) - p * p).abs() < 1e-12, "knot {i}");
+        }
+        assert_eq!(lut.size(), 11);
+        assert_eq!(lut.bytes(), 88);
+    }
+
+    #[test]
+    fn quantile_lut_clamps_out_of_range() {
+        let lut = QuantileLut::build(5, 0.2, 0.8, |p| p);
+        assert!((lut.quantile(0.0) - 0.2).abs() < 1e-12);
+        assert!((lut.quantile(1.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two knots")]
+    fn quantile_lut_rejects_tiny_size() {
+        let _ = QuantileLut::build(1, 0.1, 0.9, |p| p);
+    }
+
+    #[test]
+    fn bigger_table_is_more_precise() {
+        let small = NormalLut::new(0.0, 1.0, 64);
+        let big = NormalLut::new(0.0, 1.0, 4096);
+        assert!(big.precision() < small.precision());
+        assert!(big.precision() < 1e-3);
+    }
+
+    #[test]
+    fn normal_lut_samples_match_moments() {
+        let unit = NormalLut::new(2.0, 3.0, 2048);
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 60_000;
+        let xs: Vec<f64> = (0..n).map(|_| unit.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        assert!((v - 9.0).abs() < 0.3, "var {v}");
+    }
+
+    #[test]
+    fn cauchy_lut_precision_improves_with_size() {
+        let small = CauchyLut::new(0.0, 1.0, 256);
+        let big = CauchyLut::new(0.0, 1.0, 16_384);
+        assert!(big.precision() < small.precision());
+    }
+
+    #[test]
+    fn cauchy_lut_sample_median() {
+        let unit = CauchyLut::new(1.0, 2.0, 4096);
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut xs: Vec<f64> = (0..40_001).map(|_| unit.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn lut_cdf_roundtrip_through_exact_dist() {
+        // Quantiles from the unit should map back through the exact CDF
+        // to roughly the input probability.
+        let unit = NormalLut::new(0.0, 1.0, 8192);
+        let exact = unit.exact();
+        for &p in &[0.05, 0.3, 0.5, 0.7, 0.95] {
+            let x = unit.lut().quantile(p);
+            assert!((exact.cdf(x) - p).abs() < 1e-4, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The composed mechanism (Section VI-C, Figure 8): platform
+//! selection + computation elision, measured against the naive
+//! baseline (everything on the Broadwell server at the user's
+//! configured iteration counts).
+
+use crate::predictor::{LlcMissPredictor, MissSample};
+use crate::scheduler::PlatformScheduler;
+use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
+use bayes_suite::Workload;
+
+/// End-to-end outcome for one workload.
+#[derive(Debug, Clone)]
+pub struct OverallResult {
+    /// Workload name.
+    pub workload: String,
+    /// Platform the scheduler chose.
+    pub platform: &'static str,
+    /// Iterations after convergence detection.
+    pub iters_used: usize,
+    /// User-configured iterations.
+    pub iters_configured: usize,
+    /// Baseline latency (Broadwell, 4 cores, full iterations), s.
+    pub baseline_time_s: f64,
+    /// Optimized latency (chosen platform + elision), s.
+    pub optimized_time_s: f64,
+    /// Baseline energy, J.
+    pub baseline_energy_j: f64,
+    /// Optimized energy, J.
+    pub optimized_energy_j: f64,
+    /// Oracle latency (energy-oracle configuration), s.
+    pub oracle_time_s: f64,
+    /// Oracle energy, J.
+    pub oracle_energy_j: f64,
+}
+
+impl OverallResult {
+    /// Speedup of the full mechanism over the naive baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time_s / self.optimized_time_s
+    }
+
+    /// Oracle speedup over the baseline.
+    pub fn oracle_speedup(&self) -> f64 {
+        self.baseline_time_s / self.oracle_time_s
+    }
+
+    /// Energy saving fraction vs the baseline.
+    pub fn energy_saving(&self) -> f64 {
+        1.0 - self.optimized_energy_j / self.baseline_energy_j
+    }
+}
+
+/// The full pipeline: predictor training, scheduling, and elision.
+pub struct Pipeline {
+    scheduler: PlatformScheduler,
+    probe_iters: usize,
+    seed: u64,
+}
+
+impl Pipeline {
+    /// Builds a pipeline around a fitted predictor.
+    pub fn new(predictor: LlcMissPredictor) -> Self {
+        Self {
+            scheduler: PlatformScheduler::new(predictor),
+            probe_iters: 30,
+            seed: 42,
+        }
+    }
+
+    /// Trains the Figure 3 predictor by simulating the 4-core LLC MPKI
+    /// of every supplied workload (callers typically pass all ten
+    /// workloads at scales 1, ½, ¼).
+    pub fn train_predictor(workloads: &[Workload], probe_iters: usize, seed: u64) -> LlcMissPredictor {
+        let sky = Platform::skylake();
+        let samples: Vec<MissSample> = workloads
+            .iter()
+            .map(|w| {
+                let sig = WorkloadSignature::measure(w, probe_iters, seed);
+                let report = characterize(
+                    &sig,
+                    &sky,
+                    &SimConfig { cores: 4, chains: 4, iters: 50 },
+                );
+                MissSample {
+                    data_bytes: sig.data_bytes,
+                    mpki: report.llc_mpki,
+                }
+            })
+            .collect();
+        LlcMissPredictor::fit(&samples)
+    }
+
+    /// The scheduler in use.
+    pub fn scheduler(&self) -> &PlatformScheduler {
+        &self.scheduler
+    }
+
+    /// Sets the probe length used when measuring signatures.
+    pub fn with_probe_iters(mut self, iters: usize) -> Self {
+        self.probe_iters = iters.max(4);
+        self
+    }
+
+    /// Runs the full mechanism on one workload and reports the
+    /// Figure 8 numbers.
+    pub fn optimize(&self, w: &Workload) -> OverallResult {
+        let sig = WorkloadSignature::measure(w, self.probe_iters, self.seed);
+
+        // Elision + quality evidence: one probe drives both the
+        // convergence point and the DSE oracle below.
+        let probe = crate::dse::QualityProbe::collect(w.dynamics_model(), &sig, self.seed);
+        let iters_used = probe.detected_iters;
+
+        // Platform selection from the static feature.
+        let plat = self.scheduler.pick(sig.data_bytes);
+        let broadwell = Platform::broadwell();
+
+        let baseline = characterize(
+            &sig,
+            &broadwell,
+            &SimConfig { cores: 4, chains: sig.default_chains, iters: sig.default_iters },
+        );
+        let optimized = characterize(
+            &sig,
+            plat,
+            &SimConfig { cores: 4, chains: sig.default_chains, iters: iters_used },
+        );
+
+        // Oracle: the energy-optimal configuration on the chosen
+        // platform (Section VI-B), evaluated with the same simulation.
+        let space = crate::dse::DesignSpace::explore_with(&probe, &sig, plat);
+        let oracle = &space.points[space.oracle];
+
+        OverallResult {
+            workload: sig.name.clone(),
+            platform: plat.name,
+            iters_used,
+            iters_configured: sig.default_iters,
+            baseline_time_s: baseline.time_s,
+            optimized_time_s: optimized.time_s,
+            baseline_energy_j: baseline.energy_j,
+            optimized_energy_j: optimized.energy_j,
+            oracle_time_s: oracle.latency_s,
+            oracle_energy_j: oracle.energy_j,
+        }
+    }
+}
+
+/// Geometric-free arithmetic mean speedup across results (the paper
+/// reports arithmetic averages).
+pub fn average_speedup(results: &[OverallResult]) -> f64 {
+    results.iter().map(OverallResult::speedup).sum::<f64>() / results.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_suite::registry;
+
+    #[test]
+    fn pipeline_speeds_up_a_small_workload() {
+        // Use the cheapest workload end-to-end as a smoke test; the
+        // full ten-workload sweep lives in the fig8 bench binary.
+        let workloads = vec![
+            registry::workload("12cities", 1.0, 7).unwrap(),
+            registry::workload("butterfly", 1.0, 7).unwrap(),
+        ];
+        let predictor = Pipeline::train_predictor(&workloads, 10, 3);
+        let pipeline = Pipeline::new(predictor).with_probe_iters(10);
+        let result = pipeline.optimize(&workloads[0]);
+        assert_eq!(result.workload, "12cities");
+        assert!(
+            result.speedup() > 1.0,
+            "elision alone should beat the slow baseline: {}",
+            result.speedup()
+        );
+        assert!(result.oracle_speedup() >= result.speedup() * 0.3);
+        assert!(result.iters_used <= result.iters_configured);
+    }
+
+    #[test]
+    fn average_speedup_arithmetic() {
+        let r = |s: f64| OverallResult {
+            workload: "x".into(),
+            platform: "Skylake",
+            iters_used: 1,
+            iters_configured: 1,
+            baseline_time_s: s,
+            optimized_time_s: 1.0,
+            baseline_energy_j: 1.0,
+            optimized_energy_j: 1.0,
+            oracle_time_s: 1.0,
+            oracle_energy_j: 1.0,
+        };
+        assert!((average_speedup(&[r(2.0), r(4.0)]) - 3.0).abs() < 1e-12);
+    }
+}

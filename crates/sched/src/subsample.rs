@@ -1,0 +1,208 @@
+//! Data-subsampling advisor (Section VII-B).
+//!
+//! "With larger datasets applied to Bayesian models, simply scaling up
+//! the LLC is not the solution. Instead, the inference algorithm
+//! should be tuned to subsample the data such that the working set
+//! fits the LLC. Figure 3 can be used to estimate the proper
+//! sub-sampled data size." This module turns that remark into a
+//! mechanism: from a measured [`WorkloadSignature`] it computes the
+//! largest subsample fraction whose aggregate multi-chain working set
+//! fits a platform's LLC, and predicts the resulting configuration.
+//!
+//! Statistical caveat (the paper cites Firefly MC and friends): a
+//! subsampled likelihood targets an approximate posterior; the advisor
+//! reports the fraction so callers can decide whether the accuracy
+//! trade is acceptable.
+
+use bayes_archsim::{characterize, PerfReport, Platform, SimConfig, WorkloadSignature};
+
+/// Advice for one workload on one platform.
+#[derive(Debug, Clone)]
+pub struct SubsampleAdvice {
+    /// Workload name.
+    pub workload: String,
+    /// Recommended fraction of the modeled data (1.0 = no subsampling).
+    pub fraction: f64,
+    /// Predicted per-chain working set at that fraction, bytes.
+    pub working_set_bytes: usize,
+    /// Simulated report at the recommended fraction.
+    pub advised: PerfReport,
+    /// Simulated report at full data.
+    pub full: PerfReport,
+}
+
+impl SubsampleAdvice {
+    /// Latency improvement from subsampling at equal iteration counts.
+    ///
+    /// This is *throughput per iteration*; fewer data per iteration
+    /// also changes the posterior, which the caller must accept.
+    pub fn speedup(&self) -> f64 {
+        self.full.time_s / self.advised.time_s
+    }
+}
+
+/// The advisor: sizes subsamples against a platform's LLC.
+#[derive(Debug, Clone)]
+pub struct SubsampleAdvisor {
+    /// Fraction of the LLC the aggregate working set may occupy
+    /// (leaving room for code, stacks, and the other chains' slack).
+    pub llc_occupancy: f64,
+    /// Smallest fraction the advisor will recommend.
+    pub min_fraction: f64,
+}
+
+impl Default for SubsampleAdvisor {
+    fn default() -> Self {
+        Self {
+            llc_occupancy: 0.85,
+            min_fraction: 0.05,
+        }
+    }
+}
+
+impl SubsampleAdvisor {
+    /// Creates an advisor with default occupancy (85%).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The largest data fraction whose `chains`-way working set fits
+    /// the platform's LLC. Working set scales affinely with data: the
+    /// tape's data-sweep part shrinks with the subsample while the
+    /// parameter/state part does not.
+    pub fn recommend_fraction(
+        &self,
+        sig: &WorkloadSignature,
+        plat: &Platform,
+        chains: usize,
+    ) -> f64 {
+        let fixed = (sig.dim * 8 * 4) as f64; // sampler state
+        let scalable = (sig.data_bytes + sig.tape_bytes) as f64;
+        let budget = plat.llc_bytes as f64 * self.llc_occupancy / chains.max(1) as f64;
+        if fixed + scalable <= budget {
+            return 1.0;
+        }
+        (((budget - fixed) / scalable).clamp(self.min_fraction, 1.0) * 100.0).floor() / 100.0
+    }
+
+    /// Full advice: recommended fraction plus simulated before/after
+    /// reports at the given configuration.
+    pub fn advise(
+        &self,
+        sig: &WorkloadSignature,
+        plat: &Platform,
+        cfg: &SimConfig,
+    ) -> SubsampleAdvice {
+        let fraction = self.recommend_fraction(sig, plat, cfg.chains);
+        let scaled = scale_signature(sig, fraction);
+        SubsampleAdvice {
+            workload: sig.name.clone(),
+            fraction,
+            working_set_bytes: scaled.working_set_bytes(),
+            advised: characterize(&scaled, plat, cfg),
+            full: characterize(sig, plat, cfg),
+        }
+    }
+}
+
+/// Scales the data-dependent parts of a signature by `fraction`,
+/// modeling a subsampled likelihood: data, tape, and per-iteration
+/// instruction stream all shrink proportionally.
+pub fn scale_signature(sig: &WorkloadSignature, fraction: f64) -> WorkloadSignature {
+    let f = fraction.clamp(0.0, 1.0);
+    WorkloadSignature {
+        name: format!("{}@{:.2}", sig.name, f),
+        data_bytes: (sig.data_bytes as f64 * f) as usize,
+        tape_nodes: ((sig.tape_nodes as f64 * f) as usize).max(1),
+        tape_bytes: ((sig.tape_bytes as f64 * f) as usize).max(64),
+        transcendental_nodes: (sig.transcendental_nodes as f64 * f) as usize,
+        code_bytes: sig.code_bytes,
+        dim: sig.dim,
+        leapfrogs_per_iter: sig.leapfrogs_per_iter,
+        chain_imbalance: sig.chain_imbalance.clone(),
+        accept_mean: sig.accept_mean,
+        default_iters: sig.default_iters,
+        default_chains: sig.default_chains,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(data: usize, tape: usize) -> WorkloadSignature {
+        WorkloadSignature {
+            name: "toy".into(),
+            data_bytes: data,
+            tape_nodes: tape / 32,
+            tape_bytes: tape,
+            transcendental_nodes: tape / 640,
+            code_bytes: 16 * 1024,
+            dim: 32,
+            leapfrogs_per_iter: 16.0,
+            chain_imbalance: vec![1.0; 4],
+            accept_mean: 0.8,
+            default_iters: 2000,
+            default_chains: 4,
+        }
+    }
+
+    #[test]
+    fn small_jobs_need_no_subsampling() {
+        let advisor = SubsampleAdvisor::new();
+        let s = sig(16 * 1024, 256 * 1024);
+        assert_eq!(advisor.recommend_fraction(&s, &Platform::skylake(), 4), 1.0);
+    }
+
+    #[test]
+    fn oversized_jobs_get_a_fitting_fraction() {
+        let advisor = SubsampleAdvisor::new();
+        let s = sig(640 * 1024, 13 * 1024 * 1024); // tickets-like
+        let plat = Platform::skylake();
+        let f = advisor.recommend_fraction(&s, &plat, 4);
+        assert!(f < 1.0, "fraction {f}");
+        // The recommended working set actually fits the per-chain share.
+        let scaled = scale_signature(&s, f);
+        assert!(
+            (scaled.working_set_bytes() * 4) as f64
+                <= plat.llc_bytes as f64 * advisor.llc_occupancy + 64.0 * 4.0,
+            "ws {} over budget",
+            scaled.working_set_bytes()
+        );
+    }
+
+    #[test]
+    fn advice_removes_the_llc_bottleneck() {
+        let advisor = SubsampleAdvisor::new();
+        let s = sig(640 * 1024, 13 * 1024 * 1024);
+        let advice = advisor.advise(
+            &s,
+            &Platform::skylake(),
+            &SimConfig { cores: 4, chains: 4, iters: 100 },
+        );
+        assert!(advice.full.llc_mpki > 1.0, "full {}", advice.full.llc_mpki);
+        assert!(
+            advice.advised.llc_mpki < 1.0,
+            "advised {}",
+            advice.advised.llc_mpki
+        );
+        assert!(advice.speedup() > 1.5, "speedup {}", advice.speedup());
+    }
+
+    #[test]
+    fn fraction_respects_floor() {
+        let advisor = SubsampleAdvisor { llc_occupancy: 0.85, min_fraction: 0.2 };
+        let s = sig(64 * 1024 * 1024, 512 * 1024 * 1024); // absurd
+        let f = advisor.recommend_fraction(&s, &Platform::skylake(), 4);
+        assert!((0.2..0.21).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn bigger_llc_allows_bigger_fractions() {
+        let advisor = SubsampleAdvisor::new();
+        let s = sig(640 * 1024, 13 * 1024 * 1024);
+        let f_sky = advisor.recommend_fraction(&s, &Platform::skylake(), 4);
+        let f_bdw = advisor.recommend_fraction(&s, &Platform::broadwell(), 4);
+        assert!(f_bdw > f_sky, "{f_bdw} vs {f_sky}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Workload metadata and the [`Workload`] container.
+
+use bayes_mcmc::{EvalProfile, Model};
+
+/// Static facts about a workload — the row it contributes to Table I
+/// plus the static features the scheduler reads (Section V-A).
+#[derive(Debug, Clone)]
+pub struct WorkloadMeta {
+    /// Canonical name (`"12cities"`, `"ad"`, …).
+    pub name: &'static str,
+    /// Model family, as in Table I.
+    pub family: &'static str,
+    /// One-line application description, as in Table I.
+    pub application: &'static str,
+    /// Data description (original source → synthetic substitute).
+    pub data: &'static str,
+    /// Bytes of observed (modeled) data — the static LLC-miss
+    /// predictor feature of Figure 3.
+    pub modeled_data_bytes: usize,
+    /// Default total iterations, as set by the original model authors.
+    pub default_iters: usize,
+    /// Default chain count (Brooks et al. recommend 4).
+    pub default_chains: usize,
+    /// Approximate generated-code footprint, the i-cache pressure
+    /// proxy (tickets exceeds the 32 KB L1i, Section VII-B).
+    pub code_footprint_bytes: usize,
+}
+
+/// A BayesSuite workload: metadata, the full-scale model (used for
+/// working-set profiling), and a reduced-scale *dynamics* model (used
+/// for sampling studies, so convergence experiments don't pay the
+/// full-scale tape cost on every leapfrog).
+///
+/// The split mirrors the paper's own methodology: architectural
+/// behaviour is measured per-iteration and scaled by iteration counts,
+/// while convergence behaviour is a property of the posterior geometry,
+/// which the reduced model preserves.
+pub struct Workload {
+    meta: WorkloadMeta,
+    model: Box<dyn Model>,
+    dynamics_model: Box<dyn Model>,
+}
+
+impl Workload {
+    /// Assembles a workload from its parts; used by the per-model
+    /// constructors in [`crate::workloads`].
+    pub fn new(
+        meta: WorkloadMeta,
+        model: Box<dyn Model>,
+        dynamics_model: Box<dyn Model>,
+    ) -> Self {
+        Self {
+            meta,
+            model,
+            dynamics_model,
+        }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &'static str {
+        self.meta.name
+    }
+
+    /// Static metadata.
+    pub fn meta(&self) -> &WorkloadMeta {
+        &self.meta
+    }
+
+    /// The full-scale model (real data sizes; profile with a single
+    /// gradient evaluation, don't run thousands of NUTS iterations on
+    /// it unless you mean to).
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// The reduced-scale model with the same posterior structure, cheap
+    /// enough for full multi-chain convergence studies.
+    pub fn dynamics_model(&self) -> &dyn Model {
+        self.dynamics_model.as_ref()
+    }
+
+    /// Profiles one full-scale gradient evaluation at the origin —
+    /// the working-set probe consumed by `bayes-archsim`.
+    pub fn profile(&self) -> EvalProfile {
+        let theta = vec![0.1; self.model.dim()];
+        self.model.grad_profile(&theta)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.meta.name)
+            .field("dim", &self.model.dim())
+            .field("dynamics_dim", &self.dynamics_model.dim())
+            .finish()
+    }
+}

@@ -1,0 +1,124 @@
+//! Lookup and enumeration of the ten BayesSuite workloads.
+
+use crate::meta::Workload;
+use crate::workloads;
+
+/// Canonical workload names in the paper's Table I order.
+pub const NAMES: [&str; 10] = [
+    "12cities",
+    "ad",
+    "ode",
+    "memory",
+    "votes",
+    "tickets",
+    "disease",
+    "racial",
+    "butterfly",
+    "survival",
+];
+
+/// The canonical workload names.
+pub fn workload_names() -> &'static [&'static str] {
+    &NAMES
+}
+
+/// Builds one workload by name at the given data `scale` (1.0 = the
+/// full synthetic dataset; 0.5 / 0.25 are the `-h` / `-q` points of
+/// Figure 3).
+///
+/// Returns `None` for an unknown name.
+pub fn workload(name: &str, scale: f64, seed: u64) -> Option<Workload> {
+    let w = match name {
+        "12cities" => workloads::twelve_cities::workload(scale, seed),
+        "ad" => workloads::ad::workload(scale, seed),
+        "ode" => workloads::ode::workload(scale, seed),
+        "memory" => workloads::memory::workload(scale, seed),
+        "votes" => workloads::votes::workload(scale, seed),
+        "tickets" => workloads::tickets::workload(scale, seed),
+        "disease" => workloads::disease::workload(scale, seed),
+        "racial" => workloads::racial::workload(scale, seed),
+        "butterfly" => workloads::butterfly::workload(scale, seed),
+        "survival" => workloads::survival::workload(scale, seed),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Builds all ten workloads at the given scale.
+pub fn all_workloads(scale: f64, seed: u64) -> Vec<Workload> {
+    NAMES
+        .iter()
+        .map(|n| workload(n, scale, seed).expect("registry names are valid"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve() {
+        for name in workload_names() {
+            let w = workload(name, 0.05, 1).expect("known name");
+            assert_eq!(&w.name(), name);
+            assert!(w.model().dim() > 0);
+            assert!(w.dynamics_model().dim() > 0);
+        }
+        assert!(workload("nonesuch", 1.0, 1).is_none());
+    }
+
+    #[test]
+    fn all_workloads_returns_ten_in_order() {
+        let all = all_workloads(0.05, 2);
+        assert_eq!(all.len(), 10);
+        let names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        assert_eq!(names, NAMES.to_vec());
+    }
+
+    #[test]
+    fn metadata_is_populated() {
+        for w in all_workloads(0.05, 3) {
+            let m = w.meta();
+            assert!(!m.family.is_empty());
+            assert!(!m.application.is_empty());
+            assert!(m.modeled_data_bytes > 0);
+            assert!(m.default_iters >= 1000);
+            assert_eq!(m.default_chains, 4);
+            assert!(m.code_footprint_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn llc_bound_trio_has_the_largest_full_scale_tapes() {
+        // The paper's key split (Section IV-B): ad, survival, tickets
+        // are LLC-bound; everyone else fits. Verify via tape bytes at
+        // full scale: the trio's per-chain working sets exceed 2 MB
+        // (Skylake 8 MB LLC / 4 chains), the rest stay under.
+        let bound = ["ad", "survival", "tickets"];
+        for w in all_workloads(1.0, 4) {
+            let tape = w.profile().tape_bytes;
+            if bound.contains(&w.name()) {
+                assert!(
+                    tape > 2_000_000,
+                    "{} tape {tape} should exceed 2 MB",
+                    w.name()
+                );
+            } else {
+                assert!(
+                    tape < 2_000_000,
+                    "{} tape {tape} should stay under 2 MB",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modeled_data_size_orders_the_llc_bound_trio() {
+        // Figure 3's static predictor: ad < survival < tickets.
+        let ad = workload("ad", 1.0, 5).unwrap().meta().modeled_data_bytes;
+        let sv = workload("survival", 1.0, 5).unwrap().meta().modeled_data_bytes;
+        let tk = workload("tickets", 1.0, 5).unwrap().meta().modeled_data_bytes;
+        assert!(ad < sv && sv < tk, "{ad} < {sv} < {tk}");
+    }
+}

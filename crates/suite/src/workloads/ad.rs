@@ -1,0 +1,197 @@
+//! `ad` — logistic regression for advertising attribution in the movie
+//! industry (Lei, Sanders & Dawson, StanCon 2017).
+//!
+//! Original data: survey of ~3.5 k respondents with demographics and
+//! chosen advertising channels. Synthetic substitute: feature vectors
+//! from a standard normal design and labels from the assumed logistic
+//! model. One of the paper's three LLC-bound workloads.
+//!
+//! Parameterization: `θ[0] = intercept`, `θ[1..1+K] = channel
+//! coefficients`.
+
+use crate::meta::{Workload, WorkloadMeta};
+use crate::workloads::scaled_count;
+use bayes_autodiff::Real;
+use bayes_mcmc::lp;
+use bayes_mcmc::{AdModel, LogDensity};
+use bayes_prob::dist::{ContinuousDist, Normal};
+use bayes_prob::special::sigmoid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of advertising-channel covariates.
+pub const CHANNELS: usize = 6;
+
+/// Survey design matrix and conversion labels.
+#[derive(Debug, Clone)]
+pub struct AdData {
+    /// Row-major design matrix, `n × CHANNELS`.
+    pub x: Vec<f64>,
+    /// Conversion outcome per respondent.
+    pub y: Vec<bool>,
+}
+
+impl AdData {
+    /// Generates `n` survey rows from the assumed logistic model.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normal = Normal::standard();
+        let true_beta = [0.8, -0.5, 0.3, 1.1, 0.0, -0.9];
+        let intercept = -0.4;
+        let mut x = Vec::with_capacity(n * CHANNELS);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut eta = intercept;
+            for k in 0..CHANNELS {
+                let v = normal.sample(&mut rng);
+                eta += true_beta[k] * v;
+                x.push(v);
+            }
+            y.push(rng.gen_range(0.0..1.0) < sigmoid(eta));
+        }
+        Self { x, y }
+    }
+
+    /// Respondent count.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the survey is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Bytes of modeled data (covariates + label per row).
+    pub fn modeled_bytes(&self) -> usize {
+        self.len() * (CHANNELS * 8 + 8)
+    }
+}
+
+/// Log-posterior of the logistic attribution model.
+#[derive(Debug, Clone)]
+pub struct AdDensity {
+    data: AdData,
+}
+
+impl AdDensity {
+    /// Wraps a dataset.
+    pub fn new(data: AdData) -> Self {
+        Self { data }
+    }
+}
+
+impl LogDensity for AdDensity {
+    fn dim(&self) -> usize {
+        1 + CHANNELS
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        let intercept = theta[0];
+        let beta = &theta[1..1 + CHANNELS];
+
+        // Weakly-informative priors (Stan's logistic default, N(0, 2.5)).
+        let mut acc = lp::normal_prior(intercept, 0.0, 2.5);
+        for &b in beta {
+            acc = acc + lp::normal_prior(b, 0.0, 2.5);
+        }
+        // Likelihood sweep over all survey rows.
+        for i in 0..self.data.len() {
+            let row = &self.data.x[i * CHANNELS..(i + 1) * CHANNELS];
+            let mut eta = intercept;
+            for k in 0..CHANNELS {
+                eta = eta + beta[k] * row[k];
+            }
+            acc = acc + lp::bernoulli_logit_lpmf(self.data.y[i], eta);
+        }
+        acc
+    }
+}
+
+/// Builds the `ad` workload at the given data scale.
+pub fn workload(scale: f64, seed: u64) -> Workload {
+    let n = scaled_count(5000, scale, 40);
+    let data = AdData::generate(n, seed);
+    let bytes = data.modeled_bytes();
+    let model = AdModel::new("ad", AdDensity::new(data));
+    let dyn_data = AdData::generate(scaled_count(5000, scale * 0.1, 40), seed);
+    let dynamics = AdModel::new("ad", AdDensity::new(dyn_data));
+    Workload::new(
+        WorkloadMeta {
+            name: "ad",
+            family: "Logistic Regression",
+            application: "Advertising attribution in the movie industry",
+            data: "StanCon 2017 survey (synthetic, 4.5k respondents)",
+            modeled_data_bytes: bytes,
+            default_iters: 2000,
+            default_chains: 4,
+            code_footprint_bytes: 12 * 1024,
+        },
+        Box::new(model),
+        Box::new(dynamics),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::nuts::Nuts;
+    use bayes_mcmc::{chain, Model, RunConfig};
+
+    #[test]
+    fn generation_deterministic_and_sized() {
+        let a = AdData::generate(100, 1);
+        let b = AdData::generate(100, 1);
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.modeled_bytes(), 100 * 56);
+    }
+
+    #[test]
+    fn labels_are_not_degenerate() {
+        let d = AdData::generate(2000, 2);
+        let positives = d.y.iter().filter(|&&b| b).count();
+        assert!(positives > 400 && positives < 1600, "positives {positives}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = AdModel::new("ad", AdDensity::new(AdData::generate(60, 3)));
+        let theta: Vec<f64> = (0..m.dim()).map(|i| 0.05 * i as f64).collect();
+        let mut g = vec![0.0; m.dim()];
+        m.ln_posterior_grad(&theta, &mut g);
+        for i in 0..m.dim() {
+            let h = 1e-6;
+            let mut tp = theta.clone();
+            let mut tm = theta.clone();
+            tp[i] += h;
+            tm[i] -= h;
+            let fd = (m.ln_posterior(&tp) - m.ln_posterior(&tm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn posterior_recovers_strongest_channel() {
+        // Channel 3 (β = 1.1) should dominate channel 4 (β = 0).
+        let w = workload(0.2, 5);
+        let cfg = RunConfig::new(500).with_chains(2).with_seed(9);
+        let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+        let b3 = out.mean(4);
+        let b4 = out.mean(5);
+        assert!(b3 > 0.6, "beta3 {b3}");
+        assert!(b4.abs() < 0.5, "beta4 {b4}");
+    }
+
+    #[test]
+    fn full_model_tape_is_mb_scale() {
+        // The LLC-bound character comes from the multi-MB tape.
+        let w = workload(1.0, 1);
+        let p = w.profile();
+        assert!(
+            p.tape_bytes > 2_000_000,
+            "tape {} bytes should exceed 2 MB",
+            p.tape_bytes
+        );
+    }
+}

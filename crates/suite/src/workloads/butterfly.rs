@@ -1,0 +1,205 @@
+//! `butterfly` — hierarchical estimation of butterfly species richness
+//! and accumulation (Dorazio et al. 2006).
+//!
+//! Original data: transect counts from grassland fragments in
+//! south-central Sweden. Synthetic substitute: detection counts per
+//! species × site from the assumed binomial model with hierarchical
+//! species detectabilities and site effects.
+//!
+//! Parameterization: `θ[0] = μ_α`, `θ[1] = ln σ_α`, `θ[2] = ln σ_β`,
+//! `θ[3..3+S] = α_species`, `θ[3+S..3+S+J] = β_site`.
+
+use crate::meta::{Workload, WorkloadMeta};
+use crate::workloads::scaled_count;
+use bayes_autodiff::Real;
+use bayes_mcmc::lp;
+use bayes_mcmc::{AdModel, LogDensity};
+use bayes_prob::dist::{Binomial, ContinuousDist, DiscreteDist, Normal};
+use bayes_prob::special::sigmoid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Species tracked in the survey.
+pub const SPECIES: usize = 25;
+/// Visits per site.
+pub const VISITS: u64 = 10;
+
+/// Detection counts per species × site.
+#[derive(Debug, Clone)]
+pub struct ButterflyData {
+    /// Detections out of [`VISITS`] visits, `SPECIES × sites`
+    /// row-major.
+    pub y: Vec<u64>,
+    sites: usize,
+}
+
+impl ButterflyData {
+    /// Simulates a survey over `sites` locations.
+    pub fn generate(sites: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alpha_prior = Normal::new(-1.0, 1.0).expect("static");
+        let beta_prior = Normal::new(0.0, 0.5).expect("static");
+        let alphas: Vec<f64> = (0..SPECIES).map(|_| alpha_prior.sample(&mut rng)).collect();
+        let betas: Vec<f64> = (0..sites).map(|_| beta_prior.sample(&mut rng)).collect();
+        let mut y = Vec::with_capacity(SPECIES * sites);
+        for s in 0..SPECIES {
+            for j in 0..sites {
+                let p = sigmoid(alphas[s] + betas[j]);
+                y.push(Binomial::new(VISITS, p).expect("valid p").sample(&mut rng));
+            }
+        }
+        Self { y, sites }
+    }
+
+    /// Cell count.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the survey is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of sites.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Bytes of modeled data.
+    pub fn modeled_bytes(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+/// Log-posterior of the richness model.
+#[derive(Debug, Clone)]
+pub struct ButterflyDensity {
+    data: ButterflyData,
+}
+
+impl ButterflyDensity {
+    /// Wraps a dataset.
+    pub fn new(data: ButterflyData) -> Self {
+        Self { data }
+    }
+}
+
+impl LogDensity for ButterflyDensity {
+    fn dim(&self) -> usize {
+        3 + SPECIES + self.data.sites()
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        let mu_alpha = theta[0];
+        let sigma_alpha = theta[1].exp();
+        let sigma_beta = theta[2].exp();
+        let alphas = &theta[3..3 + SPECIES];
+        let betas = &theta[3 + SPECIES..];
+
+        let mut acc = lp::normal_prior(mu_alpha, -1.0, 1.0)
+            + lp::normal_prior(theta[1], -0.5, 1.0)
+            + lp::normal_prior(theta[2], -1.0, 1.0);
+        for &a in alphas {
+            acc = acc + lp::normal_lpdf(a, mu_alpha, sigma_alpha);
+        }
+        for &b in betas {
+            acc = acc + lp::normal_lpdf(b, mu_alpha * 0.0, sigma_beta);
+        }
+        for s in 0..SPECIES {
+            for j in 0..self.data.sites() {
+                let logit = alphas[s] + betas[j];
+                acc = acc
+                    + lp::binomial_logit_lpmf(self.data.y[s * self.data.sites() + j], VISITS, logit);
+            }
+        }
+        acc
+    }
+}
+
+/// Builds the `butterfly` workload at the given data scale.
+pub fn workload(scale: f64, seed: u64) -> Workload {
+    let sites = scaled_count(40, scale, 4);
+    let data = ButterflyData::generate(sites, seed);
+    let bytes = data.modeled_bytes();
+    let model = AdModel::new("butterfly", ButterflyDensity::new(data));
+    let dyn_data = ButterflyData::generate(scaled_count(40, scale * 0.3, 4), seed);
+    let dynamics = AdModel::new("butterfly", ButterflyDensity::new(dyn_data));
+    Workload::new(
+        WorkloadMeta {
+            name: "butterfly",
+            family: "Hierarchical Bayesian",
+            application: "Estimating butterfly species richness and accumulation",
+            data: "Swedish grassland transects (synthetic detection counts)",
+            modeled_data_bytes: bytes,
+            default_iters: 2000,
+            default_chains: 4,
+            code_footprint_bytes: 16 * 1024,
+        },
+        Box::new(model),
+        Box::new(dynamics),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::nuts::Nuts;
+    use bayes_mcmc::{chain, Model, RunConfig};
+
+    #[test]
+    fn generation_shapes() {
+        let d = ButterflyData::generate(8, 1);
+        assert_eq!(d.len(), SPECIES * 8);
+        assert!(d.y.iter().all(|&c| c <= VISITS));
+        assert_eq!(d.y, ButterflyData::generate(8, 1).y);
+    }
+
+    #[test]
+    fn detections_vary_across_species() {
+        let d = ButterflyData::generate(20, 2);
+        let totals: Vec<u64> = (0..SPECIES)
+            .map(|s| (0..20).map(|j| d.y[s * 20 + j]).sum())
+            .collect();
+        let max = totals.iter().max().unwrap();
+        let min = totals.iter().min().unwrap();
+        assert!(max > &(min + 10), "species heterogeneity expected");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = AdModel::new("b", ButterflyDensity::new(ButterflyData::generate(4, 3)));
+        let theta: Vec<f64> = (0..m.dim()).map(|i| -0.2 + 0.04 * (i % 9) as f64).collect();
+        let mut g = vec![0.0; m.dim()];
+        m.ln_posterior_grad(&theta, &mut g);
+        for i in [0usize, 1, 2, 5, 3 + SPECIES] {
+            let h = 1e-6;
+            let mut tp = theta.clone();
+            let mut tm = theta.clone();
+            tp[i] += h;
+            tm[i] -= h;
+            let fd = (m.ln_posterior(&tp) - m.ln_posterior(&tm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn posterior_ranks_species_by_detectability() {
+        let w = workload(0.3, 9);
+        let cfg = RunConfig::new(400).with_chains(2).with_seed(61);
+        let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+        // Posterior means of species effects should correlate with
+        // raw detection counts: compare the most- and least-detected.
+        let d = ButterflyData::generate(scaled_count(40, 0.3 * 0.3, 4), 9);
+        let sites = d.sites();
+        let totals: Vec<u64> = (0..SPECIES)
+            .map(|s| (0..sites).map(|j| d.y[s * sites + j]).sum())
+            .collect();
+        let hi = (0..SPECIES).max_by_key(|&s| totals[s]).unwrap();
+        let lo = (0..SPECIES).min_by_key(|&s| totals[s]).unwrap();
+        assert!(
+            out.mean(3 + hi) > out.mean(3 + lo),
+            "alpha ordering should match detections"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! `memory` — hierarchical Bayesian model of memory retrieval in
+//! sentence comprehension (Nicenboim & Vasishth 2016), a direct-access
+//! model over recall latency and accuracy.
+//!
+//! Original data: psycholinguistic experiments measuring recall
+//! accuracy and response latency. Synthetic substitute: per-subject
+//! latencies from the assumed hierarchical log-normal and accuracies
+//! from the assumed hierarchical logistic component.
+//!
+//! Parameterization: `θ[0] = μ_α`, `θ[1] = ln τ_α`, `θ[2] = β` (load
+//! effect on latency), `θ[3] = ln σ`, `θ[4] = μ_δ`, `θ[5] = ln τ_δ`,
+//! `θ[6..6+J] = α_subject`, `θ[6+J..6+2J] = δ_subject`.
+
+use crate::meta::{Workload, WorkloadMeta};
+use crate::workloads::scaled_count;
+use bayes_autodiff::Real;
+use bayes_mcmc::lp;
+use bayes_mcmc::{AdModel, LogDensity};
+use bayes_prob::dist::{ContinuousDist, LogNormal, Normal};
+use bayes_prob::special::sigmoid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Trials per subject.
+pub const TRIALS: usize = 50;
+
+/// Recall latencies and accuracies per subject-trial.
+#[derive(Debug, Clone)]
+pub struct MemoryData {
+    /// Response latency (seconds).
+    pub latency: Vec<f64>,
+    /// Recall correct?
+    pub correct: Vec<bool>,
+    /// Memory-load covariate (distractor count, centered).
+    pub load: Vec<f64>,
+    /// Subject index per trial.
+    pub subject: Vec<usize>,
+    subjects: usize,
+}
+
+impl MemoryData {
+    /// Simulates `subjects × TRIALS` trials from the assumed model.
+    pub fn generate(subjects: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alpha_prior = Normal::new(-0.5, 0.3).expect("static");
+        let delta_prior = Normal::new(1.0, 0.6).expect("static");
+        let beta = 0.15;
+        let sigma = 0.4;
+        let n = subjects * TRIALS;
+        let mut latency = Vec::with_capacity(n);
+        let mut correct = Vec::with_capacity(n);
+        let mut load = Vec::with_capacity(n);
+        let mut subject = Vec::with_capacity(n);
+        for s in 0..subjects {
+            let alpha = alpha_prior.sample(&mut rng);
+            let delta = delta_prior.sample(&mut rng);
+            for t in 0..TRIALS {
+                let l = (t % 5) as f64 - 2.0;
+                let ln = LogNormal::new(alpha + beta * l, sigma).expect("valid");
+                latency.push(ln.sample(&mut rng));
+                correct.push(rng.gen_range(0.0..1.0) < sigmoid(delta - 0.2 * l));
+                load.push(l);
+                subject.push(s);
+            }
+        }
+        Self {
+            latency,
+            correct,
+            load,
+            subject,
+            subjects,
+        }
+    }
+
+    /// Trial count.
+    pub fn len(&self) -> usize {
+        self.latency.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.latency.is_empty()
+    }
+
+    /// Number of subjects.
+    pub fn subjects(&self) -> usize {
+        self.subjects
+    }
+
+    /// Bytes of modeled data.
+    pub fn modeled_bytes(&self) -> usize {
+        self.len() * (8 + 8 + 8 + 8)
+    }
+}
+
+/// Log-posterior of the direct-access retrieval model.
+#[derive(Debug, Clone)]
+pub struct MemoryDensity {
+    data: MemoryData,
+}
+
+impl MemoryDensity {
+    /// Wraps a dataset.
+    pub fn new(data: MemoryData) -> Self {
+        Self { data }
+    }
+}
+
+impl LogDensity for MemoryDensity {
+    fn dim(&self) -> usize {
+        6 + 2 * self.data.subjects()
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        let j = self.data.subjects();
+        let mu_alpha = theta[0];
+        let tau_alpha = theta[1].exp();
+        let beta = theta[2];
+        let sigma = theta[3].exp();
+        let mu_delta = theta[4];
+        let tau_delta = theta[5].exp();
+        let alphas = &theta[6..6 + j];
+        let deltas = &theta[6 + j..6 + 2 * j];
+
+        let mut acc = lp::normal_prior(theta[0], 0.0, 1.0)
+            + lp::normal_prior(theta[1], -1.0, 1.0)
+            + lp::normal_prior(beta, 0.0, 0.5)
+            + lp::normal_prior(theta[3], -1.0, 1.0)
+            + lp::normal_prior(theta[4], 0.0, 1.5)
+            + lp::normal_prior(theta[5], -1.0, 1.0);
+        for s in 0..j {
+            acc = acc
+                + lp::normal_lpdf(alphas[s], mu_alpha, tau_alpha)
+                + lp::normal_lpdf(deltas[s], mu_delta, tau_delta);
+        }
+        for i in 0..self.data.len() {
+            let s = self.data.subject[i];
+            let mu = alphas[s] + beta * self.data.load[i];
+            acc = acc + lp::lognormal_lpdf_data(self.data.latency[i], mu, sigma);
+            let logit = deltas[s] - self.data.load[i] * 0.2;
+            acc = acc + lp::bernoulli_logit_lpmf(self.data.correct[i], logit);
+        }
+        acc
+    }
+}
+
+/// Builds the `memory` workload at the given data scale.
+pub fn workload(scale: f64, seed: u64) -> Workload {
+    let subjects = scaled_count(30, scale, 3);
+    let data = MemoryData::generate(subjects, seed);
+    let bytes = data.modeled_bytes();
+    let model = AdModel::new("memory", MemoryDensity::new(data));
+    let dyn_data = MemoryData::generate(scaled_count(30, scale * 0.3, 3), seed);
+    let dynamics = AdModel::new("memory", MemoryDensity::new(dyn_data));
+    Workload::new(
+        WorkloadMeta {
+            name: "memory",
+            family: "Hierarchical Bayesian",
+            application: "Modeling memory retrieval in sentence comprehension",
+            data: "recall accuracy/latency experiments (synthetic trials)",
+            modeled_data_bytes: bytes,
+            default_iters: 4000,
+            default_chains: 4,
+            code_footprint_bytes: 22 * 1024,
+        },
+        Box::new(model),
+        Box::new(dynamics),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::nuts::Nuts;
+    use bayes_mcmc::{chain, Model, RunConfig};
+
+    #[test]
+    fn generation_shapes_and_determinism() {
+        let d = MemoryData::generate(5, 1);
+        assert_eq!(d.len(), 250);
+        assert_eq!(d.subjects(), 5);
+        assert!(d.latency.iter().all(|&l| l > 0.0));
+        assert_eq!(d.latency, MemoryData::generate(5, 1).latency);
+    }
+
+    #[test]
+    fn load_slows_recall_in_generated_data() {
+        let d = MemoryData::generate(60, 2);
+        let mean_at = |lv: f64| {
+            let xs: Vec<f64> = (0..d.len())
+                .filter(|&i| d.load[i] == lv)
+                .map(|i| d.latency[i])
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean_at(2.0) > mean_at(-2.0), "higher load should be slower");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = AdModel::new("m", MemoryDensity::new(MemoryData::generate(4, 3)));
+        let theta: Vec<f64> = (0..m.dim()).map(|i| 0.1 * ((i % 7) as f64 - 3.0)).collect();
+        let mut g = vec![0.0; m.dim()];
+        m.ln_posterior_grad(&theta, &mut g);
+        for i in [0usize, 1, 2, 3, 4, 5, 8, 12] {
+            let h = 1e-6;
+            let mut tp = theta.clone();
+            let mut tm = theta.clone();
+            tp[i] += h;
+            tm[i] -= h;
+            let fd = (m.ln_posterior(&tp) - m.ln_posterior(&tm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn posterior_recovers_positive_load_effect() {
+        let w = workload(0.3, 5);
+        let cfg = RunConfig::new(400).with_chains(2).with_seed(31);
+        let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+        let beta = out.mean(2);
+        assert!(beta > 0.05, "beta {beta} should be positive");
+    }
+
+    #[test]
+    fn tape_is_below_the_llc_bound_trio() {
+        let m = workload(1.0, 1).profile().tape_bytes;
+        let a = crate::workloads::ad::workload(1.0, 1).profile().tape_bytes;
+        assert!(m < a, "memory {m} should be below ad {a}");
+    }
+}

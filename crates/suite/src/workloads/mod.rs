@@ -1,0 +1,31 @@
+//! One module per BayesSuite workload. Each exposes a data generator,
+//! a [`bayes_mcmc::LogDensity`] implementation, and a
+//! `workload(scale, seed)` constructor returning the packaged
+//! [`crate::Workload`].
+
+pub mod ad;
+pub mod butterfly;
+pub mod disease;
+pub mod memory;
+pub mod ode;
+pub mod racial;
+pub mod survival;
+pub mod tickets;
+pub mod twelve_cities;
+pub mod votes;
+
+pub(crate) fn scaled_count(base: usize, scale: f64, min: usize) -> usize {
+    ((base as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scaled_count;
+
+    #[test]
+    fn scaled_count_clamps() {
+        assert_eq!(scaled_count(100, 1.0, 4), 100);
+        assert_eq!(scaled_count(100, 0.5, 4), 50);
+        assert_eq!(scaled_count(100, 0.001, 4), 4);
+    }
+}

@@ -1,0 +1,241 @@
+//! `racial` — the threshold test for racial bias in vehicle searches
+//! (Simoiu, Corbett-Davies & Goel 2017).
+//!
+//! Original data: 4.5 M police stops from North Carolina, aggregated to
+//! department × race-group counts. Synthetic substitute: stop, search
+//! and hit counts per department-group cell drawn from the assumed
+//! hierarchical model, with lower search thresholds for the minority
+//! groups (the study's finding).
+//!
+//! Parameterization: `θ[0..G] = λ_race` (signal), `θ[G..2G] = t_race`
+//! (thresholds), `θ[2G] = μ_φ`, `θ[2G+1] = ln σ_φ`,
+//! `θ[2G+2..2G+2+D] = φ_dept`.
+
+use crate::meta::{Workload, WorkloadMeta};
+use crate::workloads::scaled_count;
+use bayes_autodiff::Real;
+use bayes_mcmc::lp;
+use bayes_mcmc::{AdModel, LogDensity};
+use bayes_prob::dist::{Binomial, DiscreteDist};
+use bayes_prob::special::sigmoid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Race groups in the study.
+pub const GROUPS: usize = 4;
+
+/// Department × group stop/search/hit counts.
+#[derive(Debug, Clone)]
+pub struct RacialData {
+    /// Stops per cell (`departments × GROUPS` row-major).
+    pub stops: Vec<u64>,
+    /// Searches per cell.
+    pub searches: Vec<u64>,
+    /// Hits (contraband found) per cell.
+    pub hits: Vec<u64>,
+    departments: usize,
+}
+
+impl RacialData {
+    /// Simulates counts for `departments` departments.
+    pub fn generate(departments: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Lower thresholds for groups 1-3 (the bias being tested).
+        let thresholds = [0.0, -0.4, -0.5, -0.3];
+        let signal = [0.5, 0.6, 0.55, 0.5];
+        let dept_effect =
+            bayes_prob::dist::Normal::new(-1.2, 0.4).expect("static");
+        use bayes_prob::dist::ContinuousDist;
+        let cells = departments * GROUPS;
+        let mut stops = Vec::with_capacity(cells);
+        let mut searches = Vec::with_capacity(cells);
+        let mut hits = Vec::with_capacity(cells);
+        for _ in 0..departments {
+            let phi = dept_effect.sample(&mut rng);
+            for g in 0..GROUPS {
+                let n_stops = 400 + (g * 137) as u64 % 300;
+                let p_search = sigmoid(phi - thresholds[g]);
+                let s = Binomial::new(n_stops, p_search)
+                    .expect("valid p")
+                    .sample(&mut rng);
+                let p_hit = sigmoid(signal[g] + thresholds[g]);
+                let h = Binomial::new(s, p_hit).expect("valid p").sample(&mut rng);
+                stops.push(n_stops);
+                searches.push(s);
+                hits.push(h);
+            }
+        }
+        Self {
+            stops,
+            searches,
+            hits,
+            departments,
+        }
+    }
+
+    /// Cell count (`departments × GROUPS`).
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Whether there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+
+    /// Number of departments.
+    pub fn departments(&self) -> usize {
+        self.departments
+    }
+
+    /// Bytes of modeled data.
+    pub fn modeled_bytes(&self) -> usize {
+        self.len() * 24
+    }
+}
+
+/// Log-posterior of the (simplified) threshold test.
+#[derive(Debug, Clone)]
+pub struct RacialDensity {
+    data: RacialData,
+}
+
+impl RacialDensity {
+    /// Wraps a dataset.
+    pub fn new(data: RacialData) -> Self {
+        Self { data }
+    }
+}
+
+impl LogDensity for RacialDensity {
+    fn dim(&self) -> usize {
+        2 * GROUPS + 2 + self.data.departments()
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        let signal = &theta[0..GROUPS];
+        let thresh = &theta[GROUPS..2 * GROUPS];
+        let mu_phi = theta[2 * GROUPS];
+        let sigma_phi = theta[2 * GROUPS + 1].exp();
+        let phis = &theta[2 * GROUPS + 2..];
+
+        let mut acc = lp::normal_prior(mu_phi, -1.0, 1.0)
+            + lp::normal_prior(theta[2 * GROUPS + 1], -1.0, 1.0);
+        for g in 0..GROUPS {
+            acc = acc
+                + lp::normal_prior(signal[g], 0.5, 1.0)
+                + lp::normal_prior(thresh[g], 0.0, 1.0);
+        }
+        for &phi in phis {
+            acc = acc + lp::normal_lpdf(phi, mu_phi, sigma_phi);
+        }
+        for d in 0..self.data.departments() {
+            for g in 0..GROUPS {
+                let i = d * GROUPS + g;
+                // Search decision: logit = φ_d − t_g.
+                acc = acc
+                    + lp::binomial_logit_lpmf(
+                        self.data.searches[i],
+                        self.data.stops[i],
+                        phis[d] - thresh[g],
+                    );
+                // Hit rate among searched: logit = λ_g + t_g.
+                acc = acc
+                    + lp::binomial_logit_lpmf(
+                        self.data.hits[i],
+                        self.data.searches[i],
+                        signal[g] + thresh[g],
+                    );
+            }
+        }
+        acc
+    }
+}
+
+/// Builds the `racial` workload at the given data scale.
+pub fn workload(scale: f64, seed: u64) -> Workload {
+    let departments = scaled_count(60, scale, 4);
+    let data = RacialData::generate(departments, seed);
+    let bytes = data.modeled_bytes();
+    let model = AdModel::new("racial", RacialDensity::new(data));
+    let dyn_data = RacialData::generate(scaled_count(60, scale * 0.25, 4), seed);
+    let dynamics = AdModel::new("racial", RacialDensity::new(dyn_data));
+    Workload::new(
+        WorkloadMeta {
+            name: "racial",
+            family: "Hierarchical Bayesian",
+            application: "Testing for racial bias in vehicle searches by police",
+            data: "NC police stops (synthetic dept × group counts)",
+            modeled_data_bytes: bytes,
+            default_iters: 2000,
+            default_chains: 4,
+            code_footprint_bytes: 20 * 1024,
+        },
+        Box::new(model),
+        Box::new(dynamics),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::nuts::Nuts;
+    use bayes_mcmc::{chain, Model, RunConfig};
+
+    #[test]
+    fn generation_shapes_and_consistency() {
+        let d = RacialData::generate(20, 1);
+        assert_eq!(d.len(), 80);
+        assert_eq!(d.departments(), 20);
+        for i in 0..d.len() {
+            assert!(d.searches[i] <= d.stops[i]);
+            assert!(d.hits[i] <= d.searches[i]);
+        }
+        assert_eq!(d.stops, RacialData::generate(20, 1).stops);
+    }
+
+    #[test]
+    fn minority_groups_are_searched_more() {
+        let d = RacialData::generate(100, 2);
+        let rate = |g: usize| {
+            let (mut s, mut n) = (0u64, 0u64);
+            for dept in 0..d.departments() {
+                s += d.searches[dept * GROUPS + g];
+                n += d.stops[dept * GROUPS + g];
+            }
+            s as f64 / n as f64
+        };
+        // Group 2 has the lowest threshold, so the highest search rate.
+        assert!(rate(2) > rate(0), "search rates {} vs {}", rate(2), rate(0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = AdModel::new("r", RacialDensity::new(RacialData::generate(4, 3)));
+        let theta: Vec<f64> = (0..m.dim()).map(|i| 0.1 * ((i % 6) as f64) - 0.3).collect();
+        let mut g = vec![0.0; m.dim()];
+        m.ln_posterior_grad(&theta, &mut g);
+        for i in [0usize, 4, 8, 9, 11] {
+            let h = 1e-6;
+            let mut tp = theta.clone();
+            let mut tm = theta.clone();
+            tp[i] += h;
+            tm[i] -= h;
+            let fd = (m.ln_posterior(&tp) - m.ln_posterior(&tm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-3 * (1.0 + fd.abs()), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn posterior_finds_lower_threshold_for_group_two() {
+        let w = workload(0.5, 7);
+        let cfg = RunConfig::new(500).with_chains(2).with_seed(51);
+        let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+        let t0 = out.mean(GROUPS); // threshold of group 0
+        let t2 = out.mean(GROUPS + 2); // threshold of group 2
+        assert!(
+            t2 < t0,
+            "threshold test should flag group 2: t2={t2} t0={t0}"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! `survival` — Cormack–Jolly–Seber estimation of animal survival from
+//! capture–recapture histories (Kéry & Schaub, *Bayesian Population
+//! Analysis*).
+//!
+//! Original data: capture–recapture histories from the BPA book.
+//! Synthetic substitute: individual histories simulated from the CJS
+//! process itself (release, survive with φ_t, be recaptured with p_t).
+//! One of the paper's three LLC-bound workloads: the likelihood sweeps
+//! every individual history.
+//!
+//! Parameterization: `θ[0..T-1] = logit φ_t`, `θ[T-1..2(T-1)] =
+//! logit p_{t+1}`.
+
+use crate::meta::{Workload, WorkloadMeta};
+use crate::workloads::scaled_count;
+use bayes_autodiff::Real;
+use bayes_mcmc::lp;
+use bayes_mcmc::{AdModel, LogDensity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Capture occasions per individual.
+pub const OCCASIONS: usize = 5;
+
+/// Individual capture histories, all released at occasion 0.
+#[derive(Debug, Clone)]
+pub struct SurvivalData {
+    /// Flattened `n × OCCASIONS` capture indicators (0/1), stored as
+    /// 4-byte ints as Stan would.
+    pub histories: Vec<u32>,
+    n: usize,
+}
+
+impl SurvivalData {
+    /// Simulates `n` individuals through the CJS process.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = [0.8, 0.75, 0.7, 0.65]; // survival per interval
+        let p = [0.5, 0.55, 0.5, 0.45]; // recapture per later occasion
+        let mut histories = vec![0u32; n * OCCASIONS];
+        for i in 0..n {
+            histories[i * OCCASIONS] = 1; // released (first capture)
+            let mut alive = true;
+            for t in 0..OCCASIONS - 1 {
+                if alive && rng.gen_range(0.0..1.0) < phi[t] {
+                    if rng.gen_range(0.0..1.0) < p[t] {
+                        histories[i * OCCASIONS + t + 1] = 1;
+                    }
+                } else {
+                    alive = false;
+                }
+            }
+        }
+        Self { histories, n }
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Capture indicator for individual `i` at occasion `t`.
+    pub fn captured(&self, i: usize, t: usize) -> bool {
+        self.histories[i * OCCASIONS + t] == 1
+    }
+
+    /// Occasion of last capture for individual `i`.
+    pub fn last_capture(&self, i: usize) -> usize {
+        (0..OCCASIONS)
+            .rev()
+            .find(|&t| self.captured(i, t))
+            .unwrap_or(0)
+    }
+
+    /// Bytes of modeled data (4-byte capture indicators).
+    pub fn modeled_bytes(&self) -> usize {
+        self.histories.len() * 4
+    }
+}
+
+/// Log-posterior of the time-varying CJS model.
+#[derive(Debug, Clone)]
+pub struct SurvivalDensity {
+    data: SurvivalData,
+}
+
+impl SurvivalDensity {
+    /// Wraps a dataset.
+    pub fn new(data: SurvivalData) -> Self {
+        Self { data }
+    }
+}
+
+impl LogDensity for SurvivalDensity {
+    fn dim(&self) -> usize {
+        2 * (OCCASIONS - 1)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        let t_int = OCCASIONS - 1;
+        // φ_t and p_{t+1} on the probability scale.
+        let phis: Vec<R> = (0..t_int).map(|t| theta[t].sigmoid()).collect();
+        let ps: Vec<R> = (0..t_int).map(|t| theta[t_int + t].sigmoid()).collect();
+
+        // Priors: logistic(0,1) on the logit scale ≈ uniform on (0,1).
+        let mut acc = theta[0] * 0.0;
+        for &th in theta {
+            acc = acc + lp::normal_prior(th, 0.0, 1.5);
+        }
+
+        // χ_t: probability of never being seen after occasion t.
+        let mut chi = vec![acc * 0.0 + 1.0; OCCASIONS];
+        for t in (0..t_int).rev() {
+            chi[t] = (-phis[t] + 1.0) + phis[t] * (-ps[t] + 1.0) * chi[t + 1];
+        }
+        // Hoist the logarithms out of the data loop (sufficient-stat
+        // style, as a production Stan model would).
+        let ln_phi: Vec<R> = phis.iter().map(|p| p.ln()).collect();
+        let ln_p: Vec<R> = ps.iter().map(|p| p.ln()).collect();
+        let ln_1m_p: Vec<R> = ps.iter().map(|p| (-*p + 1.0).ln()).collect();
+        let ln_chi: Vec<R> = chi.iter().map(|c| c.ln()).collect();
+
+        // Per-individual likelihood — the modeled-data sweep that makes
+        // this workload LLC-bound.
+        for i in 0..self.data.len() {
+            let last = self.data.last_capture(i);
+            for t in 0..last {
+                // Survived interval t…
+                acc = acc + ln_phi[t];
+                // …and was (not) recaptured at t+1.
+                if self.data.captured(i, t + 1) {
+                    acc = acc + ln_p[t];
+                } else {
+                    acc = acc + ln_1m_p[t];
+                }
+            }
+            // Never seen after `last`.
+            acc = acc + ln_chi[last];
+        }
+        acc
+    }
+}
+
+/// Builds the `survival` workload at the given data scale.
+pub fn workload(scale: f64, seed: u64) -> Workload {
+    let n = scaled_count(24_000, scale, 60);
+    let data = SurvivalData::generate(n, seed);
+    let bytes = data.modeled_bytes();
+    let model = AdModel::new("survival", SurvivalDensity::new(data));
+    let dyn_data = SurvivalData::generate(scaled_count(24_000, scale * 0.03, 60), seed);
+    let dynamics = AdModel::new("survival", SurvivalDensity::new(dyn_data));
+    Workload::new(
+        WorkloadMeta {
+            name: "survival",
+            family: "Cormack-Jolly-Seber",
+            application: "Estimating animal survival probabilities",
+            data: "BPA capture-recapture histories (synthetic CJS simulation)",
+            modeled_data_bytes: bytes,
+            default_iters: 2000,
+            default_chains: 4,
+            code_footprint_bytes: 20 * 1024,
+        },
+        Box::new(model),
+        Box::new(dynamics),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::nuts::Nuts;
+    use bayes_mcmc::{chain, Model, RunConfig};
+    use bayes_prob::special::sigmoid;
+
+    #[test]
+    fn generation_shapes_and_determinism() {
+        let d = SurvivalData::generate(500, 1);
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.modeled_bytes(), 500 * OCCASIONS * 4);
+        assert_eq!(d.histories, SurvivalData::generate(500, 1).histories);
+        // Everyone is released at occasion 0.
+        assert!((0..500).all(|i| d.captured(i, 0)));
+    }
+
+    #[test]
+    fn last_capture_is_consistent() {
+        let d = SurvivalData::generate(200, 2);
+        for i in 0..200 {
+            let l = d.last_capture(i);
+            assert!(d.captured(i, l));
+            for t in l + 1..OCCASIONS {
+                assert!(!d.captured(i, t));
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = AdModel::new("s", SurvivalDensity::new(SurvivalData::generate(80, 3)));
+        let theta: Vec<f64> = (0..m.dim()).map(|i| 0.3 - 0.1 * i as f64).collect();
+        let mut g = vec![0.0; m.dim()];
+        m.ln_posterior_grad(&theta, &mut g);
+        for i in 0..m.dim() {
+            let h = 1e-6;
+            let mut tp = theta.clone();
+            let mut tm = theta.clone();
+            tp[i] += h;
+            tm[i] -= h;
+            let fd = (m.ln_posterior(&tp) - m.ln_posterior(&tm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn posterior_recovers_first_interval_survival() {
+        // 3000 individuals pin the early survival parameters down well.
+        let m = AdModel::new("s", SurvivalDensity::new(SurvivalData::generate(3000, 5)));
+        let cfg = RunConfig::new(500).with_chains(2).with_seed(21);
+        let out = chain::run(&Nuts::default(), &m, &cfg);
+        let phi0 = sigmoid(out.mean(0));
+        assert!(
+            (phi0 - 0.8).abs() < 0.12,
+            "phi0 posterior {phi0} vs true 0.8"
+        );
+        // Only check mixing on the identified early-interval parameter:
+        // the final (φ, p) pair of a CJS model is famously only
+        // identified through its product.
+        let r0 = bayes_mcmc::diag::split_rhat(&out.traces(0));
+        assert!(r0 < 1.2, "rhat of phi0 {r0}");
+    }
+
+    #[test]
+    fn full_tape_sits_between_ad_and_tickets() {
+        let s = workload(0.05, 1).profile().tape_bytes;
+        let a = crate::workloads::ad::workload(0.05, 1).profile().tape_bytes;
+        let t = crate::workloads::tickets::workload(0.05, 1).profile().tape_bytes;
+        assert!(a < s && s < t, "ad {a} < survival {s} < tickets {t}");
+    }
+}

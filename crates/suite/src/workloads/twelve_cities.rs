@@ -1,0 +1,199 @@
+//! `12cities` — hierarchical Poisson regression on pedestrian
+//! fatalities vs. speed-limit policy (Auerbach et al.).
+//!
+//! Original data: FARS counts for 12 US cities. Synthetic substitute:
+//! counts drawn from the assumed Poisson-log model over the same
+//! 12-city × 12-year panel.
+//!
+//! Parameterization (unconstrained θ):
+//! `θ[0] = μ_α`, `θ[1] = ln τ`, `θ[2] = β`, `θ[3..15] = α_city`.
+
+use crate::meta::{Workload, WorkloadMeta};
+use crate::workloads::scaled_count;
+use bayes_autodiff::Real;
+use bayes_mcmc::lp;
+use bayes_mcmc::{AdModel, LogDensity};
+use bayes_prob::dist::{ContinuousDist, DiscreteDist, Normal, Poisson};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of cities (fixed by the original study).
+pub const CITIES: usize = 12;
+
+/// Observed panel: per city-year fatality counts and the speed-limit
+/// covariate.
+#[derive(Debug, Clone)]
+pub struct TwelveCitiesData {
+    /// Fatality count per observation.
+    pub y: Vec<u64>,
+    /// City index per observation.
+    pub city: Vec<usize>,
+    /// Centered speed-limit covariate per observation.
+    pub x: Vec<f64>,
+}
+
+impl TwelveCitiesData {
+    /// Generates a panel of `years` years across the 12 cities from
+    /// the model's own generative process.
+    pub fn generate(years: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let alpha_prior = Normal::new(1.5, 0.4).expect("static params");
+        let alphas: Vec<f64> = (0..CITIES).map(|_| alpha_prior.sample(&mut rng)).collect();
+        let beta = -0.35; // lowering speed limits reduces fatalities
+        let x_dist = Normal::new(0.0, 1.0).expect("static params");
+        let mut y = Vec::new();
+        let mut city = Vec::new();
+        let mut x = Vec::new();
+        for c in 0..CITIES {
+            for _ in 0..years {
+                let xv = x_dist.sample(&mut rng);
+                let rate = (alphas[c] + beta * xv).exp();
+                let yv = Poisson::new(rate.max(1e-9)).expect("positive").sample(&mut rng);
+                y.push(yv);
+                city.push(c);
+                x.push(xv);
+            }
+        }
+        Self { y, city, x }
+    }
+
+    /// Observation count.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the panel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Bytes of modeled data (count + city id + covariate per row).
+    pub fn modeled_bytes(&self) -> usize {
+        self.len() * (8 + 8 + 8)
+    }
+}
+
+/// Log-posterior of the hierarchical Poisson regression.
+#[derive(Debug, Clone)]
+pub struct TwelveCitiesDensity {
+    data: TwelveCitiesData,
+}
+
+impl TwelveCitiesDensity {
+    /// Wraps a dataset.
+    pub fn new(data: TwelveCitiesData) -> Self {
+        Self { data }
+    }
+}
+
+impl LogDensity for TwelveCitiesDensity {
+    fn dim(&self) -> usize {
+        3 + CITIES
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        let mu_alpha = theta[0];
+        let log_tau = theta[1];
+        let tau = log_tau.exp();
+        let beta = theta[2];
+        let alphas = &theta[3..3 + CITIES];
+
+        // Priors.
+        let mut lp_acc = lp::normal_prior(mu_alpha, 1.0, 1.0)
+            + lp::normal_prior(log_tau, -1.0, 1.0)
+            + lp::normal_prior(beta, 0.0, 1.0);
+        for &a in alphas {
+            lp_acc = lp_acc + lp::normal_lpdf(a, mu_alpha, tau);
+        }
+        // Likelihood — line 5 of Algorithm 1, the modeled-data sweep.
+        for i in 0..self.data.len() {
+            let eta = alphas[self.data.city[i]] + beta * self.data.x[i];
+            lp_acc = lp_acc + lp::poisson_log_lpmf(self.data.y[i], eta);
+        }
+        lp_acc
+    }
+}
+
+/// Builds the `12cities` workload at the given data scale.
+pub fn workload(scale: f64, seed: u64) -> Workload {
+    let years = scaled_count(12, scale, 2);
+    let data = TwelveCitiesData::generate(years, seed);
+    let bytes = data.modeled_bytes();
+    let model = AdModel::new("12cities", TwelveCitiesDensity::new(data));
+    // Small enough to be its own dynamics model.
+    let dyn_data = TwelveCitiesData::generate(years, seed);
+    let dynamics = AdModel::new("12cities", TwelveCitiesDensity::new(dyn_data));
+    Workload::new(
+        WorkloadMeta {
+            name: "12cities",
+            family: "Poisson Regression",
+            application: "Does lowering speed limits save pedestrian lives?",
+            data: "FARS fatality counts (synthetic panel, 12 cities)",
+            modeled_data_bytes: bytes,
+            default_iters: 2000,
+            default_chains: 4,
+            code_footprint_bytes: 14 * 1024,
+        },
+        Box::new(model),
+        Box::new(dynamics),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::nuts::Nuts;
+    use bayes_mcmc::{chain, Model, RunConfig};
+
+    #[test]
+    fn data_generation_is_deterministic() {
+        let a = TwelveCitiesData::generate(12, 3);
+        let b = TwelveCitiesData::generate(12, 3);
+        assert_eq!(a.y, b.y);
+        assert_eq!(a.len(), 144);
+        assert_eq!(a.modeled_bytes(), 144 * 24);
+    }
+
+    #[test]
+    fn density_is_finite_at_origin() {
+        let w = workload(1.0, 1);
+        let theta = vec![0.0; w.model().dim()];
+        assert!(w.model().ln_posterior(&theta).is_finite());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let data = TwelveCitiesData::generate(3, 5);
+        let m = AdModel::new("t", TwelveCitiesDensity::new(data));
+        let theta: Vec<f64> = (0..m.dim()).map(|i| 0.1 * (i as f64 - 5.0)).collect();
+        let mut g = vec![0.0; m.dim()];
+        m.ln_posterior_grad(&theta, &mut g);
+        for i in [0usize, 1, 2, 7] {
+            let h = 1e-6;
+            let mut tp = theta.clone();
+            let mut tm = theta.clone();
+            tp[i] += h;
+            tm[i] -= h;
+            let fd = (m.ln_posterior(&tp) - m.ln_posterior(&tm)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()), "coord {i}");
+        }
+    }
+
+    #[test]
+    fn nuts_recovers_negative_speed_effect() {
+        // β < 0 in the generative process; the posterior should find it.
+        let w = workload(1.0, 11);
+        let cfg = RunConfig::new(600).with_chains(2).with_seed(4);
+        let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+        let beta = out.mean(2);
+        assert!(beta < -0.1, "posterior beta {beta} should be clearly negative");
+        assert!(out.max_rhat() < 1.2, "rhat {}", out.max_rhat());
+    }
+
+    #[test]
+    fn scale_changes_data_size() {
+        let full = workload(1.0, 1);
+        let half = workload(0.5, 1);
+        assert!(half.meta().modeled_data_bytes < full.meta().modeled_data_bytes);
+    }
+}

@@ -1,0 +1,42 @@
+//! Developer calibration sweep: prints the Figure 1/2-style metrics
+//! for every workload so simulator constants can be sanity-checked
+//! against the paper's reported ranges.
+
+use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
+use bayes_suite::registry;
+use std::time::Instant;
+
+fn main() {
+    let sky = Platform::skylake();
+    let bdw = Platform::broadwell();
+    println!(
+        "{:10} {:>6} {:>8} | 1core: {:>5} {:>6} | 4core: {:>5} {:>6} {:>7} {:>8} | bdw4: {:>6} | {:>6} {:>6} {:>8}",
+        "name", "lf/it", "ws_MB", "ipc", "mpki", "ipc", "mpki", "speedup", "bw_MB/s", "mpki", "icache", "branch", "time4c_s"
+    );
+    for name in registry::workload_names() {
+        let t0 = Instant::now();
+        let w = registry::workload(name, 1.0, 42).unwrap();
+        let sig = WorkloadSignature::measure(&w, 30, 7);
+        let iters = sig.default_iters;
+        let r1 = characterize(&sig, &sky, &SimConfig { cores: 1, chains: 4, iters });
+        let r4 = characterize(&sig, &sky, &SimConfig { cores: 4, chains: 4, iters });
+        let rb = characterize(&sig, &bdw, &SimConfig { cores: 4, chains: 4, iters });
+        println!(
+            "{:10} {:6.1} {:8.2} |        {:5.2} {:6.2} |        {:5.2} {:6.2} {:7.2} {:8.0} |        {:6.2} | {:6.2} {:6.2} {:8.1}  (probe {:.1}s)",
+            name,
+            sig.leapfrogs_per_iter,
+            sig.working_set_bytes() as f64 / 1048576.0,
+            r1.ipc,
+            r1.llc_mpki,
+            r4.ipc,
+            r4.llc_mpki,
+            r1.time_s / r4.time_s,
+            r4.bandwidth_mbs(),
+            rb.llc_mpki,
+            r4.icache_mpki,
+            r4.branch_mpki,
+            r4.time_s,
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Developer scan: pick the MLP-contention constant so the LLC-bound
+//! trio's 4-core speedups land inside the paper's (1, 2) band while
+//! compute-bound workloads stay near-linear.
+
+use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
+use bayes_suite::registry;
+
+fn main() {
+    let sigs: Vec<WorkloadSignature> = registry::workload_names()
+        .iter()
+        .map(|n| {
+            let w = registry::workload(n, 1.0, 42).unwrap();
+            WorkloadSignature::measure(&w, 30, 7)
+        })
+        .collect();
+    for factor in [0.2, 0.3, 0.45, 0.6] {
+        let mut sky = Platform::skylake();
+        sky.mlp_contention = factor;
+        print!("factor {factor:4}: ");
+        for sig in &sigs {
+            let iters = 200;
+            let t1 = characterize(&sig, &sky, &SimConfig { cores: 1, chains: 4, iters }).time_s;
+            let t4 = characterize(&sig, &sky, &SimConfig { cores: 4, chains: 4, iters }).time_s;
+            print!("{}={:.2} ", sig.name, t1 / t4);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,22 @@
+//! Developer diagnostic: per-workload AD-tape footprints at full scale.
+//! These are the working-set numbers that drive the LLC story — see
+//! DESIGN.md §4b ("two-timescale measurement").
+
+fn main() {
+    println!(
+        "{:<10} {:>10} {:>12} {:>15} {:>9}",
+        "name", "tape nodes", "tape bytes", "transcendental", "data B"
+    );
+    for name in bayes_suite::registry::workload_names() {
+        let w = bayes_suite::registry::workload(name, 1.0, 4).expect("registry name");
+        let p = w.profile();
+        println!(
+            "{:<10} {:>10} {:>12} {:>15} {:>9}",
+            name,
+            p.tape_nodes,
+            p.tape_bytes,
+            p.transcendental_nodes,
+            w.meta().modeled_data_bytes
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace umbrella crate for the BayesSuite reproduction.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual functionality lives in
+//! the `bayes-*` crates under `crates/`; start from [`bayes_core`].
+
+pub use bayes_core as core_api;

@@ -1,0 +1,99 @@
+//! Cross-crate integration: the inference stack (prob + autodiff +
+//! mcmc) recovers analytically known posteriors.
+
+use bayes_autodiff::Real;
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::{chain, AdModel, LogDensity, RunConfig};
+use bayes_prob::dist::{ContinuousDist, Normal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Conjugate normal–normal model: x_i ~ N(θ, σ²), θ ~ N(μ0, τ0²).
+/// Posterior: N(μ_n, τ_n²) in closed form.
+struct ConjugateNormal {
+    data: Vec<f64>,
+    sigma: f64,
+    mu0: f64,
+    tau0: f64,
+}
+
+impl LogDensity for ConjugateNormal {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn eval<R: Real>(&self, t: &[R]) -> R {
+        let theta = t[0];
+        let mut acc = {
+            let z = (theta - self.mu0) / self.tau0;
+            -(z * z) * 0.5
+        };
+        for &x in &self.data {
+            let z = (theta - x) / self.sigma;
+            acc = acc - z * z * 0.5;
+        }
+        acc
+    }
+}
+
+#[test]
+fn nuts_matches_conjugate_posterior() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let sigma = 2.0;
+    let truth = 1.7;
+    let data = Normal::new(truth, sigma).unwrap().sample_n(&mut rng, 100);
+
+    let (mu0, tau0) = (0.0, 5.0);
+    let n = data.len() as f64;
+    let xbar = data.iter().sum::<f64>() / n;
+    // Closed-form posterior.
+    let prec = 1.0 / (tau0 * tau0) + n / (sigma * sigma);
+    let post_var = 1.0 / prec;
+    let post_mean = post_var * (mu0 / (tau0 * tau0) + n * xbar / (sigma * sigma));
+
+    let model = AdModel::new(
+        "conjugate",
+        ConjugateNormal { data, sigma, mu0, tau0 },
+    );
+    let cfg = RunConfig::new(3000).with_chains(4).with_seed(9);
+    let run = chain::run(&Nuts::default(), &model, &cfg);
+
+    assert!(run.max_rhat() < 1.05, "rhat {}", run.max_rhat());
+    assert!(
+        (run.mean(0) - post_mean).abs() < 0.05,
+        "posterior mean {} vs analytic {post_mean}",
+        run.mean(0)
+    );
+    assert!(
+        (run.sd(0) - post_var.sqrt()).abs() < 0.05,
+        "posterior sd {} vs analytic {}",
+        run.sd(0),
+        post_var.sqrt()
+    );
+}
+
+#[test]
+fn all_samplers_agree_on_the_same_posterior() {
+    use bayes_mcmc::hmc::StaticHmc;
+    use bayes_mcmc::mh::MetropolisHastings;
+
+    struct Skewless;
+    impl LogDensity for Skewless {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn eval<R: Real>(&self, t: &[R]) -> R {
+            let z = (t[0] - 4.0) / 1.5;
+            -(z * z) * 0.5
+        }
+    }
+
+    let model = AdModel::new("g", Skewless);
+    let cfg = RunConfig::new(4000).with_chains(4).with_seed(17);
+    let nuts = chain::run(&Nuts::default(), &model, &cfg);
+    let hmc = chain::run(&StaticHmc::new(12), &model, &cfg);
+    let mh = chain::run(&MetropolisHastings::new(), &model, &cfg);
+    for (name, run) in [("nuts", &nuts), ("hmc", &hmc), ("mh", &mh)] {
+        assert!((run.mean(0) - 4.0).abs() < 0.25, "{name} mean {}", run.mean(0));
+        assert!((run.sd(0) - 1.5).abs() < 0.35, "{name} sd {}", run.sd(0));
+    }
+}

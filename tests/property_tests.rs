@@ -1,0 +1,142 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use bayes_archsim::cache::{CacheSim, Hierarchy, Replacement};
+use bayes_autodiff::{grad_of, Real};
+use bayes_mcmc::diag::{gaussian_kl, rhat, split_rhat};
+use bayes_prob::dist::{ContinuousDist, Gamma, Normal};
+use bayes_prob::special;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normal_lnpdf_is_finite_and_maximal_at_mean(
+        mu in -50.0..50.0f64,
+        sigma in 0.01..20.0f64,
+        x in -100.0..100.0f64,
+    ) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let at_x = d.ln_pdf(x);
+        prop_assert!(at_x.is_finite());
+        prop_assert!(at_x <= d.ln_pdf(mu) + 1e-12);
+    }
+
+    #[test]
+    fn cdfs_are_monotone(
+        a in -5.0..5.0f64,
+        b in -5.0..5.0f64,
+        sigma in 0.1..5.0f64,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d = Normal::new(0.0, sigma).unwrap();
+        prop_assert!(d.cdf(lo) <= d.cdf(hi) + 1e-12);
+        let g = Gamma::new(2.0, 1.0).unwrap();
+        prop_assert!(g.cdf(lo.abs()) <= g.cdf(hi.abs() + lo.abs()) + 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-50.0..50.0f64, 1..20)) {
+        let lse = special::log_sum_exp_slice(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    #[test]
+    fn ad_gradient_matches_finite_difference(
+        x in -2.0..2.0f64,
+        y in 0.1..3.0f64,
+    ) {
+        fn f<R: Real>(v: &[R]) -> R {
+            (v[0] * v[1]).sin() + v[1].ln() * v[0].square() - v[0].sigmoid()
+        }
+        let (_, grad, _) = grad_of(&[x, y], |v| f(v));
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut p = [x, y];
+            let mut m = [x, y];
+            p[i] += h;
+            m[i] -= h;
+            let fd = (f(&p) - f(&m)) / (2.0 * h);
+            prop_assert!((grad[i] - fd).abs() < 1e-4 * (1.0 + fd.abs()));
+        }
+    }
+
+    #[test]
+    fn cache_misses_bounded_by_accesses(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..400),
+        ways in 1usize..8,
+    ) {
+        let mut c = CacheSim::new(64 * ways * 16, ways, Replacement::Lru);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.accesses(), addrs.len() as u64);
+        prop_assert!(c.misses() <= c.accesses());
+        // Replaying the same trace on a warm cache can only hit more.
+        let warm_misses = {
+            let mut c2 = c.clone();
+            c2.reset_stats();
+            for &a in &addrs {
+                c2.access(a);
+            }
+            c2.misses()
+        };
+        prop_assert!(warm_misses <= c.misses());
+    }
+
+    #[test]
+    fn bigger_lru_cache_never_misses_more(
+        addrs in proptest::collection::vec(0u64..100_000, 1..300),
+    ) {
+        // LRU inclusion property at equal associativity geometry.
+        let mut small = CacheSim::new(4 * 1024, 4, Replacement::Lru);
+        let mut big = CacheSim::new(16 * 1024, 16, Replacement::Lru);
+        for &a in &addrs {
+            small.access(a);
+            big.access(a);
+        }
+        prop_assert!(big.misses() <= small.misses());
+    }
+
+    #[test]
+    fn hierarchy_levels_are_ordered(
+        addrs in proptest::collection::vec(0u64..500_000, 1..300),
+    ) {
+        let mut h = Hierarchy::new(1, 1024, 4096, 65536, 16);
+        for &a in &addrs {
+            h.access(0, a);
+        }
+        let s = h.stats(0);
+        prop_assert!(s.l1_misses <= s.accesses);
+        prop_assert!(s.l2_misses <= s.l1_misses);
+        prop_assert!(s.llc_misses <= s.l2_misses);
+    }
+
+    #[test]
+    fn rhat_is_at_least_one_for_long_chains(
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let r = rhat(&chains);
+        let rs = split_rhat(&chains);
+        // Up to estimator noise, R̂ ≈ 1 for iid chains and never far below.
+        prop_assert!(r > 0.95 && r < 1.2, "rhat {}", r);
+        prop_assert!(rs > 0.95 && rs < 1.2, "split {}", rs);
+    }
+
+    #[test]
+    fn gaussian_kl_nonnegative_and_zero_iff_equal(
+        m1 in -5.0..5.0f64,
+        s1 in 0.1..5.0f64,
+        m2 in -5.0..5.0f64,
+        s2 in 0.1..5.0f64,
+    ) {
+        let kl = gaussian_kl(m1, s1, m2, s2);
+        prop_assert!(kl >= -1e-12);
+        prop_assert!(gaussian_kl(m1, s1, m1, s1).abs() < 1e-12);
+    }
+}
