@@ -4,6 +4,7 @@
 
 use bayes_core::mcmc::hmc::StaticHmc;
 use bayes_core::mcmc::mh::MetropolisHastings;
+use bayes_core::mcmc::{Purpose, StreamKey};
 use bayes_core::prelude::*;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -31,7 +32,10 @@ fn bench_samplers(c: &mut Criterion) {
     let model = AdModel::new("hier", Hierarchical);
     let mut group = c.benchmark_group("sampler_100_iters");
     group.sample_size(10);
-    let cfg = RunConfig::new(100).with_chains(1).with_seed(3);
+    // Bench streams are derived with their own purpose so benchmark
+    // inputs never alias a test or sampling stream at the same seed.
+    let seed = StreamKey::new(3).purpose(Purpose::Bench).derive();
+    let cfg = RunConfig::new(100).with_chains(1).with_seed(seed);
     group.bench_function("nuts", |b| {
         b.iter(|| black_box(chain::run(&Nuts::default(), &model, &cfg)))
     });

@@ -5,6 +5,7 @@
 //! configuration whose LLC contention Section IV-B analyzes).
 
 use crate::model::Model;
+use crate::stream::{Purpose, StreamKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,7 +29,8 @@ pub struct RunConfig {
     pub iters: usize,
     /// Warmup (adaptation) iterations; Stan convention is `iters / 2`.
     pub warmup: usize,
-    /// Base RNG seed; chain `c` uses `seed + c`.
+    /// Base RNG seed; per-chain streams are derived from it via
+    /// [`StreamKey`] (see [`RunConfig::chain_seed`]).
     pub seed: u64,
     /// Sequential or threaded chain execution.
     pub parallelism: Parallelism,
@@ -68,6 +70,25 @@ impl RunConfig {
     pub fn with_warmup(mut self, warmup: usize) -> Self {
         self.warmup = warmup;
         self
+    }
+
+    /// RNG seed for chain `c`'s transition kernel, derived so that no
+    /// two `(seed, chain)` pairs share a stream (unlike the old
+    /// `seed + c` scheme, where runs at adjacent seeds overlapped).
+    pub fn chain_seed(&self, c: usize) -> u64 {
+        StreamKey::new(self.seed)
+            .chain(c as u64)
+            .purpose(Purpose::Sample)
+            .derive()
+    }
+
+    /// RNG seed for chain `c`'s initial-point draw, independent of the
+    /// transition stream.
+    pub fn init_seed(&self, c: usize) -> u64 {
+        StreamKey::new(self.seed)
+            .chain(c as u64)
+            .purpose(Purpose::Init)
+            .derive()
     }
 }
 
@@ -198,24 +219,31 @@ pub trait Sampler: Sync {
     ) -> ChainOutput;
 }
 
+/// Draws Stan-style uniform(-2, 2) initial points, one per chain, from
+/// each chain's derived [`Purpose::Init`] stream.
+pub(crate) fn initial_points(cfg: &RunConfig, dim: usize) -> Vec<Vec<f64>> {
+    (0..cfg.chains)
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(cfg.init_seed(c));
+            (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect()
+        })
+        .collect()
+}
+
 /// Runs `cfg.chains` chains of `sampler` over `model`.
 ///
 /// Initial points are drawn uniformly from `(-2, 2)` on the
-/// unconstrained scale (Stan's default) with per-chain seeds, so runs
-/// are fully reproducible.
+/// unconstrained scale (Stan's default). All per-chain RNG streams are
+/// derived from `cfg.seed` via [`StreamKey`], so runs are bit-for-bit
+/// reproducible under either parallelism mode.
 pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
-    let inits: Vec<Vec<f64>> = (0..cfg.chains)
-        .map(|c| {
-            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + c as u64));
-            (0..model.dim()).map(|_| rng.gen_range(-2.0..2.0)).collect()
-        })
-        .collect();
+    let inits = initial_points(cfg, model.dim());
 
     let chains: Vec<ChainOutput> = match cfg.parallelism {
         Parallelism::Sequential => inits
             .iter()
             .enumerate()
-            .map(|(c, init)| sampler.sample_chain(model, init, cfg, cfg.seed + c as u64))
+            .map(|(c, init)| sampler.sample_chain(model, init, cfg, cfg.chain_seed(c)))
             .collect(),
         Parallelism::Threads => crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = inits
@@ -223,7 +251,7 @@ pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> Multi
                 .enumerate()
                 .map(|(c, init)| {
                     scope.spawn(move |_| {
-                        sampler.sample_chain(model, init, cfg, cfg.seed + c as u64)
+                        sampler.sample_chain(model, init, cfg, cfg.chain_seed(c))
                     })
                 })
                 .collect();
@@ -272,10 +300,10 @@ mod tests {
             model: &dyn Model,
             _init: &[f64],
             cfg: &RunConfig,
-            seed: u64,
+            _seed: u64,
         ) -> ChainOutput {
             let draws = (0..cfg.iters)
-                .map(|i| vec![i as f64 + seed as f64; model.dim()])
+                .map(|i| vec![i as f64; model.dim()])
                 .collect();
             ChainOutput {
                 draws,
@@ -323,9 +351,32 @@ mod tests {
         let model = AdModel::new("n", StdNormalNd(1));
         let cfg = RunConfig::new(4).with_chains(2).with_warmup(0);
         let out = run(&CountingSampler, &model, &cfg);
-        // Chain seeds 0 and 1: draws {0,1,2,3} and {1,2,3,4}.
-        assert!((out.mean(0) - 2.0).abs() < 1e-12);
+        // Both chains emit {0,1,2,3}; pooled mean is 1.5.
+        assert!((out.mean(0) - 1.5).abs() < 1e-12);
         assert_eq!(out.total_grad_evals(), 8);
         assert_eq!(out.grad_evals_per_chain(), vec![4, 4]);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_per_chain_and_purpose() {
+        let cfg = RunConfig::new(100).with_chains(4).with_seed(9);
+        let mut all: Vec<u64> = (0..4).map(|c| cfg.chain_seed(c)).collect();
+        all.extend((0..4).map(|c| cfg.init_seed(c)));
+        let uniq: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(uniq.len(), 8, "chain/init streams must not collide");
+        // Unlike seed + c, adjacent seeds don't share chain streams.
+        let shifted = RunConfig::new(100).with_chains(4).with_seed(10);
+        assert_ne!(cfg.chain_seed(1), shifted.chain_seed(0));
+    }
+
+    #[test]
+    fn initial_points_are_reproducible_and_in_range() {
+        let cfg = RunConfig::new(10).with_chains(3).with_seed(4);
+        let a = initial_points(&cfg, 5);
+        let b = initial_points(&cfg, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().all(|&x| (-2.0..2.0).contains(&x)));
+        // Different chains start from different points.
+        assert_ne!(a[0], a[1]);
     }
 }

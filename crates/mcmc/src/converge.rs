@@ -87,6 +87,20 @@ impl ConvergenceDetector {
         self
     }
 
+    /// Sets the earliest iteration at which convergence may be
+    /// declared (the detector needs a minimal second half to estimate
+    /// R̂ from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_iters < 4` (R̂ over `[t/2, t)` needs at least 4
+    /// draws).
+    pub fn with_min_iters(mut self, min_iters: usize) -> Self {
+        assert!(min_iters >= 4, "min_iters must be at least 4");
+        self.min_iters = min_iters;
+        self
+    }
+
     /// Requires `n` consecutive sub-threshold checkpoints before
     /// declaring convergence. The paper notes that "the trace of R̂
     /// fluctuates" as chains explore different regions; demanding a
@@ -104,6 +118,21 @@ impl ConvergenceDetector {
     /// The R̂ threshold in use.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Iterations between checkpoints.
+    pub fn check_every(&self) -> usize {
+        self.check_every
+    }
+
+    /// First iteration at which convergence may be declared.
+    pub fn min_iters(&self) -> usize {
+        self.min_iters
+    }
+
+    /// Consecutive sub-threshold checkpoints required.
+    pub fn consecutive(&self) -> usize {
+        self.consecutive
     }
 
     /// Max R̂ across parameters using draws `[t/2, t)` of each chain —

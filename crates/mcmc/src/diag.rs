@@ -13,7 +13,9 @@
 /// over per-chain traces of one scalar parameter.
 ///
 /// Returns `NaN` if fewer than 2 chains or fewer than 4 samples per
-/// chain are supplied.
+/// chain are supplied, and propagates `NaN` when a trace contains
+/// non-finite values. Constant traces (zero within-chain variance)
+/// report exactly 1.0.
 pub fn rhat(traces: &[Vec<f64>]) -> f64 {
     let m = traces.len();
     if m < 2 {
@@ -64,11 +66,21 @@ pub fn split_rhat(traces: &[Vec<f64>]) -> f64 {
 /// Effective sample size of pooled chains via Geyer's initial positive
 /// sequence on the averaged autocorrelation.
 ///
-/// Returns `NaN` on fewer than 4 samples.
+/// Degenerate inputs are reported explicitly rather than optimistically:
+///
+/// * fewer than 4 samples (or no chains) → `NaN`;
+/// * any non-finite value in the analyzed window → `NaN` (a diverged
+///   trace must not yield a tight error bar);
+/// * constant traces → the full draw count `m·n` (no noise to average
+///   out);
+/// * a single chain is fine — the between-chain term is simply zero.
 pub fn ess(traces: &[Vec<f64>]) -> f64 {
     let m = traces.len();
     let n = traces.iter().map(Vec::len).min().unwrap_or(0);
     if m == 0 || n < 4 {
+        return f64::NAN;
+    }
+    if traces.iter().any(|t| t[..n].iter().any(|x| !x.is_finite())) {
         return f64::NAN;
     }
     // Per-chain autocovariances, averaged.
@@ -133,6 +145,21 @@ pub fn ess(traces: &[Vec<f64>]) -> f64 {
     }
     let tau = 1.0 + 2.0 * rho_sum;
     ((m * n) as f64 / tau).min((m * n) as f64)
+}
+
+/// Monte-Carlo standard error of a posterior-mean estimate:
+/// `sd / √ESS`.
+///
+/// This is the natural tolerance unit for posterior-recovery tests: an
+/// estimate should sit within a few MCSEs of the truth, however many
+/// iterations the run happened to use. Returns `NaN` when `ess` is not
+/// positive or either input is non-finite, so degenerate diagnostics
+/// can never produce a deceptively tight error bar.
+pub fn mcse(sd: f64, ess: f64) -> f64 {
+    if !sd.is_finite() || !ess.is_finite() || ess <= 0.0 || sd < 0.0 {
+        return f64::NAN;
+    }
+    sd / ess.sqrt()
 }
 
 /// KL divergence between two univariate Gaussians
@@ -245,6 +272,61 @@ mod tests {
         let e = ess(&chains);
         assert!(e < 800.0, "ess {e}");
         assert!(e > 20.0, "ess {e}");
+    }
+
+    #[test]
+    fn rhat_is_one_for_constant_traces() {
+        let chains = vec![vec![2.5; 50], vec![2.5; 50]];
+        assert_eq!(rhat(&chains), 1.0);
+        assert_eq!(split_rhat(&chains), 1.0);
+    }
+
+    #[test]
+    fn rhat_propagates_nan_traces() {
+        let chains = vec![vec![0.0, f64::NAN, 1.0, 2.0], vec![0.0, 1.0, 2.0, 3.0]];
+        assert!(rhat(&chains).is_nan());
+        assert!(split_rhat(&chains).is_nan());
+    }
+
+    #[test]
+    fn split_rhat_degenerate_inputs() {
+        // Chains shorter than 4 cannot be split into usable halves.
+        assert!(split_rhat(&[vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]]).is_nan());
+        assert!(split_rhat(&[vec![], vec![]]).is_nan());
+        // A single chain still splits into two comparable halves.
+        let one = vec![iid_chains(1, 400, 0.0, 11).remove(0)];
+        let r = split_rhat(&one);
+        assert!((r - 1.0).abs() < 0.1, "split rhat of one chain {r}");
+    }
+
+    #[test]
+    fn ess_degenerate_inputs() {
+        // Empty / too short.
+        assert!(ess(&[]).is_nan());
+        assert!(ess(&[vec![1.0, 2.0, 3.0]]).is_nan());
+        // Non-finite draws must not report a usable ESS.
+        assert!(ess(&[vec![0.0, f64::NAN, 1.0, 2.0, 3.0]]).is_nan());
+        assert!(ess(&[vec![0.0, f64::INFINITY, 1.0, 2.0, 3.0]]).is_nan());
+        // Constant traces: no noise, full nominal count.
+        assert_eq!(ess(&[vec![7.0; 100], vec![7.0; 100]]), 200.0);
+    }
+
+    #[test]
+    fn ess_accepts_a_single_chain() {
+        let one = vec![iid_chains(1, 500, 0.0, 12).remove(0)];
+        let e = ess(&one);
+        assert!(e > 250.0 && e <= 500.0, "ess {e}");
+    }
+
+    #[test]
+    fn mcse_basics() {
+        // sd 2.0 over 400 effective draws → 0.1.
+        assert!((mcse(2.0, 400.0) - 0.1).abs() < 1e-12);
+        assert!(mcse(1.0, 0.0).is_nan());
+        assert!(mcse(1.0, -5.0).is_nan());
+        assert!(mcse(1.0, f64::NAN).is_nan());
+        assert!(mcse(f64::NAN, 100.0).is_nan());
+        assert!(mcse(-1.0, 100.0).is_nan());
     }
 
     #[test]

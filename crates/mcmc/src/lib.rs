@@ -17,7 +17,10 @@
 //!   chain, the paper's multicore execution model);
 //! * [`diag`] — Gelman–Rubin R̂, effective sample size, KL divergence;
 //! * [`converge`] — the online convergence detector behind the paper's
-//!   computation-elision technique (Section VI).
+//!   computation-elision technique (Section VI);
+//! * [`stream`] — deterministic RNG stream derivation
+//!   ([`stream::StreamKey`]) that makes every multi-chain run
+//!   bit-reproducible from a single seed.
 
 pub mod chain;
 pub mod converge;
@@ -28,6 +31,7 @@ pub mod mh;
 pub mod model;
 pub mod nuts;
 pub mod runtime;
+pub mod stream;
 pub mod summary;
 pub mod vi;
 
@@ -39,3 +43,4 @@ pub use converge::{ConvergenceDetector, ConvergenceReport};
 pub use model::{AdModel, EvalProfile, LogDensity, Model};
 pub use nuts::NutsConfig;
 pub use runtime::{run_until_converged, ElidedRun, StoppableSampler};
+pub use stream::{Purpose, StreamKey};

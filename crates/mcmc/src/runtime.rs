@@ -6,19 +6,26 @@
 //! converged." [`run_until_converged`] runs one OS thread per chain
 //! (the multicore execution model of Section IV-B); a monitor thread
 //! recomputes R̂ over the shared draw buffers at the detector cadence
-//! and raises a stop flag that every chain polls each iteration.
+//! and raises a stop flag that every chain polls each iteration. The
+//! monitor sleeps on a condition variable and is woken by new draws,
+//! so it burns no CPU between checkpoints.
+//!
+//! The stop decision is made purely in *iteration space*: checkpoints
+//! are evaluated in a fixed order over deterministic draw prefixes,
+//! and the returned chains are truncated to the decision point. Two
+//! invocations with the same [`RunConfig`] therefore produce
+//! bit-identical draws, no matter how the OS schedules the threads.
 //!
 //! Unlike [`crate::converge::ConvergenceDetector::detect`] (a post-hoc
 //! replay used by the studies), this never executes the elided
 //! iterations at all.
 
-use crate::chain::{ChainOutput, MultiChainRun, RunConfig, Sampler};
+use crate::chain::{initial_points, ChainOutput, MultiChainRun, RunConfig, Sampler};
 use crate::converge::ConvergenceDetector;
 use crate::model::Model;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// A sampler that can be asked to stop between iterations.
 ///
@@ -48,7 +55,10 @@ pub trait StoppableSampler: Sampler {
 /// Outcome of a runtime-elided run.
 #[derive(Debug, Clone)]
 pub struct ElidedRun {
-    /// The (possibly truncated) multi-chain run.
+    /// The multi-chain run. When the monitor stopped the run, every
+    /// chain is truncated to exactly [`ElidedRun::stopped_at`] draws;
+    /// in-flight iterations past the decision are discarded so the
+    /// result is reproducible.
     pub run: MultiChainRun,
     /// Iteration at which the monitor raised the stop flag, if it did.
     pub stopped_at: Option<usize>,
@@ -57,9 +67,8 @@ pub struct ElidedRun {
 }
 
 impl ElidedRun {
-    /// Fraction of configured iterations that were never executed,
-    /// from the chains' actual lengths (chains may overrun the stop
-    /// decision by however many iterations were in flight).
+    /// Fraction of configured iterations that were never executed (or
+    /// were discarded as in-flight overrun past the stop decision).
     pub fn iterations_elided(&self) -> f64 {
         if self.stopped_at.is_none() {
             return 0.0;
@@ -76,71 +85,89 @@ impl ElidedRun {
 }
 
 /// Runs `cfg.chains` chains on OS threads with a live convergence
-/// monitor; chains halt within one iteration of the stop decision.
+/// monitor; chains halt within one iteration of the stop decision and
+/// the output is truncated to the decision point.
 ///
-/// The RNG/seed discipline matches [`crate::chain::run`], so a run
-/// that never converges is draw-for-draw identical to the plain one.
+/// The RNG streams are derived from `cfg.seed` exactly as in
+/// [`crate::chain::run`], so a run that never converges is
+/// draw-for-draw identical to the plain one, and two identical
+/// invocations are bit-identical regardless of thread interleaving.
+/// Note that per-chain statistics other than the draws (`accept_mean`,
+/// `divergences`) may still reflect the handful of in-flight
+/// iterations a chain completed before observing the stop flag.
 pub fn run_until_converged<S: StoppableSampler + Sync>(
     sampler: &S,
     model: &dyn Model,
     cfg: &RunConfig,
     detector: &ConvergenceDetector,
 ) -> ElidedRun {
-    let inits: Vec<Vec<f64>> = (0..cfg.chains)
-        .map(|c| {
-            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1000 + c as u64));
-            (0..model.dim()).map(|_| rng.gen_range(-2.0..2.0)).collect()
-        })
-        .collect();
+    let inits = initial_points(cfg, model.dim());
 
     let stop = AtomicBool::new(false);
     let stopped_at = Mutex::new(None::<usize>);
     let buffers: Vec<Mutex<Vec<Vec<f64>>>> =
         (0..cfg.chains).map(|_| Mutex::new(Vec::new())).collect();
     let done = AtomicBool::new(false);
+    // Monitor wakeup: chains nudge the condvar after each draw.
+    let wake_mx = Mutex::new(());
+    let wake_cv = Condvar::new();
 
-    let chains: Vec<ChainOutput> = crossbeam::thread::scope(|scope| {
-        // Monitor thread: recompute R̂ whenever every chain has
-        // reached the next checkpoint.
+    let mut chains: Vec<ChainOutput> = crossbeam::thread::scope(|scope| {
+        // Monitor thread: walk the checkpoint schedule in iteration
+        // space, evaluating each checkpoint as soon as every chain has
+        // reached it. The schedule — not wall-clock timing — decides
+        // where the run stops.
         let monitor = {
             let stop = &stop;
             let stopped_at = &stopped_at;
             let buffers = &buffers;
             let done = &done;
+            let wake_mx = &wake_mx;
+            let wake_cv = &wake_cv;
             scope.spawn(move |_| {
-                let cadence = 25; // poll interval, ms-free: iteration based
-                let mut next_check = 200usize.max(cadence);
+                let cadence = detector.check_every().max(1);
+                let mut next_check = detector.min_iters().max(cadence);
                 let mut streak = 0usize;
-                while !done.load(Ordering::Acquire) && !stop.load(Ordering::Acquire) {
-                    let progress = buffers
-                        .iter()
-                        .map(|b| b.lock().len())
-                        .min()
-                        .unwrap_or(0);
-                    if progress < next_check {
-                        std::thread::yield_now();
-                        std::thread::sleep(std::time::Duration::from_millis(2));
+                let progress =
+                    || buffers.iter().map(|b| b.lock().len()).min().unwrap_or(0);
+                loop {
+                    if next_check > cfg.iters {
+                        break; // checkpoint past the configured run
+                    }
+                    if progress() >= next_check {
+                        // Snapshot the prefixes and compute R̂ at t.
+                        let snaps: Vec<Vec<Vec<f64>>> = buffers
+                            .iter()
+                            .map(|b| b.lock()[..next_check].to_vec())
+                            .collect();
+                        let views: Vec<&[Vec<f64>]> =
+                            snaps.iter().map(|s| s.as_slice()).collect();
+                        let r = detector.rhat_at(&views, next_check);
+                        if r.is_finite() && r < detector.threshold() {
+                            streak += 1;
+                        } else {
+                            streak = 0;
+                        }
+                        if streak >= detector.consecutive() {
+                            *stopped_at.lock() = Some(next_check);
+                            stop.store(true, Ordering::Release);
+                            break;
+                        }
+                        next_check += cadence.max(next_check / 8);
                         continue;
                     }
-                    // Snapshot the prefixes and compute R̂ at t.
-                    let snaps: Vec<Vec<Vec<f64>>> = buffers
-                        .iter()
-                        .map(|b| b.lock()[..next_check].to_vec())
-                        .collect();
-                    let views: Vec<&[Vec<f64>]> =
-                        snaps.iter().map(|s| s.as_slice()).collect();
-                    let r = detector.rhat_at(&views, next_check);
-                    if r.is_finite() && r < detector.threshold() {
-                        streak += 1;
-                    } else {
-                        streak = 0;
+                    // Sleep until a chain reports progress. Re-check
+                    // under the wake lock so a push between the test
+                    // above and the wait cannot be missed; the timeout
+                    // is only a safety net.
+                    let mut guard = wake_mx.lock();
+                    if progress() >= next_check {
+                        continue;
                     }
-                    if streak >= 3 {
-                        *stopped_at.lock() = Some(next_check);
-                        stop.store(true, Ordering::Release);
-                        break;
+                    if done.load(Ordering::Acquire) {
+                        break; // chains finished short of the checkpoint
                     }
-                    next_check += cadence.max(next_check / 8);
+                    wake_cv.wait_for(&mut guard, Duration::from_millis(100));
                 }
             })
         };
@@ -151,31 +178,50 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
             .map(|(c, init)| {
                 let stop = &stop;
                 let buffer = &buffers[c];
+                let wake_mx = &wake_mx;
+                let wake_cv = &wake_cv;
                 scope.spawn(move |_| {
                     sampler.sample_chain_stoppable(
                         model,
                         init,
                         cfg,
-                        cfg.seed + c as u64,
+                        cfg.chain_seed(c),
                         stop,
                         &move |_iter, draw: &[f64]| {
                             buffer.lock().push(draw.to_vec());
+                            // Pairing with the monitor's wake lock
+                            // closes its check-then-wait race.
+                            drop(wake_mx.lock());
+                            wake_cv.notify_one();
                         },
                     )
                 })
             })
             .collect();
-        let chains = outs
+        let chains: Vec<ChainOutput> = outs
             .into_iter()
             .map(|h| h.join().expect("chain thread panicked"))
             .collect();
         done.store(true, Ordering::Release);
+        drop(wake_mx.lock());
+        wake_cv.notify_all();
         monitor.join().expect("monitor thread panicked");
         chains
     })
     .expect("crossbeam scope failed");
 
     let stopped = *stopped_at.lock();
+    if let Some(t) = stopped {
+        // Discard in-flight overrun so the output depends only on the
+        // (deterministic) stop decision, not on thread timing.
+        for c in &mut chains {
+            if c.draws.len() > t {
+                c.grad_evals = c.evals_until(t);
+                c.draws.truncate(t);
+                c.evals_per_iter.truncate(t);
+            }
+        }
+    }
     ElidedRun {
         run: MultiChainRun {
             chains,
@@ -192,6 +238,9 @@ mod tests {
     use crate::model::{AdModel, LogDensity};
     use crate::nuts::Nuts;
     use bayes_autodiff::Real;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::AtomicUsize;
 
     struct Gauss;
     impl LogDensity for Gauss {
@@ -211,15 +260,9 @@ mod tests {
         let out = run_until_converged(&Nuts::default(), &model, &cfg, &det);
         let at = out.stopped_at.expect("should converge");
         assert!(at < 2000, "stopped at {at}");
-        // Chains stop some time after the decision (in-flight slack on
-        // this very fast toy target), but clearly short of the
-        // configured length.
+        // The output is truncated to the decision point exactly.
         for c in &out.run.chains {
-            assert!(
-                c.draws.len() < 4000,
-                "chain {} should have been truncated",
-                c.draws.len()
-            );
+            assert_eq!(c.draws.len(), at);
         }
         assert!(out.iterations_elided() > 0.1, "{}", out.iterations_elided());
         // And the truncated draws still estimate the posterior.
@@ -248,6 +291,33 @@ mod tests {
     }
 
     #[test]
+    fn unconverged_run_matches_plain_chain_run() {
+        // Same derived streams → the elided runtime is draw-for-draw
+        // the plain runner when the monitor never fires.
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(250).with_chains(2).with_seed(17);
+        let det = ConvergenceDetector::new().with_threshold(1.0 + 1e-12);
+        let elided = run_until_converged(&Nuts::default(), &model, &cfg, &det);
+        let plain = crate::chain::run(&Nuts::default(), &model, &cfg);
+        for (a, b) in elided.run.chains.iter().zip(&plain.chains) {
+            assert_eq!(a.draws, b.draws);
+        }
+    }
+
+    #[test]
+    fn elided_runs_are_bit_reproducible() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(2000).with_chains(4).with_seed(29);
+        let det = ConvergenceDetector::new();
+        let a = run_until_converged(&Nuts::default(), &model, &cfg, &det);
+        let b = run_until_converged(&Nuts::default(), &model, &cfg, &det);
+        assert_eq!(a.stopped_at, b.stopped_at);
+        for (ca, cb) in a.run.chains.iter().zip(&b.run.chains) {
+            assert_eq!(ca.draws, cb.draws, "draws must be bit-identical");
+        }
+    }
+
+    #[test]
     fn default_stoppable_impl_runs_to_completion() {
         // MetropolisHastings doesn't override the stoppable API; the
         // default ignores the flag but still reports draws.
@@ -259,5 +329,96 @@ mod tests {
         for c in &out.run.chains {
             assert_eq!(c.draws.len(), 150);
         }
+    }
+
+    /// A stoppable toy sampler: iid normal draws, one per `step_us`
+    /// microseconds, polling the stop flag after every draw. Records
+    /// the longest chain it actually generated (pre-truncation).
+    struct SlowWalker {
+        step_us: u64,
+        max_generated: AtomicUsize,
+    }
+
+    impl Sampler for SlowWalker {
+        fn sample_chain(
+            &self,
+            model: &dyn Model,
+            init: &[f64],
+            cfg: &RunConfig,
+            seed: u64,
+        ) -> ChainOutput {
+            let stop = AtomicBool::new(false);
+            self.sample_chain_stoppable(model, init, cfg, seed, &stop, &|_, _| {})
+        }
+    }
+
+    impl StoppableSampler for SlowWalker {
+        fn sample_chain_stoppable(
+            &self,
+            model: &dyn Model,
+            _init: &[f64],
+            cfg: &RunConfig,
+            seed: u64,
+            stop: &AtomicBool,
+            on_draw: &(dyn Fn(usize, &[f64]) + Sync),
+        ) -> ChainOutput {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut draws: Vec<Vec<f64>> = Vec::new();
+            for i in 0..cfg.iters {
+                std::thread::sleep(Duration::from_micros(self.step_us));
+                let d: Vec<f64> = (0..model.dim())
+                    .map(|_| {
+                        let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+                        s - 6.0
+                    })
+                    .collect();
+                on_draw(i, &d);
+                draws.push(d);
+                self.max_generated
+                    .fetch_max(draws.len(), Ordering::Relaxed);
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            let n = draws.len();
+            ChainOutput {
+                draws,
+                warmup: cfg.warmup.min(n),
+                accept_mean: 1.0,
+                grad_evals: n as u64,
+                divergences: 0,
+                evals_per_iter: vec![1; n],
+            }
+        }
+    }
+
+    #[test]
+    fn stopped_run_halts_within_one_detector_cadence() {
+        // Well-mixed iid chains pass the very first checkpoint; the
+        // chains must then stop before running one more cadence's
+        // worth of iterations (condvar wakeup + per-iteration poll).
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(400).with_chains(2).with_seed(7);
+        let det = ConvergenceDetector::new()
+            .with_threshold(50.0)
+            .with_check_every(10)
+            .with_min_iters(20)
+            .with_consecutive(1);
+        let walker = SlowWalker {
+            step_us: 1000,
+            max_generated: AtomicUsize::new(0),
+        };
+        let out = run_until_converged(&walker, &model, &cfg, &det);
+        let at = out.stopped_at.expect("iid chains must converge");
+        assert_eq!(at, 20, "first checkpoint should fire");
+        for c in &out.run.chains {
+            assert_eq!(c.draws.len(), at);
+        }
+        let generated = walker.max_generated.load(Ordering::Relaxed);
+        assert!(
+            generated <= at + det.check_every(),
+            "chains overran the stop decision: generated {generated}, \
+             stopped at {at}"
+        );
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod meta;
 pub mod registry;
+pub mod sbc;
 pub mod workloads;
 
 pub use meta::{Workload, WorkloadMeta};

@@ -2,6 +2,7 @@
 
 use crate::meta::Workload;
 use crate::workloads;
+use bayes_mcmc::stream::{Purpose, StreamKey};
 
 /// Canonical workload names in the paper's Table I order.
 pub const NAMES: [&str; 10] = [
@@ -27,7 +28,13 @@ pub fn workload_names() -> &'static [&'static str] {
 /// Figure 3).
 ///
 /// Returns `None` for an unknown name.
+///
+/// The dataset RNG stream is derived from `seed` via
+/// [`StreamKey`] with [`Purpose::DataGen`], so workload data never
+/// shares a stream with the chains a caller seeds from the same base
+/// seed.
 pub fn workload(name: &str, scale: f64, seed: u64) -> Option<Workload> {
+    let seed = StreamKey::new(seed).purpose(Purpose::DataGen).derive();
     let w = match name {
         "12cities" => workloads::twelve_cities::workload(scale, seed),
         "ad" => workloads::ad::workload(scale, seed),

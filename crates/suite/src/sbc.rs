@@ -1,0 +1,144 @@
+//! Simulation-based calibration (SBC) cases for the ten workloads.
+//!
+//! SBC (Talts et al. 2018) is the strongest end-to-end correctness
+//! check available for a sampler + model pair: draw `θ̃` from the
+//! prior, simulate a dataset `y | θ̃` from the likelihood, run the
+//! sampler on `y`, and record the rank of `θ̃` among the posterior
+//! draws. If — and only if — the generator matches the density and the
+//! sampler targets the correct posterior, the ranks are uniform.
+//!
+//! Each workload module implements [`SbcCase`] as a `Sbc` type next to
+//! its density, because a valid case must reproduce that density's
+//! priors and likelihood *exactly* (several data structs also have
+//! private fields only the module can fill in). Cases deliberately use
+//! much smaller datasets than [`crate::registry::workload`]: SBC
+//! replicates a full posterior fit many times over, and calibration is
+//! a property of the model/sampler pair, not of the data size.
+
+use bayes_mcmc::Model;
+use bayes_prob::dist::{ContinuousDist, Normal};
+use rand::rngs::StdRng;
+
+use crate::registry::NAMES;
+use crate::workloads;
+
+/// One workload's self-consistent prior/generator pair for SBC.
+pub trait SbcCase: Send + Sync {
+    /// Workload name, matching [`crate::registry::NAMES`].
+    fn name(&self) -> &'static str;
+
+    /// Unconstrained parameter dimension of the conditioned model.
+    fn dim(&self) -> usize;
+
+    /// Indices of the parameters whose rank statistics a calibration
+    /// test should inspect — the global (non-latent) parameters.
+    fn tracked(&self) -> Vec<usize>;
+
+    /// Draws one parameter vector from the model prior on the
+    /// unconstrained scale (hierarchical latents included).
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Simulates a dataset from the likelihood at `theta` and returns
+    /// the posterior density conditioned on it.
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn Model>;
+}
+
+/// Draws `N(mu, sd)` — the only primitive the workload priors need.
+pub(crate) fn norm(rng: &mut StdRng, mu: f64, sd: f64) -> f64 {
+    Normal::new(mu, sd).expect("static prior parameters").sample(rng)
+}
+
+/// Builds the SBC case for one workload by name; `None` for unknown
+/// names.
+pub fn sbc_case(name: &str) -> Option<Box<dyn SbcCase>> {
+    let case: Box<dyn SbcCase> = match name {
+        "12cities" => Box::new(workloads::twelve_cities::Sbc),
+        "ad" => Box::new(workloads::ad::Sbc),
+        "ode" => Box::new(workloads::ode::Sbc),
+        "memory" => Box::new(workloads::memory::Sbc),
+        "votes" => Box::new(workloads::votes::Sbc),
+        "tickets" => Box::new(workloads::tickets::Sbc),
+        "disease" => Box::new(workloads::disease::Sbc),
+        "racial" => Box::new(workloads::racial::Sbc),
+        "butterfly" => Box::new(workloads::butterfly::Sbc),
+        "survival" => Box::new(workloads::survival::Sbc),
+        _ => return None,
+    };
+    Some(case)
+}
+
+/// All ten SBC cases in registry order.
+pub fn sbc_cases() -> Vec<Box<dyn SbcCase>> {
+    NAMES
+        .iter()
+        .map(|n| sbc_case(n).expect("registry names are valid"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_workload_has_a_case() {
+        let cases = sbc_cases();
+        assert_eq!(cases.len(), NAMES.len());
+        for (case, name) in cases.iter().zip(NAMES) {
+            assert_eq!(case.name(), name);
+        }
+        assert!(sbc_case("nonesuch").is_none());
+    }
+
+    #[test]
+    fn prior_draws_match_dim_and_tracked_indices() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in sbc_cases() {
+            let theta = case.draw_prior(&mut rng);
+            assert_eq!(theta.len(), case.dim(), "{}", case.name());
+            assert!(theta.iter().all(|x| x.is_finite()), "{}", case.name());
+            let tracked = case.tracked();
+            assert!(!tracked.is_empty(), "{}", case.name());
+            assert!(
+                tracked.iter().all(|&j| j < case.dim()),
+                "{} tracked out of range",
+                case.name()
+            );
+        }
+    }
+
+    #[test]
+    fn conditioned_model_is_finite_at_the_generating_point() {
+        // The density must be evaluable (and typically high) at the θ̃
+        // that generated the data — a direct generator/density
+        // consistency check.
+        let mut rng = StdRng::seed_from_u64(19);
+        for case in sbc_cases() {
+            let theta = case.draw_prior(&mut rng);
+            let model = case.condition(&theta, &mut rng);
+            assert_eq!(model.dim(), case.dim(), "{}", case.name());
+            let lp = model.ln_posterior(&theta);
+            assert!(lp.is_finite(), "{}: lp {lp} at the generating point", case.name());
+        }
+    }
+
+    #[test]
+    fn conditioning_is_deterministic_given_the_rng_state() {
+        for case in sbc_cases() {
+            let mut r1 = StdRng::seed_from_u64(23);
+            let mut r2 = StdRng::seed_from_u64(23);
+            let t1 = case.draw_prior(&mut r1);
+            let t2 = case.draw_prior(&mut r2);
+            assert_eq!(t1, t2, "{}", case.name());
+            let m1 = case.condition(&t1, &mut r1);
+            let m2 = case.condition(&t2, &mut r2);
+            let probe: Vec<f64> = (0..case.dim()).map(|i| 0.05 * i as f64 - 0.3).collect();
+            assert_eq!(
+                m1.ln_posterior(&probe),
+                m2.ln_posterior(&probe),
+                "{}",
+                case.name()
+            );
+        }
+    }
+}

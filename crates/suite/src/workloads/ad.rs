@@ -132,6 +132,50 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Survey rows in the SBC dataset.
+const SBC_ROWS: usize = 60;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`AdDensity`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "ad"
+    }
+
+    fn dim(&self) -> usize {
+        1 + CHANNELS
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 1, 4]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..1 + CHANNELS)
+            .map(|_| crate::sbc::norm(rng, 0.0, 2.5))
+            .collect()
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let normal = Normal::standard();
+        let mut x = Vec::with_capacity(SBC_ROWS * CHANNELS);
+        let mut y = Vec::with_capacity(SBC_ROWS);
+        for _ in 0..SBC_ROWS {
+            let mut eta = theta[0];
+            for k in 0..CHANNELS {
+                let v = normal.sample(rng);
+                eta += theta[1 + k] * v;
+                x.push(v);
+            }
+            y.push(rng.gen_range(0.0..1.0) < sigmoid(eta));
+        }
+        Box::new(AdModel::new("ad-sbc", AdDensity::new(AdData { x, y })))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,6 +141,64 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Sites in the SBC survey.
+const SBC_SITES: usize = 4;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`ButterflyDensity`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "butterfly"
+    }
+
+    fn dim(&self) -> usize {
+        3 + SPECIES + SBC_SITES
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 1, 2]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut theta = vec![
+            crate::sbc::norm(rng, -1.0, 1.0), // μ_α
+            crate::sbc::norm(rng, -0.5, 1.0), // ln σ_α
+            crate::sbc::norm(rng, -1.0, 1.0), // ln σ_β
+        ];
+        let (mu_alpha, sigma_alpha) = (theta[0], theta[1].exp());
+        let sigma_beta = theta[2].exp();
+        for _ in 0..SPECIES {
+            theta.push(crate::sbc::norm(rng, mu_alpha, sigma_alpha));
+        }
+        for _ in 0..SBC_SITES {
+            theta.push(crate::sbc::norm(rng, 0.0, sigma_beta));
+        }
+        theta
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let alphas = &theta[3..3 + SPECIES];
+        let betas = &theta[3 + SPECIES..3 + SPECIES + SBC_SITES];
+        let mut y = Vec::with_capacity(SPECIES * SBC_SITES);
+        for s in 0..SPECIES {
+            for j in 0..SBC_SITES {
+                let p = sigmoid(alphas[s] + betas[j]);
+                y.push(Binomial::new(VISITS, p).expect("valid p").sample(rng));
+            }
+        }
+        Box::new(AdModel::new(
+            "butterfly-sbc",
+            ButterflyDensity::new(ButterflyData {
+                y,
+                sites: SBC_SITES,
+            }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,6 +185,72 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Patients in the SBC dataset.
+const SBC_PATIENTS: usize = 4;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`DiseaseDensity`] exactly. Unlike [`DiseaseData::generate`], the
+/// latent stage `s = δ_p + t + 3` is left unclamped, mirroring the
+/// density (the I-spline basis saturates outside `[0, 10]` anyway).
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "disease"
+    }
+
+    fn dim(&self) -> usize {
+        BASIS + 2 + SBC_PATIENTS
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, BASIS, BASIS + 1]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut theta: Vec<f64> = (0..BASIS)
+            .map(|_| crate::sbc::norm(rng, -1.0, 1.0)) // ln w_k
+            .collect();
+        theta.push(crate::sbc::norm(rng, -2.0, 1.0)); // ln σ
+        theta.push(crate::sbc::norm(rng, 0.5, 0.5)); // ln τ_δ
+        let tau = theta[BASIS + 1].exp();
+        for _ in 0..SBC_PATIENTS {
+            theta.push(crate::sbc::norm(rng, 0.0, tau)); // δ_p
+        }
+        theta
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let ws: Vec<f64> = (0..BASIS).map(|k| theta[k].exp()).collect();
+        let sigma = theta[BASIS].exp();
+        let deltas = &theta[BASIS + 2..BASIS + 2 + SBC_PATIENTS];
+        let n = SBC_PATIENTS * VISITS;
+        let mut y = Vec::with_capacity(n);
+        let mut t = Vec::with_capacity(n);
+        let mut patient = Vec::with_capacity(n);
+        for p in 0..SBC_PATIENTS {
+            for v in 0..VISITS {
+                let tv = v as f64 * 1.2;
+                let s = deltas[p] + tv + 3.0;
+                let f: f64 = (0..BASIS).map(|k| ws[k] * ispline_basis(s, k)).sum();
+                y.push(f + crate::sbc::norm(rng, 0.0, sigma));
+                t.push(tv);
+                patient.push(p);
+            }
+        }
+        Box::new(AdModel::new(
+            "disease-sbc",
+            DiseaseDensity::new(DiseaseData {
+                y,
+                t,
+                patient,
+                patients: SBC_PATIENTS,
+            }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,6 +168,81 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Subjects in the SBC dataset.
+const SBC_SUBJECTS: usize = 3;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`MemoryDensity`] exactly (latencies are drawn as
+/// `exp(μ + σ·z)`, the log-normal the density scores).
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn dim(&self) -> usize {
+        6 + 2 * SBC_SUBJECTS
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 2, 3]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut theta = vec![
+            crate::sbc::norm(rng, 0.0, 1.0),  // μ_α
+            crate::sbc::norm(rng, -1.0, 1.0), // ln τ_α
+            crate::sbc::norm(rng, 0.0, 0.5),  // β
+            crate::sbc::norm(rng, -1.0, 1.0), // ln σ
+            crate::sbc::norm(rng, 0.0, 1.5),  // μ_δ
+            crate::sbc::norm(rng, -1.0, 1.0), // ln τ_δ
+        ];
+        let (mu_a, tau_a) = (theta[0], theta[1].exp());
+        let (mu_d, tau_d) = (theta[4], theta[5].exp());
+        for _ in 0..SBC_SUBJECTS {
+            theta.push(crate::sbc::norm(rng, mu_a, tau_a));
+        }
+        for _ in 0..SBC_SUBJECTS {
+            theta.push(crate::sbc::norm(rng, mu_d, tau_d));
+        }
+        theta
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let beta = theta[2];
+        let sigma = theta[3].exp();
+        let alphas = &theta[6..6 + SBC_SUBJECTS];
+        let deltas = &theta[6 + SBC_SUBJECTS..6 + 2 * SBC_SUBJECTS];
+        let n = SBC_SUBJECTS * TRIALS;
+        let mut latency = Vec::with_capacity(n);
+        let mut correct = Vec::with_capacity(n);
+        let mut load = Vec::with_capacity(n);
+        let mut subject = Vec::with_capacity(n);
+        for s in 0..SBC_SUBJECTS {
+            for t in 0..TRIALS {
+                let l = (t % 5) as f64 - 2.0;
+                let mu = alphas[s] + beta * l;
+                latency.push((mu + crate::sbc::norm(rng, 0.0, sigma)).exp());
+                correct.push(rng.gen_range(0.0..1.0) < sigmoid(deltas[s] - 0.2 * l));
+                load.push(l);
+                subject.push(s);
+            }
+        }
+        Box::new(AdModel::new(
+            "memory-sbc",
+            MemoryDensity::new(MemoryData {
+                latency,
+                correct,
+                load,
+                subject,
+                subjects: SBC_SUBJECTS,
+            }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

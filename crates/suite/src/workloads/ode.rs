@@ -234,6 +234,56 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Simulation-based calibration case: one patient, with the
+/// observation median taken from the *density's* softplus-floored
+/// trajectory (`log1p_exp + 1e-6`) so generator and likelihood agree
+/// exactly. ([`OdeData::generate`] keeps its own historical clamp,
+/// which is fine for benchmarking but would bias SBC ranks.)
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "ode"
+    }
+
+    fn dim(&self) -> usize {
+        5
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 1, 4]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..5).map(|_| crate::sbc::norm(rng, 0.0, 1.0)).collect()
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let (mtt, circ0, gamma, slope, sigma) = natural(theta);
+        let t_obs: Vec<f64> = (1..=12).map(|k| k as f64 * 2.4).collect();
+        let dose = vec![3.0];
+        let y0 = vec![circ0; 5];
+        let path = rk4_path(
+            |t, s: &[f64]| friberg_rhs(t, s, mtt, circ0, gamma, slope, dose[0]),
+            &y0,
+            0.0,
+            T_END,
+            STEPS,
+        );
+        let mut y = Vec::with_capacity(t_obs.len());
+        for &to in &t_obs {
+            let idx = ((to / T_END) * STEPS as f64).round() as usize;
+            let circ = path[idx].1[4].log1p_exp() + 1e-6;
+            y.push((circ.ln() + crate::sbc::norm(rng, 0.0, sigma)).exp());
+        }
+        Box::new(AdModel::new(
+            "ode-sbc",
+            OdeDensity::new(OdeData { dose, t_obs, y }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,80 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Departments in the SBC dataset.
+const SBC_DEPARTMENTS: usize = 4;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`RacialDensity`] exactly (stop totals stay on the deterministic
+/// `400 + (g·137) % 300` grid the generator uses — they are data, not
+/// parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "racial"
+    }
+
+    fn dim(&self) -> usize {
+        2 * GROUPS + 2 + SBC_DEPARTMENTS
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, GROUPS, 2 * GROUPS]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut theta = Vec::with_capacity(self.dim());
+        for _ in 0..GROUPS {
+            theta.push(crate::sbc::norm(rng, 0.5, 1.0)); // λ_g
+        }
+        for _ in 0..GROUPS {
+            theta.push(crate::sbc::norm(rng, 0.0, 1.0)); // t_g
+        }
+        theta.push(crate::sbc::norm(rng, -1.0, 1.0)); // μ_φ
+        theta.push(crate::sbc::norm(rng, -1.0, 1.0)); // ln σ_φ
+        let (mu_phi, sigma_phi) = (theta[2 * GROUPS], theta[2 * GROUPS + 1].exp());
+        for _ in 0..SBC_DEPARTMENTS {
+            theta.push(crate::sbc::norm(rng, mu_phi, sigma_phi)); // φ_d
+        }
+        theta
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let signal = &theta[0..GROUPS];
+        let thresh = &theta[GROUPS..2 * GROUPS];
+        let phis = &theta[2 * GROUPS + 2..2 * GROUPS + 2 + SBC_DEPARTMENTS];
+        let cells = SBC_DEPARTMENTS * GROUPS;
+        let mut stops = Vec::with_capacity(cells);
+        let mut searches = Vec::with_capacity(cells);
+        let mut hits = Vec::with_capacity(cells);
+        for d in 0..SBC_DEPARTMENTS {
+            for g in 0..GROUPS {
+                let n_stops = 400 + (g * 137) as u64 % 300;
+                let s = Binomial::new(n_stops, sigmoid(phis[d] - thresh[g]))
+                    .expect("valid p")
+                    .sample(rng);
+                let h = Binomial::new(s, sigmoid(signal[g] + thresh[g]))
+                    .expect("valid p")
+                    .sample(rng);
+                stops.push(n_stops);
+                searches.push(s);
+                hits.push(h);
+            }
+        }
+        Box::new(AdModel::new(
+            "racial-sbc",
+            RacialDensity::new(RacialData {
+                stops,
+                searches,
+                hits,
+                departments: SBC_DEPARTMENTS,
+            }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

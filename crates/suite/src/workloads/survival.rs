@@ -170,6 +170,60 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Individuals in the SBC dataset.
+const SBC_INDIVIDUALS: usize = 120;
+
+/// Simulation-based calibration case whose prior and CJS process match
+/// [`SurvivalDensity`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "survival"
+    }
+
+    fn dim(&self) -> usize {
+        2 * (OCCASIONS - 1)
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 1, OCCASIONS - 1]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        (0..2 * (OCCASIONS - 1))
+            .map(|_| crate::sbc::norm(rng, 0.0, 1.5))
+            .collect()
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        use bayes_prob::special::sigmoid;
+        let t_int = OCCASIONS - 1;
+        let phi: Vec<f64> = (0..t_int).map(|t| sigmoid(theta[t])).collect();
+        let p: Vec<f64> = (0..t_int).map(|t| sigmoid(theta[t_int + t])).collect();
+        let n = SBC_INDIVIDUALS;
+        let mut histories = vec![0u32; n * OCCASIONS];
+        for i in 0..n {
+            histories[i * OCCASIONS] = 1;
+            let mut alive = true;
+            for t in 0..t_int {
+                if alive && rng.gen_range(0.0..1.0) < phi[t] {
+                    if rng.gen_range(0.0..1.0) < p[t] {
+                        histories[i * OCCASIONS + t + 1] = 1;
+                    }
+                } else {
+                    alive = false;
+                }
+            }
+        }
+        Box::new(AdModel::new(
+            "survival-sbc",
+            SurvivalDensity::new(SurvivalData { histories, n }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

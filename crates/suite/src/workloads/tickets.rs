@@ -167,6 +167,77 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Officers in the SBC dataset.
+const SBC_OFFICERS: usize = 4;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`TicketsDensity`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "tickets"
+    }
+
+    fn dim(&self) -> usize {
+        5 + SBC_OFFICERS
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 2, 4]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut theta = vec![
+            crate::sbc::norm(rng, 2.0, 1.0),  // μ_α
+            crate::sbc::norm(rng, -1.0, 1.0), // ln τ
+            crate::sbc::norm(rng, 0.0, 1.0),  // β_eom
+            crate::sbc::norm(rng, 0.0, 1.0),  // β_season
+            crate::sbc::norm(rng, 1.0, 1.0),  // ln φ
+        ];
+        let (mu_alpha, tau) = (theta[0], theta[1].exp());
+        for _ in 0..SBC_OFFICERS {
+            theta.push(crate::sbc::norm(rng, mu_alpha, tau));
+        }
+        theta
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let (beta_eom, beta_season, phi) = (theta[2], theta[3], theta[4].exp());
+        let alphas = &theta[5..5 + SBC_OFFICERS];
+        let n = SBC_OFFICERS * MONTHS;
+        let mut y = Vec::with_capacity(n);
+        let mut officer = Vec::with_capacity(n);
+        let mut eom = Vec::with_capacity(n);
+        let mut season = Vec::with_capacity(n);
+        for o in 0..SBC_OFFICERS {
+            for m in 0..MONTHS {
+                let e = if m % 2 == 0 { 1.0 } else { 0.0 };
+                let s = (2.0 * std::f64::consts::PI * m as f64 / 12.0).sin();
+                let mu = (alphas[o] + beta_eom * e + beta_season * s).exp();
+                let count = NegBinomial::new(mu.max(1e-9), phi)
+                    .expect("positive params")
+                    .sample(rng);
+                y.push(count);
+                officer.push(o);
+                eom.push(e);
+                season.push(s);
+            }
+        }
+        Box::new(AdModel::new(
+            "tickets-sbc",
+            TicketsDensity::new(TicketsData {
+                y,
+                officer,
+                eom,
+                season,
+                officers: SBC_OFFICERS,
+            }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

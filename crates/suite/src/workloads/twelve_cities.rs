@@ -139,6 +139,64 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Years per city in the SBC panel (small on purpose — SBC refits the
+/// posterior many times).
+const SBC_YEARS: usize = 2;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`TwelveCitiesDensity`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "12cities"
+    }
+
+    fn dim(&self) -> usize {
+        3 + CITIES
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![0, 1, 2]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        let mut theta = vec![
+            crate::sbc::norm(rng, 1.0, 1.0),  // μ_α
+            crate::sbc::norm(rng, -1.0, 1.0), // ln τ
+            crate::sbc::norm(rng, 0.0, 1.0),  // β
+        ];
+        let (mu_alpha, tau) = (theta[0], theta[1].exp());
+        for _ in 0..CITIES {
+            theta.push(crate::sbc::norm(rng, mu_alpha, tau));
+        }
+        theta
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let beta = theta[2];
+        let alphas = &theta[3..3 + CITIES];
+        let x_dist = Normal::new(0.0, 1.0).expect("static params");
+        let mut y = Vec::new();
+        let mut city = Vec::new();
+        let mut x = Vec::new();
+        for c in 0..CITIES {
+            for _ in 0..SBC_YEARS {
+                let xv = x_dist.sample(rng);
+                let rate = (alphas[c] + beta * xv).exp();
+                y.push(Poisson::new(rate.max(1e-9)).expect("positive").sample(rng));
+                city.push(c);
+                x.push(xv);
+            }
+        }
+        Box::new(AdModel::new(
+            "12cities-sbc",
+            TwelveCitiesDensity::new(TwelveCitiesData { y, city, x }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

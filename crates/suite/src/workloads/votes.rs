@@ -192,6 +192,60 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     )
 }
 
+/// Series length of the SBC dataset.
+const SBC_POINTS: usize = 10;
+
+/// Simulation-based calibration case whose prior and likelihood match
+/// [`VotesDensity`] exactly: `y` is drawn from the same marginal
+/// covariance `K + (σ_n² + 1e-8)·I` the density factorizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Sbc;
+
+impl crate::sbc::SbcCase for Sbc {
+    fn name(&self) -> &'static str {
+        "votes"
+    }
+
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn tracked(&self) -> Vec<usize> {
+        vec![1, 2, 3]
+    }
+
+    fn draw_prior(&self, rng: &mut StdRng) -> Vec<f64> {
+        vec![
+            crate::sbc::norm(rng, 0.0, 1.0),  // ln ρ
+            crate::sbc::norm(rng, -1.0, 1.0), // ln α
+            crate::sbc::norm(rng, -2.0, 1.0), // ln σ_n
+            crate::sbc::norm(rng, 0.0, 1.0),  // μ
+        ]
+    }
+
+    fn condition(&self, theta: &[f64], rng: &mut StdRng) -> Box<dyn bayes_mcmc::Model> {
+        let n = SBC_POINTS;
+        let t: Vec<f64> = (0..n).map(|i| i as f64 / 4.0).collect();
+        let rho = theta[0].exp();
+        let alpha2 = (theta[1] * 2.0).exp();
+        let sigma_n2 = (theta[2] * 2.0).exp();
+        let mu = theta[3];
+        let mut k = Matrix::symmetric_from_fn(n, |i, j| {
+            let d = (t[i] - t[j]) / rho;
+            alpha2 * (-0.5 * d * d).exp()
+        });
+        k.add_diagonal(sigma_n2 + 1e-8);
+        let ch = Cholesky::factor(&k).expect("marginal covariance is SPD");
+        let z: Vec<f64> = (0..n).map(|_| crate::sbc::norm(rng, 0.0, 1.0)).collect();
+        let f = ch.l_matvec(&z).expect("dims match");
+        let y: Vec<f64> = f.iter().map(|fi| mu + fi).collect();
+        Box::new(AdModel::new(
+            "votes-sbc",
+            VotesDensity::new(VotesData { t, y }),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,170 @@
+//! MCSE-calibrated assertions for stochastic estimates.
+//!
+//! The tolerance of every assertion here is derived from the run's own
+//! effective sample size instead of a hand-picked constant: a posterior
+//! mean estimated from `ESS` effective draws of a distribution with
+//! standard deviation `sd` has Monte-Carlo standard error `sd / √ESS`,
+//! so `|estimate − truth|` beyond a few MCSEs indicates a real bug, not
+//! an unlucky seed — and a shorter run automatically gets the wider
+//! tolerance it deserves.
+
+use bayes_mcmc::{diag, MultiChainRun};
+
+/// Asserts `estimate` lies within `z` Monte-Carlo standard errors of
+/// `truth`, where `MCSE = sd / √ess`.
+///
+/// # Panics
+///
+/// Panics when the MCSE is degenerate (non-finite `sd`/`ess`) or the
+/// estimate misses the truth by more than `z·MCSE`.
+pub fn assert_close_mcse(label: &str, estimate: f64, truth: f64, sd: f64, ess: f64, z: f64) {
+    let mcse = diag::mcse(sd, ess);
+    assert!(
+        mcse.is_finite(),
+        "{label}: MCSE not finite (sd {sd}, ess {ess}) — degenerate diagnostics"
+    );
+    let tol = z * mcse;
+    let err = (estimate - truth).abs();
+    assert!(
+        err <= tol,
+        "{label}: |{estimate:.6} - {truth:.6}| = {err:.6} exceeds {z}·MCSE = {tol:.6} \
+         (sd {sd:.4}, ess {ess:.1})"
+    );
+}
+
+/// Asserts the pooled posterior mean of parameter `j` is within
+/// `z` MCSEs of `truth`, using the run's own sd and ESS.
+pub fn assert_mean_close(run: &MultiChainRun, j: usize, truth: f64, z: f64) {
+    let ess = diag::ess(&run.traces(j));
+    assert_close_mcse(
+        &format!("mean of param {j}"),
+        run.mean(j),
+        truth,
+        run.sd(j),
+        ess,
+        z,
+    );
+}
+
+/// Asserts the pooled posterior sd of parameter `j` is within `z`
+/// standard errors of `truth_sd`.
+///
+/// For approximately normal marginals the sampling error of a standard
+/// deviation over `ESS` effective draws is `sd / √(2·ESS)`.
+pub fn assert_sd_close(run: &MultiChainRun, j: usize, truth_sd: f64, z: f64) {
+    let ess = diag::ess(&run.traces(j));
+    let sd = run.sd(j);
+    assert_close_mcse(
+        &format!("sd of param {j}"),
+        sd,
+        truth_sd,
+        sd / std::f64::consts::SQRT_2,
+        ess,
+        z,
+    );
+}
+
+/// Asserts the largest split-R̂ across all parameters is finite and
+/// below `max`.
+pub fn assert_rhat_below(run: &MultiChainRun, max: f64) {
+    let r = run.max_rhat();
+    assert!(
+        r.is_finite() && r < max,
+        "max split-Rhat {r} not below {max}"
+    );
+}
+
+/// Asserts the pooled ESS of parameter `j` is finite and at least
+/// `min`.
+pub fn assert_ess_above(run: &MultiChainRun, j: usize, min: f64) {
+    let e = diag::ess(&run.traces(j));
+    assert!(
+        e.is_finite() && e >= min,
+        "param {j}: ESS {e} below required {min}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_mcmc::chain::ChainOutput;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A run of `m` chains of iid ~N(mu, 1) draws (dim 1, no warmup).
+    fn iid_run(m: usize, n: usize, mu: f64, seed: u64) -> MultiChainRun {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chains = (0..m)
+            .map(|_| {
+                let draws = (0..n)
+                    .map(|_| {
+                        let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+                        vec![mu + s - 6.0]
+                    })
+                    .collect();
+                ChainOutput {
+                    draws,
+                    warmup: 0,
+                    accept_mean: 1.0,
+                    grad_evals: n as u64,
+                    divergences: 0,
+                    evals_per_iter: vec![1; n],
+                }
+            })
+            .collect();
+        MultiChainRun { chains, dim: 1 }
+    }
+
+    #[test]
+    fn iid_run_passes_all_assertions() {
+        let run = iid_run(4, 500, 3.0, 1);
+        assert_mean_close(&run, 0, 3.0, 4.0);
+        assert_sd_close(&run, 0, 1.0, 4.0);
+        assert_rhat_below(&run, 1.05);
+        assert_ess_above(&run, 0, 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn biased_mean_is_caught() {
+        // 2000 iid draws: MCSE ≈ 0.022, so a 0.5 shift is ~22 MCSEs.
+        let run = iid_run(4, 500, 3.0, 2);
+        assert_mean_close(&run, 0, 3.5, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate diagnostics")]
+    fn nan_traces_fail_loudly_not_silently() {
+        let mut run = iid_run(2, 100, 0.0, 3);
+        run.chains[0].draws[50] = vec![f64::NAN];
+        assert_mean_close(&run, 0, 0.0, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not below")]
+    fn separated_chains_fail_rhat() {
+        let mut run = iid_run(2, 200, 0.0, 4);
+        let far = iid_run(2, 200, 8.0, 5);
+        run.chains.extend(far.chains);
+        assert_rhat_below(&run, 1.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "below required")]
+    fn ess_floor_is_enforced() {
+        let run = iid_run(2, 100, 0.0, 6);
+        assert_ess_above(&run, 0, 1e6);
+    }
+
+    #[test]
+    fn tolerance_scales_with_run_length() {
+        // A short run must get a wider tolerance than a long one — the
+        // scale-awareness that fixed constants lack.
+        let short = iid_run(2, 60, 0.0, 7);
+        let long = iid_run(4, 2000, 0.0, 8);
+        let mcse_of = |run: &MultiChainRun| {
+            bayes_mcmc::diag::mcse(run.sd(0), bayes_mcmc::diag::ess(&run.traces(0)))
+        };
+        assert!(mcse_of(&short) > 3.0 * mcse_of(&long));
+    }
+}

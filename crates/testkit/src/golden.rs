@@ -1,0 +1,220 @@
+//! Plain-text golden fixtures for deterministic diagnostic pipelines.
+//!
+//! Format: one `name value` pair per line, values in full-precision
+//! scientific notation, `#`-prefixed comment lines ignored. The format
+//! is deliberately trivial so a mismatch diff is readable in a terminal
+//! and fixtures never need a serialization dependency.
+//!
+//! Workflow:
+//! * a missing fixture is written on first run (self-bless) with a
+//!   warning on stderr, so fresh checkouts and new fixtures never fail;
+//! * `BAYES_BLESS=1 cargo test` rewrites every fixture a test touches;
+//! * otherwise values are compared at relative tolerance `1e-8` and
+//!   [`assert_golden`] panics listing each mismatch.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Relative tolerance for comparisons: diagnostics are deterministic,
+/// but cross-platform libm differences deserve a few ulps of slack.
+const REL_TOL: f64 = 1e-8;
+
+/// Environment variable that forces regeneration of fixtures.
+pub const BLESS_ENV: &str = "BAYES_BLESS";
+
+/// What [`compare_or_bless`] did and found.
+#[derive(Debug, Clone, Default)]
+pub struct GoldenReport {
+    /// The fixture was (re)written rather than compared.
+    pub blessed: bool,
+    /// Human-readable description of each discrepancy.
+    pub mismatches: Vec<String>,
+}
+
+impl GoldenReport {
+    /// True when the fixture matched (or was just written).
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+fn render(values: &[(&str, f64)]) -> String {
+    let mut out = String::from("# golden fixture — regenerate with BAYES_BLESS=1 cargo test\n");
+    for (name, v) in values {
+        writeln!(out, "{name} {v:.17e}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+fn parse(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, v) = l.split_once(char::is_whitespace)?;
+            Some((name.to_string(), v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Equality at [`REL_TOL`]; `NaN == NaN` so a documented-NaN diagnostic
+/// can be pinned by a fixture.
+fn close(a: f64, b: f64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    (a - b).abs() <= REL_TOL * (1.0 + a.abs().max(b.abs()))
+}
+
+fn bless(path: &Path, values: &[(&str, f64)]) {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create fixture directory");
+    }
+    fs::write(path, render(values)).expect("write fixture");
+}
+
+fn compare_or_bless_with(path: &Path, values: &[(&str, f64)], force_bless: bool) -> GoldenReport {
+    if force_bless {
+        bless(path, values);
+        return GoldenReport {
+            blessed: true,
+            mismatches: Vec::new(),
+        };
+    }
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => {
+            bless(path, values);
+            eprintln!(
+                "golden: fixture {} did not exist — wrote it (self-bless); \
+                 commit it to pin these values",
+                path.display()
+            );
+            return GoldenReport {
+                blessed: true,
+                mismatches: Vec::new(),
+            };
+        }
+    };
+    let expected = parse(&text);
+    let mut mismatches = Vec::new();
+    if expected.len() != values.len() {
+        mismatches.push(format!(
+            "fixture has {} entries, test produced {}",
+            expected.len(),
+            values.len()
+        ));
+    }
+    for (i, (name, got)) in values.iter().enumerate() {
+        match expected.get(i) {
+            Some((e_name, want)) if e_name == name => {
+                if !close(*got, *want) {
+                    mismatches.push(format!("{name}: fixture {want:.17e}, got {got:.17e}"));
+                }
+            }
+            Some((e_name, _)) => {
+                mismatches.push(format!("entry {i}: fixture names {e_name}, test names {name}"));
+            }
+            None => {}
+        }
+    }
+    GoldenReport {
+        blessed: false,
+        mismatches,
+    }
+}
+
+/// Compares named values against the fixture at `path`, self-blessing a
+/// missing fixture and rewriting it when `BAYES_BLESS=1`.
+pub fn compare_or_bless(path: &Path, values: &[(&str, f64)]) -> GoldenReport {
+    let force = std::env::var(BLESS_ENV).map(|v| v == "1").unwrap_or(false);
+    compare_or_bless_with(path, values, force)
+}
+
+/// [`compare_or_bless`] that panics on any mismatch with a re-bless
+/// hint — the form tests call.
+pub fn assert_golden(path: &Path, values: &[(&str, f64)]) {
+    let report = compare_or_bless(path, values);
+    assert!(
+        report.passed(),
+        "golden fixture {} mismatch:\n  {}\nRe-bless with BAYES_BLESS=1 cargo test \
+         if the change is intentional.",
+        path.display(),
+        report.mismatches.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("bayes-testkit-golden")
+            .join(format!("pid-{}", std::process::id()));
+        dir.join(name)
+    }
+
+    #[test]
+    fn missing_fixture_self_blesses_then_matches() {
+        let path = scratch("self_bless.txt");
+        let _ = fs::remove_file(&path);
+        let values = [("rhat", 1.0123456789012345), ("ess", 417.25)];
+        let first = compare_or_bless_with(&path, &values, false);
+        assert!(first.blessed && first.passed());
+        let second = compare_or_bless_with(&path, &values, false);
+        assert!(!second.blessed && second.passed());
+    }
+
+    #[test]
+    fn drifted_value_is_reported_by_name() {
+        let path = scratch("drift.txt");
+        compare_or_bless_with(&path, &[("mean", 2.0), ("sd", 1.0)], true);
+        let report = compare_or_bless_with(&path, &[("mean", 2.0), ("sd", 1.5)], false);
+        assert!(!report.passed());
+        assert_eq!(report.mismatches.len(), 1);
+        assert!(report.mismatches[0].contains("sd"), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn bless_overwrites_a_stale_fixture() {
+        let path = scratch("rebless.txt");
+        compare_or_bless_with(&path, &[("x", 1.0)], true);
+        let report = compare_or_bless_with(&path, &[("x", 9.0)], true);
+        assert!(report.blessed);
+        assert!(compare_or_bless_with(&path, &[("x", 9.0)], false).passed());
+    }
+
+    #[test]
+    fn round_trip_preserves_full_precision_and_nan() {
+        let path = scratch("precision.txt");
+        let values = [
+            ("pi", std::f64::consts::PI),
+            ("tiny", 2.2250738585072014e-308),
+            ("nan", f64::NAN),
+            ("neg", -1.0 / 3.0),
+        ];
+        compare_or_bless_with(&path, &values, true);
+        assert!(compare_or_bless_with(&path, &values, false).passed());
+    }
+
+    #[test]
+    fn renamed_or_extra_entries_are_mismatches() {
+        let path = scratch("shape.txt");
+        compare_or_bless_with(&path, &[("a", 1.0), ("b", 2.0)], true);
+        let renamed = compare_or_bless_with(&path, &[("a", 1.0), ("c", 2.0)], false);
+        assert!(!renamed.passed());
+        let shorter = compare_or_bless_with(&path, &[("a", 1.0)], false);
+        assert!(!shorter.passed());
+    }
+
+    #[test]
+    fn comment_lines_are_ignored() {
+        let parsed = parse("# header\n\na 1.5\n# trailing\nb 2.5e0\n");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "a");
+        assert!((parsed[1].1 - 2.5).abs() < 1e-15);
+    }
+}

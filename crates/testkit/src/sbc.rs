@@ -1,0 +1,257 @@
+//! Simulation-based calibration (Talts et al. 2018) over the suite's
+//! [`SbcCase`]s.
+//!
+//! For each replicate the runner draws `θ̃` from the prior, generates a
+//! synthetic dataset from the workload's own generator conditioned on
+//! `θ̃`, samples the posterior with NUTS, and records the rank of `θ̃[j]`
+//! among `L` thinned posterior draws for every tracked parameter. If
+//! prior, generator, density, and sampler are mutually consistent, the
+//! ranks are uniform on `{0, …, L}`; a chi-square test over binned
+//! ranks turns that into a p-value. A tiny p-value on any tracked
+//! parameter means *some* link of the chain is miscalibrated — the test
+//! cannot say which, but it catches sign errors, dropped Jacobians, and
+//! generator/density mismatches that moment checks sail past.
+
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::{chain, Purpose, RunConfig, StreamKey};
+use bayes_prob::dist::{ContinuousDist, Gamma};
+use bayes_suite::sbc::SbcCase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Knobs of one SBC sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SbcConfig {
+    /// Prior draws (independent replicates of the whole loop).
+    pub replicates: usize,
+    /// NUTS iterations per replicate (half are warmup).
+    pub iters: usize,
+    /// Chains per replicate.
+    pub chains: usize,
+    /// Posterior draws kept per replicate; ranks live on
+    /// `{0, …, thin_to}`. Thinning fights the autocorrelation that
+    /// would otherwise invalidate the rank distribution.
+    pub thin_to: usize,
+    /// Rank-histogram bins; must divide `thin_to + 1` evenly.
+    pub bins: usize,
+    /// Root seed; every replicate re-derives its own generator and
+    /// sampler streams from it.
+    pub seed: u64,
+}
+
+impl SbcConfig {
+    /// Small configuration for tier-1 smoke tests: enough replicates to
+    /// catch gross miscalibration (a sign error or dropped Jacobian
+    /// piles ranks into one bin) in a few seconds.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            replicates: 20,
+            iters: 300,
+            chains: 1,
+            thin_to: 19,
+            bins: 5,
+            seed,
+        }
+    }
+
+    /// Heavier configuration for the `#[ignore]`d tier-2 sweep.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            replicates: 50,
+            iters: 600,
+            chains: 1,
+            thin_to: 19,
+            bins: 5,
+            seed,
+        }
+    }
+}
+
+/// Rank histogram and uniformity test for one tracked parameter.
+#[derive(Debug, Clone)]
+pub struct SbcParamOutcome {
+    /// Index of the parameter in the unconstrained vector.
+    pub index: usize,
+    /// Binned rank counts (`bins` entries summing to `replicates`).
+    pub counts: Vec<usize>,
+    /// Chi-square statistic against the uniform expectation.
+    pub stat: f64,
+    /// Upper-tail p-value at `bins − 1` degrees of freedom.
+    pub p_value: f64,
+}
+
+/// Result of a full SBC sweep over one case.
+#[derive(Debug, Clone)]
+pub struct SbcOutcome {
+    /// Workload name the sweep ran against.
+    pub case: &'static str,
+    /// Replicates that contributed ranks.
+    pub replicates: usize,
+    /// Per-tracked-parameter histograms and tests.
+    pub per_param: Vec<SbcParamOutcome>,
+}
+
+impl SbcOutcome {
+    /// Smallest p-value across tracked parameters — the number a test
+    /// asserts against.
+    pub fn min_p(&self) -> f64 {
+        self.per_param
+            .iter()
+            .map(|p| p.p_value)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Upper-tail chi-square probability: `P(X ≥ stat)` at `dof` degrees
+/// of freedom, via the Gamma(dof/2, 1/2) representation.
+fn chi_square_sf(stat: f64, dof: usize) -> f64 {
+    let g = Gamma::new(dof as f64 / 2.0, 0.5).expect("dof ≥ 1");
+    (1.0 - g.cdf(stat)).clamp(0.0, 1.0)
+}
+
+/// Chi-square uniformity statistic and p-value for a rank histogram.
+pub fn uniformity_p(counts: &[usize]) -> (f64, f64) {
+    let n: usize = counts.iter().sum();
+    let expected = n as f64 / counts.len() as f64;
+    let stat = counts
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    (stat, chi_square_sf(stat, counts.len() - 1))
+}
+
+/// Runs the SBC loop for one case.
+///
+/// Determinism: replicate `r` derives its base seed as
+/// `StreamKey::new(cfg.seed).chain(r).purpose(Purpose::Test)`; the data
+/// generator re-derives a [`Purpose::DataGen`] stream from that base and
+/// the NUTS run uses the base as its `RunConfig` seed, so the whole
+/// sweep is a pure function of `cfg`.
+///
+/// # Panics
+///
+/// Panics when `bins` does not divide `thin_to + 1`, or when a
+/// replicate produces fewer than `thin_to` posterior draws.
+pub fn run_sbc(case: &dyn SbcCase, cfg: &SbcConfig) -> SbcOutcome {
+    assert!(
+        cfg.bins >= 2 && (cfg.thin_to + 1) % cfg.bins == 0,
+        "bins ({}) must divide thin_to + 1 ({})",
+        cfg.bins,
+        cfg.thin_to + 1
+    );
+    let tracked = case.tracked();
+    let mut counts = vec![vec![0usize; cfg.bins]; tracked.len()];
+
+    for r in 0..cfg.replicates {
+        let base = StreamKey::new(cfg.seed)
+            .chain(r as u64)
+            .purpose(Purpose::Test)
+            .derive();
+        let mut gen_rng =
+            StdRng::seed_from_u64(StreamKey::new(base).purpose(Purpose::DataGen).derive());
+        let theta_tilde = case.draw_prior(&mut gen_rng);
+        assert_eq!(theta_tilde.len(), case.dim(), "prior draw has wrong dim");
+        let model = case.condition(&theta_tilde, &mut gen_rng);
+
+        let run_cfg = RunConfig::new(cfg.iters)
+            .with_chains(cfg.chains)
+            .with_seed(base);
+        let run = chain::run(&Nuts::default(), model.as_ref(), &run_cfg);
+
+        let pooled = run.pooled_draws();
+        assert!(
+            pooled.len() >= cfg.thin_to,
+            "replicate {r}: {} draws < thin_to {}",
+            pooled.len(),
+            cfg.thin_to
+        );
+        // L evenly spaced draws; the stride discards most of the
+        // autocorrelation at these run lengths.
+        let thinned: Vec<&[f64]> = (0..cfg.thin_to)
+            .map(|k| pooled[k * pooled.len() / cfg.thin_to])
+            .collect();
+        for (slot, &j) in tracked.iter().enumerate() {
+            let rank = thinned.iter().filter(|d| d[j] < theta_tilde[j]).count();
+            let bin = rank * cfg.bins / (cfg.thin_to + 1);
+            counts[slot][bin] += 1;
+        }
+    }
+
+    let per_param = tracked
+        .iter()
+        .zip(counts)
+        .map(|(&index, c)| {
+            let (stat, p_value) = uniformity_p(&c);
+            SbcParamOutcome {
+                index,
+                counts: c,
+                stat,
+                p_value,
+            }
+        })
+        .collect();
+    SbcOutcome {
+        case: case.name(),
+        replicates: cfg.replicates,
+        per_param,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_suite::sbc::sbc_case;
+
+    #[test]
+    fn chi_square_sf_matches_known_quantiles() {
+        // χ²(4): P(X ≥ 9.488) = 0.05, P(X ≥ 13.277) = 0.01.
+        assert!((chi_square_sf(9.488, 4) - 0.05).abs() < 2e-3);
+        assert!((chi_square_sf(13.277, 4) - 0.01).abs() < 2e-3);
+        assert!(chi_square_sf(0.0, 4) > 0.999);
+    }
+
+    #[test]
+    fn uniform_counts_score_high_skewed_counts_score_low() {
+        let (_, p_flat) = uniformity_p(&[10, 10, 10, 10, 10]);
+        let (_, p_spike) = uniformity_p(&[50, 0, 0, 0, 0]);
+        assert!(p_flat > 0.99, "flat histogram p {p_flat}");
+        assert!(p_spike < 1e-10, "spiked histogram p {p_spike}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bins_must_divide_rank_range() {
+        let case = sbc_case("votes").unwrap();
+        let mut cfg = SbcConfig::smoke(1);
+        cfg.bins = 7; // 20 % 7 != 0
+        run_sbc(case.as_ref(), &cfg);
+    }
+
+    #[test]
+    fn runner_is_deterministic_and_well_formed() {
+        // Tiny sweep on the cheapest case: checks plumbing, not
+        // calibration (that lives in tests/sbc.rs with real N).
+        let case = sbc_case("votes").unwrap();
+        let cfg = SbcConfig {
+            replicates: 6,
+            iters: 80,
+            chains: 1,
+            thin_to: 9,
+            bins: 5,
+            seed: 11,
+        };
+        let a = run_sbc(case.as_ref(), &cfg);
+        let b = run_sbc(case.as_ref(), &cfg);
+        assert_eq!(a.case, "votes");
+        assert_eq!(a.per_param.len(), case.tracked().len());
+        for (pa, pb) in a.per_param.iter().zip(&b.per_param) {
+            assert_eq!(pa.counts, pb.counts, "SBC sweep must be deterministic");
+            assert_eq!(pa.counts.iter().sum::<usize>(), cfg.replicates);
+            assert!((0.0..=1.0).contains(&pa.p_value));
+        }
+        assert!(a.min_p() <= a.per_param[0].p_value);
+    }
+}

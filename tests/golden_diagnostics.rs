@@ -1,0 +1,93 @@
+//! Golden fixtures pinning the deterministic diagnostic pipeline.
+//!
+//! Everything asserted here is a pure function of a fixed seed — chain
+//! draws, R̂, ESS, posterior summaries — so any drift means an
+//! unintended change to the sampler, the stream derivation, or the
+//! diagnostics. Regenerate intentionally with `BAYES_BLESS=1 cargo
+//! test`; a missing fixture is written on first run (self-bless).
+
+use std::path::PathBuf;
+
+use bayes_autodiff::Real;
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::{chain, diag, AdModel, LogDensity, RunConfig};
+use bayes_testkit::assert_golden;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Off-center 2-d Gaussian with correlation — small enough to run in
+/// milliseconds, structured enough that all diagnostics are non-trivial.
+struct TiltedGaussian;
+
+impl LogDensity for TiltedGaussian {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn eval<R: Real>(&self, t: &[R]) -> R {
+        let a = t[0] - 1.0;
+        let b = t[1] + 0.5 - a * 0.6;
+        -(a * a) * 0.5 - (b * b) * 0.8
+    }
+}
+
+#[test]
+fn golden_nuts_diagnostics_on_fixed_seed() {
+    let model = AdModel::new("tilted", TiltedGaussian);
+    let cfg = RunConfig::new(400).with_chains(2).with_seed(77);
+    let run = chain::run(&Nuts::default(), &model, &cfg);
+
+    let values = [
+        ("mean0", run.mean(0)),
+        ("mean1", run.mean(1)),
+        ("sd0", run.sd(0)),
+        ("sd1", run.sd(1)),
+        ("split_rhat0", diag::split_rhat(&run.traces(0))),
+        ("split_rhat1", diag::split_rhat(&run.traces(1))),
+        ("ess0", diag::ess(&run.traces(0))),
+        ("ess1", diag::ess(&run.traces(1))),
+        ("grad_evals", run.total_grad_evals() as f64),
+        ("first_draw0", run.chains[0].draws[0][0]),
+        ("last_draw1", run.chains[1].draws.last().unwrap()[1]),
+    ];
+    assert_golden(&golden("nuts_tilted_gaussian.txt"), &values);
+}
+
+#[test]
+fn golden_diag_functions_on_synthetic_traces() {
+    // Traces are a pure function of the StdRng seed, independent of any
+    // sampler — this pins the estimators themselves.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let chains: Vec<Vec<f64>> = (0..4)
+        .map(|c| {
+            let mut x = 0.0;
+            (0..500)
+                .map(|_| {
+                    // AR(1) with chain-dependent offset: known positive
+                    // autocorrelation, slight between-chain spread.
+                    x = 0.7 * x + rng.gen_range(-1.0..1.0);
+                    x + c as f64 * 0.01
+                })
+                .collect()
+        })
+        .collect();
+
+    let sd = {
+        let flat: Vec<f64> = chains.iter().flatten().copied().collect();
+        let m = flat.iter().sum::<f64>() / flat.len() as f64;
+        (flat.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (flat.len() as f64 - 1.0)).sqrt()
+    };
+    let ess = diag::ess(&chains);
+    let values = [
+        ("rhat", diag::rhat(&chains)),
+        ("split_rhat", diag::split_rhat(&chains)),
+        ("ess", ess),
+        ("mcse", diag::mcse(sd, ess)),
+    ];
+    assert_golden(&golden("diag_ar1_traces.txt"), &values);
+}

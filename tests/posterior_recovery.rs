@@ -1,10 +1,16 @@
 //! Cross-crate integration: the inference stack (prob + autodiff +
 //! mcmc) recovers analytically known posteriors.
+//!
+//! Tolerances come from `bayes_testkit`'s MCSE-calibrated assertions
+//! instead of hand-picked constants: each estimate must land within a
+//! few Monte-Carlo standard errors (`sd / √ESS`) of the analytic truth,
+//! so the test stays exactly as strict as the run length justifies.
 
 use bayes_autodiff::Real;
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::{chain, AdModel, LogDensity, RunConfig};
 use bayes_prob::dist::{ContinuousDist, Normal};
+use bayes_testkit::{assert_ess_above, assert_mean_close, assert_rhat_below, assert_sd_close};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,18 +63,10 @@ fn nuts_matches_conjugate_posterior() {
     let cfg = RunConfig::new(3000).with_chains(4).with_seed(9);
     let run = chain::run(&Nuts::default(), &model, &cfg);
 
-    assert!(run.max_rhat() < 1.05, "rhat {}", run.max_rhat());
-    assert!(
-        (run.mean(0) - post_mean).abs() < 0.05,
-        "posterior mean {} vs analytic {post_mean}",
-        run.mean(0)
-    );
-    assert!(
-        (run.sd(0) - post_var.sqrt()).abs() < 0.05,
-        "posterior sd {} vs analytic {}",
-        run.sd(0),
-        post_var.sqrt()
-    );
+    assert_rhat_below(&run, 1.05);
+    assert_ess_above(&run, 0, 400.0);
+    assert_mean_close(&run, 0, post_mean, 4.0);
+    assert_sd_close(&run, 0, post_var.sqrt(), 5.0);
 }
 
 #[test]
@@ -92,8 +90,11 @@ fn all_samplers_agree_on_the_same_posterior() {
     let nuts = chain::run(&Nuts::default(), &model, &cfg);
     let hmc = chain::run(&StaticHmc::new(12), &model, &cfg);
     let mh = chain::run(&MetropolisHastings::new(), &model, &cfg);
-    for (name, run) in [("nuts", &nuts), ("hmc", &hmc), ("mh", &mh)] {
-        assert!((run.mean(0) - 4.0).abs() < 0.25, "{name} mean {}", run.mean(0));
-        assert!((run.sd(0) - 1.5).abs() < 0.35, "{name} sd {}", run.sd(0));
+    for run in [&nuts, &hmc, &mh] {
+        // z = 6 keeps the random-walk sampler (low ESS, wide MCSE, but
+        // also the most sluggish mixing) inside its own error bars.
+        assert_rhat_below(run, 1.1);
+        assert_mean_close(run, 0, 4.0, 6.0);
+        assert_sd_close(run, 0, 1.5, 6.0);
     }
 }

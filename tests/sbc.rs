@@ -1,0 +1,69 @@
+//! Simulation-based calibration of the suite's workloads.
+//!
+//! Each workload module ships an `SbcCase` whose prior and synthetic
+//! generator are written against the same density NUTS samples, so rank
+//! statistics of prior draws among posterior draws must be uniform
+//! (Talts et al. 2018). Tier-1 runs a small-N smoke on three cheap
+//! workloads; the full 10-workload sweep is tier-2 (`cargo test --
+//! --ignored`).
+
+use bayes_suite::sbc::{sbc_case, sbc_cases};
+use bayes_testkit::{run_sbc, SbcConfig, SbcOutcome};
+
+/// Rejection level for the chi-square uniformity test. With smoke-sized
+/// histograms (20 replicates over 5 bins) this only trips on gross
+/// miscalibration — a sign error or dropped Jacobian piles essentially
+/// all ranks into one bin — which is exactly the regression class the
+/// tier-1 smoke exists to catch.
+const ALPHA: f64 = 1e-4;
+
+fn assert_uniform(out: &SbcOutcome) {
+    let histograms: Vec<(usize, &[usize])> = out
+        .per_param
+        .iter()
+        .map(|p| (p.index, p.counts.as_slice()))
+        .collect();
+    assert!(
+        out.min_p() > ALPHA,
+        "{}: SBC ranks non-uniform (min p {:.2e}; per-param (index, counts): {:?})",
+        out.case,
+        out.min_p(),
+        histograms
+    );
+}
+
+#[test]
+fn sbc_smoke_ad() {
+    let case = sbc_case("ad").expect("registered");
+    assert_uniform(&run_sbc(case.as_ref(), &SbcConfig::smoke(101)));
+}
+
+#[test]
+fn sbc_smoke_survival() {
+    let case = sbc_case("survival").expect("registered");
+    assert_uniform(&run_sbc(case.as_ref(), &SbcConfig::smoke(102)));
+}
+
+#[test]
+fn sbc_smoke_votes() {
+    let case = sbc_case("votes").expect("registered");
+    assert_uniform(&run_sbc(case.as_ref(), &SbcConfig::smoke(103)));
+}
+
+#[test]
+#[ignore = "tier-2: full SBC sweep over all 10 workloads (several minutes)"]
+fn sbc_full_sweep_over_every_workload() {
+    let mut failures = Vec::new();
+    for case in sbc_cases() {
+        let out = run_sbc(case.as_ref(), &SbcConfig::full(7));
+        eprintln!("sbc {:12} min p {:.3}", out.case, out.min_p());
+        if out.min_p() <= ALPHA {
+            failures.push(format!("{} (min p {:.2e})", out.case, out.min_p()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "SBC failures: {}",
+        failures.join(", ")
+    );
+}
