@@ -163,7 +163,10 @@ mod tests {
 
     #[test]
     fn scratchpad_overflow_is_pena1ized() {
-        let small = SimdAccelerator { scratchpad_bytes: 1 << 20, ..SimdAccelerator::baseline() };
+        let small = SimdAccelerator {
+            scratchpad_bytes: 1 << 20,
+            ..SimdAccelerator::baseline()
+        };
         let big = SimdAccelerator::baseline();
         let s = sig(400_000, 20_000, 1000, 640_000); // tickets-like, ~13 MB
         let over = small.estimate(&s, 4.2, 2.8);
@@ -175,8 +178,14 @@ mod tests {
 
     #[test]
     fn more_lanes_help_until_amdahl() {
-        let narrow = SimdAccelerator { lanes: 4, ..SimdAccelerator::baseline() };
-        let wide = SimdAccelerator { lanes: 64, ..SimdAccelerator::baseline() };
+        let narrow = SimdAccelerator {
+            lanes: 4,
+            ..SimdAccelerator::baseline()
+        };
+        let wide = SimdAccelerator {
+            lanes: 64,
+            ..SimdAccelerator::baseline()
+        };
         let s = sig(100_000, 5_000, 20, 250_000);
         let n = narrow.estimate(&s, 4.2, 2.8).speedup;
         let w = wide.estimate(&s, 4.2, 2.8).speedup;

@@ -303,7 +303,11 @@ mod tests {
         for a in (0..32 * 1024u64).step_by(64) {
             c.access(a);
         }
-        assert_eq!(c.misses(), c.accesses(), "LRU cyclic over-capacity thrashes");
+        assert_eq!(
+            c.misses(),
+            c.accesses(),
+            "LRU cyclic over-capacity thrashes"
+        );
     }
 
     #[test]

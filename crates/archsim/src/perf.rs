@@ -94,7 +94,10 @@ impl PerfReport {
 /// Panics if `cores` is zero or exceeds the platform's core count, or
 /// if `chains`/`iters` is zero.
 pub fn characterize(sig: &WorkloadSignature, plat: &Platform, cfg: &SimConfig) -> PerfReport {
-    assert!(cfg.cores >= 1 && cfg.cores <= plat.cores, "core count out of range");
+    assert!(
+        cfg.cores >= 1 && cfg.cores <= plat.cores,
+        "core count out of range"
+    );
     assert!(cfg.chains >= 1, "need at least one chain");
     assert!(cfg.iters >= 1, "need at least one iteration");
 
@@ -251,7 +254,15 @@ mod tests {
     fn small_working_set_is_compute_bound() {
         let sig = toy_signature(256 * 1024, 16 * 1024);
         let plat = Platform::skylake();
-        let r = characterize(&sig, &plat, &SimConfig { cores: 4, chains: 4, iters: 100 });
+        let r = characterize(
+            &sig,
+            &plat,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
+        );
         assert!(r.llc_mpki < 1.0, "mpki {}", r.llc_mpki);
         assert!(r.ipc > 1.5, "ipc {}", r.ipc);
     }
@@ -262,8 +273,24 @@ mod tests {
         // chains do not — the paper's core observation.
         let sig = toy_signature(4 * 1024 * 1024, 256 * 1024);
         let plat = Platform::skylake();
-        let one = characterize(&sig, &plat, &SimConfig { cores: 1, chains: 4, iters: 100 });
-        let four = characterize(&sig, &plat, &SimConfig { cores: 4, chains: 4, iters: 100 });
+        let one = characterize(
+            &sig,
+            &plat,
+            &SimConfig {
+                cores: 1,
+                chains: 4,
+                iters: 100,
+            },
+        );
+        let four = characterize(
+            &sig,
+            &plat,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
+        );
         assert!(one.llc_mpki < 1.0, "1-core mpki {}", one.llc_mpki);
         assert!(four.llc_mpki > 1.0, "4-core mpki {}", four.llc_mpki);
         assert!(four.ipc < one.ipc, "contention lowers IPC");
@@ -275,14 +302,27 @@ mod tests {
         let sky = characterize(
             &sig,
             &Platform::skylake(),
-            &SimConfig { cores: 4, chains: 4, iters: 100 },
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
         );
         let bdw = characterize(
             &sig,
             &Platform::broadwell(),
-            &SimConfig { cores: 4, chains: 4, iters: 100 },
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
         );
-        assert!(bdw.llc_mpki < sky.llc_mpki / 2.0, "{} vs {}", bdw.llc_mpki, sky.llc_mpki);
+        assert!(
+            bdw.llc_mpki < sky.llc_mpki / 2.0,
+            "{} vs {}",
+            bdw.llc_mpki,
+            sky.llc_mpki
+        );
     }
 
     #[test]
@@ -291,8 +331,26 @@ mod tests {
         let free = toy_signature(256 * 1024, 16 * 1024);
         let plat = Platform::skylake();
         let speedup = |sig: &WorkloadSignature| {
-            let t1 = characterize(sig, &plat, &SimConfig { cores: 1, chains: 4, iters: 50 }).time_s;
-            let t4 = characterize(sig, &plat, &SimConfig { cores: 4, chains: 4, iters: 50 }).time_s;
+            let t1 = characterize(
+                sig,
+                &plat,
+                &SimConfig {
+                    cores: 1,
+                    chains: 4,
+                    iters: 50,
+                },
+            )
+            .time_s;
+            let t4 = characterize(
+                sig,
+                &plat,
+                &SimConfig {
+                    cores: 4,
+                    chains: 4,
+                    iters: 50,
+                },
+            )
+            .time_s;
             t1 / t4
         };
         let s_bound = speedup(&bound);
@@ -309,18 +367,47 @@ mod tests {
         let balanced = {
             let mut s = sig.clone();
             s.chain_imbalance = vec![1.0; 4];
-            characterize(&s, &plat, &SimConfig { cores: 4, chains: 4, iters: 100 }).time_s
+            characterize(
+                &s,
+                &plat,
+                &SimConfig {
+                    cores: 4,
+                    chains: 4,
+                    iters: 100,
+                },
+            )
+            .time_s
         };
-        let skewed =
-            characterize(&sig, &plat, &SimConfig { cores: 4, chains: 4, iters: 100 }).time_s;
-        assert!((skewed / balanced - 2.5).abs() < 0.1, "ratio {}", skewed / balanced);
+        let skewed = characterize(
+            &sig,
+            &plat,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
+        )
+        .time_s;
+        assert!(
+            (skewed / balanced - 2.5).abs() < 0.1,
+            "ratio {}",
+            skewed / balanced
+        );
     }
 
     #[test]
     fn energy_is_power_times_time() {
         let sig = toy_signature(64 * 1024, 8 * 1024);
         let plat = Platform::broadwell();
-        let r = characterize(&sig, &plat, &SimConfig { cores: 2, chains: 2, iters: 100 });
+        let r = characterize(
+            &sig,
+            &plat,
+            &SimConfig {
+                cores: 2,
+                chains: 2,
+                iters: 100,
+            },
+        );
         assert!((r.energy_j - r.power_w * r.time_s).abs() < 1e-9);
         assert!(r.power_w < plat.tdp_w);
     }
@@ -347,6 +434,14 @@ mod tests {
     fn rejects_too_many_cores() {
         let sig = toy_signature(1024, 1024);
         let plat = Platform::skylake();
-        let _ = characterize(&sig, &plat, &SimConfig { cores: 5, chains: 4, iters: 10 });
+        let _ = characterize(
+            &sig,
+            &plat,
+            &SimConfig {
+                cores: 5,
+                chains: 4,
+                iters: 10,
+            },
+        );
     }
 }

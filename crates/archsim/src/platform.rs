@@ -169,9 +169,7 @@ mod tests {
         let sky = Platform::skylake();
         assert!(sky.prefetch_coverage(1) > sky.prefetch_coverage(4));
         assert!((sky.prefetch_coverage(1) - sky.prefetch_coverage_1core).abs() < 1e-12);
-        assert!(
-            (sky.prefetch_coverage(4) - sky.prefetch_coverage_allcores).abs() < 1e-12
-        );
+        assert!((sky.prefetch_coverage(4) - sky.prefetch_coverage_allcores).abs() < 1e-12);
     }
 
     #[test]

@@ -54,12 +54,8 @@ impl WorkloadSignature {
             .collect();
         let mean_evals = evals.iter().sum::<f64>() / evals.len() as f64;
         let imbalance: Vec<f64> = evals.iter().map(|e| e / mean_evals).collect();
-        let accept_mean = run
-            .chains
-            .iter()
-            .map(|c| c.accept_mean)
-            .sum::<f64>()
-            / run.chains.len() as f64;
+        let accept_mean =
+            run.chains.iter().map(|c| c.accept_mean).sum::<f64>() / run.chains.len() as f64;
         Self {
             name: w.name().to_string(),
             data_bytes: w.meta().modeled_data_bytes,
@@ -105,8 +101,7 @@ mod tests {
         assert!(sig.leapfrogs_per_iter >= 1.0);
         assert!((0.0..=1.0).contains(&sig.accept_mean));
         assert_eq!(sig.chain_imbalance.len(), 4);
-        let mean: f64 =
-            sig.chain_imbalance.iter().sum::<f64>() / sig.chain_imbalance.len() as f64;
+        let mean: f64 = sig.chain_imbalance.iter().sum::<f64>() / sig.chain_imbalance.len() as f64;
         assert!((mean - 1.0).abs() < 1e-9, "imbalance normalized to mean 1");
         assert!(sig.working_set_bytes() > sig.data_bytes);
     }

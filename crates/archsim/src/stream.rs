@@ -162,8 +162,16 @@ mod tests {
         let s1: Vec<u64> = (0..4).map(|i| (1 << 30) + i * 64).collect();
         let mixed = interleave(&[s0.clone(), s1.clone()], 3);
         assert_eq!(mixed.len(), 14);
-        let got0: Vec<u64> = mixed.iter().filter(|(c, _)| *c == 0).map(|&(_, a)| a).collect();
-        let got1: Vec<u64> = mixed.iter().filter(|(c, _)| *c == 1).map(|&(_, a)| a).collect();
+        let got0: Vec<u64> = mixed
+            .iter()
+            .filter(|(c, _)| *c == 0)
+            .map(|&(_, a)| a)
+            .collect();
+        let got1: Vec<u64> = mixed
+            .iter()
+            .filter(|(c, _)| *c == 1)
+            .map(|&(_, a)| a)
+            .collect();
         assert_eq!(got0, s0);
         assert_eq!(got1, s1);
         // Chunked: the first three accesses come from core 0.

@@ -65,6 +65,36 @@ where
     (out.value(), grad, tape.stats())
 }
 
+/// Like [`grad_of`], but records onto a caller-provided tape, resetting
+/// it first. The worker pool keeps one long-lived tape per OS thread and
+/// evaluates every shard on it, so the per-shard cost is a `Vec::clear`
+/// instead of a fresh arena allocation.
+///
+/// # Example
+///
+/// ```
+/// use bayes_autodiff::{grad_of_in, Tape};
+///
+/// let tape = Tape::with_capacity(64);
+/// for step in 0..3 {
+///     let x = [step as f64 + 1.0];
+///     let (v, g, _) = grad_of_in(&tape, &x, |v| v[0] * v[0]);
+///     assert_eq!(v, x[0] * x[0]);
+///     assert!((g[0] - 2.0 * x[0]).abs() < 1e-12);
+/// }
+/// ```
+pub fn grad_of_in<F>(tape: &Tape, x: &[f64], f: F) -> (f64, Vec<f64>, TapeStats)
+where
+    F: for<'t> Fn(&[Var<'t>]) -> Var<'t>,
+{
+    tape.reset();
+    let vars: Vec<Var<'_>> = x.iter().map(|&v| tape.var(v)).collect();
+    let out = f(&vars);
+    let adjoints = tape.grad(out);
+    let grad = vars.iter().map(|v| adjoints[v.index()]).collect();
+    (out.value(), grad, tape.stats())
+}
+
 /// Evaluates `f` at `x` without building a tape (plain `f64` pass).
 ///
 /// The closure must be written against the [`Real`] trait so that the
@@ -114,6 +144,22 @@ mod tests {
         let x = [0.3, 4.2];
         let (val, _, _) = grad_of(&x, |v| generic(v));
         assert!((value_of(&x, |v| generic(v)) - val).abs() < 1e-14);
+    }
+
+    #[test]
+    fn grad_of_in_reuses_tape_and_matches_grad_of() {
+        fn generic<R: Real>(v: &[R]) -> R {
+            v[0].exp() + v[1] * v[0]
+        }
+        let tape = Tape::with_capacity(8);
+        for seed in 0..4 {
+            let x = [0.1 * seed as f64, 1.0 + seed as f64];
+            let fresh = grad_of(&x, |v| generic(v));
+            let reused = grad_of_in(&tape, &x, |v| generic(v));
+            assert_eq!(fresh.0, reused.0, "values must be bitwise equal");
+            assert_eq!(fresh.1, reused.1, "gradients must be bitwise equal");
+            assert_eq!(fresh.2, reused.2, "stats must agree after reset");
+        }
     }
 
     #[test]

@@ -184,8 +184,7 @@ mod tests {
         // A lump of everything: exercises each trait method once.
         let a = v[0];
         let b = v[1];
-        (a.ln() + b.exp() + a.sqrt() + a.square() + a.recip() + a.powi(2) + a.powf(1.5))
-            .sigmoid()
+        (a.ln() + b.exp() + a.sqrt() + a.square() + a.recip() + a.powi(2) + a.powf(1.5)).sigmoid()
             + (a.sin() + b.cos() + a.atan() + b.tanh()).log1p_exp()
             + (a + 3.0).ln_gamma()
             + a.ln_1p() * 2.0

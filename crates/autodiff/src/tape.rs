@@ -30,6 +30,32 @@ pub struct TapeStats {
     pub transcendental: usize,
 }
 
+impl TapeStats {
+    /// Merges the statistics of another tape into this one, so the
+    /// per-shard tapes of a data-parallel gradient evaluation report
+    /// the same aggregate working set a single serial tape would.
+    pub fn merge(&mut self, other: TapeStats) {
+        self.nodes += other.nodes;
+        self.bytes += other.bytes;
+        self.transcendental += other.transcendental;
+    }
+}
+
+impl std::ops::Add for TapeStats {
+    type Output = TapeStats;
+
+    fn add(mut self, rhs: TapeStats) -> TapeStats {
+        self.merge(rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for TapeStats {
+    fn add_assign(&mut self, rhs: TapeStats) {
+        self.merge(rhs);
+    }
+}
+
 /// A reverse-mode AD tape. Create leaf variables with [`Tape::var`],
 /// build an expression with [`Var`] arithmetic, then call [`Tape::grad`].
 ///
@@ -66,6 +92,14 @@ impl Tape {
             nodes: RefCell::new(Vec::with_capacity(cap)),
             transcendental: std::cell::Cell::new(0),
         }
+    }
+
+    /// Clears the tape for reuse, keeping the node allocation. A worker
+    /// that evaluates many shards resets one long-lived tape instead of
+    /// re-growing a fresh arena per shard.
+    pub fn reset(&self) {
+        self.nodes.borrow_mut().clear();
+        self.transcendental.set(0);
     }
 
     /// Registers a new leaf (independent) variable with value `value`.
@@ -196,5 +230,41 @@ mod tests {
         let t2 = Tape::new();
         let x = t1.var(1.0);
         let _ = t2.grad(x);
+    }
+
+    #[test]
+    fn reset_clears_nodes_and_transcendental_count() {
+        let t = Tape::new();
+        let x = t.var(1.0);
+        let _ = x.exp() + x * x;
+        assert!(t.stats().nodes > 0);
+        assert!(t.stats().transcendental > 0);
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), TapeStats::default());
+        // The tape is fully usable again after a reset.
+        let y = t.var(3.0);
+        let g = t.grad(y * y);
+        assert!((g[y.index()] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_merge_is_componentwise_sum() {
+        let a = TapeStats {
+            nodes: 3,
+            bytes: 96,
+            transcendental: 1,
+        };
+        let b = TapeStats {
+            nodes: 5,
+            bytes: 160,
+            transcendental: 2,
+        };
+        let mut m = a;
+        m += b;
+        assert_eq!(m, a + b);
+        assert_eq!(m.nodes, 8);
+        assert_eq!(m.bytes, 256);
+        assert_eq!(m.transcendental, 3);
     }
 }

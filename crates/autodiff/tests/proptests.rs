@@ -43,10 +43,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::Sig(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Softplus(Box::new(a))),
             inner.clone().prop_map(|a| Expr::Tanh(Box::new(a))),

@@ -50,7 +50,11 @@ fn bench_characterize(c: &mut Criterion) {
             black_box(characterize(
                 &sig,
                 &plat,
-                &SimConfig { cores: 4, chains: 4, iters: 2000 },
+                &SimConfig {
+                    cores: 4,
+                    chains: 4,
+                    iters: 2000,
+                },
             ))
         })
     });

@@ -23,7 +23,9 @@ fn chains(m: usize, n: usize) -> Vec<Vec<f64>> {
 fn bench_rhat(c: &mut Criterion) {
     // The paper's worst case: half of 2000 iterations, 4 chains.
     let data = chains(4, 1000);
-    c.bench_function("rhat_4x1000", |b| b.iter(|| black_box(rhat(black_box(&data)))));
+    c.bench_function("rhat_4x1000", |b| {
+        b.iter(|| black_box(rhat(black_box(&data))))
+    });
     c.bench_function("split_rhat_4x1000", |b| {
         b.iter(|| black_box(split_rhat(black_box(&data))))
     });
@@ -31,7 +33,9 @@ fn bench_rhat(c: &mut Criterion) {
 
 fn bench_ess(c: &mut Criterion) {
     let data = chains(4, 1000);
-    c.bench_function("ess_4x1000", |b| b.iter(|| black_box(ess(black_box(&data)))));
+    c.bench_function("ess_4x1000", |b| {
+        b.iter(|| black_box(ess(black_box(&data))))
+    });
 }
 
 fn bench_detector_scan(c: &mut Criterion) {

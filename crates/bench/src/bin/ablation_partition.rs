@@ -18,7 +18,11 @@ fn main() {
         "name", "mpki shared", "mpki parted", "t shared", "t parted"
     );
     for m in bayes_bench::measure_all(1.0, 20, 42) {
-        let cfg = SimConfig { cores: 4, chains: 4, iters: 200 };
+        let cfg = SimConfig {
+            cores: 4,
+            chains: 4,
+            iters: 200,
+        };
         let rs = characterize(&m.sig, &shared, &cfg);
         let rp = characterize(&m.sig, &parted, &cfg);
         println!(

@@ -22,7 +22,11 @@ fn main() {
         let advice = advisor.advise(
             &m.sig,
             &sky,
-            &SimConfig { cores: 4, chains: 4, iters: 200 },
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 200,
+            },
         );
         println!(
             "{:<10} {:>9.2} {:>8.2}MB {:>8.2}MB {:>10.2} {:>10.2} {:>8.2}x",

@@ -17,7 +17,10 @@ fn main() {
 
     // Census: transcendental-kernel density per workload (the ops the
     // units would absorb).
-    println!("{:<10} {:>12} {:>16} {:>8}", "name", "tape nodes", "transcendental", "share");
+    println!(
+        "{:<10} {:>12} {:>16} {:>8}",
+        "name", "tape nodes", "transcendental", "share"
+    );
     for m in bayes_bench::measure_all(1.0, 10, 42) {
         println!(
             "{:<10} {:>12} {:>16} {:>7.1}%",
@@ -58,7 +61,10 @@ fn main() {
     }
 
     println!("\nCauchy unit (atan kernel):");
-    println!("{:>8} {:>10} {:>14}", "entries", "bytes", "max |err| (scale)");
+    println!(
+        "{:>8} {:>10} {:>14}",
+        "entries", "bytes", "max |err| (scale)"
+    );
     for size in [64usize, 256, 1024, 4096, 16384] {
         let unit = CauchyLut::new(0.0, 1.0, size);
         println!("{:>8} {:>10} {:>14.2e}", size, size * 8, unit.precision());

@@ -18,7 +18,11 @@ fn main() {
             let r = characterize(
                 &m.sig,
                 &sky,
-                &SimConfig { cores: 4, chains: 4, iters: 100 },
+                &SimConfig {
+                    cores: 4,
+                    chains: 4,
+                    iters: 100,
+                },
             );
             println!(
                 "{:<13} {:>10.1} {:>9.2}",

@@ -17,7 +17,11 @@ fn main() {
     );
     println!("{:>6} {:>8} {:>12}", "iter", "R-hat", "KL");
     for ((t, r), (_, kl)) in study.rhat_trace.iter().zip(&study.kl_trace) {
-        let marker = if Some(*t) == study.converged_at { "  <- converged (R-hat < 1.1)" } else { "" };
+        let marker = if Some(*t) == study.converged_at {
+            "  <- converged (R-hat < 1.1)"
+        } else {
+            ""
+        };
         println!("{t:>6} {r:>8.3} {kl:>12.4}{marker}");
     }
     match study.converged_at {

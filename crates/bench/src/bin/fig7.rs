@@ -18,11 +18,8 @@ fn main() {
     let mut oracle_sum = 0.0;
     let mut count = 0.0;
     for m in bayes_bench::measure_all(1.0, 30, 42) {
-        let probe = bayes_core::sched::dse::QualityProbe::collect(
-            m.workload.dynamics_model(),
-            &m.sig,
-            42,
-        );
+        let probe =
+            bayes_core::sched::dse::QualityProbe::collect(m.workload.dynamics_model(), &m.sig, 42);
         let mut cells = Vec::new();
         for plat in &platforms {
             let space = DesignSpace::explore_with(&probe, &m.sig, plat);

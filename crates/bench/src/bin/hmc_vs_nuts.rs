@@ -27,12 +27,8 @@ fn main() {
         );
         let mut hmc_sig = m.sig.clone();
         hmc_sig.leapfrogs_per_iter = 16.0;
-        hmc_sig.accept_mean = hmc_run
-            .chains
-            .iter()
-            .map(|c| c.accept_mean)
-            .sum::<f64>()
-            / hmc_run.chains.len() as f64;
+        hmc_sig.accept_mean =
+            hmc_run.chains.iter().map(|c| c.accept_mean).sum::<f64>() / hmc_run.chains.len() as f64;
 
         let cfg = SimConfig {
             cores: 1,

@@ -6,8 +6,15 @@ fn main() {
     bayes_bench::banner("Table II", "A summary of experiment platforms.");
     println!(
         "{:<10} {:<12} {:<10} {:>9} {:>11} {:>6} {:>9} {:>16} {:>8}",
-        "Codename", "Processor #", "Microarch", "Tech (nm)", "Turbo (GHz)", "Cores",
-        "LLC (MB)", "Bandwidth (GB/s)", "TDP (W)"
+        "Codename",
+        "Processor #",
+        "Microarch",
+        "Tech (nm)",
+        "Turbo (GHz)",
+        "Cores",
+        "LLC (MB)",
+        "Bandwidth (GB/s)",
+        "TDP (W)"
     );
     for p in Platform::table2() {
         println!(

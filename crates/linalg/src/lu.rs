@@ -127,12 +127,7 @@ impl Lu {
 ///
 /// Returns [`LinalgError::ShapeMismatch`] when band lengths differ, and
 /// [`LinalgError::NotPositiveDefinite`] on a vanishing pivot.
-pub fn solve_tridiagonal(
-    sub: &[f64],
-    diag: &[f64],
-    sup: &[f64],
-    b: &[f64],
-) -> Result<Vec<f64>> {
+pub fn solve_tridiagonal(sub: &[f64], diag: &[f64], sup: &[f64], b: &[f64]) -> Result<Vec<f64>> {
     let n = diag.len();
     if sub.len() != n || sup.len() != n || b.len() != n {
         return Err(LinalgError::ShapeMismatch(

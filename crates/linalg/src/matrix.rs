@@ -53,7 +53,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -101,7 +105,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j]
     }
 
@@ -111,7 +118,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j] = v;
     }
 
@@ -139,9 +149,7 @@ impl Matrix {
                 self.cols
             )));
         }
-        Ok((0..self.rows)
-            .map(|i| crate::dot(self.row(i), x))
-            .collect())
+        Ok((0..self.rows).map(|i| crate::dot(self.row(i), x)).collect())
     }
 
     /// Matrix–matrix product `A·B`.

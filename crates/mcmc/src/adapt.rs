@@ -136,13 +136,7 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let data = [
-            [1.0, -2.0],
-            [2.0, 0.5],
-            [0.5, 3.0],
-            [1.5, 1.0],
-            [3.0, -1.0],
-        ];
+        let data = [[1.0, -2.0], [2.0, 0.5], [0.5, 3.0], [1.5, 1.0], [3.0, -1.0]];
         let mut w = WelfordVar::new(2);
         for row in &data {
             w.push(row);

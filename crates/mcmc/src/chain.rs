@@ -34,6 +34,12 @@ pub struct RunConfig {
     pub seed: u64,
     /// Sequential or threaded chain execution.
     pub parallelism: Parallelism,
+    /// Threads available *inside* one gradient evaluation (shard
+    /// workers for [`crate::ShardedModel`]); `None` defers to the
+    /// `BAYES_INNER_THREADS` environment variable, then to 1. The
+    /// chains×inner-threads split is what `bayes_sched::core_split`
+    /// chooses. Results are bit-identical for every setting.
+    pub inner_threads: Option<usize>,
 }
 
 impl RunConfig {
@@ -45,6 +51,7 @@ impl RunConfig {
             warmup: iters / 2,
             seed: 0,
             parallelism: Parallelism::Sequential,
+            inner_threads: None,
         }
     }
 
@@ -70,6 +77,28 @@ impl RunConfig {
     pub fn with_warmup(mut self, warmup: usize) -> Self {
         self.warmup = warmup;
         self
+    }
+
+    /// Pins the number of shard-evaluation threads per chain,
+    /// overriding the `BAYES_INNER_THREADS` environment variable.
+    pub fn with_inner_threads(mut self, threads: usize) -> Self {
+        self.inner_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Resolves the inner-thread count: an explicit
+    /// [`RunConfig::with_inner_threads`] wins, then the
+    /// `BAYES_INNER_THREADS` environment variable, then 1 (serial
+    /// gradient sweep).
+    pub fn effective_inner_threads(&self) -> usize {
+        self.inner_threads
+            .or_else(|| {
+                std::env::var("BAYES_INNER_THREADS")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1)
     }
 
     /// RNG seed for chain `c`'s transition kernel, derived so that no
@@ -176,8 +205,7 @@ impl MultiChainRun {
     pub fn sd(&self, j: usize) -> f64 {
         let pooled = self.pooled_draws();
         let m = self.mean(j);
-        (pooled.iter().map(|d| (d[j] - m) * (d[j] - m)).sum::<f64>()
-            / (pooled.len() as f64 - 1.0))
+        (pooled.iter().map(|d| (d[j] - m) * (d[j] - m)).sum::<f64>() / (pooled.len() as f64 - 1.0))
             .sqrt()
     }
 
@@ -237,6 +265,7 @@ pub(crate) fn initial_points(cfg: &RunConfig, dim: usize) -> Vec<Vec<f64>> {
 /// derived from `cfg.seed` via [`StreamKey`], so runs are bit-for-bit
 /// reproducible under either parallelism mode.
 pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
+    model.set_inner_threads(cfg.effective_inner_threads());
     let inits = initial_points(cfg, model.dim());
 
     let chains: Vec<ChainOutput> = match cfg.parallelism {
@@ -245,22 +274,27 @@ pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> Multi
             .enumerate()
             .map(|(c, init)| sampler.sample_chain(model, init, cfg, cfg.chain_seed(c)))
             .collect(),
-        Parallelism::Threads => crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = inits
-                .iter()
-                .enumerate()
-                .map(|(c, init)| {
-                    scope.spawn(move |_| {
-                        sampler.sample_chain(model, init, cfg, cfg.chain_seed(c))
-                    })
+        Parallelism::Threads => {
+            // Join every handle and collect the per-chain results so a
+            // panicking chain can be reported with its index — an
+            // unjoined panicked child would otherwise surface only as
+            // an opaque scope error.
+            let results: Vec<Result<ChainOutput, Box<dyn std::any::Any + Send>>> =
+                crossbeam::thread::scope(|scope| {
+                    let handles: Vec<_> = inits
+                        .iter()
+                        .enumerate()
+                        .map(|(c, init)| {
+                            scope.spawn(move |_| {
+                                sampler.sample_chain(model, init, cfg, cfg.chain_seed(c))
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join()).collect()
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("chain thread panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed"),
+                .expect("crossbeam scope failed after all children were joined");
+            collect_chain_results(results, model.name())
+        }
     };
 
     MultiChainRun {
@@ -269,10 +303,41 @@ pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> Multi
     }
 }
 
+/// Unwraps per-chain results, panicking with the chain index, workload
+/// name, and original payload message if any chain died.
+pub(crate) fn collect_chain_results(
+    results: Vec<Result<ChainOutput, Box<dyn std::any::Any + Send>>>,
+    model_name: &str,
+) -> Vec<ChainOutput> {
+    let mut chains = Vec::with_capacity(results.len());
+    for (c, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(out) => chains.push(out),
+            Err(payload) => panic!(
+                "chain {c} of workload '{model_name}' panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+        }
+    }
+    chains
+}
+
+/// Extracts the human-readable message from a panic payload (the
+/// `&'static str` or `String` that `panic!` produces).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{AdModel, LogDensity};
+    use crate::model::{AdModel, EvalProfile, LogDensity};
     use bayes_autodiff::Real;
 
     pub(crate) struct StdNormalNd(pub usize);
@@ -367,6 +432,86 @@ mod tests {
         // Unlike seed + c, adjacent seeds don't share chain streams.
         let shifted = RunConfig::new(100).with_chains(4).with_seed(10);
         assert_ne!(cfg.chain_seed(1), shifted.chain_seed(0));
+    }
+
+    /// A model whose gradient always panics, for the thread-failure
+    /// reporting regression tests.
+    struct Kaboom;
+
+    impl Model for Kaboom {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &str {
+            "kaboom"
+        }
+        fn ln_posterior(&self, _theta: &[f64]) -> f64 {
+            panic!("deliberate ln_posterior failure")
+        }
+        fn ln_posterior_grad(&self, _theta: &[f64], _grad: &mut [f64]) -> f64 {
+            panic!("deliberate gradient failure")
+        }
+        fn grad_profile(&self, _theta: &[f64]) -> EvalProfile {
+            EvalProfile::default()
+        }
+    }
+
+    #[test]
+    fn chain_panic_resurfaces_with_index_and_name() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        struct PanickingSampler;
+        impl Sampler for PanickingSampler {
+            fn sample_chain(
+                &self,
+                model: &dyn Model,
+                init: &[f64],
+                _cfg: &RunConfig,
+                _seed: u64,
+            ) -> ChainOutput {
+                let mut g = vec![0.0; model.dim()];
+                model.ln_posterior_grad(init, &mut g);
+                unreachable!("the model panics first")
+            }
+        }
+
+        let cfg = RunConfig::new(4).with_chains(2).threaded();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run(&PanickingSampler, &Kaboom, &cfg);
+        }))
+        .expect_err("a panicking chain must fail the run");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("chain 0"), "missing chain index: {msg}");
+        assert!(msg.contains("kaboom"), "missing workload name: {msg}");
+        assert!(
+            msg.contains("deliberate gradient failure"),
+            "missing original payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_message_handles_str_string_and_other() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        let other: Box<dyn std::any::Any + Send> = Box::new(42_u64);
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        assert_eq!(panic_message(owned.as_ref()), "owned");
+        assert_eq!(panic_message(other.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn inner_threads_explicit_config_beats_default() {
+        let cfg = RunConfig::new(10);
+        assert_eq!(cfg.inner_threads, None);
+        let pinned = RunConfig::new(10).with_inner_threads(8);
+        assert_eq!(pinned.effective_inner_threads(), 8);
+        // Zero is clamped up — a gradient always needs one thread.
+        assert_eq!(
+            RunConfig::new(10)
+                .with_inner_threads(0)
+                .effective_inner_threads(),
+            1
+        );
     }
 
     #[test]

@@ -50,9 +50,7 @@ impl ConvergenceReport {
     /// (the paper finds >70% on average across BayesSuite).
     pub fn excess_fraction(&self) -> f64 {
         match self.converged_at {
-            Some(c) if self.total_iters > 0 => {
-                1.0 - c as f64 / self.total_iters as f64
-            }
+            Some(c) if self.total_iters > 0 => 1.0 - c as f64 / self.total_iters as f64,
             _ => 0.0,
         }
     }

@@ -31,13 +31,14 @@ pub fn rhat(traces: &[Vec<f64>]) -> f64 {
         .collect();
     let grand = chain_means.iter().sum::<f64>() / m as f64;
     let b = n as f64 / (m as f64 - 1.0)
-        * chain_means.iter().map(|&x| (x - grand) * (x - grand)).sum::<f64>();
+        * chain_means
+            .iter()
+            .map(|&x| (x - grand) * (x - grand))
+            .sum::<f64>();
     let w = traces
         .iter()
         .zip(&chain_means)
-        .map(|(t, &mu)| {
-            t[..n].iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0)
-        })
+        .map(|(t, &mu)| t[..n].iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / (n as f64 - 1.0))
         .sum::<f64>()
         / m as f64;
     if w <= 0.0 {
@@ -100,7 +101,11 @@ pub fn ess(traces: &[Vec<f64>]) -> f64 {
     // Between-chain term folds into var+ as in rhat.
     let grand = chain_means.iter().sum::<f64>() / m as f64;
     let b_over_n = if m > 1 {
-        chain_means.iter().map(|&x| (x - grand) * (x - grand)).sum::<f64>() / (m as f64 - 1.0)
+        chain_means
+            .iter()
+            .map(|&x| (x - grand) * (x - grand))
+            .sum::<f64>()
+            / (m as f64 - 1.0)
     } else {
         0.0
     };

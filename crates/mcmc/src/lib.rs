@@ -15,6 +15,10 @@
 //!   the paper characterizes);
 //! * [`chain`] — multi-chain runner (sequential or one OS thread per
 //!   chain, the paper's multicore execution model);
+//! * [`par`] — persistent per-chain worker pool evaluating
+//!   [`ShardedModel`] likelihood shards in parallel with a fixed-order
+//!   reduction, so results are bit-identical for any
+//!   `RunConfig::inner_threads`;
 //! * [`diag`] — Gelman–Rubin R̂, effective sample size, KL divergence;
 //! * [`converge`] — the online convergence detector behind the paper's
 //!   computation-elision technique (Section VI);
@@ -30,6 +34,7 @@ pub mod lp;
 pub mod mh;
 pub mod model;
 pub mod nuts;
+pub mod par;
 pub mod runtime;
 pub mod stream;
 pub mod summary;
@@ -38,9 +43,13 @@ pub mod vi;
 mod adapt;
 mod dynamics;
 
-pub use chain::{MultiChainRun, RunConfig, Parallelism};
+pub use chain::{MultiChainRun, Parallelism, RunConfig};
 pub use converge::{ConvergenceDetector, ConvergenceReport};
-pub use model::{AdModel, EvalProfile, LogDensity, Model};
+pub use model::{
+    shard_ranges, AdModel, EvalProfile, LogDensity, Model, ShardedDensity, ShardedModel,
+    DEFAULT_SHARDS,
+};
 pub use nuts::NutsConfig;
+pub use par::WorkerPool;
 pub use runtime::{run_until_converged, ElidedRun, StoppableSampler};
 pub use stream::{Purpose, StreamKey};

@@ -127,7 +127,8 @@ pub fn neg_binomial_2_log_lpmf<R: Real>(k: u64, log_mu: R, phi: R) -> R {
     let kf = k as f64;
     let log_phi = phi.ln();
     let log_sum = crate::lp::log_sum_exp2(log_mu, log_phi);
-    (phi + kf).ln_gamma() - phi.ln_gamma() - ln_factorial(k) + phi * (log_phi - log_sum)
+    (phi + kf).ln_gamma() - phi.ln_gamma() - ln_factorial(k)
+        + phi * (log_phi - log_sum)
         + (log_mu - log_sum) * kf
 }
 

@@ -1,7 +1,11 @@
-//! The [`Model`] trait and the autodiff adapter.
+//! The [`Model`] trait, the autodiff adapter, and the sharded
+//! data-parallel layer.
 
-use bayes_autodiff::{grad_of, Real, Var};
+use crate::par;
+use bayes_autodiff::{grad_of, grad_of_in, Real, Tape, TapeStats, Var};
 use rand::Rng;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Cost profile of one gradient evaluation, used by the architecture
 /// simulation as the working-set and instruction-count probe
@@ -49,6 +53,13 @@ pub trait Model: Send + Sync {
     {
         (0..self.dim()).map(|_| rng.gen_range(-2.0..2.0)).collect()
     }
+
+    /// Sets the number of threads a single gradient evaluation may use.
+    /// Serial models ignore the hint; [`ShardedModel`] dispatches its
+    /// likelihood shards to a per-chain worker pool. Interior
+    /// mutability keeps the receiver `&self` so the runtime can call it
+    /// through `&dyn Model` before sampling starts.
+    fn set_inner_threads(&self, _threads: usize) {}
 }
 
 /// A log-density written once against [`Real`]; implementors get a
@@ -137,6 +148,230 @@ impl<D: LogDensity> Model for AdModel<D> {
     }
 }
 
+/// A log-density whose likelihood is an explicit sum over independent
+/// observations — the `reduce_sum` shape. Implementors split the
+/// posterior into a prior term plus a likelihood that can be evaluated
+/// on any contiguous `range` of the data, and [`ShardedModel`] turns
+/// that into a data-parallel [`Model`].
+///
+/// The contract that makes sharding *exact* rather than approximate:
+/// for every partition of `0..n_data()` into contiguous ranges,
+/// `ln_prior(θ) + Σ ln_likelihood_shard(θ, rangeᵢ)` must equal the full
+/// posterior up to floating-point reassociation of the sum. Per-datum
+/// terms must therefore not depend on observations outside `range`
+/// (models with cross-observation coupling, e.g. the marginalized GP in
+/// the votes workload, can only expose a single indivisible shard).
+pub trait ShardedDensity: Send + Sync {
+    /// Number of unconstrained parameters.
+    fn dim(&self) -> usize;
+
+    /// Number of independent observations the likelihood sums over.
+    fn n_data(&self) -> usize;
+
+    /// The prior (and any data-independent terms), evaluated once per
+    /// gradient pass on the calling thread.
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R;
+
+    /// The likelihood contribution of observations `range` (a
+    /// sub-range of `0..n_data()`).
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R;
+}
+
+/// Default shard count for [`ShardedModel::new`]. Fixed (rather than
+/// derived from the worker count) so the partition — and hence every
+/// floating-point sum — is identical no matter how many threads run it.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Splits `0..n_data` into at most `shards` contiguous ranges of
+/// near-equal length (the first `n_data % shards` ranges get one extra
+/// element). The partition is a pure function of `(n_data, shards)`.
+pub fn shard_ranges(n_data: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, n_data.max(1));
+    let base = n_data / shards;
+    let rem = n_data % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n_data);
+    out
+}
+
+thread_local! {
+    /// One long-lived tape per OS thread for shard evaluation, so the
+    /// per-shard cost is a `clear()` instead of an arena allocation.
+    static SHARD_TAPE: Tape = Tape::new();
+}
+
+/// Adapter turning a [`ShardedDensity`] into a [`Model`] whose gradient
+/// sweep evaluates likelihood shards on a private tape each — serially
+/// or on a per-chain [`WorkerPool`](crate::par::WorkerPool) — and
+/// combines them in **fixed shard order**.
+///
+/// # Determinism contract
+///
+/// The shard partition depends only on `(n_data, shards)`, never on the
+/// thread count, and the reduction always runs `prior, shard 0,
+/// shard 1, …` on the calling thread. The result is therefore
+/// bit-identical for any `inner_threads`. Changing the *shard count*
+/// reassociates the sum and may change the result by a few ulps; the
+/// single-shard configuration reproduces the serial [`AdModel`] path
+/// exactly when the wrapped density's full evaluation is written as
+/// `ln_prior + ln_likelihood_shard(0..n_data)`.
+pub struct ShardedModel<D> {
+    name: String,
+    density: D,
+    shards: usize,
+    inner_threads: AtomicUsize,
+}
+
+impl<D: ShardedDensity> ShardedModel<D> {
+    /// Wraps `density` with the [`DEFAULT_SHARDS`] partition.
+    pub fn new(name: impl Into<String>, density: D) -> Self {
+        Self {
+            name: name.into(),
+            density,
+            shards: DEFAULT_SHARDS,
+            inner_threads: AtomicUsize::new(1),
+        }
+    }
+
+    /// Overrides the shard count (clamped to `1..=n_data`). One shard
+    /// reproduces the serial evaluation bit-for-bit.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The wrapped sharded density.
+    pub fn density(&self) -> &D {
+        &self.density
+    }
+
+    /// Effective shard count after clamping to the data size.
+    pub fn shards(&self) -> usize {
+        shard_ranges(self.density.n_data(), self.shards).len()
+    }
+
+    fn ranges(&self) -> Vec<Range<usize>> {
+        shard_ranges(self.density.n_data(), self.shards)
+    }
+
+    /// Evaluates one shard's value and gradient on this thread's
+    /// long-lived tape.
+    fn eval_shard(&self, theta: &[f64], range: Range<usize>) -> (f64, Vec<f64>, TapeStats) {
+        SHARD_TAPE.with(|tape| {
+            grad_of_in(tape, theta, |v: &[Var<'_>]| {
+                self.density.ln_likelihood_shard(v, range.clone())
+            })
+        })
+    }
+}
+
+impl<D: ShardedDensity> Model for ShardedModel<D> {
+    fn dim(&self) -> usize {
+        self.density.dim()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ln_posterior(&self, theta: &[f64]) -> f64 {
+        // Same term order as the gradient path: prior first, then
+        // shards ascending, so value-only and gradient evaluations of
+        // the same configuration agree bitwise.
+        let mut total: f64 = self.density.ln_prior(theta);
+        for range in self.ranges() {
+            total += self.density.ln_likelihood_shard(theta, range);
+        }
+        total
+    }
+
+    fn ln_posterior_grad(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        debug_assert_eq!(grad.len(), self.dim());
+        let threads = self.inner_threads.load(Ordering::Relaxed).max(1);
+        let ranges = self.ranges();
+
+        // One shard: record prior + likelihood on a single tape — the
+        // exact expression a serial `AdModel` evaluates. A split
+        // prior/shard evaluation would re-associate the adjoint
+        // accumulation of any parameter the prior touches more than
+        // once (every hierarchical hyperparameter), so only the
+        // one-tape path is bitwise-serial rather than ulp-close.
+        if ranges.len() == 1 {
+            let range = ranges[0].clone();
+            let (val, g, _) = SHARD_TAPE.with(|tape| {
+                grad_of_in(tape, theta, |v: &[Var<'_>]| {
+                    self.density.ln_prior(v) + self.density.ln_likelihood_shard(v, range.clone())
+                })
+            });
+            grad.copy_from_slice(&g);
+            return val;
+        }
+
+        let (prior_val, prior_grad, _) = grad_of(theta, |v: &[Var<'_>]| self.density.ln_prior(v));
+
+        // Per-shard result slots: written once each (dynamic thread
+        // assignment), then combined below in ascending shard index —
+        // the fixed-order reduction that makes the result independent
+        // of `threads`.
+        let slots: Vec<parking_lot::Mutex<Option<(f64, Vec<f64>)>>> = ranges
+            .iter()
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+
+        if threads == 1 {
+            for (i, range) in ranges.iter().enumerate() {
+                let (v, g, _) = self.eval_shard(theta, range.clone());
+                *slots[i].lock() = Some((v, g));
+            }
+        } else {
+            par::with_pool(threads, |pool| {
+                pool.run(ranges.len(), &|i| {
+                    let (v, g, _) = self.eval_shard(theta, ranges[i].clone());
+                    *slots[i].lock() = Some((v, g));
+                });
+            });
+        }
+
+        let mut val = prior_val;
+        grad.copy_from_slice(&prior_grad);
+        for slot in slots {
+            let (v, g) = slot
+                .into_inner()
+                .expect("every shard slot is filled before the pool returns");
+            val += v;
+            for (acc, gi) in grad.iter_mut().zip(&g) {
+                *acc += gi;
+            }
+        }
+        val
+    }
+
+    fn grad_profile(&self, theta: &[f64]) -> EvalProfile {
+        // Serial walk so the probe itself is deterministic; stats merge
+        // across the prior tape and every shard tape.
+        let (_, _, mut stats) = grad_of(theta, |v: &[Var<'_>]| self.density.ln_prior(v));
+        for range in self.ranges() {
+            let (_, _, s) = self.eval_shard(theta, range);
+            stats += s;
+        }
+        EvalProfile {
+            tape_nodes: stats.nodes,
+            tape_bytes: stats.bytes,
+            transcendental_nodes: stats.transcendental,
+        }
+    }
+
+    fn set_inner_threads(&self, threads: usize) {
+        self.inner_threads.store(threads.max(1), Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +427,162 @@ mod tests {
         let x = m.init(&mut rng);
         assert_eq!(x.len(), 8);
         assert!(x.iter().all(|v| (-2.0..2.0).contains(v)));
+    }
+
+    /// Gaussian observations with unknown mean and log-scale — the
+    /// smallest density with a genuinely data-sweep likelihood.
+    struct GaussData {
+        data: Vec<f64>,
+    }
+
+    impl GaussData {
+        fn synthetic(n: usize) -> Self {
+            // Deterministic pseudo-data; no RNG needed for these tests.
+            let data = (0..n)
+                .map(|i| ((i as f64 * 0.7).sin() * 2.0) + 0.5)
+                .collect();
+            Self { data }
+        }
+    }
+
+    impl ShardedDensity for GaussData {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn n_data(&self) -> usize {
+            self.data.len()
+        }
+        fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
+            -(theta[0] * theta[0]) * 0.5 - (theta[1] * theta[1]) * 0.5
+        }
+        fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+            let mut acc = theta[0] * 0.0;
+            let mu = theta[0];
+            let inv_sigma = (-theta[1]).exp();
+            for &x in &self.data[range] {
+                let z = (mu - x) * inv_sigma;
+                acc = acc - z.square() * 0.5 - theta[1];
+            }
+            acc
+        }
+    }
+
+    /// The same posterior written as a plain [`LogDensity`] in the
+    /// `prior + likelihood(0..n)` shape, for bitwise comparison.
+    struct GaussDataSerial(GaussData);
+
+    impl LogDensity for GaussDataSerial {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn eval<R: Real>(&self, theta: &[R]) -> R {
+            self.0.ln_prior(theta) + self.0.ln_likelihood_shard(theta, 0..self.0.n_data())
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 16, 100, 101] {
+            for shards in [1usize, 2, 3, 16, 200] {
+                let ranges = shard_ranges(n, shards);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= shards.max(1));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap in partition of {n} into {shards}");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Near-equal: lengths differ by at most one.
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_serial_admodel_bitwise() {
+        let theta = [0.4, -0.3];
+        let serial = AdModel::new("g", GaussDataSerial(GaussData::synthetic(33)));
+        let sharded = ShardedModel::new("g", GaussData::synthetic(33)).with_shards(1);
+        let mut gs = [0.0; 2];
+        let mut gh = [0.0; 2];
+        let vs = serial.ln_posterior_grad(&theta, &mut gs);
+        let vh = sharded.ln_posterior_grad(&theta, &mut gh);
+        assert_eq!(vs, vh, "single-shard value must reproduce serial bitwise");
+        assert_eq!(
+            gs, gh,
+            "single-shard gradient must reproduce serial bitwise"
+        );
+        assert_eq!(serial.ln_posterior(&theta), sharded.ln_posterior(&theta));
+    }
+
+    #[test]
+    fn multi_shard_matches_serial_within_tolerance() {
+        let theta = [0.4, -0.3];
+        let serial = AdModel::new("g", GaussDataSerial(GaussData::synthetic(100)));
+        for shards in [2usize, 5, 16, 64] {
+            let sharded = ShardedModel::new("g", GaussData::synthetic(100)).with_shards(shards);
+            let mut gs = [0.0; 2];
+            let mut gh = [0.0; 2];
+            let vs = serial.ln_posterior_grad(&theta, &mut gs);
+            let vh = sharded.ln_posterior_grad(&theta, &mut gh);
+            let tol = 1e-12 * (1.0 + vs.abs());
+            assert!((vs - vh).abs() <= tol, "{shards} shards: {vs} vs {vh}");
+            for i in 0..2 {
+                let tol = 1e-12 * (1.0 + gs[i].abs());
+                assert!((gs[i] - gh[i]).abs() <= tol);
+            }
+        }
+    }
+
+    #[test]
+    fn inner_threads_do_not_change_the_result() {
+        let theta = [-0.7, 0.2];
+        let reference = {
+            let m = ShardedModel::new("g", GaussData::synthetic(64));
+            let mut g = [0.0; 2];
+            let v = m.ln_posterior_grad(&theta, &mut g);
+            (v, g)
+        };
+        for threads in [2usize, 3, 8] {
+            let m = ShardedModel::new("g", GaussData::synthetic(64));
+            m.set_inner_threads(threads);
+            let mut g = [0.0; 2];
+            let v = m.ln_posterior_grad(&theta, &mut g);
+            assert_eq!(v, reference.0, "{threads} threads changed the value");
+            assert_eq!(g, reference.1, "{threads} threads changed the gradient");
+        }
+    }
+
+    #[test]
+    fn value_and_gradient_paths_agree_bitwise() {
+        let m = ShardedModel::new("g", GaussData::synthetic(50)).with_shards(7);
+        let theta = [0.1, 0.9];
+        let mut g = [0.0; 2];
+        assert_eq!(m.ln_posterior(&theta), m.ln_posterior_grad(&theta, &mut g));
+    }
+
+    #[test]
+    fn sharded_profile_covers_serial_work() {
+        let theta = [0.4, -0.3];
+        let serial = AdModel::new("g", GaussDataSerial(GaussData::synthetic(80)));
+        let sharded = ShardedModel::new("g", GaussData::synthetic(80)).with_shards(8);
+        let ps = serial.grad_profile(&theta);
+        let ph = sharded.grad_profile(&theta);
+        // Sharding re-seeds the parameter leaves and re-hoists the
+        // per-shard transforms, so the aggregate is >= the serial tape
+        // but only by bounded per-shard bookkeeping.
+        assert!(ph.tape_nodes >= ps.tape_nodes);
+        assert!(ph.tape_nodes <= ps.tape_nodes + 8 * (32 * 2 + 128));
+        assert!(ph.transcendental_nodes >= ps.transcendental_nodes);
+    }
+
+    #[test]
+    fn set_inner_threads_is_callable_through_dyn_model() {
+        let m = AdModel::new("q", Quadratic { dim: 2 });
+        let as_dyn: &dyn Model = &m;
+        as_dyn.set_inner_threads(4); // default no-op must not panic
     }
 }

@@ -151,12 +151,28 @@ fn build_tree(
     }
     let t2 = if dir < 0.0 {
         build_tree(
-            ham, &t1.s_minus.clone(), &t1.p_minus.clone(), ln_u, dir, depth - 1, eps, h0, rng,
+            ham,
+            &t1.s_minus.clone(),
+            &t1.p_minus.clone(),
+            ln_u,
+            dir,
+            depth - 1,
+            eps,
+            h0,
+            rng,
             grad_evals,
         )
     } else {
         build_tree(
-            ham, &t1.s_plus.clone(), &t1.p_plus.clone(), ln_u, dir, depth - 1, eps, h0, rng,
+            ham,
+            &t1.s_plus.clone(),
+            &t1.p_plus.clone(),
+            ln_u,
+            dir,
+            depth - 1,
+            eps,
+            h0,
+            rng,
             grad_evals,
         )
     };
@@ -253,16 +269,36 @@ impl Nuts {
             };
 
             for depth in 0..self.cfg.max_depth {
-                let dir: f64 = if rng.gen_range(0.0..1.0) < 0.5 { -1.0 } else { 1.0 };
+                let dir: f64 = if rng.gen_range(0.0..1.0) < 0.5 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 let sub = if dir < 0.0 {
                     build_tree(
-                        &ham, &tree.s_minus.clone(), &tree.p_minus.clone(), ln_u, dir, depth,
-                        eps, h0, &mut rng, &mut grad_evals,
+                        &ham,
+                        &tree.s_minus.clone(),
+                        &tree.p_minus.clone(),
+                        ln_u,
+                        dir,
+                        depth,
+                        eps,
+                        h0,
+                        &mut rng,
+                        &mut grad_evals,
                     )
                 } else {
                     build_tree(
-                        &ham, &tree.s_plus.clone(), &tree.p_plus.clone(), ln_u, dir, depth,
-                        eps, h0, &mut rng, &mut grad_evals,
+                        &ham,
+                        &tree.s_plus.clone(),
+                        &tree.p_plus.clone(),
+                        ln_u,
+                        dir,
+                        depth,
+                        eps,
+                        h0,
+                        &mut rng,
+                        &mut grad_evals,
                     )
                 };
                 tree.alpha += sub.alpha;

@@ -101,6 +101,7 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
     cfg: &RunConfig,
     detector: &ConvergenceDetector,
 ) -> ElidedRun {
+    model.set_inner_threads(cfg.effective_inner_threads());
     let inits = initial_points(cfg, model.dim());
 
     let stop = AtomicBool::new(false);
@@ -128,8 +129,7 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                 let cadence = detector.check_every().max(1);
                 let mut next_check = detector.min_iters().max(cadence);
                 let mut streak = 0usize;
-                let progress =
-                    || buffers.iter().map(|b| b.lock().len()).min().unwrap_or(0);
+                let progress = || buffers.iter().map(|b| b.lock().len()).min().unwrap_or(0);
                 loop {
                     if next_check > cfg.iters {
                         break; // checkpoint past the configured run
@@ -140,8 +140,7 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                             .iter()
                             .map(|b| b.lock()[..next_check].to_vec())
                             .collect();
-                        let views: Vec<&[Vec<f64>]> =
-                            snaps.iter().map(|s| s.as_slice()).collect();
+                        let views: Vec<&[Vec<f64>]> = snaps.iter().map(|s| s.as_slice()).collect();
                         let r = detector.rhat_at(&views, next_check);
                         if r.is_finite() && r < detector.threshold() {
                             streak += 1;
@@ -198,17 +197,19 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                 })
             })
             .collect();
-        let chains: Vec<ChainOutput> = outs
-            .into_iter()
-            .map(|h| h.join().expect("chain thread panicked"))
-            .collect();
+        // Join every chain handle before deciding anything: collecting
+        // the `Result`s (instead of expecting each join) lets a panic
+        // be reported with its chain index and workload name after the
+        // monitor is shut down cleanly.
+        let results: Vec<Result<ChainOutput, Box<dyn std::any::Any + Send>>> =
+            outs.into_iter().map(|h| h.join()).collect();
         done.store(true, Ordering::Release);
         drop(wake_mx.lock());
         wake_cv.notify_all();
         monitor.join().expect("monitor thread panicked");
-        chains
+        crate::chain::collect_chain_results(results, model.name())
     })
-    .expect("crossbeam scope failed");
+    .expect("crossbeam scope failed after all children were joined");
 
     let stopped = *stopped_at.lock();
     if let Some(t) = stopped {
@@ -374,8 +375,7 @@ mod tests {
                     .collect();
                 on_draw(i, &d);
                 draws.push(d);
-                self.max_generated
-                    .fetch_max(draws.len(), Ordering::Relaxed);
+                self.max_generated.fetch_max(draws.len(), Ordering::Relaxed);
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -390,6 +390,46 @@ mod tests {
                 evals_per_iter: vec![1; n],
             }
         }
+    }
+
+    #[test]
+    fn chain_panic_resurfaces_with_index_and_name() {
+        use crate::model::EvalProfile;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        /// Panics on the very first gradient evaluation.
+        struct Kaboom;
+        impl Model for Kaboom {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &str {
+                "kaboom"
+            }
+            fn ln_posterior(&self, _theta: &[f64]) -> f64 {
+                panic!("deliberate ln_posterior failure")
+            }
+            fn ln_posterior_grad(&self, _theta: &[f64], _grad: &mut [f64]) -> f64 {
+                panic!("deliberate gradient failure")
+            }
+            fn grad_profile(&self, _theta: &[f64]) -> EvalProfile {
+                EvalProfile::default()
+            }
+        }
+
+        let cfg = RunConfig::new(50).with_chains(2).with_seed(1);
+        let det = ConvergenceDetector::new();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_until_converged(&Nuts::default(), &Kaboom, &cfg, &det);
+        }))
+        .expect_err("a panicking chain must fail the run");
+        let msg = crate::chain::panic_message(err.as_ref());
+        assert!(msg.contains("chain 0"), "missing chain index: {msg}");
+        assert!(msg.contains("kaboom"), "missing workload name: {msg}");
+        assert!(
+            msg.contains("deliberate gradient failure"),
+            "missing original panic payload: {msg}"
+        );
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl Advi {
 
         let mut mu = vec![0.0; dim];
         let mut omega = vec![-1.0f64; dim]; // start tight
-        // Adam state over the concatenated (μ, ω) vector.
+                                            // Adam state over the concatenated (μ, ω) vector.
         let mut m1 = vec![0.0; 2 * dim];
         let mut m2 = vec![0.0; 2 * dim];
         let (b1, b2, eps_adam) = (0.9, 0.999, 1e-8);
@@ -105,9 +105,7 @@ impl Advi {
                 let z: Vec<f64> = (0..dim)
                     .map(|_| crate::mh::draw_std_normal(&mut rng))
                     .collect();
-                let theta: Vec<f64> = (0..dim)
-                    .map(|i| mu[i] + omega[i].exp() * z[i])
-                    .collect();
+                let theta: Vec<f64> = (0..dim).map(|i| mu[i] + omega[i].exp() * z[i]).collect();
                 let lp = model.ln_posterior_grad(&theta, &mut grad_theta);
                 grad_evals += 1;
                 if !lp.is_finite() {
@@ -203,7 +201,11 @@ mod tests {
     #[test]
     fn elbo_trace_improves() {
         let model = AdModel::new("g", DiagGauss);
-        let fit = Advi::new(AdviConfig { steps: 2000, ..Default::default() }).fit(&model);
+        let fit = Advi::new(AdviConfig {
+            steps: 2000,
+            ..Default::default()
+        })
+        .fit(&model);
         let first = fit.elbo_trace.first().copied().unwrap();
         let last = fit.elbo_trace.last().copied().unwrap();
         assert!(last > first, "ELBO should rise: {first} → {last}");
@@ -212,8 +214,12 @@ mod tests {
     #[test]
     fn grad_evals_are_counted() {
         let model = AdModel::new("g", DiagGauss);
-        let fit = Advi::new(AdviConfig { steps: 100, mc_samples: 2, ..Default::default() })
-            .fit(&model);
+        let fit = Advi::new(AdviConfig {
+            steps: 100,
+            mc_samples: 2,
+            ..Default::default()
+        })
+        .fit(&model);
         assert_eq!(fit.grad_evals, 200);
     }
 
@@ -235,8 +241,12 @@ mod tests {
             }
         }
         let model = AdModel::new("corr", Corr);
-        let fit = Advi::new(AdviConfig { steps: 4000, seed: 5, ..Default::default() })
-            .fit(&model);
+        let fit = Advi::new(AdviConfig {
+            steps: 4000,
+            seed: 5,
+            ..Default::default()
+        })
+        .fit(&model);
         let sd0 = fit.gaussian_summary()[0].1;
         assert!(
             sd0 < 0.7,

@@ -49,7 +49,6 @@ impl fmt::Display for OdeError {
 
 impl Error for OdeError {}
 
-
 fn add_scaled<R: Real>(y: &[R], k: &[R], s: f64) -> Vec<R> {
     y.iter().zip(k).map(|(&a, &b)| a + b * s).collect()
 }
@@ -305,7 +304,10 @@ mod tests {
         // y' = y² with y(0)=1 blows up at t=1.
         let f = |_t: f64, y: &[f64]| vec![y[0] * y[0]];
         let err = rk45(f, &[1.0], 0.0, 2.0, 1e-6, 1e-9, 1_000_000).unwrap_err();
-        assert!(matches!(err, OdeError::NonFinite { .. } | OdeError::MaxStepsExceeded { .. }));
+        assert!(matches!(
+            err,
+            OdeError::NonFinite { .. } | OdeError::MaxStepsExceeded { .. }
+        ));
     }
 
     #[test]
@@ -314,7 +316,13 @@ mod tests {
         let k0 = 1.3;
         let (val, grad, stats) = grad_of(&[k0], |p| {
             let k = p[0];
-            let y = rk4(move |_t, y| vec![-(k * y[0])], &[k * 0.0 + 1.0], 0.0, 1.0, 50);
+            let y = rk4(
+                move |_t, y| vec![-(k * y[0])],
+                &[k * 0.0 + 1.0],
+                0.0,
+                1.0,
+                50,
+            );
             y[0]
         });
         let exact = (-k0).exp();

@@ -22,8 +22,14 @@ impl Beta {
     /// Returns [`crate::DistError`] if either shape is not finite and
     /// positive.
     pub fn new(a: f64, b: f64) -> crate::Result<Self> {
-        require(a.is_finite() && a > 0.0, "beta shape a must be finite and > 0")?;
-        require(b.is_finite() && b > 0.0, "beta shape b must be finite and > 0")?;
+        require(
+            a.is_finite() && a > 0.0,
+            "beta shape a must be finite and > 0",
+        )?;
+        require(
+            b.is_finite() && b > 0.0,
+            "beta shape b must be finite and > 0",
+        )?;
         Ok(Self { a, b })
     }
 

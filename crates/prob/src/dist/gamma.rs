@@ -133,7 +133,9 @@ impl ContinuousDist for InvGamma {
         if x <= 0.0 {
             return f64::NEG_INFINITY;
         }
-        self.shape * self.scale.ln() - ln_gamma(self.shape) - (self.shape + 1.0) * x.ln()
+        self.shape * self.scale.ln()
+            - ln_gamma(self.shape)
+            - (self.shape + 1.0) * x.ln()
             - self.scale / x
     }
 

@@ -63,6 +63,16 @@ pub trait ContinuousDist {
     fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
+
+    /// Sum of [`ContinuousDist::ln_pdf`] over a slice of observations —
+    /// the shape of a likelihood shard. Hot distributions override this
+    /// to hoist parameter-only terms (normalizing constants, `ln σ`)
+    /// out of the per-observation loop, so shard evaluation does not
+    /// re-dispatch per datum. Overrides must accumulate left-to-right
+    /// so the result is reproducible.
+    fn ln_pdf_sum(&self, xs: &[f64]) -> f64 {
+        xs.iter().map(|&x| self.ln_pdf(x)).sum()
+    }
 }
 
 /// A discrete univariate distribution over the non-negative integers.
@@ -90,6 +100,13 @@ pub trait DiscreteDist {
     /// Draws `n` samples into a fresh vector.
     fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
         (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Sum of [`DiscreteDist::ln_pmf`] over a slice of observed counts
+    /// (see [`ContinuousDist::ln_pdf_sum`]). Overrides hoist
+    /// parameter-only terms and must accumulate left-to-right.
+    fn ln_pmf_sum(&self, ks: &[u64]) -> f64 {
+        ks.iter().map(|&k| self.ln_pmf(k)).sum()
     }
 }
 

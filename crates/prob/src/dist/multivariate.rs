@@ -69,7 +69,12 @@ impl Dirichlet {
         let draws: Vec<f64> = self
             .alpha
             .iter()
-            .map(|&a| Gamma::new(a, 1.0).expect("validated").sample(rng).max(1e-300))
+            .map(|&a| {
+                Gamma::new(a, 1.0)
+                    .expect("validated")
+                    .sample(rng)
+                    .max(1e-300)
+            })
             .collect();
         let total: f64 = draws.iter().sum();
         draws.into_iter().map(|g| g / total).collect()
@@ -201,7 +206,10 @@ mod tests {
         let m = Multinomial::new(10, &[0.3, 0.7]).unwrap();
         let b = super::super::Binomial::new(10, 0.3).unwrap();
         for k in 0..=10u64 {
-            assert!((m.ln_pmf(&[k, 10 - k]) - b.ln_pmf(k)).abs() < 1e-10, "k={k}");
+            assert!(
+                (m.ln_pmf(&[k, 10 - k]) - b.ln_pmf(k)).abs() < 1e-10,
+                "k={k}"
+            );
         }
         assert_eq!(m.ln_pmf(&[5, 6]), f64::NEG_INFINITY); // wrong total
     }

@@ -45,7 +45,10 @@ impl Normal {
 
     /// The standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mu: 0.0, sigma: 1.0 }
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 
     /// Mean parameter `μ`.
@@ -63,6 +66,20 @@ impl ContinuousDist for Normal {
     fn ln_pdf(&self, x: f64) -> f64 {
         let z = (x - self.mu) / self.sigma;
         -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI
+    }
+
+    fn ln_pdf_sum(&self, xs: &[f64]) -> f64 {
+        // Hot path for likelihood shards: the division and the
+        // normalizing constant (`ln σ + ln √2π`) are hoisted out of the
+        // per-observation loop.
+        let inv_sigma = 1.0 / self.sigma;
+        let norm = self.sigma.ln() + LN_SQRT_2PI;
+        let mut acc = 0.0;
+        for &x in xs {
+            let z = (x - self.mu) * inv_sigma;
+            acc += -0.5 * z * z - norm;
+        }
+        acc
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -115,6 +132,21 @@ impl ContinuousDist for LogNormal {
         let lx = x.ln();
         let z = (lx - self.mu) / self.sigma;
         -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI - lx
+    }
+
+    fn ln_pdf_sum(&self, xs: &[f64]) -> f64 {
+        let inv_sigma = 1.0 / self.sigma;
+        let norm = self.sigma.ln() + LN_SQRT_2PI;
+        let mut acc = 0.0;
+        for &x in xs {
+            if x <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            let lx = x.ln();
+            let z = (lx - self.mu) * inv_sigma;
+            acc += -0.5 * z * z - norm - lx;
+        }
+        acc
     }
 
     fn cdf(&self, x: f64) -> f64 {
@@ -239,6 +271,25 @@ mod tests {
     fn lognormal_cdf_consistent_with_pdf() {
         let d = LogNormal::new(0.0, 0.5).unwrap();
         assert_cdf_matches_pdf(&d, 1e-9, 8.0, 2e-3);
+    }
+
+    #[test]
+    fn normal_ln_pdf_sum_matches_per_point_sum() {
+        let n = Normal::new(0.8, 1.7).unwrap();
+        let xs: Vec<f64> = (0..200).map(|i| -3.0 + 0.03 * i as f64).collect();
+        let naive: f64 = xs.iter().map(|&x| n.ln_pdf(x)).sum();
+        let fast = n.ln_pdf_sum(&xs);
+        assert!((naive - fast).abs() < 1e-10 * (1.0 + naive.abs()));
+    }
+
+    #[test]
+    fn lognormal_ln_pdf_sum_matches_and_handles_support() {
+        let d = LogNormal::new(0.2, 0.9).unwrap();
+        let xs: Vec<f64> = (1..150).map(|i| 0.05 * i as f64).collect();
+        let naive: f64 = xs.iter().map(|&x| d.ln_pdf(x)).sum();
+        let fast = d.ln_pdf_sum(&xs);
+        assert!((naive - fast).abs() < 1e-10 * (1.0 + naive.abs()));
+        assert_eq!(d.ln_pdf_sum(&[1.0, -2.0, 3.0]), f64::NEG_INFINITY);
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl StudentT {
     /// Returns [`crate::DistError`] if `nu` or `sigma` is not finite and
     /// positive, or `mu` is not finite.
     pub fn new(nu: f64, mu: f64, sigma: f64) -> crate::Result<Self> {
-        require(nu.is_finite() && nu > 0.0, "student-t nu must be finite and > 0")?;
+        require(
+            nu.is_finite() && nu > 0.0,
+            "student-t nu must be finite and > 0",
+        )?;
         require(mu.is_finite(), "student-t mu must be finite")?;
         require(
             sigma.is_finite() && sigma > 0.0,
@@ -64,7 +67,9 @@ impl ContinuousDist for StudentT {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // Z / sqrt(V/ν), V ~ χ²_ν = Gamma(ν/2, 1/2).
         let z = draw_std_normal(rng);
-        let v = Gamma::new(self.nu / 2.0, 0.5).expect("validated").sample(rng);
+        let v = Gamma::new(self.nu / 2.0, 0.5)
+            .expect("validated")
+            .sample(rng);
         self.mu + self.sigma * z / (v / self.nu).sqrt()
     }
 

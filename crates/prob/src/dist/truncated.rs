@@ -26,8 +26,16 @@ impl TruncatedNormal {
     pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> crate::Result<Self> {
         let base = Normal::new(mu, sigma)?;
         require(lo < hi, "truncation requires lo < hi")?;
-        let cdf_lo = if lo == f64::NEG_INFINITY { 0.0 } else { base.cdf(lo) };
-        let cdf_hi = if hi == f64::INFINITY { 1.0 } else { base.cdf(hi) };
+        let cdf_lo = if lo == f64::NEG_INFINITY {
+            0.0
+        } else {
+            base.cdf(lo)
+        };
+        let cdf_hi = if hi == f64::INFINITY {
+            1.0
+        } else {
+            base.cdf(hi)
+        };
         require(
             cdf_hi - cdf_lo > 1e-300,
             "truncation interval carries no probability mass",
@@ -86,8 +94,16 @@ impl ContinuousDist for TruncatedNormal {
         // μ + σ(φ(α) − φ(β)) / Z with α, β the standardized bounds.
         let (mu, s) = (self.base.mu(), self.base.sigma());
         let phi = |z: f64| (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
-        let a = if self.lo == f64::NEG_INFINITY { f64::NEG_INFINITY } else { (self.lo - mu) / s };
-        let b = if self.hi == f64::INFINITY { f64::INFINITY } else { (self.hi - mu) / s };
+        let a = if self.lo == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            (self.lo - mu) / s
+        };
+        let b = if self.hi == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            (self.hi - mu) / s
+        };
         let pa = if a.is_finite() { phi(a) } else { 0.0 };
         let pb = if b.is_finite() { phi(b) } else { 0.0 };
         mu + s * (pa - pb) / self.mass()
@@ -96,8 +112,16 @@ impl ContinuousDist for TruncatedNormal {
     fn variance(&self) -> f64 {
         let (mu, s) = (self.base.mu(), self.base.sigma());
         let phi = |z: f64| (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
-        let a = if self.lo == f64::NEG_INFINITY { f64::NEG_INFINITY } else { (self.lo - mu) / s };
-        let b = if self.hi == f64::INFINITY { f64::INFINITY } else { (self.hi - mu) / s };
+        let a = if self.lo == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            (self.lo - mu) / s
+        };
+        let b = if self.hi == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            (self.hi - mu) / s
+        };
         let pa = if a.is_finite() { phi(a) } else { 0.0 };
         let pb = if b.is_finite() { phi(b) } else { 0.0 };
         let apa = if a.is_finite() { a * phi(a) } else { 0.0 };

@@ -21,7 +21,10 @@ impl Uniform {
     /// Returns [`crate::DistError`] if the bounds are not finite or
     /// `lo >= hi`.
     pub fn new(lo: f64, hi: f64) -> crate::Result<Self> {
-        require(lo.is_finite() && hi.is_finite(), "uniform bounds must be finite")?;
+        require(
+            lo.is_finite() && hi.is_finite(),
+            "uniform bounds must be finite",
+        )?;
         require(lo < hi, "uniform requires lo < hi")?;
         Ok(Self { lo, hi })
     }

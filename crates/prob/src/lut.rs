@@ -165,10 +165,9 @@ impl CauchyLut {
     /// Worst-case absolute quantile error over the central 98% of
     /// probability mass.
     pub fn precision(&self) -> f64 {
-        self.lut
-            .max_abs_error_in(0.01, 0.99, 10_000, |p| {
-                (std::f64::consts::PI * (p - 0.5)).tan()
-            })
+        self.lut.max_abs_error_in(0.01, 0.99, 10_000, |p| {
+            (std::f64::consts::PI * (p - 0.5)).tan()
+        })
     }
 
     /// The exact distribution this unit approximates.

@@ -77,10 +77,9 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
-        - inv2
-            * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
+    result += x.ln()
+        - 0.5 * inv
+        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0))));
     result
 }
 
@@ -112,7 +111,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -299,7 +298,11 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     }
     let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
     let symmetric = x >= (a + 1.0) / (a + b + 2.0);
-    let (a, b, x) = if symmetric { (b, a, 1.0 - x) } else { (a, b, x) };
+    let (a, b, x) = if symmetric {
+        (b, a, 1.0 - x)
+    } else {
+        (a, b, x)
+    };
     // Lentz's algorithm on the standard continued fraction.
     let mut c = 1.0;
     let mut d = 1.0 - (a + b) * x / (a + 1.0);
@@ -501,7 +504,11 @@ mod tests {
             close(beta_inc(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-10);
         }
         // Symmetry I_x(a,b) = 1 - I_{1-x}(b,a)
-        close(beta_inc(3.0, 5.0, 0.3), 1.0 - beta_inc(5.0, 3.0, 0.7), 1e-10);
+        close(
+            beta_inc(3.0, 5.0, 0.3),
+            1.0 - beta_inc(5.0, 3.0, 0.7),
+            1e-10,
+        );
     }
 
     #[test]

@@ -119,12 +119,7 @@ impl DesignSpace {
     /// Explores the space. `sig` carries the full-scale footprint for
     /// the performance simulation; `model` is the dynamics model whose
     /// real draws provide quality and convergence points.
-    pub fn explore(
-        model: &dyn Model,
-        sig: &WorkloadSignature,
-        plat: &Platform,
-        seed: u64,
-    ) -> Self {
+    pub fn explore(model: &dyn Model, sig: &WorkloadSignature, plat: &Platform, seed: u64) -> Self {
         let probe = QualityProbe::collect(model, sig, seed);
         Self::explore_with(&probe, sig, plat)
     }
@@ -160,14 +155,17 @@ impl DesignSpace {
                     if iters > full_iters {
                         continue;
                     }
-                    let report =
-                        characterize(sig, plat, &SimConfig { cores, chains, iters });
-                    let kl = kl_to_ground_truth(
-                        &gaussian_window(run, iters / 2, iters),
-                        truth,
+                    let report = characterize(
+                        sig,
+                        plat,
+                        &SimConfig {
+                            cores,
+                            chains,
+                            iters,
+                        },
                     );
-                    let achievable =
-                        chains == sig.default_chains && iters == detected_iters;
+                    let kl = kl_to_ground_truth(&gaussian_window(run, iters / 2, iters), truth);
+                    let achievable = chains == sig.default_chains && iters == detected_iters;
                     if cores == 4 && chains == sig.default_chains && iters == full_iters {
                         user = points.len();
                     }
@@ -242,11 +240,7 @@ impl DesignSpace {
 }
 
 /// Moment-matched `(mean, sd)` per parameter over draws `[lo, hi)`.
-fn gaussian_window(
-    run: &bayes_mcmc::MultiChainRun,
-    lo: usize,
-    hi: usize,
-) -> Vec<(f64, f64)> {
+fn gaussian_window(run: &bayes_mcmc::MultiChainRun, lo: usize, hi: usize) -> Vec<(f64, f64)> {
     (0..run.dim)
         .map(|j| {
             let xs: Vec<f64> = run
@@ -316,7 +310,11 @@ mod tests {
     fn oracle_saves_energy_over_user_setting() {
         let model = AdModel::new("toy", Gauss);
         let space = DesignSpace::explore(&model, &toy_sig(), &Platform::skylake(), 4);
-        assert!(space.oracle_energy_saving() > 0.2, "{}", space.oracle_energy_saving());
+        assert!(
+            space.oracle_energy_saving() > 0.2,
+            "{}",
+            space.oracle_energy_saving()
+        );
         assert!(space.detected_energy_saving() > 0.0);
         // Oracle is at least as cheap as the best detected point.
         assert!(

@@ -138,12 +138,7 @@ impl ElisionStudy {
         let kl_full = kl_to_ground_truth(&window_summary(&run, cfg.iters / 2, cfg.iters), &truth);
         let kl_at_stop = report
             .converged_at
-            .and_then(|c| {
-                kl_trace
-                    .iter()
-                    .find(|&&(t, _)| t == c)
-                    .map(|&(_, kl)| kl)
-            })
+            .and_then(|c| kl_trace.iter().find(|&&(t, _)| t == c).map(|&(_, kl)| kl))
             .unwrap_or(kl_full);
 
         let iter_saving = report.excess_fraction();
@@ -155,12 +150,7 @@ impl ElisionStudy {
                     .map(|ch| ch.evals_until(c))
                     .max()
                     .unwrap_or(0);
-                let total: u64 = run
-                    .chains
-                    .iter()
-                    .map(|ch| ch.grad_evals)
-                    .max()
-                    .unwrap_or(1);
+                let total: u64 = run.chains.iter().map(|ch| ch.grad_evals).max().unwrap_or(1);
                 1.0 - until as f64 / total as f64
             }
             None => 0.0,

@@ -22,7 +22,7 @@ pub mod subsample;
 
 pub use dse::{DesignPoint, DesignSpace};
 pub use elision::{ElisionStudy, StudyConfig};
-pub use pipeline::{OverallResult, Pipeline};
+pub use pipeline::{core_split, CoreSplit, OverallResult, Pipeline};
 pub use predictor::LlcMissPredictor;
 pub use scheduler::{PlatformChoice, PlatformScheduler};
 pub use subsample::{SubsampleAdvice, SubsampleAdvisor};

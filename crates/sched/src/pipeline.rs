@@ -70,7 +70,11 @@ impl Pipeline {
     /// Trains the Figure 3 predictor by simulating the 4-core LLC MPKI
     /// of every supplied workload (callers typically pass all ten
     /// workloads at scales 1, ½, ¼).
-    pub fn train_predictor(workloads: &[Workload], probe_iters: usize, seed: u64) -> LlcMissPredictor {
+    pub fn train_predictor(
+        workloads: &[Workload],
+        probe_iters: usize,
+        seed: u64,
+    ) -> LlcMissPredictor {
         let sky = Platform::skylake();
         let samples: Vec<MissSample> = workloads
             .iter()
@@ -79,7 +83,11 @@ impl Pipeline {
                 let report = characterize(
                     &sig,
                     &sky,
-                    &SimConfig { cores: 4, chains: 4, iters: 50 },
+                    &SimConfig {
+                        cores: 4,
+                        chains: 4,
+                        iters: 50,
+                    },
                 );
                 MissSample {
                     data_bytes: sig.data_bytes,
@@ -118,12 +126,20 @@ impl Pipeline {
         let baseline = characterize(
             &sig,
             &broadwell,
-            &SimConfig { cores: 4, chains: sig.default_chains, iters: sig.default_iters },
+            &SimConfig {
+                cores: 4,
+                chains: sig.default_chains,
+                iters: sig.default_iters,
+            },
         );
         let optimized = characterize(
             &sig,
             plat,
-            &SimConfig { cores: 4, chains: sig.default_chains, iters: iters_used },
+            &SimConfig {
+                cores: 4,
+                chains: sig.default_chains,
+                iters: iters_used,
+            },
         );
 
         // Oracle: the energy-optimal configuration on the chosen
@@ -152,6 +168,38 @@ pub fn average_speedup(results: &[OverallResult]) -> f64 {
     results.iter().map(OverallResult::speedup).sum::<f64>() / results.len().max(1) as f64
 }
 
+/// How a core budget is divided between parallel chains and
+/// data-parallel likelihood shards within each chain.
+///
+/// Chains are embarrassingly parallel and always claim cores first;
+/// only cores left over after every runnable chain has one are handed
+/// to the sharded-likelihood layer as inner threads (see
+/// `bayes_mcmc::RunConfig::with_inner_threads`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreSplit {
+    /// Chains that run concurrently.
+    pub chains_in_flight: usize,
+    /// Worker threads each chain uses for shard evaluation.
+    pub inner_threads: usize,
+}
+
+/// Splits `cores` between `chains` and per-chain inner threads.
+///
+/// With more chains than cores the chains time-share and each keeps a
+/// single inner thread; with cores to spare the surplus is divided
+/// evenly across the chains in flight. The split never changes sampler
+/// output — inner threads are bit-deterministic — so this is purely a
+/// latency decision.
+pub fn core_split(cores: usize, chains: usize) -> CoreSplit {
+    let cores = cores.max(1);
+    let chains = chains.max(1);
+    let chains_in_flight = chains.min(cores);
+    CoreSplit {
+        chains_in_flight,
+        inner_threads: (cores / chains_in_flight).max(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +224,67 @@ mod tests {
         );
         assert!(result.oracle_speedup() >= result.speedup() * 0.3);
         assert!(result.iters_used <= result.iters_configured);
+    }
+
+    #[test]
+    fn core_split_gives_chains_cores_first() {
+        // Fewer cores than chains: time-share, no inner threads.
+        assert_eq!(
+            core_split(2, 4),
+            CoreSplit {
+                chains_in_flight: 2,
+                inner_threads: 1
+            }
+        );
+        // Equal: one core per chain.
+        assert_eq!(
+            core_split(4, 4),
+            CoreSplit {
+                chains_in_flight: 4,
+                inner_threads: 1
+            }
+        );
+        // Surplus cores become inner threads.
+        assert_eq!(
+            core_split(16, 4),
+            CoreSplit {
+                chains_in_flight: 4,
+                inner_threads: 4
+            }
+        );
+        // Uneven surplus rounds down.
+        assert_eq!(
+            core_split(6, 4),
+            CoreSplit {
+                chains_in_flight: 4,
+                inner_threads: 1
+            }
+        );
+        assert_eq!(
+            core_split(10, 4),
+            CoreSplit {
+                chains_in_flight: 4,
+                inner_threads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn core_split_clamps_degenerate_inputs() {
+        assert_eq!(
+            core_split(0, 0),
+            CoreSplit {
+                chains_in_flight: 1,
+                inner_threads: 1
+            }
+        );
+        assert_eq!(
+            core_split(8, 1),
+            CoreSplit {
+                chains_in_flight: 1,
+                inner_threads: 8
+            }
+        );
     }
 
     #[test]

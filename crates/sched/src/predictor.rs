@@ -161,18 +161,48 @@ mod tests {
     fn fig3_like_samples() -> Vec<MissSample> {
         vec![
             // Full-scale LLC-bound trio.
-            MissSample { data_bytes: 280_000, mpki: 6.7 },
-            MissSample { data_bytes: 480_000, mpki: 11.2 },
-            MissSample { data_bytes: 768_000, mpki: 18.7 },
+            MissSample {
+                data_bytes: 280_000,
+                mpki: 6.7,
+            },
+            MissSample {
+                data_bytes: 480_000,
+                mpki: 11.2,
+            },
+            MissSample {
+                data_bytes: 768_000,
+                mpki: 18.7,
+            },
             // Scaled points: tickets stays bound at quarter scale.
-            MissSample { data_bytes: 384_000, mpki: 16.8 },
-            MissSample { data_bytes: 192_000, mpki: 12.4 },
-            MissSample { data_bytes: 240_000, mpki: 0.2 }, // survival-h unbound
+            MissSample {
+                data_bytes: 384_000,
+                mpki: 16.8,
+            },
+            MissSample {
+                data_bytes: 192_000,
+                mpki: 12.4,
+            },
+            MissSample {
+                data_bytes: 240_000,
+                mpki: 0.2,
+            }, // survival-h unbound
             // Compute-bound cloud.
-            MissSample { data_bytes: 3_500, mpki: 0.1 },
-            MissSample { data_bytes: 48_000, mpki: 0.3 },
-            MissSample { data_bytes: 8_000, mpki: 0.05 },
-            MissSample { data_bytes: 140_000, mpki: 0.0 },
+            MissSample {
+                data_bytes: 3_500,
+                mpki: 0.1,
+            },
+            MissSample {
+                data_bytes: 48_000,
+                mpki: 0.3,
+            },
+            MissSample {
+                data_bytes: 8_000,
+                mpki: 0.05,
+            },
+            MissSample {
+                data_bytes: 140_000,
+                mpki: 0.0,
+            },
         ]
     }
 
@@ -208,8 +238,14 @@ mod tests {
     #[test]
     fn all_low_samples_mean_never_bound() {
         let low = vec![
-            MissSample { data_bytes: 1_000, mpki: 0.1 },
-            MissSample { data_bytes: 2_000, mpki: 0.2 },
+            MissSample {
+                data_bytes: 1_000,
+                mpki: 0.1,
+            },
+            MissSample {
+                data_bytes: 2_000,
+                mpki: 0.2,
+            },
         ];
         let p = LlcMissPredictor::fit(&low);
         assert!(!p.is_llc_bound(10_000_000));
@@ -223,9 +259,18 @@ mod tests {
         // saturates off the line, which is why classification uses the
         // threshold, not the trend.)
         let trio = vec![
-            MissSample { data_bytes: 280_000, mpki: 6.7 },
-            MissSample { data_bytes: 480_000, mpki: 11.2 },
-            MissSample { data_bytes: 768_000, mpki: 18.7 },
+            MissSample {
+                data_bytes: 280_000,
+                mpki: 6.7,
+            },
+            MissSample {
+                data_bytes: 480_000,
+                mpki: 11.2,
+            },
+            MissSample {
+                data_bytes: 768_000,
+                mpki: 18.7,
+            },
         ];
         let p = LlcMissPredictor::fit(&trio);
         assert!(p.r_squared(&trio) > 0.9, "{}", p.r_squared(&trio));
@@ -234,6 +279,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two samples")]
     fn fit_rejects_tiny_input() {
-        let _ = LlcMissPredictor::fit(&[MissSample { data_bytes: 1, mpki: 1.0 }]);
+        let _ = LlcMissPredictor::fit(&[MissSample {
+            data_bytes: 1,
+            mpki: 1.0,
+        }]);
     }
 }

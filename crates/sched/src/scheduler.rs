@@ -88,10 +88,22 @@ mod tests {
 
     fn scheduler() -> PlatformScheduler {
         let samples = vec![
-            MissSample { data_bytes: 280_000, mpki: 6.7 },
-            MissSample { data_bytes: 480_000, mpki: 11.2 },
-            MissSample { data_bytes: 768_000, mpki: 18.7 },
-            MissSample { data_bytes: 3_500, mpki: 0.1 },
+            MissSample {
+                data_bytes: 280_000,
+                mpki: 6.7,
+            },
+            MissSample {
+                data_bytes: 480_000,
+                mpki: 11.2,
+            },
+            MissSample {
+                data_bytes: 768_000,
+                mpki: 18.7,
+            },
+            MissSample {
+                data_bytes: 3_500,
+                mpki: 0.1,
+            },
         ];
         PlatformScheduler::new(LlcMissPredictor::fit(&samples))
     }
@@ -124,7 +136,14 @@ mod tests {
     fn compute_bound_jobs_win_on_skylake() {
         let s = scheduler();
         let sig = toy_sig("small", 5_000, 256 * 1024);
-        let choice = s.schedule(&sig, &SimConfig { cores: 4, chains: 4, iters: 100 });
+        let choice = s.schedule(
+            &sig,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
+        );
         assert_eq!(choice.platform, "Skylake");
         // Higher frequency should beat Broadwell on a cache-friendly job.
         assert!(choice.speedup() > 1.0, "speedup {}", choice.speedup());
@@ -134,7 +153,14 @@ mod tests {
     fn llc_bound_jobs_tie_on_their_baseline() {
         let s = scheduler();
         let sig = toy_sig("big", 500_000, 4 * 1024 * 1024);
-        let choice = s.schedule(&sig, &SimConfig { cores: 4, chains: 4, iters: 100 });
+        let choice = s.schedule(
+            &sig,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
+        );
         assert_eq!(choice.platform, "Broadwell");
         assert!((choice.speedup() - 1.0).abs() < 1e-9);
     }

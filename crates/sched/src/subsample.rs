@@ -178,7 +178,11 @@ mod tests {
         let advice = advisor.advise(
             &s,
             &Platform::skylake(),
-            &SimConfig { cores: 4, chains: 4, iters: 100 },
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 100,
+            },
         );
         assert!(advice.full.llc_mpki > 1.0, "full {}", advice.full.llc_mpki);
         assert!(
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn fraction_respects_floor() {
-        let advisor = SubsampleAdvisor { llc_occupancy: 0.85, min_fraction: 0.2 };
+        let advisor = SubsampleAdvisor {
+            llc_occupancy: 0.85,
+            min_fraction: 0.2,
+        };
         let s = sig(64 * 1024 * 1024, 512 * 1024 * 1024); // absurd
         let f = advisor.recommend_fraction(&s, &Platform::skylake(), 4);
         assert!((0.2..0.21).contains(&f), "fraction {f}");

@@ -44,11 +44,7 @@ pub struct Workload {
 impl Workload {
     /// Assembles a workload from its parts; used by the per-model
     /// constructors in [`crate::workloads`].
-    pub fn new(
-        meta: WorkloadMeta,
-        model: Box<dyn Model>,
-        dynamics_model: Box<dyn Model>,
-    ) -> Self {
+    pub fn new(meta: WorkloadMeta, model: Box<dyn Model>, dynamics_model: Box<dyn Model>) -> Self {
         Self {
             meta,
             model,

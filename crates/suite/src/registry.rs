@@ -124,8 +124,14 @@ mod tests {
     fn modeled_data_size_orders_the_llc_bound_trio() {
         // Figure 3's static predictor: ad < survival < tickets.
         let ad = workload("ad", 1.0, 5).unwrap().meta().modeled_data_bytes;
-        let sv = workload("survival", 1.0, 5).unwrap().meta().modeled_data_bytes;
-        let tk = workload("tickets", 1.0, 5).unwrap().meta().modeled_data_bytes;
+        let sv = workload("survival", 1.0, 5)
+            .unwrap()
+            .meta()
+            .modeled_data_bytes;
+        let tk = workload("tickets", 1.0, 5)
+            .unwrap()
+            .meta()
+            .modeled_data_bytes;
         assert!(ad < sv && sv < tk, "{ad} < {sv} < {tk}");
     }
 }

@@ -45,7 +45,9 @@ pub trait SbcCase: Send + Sync {
 
 /// Draws `N(mu, sd)` — the only primitive the workload priors need.
 pub(crate) fn norm(rng: &mut StdRng, mu: f64, sd: f64) -> f64 {
-    Normal::new(mu, sd).expect("static prior parameters").sample(rng)
+    Normal::new(mu, sd)
+        .expect("static prior parameters")
+        .sample(rng)
 }
 
 /// Builds the SBC case for one workload by name; `None` for unknown
@@ -118,7 +120,11 @@ mod tests {
             let model = case.condition(&theta, &mut rng);
             assert_eq!(model.dim(), case.dim(), "{}", case.name());
             let lp = model.ln_posterior(&theta);
-            assert!(lp.is_finite(), "{}: lp {lp} at the generating point", case.name());
+            assert!(
+                lp.is_finite(),
+                "{}: lp {lp} at the generating point",
+                case.name()
+            );
         }
     }
 

@@ -13,11 +13,12 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{ContinuousDist, Normal};
 use bayes_prob::special::sigmoid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 /// Number of advertising-channel covariates.
 pub const CHANNELS: usize = 6;
@@ -81,22 +82,29 @@ impl AdDensity {
     }
 }
 
-impl LogDensity for AdDensity {
+impl ShardedDensity for AdDensity {
     fn dim(&self) -> usize {
         1 + CHANNELS
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
-        let intercept = theta[0];
-        let beta = &theta[1..1 + CHANNELS];
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
 
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
         // Weakly-informative priors (Stan's logistic default, N(0, 2.5)).
-        let mut acc = lp::normal_prior(intercept, 0.0, 2.5);
-        for &b in beta {
+        let mut acc = lp::normal_prior(theta[0], 0.0, 2.5);
+        for &b in &theta[1..1 + CHANNELS] {
             acc = acc + lp::normal_prior(b, 0.0, 2.5);
         }
-        // Likelihood sweep over all survey rows.
-        for i in 0..self.data.len() {
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        let intercept = theta[0];
+        let beta = &theta[1..1 + CHANNELS];
+        let mut acc = theta[0] * 0.0;
+        for i in range {
             let row = &self.data.x[i * CHANNELS..(i + 1) * CHANNELS];
             let mut eta = intercept;
             for k in 0..CHANNELS {
@@ -108,14 +116,28 @@ impl LogDensity for AdDensity {
     }
 }
 
-/// Builds the `ad` workload at the given data scale.
+impl LogDensity for AdDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Written as prior + full-range shard so the serial [`AdModel`]
+        // path is bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `ad` workload at the given data scale. The likelihood is
+/// a per-respondent sum, so the model is sharded for data-parallel
+/// gradient sweeps.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let n = scaled_count(5000, scale, 40);
     let data = AdData::generate(n, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("ad", AdDensity::new(data));
+    let model = ShardedModel::new("ad", AdDensity::new(data));
     let dyn_data = AdData::generate(scaled_count(5000, scale * 0.1, 40), seed);
-    let dynamics = AdModel::new("ad", AdDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("ad", AdDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "ad",

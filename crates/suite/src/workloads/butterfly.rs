@@ -13,11 +13,12 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{Binomial, ContinuousDist, DiscreteDist, Normal};
 use bayes_prob::special::sigmoid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// Species tracked in the survey.
 pub const SPECIES: usize = 25;
@@ -85,46 +86,71 @@ impl ButterflyDensity {
     }
 }
 
-impl LogDensity for ButterflyDensity {
+impl ShardedDensity for ButterflyDensity {
     fn dim(&self) -> usize {
         3 + SPECIES + self.data.sites()
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
+
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
         let mu_alpha = theta[0];
         let sigma_alpha = theta[1].exp();
         let sigma_beta = theta[2].exp();
-        let alphas = &theta[3..3 + SPECIES];
-        let betas = &theta[3 + SPECIES..];
-
         let mut acc = lp::normal_prior(mu_alpha, -1.0, 1.0)
             + lp::normal_prior(theta[1], -0.5, 1.0)
             + lp::normal_prior(theta[2], -1.0, 1.0);
-        for &a in alphas {
+        for &a in &theta[3..3 + SPECIES] {
             acc = acc + lp::normal_lpdf(a, mu_alpha, sigma_alpha);
         }
-        for &b in betas {
+        for &b in &theta[3 + SPECIES..] {
             acc = acc + lp::normal_lpdf(b, mu_alpha * 0.0, sigma_beta);
         }
-        for s in 0..SPECIES {
-            for j in 0..self.data.sites() {
-                let logit = alphas[s] + betas[j];
-                acc = acc
-                    + lp::binomial_logit_lpmf(self.data.y[s * self.data.sites() + j], VISITS, logit);
-            }
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        // Shards over the flat cell index: `s = i / sites`,
+        // `j = i % sites` — same sweep order as the original nested
+        // species × site loops.
+        let sites = self.data.sites();
+        let alphas = &theta[3..3 + SPECIES];
+        let betas = &theta[3 + SPECIES..];
+        let mut acc = theta[0] * 0.0;
+        for i in range {
+            let s = i / sites;
+            let j = i % sites;
+            let logit = alphas[s] + betas[j];
+            acc = acc + lp::binomial_logit_lpmf(self.data.y[i], VISITS, logit);
         }
         acc
     }
 }
 
-/// Builds the `butterfly` workload at the given data scale.
+impl LogDensity for ButterflyDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `butterfly` workload at the given data scale. Cells are
+/// independent binomial observations, so the model is sharded over the
+/// flat species × site index.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let sites = scaled_count(40, scale, 4);
     let data = ButterflyData::generate(sites, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("butterfly", ButterflyDensity::new(data));
+    let model = ShardedModel::new("butterfly", ButterflyDensity::new(data));
     let dyn_data = ButterflyData::generate(scaled_count(40, scale * 0.3, 4), seed);
-    let dynamics = AdModel::new("butterfly", ButterflyDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("butterfly", ButterflyDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "butterfly",

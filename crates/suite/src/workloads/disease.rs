@@ -16,10 +16,11 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{ContinuousDist, Normal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// Number of I-spline basis functions.
 pub const BASIS: usize = 6;
@@ -127,17 +128,17 @@ impl DiseaseDensity {
     }
 }
 
-impl LogDensity for DiseaseDensity {
+impl ShardedDensity for DiseaseDensity {
     fn dim(&self) -> usize {
         BASIS + 2 + self.data.patients()
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
-        let ws: Vec<R> = (0..BASIS).map(|k| theta[k].exp()).collect();
-        let sigma = theta[BASIS].exp();
-        let tau = theta[BASIS + 1].exp();
-        let deltas = &theta[BASIS + 2..];
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
 
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
+        let tau = theta[BASIS + 1].exp();
         let mut acc = theta[0] * 0.0;
         for k in 0..BASIS {
             acc = acc + lp::normal_prior(theta[k], -1.0, 1.0);
@@ -145,13 +146,23 @@ impl LogDensity for DiseaseDensity {
         acc = acc
             + lp::normal_prior(theta[BASIS], -2.0, 1.0)
             + lp::normal_prior(theta[BASIS + 1], 0.5, 0.5);
-        for &d in deltas {
+        for &d in &theta[BASIS + 2..] {
             acc = acc + lp::normal_lpdf(d, theta[0] * 0.0, tau);
         }
-        for i in 0..self.data.len() {
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        // ln w_k → w_k hoisted once per shard — bounded bookkeeping
+        // slack relative to the serial sweep.
+        let ws: Vec<R> = (0..BASIS).map(|k| theta[k].exp()).collect();
+        let sigma = theta[BASIS].exp();
+        let deltas = &theta[BASIS + 2..];
+        let mut acc = theta[0] * 0.0;
+        for i in range {
             let p = self.data.patient[i];
             let s = deltas[p] + (self.data.t[i] + 3.0);
-            let mut f = acc * 0.0;
+            let mut f = theta[0] * 0.0;
             for (k, w) in ws.iter().enumerate() {
                 f = f + *w * ispline_basis(s, k);
             }
@@ -161,14 +172,28 @@ impl LogDensity for DiseaseDensity {
     }
 }
 
-/// Builds the `disease` workload at the given data scale.
+impl LogDensity for DiseaseDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `disease` workload at the given data scale. Visits are
+/// conditionally independent given the latent stages, so the model is
+/// sharded over the visit sweep.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let patients = scaled_count(80, scale, 4);
     let data = DiseaseData::generate(patients, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("disease", DiseaseDensity::new(data));
+    let model = ShardedModel::new("disease", DiseaseDensity::new(data));
     let dyn_data = DiseaseData::generate(scaled_count(80, scale * 0.2, 4), seed);
-    let dynamics = AdModel::new("disease", DiseaseDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("disease", DiseaseDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "disease",
@@ -302,7 +327,10 @@ mod tests {
             .collect();
         let m_first = first.iter().sum::<f64>() / first.len() as f64;
         let m_late = late.iter().sum::<f64>() / late.len() as f64;
-        assert!(m_late > m_first, "progression should worsen: {m_first} vs {m_late}");
+        assert!(
+            m_late > m_first,
+            "progression should worsen: {m_first} vs {m_late}"
+        );
     }
 
     #[test]
@@ -332,9 +360,7 @@ mod tests {
         let cfg = RunConfig::new(400).with_chains(2).with_seed(71);
         let out = chain::run(&Nuts::default(), &m, &cfg);
         let ws: Vec<f64> = (0..BASIS).map(|k| out.mean(k).exp()).collect();
-        let f = |s: f64| -> f64 {
-            (0..BASIS).map(|k| ws[k] * ispline_basis(s, k)).sum()
-        };
+        let f = |s: f64| -> f64 { (0..BASIS).map(|k| ws[k] * ispline_basis(s, k)).sum() };
         let mut prev = f(0.0);
         for i in 1..=20 {
             let cur = f(10.0 * i as f64 / 20.0);

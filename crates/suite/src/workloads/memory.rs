@@ -15,11 +15,12 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{ContinuousDist, LogNormal, Normal};
 use bayes_prob::special::sigmoid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 /// Trials per subject.
 pub const TRIALS: usize = 50;
@@ -106,25 +107,26 @@ impl MemoryDensity {
     }
 }
 
-impl LogDensity for MemoryDensity {
+impl ShardedDensity for MemoryDensity {
     fn dim(&self) -> usize {
         6 + 2 * self.data.subjects()
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
+
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
         let j = self.data.subjects();
         let mu_alpha = theta[0];
         let tau_alpha = theta[1].exp();
-        let beta = theta[2];
-        let sigma = theta[3].exp();
         let mu_delta = theta[4];
         let tau_delta = theta[5].exp();
         let alphas = &theta[6..6 + j];
         let deltas = &theta[6 + j..6 + 2 * j];
-
         let mut acc = lp::normal_prior(theta[0], 0.0, 1.0)
             + lp::normal_prior(theta[1], -1.0, 1.0)
-            + lp::normal_prior(beta, 0.0, 0.5)
+            + lp::normal_prior(theta[2], 0.0, 0.5)
             + lp::normal_prior(theta[3], -1.0, 1.0)
             + lp::normal_prior(theta[4], 0.0, 1.5)
             + lp::normal_prior(theta[5], -1.0, 1.0);
@@ -133,7 +135,17 @@ impl LogDensity for MemoryDensity {
                 + lp::normal_lpdf(alphas[s], mu_alpha, tau_alpha)
                 + lp::normal_lpdf(deltas[s], mu_delta, tau_delta);
         }
-        for i in 0..self.data.len() {
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        let j = self.data.subjects();
+        let beta = theta[2];
+        let sigma = theta[3].exp();
+        let alphas = &theta[6..6 + j];
+        let deltas = &theta[6 + j..6 + 2 * j];
+        let mut acc = theta[0] * 0.0;
+        for i in range {
             let s = self.data.subject[i];
             let mu = alphas[s] + beta * self.data.load[i];
             acc = acc + lp::lognormal_lpdf_data(self.data.latency[i], mu, sigma);
@@ -144,14 +156,28 @@ impl LogDensity for MemoryDensity {
     }
 }
 
-/// Builds the `memory` workload at the given data scale.
+impl LogDensity for MemoryDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `memory` workload at the given data scale. Trials are
+/// conditionally independent given the subject effects, so the model is
+/// sharded over the trial sweep.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let subjects = scaled_count(30, scale, 3);
     let data = MemoryData::generate(subjects, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("memory", MemoryDensity::new(data));
+    let model = ShardedModel::new("memory", MemoryDensity::new(data));
     let dyn_data = MemoryData::generate(scaled_count(30, scale * 0.3, 3), seed);
-    let dynamics = AdModel::new("memory", MemoryDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("memory", MemoryDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "memory",

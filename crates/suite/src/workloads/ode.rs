@@ -43,7 +43,15 @@ fn natural<R: Real>(theta: &[R]) -> (R, R, R, R, R) {
 }
 
 /// Friberg–Karlsson right-hand side for one patient dose.
-fn friberg_rhs<R: Real>(t: f64, y: &[R], mtt: R, circ0: R, gamma: R, slope: R, dose: f64) -> Vec<R> {
+fn friberg_rhs<R: Real>(
+    t: f64,
+    y: &[R],
+    mtt: R,
+    circ0: R,
+    gamma: R,
+    slope: R,
+    dose: f64,
+) -> Vec<R> {
     let k_tr = mtt.recip() * 4.0;
     let conc = dose * (-K_ELIM * t).exp();
     // Smooth bounded drug effect in (0, 1) (Emax-like).
@@ -211,6 +219,11 @@ impl LogDensity for OdeDensity {
 }
 
 /// Builds the `ode` workload at the given data scale.
+///
+/// Stays on the serial [`AdModel`] path: the cost is dominated by a
+/// handful of sequential RK4 integrations (one per patient, each a
+/// long dependency chain on the tape), so there is no wide data sweep
+/// for inner threads to shard.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let patients = ((2.0 * scale).round() as usize).max(1);
     let data = OdeData::generate(patients, seed);

@@ -15,11 +15,12 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{Binomial, DiscreteDist};
 use bayes_prob::special::sigmoid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// Race groups in the study.
 pub const GROUPS: usize = 4;
@@ -43,8 +44,7 @@ impl RacialData {
         // Lower thresholds for groups 1-3 (the bias being tested).
         let thresholds = [0.0, -0.4, -0.5, -0.3];
         let signal = [0.5, 0.6, 0.55, 0.5];
-        let dept_effect =
-            bayes_prob::dist::Normal::new(-1.2, 0.4).expect("static");
+        let dept_effect = bayes_prob::dist::Normal::new(-1.2, 0.4).expect("static");
         use bayes_prob::dist::ContinuousDist;
         let cells = departments * GROUPS;
         let mut stops = Vec::with_capacity(cells);
@@ -107,59 +107,83 @@ impl RacialDensity {
     }
 }
 
-impl LogDensity for RacialDensity {
+impl ShardedDensity for RacialDensity {
     fn dim(&self) -> usize {
         2 * GROUPS + 2 + self.data.departments()
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
-        let signal = &theta[0..GROUPS];
-        let thresh = &theta[GROUPS..2 * GROUPS];
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
+
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
         let mu_phi = theta[2 * GROUPS];
         let sigma_phi = theta[2 * GROUPS + 1].exp();
-        let phis = &theta[2 * GROUPS + 2..];
-
         let mut acc = lp::normal_prior(mu_phi, -1.0, 1.0)
             + lp::normal_prior(theta[2 * GROUPS + 1], -1.0, 1.0);
         for g in 0..GROUPS {
             acc = acc
-                + lp::normal_prior(signal[g], 0.5, 1.0)
-                + lp::normal_prior(thresh[g], 0.0, 1.0);
+                + lp::normal_prior(theta[g], 0.5, 1.0)
+                + lp::normal_prior(theta[GROUPS + g], 0.0, 1.0);
         }
-        for &phi in phis {
+        for &phi in &theta[2 * GROUPS + 2..] {
             acc = acc + lp::normal_lpdf(phi, mu_phi, sigma_phi);
         }
-        for d in 0..self.data.departments() {
-            for g in 0..GROUPS {
-                let i = d * GROUPS + g;
-                // Search decision: logit = φ_d − t_g.
-                acc = acc
-                    + lp::binomial_logit_lpmf(
-                        self.data.searches[i],
-                        self.data.stops[i],
-                        phis[d] - thresh[g],
-                    );
-                // Hit rate among searched: logit = λ_g + t_g.
-                acc = acc
-                    + lp::binomial_logit_lpmf(
-                        self.data.hits[i],
-                        self.data.searches[i],
-                        signal[g] + thresh[g],
-                    );
-            }
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        // Shards over the flat cell index: `d = i / GROUPS`,
+        // `g = i % GROUPS` — same sweep order as the original nested
+        // department × group loops.
+        let signal = &theta[0..GROUPS];
+        let thresh = &theta[GROUPS..2 * GROUPS];
+        let phis = &theta[2 * GROUPS + 2..];
+        let mut acc = theta[0] * 0.0;
+        for i in range {
+            let d = i / GROUPS;
+            let g = i % GROUPS;
+            // Search decision: logit = φ_d − t_g.
+            acc = acc
+                + lp::binomial_logit_lpmf(
+                    self.data.searches[i],
+                    self.data.stops[i],
+                    phis[d] - thresh[g],
+                );
+            // Hit rate among searched: logit = λ_g + t_g.
+            acc = acc
+                + lp::binomial_logit_lpmf(
+                    self.data.hits[i],
+                    self.data.searches[i],
+                    signal[g] + thresh[g],
+                );
         }
         acc
     }
 }
 
-/// Builds the `racial` workload at the given data scale.
+impl LogDensity for RacialDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `racial` workload at the given data scale. Cells are
+/// independent binomial observations, so the model is sharded over the
+/// flat department × group index.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let departments = scaled_count(60, scale, 4);
     let data = RacialData::generate(departments, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("racial", RacialDensity::new(data));
+    let model = ShardedModel::new("racial", RacialDensity::new(data));
     let dyn_data = RacialData::generate(scaled_count(60, scale * 0.25, 4), seed);
-    let dynamics = AdModel::new("racial", RacialDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("racial", RacialDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "racial",

@@ -15,9 +15,10 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::ops::Range;
 
 /// Capture occasions per individual.
 pub const OCCASIONS: usize = 5;
@@ -96,25 +97,34 @@ impl SurvivalDensity {
     }
 }
 
-impl LogDensity for SurvivalDensity {
+impl ShardedDensity for SurvivalDensity {
     fn dim(&self) -> usize {
         2 * (OCCASIONS - 1)
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
-        let t_int = OCCASIONS - 1;
-        // φ_t and p_{t+1} on the probability scale.
-        let phis: Vec<R> = (0..t_int).map(|t| theta[t].sigmoid()).collect();
-        let ps: Vec<R> = (0..t_int).map(|t| theta[t_int + t].sigmoid()).collect();
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
 
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
         // Priors: logistic(0,1) on the logit scale ≈ uniform on (0,1).
         let mut acc = theta[0] * 0.0;
         for &th in theta {
             acc = acc + lp::normal_prior(th, 0.0, 1.5);
         }
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        let t_int = OCCASIONS - 1;
+        // φ_t and p_{t+1} on the probability scale. These O(dim)
+        // hoisted transforms are recomputed per shard — the bounded
+        // bookkeeping slack the profile-aggregation tests allow.
+        let phis: Vec<R> = (0..t_int).map(|t| theta[t].sigmoid()).collect();
+        let ps: Vec<R> = (0..t_int).map(|t| theta[t_int + t].sigmoid()).collect();
 
         // χ_t: probability of never being seen after occasion t.
-        let mut chi = vec![acc * 0.0 + 1.0; OCCASIONS];
+        let mut chi = vec![theta[0] * 0.0 + 1.0; OCCASIONS];
         for t in (0..t_int).rev() {
             chi[t] = (-phis[t] + 1.0) + phis[t] * (-ps[t] + 1.0) * chi[t + 1];
         }
@@ -127,7 +137,8 @@ impl LogDensity for SurvivalDensity {
 
         // Per-individual likelihood — the modeled-data sweep that makes
         // this workload LLC-bound.
-        for i in 0..self.data.len() {
+        let mut acc = theta[0] * 0.0;
+        for i in range {
             let last = self.data.last_capture(i);
             for t in 0..last {
                 // Survived interval t…
@@ -146,14 +157,28 @@ impl LogDensity for SurvivalDensity {
     }
 }
 
-/// Builds the `survival` workload at the given data scale.
+impl LogDensity for SurvivalDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `survival` workload at the given data scale. Individual
+/// capture histories are independent, so the model is sharded for
+/// data-parallel gradient sweeps.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let n = scaled_count(24_000, scale, 60);
     let data = SurvivalData::generate(n, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("survival", SurvivalDensity::new(data));
+    let model = ShardedModel::new("survival", SurvivalDensity::new(data));
     let dyn_data = SurvivalData::generate(scaled_count(24_000, scale * 0.03, 60), seed);
-    let dynamics = AdModel::new("survival", SurvivalDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("survival", SurvivalDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "survival",
@@ -292,7 +317,9 @@ mod tests {
     fn full_tape_sits_between_ad_and_tickets() {
         let s = workload(0.05, 1).profile().tape_bytes;
         let a = crate::workloads::ad::workload(0.05, 1).profile().tape_bytes;
-        let t = crate::workloads::tickets::workload(0.05, 1).profile().tape_bytes;
+        let t = crate::workloads::tickets::workload(0.05, 1)
+            .profile()
+            .tape_bytes;
         assert!(a < s && s < t, "ad {a} < survival {s} < tickets {t}");
     }
 }

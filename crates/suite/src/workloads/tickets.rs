@@ -20,10 +20,11 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{ContinuousDist, DiscreteDist, NegBinomial, Normal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// Months of observation per officer.
 pub const MONTHS: usize = 20;
@@ -48,7 +49,9 @@ impl TicketsData {
     pub fn generate(officers: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let alpha_prior = Normal::new(2.6, 0.5).expect("static params");
-        let alphas: Vec<f64> = (0..officers).map(|_| alpha_prior.sample(&mut rng)).collect();
+        let alphas: Vec<f64> = (0..officers)
+            .map(|_| alpha_prior.sample(&mut rng))
+            .collect();
         let (beta_eom, beta_season, phi) = (0.45, 0.2, 3.0);
         let n = officers * MONTHS;
         let mut y = Vec::with_capacity(n);
@@ -112,28 +115,38 @@ impl TicketsDensity {
     }
 }
 
-impl LogDensity for TicketsDensity {
+impl ShardedDensity for TicketsDensity {
     fn dim(&self) -> usize {
         5 + self.data.officers()
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
+
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
+        // Hyperpriors plus the per-officer random-effect hierarchy —
+        // all data-independent, so they live in the prior term.
         let mu_alpha = theta[0];
         let tau = theta[1].exp();
+        let mut acc = lp::normal_prior(theta[0], 2.0, 1.0)
+            + lp::normal_prior(theta[1], -1.0, 1.0)
+            + lp::normal_prior(theta[2], 0.0, 1.0)
+            + lp::normal_prior(theta[3], 0.0, 1.0)
+            + lp::normal_prior(theta[4], 1.0, 1.0);
+        for &a in &theta[5..] {
+            acc = acc + lp::normal_lpdf(a, mu_alpha, tau);
+        }
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
         let beta_eom = theta[2];
         let beta_season = theta[3];
         let phi = theta[4].exp();
         let alphas = &theta[5..];
-
-        let mut acc = lp::normal_prior(theta[0], 2.0, 1.0)
-            + lp::normal_prior(theta[1], -1.0, 1.0)
-            + lp::normal_prior(beta_eom, 0.0, 1.0)
-            + lp::normal_prior(beta_season, 0.0, 1.0)
-            + lp::normal_prior(theta[4], 1.0, 1.0);
-        for &a in alphas {
-            acc = acc + lp::normal_lpdf(a, mu_alpha, tau);
-        }
-        for i in 0..self.data.len() {
+        let mut acc = theta[0] * 0.0;
+        for i in range {
             let eta = alphas[self.data.officer[i]]
                 + beta_eom * self.data.eom[i]
                 + beta_season * self.data.season[i];
@@ -143,14 +156,28 @@ impl LogDensity for TicketsDensity {
     }
 }
 
-/// Builds the `tickets` workload at the given data scale.
+impl LogDensity for TicketsDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `tickets` workload at the given data scale. The
+/// officer-month sweep is the largest likelihood in the suite, so the
+/// model is sharded for data-parallel gradient evaluation.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let officers = scaled_count(1200, scale, 4);
     let data = TicketsData::generate(officers, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("tickets", TicketsDensity::new(data));
+    let model = ShardedModel::new("tickets", TicketsDensity::new(data));
     let dyn_data = TicketsData::generate(scaled_count(1200, scale * 0.02, 4), seed);
-    let dynamics = AdModel::new("tickets", TicketsDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("tickets", TicketsDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "tickets",
@@ -300,7 +327,10 @@ mod tests {
         let cfg = RunConfig::new(500).with_chains(2).with_seed(13);
         let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
         let beta_eom = out.mean(2);
-        assert!(beta_eom > 0.2, "beta_eom {beta_eom} should be clearly positive");
+        assert!(
+            beta_eom > 0.2,
+            "beta_eom {beta_eom} should be clearly positive"
+        );
     }
 
     #[test]

@@ -12,10 +12,11 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
 use bayes_prob::dist::{ContinuousDist, DiscreteDist, Normal, Poisson};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// Number of cities (fixed by the original study).
 pub const CITIES: usize = 12;
@@ -48,7 +49,9 @@ impl TwelveCitiesData {
             for _ in 0..years {
                 let xv = x_dist.sample(&mut rng);
                 let rate = (alphas[c] + beta * xv).exp();
-                let yv = Poisson::new(rate.max(1e-9)).expect("positive").sample(&mut rng);
+                let yv = Poisson::new(rate.max(1e-9))
+                    .expect("positive")
+                    .sample(&mut rng);
                 y.push(yv);
                 city.push(c);
                 x.push(xv);
@@ -86,43 +89,62 @@ impl TwelveCitiesDensity {
     }
 }
 
-impl LogDensity for TwelveCitiesDensity {
+impl ShardedDensity for TwelveCitiesDensity {
     fn dim(&self) -> usize {
         3 + CITIES
     }
 
-    fn eval<R: Real>(&self, theta: &[R]) -> R {
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
+
+    fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
         let mu_alpha = theta[0];
-        let log_tau = theta[1];
-        let tau = log_tau.exp();
+        let tau = theta[1].exp();
+        let mut acc = lp::normal_prior(mu_alpha, 1.0, 1.0)
+            + lp::normal_prior(theta[1], -1.0, 1.0)
+            + lp::normal_prior(theta[2], 0.0, 1.0);
+        for &a in &theta[3..3 + CITIES] {
+            acc = acc + lp::normal_lpdf(a, mu_alpha, tau);
+        }
+        acc
+    }
+
+    fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
+        // Likelihood — line 5 of Algorithm 1, the modeled-data sweep.
         let beta = theta[2];
         let alphas = &theta[3..3 + CITIES];
-
-        // Priors.
-        let mut lp_acc = lp::normal_prior(mu_alpha, 1.0, 1.0)
-            + lp::normal_prior(log_tau, -1.0, 1.0)
-            + lp::normal_prior(beta, 0.0, 1.0);
-        for &a in alphas {
-            lp_acc = lp_acc + lp::normal_lpdf(a, mu_alpha, tau);
-        }
-        // Likelihood — line 5 of Algorithm 1, the modeled-data sweep.
-        for i in 0..self.data.len() {
+        let mut acc = theta[0] * 0.0;
+        for i in range {
             let eta = alphas[self.data.city[i]] + beta * self.data.x[i];
-            lp_acc = lp_acc + lp::poisson_log_lpmf(self.data.y[i], eta);
+            acc = acc + lp::poisson_log_lpmf(self.data.y[i], eta);
         }
-        lp_acc
+        acc
     }
 }
 
-/// Builds the `12cities` workload at the given data scale.
+impl LogDensity for TwelveCitiesDensity {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+
+    fn eval<R: Real>(&self, theta: &[R]) -> R {
+        // Prior + full-range shard, so the serial [`AdModel`] path is
+        // bit-identical to a single-shard [`ShardedModel`].
+        self.ln_prior(theta) + self.ln_likelihood_shard(theta, 0..self.data.len())
+    }
+}
+
+/// Builds the `12cities` workload at the given data scale. City-year
+/// cells are independent Poisson observations, so the model is sharded.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let years = scaled_count(12, scale, 2);
     let data = TwelveCitiesData::generate(years, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("12cities", TwelveCitiesDensity::new(data));
+    let model = ShardedModel::new("12cities", TwelveCitiesDensity::new(data));
     // Small enough to be its own dynamics model.
     let dyn_data = TwelveCitiesData::generate(years, seed);
-    let dynamics = AdModel::new("12cities", TwelveCitiesDensity::new(dyn_data));
+    let dynamics = ShardedModel::new("12cities", TwelveCitiesDensity::new(dyn_data));
     Workload::new(
         WorkloadMeta {
             name: "12cities",
@@ -244,7 +266,10 @@ mod tests {
         let cfg = RunConfig::new(600).with_chains(2).with_seed(4);
         let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
         let beta = out.mean(2);
-        assert!(beta < -0.1, "posterior beta {beta} should be clearly negative");
+        assert!(
+            beta < -0.1,
+            "posterior beta {beta} should be clearly negative"
+        );
         assert!(out.max_rhat() < 1.2, "rhat {}", out.max_rhat());
     }
 

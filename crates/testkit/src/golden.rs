@@ -114,7 +114,9 @@ fn compare_or_bless_with(path: &Path, values: &[(&str, f64)], force_bless: bool)
                 }
             }
             Some((e_name, _)) => {
-                mismatches.push(format!("entry {i}: fixture names {e_name}, test names {name}"));
+                mismatches.push(format!(
+                    "entry {i}: fixture names {e_name}, test names {name}"
+                ));
             }
             None => {}
         }
@@ -175,7 +177,11 @@ mod tests {
         let report = compare_or_bless_with(&path, &[("mean", 2.0), ("sd", 1.5)], false);
         assert!(!report.passed());
         assert_eq!(report.mismatches.len(), 1);
-        assert!(report.mismatches[0].contains("sd"), "{:?}", report.mismatches);
+        assert!(
+            report.mismatches[0].contains("sd"),
+            "{:?}",
+            report.mismatches
+        );
     }
 
     #[test]

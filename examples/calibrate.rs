@@ -18,9 +18,33 @@ fn main() {
         let w = registry::workload(name, 1.0, 42).unwrap();
         let sig = WorkloadSignature::measure(&w, 30, 7);
         let iters = sig.default_iters;
-        let r1 = characterize(&sig, &sky, &SimConfig { cores: 1, chains: 4, iters });
-        let r4 = characterize(&sig, &sky, &SimConfig { cores: 4, chains: 4, iters });
-        let rb = characterize(&sig, &bdw, &SimConfig { cores: 4, chains: 4, iters });
+        let r1 = characterize(
+            &sig,
+            &sky,
+            &SimConfig {
+                cores: 1,
+                chains: 4,
+                iters,
+            },
+        );
+        let r4 = characterize(
+            &sig,
+            &sky,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters,
+            },
+        );
+        let rb = characterize(
+            &sig,
+            &bdw,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters,
+            },
+        );
         println!(
             "{:10} {:6.1} {:8.2} |        {:5.2} {:6.2} |        {:5.2} {:6.2} {:7.2} {:8.0} |        {:6.2} | {:6.2} {:6.2} {:8.1}  (probe {:.1}s)",
             name,

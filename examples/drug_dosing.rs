@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     nadirs.sort_by(f64::total_cmp);
     let q = |p: f64| nadirs[((nadirs.len() - 1) as f64 * p) as usize];
     println!("\nposterior predictive neutrophil nadir at dose {dose}:");
-    println!("  median {:.2}, 90% interval [{:.2}, {:.2}]", q(0.5), q(0.05), q(0.95));
+    println!(
+        "  median {:.2}, 90% interval [{:.2}, {:.2}]",
+        q(0.5),
+        q(0.05),
+        q(0.95)
+    );
     println!("  (baseline count is 5.0; grade-4 neutropenia threshold would be ~0.5)");
     Ok(())
 }

@@ -8,11 +8,7 @@ use bayes_core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = registry::workload("racial", 1.0, 7).ok_or("unknown workload")?;
-    println!(
-        "{} — {}\n",
-        workload.name(),
-        workload.meta().application
-    );
+    println!("{} — {}\n", workload.name(), workload.meta().application);
     let cfg = RunConfig::new(1000).with_chains(4).with_seed(3).threaded();
     let run = chain::run(&Nuts::default(), workload.dynamics_model(), &cfg);
 
@@ -21,7 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (indices 4..8 in this parameterization).
     println!("search thresholds by race group (lower = less evidence required):");
     print!("{}", summary::format_table(&rows[4..8]));
-    println!("\nfull model: {} parameters, worst rank-R̂ {:.3}",
+    println!(
+        "\nfull model: {} parameters, worst rank-R̂ {:.3}",
         rows.len(),
         rows.iter().map(|r| r.rhat_rank).fold(f64::NAN, f64::max)
     );

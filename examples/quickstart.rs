@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick a workload from the registry (scale 1.0 = full synthetic
     //    dataset; the seed fixes the generated data).
     let workload = registry::workload("12cities", 1.0, 7).ok_or("unknown workload")?;
-    println!("workload: {} — {}", workload.name(), workload.meta().application);
+    println!(
+        "workload: {} — {}",
+        workload.name(),
+        workload.meta().application
+    );
 
     // 2. Run NUTS: 4 chains, 1000 iterations (half warmup).
     let cfg = RunConfig::new(1000).with_chains(4).with_seed(7);
@@ -22,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.iters,
         run.total_grad_evals()
     );
-    println!("max split R-hat: {:.3} (converged if < 1.1)", run.max_rhat());
+    println!(
+        "max split R-hat: {:.3} (converged if < 1.1)",
+        run.max_rhat()
+    );
     // β (the speed-limit effect) is parameter 2 of this model.
     println!(
         "speed-limit effect beta: {:.3} ± {:.3}  (the study's finding: negative)",
@@ -36,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = characterize(
         &sig,
         &Platform::skylake(),
-        &SimConfig { cores: 4, chains: 4, iters: 1000 },
+        &SimConfig {
+            cores: 4,
+            chains: 4,
+            iters: 1000,
+        },
     );
     println!(
         "simulated on {}: IPC {:.2}, LLC MPKI {:.2}, est. time {:.2}s, energy {:.0} J",

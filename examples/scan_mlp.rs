@@ -19,8 +19,26 @@ fn main() {
         print!("factor {factor:4}: ");
         for sig in &sigs {
             let iters = 200;
-            let t1 = characterize(&sig, &sky, &SimConfig { cores: 1, chains: 4, iters }).time_s;
-            let t4 = characterize(&sig, &sky, &SimConfig { cores: 4, chains: 4, iters }).time_s;
+            let t1 = characterize(
+                &sig,
+                &sky,
+                &SimConfig {
+                    cores: 1,
+                    chains: 4,
+                    iters,
+                },
+            )
+            .time_s;
+            let t4 = characterize(
+                &sig,
+                &sky,
+                &SimConfig {
+                    cores: 4,
+                    chains: 4,
+                    iters,
+                },
+            )
+            .time_s;
             print!("{}={:.2} ", sig.name, t1 / t4);
         }
         println!();

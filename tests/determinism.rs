@@ -3,14 +3,16 @@
 //! Stream derivation (`StreamKey { seed, chain, purpose }`) makes every
 //! chain's RNG stream a pure function of the `RunConfig` seed, so runs
 //! are draw-for-draw identical regardless of scheduling: serial vs
-//! threaded execution, and repeated invocations of the threaded
-//! convergence-monitored runtime, must all agree bitwise.
+//! threaded execution, repeated invocations of the threaded
+//! convergence-monitored runtime, and — via the fixed-order shard
+//! reduction — any `inner_threads` setting of a sharded model must all
+//! agree bitwise.
 
 use bayes_autodiff::Real;
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::{
-    chain, run_until_converged, AdModel, ConvergenceDetector, LogDensity, MultiChainRun,
-    RunConfig,
+    chain, run_until_converged, AdModel, ConvergenceDetector, LogDensity, MultiChainRun, RunConfig,
+    ShardedDensity, ShardedModel,
 };
 
 /// Mildly correlated 3-d Gaussian — cheap, but with enough structure
@@ -68,6 +70,112 @@ fn serial_and_threaded_plain_runs_agree_bitwise() {
         &RunConfig::new(300).with_chains(4).with_seed(7).threaded(),
     );
     assert_eq!(draws_of(&serial), draws_of(&threaded));
+}
+
+/// Gaussian observations with unknown mean and log-scale, written in
+/// the sharded `prior + likelihood(range)` shape so the same density
+/// drives both the serial and the data-parallel model adapters.
+struct GaussShards {
+    data: Vec<f64>,
+}
+
+impl GaussShards {
+    fn synthetic(n: usize) -> Self {
+        let data = (0..n)
+            .map(|i| ((i as f64 * 0.9).cos() * 1.5) - 0.2)
+            .collect();
+        Self { data }
+    }
+}
+
+impl ShardedDensity for GaussShards {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn n_data(&self) -> usize {
+        self.data.len()
+    }
+    fn ln_prior<R: Real>(&self, t: &[R]) -> R {
+        -(t[0] * t[0]) * 0.5 - (t[1] * t[1]) * 0.5
+    }
+    fn ln_likelihood_shard<R: Real>(&self, t: &[R], range: std::ops::Range<usize>) -> R {
+        let mut acc = t[0] * 0.0;
+        let mu = t[0];
+        let inv_sigma = (-t[1]).exp();
+        for &x in &self.data[range] {
+            let z = (mu - x) * inv_sigma;
+            acc = acc - z.square() * 0.5 - t[1];
+        }
+        acc
+    }
+}
+
+impl LogDensity for GaussShards {
+    fn dim(&self) -> usize {
+        ShardedDensity::dim(self)
+    }
+    fn eval<R: Real>(&self, t: &[R]) -> R {
+        self.ln_prior(t) + self.ln_likelihood_shard(t, 0..self.n_data())
+    }
+}
+
+#[test]
+fn inner_thread_counts_are_draw_for_draw_identical() {
+    // The shard partition is a function of (n_data, shards) only and
+    // the reduction runs in fixed shard order, so the monitored runtime
+    // must replay exactly no matter how many inner threads evaluate the
+    // likelihood shards.
+    let detector = ConvergenceDetector::new()
+        .with_check_every(20)
+        .with_min_iters(40);
+    let runs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            let model = ShardedModel::new("gauss_shards", GaussShards::synthetic(64));
+            let cfg = RunConfig::new(200)
+                .with_chains(2)
+                .with_seed(11)
+                .with_inner_threads(t);
+            run_until_converged(&Nuts::default(), &model, &cfg, &detector)
+        })
+        .collect();
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        let t = [1usize, 2, 8][i];
+        assert_eq!(
+            r.stopped_at, runs[0].stopped_at,
+            "inner_threads={t} changed the stop decision"
+        );
+        assert_eq!(
+            draws_of(&r.run),
+            draws_of(&runs[0].run),
+            "inner_threads={t} changed the draws"
+        );
+    }
+}
+
+#[test]
+fn single_shard_model_samples_bitwise_with_the_serial_adapter() {
+    // One shard records prior + likelihood on one tape — the exact
+    // serial expression — so the sharded adapter must not perturb the
+    // trajectory at all, draw for draw. The inner-thread hint on the
+    // sharded run is deliberate: a single shard ignores it.
+    let serial_model = AdModel::new("gauss_shards", GaussShards::synthetic(64));
+    let serial = chain::run(
+        &Nuts::default(),
+        &serial_model,
+        &RunConfig::new(250).with_chains(2).with_seed(5),
+    );
+    let sharded_model =
+        ShardedModel::new("gauss_shards", GaussShards::synthetic(64)).with_shards(1);
+    let sharded = chain::run(
+        &Nuts::default(),
+        &sharded_model,
+        &RunConfig::new(250)
+            .with_chains(2)
+            .with_seed(5)
+            .with_inner_threads(4),
+    );
+    assert_eq!(draws_of(&serial), draws_of(&sharded));
 }
 
 #[test]

@@ -58,7 +58,12 @@ fn nuts_matches_conjugate_posterior() {
 
     let model = AdModel::new(
         "conjugate",
-        ConjugateNormal { data, sigma, mu0, tau0 },
+        ConjugateNormal {
+            data,
+            sigma,
+            mu0,
+            tau0,
+        },
     );
     let cfg = RunConfig::new(3000).with_chains(4).with_seed(9);
     let run = chain::run(&Nuts::default(), &model, &cfg);

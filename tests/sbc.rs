@@ -61,9 +61,5 @@ fn sbc_full_sweep_over_every_workload() {
             failures.push(format!("{} (min p {:.2e})", out.case, out.min_p()));
         }
     }
-    assert!(
-        failures.is_empty(),
-        "SBC failures: {}",
-        failures.join(", ")
-    );
+    assert!(failures.is_empty(), "SBC failures: {}", failures.join(", "));
 }

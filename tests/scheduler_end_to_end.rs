@@ -2,8 +2,8 @@
 //! elision, over real BayesSuite workloads (reduced scales for speed).
 
 use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
-use bayes_sched::{ElisionStudy, LlcMissPredictor, PlatformScheduler, StudyConfig};
 use bayes_sched::predictor::MissSample;
+use bayes_sched::{ElisionStudy, LlcMissPredictor, PlatformScheduler, StudyConfig};
 use bayes_suite::registry;
 
 /// Trains a predictor from simulated Figure 3 points at full scale for
@@ -15,8 +15,19 @@ fn fig3_samples() -> Vec<MissSample> {
         .map(|name| {
             let w = registry::workload(name, 1.0, 11).expect("known");
             let sig = WorkloadSignature::measure(&w, 10, 3);
-            let r = characterize(&sig, &sky, &SimConfig { cores: 4, chains: 4, iters: 40 });
-            MissSample { data_bytes: sig.data_bytes, mpki: r.llc_mpki }
+            let r = characterize(
+                &sig,
+                &sky,
+                &SimConfig {
+                    cores: 4,
+                    chains: 4,
+                    iters: 40,
+                },
+            );
+            MissSample {
+                data_bytes: sig.data_bytes,
+                mpki: r.llc_mpki,
+            }
         })
         .collect()
 }
@@ -28,7 +39,10 @@ fn predictor_classifies_the_llc_bound_trio() {
         let w = registry::workload(name, 1.0, 11).expect("known");
         let bound = predictor.is_llc_bound(w.meta().modeled_data_bytes);
         let expected = matches!(*name, "ad" | "survival" | "tickets");
-        assert_eq!(bound, expected, "{name}: bound={bound}, expected={expected}");
+        assert_eq!(
+            bound, expected,
+            "{name}: bound={bound}, expected={expected}"
+        );
     }
 }
 
@@ -42,10 +56,18 @@ fn scheduler_beats_all_broadwell_placement() {
         let sig = WorkloadSignature::measure(&w, 10, 3);
         let choice = scheduler.schedule(
             &sig,
-            &SimConfig { cores: 4, chains: 4, iters: sig.default_iters },
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: sig.default_iters,
+            },
         );
         // The scheduler must never be slower than its own baseline.
-        assert!(choice.speedup() >= 1.0 - 1e-9, "{name}: {}", choice.speedup());
+        assert!(
+            choice.speedup() >= 1.0 - 1e-9,
+            "{name}: {}",
+            choice.speedup()
+        );
         speedups.push(choice.speedup());
     }
     // Per-workload average, the paper's 1.16× metric.
@@ -61,7 +83,12 @@ fn elision_saves_work_and_preserves_quality_on_a_real_workload() {
     let w = registry::workload("butterfly", 1.0, 11).expect("known");
     let study = ElisionStudy::run(
         w.dynamics_model(),
-        &StudyConfig { chains: 4, iters: 1200, seed: 5, check_every: 50 },
+        &StudyConfig {
+            chains: 4,
+            iters: 1200,
+            seed: 5,
+            check_every: 50,
+        },
     );
     let at = study.converged_at.expect("butterfly converges");
     assert!(at < 1200, "stopped early at {at}");

@@ -1,0 +1,213 @@
+//! Gradient equivalence of the sharded-likelihood layer on real
+//! workloads, plus the profile-aggregation bound that keeps archsim
+//! signatures stable.
+//!
+//! The densities under test implement both `LogDensity` (serial, via
+//! `AdModel`) and `ShardedDensity` (via `ShardedModel`), with the
+//! serial evaluation written as `ln_prior + ln_likelihood_shard(0..n)`.
+//! One shard must therefore reproduce the serial path *bitwise*; any
+//! other shard count only reassociates the likelihood sum, so value and
+//! gradient must agree to a few ulps scaled by magnitude.
+
+use bayes_mcmc::{shard_ranges, AdModel, LogDensity, Model, ShardedDensity, ShardedModel};
+use bayes_suite::workloads::survival::{SurvivalData, SurvivalDensity};
+use bayes_suite::workloads::tickets::{TicketsData, TicketsDensity};
+use bayes_suite::workloads::votes::{VotesData, VotesDensity};
+use proptest::prelude::*;
+
+/// Reassociation tolerance: relative 1e-9, which is ~1e7 ulps of
+/// headroom over the worst observed reassociation error on these
+/// likelihood magnitudes (|lp| up to ~1e4).
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Asserts serial-vs-sharded agreement of value and gradient; bitwise
+/// when `ranges == 1` collapses the model to the serial shape.
+fn check_equivalence<D>(serial: &AdModel<D>, sharded: &ShardedModel<D>, theta: &[f64])
+where
+    D: LogDensity + ShardedDensity,
+{
+    let dim = Model::dim(serial);
+    let mut gs = vec![0.0; dim];
+    let mut gh = vec![0.0; dim];
+    let vs = serial.ln_posterior_grad(theta, &mut gs);
+    let vh = sharded.ln_posterior_grad(theta, &mut gh);
+    if sharded.shards() == 1 {
+        assert_eq!(vs, vh, "single shard must be bitwise serial");
+        assert_eq!(gs, gh, "single-shard gradient must be bitwise serial");
+    } else {
+        assert!(close(vs, vh), "value {vs} vs {vh}");
+        for i in 0..dim {
+            assert!(close(gs[i], gh[i]), "grad[{i}]: {} vs {}", gs[i], gh[i]);
+        }
+    }
+}
+
+/// Deterministic off-origin point so the likelihood terms have varied
+/// magnitudes; `scale` and `shift` come from proptest.
+fn theta_for(dim: usize, scale: f64, shift: f64) -> Vec<f64> {
+    (0..dim)
+        .map(|i| shift + scale * (((i * 37 + 11) % 17) as f64 / 17.0 - 0.5))
+        .collect()
+}
+
+proptest! {
+    // Each case builds full models and runs several gradient sweeps;
+    // 48 cases keeps the three workload tests within tier-1 budget.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn survival_sharded_gradient_matches_serial(
+        shards in 1usize..40,
+        scale in 0.1..1.5f64,
+        shift in -0.8..0.8f64,
+        n in 40usize..120,
+    ) {
+        let serial = AdModel::new("survival", SurvivalDensity::new(SurvivalData::generate(n, 5)));
+        let sharded = ShardedModel::new("survival", SurvivalDensity::new(SurvivalData::generate(n, 5)))
+            .with_shards(shards);
+        let theta = theta_for(Model::dim(&serial), scale, shift);
+        check_equivalence(&serial, &sharded, &theta);
+    }
+
+    #[test]
+    fn tickets_sharded_gradient_matches_serial(
+        shards in 1usize..40,
+        scale in 0.1..1.2f64,
+        shift in -0.6..0.6f64,
+        officers in 2usize..8,
+    ) {
+        let serial = AdModel::new("tickets", TicketsDensity::new(TicketsData::generate(officers, 7)));
+        let sharded =
+            ShardedModel::new("tickets", TicketsDensity::new(TicketsData::generate(officers, 7)))
+                .with_shards(shards);
+        let theta = theta_for(Model::dim(&serial), scale, shift);
+        check_equivalence(&serial, &sharded, &theta);
+    }
+
+    #[test]
+    fn votes_sharded_gradient_matches_serial(
+        shards in 1usize..40,
+        scale in 0.1..1.0f64,
+        shift in -0.5..0.5f64,
+    ) {
+        // The marginalized GP exposes one indivisible shard, so every
+        // shard count collapses to the bitwise-serial configuration.
+        let serial = AdModel::new("votes", VotesDensity::new(VotesData::generate(12, 3)));
+        let sharded = ShardedModel::new("votes", VotesDensity::new(VotesData::generate(12, 3)))
+            .with_shards(shards);
+        prop_assert_eq!(sharded.shards(), 1);
+        let theta = theta_for(Model::dim(&serial), scale, shift);
+        check_equivalence(&serial, &sharded, &theta);
+    }
+
+    #[test]
+    fn arbitrary_shard_boundaries_sum_to_the_full_likelihood(
+        n in 20usize..100,
+        cuts in proptest::collection::vec(0.0..1.0f64, 0..6),
+        scale in 0.1..1.0f64,
+    ) {
+        // Random contiguous partition, not just the equal-split one
+        // `shard_ranges` produces: cut points anywhere in 0..n.
+        let density = SurvivalDensity::new(SurvivalData::generate(n, 9));
+        let theta = theta_for(ShardedDensity::dim(&density), scale, 0.1);
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| (c * n as f64) as usize).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        let full: f64 = density.ln_likelihood_shard(&theta, 0..n);
+        let pieces: f64 = bounds
+            .windows(2)
+            .map(|w| density.ln_likelihood_shard(&theta, w[0]..w[1]))
+            .sum();
+        prop_assert!(close(full, pieces), "full {full} vs pieces {pieces}");
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_for_any_input(n in 0usize..500, shards in 1usize..64) {
+        let ranges = shard_ranges(n, shards);
+        let mut next = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+}
+
+/// Per-shard bookkeeping allowance: re-seeded parameter leaves plus
+/// re-hoisted parameter transforms, generously bounded.
+fn node_slack(shards: usize, dim: usize) -> usize {
+    shards * (32 * dim + 128)
+}
+
+fn transcendental_slack(shards: usize, dim: usize) -> usize {
+    shards * (16 * dim + 64)
+}
+
+/// The aggregated sharded profile must cover the serial tape exactly up
+/// to bounded per-shard bookkeeping, so archsim working-set signatures
+/// do not drift when a workload switches to the sharded layer.
+fn check_profile_aggregation<D>(serial: &AdModel<D>, sharded: &ShardedModel<D>)
+where
+    D: LogDensity + ShardedDensity,
+{
+    let dim = Model::dim(serial);
+    let theta = theta_for(dim, 0.4, 0.1);
+    let ps = serial.grad_profile(&theta);
+    let ph = sharded.grad_profile(&theta);
+    let shards = sharded.shards();
+    assert!(
+        ph.tape_nodes >= ps.tape_nodes,
+        "sharded tape must cover the serial work: {} < {}",
+        ph.tape_nodes,
+        ps.tape_nodes
+    );
+    assert!(
+        ph.tape_nodes <= ps.tape_nodes + node_slack(shards, dim),
+        "node overhead beyond bookkeeping slack: {} vs serial {}",
+        ph.tape_nodes,
+        ps.tape_nodes
+    );
+    assert!(ph.transcendental_nodes >= ps.transcendental_nodes);
+    assert!(ph.transcendental_nodes <= ps.transcendental_nodes + transcendental_slack(shards, dim));
+    // Bytes are a fixed multiple of nodes, so the same bound transfers.
+    assert!(ph.tape_bytes >= ps.tape_bytes);
+}
+
+#[test]
+fn survival_profile_aggregates_within_slack() {
+    let serial = AdModel::new(
+        "survival",
+        SurvivalDensity::new(SurvivalData::generate(400, 11)),
+    );
+    let sharded = ShardedModel::new(
+        "survival",
+        SurvivalDensity::new(SurvivalData::generate(400, 11)),
+    );
+    check_profile_aggregation(&serial, &sharded);
+}
+
+#[test]
+fn tickets_profile_aggregates_within_slack() {
+    let serial = AdModel::new(
+        "tickets",
+        TicketsDensity::new(TicketsData::generate(12, 13)),
+    );
+    let sharded = ShardedModel::new(
+        "tickets",
+        TicketsDensity::new(TicketsData::generate(12, 13)),
+    );
+    check_profile_aggregation(&serial, &sharded);
+}
+
+#[test]
+fn profile_is_independent_of_inner_threads() {
+    let theta = theta_for(13, 0.3, 0.0);
+    let a = ShardedModel::new("tickets", TicketsDensity::new(TicketsData::generate(8, 17)));
+    let b = ShardedModel::new("tickets", TicketsDensity::new(TicketsData::generate(8, 17)));
+    b.set_inner_threads(4);
+    assert_eq!(a.grad_profile(&theta), b.grad_profile(&theta));
+}

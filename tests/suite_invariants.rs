@@ -11,8 +11,9 @@ fn every_workload_has_finite_density_and_gradient_at_typical_points() {
         for model in [w.model(), w.dynamics_model()] {
             let dim = model.dim();
             for scale in [0.0, 0.3, -0.3] {
-                let theta: Vec<f64> =
-                    (0..dim).map(|i| scale * (1.0 + (i % 3) as f64) / 3.0).collect();
+                let theta: Vec<f64> = (0..dim)
+                    .map(|i| scale * (1.0 + (i % 3) as f64) / 3.0)
+                    .collect();
                 let lp = model.ln_posterior(&theta);
                 assert!(lp.is_finite(), "{name}: lp not finite at scale {scale}");
                 let mut g = vec![0.0; dim];
@@ -52,11 +53,33 @@ fn more_cores_never_increase_simulated_energy_efficiency_paradoxically() {
     for name in ["12cities", "votes", "ad"] {
         let w = registry::workload(name, 0.5, 5).expect("known");
         let sig = WorkloadSignature::measure(&w, 8, 2);
-        let r1 = characterize(&sig, &sky, &SimConfig { cores: 1, chains: 4, iters: 50 });
-        let r4 = characterize(&sig, &sky, &SimConfig { cores: 4, chains: 4, iters: 50 });
+        let r1 = characterize(
+            &sig,
+            &sky,
+            &SimConfig {
+                cores: 1,
+                chains: 4,
+                iters: 50,
+            },
+        );
+        let r4 = characterize(
+            &sig,
+            &sky,
+            &SimConfig {
+                cores: 4,
+                chains: 4,
+                iters: 50,
+            },
+        );
         assert!(r1.time_s > 0.0 && r4.time_s > 0.0);
-        assert!(r4.time_s <= r1.time_s * 1.05, "{name}: 4 cores slower than 1");
-        assert!(r4.power_w > r1.power_w, "{name}: more cores draw more power");
+        assert!(
+            r4.time_s <= r1.time_s * 1.05,
+            "{name}: 4 cores slower than 1"
+        );
+        assert!(
+            r4.power_w > r1.power_w,
+            "{name}: more cores draw more power"
+        );
         assert!(r1.ipc > 0.1 && r1.ipc < 4.0, "{name}: ipc {}", r1.ipc);
     }
 }
@@ -69,7 +92,11 @@ fn broadwell_never_has_more_llc_misses_than_skylake() {
     for name in registry::workload_names() {
         let w = registry::workload(name, 1.0, 5).expect("known");
         let sig = WorkloadSignature::measure(&w, 6, 2);
-        let cfg = SimConfig { cores: 4, chains: 4, iters: 20 };
+        let cfg = SimConfig {
+            cores: 4,
+            chains: 4,
+            iters: 20,
+        };
         let rs = characterize(&sig, &sky, &cfg);
         let rb = characterize(&sig, &bdw, &cfg);
         assert!(
