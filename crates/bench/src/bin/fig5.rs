@@ -6,14 +6,16 @@ use bayes_core::prelude::*;
 use bayes_core::sched::StudyConfig;
 
 fn main() {
+    let trace = bayes_bench::trace_recorder_from_args();
     bayes_bench::banner(
         "Figure 5",
         "12cities convergence: R-hat (blue line) and KL to ground truth (green line).",
     );
     let w = registry::workload("12cities", 1.0, 42).expect("registry name");
-    let study = ElisionStudy::run(
+    let study = ElisionStudy::run_recorded(
         w.dynamics_model(),
         &StudyConfig::new(4, w.meta().default_iters).with_seed(42),
+        &trace,
     );
     println!("{:>6} {:>8} {:>12}", "iter", "R-hat", "KL");
     for ((t, r), (_, kl)) in study.rhat_trace.iter().zip(&study.kl_trace) {
@@ -34,4 +36,5 @@ fn main() {
         ),
         None => println!("\ndid not converge within the configured iterations"),
     }
+    trace.flush();
 }

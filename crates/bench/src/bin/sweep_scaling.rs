@@ -29,6 +29,7 @@ fn time_grad(model: &dyn Model, theta: &[f64], grad: &mut [f64]) -> f64 {
 }
 
 fn main() {
+    let trace = bayes_bench::trace_recorder_from_args();
     bayes_bench::banner(
         "Inner-thread scaling of the sharded likelihood",
         "Wall-clock per gradient at 1/2/4 inner threads, full-scale models; identical \
@@ -41,6 +42,7 @@ fn main() {
     );
     for name in registry::workload_names() {
         let w = registry::workload(name, 1.0, 42).expect("registry name");
+        w.attach_recorder(&trace);
         let model = w.model();
         let dim = model.dim();
         let theta: Vec<f64> = (0..dim).map(|i| 0.05 * ((i % 7) as f64 - 3.0)).collect();
@@ -75,7 +77,10 @@ fn main() {
             if bitwise { "ok" } else { "FAIL" }
         );
         model.set_inner_threads(1);
+        // One shard-sweep aggregate event per workload in the trace.
+        w.flush_telemetry();
     }
+    trace.flush();
     println!("\nThe LLC-bound trio (tickets, survival, ad) has the widest data sweeps and");
     println!("scales best; votes and ode have no shardable sweep and stay at 1.0x by design.");
 }

@@ -1,8 +1,10 @@
 //! Table II: a summary of experiment platforms.
 
+use bayes_core::obs::Event;
 use bayes_core::prelude::Platform;
 
 fn main() {
+    let trace = bayes_bench::trace_recorder_from_args();
     bayes_bench::banner("Table II", "A summary of experiment platforms.");
     println!(
         "{:<10} {:<12} {:<10} {:>9} {:>11} {:>6} {:>9} {:>16} {:>8}",
@@ -17,6 +19,16 @@ fn main() {
         "TDP (W)"
     );
     for p in Platform::table2() {
+        if trace.enabled() {
+            trace.record(Event::Platform {
+                name: p.name.to_string(),
+                processor: p.processor.to_string(),
+                cores: p.cores as u64,
+                llc_bytes: p.llc_bytes as u64,
+                mem_bw_gbs: p.mem_bw_gbs,
+                tdp_w: p.tdp_w,
+            });
+        }
         println!(
             "{:<10} {:<12} {:<10} {:>9} {:>11.1} {:>6} {:>9} {:>16.1} {:>8.0}",
             p.name,
@@ -30,4 +42,5 @@ fn main() {
             p.tdp_w
         );
     }
+    trace.flush();
 }

@@ -5,7 +5,33 @@
 //! original. The harness keeps the expensive steps (signature
 //! measurement) in one place so figures stay consistent.
 
+use bayes_core::obs::JsonlRecorder;
 use bayes_core::prelude::*;
+use std::sync::Arc;
+
+/// Builds a recorder from the process arguments: `--trace <path>`
+/// streams every event as one JSON line to `path`; without the flag
+/// the returned handle is the null recorder and recording costs
+/// nothing. Exits with status 2 if the trace file cannot be created.
+pub fn trace_recorder_from_args() -> RecorderHandle {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--trace" {
+            let Some(path) = argv.next() else {
+                eprintln!("--trace requires a file path");
+                std::process::exit(2);
+            };
+            match JsonlRecorder::create(&path) {
+                Ok(rec) => return RecorderHandle::new(Arc::new(rec)),
+                Err(err) => {
+                    eprintln!("cannot create trace file {path}: {err}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    RecorderHandle::null()
+}
 
 /// A workload together with its measured signature.
 pub struct Measured {

@@ -22,6 +22,7 @@ pub use bayes_archsim as archsim;
 pub use bayes_autodiff as autodiff;
 pub use bayes_linalg as linalg;
 pub use bayes_mcmc as mcmc;
+pub use bayes_obs as obs;
 pub use bayes_odeint as odeint;
 pub use bayes_prob as prob;
 pub use bayes_sched as sched;
@@ -30,6 +31,7 @@ pub use bayes_suite as suite;
 use bayes_archsim::{characterize, PerfReport, Platform, SimConfig, WorkloadSignature};
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::{chain, RunConfig};
+use bayes_obs::{Event, RecorderHandle};
 
 /// Common imports for application code.
 pub mod prelude {
@@ -38,6 +40,9 @@ pub mod prelude {
     pub use bayes_mcmc::nuts::Nuts;
     pub use bayes_mcmc::{
         chain, AdModel, ConvergenceDetector, LogDensity, Model, MultiChainRun, RunConfig,
+    };
+    pub use bayes_obs::{
+        Event, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle,
     };
     pub use bayes_sched::{DesignSpace, ElisionStudy, LlcMissPredictor, Pipeline};
     pub use bayes_suite::{registry, Workload, WorkloadMeta};
@@ -88,9 +93,29 @@ pub fn run_workload(
     chains: usize,
     seed: u64,
 ) -> Result<RunSummary, CoreError> {
+    run_workload_recorded(name, iters, chains, seed, &RecorderHandle::null())
+}
+
+/// [`run_workload`] with observability: sampler iteration events and
+/// run lifecycle events flow into `recorder`. Recording never perturbs
+/// the draws — the summary is bit-identical to [`run_workload`]'s.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownWorkload`] for an unregistered name.
+pub fn run_workload_recorded(
+    name: &str,
+    iters: usize,
+    chains: usize,
+    seed: u64,
+    recorder: &RecorderHandle,
+) -> Result<RunSummary, CoreError> {
     let w = bayes_suite::registry::workload(name, 1.0, seed)
         .ok_or_else(|| CoreError::UnknownWorkload(name.to_string()))?;
-    let cfg = RunConfig::new(iters).with_chains(chains).with_seed(seed);
+    let cfg = RunConfig::new(iters)
+        .with_chains(chains)
+        .with_seed(seed)
+        .with_recorder(recorder.clone());
     let run = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
     let dim = run.dim;
     Ok(RunSummary {
@@ -114,10 +139,26 @@ pub fn characterize_workload(
     cores: usize,
     seed: u64,
 ) -> Result<PerfReport, CoreError> {
+    characterize_workload_recorded(name, platform, cores, seed, &RecorderHandle::null())
+}
+
+/// [`characterize_workload`] with observability: the simulated counter
+/// snapshot is recorded as one [`Event::Counters`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownWorkload`] for an unregistered name.
+pub fn characterize_workload_recorded(
+    name: &str,
+    platform: &Platform,
+    cores: usize,
+    seed: u64,
+    recorder: &RecorderHandle,
+) -> Result<PerfReport, CoreError> {
     let w = bayes_suite::registry::workload(name, 1.0, seed)
         .ok_or_else(|| CoreError::UnknownWorkload(name.to_string()))?;
     let sig = WorkloadSignature::measure(&w, 20, seed);
-    Ok(characterize(
+    let report = characterize(
         &sig,
         platform,
         &SimConfig {
@@ -125,7 +166,20 @@ pub fn characterize_workload(
             chains: sig.default_chains,
             iters: sig.default_iters,
         },
-    ))
+    );
+    if recorder.enabled() {
+        recorder.record(Event::Counters {
+            workload: report.workload.clone(),
+            platform: report.platform.to_string(),
+            cores: report.config.cores as u64,
+            ipc: report.ipc,
+            llc_mpki: report.llc_mpki,
+            bandwidth_gbs: report.bandwidth_gbs,
+            time_s: report.time_s,
+            energy_j: report.energy_j,
+        });
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -154,5 +208,53 @@ mod tests {
         let r = characterize_workload("12cities", &Platform::skylake(), 4, 5).unwrap();
         assert!(r.ipc > 0.0);
         assert!(r.time_s > 0.0);
+    }
+
+    #[test]
+    fn recorded_run_matches_unrecorded_and_emits_events() {
+        use bayes_obs::{Event, MemoryRecorder, RecorderHandle};
+        use std::sync::Arc;
+
+        let plain = run_workload("butterfly", 120, 2, 9).unwrap();
+        let mem = Arc::new(MemoryRecorder::new());
+        let rec = RecorderHandle::new(mem.clone());
+        let traced = run_workload_recorded("butterfly", 120, 2, 9, &rec).unwrap();
+        assert_eq!(plain.means, traced.means, "recording perturbed draws");
+        assert_eq!(plain.grad_evals, traced.grad_evals);
+
+        let events = mem.take();
+        assert!(matches!(events.first(), Some(Event::RunStart { .. })));
+        assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+        let iters = events
+            .iter()
+            .filter(|e| matches!(e, Event::Iteration { .. }))
+            .count();
+        assert_eq!(iters, 120 * 2, "one iteration event per iteration");
+    }
+
+    #[test]
+    fn characterize_recorded_emits_one_counters_event() {
+        use bayes_obs::{Event, MemoryRecorder, RecorderHandle};
+        use std::sync::Arc;
+
+        let mem = Arc::new(MemoryRecorder::new());
+        let rec = RecorderHandle::new(mem.clone());
+        let r =
+            characterize_workload_recorded("12cities", &Platform::skylake(), 4, 5, &rec).unwrap();
+        let events = mem.take();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::Counters {
+                workload,
+                cores,
+                ipc,
+                ..
+            } => {
+                assert_eq!(workload, &r.workload);
+                assert_eq!(*cores, 4);
+                assert!((ipc - r.ipc).abs() < 1e-12);
+            }
+            other => panic!("expected Counters, got {other:?}"),
+        }
     }
 }

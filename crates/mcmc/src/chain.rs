@@ -6,6 +6,7 @@
 
 use crate::model::Model;
 use crate::stream::{Purpose, StreamKey};
+use bayes_obs::{Event, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +41,14 @@ pub struct RunConfig {
     /// chains×inner-threads split is what `bayes_sched::core_split`
     /// chooses. Results are bit-identical for every setting.
     pub inner_threads: Option<usize>,
+    /// Observability sink for this run. Defaults to the disabled null
+    /// handle, which costs one branch per would-be event; recording
+    /// never perturbs draws (no RNG use in any recording path).
+    pub recorder: RecorderHandle,
+    /// Index of the chain this config drives, set by the runner via
+    /// [`RunConfig::for_chain`] so samplers can tag their
+    /// per-iteration events.
+    pub chain_index: usize,
 }
 
 impl RunConfig {
@@ -52,6 +61,8 @@ impl RunConfig {
             seed: 0,
             parallelism: Parallelism::Sequential,
             inner_threads: None,
+            recorder: RecorderHandle::null(),
+            chain_index: 0,
         }
     }
 
@@ -84,6 +95,23 @@ impl RunConfig {
     pub fn with_inner_threads(mut self, threads: usize) -> Self {
         self.inner_threads = Some(threads.max(1));
         self
+    }
+
+    /// Attaches an event recorder (see `bayes_obs`). The runtime emits
+    /// run/iteration/checkpoint events into it; with the default null
+    /// handle every emission site reduces to one branch.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// A copy of this config tagged with the index of the chain it
+    /// drives. The multi-chain runners hand each sampler invocation a
+    /// `for_chain` copy so per-iteration events carry their chain.
+    pub fn for_chain(&self, chain: usize) -> Self {
+        let mut cfg = self.clone();
+        cfg.chain_index = chain;
+        cfg
     }
 
     /// Resolves the inner-thread count: an explicit
@@ -266,13 +294,24 @@ pub(crate) fn initial_points(cfg: &RunConfig, dim: usize) -> Vec<Vec<f64>> {
 /// reproducible under either parallelism mode.
 pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
     model.set_inner_threads(cfg.effective_inner_threads());
+    model.set_recorder(&cfg.recorder);
+    if cfg.recorder.enabled() {
+        cfg.recorder.record(Event::RunStart {
+            model: model.name().to_string(),
+            chains: cfg.chains as u64,
+            iters: cfg.iters as u64,
+            seed: cfg.seed,
+        });
+    }
     let inits = initial_points(cfg, model.dim());
 
     let chains: Vec<ChainOutput> = match cfg.parallelism {
         Parallelism::Sequential => inits
             .iter()
             .enumerate()
-            .map(|(c, init)| sampler.sample_chain(model, init, cfg, cfg.chain_seed(c)))
+            .map(|(c, init)| {
+                sampler.sample_chain(model, init, &cfg.for_chain(c), cfg.chain_seed(c))
+            })
             .collect(),
         Parallelism::Threads => {
             // Join every handle and collect the per-chain results so a
@@ -285,9 +324,9 @@ pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> Multi
                         .iter()
                         .enumerate()
                         .map(|(c, init)| {
-                            scope.spawn(move |_| {
-                                sampler.sample_chain(model, init, cfg, cfg.chain_seed(c))
-                            })
+                            let cfg_c = cfg.for_chain(c);
+                            let seed = cfg.chain_seed(c);
+                            scope.spawn(move |_| sampler.sample_chain(model, init, &cfg_c, seed))
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join()).collect()
@@ -296,6 +335,18 @@ pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> Multi
             collect_chain_results(results, model.name())
         }
     };
+
+    model.flush_telemetry();
+    if cfg.recorder.enabled() {
+        cfg.recorder.record(Event::RunEnd {
+            model: model.name().to_string(),
+            chains: chains.len() as u64,
+            stopped_at: None,
+            total_draws: chains.iter().map(|c| c.draws.len() as u64).sum(),
+            divergences: chains.iter().map(|c| c.divergences).sum(),
+        });
+        cfg.recorder.flush();
+    }
 
     MultiChainRun {
         chains,

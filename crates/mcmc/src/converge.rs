@@ -11,6 +11,7 @@
 
 use crate::chain::MultiChainRun;
 use crate::diag;
+use bayes_obs::{CheckpointSource, Event, RecorderHandle};
 
 /// Online/offline convergence detector.
 #[derive(Debug, Clone)]
@@ -29,6 +30,36 @@ impl Default for ConvergenceDetector {
             min_iters: 200,
             consecutive: 3,
         }
+    }
+}
+
+/// The iterations at which a detector evaluates R̂, shared verbatim by
+/// the online monitor (`run_until_converged`) and the post-hoc replay
+/// ([`ConvergenceDetector::detect`]) so the two can never disagree on
+/// where a run stops.
+///
+/// The walk starts at `min_iters.max(check_every)` and advances by
+/// `check_every.max(t / 8)`: a fixed cadence early, growing
+/// geometrically once `t` exceeds `8 × check_every` so that late
+/// checkpoints — each an O(t) R̂ computation — stay O(total) in
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct CheckpointSchedule {
+    next: usize,
+    cadence: usize,
+    total: usize,
+}
+
+impl Iterator for CheckpointSchedule {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next > self.total {
+            return None;
+        }
+        let t = self.next;
+        self.next += self.cadence.max(t / 8);
+        Some(t)
     }
 }
 
@@ -133,6 +164,17 @@ impl ConvergenceDetector {
         self.consecutive
     }
 
+    /// The checkpoint iterations this detector evaluates on a run of
+    /// `total` iterations — the single source of truth for both the
+    /// online monitor and the post-hoc replay.
+    pub fn checkpoints(&self, total: usize) -> CheckpointSchedule {
+        CheckpointSchedule {
+            next: self.min_iters.max(self.check_every),
+            cadence: self.check_every.max(1),
+            total,
+        }
+    }
+
     /// Max R̂ across parameters using draws `[t/2, t)` of each chain —
     /// the quantity a runtime implementation computes in place.
     ///
@@ -143,6 +185,13 @@ impl ConvergenceDetector {
             return f64::NAN;
         }
         let dim = chains[0].first().map_or(0, Vec::len);
+        if dim == 0 {
+            // No draws in chain 0 (or zero-dimensional draws): the fold
+            // below would be empty and return -inf, which downstream
+            // code could mistake for "converged". Not-enough-data is
+            // NaN.
+            return f64::NAN;
+        }
         let lo = t / 2;
         (0..dim)
             .map(|j| {
@@ -157,15 +206,29 @@ impl ConvergenceDetector {
 
     /// Scans a finished run and reports where it would have stopped —
     /// used for the convergence studies (Figure 5) and by the
-    /// scheduler's elision runner.
+    /// scheduler's elision runner. Walks the same
+    /// [`ConvergenceDetector::checkpoints`] schedule as the online
+    /// monitor, so `detect(...).converged_at` matches
+    /// `run_until_converged(...).stopped_at` whenever the stop flag is
+    /// honoured at an iteration boundary.
     pub fn detect(&self, run: &MultiChainRun) -> ConvergenceReport {
+        self.detect_recorded(run, &RecorderHandle::null())
+    }
+
+    /// [`ConvergenceDetector::detect`] with a checkpoint event emitted
+    /// to `recorder` for every schedule entry
+    /// ([`CheckpointSource::PostHoc`]).
+    pub fn detect_recorded(
+        &self,
+        run: &MultiChainRun,
+        recorder: &RecorderHandle,
+    ) -> ConvergenceReport {
         let chains: Vec<&[Vec<f64>]> = run.chains.iter().map(|c| c.draws.as_slice()).collect();
         let total = chains.iter().map(|c| c.len()).min().unwrap_or(0);
         let mut trace = Vec::new();
         let mut converged_at = None;
         let mut streak = 0usize;
-        let mut t = self.min_iters.max(self.check_every);
-        while t <= total {
+        for t in self.checkpoints(total) {
             let r = self.rhat_at(&chains, t);
             trace.push((t, r));
             if r.is_finite() && r < self.threshold {
@@ -176,7 +239,15 @@ impl ConvergenceDetector {
             } else {
                 streak = 0;
             }
-            t += self.check_every;
+            if recorder.enabled() {
+                recorder.record(Event::Checkpoint {
+                    source: CheckpointSource::PostHoc,
+                    iter: t as u64,
+                    max_rhat: r,
+                    streak: streak as u64,
+                    converged: converged_at == Some(t),
+                });
+            }
         }
         ConvergenceReport {
             converged_at,
@@ -259,6 +330,73 @@ mod tests {
     fn rhat_at_handles_degenerate_input() {
         let det = ConvergenceDetector::new();
         assert!(det.rhat_at(&[], 100).is_nan());
+        // Chain 0 has no draws: the per-parameter fold is empty and
+        // used to return -inf, which reads as "converged".
+        let empty: &[Vec<f64>] = &[];
+        assert!(det.rhat_at(&[empty], 100).is_nan());
+        // Zero-dimensional draws are equally meaningless.
+        let zero_dim: Vec<Vec<f64>> = vec![vec![]; 200];
+        assert!(det.rhat_at(&[&zero_dim], 100).is_nan());
+    }
+
+    #[test]
+    fn checkpoint_schedule_is_fixed_then_geometric() {
+        let det = ConvergenceDetector::new()
+            .with_check_every(50)
+            .with_min_iters(50);
+        let pts: Vec<usize> = det.checkpoints(1000).collect();
+        // While t <= 8 * cadence the stride is exactly the cadence …
+        assert!(pts.starts_with(&[50, 100, 150, 200, 250, 300, 350, 400, 450]));
+        // … then it grows as t/8, so the tail thins out.
+        let after: Vec<usize> = pts.iter().copied().filter(|&t| t > 450).collect();
+        assert_eq!(after, vec![506, 569, 640, 720, 810, 911]);
+        // The schedule never exceeds the run length.
+        assert!(pts.iter().all(|&t| t <= 1000));
+    }
+
+    #[test]
+    fn checkpoint_schedule_starts_at_min_iters_and_matches_detect() {
+        let run = merging_run(100, 500);
+        let det = ConvergenceDetector::new().with_check_every(100);
+        let report = det.detect(&run);
+        let from_schedule: Vec<usize> = det.checkpoints(500).collect();
+        let from_detect: Vec<usize> = report.rhat_trace.iter().map(|&(t, _)| t).collect();
+        assert_eq!(from_schedule, from_detect);
+        assert_eq!(from_schedule.first(), Some(&200), "starts at min_iters");
+    }
+
+    #[test]
+    fn detect_recorded_emits_one_checkpoint_per_schedule_entry() {
+        use bayes_obs::MemoryRecorder;
+        use std::sync::Arc;
+
+        let run = merging_run(300, 2000);
+        let det = ConvergenceDetector::new();
+        let mem = Arc::new(MemoryRecorder::new());
+        let report = det.detect_recorded(&run, &RecorderHandle::new(mem.clone()));
+        let events = mem.events();
+        let schedule: Vec<usize> = det.checkpoints(2000).collect();
+        assert_eq!(events.len(), schedule.len());
+        let mut declared = Vec::new();
+        for (ev, &t) in events.iter().zip(&schedule) {
+            match ev {
+                Event::Checkpoint {
+                    source,
+                    iter,
+                    converged,
+                    ..
+                } => {
+                    assert_eq!(*source, CheckpointSource::PostHoc);
+                    assert_eq!(*iter, t as u64);
+                    if *converged {
+                        declared.push(*iter as usize);
+                    }
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // Convergence is declared exactly once, at converged_at.
+        assert_eq!(declared, vec![report.converged_at.unwrap()]);
     }
 
     #[test]

@@ -68,8 +68,13 @@ impl Sampler for StaticHmc {
         let mut draws = Vec::with_capacity(cfg.iters);
         let mut accept_sum = 0.0;
         let mut divergences = 0u64;
+        // Observation only: events are built from values the iteration
+        // computed anyway, after all RNG use (see `bayes_obs`).
+        let recording = cfg.recorder.enabled();
 
         for iter in 0..cfg.iters {
+            let evals_at_start = grad_evals;
+            let eps_used = eps;
             let p0 = ham.draw_momentum(&mut rng);
             let h0 = ham.log_joint(&state, &p0);
             let mut s = state.clone();
@@ -97,6 +102,17 @@ impl Sampler for StaticHmc {
             }
             if iter >= cfg.warmup {
                 accept_sum += accept_prob;
+            }
+            if recording {
+                cfg.recorder.record(bayes_obs::Event::Iteration {
+                    chain: cfg.chain_index as u64,
+                    iter: iter as u64,
+                    step_size: eps_used,
+                    tree_depth: 0, // static HMC builds no tree
+                    leapfrogs: grad_evals - evals_at_start,
+                    divergent: diverged,
+                    accept: accept_prob,
+                });
             }
 
             if iter < cfg.warmup {

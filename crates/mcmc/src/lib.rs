@@ -25,6 +25,13 @@
 //! * [`stream`] — deterministic RNG stream derivation
 //!   ([`stream::StreamKey`]) that makes every multi-chain run
 //!   bit-reproducible from a single seed.
+//!
+//! Observability: attach a [`bayes_obs::RecorderHandle`] via
+//! [`RunConfig::with_recorder`] and the runtime emits structured
+//! events — per-iteration sampler stats from NUTS/HMC, checkpoint
+//! events from both convergence walkers, and shard-sweep aggregates
+//! from [`ShardedModel`]. Recording is observation only and never
+//! perturbs draws (`bayes_obs` is re-exported as [`obs`]).
 
 pub mod chain;
 pub mod converge;
@@ -43,8 +50,10 @@ pub mod vi;
 mod adapt;
 mod dynamics;
 
+pub use bayes_obs as obs;
+
 pub use chain::{MultiChainRun, Parallelism, RunConfig};
-pub use converge::{ConvergenceDetector, ConvergenceReport};
+pub use converge::{CheckpointSchedule, ConvergenceDetector, ConvergenceReport};
 pub use model::{
     shard_ranges, AdModel, EvalProfile, LogDensity, Model, ShardedDensity, ShardedModel,
     DEFAULT_SHARDS,

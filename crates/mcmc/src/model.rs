@@ -3,9 +3,11 @@
 
 use crate::par;
 use bayes_autodiff::{grad_of, grad_of_in, Real, Tape, TapeStats, Var};
+use bayes_obs::{Event, RecorderHandle};
 use rand::Rng;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Cost profile of one gradient evaluation, used by the architecture
 /// simulation as the working-set and instruction-count probe
@@ -60,6 +62,18 @@ pub trait Model: Send + Sync {
     /// mutability keeps the receiver `&self` so the runtime can call it
     /// through `&dyn Model` before sampling starts.
     fn set_inner_threads(&self, _threads: usize) {}
+
+    /// Attaches an observability recorder for model-internal telemetry
+    /// (shard-sweep aggregates). Serial models ignore it; like
+    /// [`Model::set_inner_threads`], interior mutability keeps the
+    /// receiver `&self` so the runtime can call it through
+    /// `&dyn Model` before sampling starts.
+    fn set_recorder(&self, _recorder: &RecorderHandle) {}
+
+    /// Emits any telemetry accumulated since the last
+    /// [`Model::set_recorder`]/flush into the attached recorder. The
+    /// multi-chain runners call this once after sampling completes.
+    fn flush_telemetry(&self) {}
 }
 
 /// A log-density written once against [`Real`]; implementors get a
@@ -206,6 +220,34 @@ thread_local! {
     static SHARD_TAPE: Tape = Tape::new();
 }
 
+/// Aggregate shard-sweep telemetry, accumulated with relaxed atomics
+/// only while an enabled recorder is attached (`on`), so the untraced
+/// hot path pays one load per gradient. The counters are swapped to
+/// zero and emitted as one [`Event::ShardAggregate`] per flush.
+#[derive(Default)]
+struct ShardTelemetry {
+    on: AtomicBool,
+    sweeps: AtomicU64,
+    nanos: AtomicU64,
+    nodes: AtomicU64,
+    bytes: AtomicU64,
+    transcendental: AtomicU64,
+    recorder: parking_lot::Mutex<RecorderHandle>,
+}
+
+impl ShardTelemetry {
+    fn accumulate(&self, stats: TapeStats, elapsed: Option<std::time::Duration>) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.nodes.fetch_add(stats.nodes as u64, Ordering::Relaxed);
+        self.bytes.fetch_add(stats.bytes as u64, Ordering::Relaxed);
+        self.transcendental
+            .fetch_add(stats.transcendental as u64, Ordering::Relaxed);
+        if let Some(d) = elapsed {
+            self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Adapter turning a [`ShardedDensity`] into a [`Model`] whose gradient
 /// sweep evaluates likelihood shards on a private tape each — serially
 /// or on a per-chain [`WorkerPool`](crate::par::WorkerPool) — and
@@ -226,6 +268,7 @@ pub struct ShardedModel<D> {
     density: D,
     shards: usize,
     inner_threads: AtomicUsize,
+    telemetry: ShardTelemetry,
 }
 
 impl<D: ShardedDensity> ShardedModel<D> {
@@ -236,6 +279,7 @@ impl<D: ShardedDensity> ShardedModel<D> {
             density,
             shards: DEFAULT_SHARDS,
             inner_threads: AtomicUsize::new(1),
+            telemetry: ShardTelemetry::default(),
         }
     }
 
@@ -295,6 +339,11 @@ impl<D: ShardedDensity> Model for ShardedModel<D> {
         debug_assert_eq!(grad.len(), self.dim());
         let threads = self.inner_threads.load(Ordering::Relaxed).max(1);
         let ranges = self.ranges();
+        // Telemetry is observation only: it reads the tape stats the
+        // sweep produces anyway, touches no RNG, and cannot change the
+        // reduction — attaching a recorder leaves draws bit-identical.
+        let recording = self.telemetry.on.load(Ordering::Relaxed);
+        let t0 = recording.then(Instant::now);
 
         // One shard: record prior + likelihood on a single tape — the
         // exact expression a serial `AdModel` evaluates. A split
@@ -304,50 +353,57 @@ impl<D: ShardedDensity> Model for ShardedModel<D> {
         // one-tape path is bitwise-serial rather than ulp-close.
         if ranges.len() == 1 {
             let range = ranges[0].clone();
-            let (val, g, _) = SHARD_TAPE.with(|tape| {
+            let (val, g, stats) = SHARD_TAPE.with(|tape| {
                 grad_of_in(tape, theta, |v: &[Var<'_>]| {
                     self.density.ln_prior(v) + self.density.ln_likelihood_shard(v, range.clone())
                 })
             });
             grad.copy_from_slice(&g);
+            if recording {
+                self.telemetry.accumulate(stats, t0.map(|t| t.elapsed()));
+            }
             return val;
         }
 
-        let (prior_val, prior_grad, _) = grad_of(theta, |v: &[Var<'_>]| self.density.ln_prior(v));
+        let (prior_val, prior_grad, prior_stats) =
+            grad_of(theta, |v: &[Var<'_>]| self.density.ln_prior(v));
 
         // Per-shard result slots: written once each (dynamic thread
         // assignment), then combined below in ascending shard index —
         // the fixed-order reduction that makes the result independent
         // of `threads`.
-        let slots: Vec<parking_lot::Mutex<Option<(f64, Vec<f64>)>>> = ranges
+        let slots: Vec<parking_lot::Mutex<Option<(f64, Vec<f64>, TapeStats)>>> = ranges
             .iter()
             .map(|_| parking_lot::Mutex::new(None))
             .collect();
 
         if threads == 1 {
             for (i, range) in ranges.iter().enumerate() {
-                let (v, g, _) = self.eval_shard(theta, range.clone());
-                *slots[i].lock() = Some((v, g));
+                *slots[i].lock() = Some(self.eval_shard(theta, range.clone()));
             }
         } else {
             par::with_pool(threads, |pool| {
                 pool.run(ranges.len(), &|i| {
-                    let (v, g, _) = self.eval_shard(theta, ranges[i].clone());
-                    *slots[i].lock() = Some((v, g));
+                    *slots[i].lock() = Some(self.eval_shard(theta, ranges[i].clone()));
                 });
             });
         }
 
         let mut val = prior_val;
         grad.copy_from_slice(&prior_grad);
+        let mut stats = prior_stats;
         for slot in slots {
-            let (v, g) = slot
+            let (v, g, s) = slot
                 .into_inner()
                 .expect("every shard slot is filled before the pool returns");
             val += v;
+            stats += s;
             for (acc, gi) in grad.iter_mut().zip(&g) {
                 *acc += gi;
             }
+        }
+        if recording {
+            self.telemetry.accumulate(stats, t0.map(|t| t.elapsed()));
         }
         val
     }
@@ -369,6 +425,35 @@ impl<D: ShardedDensity> Model for ShardedModel<D> {
 
     fn set_inner_threads(&self, threads: usize) {
         self.inner_threads.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    fn set_recorder(&self, recorder: &RecorderHandle) {
+        *self.telemetry.recorder.lock() = recorder.clone();
+        self.telemetry
+            .on
+            .store(recorder.enabled(), Ordering::Relaxed);
+    }
+
+    fn flush_telemetry(&self) {
+        let sweeps = self.telemetry.sweeps.swap(0, Ordering::Relaxed);
+        let nodes = self.telemetry.nodes.swap(0, Ordering::Relaxed);
+        let bytes = self.telemetry.bytes.swap(0, Ordering::Relaxed);
+        let transcendental = self.telemetry.transcendental.swap(0, Ordering::Relaxed);
+        let nanos = self.telemetry.nanos.swap(0, Ordering::Relaxed);
+        if sweeps == 0 {
+            return;
+        }
+        let recorder = self.telemetry.recorder.lock().clone();
+        recorder.record(Event::ShardAggregate {
+            model: self.name.clone(),
+            sweeps,
+            shards: self.shards() as u64,
+            threads: self.inner_threads.load(Ordering::Relaxed) as u64,
+            tape_nodes: nodes,
+            tape_bytes: bytes,
+            transcendental,
+            elapsed_ns: nanos,
+        });
     }
 }
 
@@ -584,5 +669,64 @@ mod tests {
         let m = AdModel::new("q", Quadratic { dim: 2 });
         let as_dyn: &dyn Model = &m;
         as_dyn.set_inner_threads(4); // default no-op must not panic
+        as_dyn.set_recorder(&RecorderHandle::null());
+        as_dyn.flush_telemetry();
+    }
+
+    #[test]
+    fn shard_telemetry_flushes_one_aggregate_event() {
+        use bayes_obs::MemoryRecorder;
+        use std::sync::Arc;
+
+        let m = ShardedModel::new("g", GaussData::synthetic(64)).with_shards(8);
+        let mem = Arc::new(MemoryRecorder::new());
+        m.set_recorder(&RecorderHandle::new(mem.clone()));
+        let mut g = [0.0; 2];
+        for _ in 0..3 {
+            m.ln_posterior_grad(&[0.2, -0.1], &mut g);
+        }
+        m.flush_telemetry();
+        let events = mem.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::ShardAggregate {
+                model,
+                sweeps,
+                shards,
+                tape_nodes,
+                ..
+            } => {
+                assert_eq!(model, "g");
+                assert_eq!(*sweeps, 3);
+                assert_eq!(*shards, 8);
+                assert!(*tape_nodes > 0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // A second flush with no new sweeps emits nothing.
+        m.flush_telemetry();
+        assert_eq!(mem.len(), 1);
+        // Untraced sweeps are not accumulated.
+        m.set_recorder(&RecorderHandle::null());
+        m.ln_posterior_grad(&[0.2, -0.1], &mut g);
+        m.flush_telemetry();
+        assert_eq!(mem.len(), 1);
+    }
+
+    #[test]
+    fn recording_does_not_perturb_the_gradient() {
+        use bayes_obs::MemoryRecorder;
+        use std::sync::Arc;
+
+        let theta = [0.4, -0.3];
+        let plain = ShardedModel::new("g", GaussData::synthetic(64));
+        let traced = ShardedModel::new("g", GaussData::synthetic(64));
+        traced.set_recorder(&RecorderHandle::new(Arc::new(MemoryRecorder::new())));
+        let mut gp = [0.0; 2];
+        let mut gt = [0.0; 2];
+        let vp = plain.ln_posterior_grad(&theta, &mut gp);
+        let vt = traced.ln_posterior_grad(&theta, &mut gt);
+        assert_eq!(vp, vt);
+        assert_eq!(gp, gt);
     }
 }

@@ -248,9 +248,15 @@ impl Nuts {
         let mut evals_per_iter = Vec::with_capacity(cfg.iters);
         let mut accept_sum = 0.0;
         let mut divergences = 0u64;
+        // Recording is observation only: event payloads are built from
+        // values the iteration computed anyway, after all RNG use, so
+        // an attached recorder cannot perturb the draw stream.
+        let recording = cfg.recorder.enabled();
 
         for iter in 0..cfg.iters {
             let evals_at_start = grad_evals;
+            let eps_used = eps;
+            let mut depth_reached = 0usize;
             let p0 = ham.draw_momentum(&mut rng);
             let h0 = ham.log_joint(&state, &p0);
             let ln_u = h0 + rng.gen_range(0.0f64..1.0).ln();
@@ -269,6 +275,7 @@ impl Nuts {
             };
 
             for depth in 0..self.cfg.max_depth {
+                depth_reached = depth + 1;
                 let dir: f64 = if rng.gen_range(0.0..1.0) < 0.5 {
                     -1.0
                 } else {
@@ -337,6 +344,17 @@ impl Nuts {
             };
             if iter >= cfg.warmup {
                 accept_sum += accept_stat;
+            }
+            if recording {
+                cfg.recorder.record(bayes_obs::Event::Iteration {
+                    chain: cfg.chain_index as u64,
+                    iter: iter as u64,
+                    step_size: eps_used,
+                    tree_depth: depth_reached as u64,
+                    leapfrogs: grad_evals - evals_at_start,
+                    divergent: tree.diverged,
+                    accept: accept_stat,
+                });
             }
 
             if iter < cfg.warmup {

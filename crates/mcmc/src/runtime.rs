@@ -18,11 +18,15 @@
 //!
 //! Unlike [`crate::converge::ConvergenceDetector::detect`] (a post-hoc
 //! replay used by the studies), this never executes the elided
-//! iterations at all.
+//! iterations at all — but both walk the identical
+//! [`ConvergenceDetector::checkpoints`] schedule, so on a run where
+//! the stop flag never truncates mid-iteration the two report the
+//! same stop point.
 
 use crate::chain::{initial_points, ChainOutput, MultiChainRun, RunConfig, Sampler};
 use crate::converge::ConvergenceDetector;
 use crate::model::Model;
+use bayes_obs::{CheckpointSource, Event};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -102,6 +106,15 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
     detector: &ConvergenceDetector,
 ) -> ElidedRun {
     model.set_inner_threads(cfg.effective_inner_threads());
+    model.set_recorder(&cfg.recorder);
+    if cfg.recorder.enabled() {
+        cfg.recorder.record(Event::RunStart {
+            model: model.name().to_string(),
+            chains: cfg.chains as u64,
+            iters: cfg.iters as u64,
+            seed: cfg.seed,
+        });
+    }
     let inits = initial_points(cfg, model.dim());
 
     let stop = AtomicBool::new(false);
@@ -126,14 +139,14 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
             let wake_mx = &wake_mx;
             let wake_cv = &wake_cv;
             scope.spawn(move |_| {
-                let cadence = detector.check_every().max(1);
-                let mut next_check = detector.min_iters().max(cadence);
+                // The schedule is shared verbatim with the post-hoc
+                // `ConvergenceDetector::detect`, so the two walkers can
+                // never disagree on where a run stops.
+                let mut schedule = detector.checkpoints(cfg.iters);
+                let mut pending = schedule.next();
                 let mut streak = 0usize;
                 let progress = || buffers.iter().map(|b| b.lock().len()).min().unwrap_or(0);
-                loop {
-                    if next_check > cfg.iters {
-                        break; // checkpoint past the configured run
-                    }
+                while let Some(next_check) = pending {
                     if progress() >= next_check {
                         // Snapshot the prefixes and compute R̂ at t.
                         let snaps: Vec<Vec<Vec<f64>>> = buffers
@@ -147,12 +160,22 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                         } else {
                             streak = 0;
                         }
-                        if streak >= detector.consecutive() {
+                        let converged = streak >= detector.consecutive();
+                        if cfg.recorder.enabled() {
+                            cfg.recorder.record(Event::Checkpoint {
+                                source: CheckpointSource::Online,
+                                iter: next_check as u64,
+                                max_rhat: r,
+                                streak: streak as u64,
+                                converged,
+                            });
+                        }
+                        if converged {
                             *stopped_at.lock() = Some(next_check);
                             stop.store(true, Ordering::Release);
                             break;
                         }
-                        next_check += cadence.max(next_check / 8);
+                        pending = schedule.next();
                         continue;
                     }
                     // Sleep until a chain reports progress. Re-check
@@ -179,12 +202,14 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                 let buffer = &buffers[c];
                 let wake_mx = &wake_mx;
                 let wake_cv = &wake_cv;
+                let cfg_c = cfg.for_chain(c);
+                let seed = cfg.chain_seed(c);
                 scope.spawn(move |_| {
                     sampler.sample_chain_stoppable(
                         model,
                         init,
-                        cfg,
-                        cfg.chain_seed(c),
+                        &cfg_c,
+                        seed,
                         stop,
                         &move |_iter, draw: &[f64]| {
                             buffer.lock().push(draw.to_vec());
@@ -222,6 +247,17 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                 c.evals_per_iter.truncate(t);
             }
         }
+    }
+    model.flush_telemetry();
+    if cfg.recorder.enabled() {
+        cfg.recorder.record(Event::RunEnd {
+            model: model.name().to_string(),
+            chains: chains.len() as u64,
+            stopped_at: stopped.map(|t| t as u64),
+            total_draws: chains.iter().map(|c| c.draws.len() as u64).sum(),
+            divergences: chains.iter().map(|c| c.divergences).sum(),
+        });
+        cfg.recorder.flush();
     }
     ElidedRun {
         run: MultiChainRun {

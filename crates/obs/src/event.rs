@@ -1,0 +1,659 @@
+//! The structured-event schema.
+//!
+//! One [`Event`] is one line of a trace: a flat, self-describing record
+//! tagged with a `type` field. The schema is documented in DESIGN.md §7;
+//! every variant encodes to a single JSON object via [`Event::to_json`]
+//! and decodes back via [`Event::from_json`].
+//!
+//! Encoding rules:
+//!
+//! * non-finite `f64` values encode as `null` and decode as `NaN`
+//!   (JSON has no NaN/infinity literals);
+//! * optional iteration counts encode as `null` when absent;
+//! * integers keep full `u64` precision (seeds exceed 2^53).
+//!
+//! Note that the derived `PartialEq` follows IEEE float semantics, so
+//! two events whose only difference is a `NaN` diagnostic compare
+//! unequal; compare [`Event::to_json`] strings when that matters.
+
+use crate::json::{parse, write_escaped, Json};
+use std::fmt::Write as _;
+
+/// Which convergence walker emitted a checkpoint event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointSource {
+    /// The live monitor thread inside `run_until_converged`.
+    Online,
+    /// The post-hoc replay (`ConvergenceDetector::detect`).
+    PostHoc,
+}
+
+impl CheckpointSource {
+    fn tag(self) -> &'static str {
+        match self {
+            Self::Online => "online",
+            Self::PostHoc => "posthoc",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Result<Self, String> {
+        match tag {
+            "online" => Ok(Self::Online),
+            "posthoc" => Ok(Self::PostHoc),
+            other => Err(format!("unknown checkpoint source '{other}'")),
+        }
+    }
+}
+
+/// One structured observability event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A multi-chain run began.
+    RunStart {
+        /// Model (workload) name.
+        model: String,
+        /// Configured chain count.
+        chains: u64,
+        /// Configured iterations per chain.
+        iters: u64,
+        /// Base RNG seed.
+        seed: u64,
+    },
+    /// One sampler iteration completed (NUTS or HMC).
+    Iteration {
+        /// Chain index within the run.
+        chain: u64,
+        /// Iteration index (warmup included).
+        iter: u64,
+        /// Leapfrog step size used this iteration.
+        step_size: f64,
+        /// Tree doublings performed (0 for static HMC).
+        tree_depth: u64,
+        /// Gradient evaluations consumed this iteration.
+        leapfrogs: u64,
+        /// Whether the trajectory diverged.
+        divergent: bool,
+        /// Mean Metropolis acceptance statistic of the trajectory.
+        accept: f64,
+    },
+    /// A convergence checkpoint was evaluated.
+    Checkpoint {
+        /// Online monitor or post-hoc replay.
+        source: CheckpointSource,
+        /// Iteration the checkpoint evaluated (prefix length).
+        iter: u64,
+        /// Max R̂ across parameters over `[iter/2, iter)`.
+        max_rhat: f64,
+        /// Consecutive sub-threshold checkpoints so far (this one
+        /// included).
+        streak: u64,
+        /// Whether convergence was declared at this checkpoint.
+        converged: bool,
+    },
+    /// Aggregate sharded-gradient telemetry, flushed once per run.
+    ShardAggregate {
+        /// Model name.
+        model: String,
+        /// Gradient sweeps accumulated since the last flush.
+        sweeps: u64,
+        /// Shard count of the partition.
+        shards: u64,
+        /// Inner worker threads configured.
+        threads: u64,
+        /// Total tape nodes across sweeps.
+        tape_nodes: u64,
+        /// Total tape bytes across sweeps.
+        tape_bytes: u64,
+        /// Total transcendental ops across sweeps.
+        transcendental: u64,
+        /// Wall-clock nanoseconds spent in gradient sweeps.
+        elapsed_ns: u64,
+    },
+    /// Outcome of an elision study (scheduler decision record).
+    Elision {
+        /// Workload name.
+        workload: String,
+        /// User-configured iterations.
+        total_iters: u64,
+        /// Where the detector stopped the run, if it converged.
+        converged_at: Option<u64>,
+        /// Fraction of iterations elided.
+        iter_saving: f64,
+        /// Fraction of gradient work elided on the slowest chain.
+        work_saving: f64,
+    },
+    /// A data-subsampling recommendation (scheduler decision record).
+    Subsample {
+        /// Workload name.
+        workload: String,
+        /// Recommended data fraction (1.0 = keep everything).
+        fraction: f64,
+        /// Predicted per-chain working set at that fraction, bytes.
+        working_set_bytes: u64,
+        /// Predicted per-iteration speedup from subsampling.
+        speedup: f64,
+    },
+    /// Simulated performance-counter snapshot for one configuration.
+    Counters {
+        /// Workload name.
+        workload: String,
+        /// Platform codename.
+        platform: String,
+        /// Active cores simulated.
+        cores: u64,
+        /// Instructions per cycle.
+        ipc: f64,
+        /// LLC misses per kilo-instruction.
+        llc_mpki: f64,
+        /// Off-chip bandwidth, GB/s.
+        bandwidth_gbs: f64,
+        /// End-to-end latency, seconds.
+        time_s: f64,
+        /// Energy, joules.
+        energy_j: f64,
+    },
+    /// A platform description row (Table II provenance).
+    Platform {
+        /// Platform codename.
+        name: String,
+        /// Processor model.
+        processor: String,
+        /// Physical cores.
+        cores: u64,
+        /// Last-level cache, bytes.
+        llc_bytes: u64,
+        /// Peak memory bandwidth, GB/s.
+        mem_bw_gbs: f64,
+        /// Thermal design power, watts.
+        tdp_w: f64,
+    },
+    /// A multi-chain run finished.
+    RunEnd {
+        /// Model (workload) name.
+        model: String,
+        /// Chains executed.
+        chains: u64,
+        /// Stop decision of the convergence monitor, if any.
+        stopped_at: Option<u64>,
+        /// Draws kept across all chains (after any truncation).
+        total_draws: u64,
+        /// Post-warmup divergent transitions across all chains.
+        divergences: u64,
+    },
+}
+
+/// Single-line JSON object writer: `{"type":"…", …}`.
+struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    fn new(kind: &str) -> Self {
+        let mut buf = String::with_capacity(160);
+        buf.push_str("{\"type\":\"");
+        buf.push_str(kind);
+        buf.push('"');
+        Self { buf }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.buf.push(',');
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    fn field_str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        write_escaped(&mut self.buf, v);
+        self
+    }
+
+    fn field_u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    fn field_f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            // `Display` for f64 is the shortest decimal that parses
+            // back to the same bits, so traces round-trip exactly.
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    fn field_bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn field_opt_u64(mut self, k: &str, v: Option<u64>) -> Self {
+        self.key(k);
+        match v {
+            Some(n) => {
+                let _ = write!(self.buf, "{n}");
+            }
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn req<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    req(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not a u64"))
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, String> {
+    let v = req(obj, key)?;
+    if v.is_null() {
+        return Ok(f64::NAN); // non-finite values encode as null
+    }
+    v.as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    req(obj, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field '{key}' is not a bool"))
+}
+
+fn get_str(obj: &Json, key: &str) -> Result<String, String> {
+    Ok(req(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' is not a string"))?
+        .to_string())
+}
+
+fn get_opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    let v = req(obj, key)?;
+    if v.is_null() {
+        return Ok(None);
+    }
+    v.as_u64()
+        .map(Some)
+        .ok_or_else(|| format!("field '{key}' is not a u64 or null"))
+}
+
+impl Event {
+    /// Encodes the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::RunStart {
+                model,
+                chains,
+                iters,
+                seed,
+            } => Obj::new("run_start")
+                .field_str("model", model)
+                .field_u64("chains", *chains)
+                .field_u64("iters", *iters)
+                .field_u64("seed", *seed)
+                .finish(),
+            Event::Iteration {
+                chain,
+                iter,
+                step_size,
+                tree_depth,
+                leapfrogs,
+                divergent,
+                accept,
+            } => Obj::new("iteration")
+                .field_u64("chain", *chain)
+                .field_u64("iter", *iter)
+                .field_f64("step_size", *step_size)
+                .field_u64("tree_depth", *tree_depth)
+                .field_u64("leapfrogs", *leapfrogs)
+                .field_bool("divergent", *divergent)
+                .field_f64("accept", *accept)
+                .finish(),
+            Event::Checkpoint {
+                source,
+                iter,
+                max_rhat,
+                streak,
+                converged,
+            } => Obj::new("checkpoint")
+                .field_str("source", source.tag())
+                .field_u64("iter", *iter)
+                .field_f64("max_rhat", *max_rhat)
+                .field_u64("streak", *streak)
+                .field_bool("converged", *converged)
+                .finish(),
+            Event::ShardAggregate {
+                model,
+                sweeps,
+                shards,
+                threads,
+                tape_nodes,
+                tape_bytes,
+                transcendental,
+                elapsed_ns,
+            } => Obj::new("shard_aggregate")
+                .field_str("model", model)
+                .field_u64("sweeps", *sweeps)
+                .field_u64("shards", *shards)
+                .field_u64("threads", *threads)
+                .field_u64("tape_nodes", *tape_nodes)
+                .field_u64("tape_bytes", *tape_bytes)
+                .field_u64("transcendental", *transcendental)
+                .field_u64("elapsed_ns", *elapsed_ns)
+                .finish(),
+            Event::Elision {
+                workload,
+                total_iters,
+                converged_at,
+                iter_saving,
+                work_saving,
+            } => Obj::new("elision")
+                .field_str("workload", workload)
+                .field_u64("total_iters", *total_iters)
+                .field_opt_u64("converged_at", *converged_at)
+                .field_f64("iter_saving", *iter_saving)
+                .field_f64("work_saving", *work_saving)
+                .finish(),
+            Event::Subsample {
+                workload,
+                fraction,
+                working_set_bytes,
+                speedup,
+            } => Obj::new("subsample")
+                .field_str("workload", workload)
+                .field_f64("fraction", *fraction)
+                .field_u64("working_set_bytes", *working_set_bytes)
+                .field_f64("speedup", *speedup)
+                .finish(),
+            Event::Counters {
+                workload,
+                platform,
+                cores,
+                ipc,
+                llc_mpki,
+                bandwidth_gbs,
+                time_s,
+                energy_j,
+            } => Obj::new("counters")
+                .field_str("workload", workload)
+                .field_str("platform", platform)
+                .field_u64("cores", *cores)
+                .field_f64("ipc", *ipc)
+                .field_f64("llc_mpki", *llc_mpki)
+                .field_f64("bandwidth_gbs", *bandwidth_gbs)
+                .field_f64("time_s", *time_s)
+                .field_f64("energy_j", *energy_j)
+                .finish(),
+            Event::Platform {
+                name,
+                processor,
+                cores,
+                llc_bytes,
+                mem_bw_gbs,
+                tdp_w,
+            } => Obj::new("platform")
+                .field_str("name", name)
+                .field_str("processor", processor)
+                .field_u64("cores", *cores)
+                .field_u64("llc_bytes", *llc_bytes)
+                .field_f64("mem_bw_gbs", *mem_bw_gbs)
+                .field_f64("tdp_w", *tdp_w)
+                .finish(),
+            Event::RunEnd {
+                model,
+                chains,
+                stopped_at,
+                total_draws,
+                divergences,
+            } => Obj::new("run_end")
+                .field_str("model", model)
+                .field_u64("chains", *chains)
+                .field_opt_u64("stopped_at", *stopped_at)
+                .field_u64("total_draws", *total_draws)
+                .field_u64("divergences", *divergences)
+                .finish(),
+        }
+    }
+
+    /// Decodes one JSON line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation: malformed
+    /// JSON, an unknown `type` tag, or a missing/mistyped field.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let v = parse(line)?;
+        let tag = get_str(&v, "type")?;
+        match tag.as_str() {
+            "run_start" => Ok(Event::RunStart {
+                model: get_str(&v, "model")?,
+                chains: get_u64(&v, "chains")?,
+                iters: get_u64(&v, "iters")?,
+                seed: get_u64(&v, "seed")?,
+            }),
+            "iteration" => Ok(Event::Iteration {
+                chain: get_u64(&v, "chain")?,
+                iter: get_u64(&v, "iter")?,
+                step_size: get_f64(&v, "step_size")?,
+                tree_depth: get_u64(&v, "tree_depth")?,
+                leapfrogs: get_u64(&v, "leapfrogs")?,
+                divergent: get_bool(&v, "divergent")?,
+                accept: get_f64(&v, "accept")?,
+            }),
+            "checkpoint" => Ok(Event::Checkpoint {
+                source: CheckpointSource::from_tag(&get_str(&v, "source")?)?,
+                iter: get_u64(&v, "iter")?,
+                max_rhat: get_f64(&v, "max_rhat")?,
+                streak: get_u64(&v, "streak")?,
+                converged: get_bool(&v, "converged")?,
+            }),
+            "shard_aggregate" => Ok(Event::ShardAggregate {
+                model: get_str(&v, "model")?,
+                sweeps: get_u64(&v, "sweeps")?,
+                shards: get_u64(&v, "shards")?,
+                threads: get_u64(&v, "threads")?,
+                tape_nodes: get_u64(&v, "tape_nodes")?,
+                tape_bytes: get_u64(&v, "tape_bytes")?,
+                transcendental: get_u64(&v, "transcendental")?,
+                elapsed_ns: get_u64(&v, "elapsed_ns")?,
+            }),
+            "elision" => Ok(Event::Elision {
+                workload: get_str(&v, "workload")?,
+                total_iters: get_u64(&v, "total_iters")?,
+                converged_at: get_opt_u64(&v, "converged_at")?,
+                iter_saving: get_f64(&v, "iter_saving")?,
+                work_saving: get_f64(&v, "work_saving")?,
+            }),
+            "subsample" => Ok(Event::Subsample {
+                workload: get_str(&v, "workload")?,
+                fraction: get_f64(&v, "fraction")?,
+                working_set_bytes: get_u64(&v, "working_set_bytes")?,
+                speedup: get_f64(&v, "speedup")?,
+            }),
+            "counters" => Ok(Event::Counters {
+                workload: get_str(&v, "workload")?,
+                platform: get_str(&v, "platform")?,
+                cores: get_u64(&v, "cores")?,
+                ipc: get_f64(&v, "ipc")?,
+                llc_mpki: get_f64(&v, "llc_mpki")?,
+                bandwidth_gbs: get_f64(&v, "bandwidth_gbs")?,
+                time_s: get_f64(&v, "time_s")?,
+                energy_j: get_f64(&v, "energy_j")?,
+            }),
+            "platform" => Ok(Event::Platform {
+                name: get_str(&v, "name")?,
+                processor: get_str(&v, "processor")?,
+                cores: get_u64(&v, "cores")?,
+                llc_bytes: get_u64(&v, "llc_bytes")?,
+                mem_bw_gbs: get_f64(&v, "mem_bw_gbs")?,
+                tdp_w: get_f64(&v, "tdp_w")?,
+            }),
+            "run_end" => Ok(Event::RunEnd {
+                model: get_str(&v, "model")?,
+                chains: get_u64(&v, "chains")?,
+                stopped_at: get_opt_u64(&v, "stopped_at")?,
+                total_draws: get_u64(&v, "total_draws")?,
+                divergences: get_u64(&v, "divergences")?,
+            }),
+            other => Err(format!("unknown event type '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                model: "12cities".into(),
+                chains: 4,
+                iters: 2000,
+                seed: 9223372036854775809, // > 2^63, > 2^53
+            },
+            Event::Iteration {
+                chain: 1,
+                iter: 17,
+                step_size: 0.03125,
+                tree_depth: 5,
+                leapfrogs: 31,
+                divergent: true,
+                accept: 0.875,
+            },
+            Event::Checkpoint {
+                source: CheckpointSource::Online,
+                iter: 250,
+                max_rhat: 1.0625,
+                streak: 2,
+                converged: false,
+            },
+            Event::ShardAggregate {
+                model: "tickets".into(),
+                sweeps: 1000,
+                shards: 16,
+                threads: 4,
+                tape_nodes: 123456,
+                tape_bytes: 9876543,
+                transcendental: 4242,
+                elapsed_ns: 1_000_000_007,
+            },
+            Event::Elision {
+                workload: "12cities".into(),
+                total_iters: 2000,
+                converged_at: Some(600),
+                iter_saving: 0.7,
+                work_saving: 0.53,
+            },
+            Event::Elision {
+                workload: "hard".into(),
+                total_iters: 100,
+                converged_at: None,
+                iter_saving: 0.0,
+                work_saving: 0.0,
+            },
+            Event::Subsample {
+                workload: "tickets".into(),
+                fraction: 0.55,
+                working_set_bytes: 1_900_000,
+                speedup: 2.25,
+            },
+            Event::Counters {
+                workload: "ad".into(),
+                platform: "Skylake".into(),
+                cores: 4,
+                ipc: 1.5,
+                llc_mpki: 3.25,
+                bandwidth_gbs: 12.5,
+                time_s: 42.0,
+                energy_j: 4200.0,
+            },
+            Event::Platform {
+                name: "Skylake".into(),
+                processor: "i7-6700K".into(),
+                cores: 4,
+                llc_bytes: 8 * 1024 * 1024,
+                mem_bw_gbs: 34.1,
+                tdp_w: 91.0,
+            },
+            Event::RunEnd {
+                model: "12cities".into(),
+                chains: 4,
+                stopped_at: Some(600),
+                total_draws: 2400,
+                divergences: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in samples() {
+            let line = ev.to_json();
+            let back = Event::from_json(&line).expect("decodes");
+            assert_eq!(back, ev, "round trip failed for {line}");
+            // Encoding is stable across a decode cycle.
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null_and_decode_as_nan() {
+        let ev = Event::Checkpoint {
+            source: CheckpointSource::PostHoc,
+            iter: 50,
+            max_rhat: f64::NAN,
+            streak: 0,
+            converged: false,
+        };
+        let line = ev.to_json();
+        assert!(line.contains("\"max_rhat\":null"), "{line}");
+        match Event::from_json(&line).unwrap() {
+            Event::Checkpoint { max_rhat, .. } => assert!(max_rhat.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_missing_fields() {
+        assert!(Event::from_json("{\"type\":\"nope\"}").is_err());
+        assert!(Event::from_json("{\"type\":\"run_start\",\"model\":\"x\"}").is_err());
+        assert!(Event::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn step_size_round_trips_bitwise() {
+        // A step size with a long shortest-decimal representation.
+        let eps = 0.1 + 0.2; // 0.30000000000000004
+        let ev = Event::Iteration {
+            chain: 0,
+            iter: 0,
+            step_size: eps,
+            tree_depth: 1,
+            leapfrogs: 1,
+            divergent: false,
+            accept: 1.0,
+        };
+        match Event::from_json(&ev.to_json()).unwrap() {
+            Event::Iteration { step_size, .. } => {
+                assert_eq!(step_size.to_bits(), eps.to_bits());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

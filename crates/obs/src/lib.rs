@@ -1,0 +1,32 @@
+//! # bayes-obs — structured-event observability
+//!
+//! A lightweight recording layer for the inference runtime: samplers,
+//! convergence monitors, the sharded-gradient executor, and the
+//! scheduler emit typed [`Event`]s into a [`Recorder`] sink. Three
+//! sinks ship with the crate:
+//!
+//! * [`NullRecorder`] — the default; disabled, zero-cost;
+//! * [`MemoryRecorder`] — collects events in memory for tests and
+//!   in-process analysis;
+//! * [`JsonlRecorder`] — streams one JSON object per line to a file
+//!   (the `--trace out.jsonl` flag on the bench bins).
+//!
+//! Two invariants make tracing safe to leave wired into hot paths:
+//!
+//! 1. **Zero-cost when disabled.** Call sites guard event construction
+//!    on [`RecorderHandle::enabled`]; a null handle is one branch.
+//! 2. **Observation only.** Recording paths never use the RNG and
+//!    never touch sampler state, so draws are bit-identical with any
+//!    recorder attached (`tests/determinism.rs` proves it).
+//!
+//! The crate is dependency-free: the event schema is flat, so a small
+//! hand-rolled JSON module ([`json`]) replaces `serde_json`.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod recorder;
+
+pub use event::{CheckpointSource, Event};
+pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle};

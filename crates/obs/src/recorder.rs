@@ -1,0 +1,251 @@
+//! Recorder trait, the three sinks, and the cheap cloneable handle the
+//! runtime threads carry.
+//!
+//! The contract every sink must honour (see DESIGN.md §7): recording is
+//! observation only. A recorder never draws random numbers, never
+//! mutates sampler state, and the runtime builds event payloads only
+//! when [`RecorderHandle::enabled`] is true, so a disabled handle costs
+//! one branch per call site.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A sink for structured events.
+///
+/// Implementations must be `Send + Sync`: chain workers and the
+/// convergence monitor record from their own threads. Event order is
+/// deterministic within one chain but unspecified across chains when
+/// the run is threaded.
+pub trait Recorder: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &Event);
+
+    /// Whether call sites should build event payloads at all.
+    ///
+    /// The default is `true`; only [`NullRecorder`] opts out.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Pushes any buffered output to its destination.
+    fn flush(&self) {}
+}
+
+/// Discards everything and reports itself disabled, so call sites skip
+/// event construction entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects events in memory, for tests and in-process consumers.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("recorder mutex").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("recorder mutex"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recorder mutex").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("recorder mutex")
+            .push(event.clone());
+    }
+}
+
+/// Streams events to a file, one JSON object per line.
+///
+/// Writes are buffered; the buffer is flushed on [`Recorder::flush`]
+/// and when the recorder is dropped. I/O errors are deliberately
+/// swallowed — tracing must never abort an inference run.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`File::create`] failure.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        let mut out = self.out.lock().expect("recorder mutex");
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("recorder mutex").flush();
+    }
+}
+
+/// A cheap cloneable reference to a recorder, shared by every thread of
+/// a run. `RecorderHandle::null()` (also the `Default`) is the
+/// zero-cost disabled state: no allocation, and `enabled()` is false.
+#[derive(Clone, Default)]
+pub struct RecorderHandle {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl RecorderHandle {
+    /// The disabled handle.
+    pub fn null() -> Self {
+        Self { inner: None }
+    }
+
+    /// Wraps a live recorder.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Self {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Whether call sites should build event payloads.
+    pub fn enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Records one event if the handle is enabled.
+    pub fn record(&self, event: Event) {
+        if let Some(r) = &self.inner {
+            if r.enabled() {
+                r.record(&event);
+            }
+        }
+    }
+
+    /// Flushes the underlying sink, if any.
+    pub fn flush(&self) {
+        if let Some(r) = &self.inner {
+            r.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for RecorderHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecorderHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CheckpointSource;
+
+    fn checkpoint(iter: u64) -> Event {
+        Event::Checkpoint {
+            source: CheckpointSource::Online,
+            iter,
+            max_rhat: 1.05,
+            streak: 1,
+            converged: false,
+        }
+    }
+
+    #[test]
+    fn null_handle_is_disabled_and_silent() {
+        let h = RecorderHandle::null();
+        assert!(!h.enabled());
+        h.record(checkpoint(10)); // must not panic
+        h.flush();
+        assert!(!RecorderHandle::default().enabled());
+    }
+
+    #[test]
+    fn null_recorder_wrapped_in_a_handle_stays_disabled() {
+        let h = RecorderHandle::new(Arc::new(NullRecorder));
+        assert!(!h.enabled());
+        h.record(checkpoint(10));
+    }
+
+    #[test]
+    fn memory_recorder_collects_in_order() {
+        let mem = Arc::new(MemoryRecorder::new());
+        let h = RecorderHandle::new(mem.clone());
+        assert!(h.enabled());
+        h.record(checkpoint(10));
+        h.record(checkpoint(20));
+        let events = mem.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], checkpoint(10));
+        assert_eq!(events[1], checkpoint(20));
+        assert_eq!(mem.take().len(), 2);
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("bayes_obs_recorder_smoke.jsonl");
+        {
+            let rec = JsonlRecorder::create(&path).expect("create trace file");
+            let h = RecorderHandle::new(Arc::new(rec));
+            h.record(checkpoint(10));
+            h.record(checkpoint(20));
+            h.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(Event::from_json(lines[0]).unwrap(), checkpoint(10));
+        assert_eq!(Event::from_json(lines[1]).unwrap(), checkpoint(20));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn handles_share_one_sink() {
+        let mem = Arc::new(MemoryRecorder::new());
+        let h1 = RecorderHandle::new(mem.clone());
+        let h2 = h1.clone();
+        h1.record(checkpoint(10));
+        h2.record(checkpoint(20));
+        assert_eq!(mem.len(), 2);
+    }
+}

@@ -11,6 +11,7 @@
 use bayes_mcmc::diag::kl_to_ground_truth;
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::{chain, ConvergenceDetector, Model, MultiChainRun, RunConfig};
+use bayes_obs::{Event, RecorderHandle};
 
 /// Configuration of one elision study.
 #[derive(Debug, Clone, Copy)]
@@ -111,9 +112,20 @@ impl ElisionStudy {
     /// Runs the study: the user-configured run, a 2× ground-truth run,
     /// the detector replay, and the quality traces.
     pub fn run(model: &dyn Model, cfg: &StudyConfig) -> Self {
+        Self::run_recorded(model, cfg, &RecorderHandle::null())
+    }
+
+    /// [`ElisionStudy::run`] with observability: the main run carries
+    /// `recorder` (per-iteration and shard events), the detector replay
+    /// emits post-hoc checkpoint events into it, and the study's own
+    /// outcome is recorded as one [`Event::Elision`]. The ground-truth
+    /// run is deliberately untraced — its draws are reference material,
+    /// not the workload under study.
+    pub fn run_recorded(model: &dyn Model, cfg: &StudyConfig, recorder: &RecorderHandle) -> Self {
         let run_cfg = RunConfig::new(cfg.iters)
             .with_chains(cfg.chains)
-            .with_seed(cfg.seed);
+            .with_seed(cfg.seed)
+            .with_recorder(recorder.clone());
         let run = chain::run(&Nuts::default(), model, &run_cfg);
 
         // Ground truth: 2× the configured iterations (Section VI-A).
@@ -124,7 +136,7 @@ impl ElisionStudy {
         let truth = window_summary(&truth_run, cfg.iters, cfg.iters * 2);
 
         let detector = ConvergenceDetector::new().with_check_every(cfg.check_every);
-        let report = detector.detect(&run);
+        let report = detector.detect_recorded(&run, recorder);
 
         let kl_trace: Vec<(usize, f64)> = report
             .rhat_trace
@@ -155,6 +167,16 @@ impl ElisionStudy {
             }
             None => 0.0,
         };
+
+        if recorder.enabled() {
+            recorder.record(Event::Elision {
+                workload: model.name().to_string(),
+                total_iters: cfg.iters as u64,
+                converged_at: report.converged_at.map(|c| c as u64),
+                iter_saving,
+                work_saving,
+            });
+        }
 
         Self {
             workload: model.name().to_string(),

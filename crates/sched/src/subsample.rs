@@ -15,6 +15,7 @@
 //! trade is acceptable.
 
 use bayes_archsim::{characterize, PerfReport, Platform, SimConfig, WorkloadSignature};
+use bayes_obs::{Event, RecorderHandle};
 
 /// Advice for one workload on one platform.
 #[derive(Debug, Clone)]
@@ -93,15 +94,37 @@ impl SubsampleAdvisor {
         plat: &Platform,
         cfg: &SimConfig,
     ) -> SubsampleAdvice {
+        self.advise_recorded(sig, plat, cfg, &RecorderHandle::null())
+    }
+
+    /// [`SubsampleAdvisor::advise`] with observability: the decision is
+    /// recorded as one [`Event::Subsample`] carrying the recommended
+    /// fraction, the resulting working set, and the predicted speedup.
+    pub fn advise_recorded(
+        &self,
+        sig: &WorkloadSignature,
+        plat: &Platform,
+        cfg: &SimConfig,
+        recorder: &RecorderHandle,
+    ) -> SubsampleAdvice {
         let fraction = self.recommend_fraction(sig, plat, cfg.chains);
         let scaled = scale_signature(sig, fraction);
-        SubsampleAdvice {
+        let advice = SubsampleAdvice {
             workload: sig.name.clone(),
             fraction,
             working_set_bytes: scaled.working_set_bytes(),
             advised: characterize(&scaled, plat, cfg),
             full: characterize(sig, plat, cfg),
+        };
+        if recorder.enabled() {
+            recorder.record(Event::Subsample {
+                workload: advice.workload.clone(),
+                fraction: advice.fraction,
+                working_set_bytes: advice.working_set_bytes as u64,
+                speedup: advice.speedup(),
+            });
         }
+        advice
     }
 }
 

@@ -1,6 +1,7 @@
 //! Workload metadata and the [`Workload`] container.
 
 use bayes_mcmc::{EvalProfile, Model};
+use bayes_obs::RecorderHandle;
 
 /// Static facts about a workload — the row it contributes to Table I
 /// plus the static features the scheduler reads (Section V-A).
@@ -80,6 +81,23 @@ impl Workload {
     pub fn profile(&self) -> EvalProfile {
         let theta = vec![0.1; self.model.dim()];
         self.model.grad_profile(&theta)
+    }
+
+    /// Attaches `recorder` to both the full-scale and dynamics models,
+    /// enabling shard-sweep telemetry on sharded workloads. Observation
+    /// only — attaching a recorder never changes what either model
+    /// computes.
+    pub fn attach_recorder(&self, recorder: &RecorderHandle) {
+        self.model.set_recorder(recorder);
+        self.dynamics_model.set_recorder(recorder);
+    }
+
+    /// Flushes any telemetry both models have accumulated (e.g. a
+    /// [`bayes_mcmc::ShardedModel`] emits one aggregate event covering
+    /// the sweeps since the last flush).
+    pub fn flush_telemetry(&self) {
+        self.model.flush_telemetry();
+        self.dynamics_model.flush_telemetry();
     }
 }
 

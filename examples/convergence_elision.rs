@@ -6,6 +6,7 @@
 use bayes_core::mcmc::runtime::run_until_converged;
 use bayes_core::mcmc::summary;
 use bayes_core::prelude::*;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = registry::workload("butterfly", 1.0, 7).ok_or("unknown workload")?;
@@ -16,9 +17,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         configured
     );
 
-    let cfg = RunConfig::new(configured).with_chains(4).with_seed(7);
+    // Watch the monitor work: a memory recorder captures the checkpoint
+    // events the convergence walker emits (observation only — the run
+    // is bit-identical with or without it).
+    let events = Arc::new(MemoryRecorder::new());
+    let cfg = RunConfig::new(configured)
+        .with_chains(4)
+        .with_seed(7)
+        .with_recorder(RecorderHandle::new(events.clone()));
     let detector = ConvergenceDetector::new();
     let out = run_until_converged(&Nuts::default(), workload.dynamics_model(), &cfg, &detector);
+
+    println!("\nmonitor checkpoints (R-hat over the trailing half):");
+    for event in events.take() {
+        if let Event::Checkpoint {
+            iter,
+            max_rhat,
+            streak,
+            converged,
+            ..
+        } = event
+        {
+            let mark = if converged { "  <- stop" } else { "" };
+            println!("  iter {iter:>5}  max R-hat {max_rhat:>6.3}  streak {streak}{mark}");
+        }
+    }
 
     match out.stopped_at {
         Some(at) => println!(

@@ -179,6 +179,57 @@ fn single_shard_model_samples_bitwise_with_the_serial_adapter() {
 }
 
 #[test]
+fn recorders_never_perturb_draws() {
+    // Recording is observation only: attaching any recorder — including
+    // the JSONL sink doing real file I/O — must leave the stop decision
+    // and every draw bit-identical, at any inner-thread count.
+    use bayes_mcmc::obs::{JsonlRecorder, MemoryRecorder, RecorderHandle};
+    use std::sync::Arc;
+
+    let detector = ConvergenceDetector::new()
+        .with_check_every(20)
+        .with_min_iters(40);
+    let elide = |inner: usize, rec: RecorderHandle| {
+        let model = ShardedModel::new("gauss_shards", GaussShards::synthetic(64));
+        let cfg = RunConfig::new(200)
+            .with_chains(2)
+            .with_seed(11)
+            .with_inner_threads(inner)
+            .with_recorder(rec);
+        run_until_converged(&Nuts::default(), &model, &cfg, &detector)
+    };
+
+    for inner in [1usize, 4] {
+        let baseline = elide(inner, RecorderHandle::null());
+
+        let mem = Arc::new(MemoryRecorder::new());
+        let memory = elide(inner, RecorderHandle::new(mem.clone()));
+        assert!(!mem.take().is_empty(), "memory recorder saw no events");
+
+        let path = std::env::temp_dir().join(format!("bayes_obs_determinism_{inner}.jsonl"));
+        let jsonl = elide(
+            inner,
+            RecorderHandle::new(Arc::new(
+                JsonlRecorder::create(&path).expect("create trace file"),
+            )),
+        );
+        let _ = std::fs::remove_file(&path);
+
+        for (label, run) in [("memory", &memory), ("jsonl", &jsonl)] {
+            assert_eq!(
+                run.stopped_at, baseline.stopped_at,
+                "{label} recorder changed the stop decision (inner={inner})"
+            );
+            assert_eq!(
+                draws_of(&run.run),
+                draws_of(&baseline.run),
+                "{label} recorder perturbed the draws (inner={inner})"
+            );
+        }
+    }
+}
+
+#[test]
 fn adjacent_seeds_do_not_share_chain_streams() {
     // The old `seed + chain_id` scheme made (seed 0, chain 1) collide
     // with (seed 1, chain 0); derived streams must not.
