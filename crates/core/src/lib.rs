@@ -38,8 +38,10 @@ pub mod prelude {
     pub use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
     pub use bayes_autodiff::Real;
     pub use bayes_mcmc::nuts::Nuts;
+    pub use bayes_mcmc::supervisor::Runtime as Supervisor;
     pub use bayes_mcmc::{
-        chain, AdModel, ConvergenceDetector, LogDensity, Model, MultiChainRun, RunConfig,
+        chain, AdModel, ConvergenceDetector, FaultKind, LogDensity, Model, MultiChainRun,
+        ReseedPolicy, RetryPolicy, RunConfig, RunError, RunReport, SupervisorConfig,
     };
     pub use bayes_obs::{
         Event, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle,

@@ -47,6 +47,38 @@ impl DualAveraging {
     pub(crate) fn final_eps(&self) -> f64 {
         self.log_eps_bar.exp()
     }
+
+    /// Full internal state, for checkpointing.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::DualAveragingState {
+        crate::checkpoint::DualAveragingState {
+            mu: self.mu,
+            log_eps: self.log_eps,
+            log_eps_bar: self.log_eps_bar,
+            h_bar: self.h_bar,
+            t: self.t,
+            target: self.target,
+            gamma: self.gamma,
+            t0: self.t0,
+            kappa: self.kappa,
+        }
+    }
+
+    /// Rebuilds the exact adapter a [`DualAveraging::snapshot`] came
+    /// from, so a resumed chain continues the same trajectory of step
+    /// sizes bit for bit.
+    pub(crate) fn restore(s: &crate::checkpoint::DualAveragingState) -> Self {
+        Self {
+            mu: s.mu,
+            log_eps: s.log_eps,
+            log_eps_bar: s.log_eps_bar,
+            h_bar: s.h_bar,
+            t: s.t,
+            target: s.target,
+            gamma: s.gamma,
+            t0: s.t0,
+            kappa: s.kappa,
+        }
+    }
 }
 
 /// Welford online mean/variance accumulator over parameter vectors,
@@ -78,6 +110,25 @@ impl WelfordVar {
 
     pub(crate) fn count(&self) -> usize {
         self.n as usize
+    }
+
+    /// Full internal state, for checkpointing.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::WelfordState {
+        crate::checkpoint::WelfordState {
+            n: self.n,
+            mean: self.mean.clone(),
+            m2: self.m2.clone(),
+        }
+    }
+
+    /// Rebuilds the exact accumulator a [`WelfordVar::snapshot`] came
+    /// from.
+    pub(crate) fn restore(s: &crate::checkpoint::WelfordState) -> Self {
+        Self {
+            n: s.n,
+            mean: s.mean.clone(),
+            m2: s.m2.clone(),
+        }
     }
 
     /// Regularized variance estimate (Stan's shrinkage toward unit),
@@ -157,5 +208,36 @@ mod tests {
         let mut w = WelfordVar::new(1);
         w.push(&[4.2]);
         assert!(w.regularized_variance()[0] > 0.0);
+    }
+
+    #[test]
+    fn dual_averaging_snapshot_restores_bitwise() {
+        let mut da = DualAveraging::new(0.3, 0.8);
+        for i in 0..37 {
+            da.update(0.5 + 0.01 * (i % 7) as f64);
+        }
+        let mut resumed = DualAveraging::restore(&da.snapshot());
+        for _ in 0..20 {
+            let a = da.update(0.65);
+            let b = resumed.update(0.65);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(da.final_eps().to_bits(), resumed.final_eps().to_bits());
+    }
+
+    #[test]
+    fn welford_snapshot_restores_bitwise() {
+        let mut w = WelfordVar::new(2);
+        for i in 0..23 {
+            w.push(&[(i as f64).sin(), (i as f64).cos() * 2.0]);
+        }
+        let mut resumed = WelfordVar::restore(&w.snapshot());
+        w.push(&[0.25, -1.5]);
+        resumed.push(&[0.25, -1.5]);
+        assert_eq!(w.count(), resumed.count());
+        let (a, b) = (w.regularized_variance(), resumed.regularized_variance());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

@@ -20,6 +20,71 @@ pub enum Parallelism {
     Threads,
 }
 
+/// A structurally invalid run request, caught before any chain starts.
+///
+/// Previously a zero-chain or zero-iteration config panicked deep in
+/// the run (empty-buffer indexing in the diagnostics); now
+/// [`RunConfig::validate`] rejects it up front with a typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `chains == 0`: there is nothing to run and no draws to pool.
+    ZeroChains,
+    /// `iters == 0`: every chain would produce an empty trace.
+    ZeroIterations,
+    /// `warmup > iters`: the warmup prefix exceeds the whole run.
+    WarmupExceedsIterations {
+        /// Configured warmup length.
+        warmup: usize,
+        /// Configured total iterations.
+        iters: usize,
+    },
+    /// A retry policy with `max_attempts == 0` can never run a chain.
+    ZeroAttempts,
+    /// A convergence quorum of zero chains is vacuous.
+    ZeroQuorum,
+    /// The quorum demands more chains than the run has.
+    QuorumExceedsChains {
+        /// Configured minimum quorum.
+        quorum: usize,
+        /// Configured chain count.
+        chains: usize,
+    },
+    /// Checkpointing or resume was requested of a sampler that does
+    /// not implement resumable checkpoints.
+    ResumeUnsupported,
+    /// A checkpoint file failed to load or parse.
+    CheckpointInvalid(String),
+    /// A checkpoint was taken under a different model, seed, or
+    /// detector than the resume request.
+    CheckpointMismatch(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroChains => write!(f, "run config has zero chains"),
+            Self::ZeroIterations => write!(f, "run config has zero iterations"),
+            Self::WarmupExceedsIterations { warmup, iters } => {
+                write!(f, "warmup {warmup} exceeds total iterations {iters}")
+            }
+            Self::ZeroAttempts => write!(f, "retry policy allows zero attempts"),
+            Self::ZeroQuorum => write!(f, "minimum chain quorum is zero"),
+            Self::QuorumExceedsChains { quorum, chains } => {
+                write!(f, "quorum {quorum} exceeds chain count {chains}")
+            }
+            Self::ResumeUnsupported => {
+                write!(f, "sampler does not support checkpoint/resume")
+            }
+            Self::CheckpointInvalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+            Self::CheckpointMismatch(msg) => {
+                write!(f, "checkpoint does not match this run: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration shared by all samplers.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -146,6 +211,28 @@ impl RunConfig {
             .chain(c as u64)
             .purpose(Purpose::Init)
             .derive()
+    }
+
+    /// Checks the config for structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found: zero chains, zero
+    /// iterations, or a warmup longer than the run.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.chains == 0 {
+            return Err(ConfigError::ZeroChains);
+        }
+        if self.iters == 0 {
+            return Err(ConfigError::ZeroIterations);
+        }
+        if self.warmup > self.iters {
+            return Err(ConfigError::WarmupExceedsIterations {
+                warmup: self.warmup,
+                iters: self.iters,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -293,6 +380,28 @@ pub(crate) fn initial_points(cfg: &RunConfig, dim: usize) -> Vec<Vec<f64>> {
 /// derived from `cfg.seed` via [`StreamKey`], so runs are bit-for-bit
 /// reproducible under either parallelism mode.
 pub fn run<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
+    match try_run(sampler, model, cfg) {
+        Ok(run) => run,
+        Err(e) => panic!("invalid RunConfig: {e}"),
+    }
+}
+
+/// Like [`run`], but validates the config first and returns a typed
+/// [`ConfigError`] instead of panicking somewhere inside the run.
+///
+/// # Errors
+///
+/// Returns the first structural problem [`RunConfig::validate`] finds.
+pub fn try_run<S: Sampler>(
+    sampler: &S,
+    model: &dyn Model,
+    cfg: &RunConfig,
+) -> Result<MultiChainRun, ConfigError> {
+    cfg.validate()?;
+    Ok(run_validated(sampler, model, cfg))
+}
+
+fn run_validated<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
     model.set_inner_threads(cfg.effective_inner_threads());
     model.set_recorder(&cfg.recorder);
     if cfg.recorder.enabled() {
@@ -563,6 +672,44 @@ mod tests {
                 .effective_inner_threads(),
             1
         );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        let model = AdModel::new("n", StdNormalNd(1));
+        let zero_chains = RunConfig::new(10).with_chains(0);
+        assert_eq!(zero_chains.validate(), Err(ConfigError::ZeroChains));
+        assert_eq!(
+            try_run(&CountingSampler, &model, &zero_chains).unwrap_err(),
+            ConfigError::ZeroChains
+        );
+        let zero_iters = RunConfig::new(0);
+        assert_eq!(zero_iters.validate(), Err(ConfigError::ZeroIterations));
+        let bad_warmup = RunConfig::new(10).with_warmup(11);
+        assert_eq!(
+            bad_warmup.validate(),
+            Err(ConfigError::WarmupExceedsIterations {
+                warmup: 11,
+                iters: 10
+            })
+        );
+        assert!(RunConfig::new(10).validate().is_ok());
+        // Each error renders a human-readable message.
+        assert!(format!("{}", ConfigError::ZeroChains).contains("zero chains"));
+    }
+
+    #[test]
+    fn run_panics_with_typed_message_on_invalid_config() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let model = AdModel::new("n", StdNormalNd(1));
+        let cfg = RunConfig::new(10).with_chains(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run(&CountingSampler, &model, &cfg);
+        }))
+        .expect_err("zero chains must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("invalid RunConfig"), "{msg}");
+        assert!(msg.contains("zero chains"), "{msg}");
     }
 
     #[test]

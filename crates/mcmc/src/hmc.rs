@@ -54,6 +54,39 @@ impl Sampler for StaticHmc {
         cfg: &RunConfig,
         seed: u64,
     ) -> ChainOutput {
+        self.sample_chain_core(model, init, cfg, seed, None, None)
+    }
+}
+
+impl crate::runtime::StoppableSampler for StaticHmc {
+    fn sample_chain_stoppable(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        stop: &std::sync::atomic::AtomicBool,
+        on_draw: &(dyn Fn(usize, &[f64]) + Sync),
+    ) -> ChainOutput {
+        self.sample_chain_core(model, init, cfg, seed, Some(stop), Some(on_draw))
+    }
+}
+
+/// Checkpoint/resume stays NUTS-only for now; the default
+/// implementation reports `supports_resume() == false` and the
+/// supervisor refuses checkpointing configs for this sampler.
+impl crate::supervisor::ResumableSampler for StaticHmc {}
+
+impl StaticHmc {
+    fn sample_chain_core(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        stop: Option<&std::sync::atomic::AtomicBool>,
+        on_draw: Option<&(dyn Fn(usize, &[f64]) + Sync)>,
+    ) -> ChainOutput {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ham = Hamiltonian::unit(model);
         let mut state = State::at(model, init.to_vec());
@@ -130,11 +163,19 @@ impl Sampler for StaticHmc {
                 }
             }
             draws.push(state.q.clone());
+            if let Some(cb) = on_draw {
+                cb(iter, &state.q);
+            }
+            if let Some(flag) = stop {
+                if flag.load(std::sync::atomic::Ordering::Acquire) {
+                    break;
+                }
+            }
         }
 
         let sampling = (cfg.iters - cfg.warmup).max(1) as f64;
         // Static HMC does a fixed number of leapfrogs per iteration.
-        let evals_per_iter = vec![self.steps as u32; cfg.iters];
+        let evals_per_iter = vec![self.steps as u32; draws.len()];
         ChainOutput {
             draws,
             warmup: cfg.warmup,
@@ -145,8 +186,6 @@ impl Sampler for StaticHmc {
         }
     }
 }
-
-impl crate::runtime::StoppableSampler for StaticHmc {}
 
 #[cfg(test)]
 mod tests {
@@ -203,5 +242,44 @@ mod tests {
     #[should_panic(expected = "at least one leapfrog")]
     fn rejects_zero_steps() {
         let _ = StaticHmc::new(0);
+    }
+
+    #[test]
+    fn stoppable_override_halts_at_the_flag() {
+        use crate::runtime::StoppableSampler;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let model = AdModel::new("g", CorrGauss);
+        let cfg = RunConfig::new(200).with_chains(1).with_seed(2);
+        let stop = AtomicBool::new(false);
+        let out = StaticHmc::new(4).sample_chain_stoppable(
+            &model,
+            &[0.0, 0.0],
+            &cfg,
+            cfg.chain_seed(0),
+            &stop,
+            &|iter, _| {
+                if iter + 1 == 50 {
+                    stop.store(true, Ordering::Release);
+                }
+            },
+        );
+        assert_eq!(out.draws.len(), 50, "must halt at the flag");
+        assert_eq!(out.evals_per_iter.len(), 50);
+        // The unstopped run matches the plain sampler draw-for-draw.
+        let full = StaticHmc::new(4).sample_chain_stoppable(
+            &model,
+            &[0.0, 0.0],
+            &cfg,
+            cfg.chain_seed(0),
+            &AtomicBool::new(false),
+            &|_, _| {},
+        );
+        let plain = chain::run(
+            &StaticHmc::new(4),
+            &model,
+            &RunConfig::new(200).with_chains(1).with_seed(2),
+        );
+        assert_eq!(full.draws, plain.chains[0].draws);
+        assert_eq!(&full.draws[..50], &out.draws[..]);
     }
 }

@@ -24,7 +24,13 @@
 //!   computation-elision technique (Section VI);
 //! * [`stream`] — deterministic RNG stream derivation
 //!   ([`stream::StreamKey`]) that makes every multi-chain run
-//!   bit-reproducible from a single seed.
+//!   bit-reproducible from a single seed;
+//! * [`supervisor`] — fault-tolerant run supervisor: chain isolation,
+//!   deterministic retry, stall watchdog, checkpoint/resume, and
+//!   graceful degradation under a chain quorum;
+//! * [`checkpoint`] — the serializable sampler/run state behind
+//!   [`supervisor::Runtime::resume`], including the segmented RNG
+//!   streams that make resumed runs bit-identical.
 //!
 //! Observability: attach a [`bayes_obs::RecorderHandle`] via
 //! [`RunConfig::with_recorder`] and the runtime emits structured
@@ -34,6 +40,7 @@
 //! perturbs draws (`bayes_obs` is re-exported as [`obs`]).
 
 pub mod chain;
+pub mod checkpoint;
 pub mod converge;
 pub mod diag;
 pub mod hmc;
@@ -45,6 +52,7 @@ pub mod par;
 pub mod runtime;
 pub mod stream;
 pub mod summary;
+pub mod supervisor;
 pub mod vi;
 
 mod adapt;
@@ -52,7 +60,8 @@ mod dynamics;
 
 pub use bayes_obs as obs;
 
-pub use chain::{MultiChainRun, Parallelism, RunConfig};
+pub use chain::{ConfigError, MultiChainRun, Parallelism, RunConfig};
+pub use checkpoint::{RunCheckpoint, SamplerCheckpoint};
 pub use converge::{CheckpointSchedule, ConvergenceDetector, ConvergenceReport};
 pub use model::{
     shard_ranges, AdModel, EvalProfile, LogDensity, Model, ShardedDensity, ShardedModel,
@@ -62,3 +71,7 @@ pub use nuts::NutsConfig;
 pub use par::WorkerPool;
 pub use runtime::{run_until_converged, ElidedRun, StoppableSampler};
 pub use stream::{Purpose, StreamKey};
+pub use supervisor::{
+    ChainFault, FaultInjector, FaultKind, InjectedFault, ReseedPolicy, ResumableSampler,
+    RetryPolicy, RunError, RunReport, Runtime, SupervisorConfig,
+};

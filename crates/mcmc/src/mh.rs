@@ -132,6 +132,10 @@ impl Sampler for MetropolisHastings {
 
 impl crate::runtime::StoppableSampler for MetropolisHastings {}
 
+/// MH runs under the supervisor with fault isolation and retry, but
+/// without checkpoint/resume (`supports_resume() == false`).
+impl crate::supervisor::ResumableSampler for MetropolisHastings {}
+
 pub(crate) fn draw_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u: f64 = rng.gen_range(-1.0..1.0);

@@ -12,6 +12,7 @@
 
 use crate::adapt::{DualAveraging, WelfordVar};
 use crate::chain::{ChainOutput, RunConfig, Sampler};
+use crate::checkpoint::{segment_seed, SamplerCheckpoint};
 use crate::dynamics::{Hamiltonian, State};
 use crate::model::Model;
 use rand::rngs::StdRng;
@@ -205,7 +206,7 @@ impl Sampler for Nuts {
         cfg: &RunConfig,
         seed: u64,
     ) -> ChainOutput {
-        self.sample_chain_core(model, init, cfg, seed, None, None)
+        self.sample_chain_core(model, init, cfg, seed, None, &[], None, None, None)
     }
 }
 
@@ -219,41 +220,130 @@ impl crate::runtime::StoppableSampler for Nuts {
         stop: &std::sync::atomic::AtomicBool,
         on_draw: &(dyn Fn(usize, &[f64]) + Sync),
     ) -> ChainOutput {
-        self.sample_chain_core(model, init, cfg, seed, Some(stop), Some(on_draw))
+        self.sample_chain_core(
+            model,
+            init,
+            cfg,
+            seed,
+            None,
+            &[],
+            None,
+            Some(stop),
+            Some(on_draw),
+        )
+    }
+}
+
+impl crate::supervisor::ResumableSampler for Nuts {
+    fn supports_resume(&self) -> bool {
+        true
+    }
+
+    fn sample_chain_resumable(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        from: Option<&SamplerCheckpoint>,
+        hooks: &crate::supervisor::ChainHooks<'_>,
+    ) -> ChainOutput {
+        self.sample_chain_core(
+            model,
+            init,
+            cfg,
+            seed,
+            from,
+            hooks.segments,
+            Some(hooks.on_snapshot),
+            Some(hooks.stop),
+            Some(hooks.on_draw),
+        )
     }
 }
 
 impl Nuts {
+    #[allow(clippy::too_many_arguments)]
     fn sample_chain_core(
         &self,
         model: &dyn Model,
         init: &[f64],
         cfg: &RunConfig,
         seed: u64,
+        from: Option<&SamplerCheckpoint>,
+        segments: &[usize],
+        on_snapshot: Option<&(dyn Fn(SamplerCheckpoint) + Sync)>,
         stop: Option<&std::sync::atomic::AtomicBool>,
         on_draw: Option<&(dyn Fn(usize, &[f64]) + Sync)>,
     ) -> ChainOutput {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut ham = Hamiltonian::unit(model);
-        let mut state = State::at(model, init.to_vec());
-        let mut grad_evals = 1u64;
-
-        let eps0 = ham.find_initial_eps(&state, &mut rng, &mut grad_evals);
-        let mut da = DualAveraging::new(eps0, self.cfg.target_accept);
-        let mut eps = eps0;
-        let mut welford = WelfordVar::new(model.dim());
+        // Fresh chains start on the base stream; resumed chains start
+        // on the segment stream of their resume boundary, exactly the
+        // stream an uninterrupted segmented run would be on there.
+        #[allow(clippy::type_complexity)]
+        let (
+            mut rng,
+            mut ham,
+            mut state,
+            mut grad_evals,
+            mut da,
+            mut eps,
+            mut welford,
+            start,
+            mut accept_sum,
+            mut divergences,
+        ) = match from {
+            None => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ham = Hamiltonian::unit(model);
+                let state = State::at(model, init.to_vec());
+                let mut grad_evals = 1u64;
+                let eps0 = ham.find_initial_eps(&state, &mut rng, &mut grad_evals);
+                let da = DualAveraging::new(eps0, self.cfg.target_accept);
+                let welford = WelfordVar::new(model.dim());
+                (
+                    rng, ham, state, grad_evals, da, eps0, welford, 0usize, 0.0f64, 0u64,
+                )
+            }
+            Some(ck) => {
+                let rng = StdRng::seed_from_u64(segment_seed(seed, ck.iter));
+                let mut ham = Hamiltonian::unit(model);
+                ham.inv_mass = ck.inv_mass.clone();
+                let state = State {
+                    q: ck.q.clone(),
+                    lp: ck.lp,
+                    grad: ck.grad.clone(),
+                };
+                (
+                    rng,
+                    ham,
+                    state,
+                    ck.grad_evals,
+                    DualAveraging::restore(&ck.step_adapt),
+                    ck.eps,
+                    WelfordVar::restore(&ck.mass_adapt),
+                    ck.iter,
+                    ck.accept_sum,
+                    ck.divergences,
+                )
+            }
+        };
         let window = (cfg.warmup / 4, cfg.warmup * 3 / 4);
 
-        let mut draws = Vec::with_capacity(cfg.iters);
-        let mut evals_per_iter = Vec::with_capacity(cfg.iters);
-        let mut accept_sum = 0.0;
-        let mut divergences = 0u64;
+        let mut draws = Vec::with_capacity(cfg.iters - start);
+        let mut evals_per_iter = Vec::with_capacity(cfg.iters - start);
         // Recording is observation only: event payloads are built from
         // values the iteration computed anyway, after all RNG use, so
         // an attached recorder cannot perturb the draw stream.
         let recording = cfg.recorder.enabled();
 
-        for iter in 0..cfg.iters {
+        for iter in start..cfg.iters {
+            // Segmented streams: re-derive the generator at every
+            // checkpoint boundary so a resume from iteration t replays
+            // the identical randomness for [t, ...). Re-seeding at the
+            // resume boundary itself is idempotent.
+            if !segments.is_empty() && segments.binary_search(&iter).is_ok() {
+                rng = StdRng::seed_from_u64(segment_seed(seed, iter));
+            }
             let evals_at_start = grad_evals;
             let eps_used = eps;
             let mut depth_reached = 0usize;
@@ -372,6 +462,29 @@ impl Nuts {
             }
             draws.push(state.q.clone());
             evals_per_iter.push((grad_evals - evals_at_start) as u32);
+            // Snapshot at segment boundaries: with iterations [0,
+            // completed) done, the chain can resume at `completed` on
+            // that boundary's segment stream. Captured before on_draw
+            // so the supervisor observes state before progress.
+            if let Some(snap) = on_snapshot {
+                let completed = iter + 1;
+                if segments.binary_search(&completed).is_ok() {
+                    snap(SamplerCheckpoint {
+                        iter: completed,
+                        q: state.q.clone(),
+                        lp: state.lp,
+                        grad: state.grad.clone(),
+                        eps,
+                        inv_mass: ham.inv_mass.clone(),
+                        step_adapt: da.snapshot(),
+                        mass_adapt: welford.snapshot(),
+                        accept_sum,
+                        divergences,
+                        grad_evals,
+                        evals_per_iter: evals_per_iter.clone(),
+                    });
+                }
+            }
             if let Some(cb) = on_draw {
                 cb(iter, &state.q);
             }

@@ -105,6 +105,9 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
     cfg: &RunConfig,
     detector: &ConvergenceDetector,
 ) -> ElidedRun {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid RunConfig: {e}");
+    }
     model.set_inner_threads(cfg.effective_inner_threads());
     model.set_recorder(&cfg.recorder);
     if cfg.recorder.enabled() {
@@ -231,7 +234,16 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
         done.store(true, Ordering::Release);
         drop(wake_mx.lock());
         wake_cv.notify_all();
-        monitor.join().expect("monitor thread panicked");
+        // Propagate a monitor panic the same way chain panics surface:
+        // one formatted message carrying the workload name and the
+        // original payload, not an opaque re-unwind of the boxed Any.
+        if let Err(payload) = monitor.join() {
+            panic!(
+                "convergence monitor of workload '{}' panicked: {}",
+                model.name(),
+                crate::chain::panic_message(payload.as_ref())
+            );
+        }
         crate::chain::collect_chain_results(results, model.name())
     })
     .expect("crossbeam scope failed after all children were joined");

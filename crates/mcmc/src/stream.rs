@@ -26,21 +26,48 @@
 /// What a derived stream is used for. Distinct purposes with the same
 /// `(seed, chain)` yield statistically independent streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[repr(u64)]
 pub enum Purpose {
     /// Markov-chain transition randomness.
     #[default]
-    Sample = 1,
+    Sample,
     /// Initial-point draws (Stan's uniform(-2, 2) inits).
-    Init = 2,
+    Init,
     /// Synthetic dataset generation in the workload suite.
-    DataGen = 3,
+    DataGen,
     /// The reduced-size dynamics dataset the scheduler profiles.
-    Dynamics = 4,
+    Dynamics,
     /// Benchmark-harness randomness (inputs, shuffles).
-    Bench = 5,
+    Bench,
     /// Test-harness randomness (SBC prior draws, replicate indices).
-    Test = 6,
+    Test,
+    /// A re-derived stream for attempt `n` of a retried chain, so a
+    /// reseeded retry never silently reuses the failed stream (see
+    /// `bayes_mcmc::supervisor::RetryPolicy`).
+    Retry(u32),
+    /// Per-segment chain streams used when checkpointing is enabled:
+    /// the sampler re-derives its RNG at every detector checkpoint
+    /// boundary, which makes resume-from-checkpoint bit-identical by
+    /// construction without serializing raw generator state.
+    Segment,
+}
+
+impl Purpose {
+    /// Stable 64-bit code absorbed into the stream hash. The unit
+    /// purposes keep their historical discriminants (1–6) so every
+    /// pre-existing stream is unchanged; `Retry(n)` occupies a disjoint
+    /// range above 2^32.
+    pub fn code(self) -> u64 {
+        match self {
+            Self::Sample => 1,
+            Self::Init => 2,
+            Self::DataGen => 3,
+            Self::Dynamics => 4,
+            Self::Bench => 5,
+            Self::Test => 6,
+            Self::Segment => 7,
+            Self::Retry(attempt) => (1u64 << 32) | attempt as u64,
+        }
+    }
 }
 
 /// Key identifying one RNG stream within a seeded run.
@@ -95,7 +122,7 @@ impl StreamKey {
     pub fn derive(self) -> u64 {
         let mut h = splitmix64(self.seed);
         h = splitmix64(h ^ self.chain);
-        splitmix64(h ^ self.purpose as u64)
+        splitmix64(h ^ self.purpose.code())
     }
 }
 
@@ -144,11 +171,48 @@ mod tests {
                     Purpose::Dynamics,
                     Purpose::Bench,
                     Purpose::Test,
+                    Purpose::Segment,
+                    Purpose::Retry(0),
+                    Purpose::Retry(1),
+                    Purpose::Retry(2),
                 ] {
                     let s = StreamKey::new(seed).chain(chain).purpose(purpose).derive();
                     assert!(seen.insert(s), "collision at {seed}/{chain}/{purpose:?}");
                 }
             }
         }
+    }
+
+    #[test]
+    fn purpose_codes_are_stable_and_distinct() {
+        // The unit purposes must keep their historical codes: changing
+        // one would silently reseed every existing stream.
+        assert_eq!(Purpose::Sample.code(), 1);
+        assert_eq!(Purpose::Init.code(), 2);
+        assert_eq!(Purpose::DataGen.code(), 3);
+        assert_eq!(Purpose::Dynamics.code(), 4);
+        assert_eq!(Purpose::Bench.code(), 5);
+        assert_eq!(Purpose::Test.code(), 6);
+        assert_eq!(Purpose::Segment.code(), 7);
+        // Retry codes live above 2^32, disjoint from any unit code.
+        assert_eq!(Purpose::Retry(0).code(), 1u64 << 32);
+        assert_ne!(Purpose::Retry(0).code(), Purpose::Retry(1).code());
+        assert!(Purpose::Retry(u32::MAX).code() > Purpose::Segment.code());
+    }
+
+    #[test]
+    fn retry_streams_differ_from_the_failed_stream() {
+        let failed = StreamKey::new(3).chain(2).purpose(Purpose::Sample).derive();
+        let retry0 = StreamKey::new(3)
+            .chain(2)
+            .purpose(Purpose::Retry(0))
+            .derive();
+        let retry1 = StreamKey::new(3)
+            .chain(2)
+            .purpose(Purpose::Retry(1))
+            .derive();
+        assert_ne!(failed, retry0);
+        assert_ne!(failed, retry1);
+        assert_ne!(retry0, retry1);
     }
 }

@@ -1,0 +1,1315 @@
+//! Fault-tolerant run supervisor: chain isolation, deterministic
+//! retry, stall watchdog, checkpoint/resume, and graceful degradation.
+//!
+//! The paper's headline result depends on long multi-chain NUTS runs
+//! surviving to convergence; [`crate::runtime::run_until_converged`]
+//! re-raises the first chain panic and discards every surviving
+//! chain's work. [`Runtime`] instead treats per-chain failure as a
+//! recoverable event:
+//!
+//! * **Isolation** — each chain runs under `catch_unwind`; panics,
+//!   non-finite draws, stalls, and divergence overruns become typed
+//!   [`ChainFault`]s instead of aborting the run.
+//! * **Deterministic retry** — a failed attempt reruns the chain from
+//!   its last resume point. With reseeding, attempt `n` moves to the
+//!   [`Purpose::Retry`]`(n)` stream so it never silently reuses the
+//!   failed stream; without, it replays the identical stream, which
+//!   keeps the run's draws bit-identical to a fault-free run (the
+//!   default policy, [`ReseedPolicy::StreamFaults`], reseeds only for
+//!   faults the stream itself caused).
+//! * **Stall watchdog** — the monitor thread tracks per-chain progress
+//!   heartbeats; a chain that stops advancing for
+//!   [`SupervisorConfig::stall_deadline`] is cancelled cooperatively
+//!   (the same `AtomicBool` the elision stop uses) and retried as
+//!   [`FaultKind::Stalled`]. Cancellation never touches the RNG, so a
+//!   same-stream retry of a stalled chain reproduces its draws.
+//! * **Checkpoint/resume** — with a checkpoint path configured, chains
+//!   run on segmented RNG streams (see [`crate::checkpoint`]) and the
+//!   supervisor serializes a [`RunCheckpoint`] at detector checkpoint
+//!   boundaries; [`Runtime::resume`] continues bit-identically.
+//! * **Graceful degradation** — once retries are exhausted the run
+//!   completes with the surviving chains and a degraded
+//!   [`RunReport`]; convergence is only declared while at least
+//!   [`SupervisorConfig::min_quorum`] chains participate.
+//!
+//! Every decision is observable: faults emit `chain_fault`, retries
+//! `chain_retry`, checkpoint writes `checkpoint_saved`, resumes
+//! `resume`, and degraded completions `degraded_report` (`bayes_obs`).
+
+use crate::chain::{
+    initial_points, panic_message, ChainOutput, ConfigError, MultiChainRun, RunConfig,
+};
+use crate::checkpoint::{
+    ChainCheckpoint, DetectorFingerprint, RunCheckpoint, SamplerCheckpoint, CHECKPOINT_VERSION,
+};
+use crate::converge::ConvergenceDetector;
+use crate::model::Model;
+use crate::runtime::StoppableSampler;
+use crate::stream::{Purpose, StreamKey};
+use bayes_obs::{CheckpointSource, Event};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Classification of a chain failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The chain thread unwound (model panic, sampler bug, injected).
+    Panic,
+    /// The chain produced a non-finite draw — NaN/Inf poisoning from
+    /// the log-density or gradient.
+    NonFinite,
+    /// The chain stopped making progress past the watchdog deadline.
+    Stalled,
+    /// The chain exceeded the configured divergence budget.
+    Diverged,
+}
+
+impl FaultKind {
+    /// Stable lowercase tag used in `chain_fault` events.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Panic => "panic",
+            Self::NonFinite => "non_finite",
+            Self::Stalled => "stalled",
+            Self::Diverged => "diverged",
+        }
+    }
+}
+
+/// One recorded chain failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainFault {
+    /// Chain index.
+    pub chain: usize,
+    /// Attempt that failed (0 = the original run).
+    pub attempt: u32,
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Iteration the fault surfaced at, when attributable.
+    pub iter: Option<usize>,
+    /// Human-readable detail (panic payload, deadline, …).
+    pub message: String,
+}
+
+/// When a retried chain moves to a fresh RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReseedPolicy {
+    /// Retries always replay the failed attempt's stream.
+    Never,
+    /// Every retry re-derives its stream via [`Purpose::Retry`].
+    Always,
+    /// Reseed only faults the random stream itself can cause
+    /// ([`FaultKind::NonFinite`], [`FaultKind::Diverged`]) — replaying
+    /// those would fail identically. Panics and stalls come from the
+    /// environment, so their retries keep the stream and reproduce the
+    /// fault-free draws bit for bit.
+    #[default]
+    StreamFaults,
+}
+
+impl ReseedPolicy {
+    fn reseed_for(self, kind: FaultKind) -> bool {
+        match self {
+            Self::Never => false,
+            Self::Always => true,
+            Self::StreamFaults => matches!(kind, FaultKind::NonFinite | FaultKind::Diverged),
+        }
+    }
+}
+
+/// How many times a chain may run, and on which streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per chain, the original included. Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Stream policy for retried attempts.
+    pub reseed: ReseedPolicy,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            reseed: ReseedPolicy::default(),
+        }
+    }
+}
+
+/// A deterministically injected fault, for exercising recovery paths
+/// (see `bayes_testkit`'s `FaultPlan`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic inside the chain's draw callback.
+    Panic,
+    /// Poison the draw with NaN, exercising non-finite detection.
+    NonFinite,
+    /// Block the chain until the watchdog cancels it.
+    Stall,
+    /// Report the chain as divergence-poisoned.
+    Diverge,
+}
+
+/// Decides whether to inject a fault at a given (chain, attempt,
+/// iteration) point. Implementations must be deterministic.
+pub trait FaultInjector: Send + Sync {
+    /// The fault to inject when chain `chain`, on attempt `attempt`,
+    /// completes iteration `iter` — or `None` to proceed normally.
+    fn inject(&self, chain: usize, attempt: u32, iter: usize) -> Option<InjectedFault>;
+}
+
+/// Supervisor-side callbacks handed to a [`ResumableSampler`].
+pub struct ChainHooks<'a> {
+    /// Cooperative cancel flag, polled once per iteration.
+    pub stop: &'a AtomicBool,
+    /// Invoked with every accepted draw, in iteration order.
+    pub on_draw: &'a (dyn Fn(usize, &[f64]) + Sync),
+    /// Sorted RNG segment boundaries (empty when checkpointing is
+    /// off): the sampler re-derives its generator at each.
+    pub segments: &'a [usize],
+    /// Invoked with the sampler state at each segment boundary.
+    pub on_snapshot: &'a (dyn Fn(SamplerCheckpoint) + Sync),
+}
+
+impl std::fmt::Debug for ChainHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainHooks")
+            .field("segments", &self.segments)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A sampler the supervisor can checkpoint and resume. The default
+/// implementation runs via [`StoppableSampler`] with no checkpoint
+/// support, so every existing sampler gains supervision (isolation,
+/// retry, watchdog) for free; [`crate::nuts::Nuts`] overrides both
+/// methods with real segmented-stream resume.
+pub trait ResumableSampler: StoppableSampler {
+    /// Whether [`ResumableSampler::sample_chain_resumable`] honours
+    /// `from` and the segment schedule. The supervisor rejects
+    /// checkpointing configs when this is `false`.
+    fn supports_resume(&self) -> bool {
+        false
+    }
+
+    /// Runs one chain, resuming from `from` when given, re-deriving
+    /// the RNG at each `hooks.segments` boundary, and reporting state
+    /// snapshots at those boundaries through `hooks.on_snapshot`. A
+    /// resumed invocation returns only the iterations it executed
+    /// (`[from.iter, ..)`); the supervisor re-attaches the prefix.
+    fn sample_chain_resumable(
+        &self,
+        model: &dyn Model,
+        init: &[f64],
+        cfg: &RunConfig,
+        seed: u64,
+        from: Option<&SamplerCheckpoint>,
+        hooks: &ChainHooks<'_>,
+    ) -> ChainOutput {
+        debug_assert!(from.is_none(), "default impl cannot resume");
+        self.sample_chain_stoppable(model, init, cfg, seed, hooks.stop, hooks.on_draw)
+    }
+}
+
+/// Fault-tolerance policy for a supervised run.
+#[derive(Clone, Default)]
+pub struct SupervisorConfig {
+    /// Per-chain retry budget and stream policy.
+    pub retry: RetryPolicy,
+    /// Cancel a chain whose draw count stops advancing for this long
+    /// ([`FaultKind::Stalled`]). `None` disables the watchdog.
+    pub stall_deadline: Option<Duration>,
+    /// Treat a chain exceeding this many post-warmup divergences as
+    /// [`FaultKind::Diverged`]. `None` disables the check.
+    pub max_divergences: Option<u64>,
+    /// Minimum chains that must participate for convergence to be
+    /// declared; with fewer survivors the run errors out
+    /// ([`RunError::QuorumLost`]). Defaults to 2 (R̂ needs two chains).
+    pub min_quorum: usize,
+    /// Where to write [`RunCheckpoint`]s. Setting this switches chains
+    /// to segmented RNG streams (see [`crate::checkpoint`]).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Deterministic fault injector, for tests and smoke runs.
+    pub injector: Option<Arc<dyn FaultInjector>>,
+}
+
+impl std::fmt::Debug for SupervisorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisorConfig")
+            .field("retry", &self.retry)
+            .field("stall_deadline", &self.stall_deadline)
+            .field("max_divergences", &self.max_divergences)
+            .field("min_quorum", &self.min_quorum)
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("injector", &self.injector.is_some())
+            .finish()
+    }
+}
+
+impl SupervisorConfig {
+    /// Default policy: 2 attempts per chain, stream-fault reseeding,
+    /// no watchdog, no divergence budget, quorum 2, no checkpointing.
+    pub fn new() -> Self {
+        Self {
+            min_quorum: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables the stall watchdog with the given deadline.
+    pub fn with_stall_deadline(mut self, deadline: Duration) -> Self {
+        self.stall_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the per-chain divergence budget.
+    pub fn with_max_divergences(mut self, max: u64) -> Self {
+        self.max_divergences = Some(max);
+        self
+    }
+
+    /// Sets the minimum chain quorum.
+    pub fn with_min_quorum(mut self, quorum: usize) -> Self {
+        self.min_quorum = quorum;
+        self
+    }
+
+    /// Enables checkpointing to `path`.
+    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Attaches a deterministic fault injector.
+    pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+}
+
+// `new()` must start from quorum 2, but `derive(Default)` would give
+// 0; keep Default usable by making it identical to `new()`.
+
+/// Outcome of a supervised run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Surviving chains, in chain order, truncated to
+    /// [`RunReport::stopped_at`] when the run converged early.
+    pub run: MultiChainRun,
+    /// Iteration at which convergence stopped the run, if it did.
+    pub stopped_at: Option<usize>,
+    /// Iterations configured by the user.
+    pub configured_iters: usize,
+    /// Every fault observed, in resolution order.
+    pub faults: Vec<ChainFault>,
+    /// True when at least one chain exhausted its retries and the run
+    /// completed without it.
+    pub degraded: bool,
+    /// Indices of the chains present in [`RunReport::run`].
+    pub survivors: Vec<usize>,
+}
+
+impl RunReport {
+    /// Fraction of configured iterations never executed (or discarded
+    /// as overrun past the stop decision).
+    pub fn iterations_elided(&self) -> f64 {
+        match self.stopped_at {
+            None => 0.0,
+            Some(_) => {
+                let executed = self
+                    .run
+                    .chains
+                    .iter()
+                    .map(|c| c.draws.len())
+                    .max()
+                    .unwrap_or(0);
+                (1.0 - executed as f64 / self.configured_iters as f64).max(0.0)
+            }
+        }
+    }
+}
+
+/// A supervised run that could not complete.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The run request itself was invalid.
+    Config(ConfigError),
+    /// Too few chains survived to satisfy the quorum.
+    QuorumLost {
+        /// Chains still alive when the run gave up.
+        survivors: usize,
+        /// The configured minimum.
+        required: usize,
+        /// Faults observed up to that point.
+        faults: Vec<ChainFault>,
+    },
+    /// The monitor thread itself panicked.
+    Monitor {
+        /// The monitor's panic payload.
+        message: String,
+    },
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "{e}"),
+            Self::QuorumLost {
+                survivors,
+                required,
+                ..
+            } => write!(
+                f,
+                "chain quorum lost: {survivors} survivors, {required} required"
+            ),
+            Self::Monitor { message } => write!(f, "monitor thread panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// One queued chain attempt.
+#[derive(Clone)]
+struct Attempt {
+    chain: usize,
+    attempt: u32,
+    stream_seed: u64,
+    from: Option<SamplerCheckpoint>,
+    prefix_draws: Vec<Vec<f64>>,
+    prefix_evals: Vec<u32>,
+}
+
+/// Why one attempt failed: (kind, iteration, message).
+type FaultInfo = (FaultKind, Option<usize>, String);
+
+struct RoundResult {
+    /// Per attempt (same order as the round's input), the chain output
+    /// or the fault that ended it.
+    outcomes: Vec<Result<ChainOutput, FaultInfo>>,
+    /// Stop decision the round's monitor made, if any.
+    decided: Option<usize>,
+}
+
+/// The fault-tolerant counterpart of
+/// [`crate::runtime::run_until_converged`].
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    detector: ConvergenceDetector,
+    sup: SupervisorConfig,
+}
+
+impl Runtime {
+    /// A supervisor with default fault policy around `detector`.
+    pub fn new(detector: ConvergenceDetector) -> Self {
+        Self {
+            detector,
+            sup: SupervisorConfig::new(),
+        }
+    }
+
+    /// Replaces the fault policy.
+    pub fn with_config(mut self, sup: SupervisorConfig) -> Self {
+        self.sup = sup;
+        self
+    }
+
+    /// The convergence detector in use.
+    pub fn detector(&self) -> &ConvergenceDetector {
+        &self.detector
+    }
+
+    /// Runs `cfg.chains` chains under supervision.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] for an invalid request, or
+    /// [`RunError::QuorumLost`] when chain failures leave fewer than
+    /// [`SupervisorConfig::min_quorum`] survivors.
+    pub fn run<S: ResumableSampler + Sync>(
+        &self,
+        sampler: &S,
+        model: &dyn Model,
+        cfg: &RunConfig,
+    ) -> Result<RunReport, RunError> {
+        self.run_inner(sampler, model, cfg, None)
+    }
+
+    /// Continues a run from the checkpoint at `path`. The remaining
+    /// draws are bit-identical to the uninterrupted run's, provided
+    /// the model, config, and detector match the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::CheckpointInvalid`] when the file cannot be read
+    /// or parsed, [`ConfigError::CheckpointMismatch`] when it was
+    /// taken under a different run, plus everything [`Runtime::run`]
+    /// can return.
+    pub fn resume<S: ResumableSampler + Sync>(
+        &self,
+        sampler: &S,
+        model: &dyn Model,
+        cfg: &RunConfig,
+        path: &Path,
+    ) -> Result<RunReport, RunError> {
+        let ck = RunCheckpoint::load(path).map_err(ConfigError::CheckpointInvalid)?;
+        self.run_inner(sampler, model, cfg, Some((ck, path.display().to_string())))
+    }
+
+    fn fingerprint(&self) -> DetectorFingerprint {
+        DetectorFingerprint {
+            threshold: self.detector.threshold(),
+            check_every: self.detector.check_every(),
+            min_iters: self.detector.min_iters(),
+            consecutive: self.detector.consecutive(),
+        }
+    }
+
+    fn validate_resume(
+        &self,
+        ck: &RunCheckpoint,
+        model: &dyn Model,
+        cfg: &RunConfig,
+        segments: &[usize],
+    ) -> Result<(), ConfigError> {
+        let mismatch = |msg: String| Err(ConfigError::CheckpointMismatch(msg));
+        if ck.model != model.name() || ck.dim != model.dim() {
+            return mismatch(format!(
+                "checkpoint is for model '{}' (dim {}), run is '{}' (dim {})",
+                ck.model,
+                ck.dim,
+                model.name(),
+                model.dim()
+            ));
+        }
+        if ck.seed != cfg.seed
+            || ck.chains != cfg.chains
+            || ck.iters != cfg.iters
+            || ck.warmup != cfg.warmup
+        {
+            return mismatch(format!(
+                "checkpoint run shape (seed {}, chains {}, iters {}, warmup {}) \
+                 differs from config (seed {}, chains {}, iters {}, warmup {})",
+                ck.seed,
+                ck.chains,
+                ck.iters,
+                ck.warmup,
+                cfg.seed,
+                cfg.chains,
+                cfg.iters,
+                cfg.warmup
+            ));
+        }
+        if ck.detector != self.fingerprint() {
+            return mismatch(
+                "checkpoint was taken under a different convergence detector".to_string(),
+            );
+        }
+        if segments.binary_search(&ck.iter).is_err() {
+            return mismatch(format!(
+                "checkpoint iteration {} is not a detector checkpoint boundary",
+                ck.iter
+            ));
+        }
+        if ck.chain_states.len() != cfg.chains {
+            return mismatch(format!(
+                "checkpoint has {} chain states, run has {} chains",
+                ck.chain_states.len(),
+                cfg.chains
+            ));
+        }
+        for (c, cs) in ck.chain_states.iter().enumerate() {
+            if cs.chain != c
+                || cs.sampler.iter != ck.iter
+                || cs.draws.len() != ck.iter
+                || cs.evals_per_iter.len() != ck.iter
+            {
+                return mismatch(format!(
+                    "chain state {c} is inconsistent with iter {}",
+                    ck.iter
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn run_inner<S: ResumableSampler + Sync>(
+        &self,
+        sampler: &S,
+        model: &dyn Model,
+        cfg: &RunConfig,
+        resume: Option<(RunCheckpoint, String)>,
+    ) -> Result<RunReport, RunError> {
+        cfg.validate()?;
+        if self.sup.retry.max_attempts == 0 {
+            return Err(ConfigError::ZeroAttempts.into());
+        }
+        if self.sup.min_quorum == 0 {
+            return Err(ConfigError::ZeroQuorum.into());
+        }
+        if self.sup.min_quorum > cfg.chains {
+            return Err(ConfigError::QuorumExceedsChains {
+                quorum: self.sup.min_quorum,
+                chains: cfg.chains,
+            }
+            .into());
+        }
+        let checkpointing = self.sup.checkpoint_path.is_some() || resume.is_some();
+        if checkpointing && !sampler.supports_resume() {
+            return Err(ConfigError::ResumeUnsupported.into());
+        }
+        // The detector checkpoint schedule doubles as the RNG segment
+        // schedule, so checkpointed and resumed runs agree on where
+        // every stream is re-derived.
+        let segments: Vec<usize> = if checkpointing {
+            self.detector.checkpoints(cfg.iters).collect()
+        } else {
+            Vec::new()
+        };
+        if let Some((ck, _)) = &resume {
+            self.validate_resume(ck, model, cfg, &segments)?;
+        }
+
+        model.set_inner_threads(cfg.effective_inner_threads());
+        model.set_recorder(&cfg.recorder);
+        if cfg.recorder.enabled() {
+            cfg.recorder.record(Event::RunStart {
+                model: model.name().to_string(),
+                chains: cfg.chains as u64,
+                iters: cfg.iters as u64,
+                seed: cfg.seed,
+            });
+            if let Some((ck, path)) = &resume {
+                cfg.recorder.record(Event::Resume {
+                    path: path.clone(),
+                    iter: ck.iter as u64,
+                    model: model.name().to_string(),
+                });
+            }
+        }
+        let inits = initial_points(cfg, model.dim());
+
+        let mut pending: Vec<Attempt> = match resume {
+            None => (0..cfg.chains)
+                .map(|c| Attempt {
+                    chain: c,
+                    attempt: 0,
+                    stream_seed: cfg.chain_seed(c),
+                    from: None,
+                    prefix_draws: Vec::new(),
+                    prefix_evals: Vec::new(),
+                })
+                .collect(),
+            Some((ck, _)) => ck
+                .chain_states
+                .into_iter()
+                .map(|cs| Attempt {
+                    chain: cs.chain,
+                    attempt: 0,
+                    stream_seed: cs.stream_seed,
+                    from: Some(cs.sampler),
+                    prefix_draws: cs.draws,
+                    prefix_evals: cs.evals_per_iter,
+                })
+                .collect(),
+        };
+
+        let mut completed: BTreeMap<usize, ChainOutput> = BTreeMap::new();
+        let mut lost: BTreeSet<usize> = BTreeSet::new();
+        let mut faults: Vec<ChainFault> = Vec::new();
+        let mut decided: Option<usize> = None;
+
+        while !pending.is_empty() {
+            let all_pending = completed.is_empty() && pending.len() == cfg.chains;
+            let write_checkpoints = all_pending && self.sup.checkpoint_path.is_some();
+            let round = self.run_round(
+                sampler,
+                model,
+                cfg,
+                &inits,
+                &pending,
+                &completed,
+                &segments,
+                decided,
+                write_checkpoints,
+            )?;
+            if decided.is_none() {
+                decided = round.decided;
+            }
+
+            let mut next: Vec<Attempt> = Vec::new();
+            for (p, outcome) in pending.iter().zip(round.outcomes) {
+                match outcome {
+                    Ok(mut out) => {
+                        if !p.prefix_draws.is_empty() {
+                            let mut draws = p.prefix_draws.clone();
+                            draws.append(&mut out.draws);
+                            out.draws = draws;
+                            let mut evals = p.prefix_evals.clone();
+                            evals.append(&mut out.evals_per_iter);
+                            out.evals_per_iter = evals;
+                        }
+                        completed.insert(p.chain, out);
+                    }
+                    Err((kind, iter, message)) => {
+                        let fault = ChainFault {
+                            chain: p.chain,
+                            attempt: p.attempt,
+                            kind,
+                            iter,
+                            message,
+                        };
+                        if cfg.recorder.enabled() {
+                            cfg.recorder.record(Event::ChainFault {
+                                chain: fault.chain as u64,
+                                attempt: fault.attempt as u64,
+                                kind: kind.tag().to_string(),
+                                iter: fault.iter.map(|i| i as u64),
+                                message: fault.message.clone(),
+                            });
+                        }
+                        let next_attempt = p.attempt + 1;
+                        if next_attempt < self.sup.retry.max_attempts {
+                            // A reseed-eligible fault at/past an
+                            // already-decided stop point is retried on
+                            // the SAME stream: the chain only has to
+                            // reach the decision, and the fault lies in
+                            // draws that will be discarded anyway —
+                            // reseeding would perturb the kept prefix.
+                            let past_decision = matches!(
+                                (fault.iter, decided),
+                                (Some(i), Some(t)) if i >= t
+                            );
+                            let reseed = self.sup.retry.reseed.reseed_for(kind) && !past_decision;
+                            let stream_seed = if reseed {
+                                StreamKey::new(cfg.seed)
+                                    .chain(p.chain as u64)
+                                    .purpose(Purpose::Retry(next_attempt))
+                                    .derive()
+                            } else {
+                                p.stream_seed
+                            };
+                            if cfg.recorder.enabled() {
+                                cfg.recorder.record(Event::ChainRetry {
+                                    chain: p.chain as u64,
+                                    attempt: next_attempt as u64,
+                                    reseed,
+                                    seed: stream_seed,
+                                });
+                            }
+                            next.push(Attempt {
+                                chain: p.chain,
+                                attempt: next_attempt,
+                                stream_seed,
+                                from: p.from.clone(),
+                                prefix_draws: p.prefix_draws.clone(),
+                                prefix_evals: p.prefix_evals.clone(),
+                            });
+                        } else {
+                            lost.insert(p.chain);
+                        }
+                        faults.push(fault);
+                    }
+                }
+            }
+            pending = next;
+
+            let alive = cfg.chains - lost.len();
+            if alive < self.sup.min_quorum {
+                cfg.recorder.flush();
+                return Err(RunError::QuorumLost {
+                    survivors: alive,
+                    required: self.sup.min_quorum,
+                    faults,
+                });
+            }
+        }
+
+        // A chain lost mid-monitoring freezes the online walk at its
+        // fault point; once the survivors are all in, replay the
+        // schedule over them post-hoc (quorum permitting) so graceful
+        // degradation still elides converged tails. No events: the
+        // online monitor already reported the checkpoints it reached.
+        if decided.is_none() && !lost.is_empty() && completed.len() >= self.sup.min_quorum.max(2) {
+            let views: Vec<&[Vec<f64>]> = completed.values().map(|c| c.draws.as_slice()).collect();
+            let mut streak = 0usize;
+            for t in self.detector.checkpoints(cfg.iters) {
+                if views.iter().any(|v| v.len() < t) {
+                    break;
+                }
+                let r = self.detector.rhat_at(&views, t);
+                if r.is_finite() && r < self.detector.threshold() {
+                    streak += 1;
+                    if streak >= self.detector.consecutive() {
+                        decided = Some(t);
+                        break;
+                    }
+                } else {
+                    streak = 0;
+                }
+            }
+        }
+
+        if let Some(t) = decided {
+            // Discard in-flight overrun past the stop decision, exactly
+            // as the plain elision runtime does.
+            for out in completed.values_mut() {
+                if out.draws.len() > t {
+                    out.grad_evals = out.evals_until(t);
+                    out.draws.truncate(t);
+                    out.evals_per_iter.truncate(t);
+                }
+            }
+        }
+
+        let degraded = !lost.is_empty();
+        if degraded && cfg.recorder.enabled() {
+            cfg.recorder.record(Event::DegradedReport {
+                model: model.name().to_string(),
+                survivors: completed.len() as u64,
+                lost: lost.len() as u64,
+                faults: faults.len() as u64,
+            });
+        }
+        model.flush_telemetry();
+        if cfg.recorder.enabled() {
+            cfg.recorder.record(Event::RunEnd {
+                model: model.name().to_string(),
+                chains: completed.len() as u64,
+                stopped_at: decided.map(|t| t as u64),
+                total_draws: completed.values().map(|c| c.draws.len() as u64).sum(),
+                divergences: completed.values().map(|c| c.divergences).sum(),
+            });
+            cfg.recorder.flush();
+        }
+
+        let survivors: Vec<usize> = completed.keys().copied().collect();
+        let chains: Vec<ChainOutput> = completed.into_values().collect();
+        Ok(RunReport {
+            run: MultiChainRun {
+                chains,
+                dim: model.dim(),
+            },
+            stopped_at: decided,
+            configured_iters: cfg.iters,
+            faults,
+            degraded,
+            survivors,
+        })
+    }
+
+    /// Runs one round: every pending attempt on its own OS thread, a
+    /// monitor thread walking the checkpoint schedule (convergence +
+    /// checkpoint writes) and policing the stall deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn run_round<S: ResumableSampler + Sync>(
+        &self,
+        sampler: &S,
+        model: &dyn Model,
+        cfg: &RunConfig,
+        inits: &[Vec<f64>],
+        pending: &[Attempt],
+        completed: &BTreeMap<usize, ChainOutput>,
+        segments: &[usize],
+        decided: Option<usize>,
+        write_checkpoints: bool,
+    ) -> Result<RoundResult, RunError> {
+        let n = pending.len();
+        // Convergence may only be decided while enough chains
+        // participate (quorum, and ≥ 2 for R̂ itself).
+        let monitoring = decided.is_none() && (completed.len() + n) >= self.sup.min_quorum.max(2);
+        let walk = monitoring || write_checkpoints;
+
+        let cancels: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let chain_done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let fault_slots: Vec<Mutex<Option<FaultInfo>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let buffers: Vec<Mutex<Vec<Vec<f64>>>> = pending
+            .iter()
+            .map(|p| Mutex::new(p.prefix_draws.clone()))
+            .collect();
+        let snapshots: Vec<Mutex<BTreeMap<usize, SamplerCheckpoint>>> =
+            (0..n).map(|_| Mutex::new(BTreeMap::new())).collect();
+        let round_stopped: Mutex<Option<usize>> = Mutex::new(None);
+        let done = AtomicBool::new(false);
+        let wake_mx = Mutex::new(());
+        let wake_cv = Condvar::new();
+        // Chain index → pending slot, for assembling R̂ snapshots in
+        // chain order.
+        let mut slot_of: Vec<Option<usize>> = vec![None; cfg.chains];
+        for (i, p) in pending.iter().enumerate() {
+            slot_of[p.chain] = Some(i);
+        }
+
+        let outcomes: Result<Vec<Result<ChainOutput, FaultInfo>>, RunError> =
+            crossbeam::thread::scope(|scope| {
+                let monitor = {
+                    let cancels = &cancels;
+                    let chain_done = &chain_done;
+                    let fault_slots = &fault_slots;
+                    let buffers = &buffers;
+                    let snapshots = &snapshots;
+                    let round_stopped = &round_stopped;
+                    let done = &done;
+                    let wake_mx = &wake_mx;
+                    let wake_cv = &wake_cv;
+                    let slot_of = &slot_of;
+                    let detector = &self.detector;
+                    let stall_deadline = self.sup.stall_deadline;
+                    let checkpoint_path = self.sup.checkpoint_path.clone();
+                    scope.spawn(move |_| {
+                        let mut schedule = detector.checkpoints(cfg.iters);
+                        let mut pending_ck = if walk { schedule.next() } else { None };
+                        let mut streak = 0usize;
+                        let progress = || buffers.iter().map(|b| b.lock().len()).min().unwrap_or(0);
+                        let mut heartbeats: Vec<(usize, Instant)> = buffers
+                            .iter()
+                            .map(|b| (b.lock().len(), Instant::now()))
+                            .collect();
+                        loop {
+                            if let Some(t) = pending_ck {
+                                if progress() >= t {
+                                    if monitoring {
+                                        // R̂ over chain-ordered prefixes:
+                                        // finished chains contribute their
+                                        // stored draws, running chains
+                                        // their live buffers; lost chains
+                                        // are simply absent.
+                                        let snaps: Vec<Vec<Vec<f64>>> = (0..cfg.chains)
+                                            .filter_map(|c| {
+                                                if let Some(out) = completed.get(&c) {
+                                                    Some(out.draws[..t].to_vec())
+                                                } else {
+                                                    slot_of[c]
+                                                        .map(|i| buffers[i].lock()[..t].to_vec())
+                                                }
+                                            })
+                                            .collect();
+                                        let views: Vec<&[Vec<f64>]> =
+                                            snaps.iter().map(|s| s.as_slice()).collect();
+                                        let r = detector.rhat_at(&views, t);
+                                        if r.is_finite() && r < detector.threshold() {
+                                            streak += 1;
+                                        } else {
+                                            streak = 0;
+                                        }
+                                        let converged = streak >= detector.consecutive();
+                                        if cfg.recorder.enabled() {
+                                            cfg.recorder.record(Event::Checkpoint {
+                                                source: CheckpointSource::Online,
+                                                iter: t as u64,
+                                                max_rhat: r,
+                                                streak: streak as u64,
+                                                converged,
+                                            });
+                                        }
+                                        if converged {
+                                            *round_stopped.lock() = Some(t);
+                                            for cancel in cancels {
+                                                cancel.store(true, Ordering::Release);
+                                            }
+                                            break;
+                                        }
+                                    }
+                                    if write_checkpoints {
+                                        if let Some(path) = &checkpoint_path {
+                                            let have_all =
+                                                snapshots.iter().all(|s| s.lock().contains_key(&t));
+                                            if have_all {
+                                                let chain_states: Vec<ChainCheckpoint> = pending
+                                                    .iter()
+                                                    .enumerate()
+                                                    .map(|(i, p)| {
+                                                        let mut sck = snapshots[i]
+                                                            .lock()
+                                                            .get(&t)
+                                                            .cloned()
+                                                            .expect("checked above");
+                                                        let mut evals = p.prefix_evals.clone();
+                                                        evals.extend(
+                                                            sck.evals_per_iter.iter().copied(),
+                                                        );
+                                                        sck.evals_per_iter = Vec::new();
+                                                        ChainCheckpoint {
+                                                            chain: p.chain,
+                                                            stream_seed: p.stream_seed,
+                                                            draws: buffers[i].lock()[..t].to_vec(),
+                                                            evals_per_iter: evals,
+                                                            sampler: sck,
+                                                        }
+                                                    })
+                                                    .collect();
+                                                let ck = RunCheckpoint {
+                                                    version: CHECKPOINT_VERSION,
+                                                    model: model.name().to_string(),
+                                                    dim: model.dim(),
+                                                    seed: cfg.seed,
+                                                    chains: cfg.chains,
+                                                    iters: cfg.iters,
+                                                    warmup: cfg.warmup,
+                                                    detector: DetectorFingerprint {
+                                                        threshold: detector.threshold(),
+                                                        check_every: detector.check_every(),
+                                                        min_iters: detector.min_iters(),
+                                                        consecutive: detector.consecutive(),
+                                                    },
+                                                    iter: t,
+                                                    chain_states,
+                                                };
+                                                // Best-effort: an unwritable
+                                                // checkpoint must not kill a
+                                                // healthy run.
+                                                if ck.save(path).is_ok() && cfg.recorder.enabled() {
+                                                    cfg.recorder.record(Event::CheckpointSaved {
+                                                        path: path.display().to_string(),
+                                                        iter: t as u64,
+                                                        chains: cfg.chains as u64,
+                                                    });
+                                                }
+                                                for s in snapshots {
+                                                    s.lock().retain(|&k, _| k > t);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    pending_ck = schedule.next();
+                                    continue;
+                                }
+                            }
+                            // Stall watchdog: a running, uncancelled chain
+                            // whose draw count has not advanced within the
+                            // deadline is cancelled and marked Stalled.
+                            // Cancellation is cooperative and touches no
+                            // RNG, so a same-stream retry reproduces the
+                            // chain's draws exactly.
+                            if let Some(deadline) = stall_deadline {
+                                let now = Instant::now();
+                                for i in 0..n {
+                                    if chain_done[i].load(Ordering::Acquire)
+                                        || cancels[i].load(Ordering::Acquire)
+                                    {
+                                        continue;
+                                    }
+                                    let len = buffers[i].lock().len();
+                                    if len > heartbeats[i].0 {
+                                        heartbeats[i] = (len, now);
+                                    } else if now.duration_since(heartbeats[i].1) >= deadline {
+                                        let mut slot = fault_slots[i].lock();
+                                        if slot.is_none() {
+                                            *slot = Some((
+                                                FaultKind::Stalled,
+                                                Some(len),
+                                                format!("no progress within {deadline:?}"),
+                                            ));
+                                        }
+                                        drop(slot);
+                                        cancels[i].store(true, Ordering::Release);
+                                    }
+                                }
+                            }
+                            let mut guard = wake_mx.lock();
+                            if let Some(t) = pending_ck {
+                                if progress() >= t {
+                                    continue;
+                                }
+                            }
+                            if done.load(Ordering::Acquire) {
+                                break;
+                            }
+                            wake_cv.wait_for(&mut guard, Duration::from_millis(100));
+                        }
+                    })
+                };
+
+                let workers: Vec<_> = pending
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let cancel = &cancels[i];
+                        let finished = &chain_done[i];
+                        let slot = &fault_slots[i];
+                        let buffer = &buffers[i];
+                        let snaps = &snapshots[i];
+                        let wake_mx = &wake_mx;
+                        let wake_cv = &wake_cv;
+                        let injector = self.sup.injector.clone();
+                        let chain = p.chain;
+                        let attempt = p.attempt;
+                        let seed = p.stream_seed;
+                        let from = p.from.as_ref();
+                        let init = &inits[chain];
+                        let cfg_c = cfg.for_chain(chain);
+                        let target = decided;
+                        let chain_segments: &[usize] =
+                            if segments.is_empty() { &[] } else { segments };
+                        scope.spawn(move |_| {
+                            let on_draw = move |iter: usize, draw: &[f64]| {
+                                let mut poisoned = false;
+                                if let Some(inj) = injector.as_deref() {
+                                    match inj.inject(chain, attempt, iter) {
+                                        Some(InjectedFault::Panic) => {
+                                            panic!(
+                                                "injected panic (chain {chain}, iteration {iter})"
+                                            )
+                                        }
+                                        Some(InjectedFault::Stall) => {
+                                            while !cancel.load(Ordering::Acquire) {
+                                                std::thread::sleep(Duration::from_millis(1));
+                                            }
+                                            return;
+                                        }
+                                        Some(InjectedFault::Diverge) => {
+                                            let mut s = slot.lock();
+                                            if s.is_none() {
+                                                *s = Some((
+                                                    FaultKind::Diverged,
+                                                    Some(iter),
+                                                    "injected divergence".to_string(),
+                                                ));
+                                            }
+                                            drop(s);
+                                            cancel.store(true, Ordering::Release);
+                                            return;
+                                        }
+                                        Some(InjectedFault::NonFinite) => poisoned = true,
+                                        None => {}
+                                    }
+                                }
+                                // Validate before the buffer sees the
+                                // draw: a poisoned vector must never
+                                // reach R̂ or a checkpoint.
+                                if poisoned || draw.iter().any(|v| !v.is_finite()) {
+                                    let mut s = slot.lock();
+                                    if s.is_none() {
+                                        *s = Some((
+                                            FaultKind::NonFinite,
+                                            Some(iter),
+                                            format!("non-finite draw at iteration {iter}"),
+                                        ));
+                                    }
+                                    drop(s);
+                                    cancel.store(true, Ordering::Release);
+                                    return;
+                                }
+                                let len = {
+                                    let mut b = buffer.lock();
+                                    b.push(draw.to_vec());
+                                    b.len()
+                                };
+                                if let Some(t) = target {
+                                    if len >= t {
+                                        cancel.store(true, Ordering::Release);
+                                    }
+                                }
+                                drop(wake_mx.lock());
+                                wake_cv.notify_one();
+                            };
+                            let on_snapshot = move |s: SamplerCheckpoint| {
+                                if write_checkpoints {
+                                    snaps.lock().insert(s.iter, s);
+                                }
+                            };
+                            let hooks = ChainHooks {
+                                stop: cancel,
+                                on_draw: &on_draw,
+                                segments: chain_segments,
+                                on_snapshot: &on_snapshot,
+                            };
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                sampler
+                                    .sample_chain_resumable(model, init, &cfg_c, seed, from, &hooks)
+                            }));
+                            finished.store(true, Ordering::Release);
+                            drop(wake_mx.lock());
+                            wake_cv.notify_all();
+                            result
+                        })
+                    })
+                    .collect();
+
+                let joined: Vec<_> = workers.into_iter().map(|h| h.join()).collect();
+                done.store(true, Ordering::Release);
+                drop(wake_mx.lock());
+                wake_cv.notify_all();
+                let monitor_result = monitor.join();
+
+                let mut outcomes = Vec::with_capacity(n);
+                for (i, join_result) in joined.into_iter().enumerate() {
+                    // Flatten join-level and catch_unwind-level panics:
+                    // both mean the attempt unwound.
+                    let flat = match join_result {
+                        Ok(inner) => inner,
+                        Err(payload) => Err(payload),
+                    };
+                    let outcome = match flat {
+                        Err(payload) => Err((
+                            FaultKind::Panic,
+                            Some(buffers[i].lock().len()),
+                            panic_message(payload.as_ref()).to_string(),
+                        )),
+                        Ok(out) => match fault_slots[i].lock().take() {
+                            Some(fault) => Err(fault),
+                            None => match self.sup.max_divergences {
+                                Some(max) if out.divergences > max => Err((
+                                    FaultKind::Diverged,
+                                    None,
+                                    format!(
+                                        "{} post-warmup divergences exceed the budget of {max}",
+                                        out.divergences
+                                    ),
+                                )),
+                                _ => Ok(out),
+                            },
+                        },
+                    };
+                    outcomes.push(outcome);
+                }
+                if let Err(payload) = monitor_result {
+                    return Err(RunError::Monitor {
+                        message: panic_message(payload.as_ref()).to_string(),
+                    });
+                }
+                Ok(outcomes)
+            })
+            .expect("crossbeam scope failed after all children were joined");
+
+        Ok(RoundResult {
+            outcomes: outcomes?,
+            decided: *round_stopped.lock(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AdModel, LogDensity};
+    use crate::nuts::Nuts;
+    use bayes_autodiff::Real;
+
+    struct Gauss;
+    impl LogDensity for Gauss {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval<R: Real>(&self, t: &[R]) -> R {
+            -(t[0].square() + (t[1] - 1.0).square()) * 0.5
+        }
+    }
+
+    fn unreachable_detector() -> ConvergenceDetector {
+        ConvergenceDetector::new().with_threshold(1.0 + 1e-12)
+    }
+
+    #[test]
+    fn fault_free_supervised_run_matches_elision_runtime() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(2000).with_chains(4).with_seed(29);
+        let det = ConvergenceDetector::new();
+        let sup = Runtime::new(det.clone())
+            .run(&Nuts::default(), &model, &cfg)
+            .expect("healthy run");
+        let plain = crate::runtime::run_until_converged(&Nuts::default(), &model, &cfg, &det);
+        assert_eq!(sup.stopped_at, plain.stopped_at);
+        assert!(!sup.degraded);
+        assert!(sup.faults.is_empty());
+        assert_eq!(sup.survivors, vec![0, 1, 2, 3]);
+        for (a, b) in sup.run.chains.iter().zip(&plain.run.chains) {
+            assert_eq!(a.draws, b.draws, "draws must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_surface_as_typed_errors() {
+        let model = AdModel::new("g", Gauss);
+        let rt = Runtime::new(unreachable_detector());
+        let zero = RunConfig::new(10).with_chains(0);
+        assert!(matches!(
+            rt.run(&Nuts::default(), &model, &zero),
+            Err(RunError::Config(ConfigError::ZeroChains))
+        ));
+        let cfg = RunConfig::new(10).with_chains(2);
+        let bad_retry = Runtime::new(unreachable_detector()).with_config(
+            SupervisorConfig::new().with_retry(RetryPolicy {
+                max_attempts: 0,
+                reseed: ReseedPolicy::Never,
+            }),
+        );
+        assert!(matches!(
+            bad_retry.run(&Nuts::default(), &model, &cfg),
+            Err(RunError::Config(ConfigError::ZeroAttempts))
+        ));
+        let big_quorum = Runtime::new(unreachable_detector())
+            .with_config(SupervisorConfig::new().with_min_quorum(3));
+        assert!(matches!(
+            big_quorum.run(&Nuts::default(), &model, &cfg),
+            Err(RunError::Config(ConfigError::QuorumExceedsChains {
+                quorum: 3,
+                chains: 2
+            }))
+        ));
+    }
+
+    #[test]
+    fn checkpointing_requires_a_resumable_sampler() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(50).with_chains(2).with_seed(1);
+        let path = std::env::temp_dir().join("bayes_mcmc_supervisor_mh_ck.json");
+        let rt = Runtime::new(unreachable_detector())
+            .with_config(SupervisorConfig::new().with_checkpoint_path(&path));
+        assert!(matches!(
+            rt.run(&crate::mh::MetropolisHastings::new(), &model, &cfg),
+            Err(RunError::Config(ConfigError::ResumeUnsupported))
+        ));
+    }
+
+    #[test]
+    fn mh_runs_supervised_without_checkpointing() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(300).with_chains(2).with_seed(5);
+        let report = Runtime::new(unreachable_detector())
+            .run(&crate::mh::MetropolisHastings::new(), &model, &cfg)
+            .expect("healthy run");
+        assert!(!report.degraded);
+        assert_eq!(report.run.chains.len(), 2);
+        for c in &report.run.chains {
+            assert_eq!(c.draws.len(), 300);
+        }
+    }
+
+    #[test]
+    fn reseed_policy_matrix() {
+        use FaultKind::*;
+        for kind in [Panic, NonFinite, Stalled, Diverged] {
+            assert!(!ReseedPolicy::Never.reseed_for(kind));
+            assert!(ReseedPolicy::Always.reseed_for(kind));
+        }
+        assert!(!ReseedPolicy::StreamFaults.reseed_for(Panic));
+        assert!(!ReseedPolicy::StreamFaults.reseed_for(Stalled));
+        assert!(ReseedPolicy::StreamFaults.reseed_for(NonFinite));
+        assert!(ReseedPolicy::StreamFaults.reseed_for(Diverged));
+    }
+
+    #[test]
+    fn fault_kind_tags_are_stable() {
+        assert_eq!(FaultKind::Panic.tag(), "panic");
+        assert_eq!(FaultKind::NonFinite.tag(), "non_finite");
+        assert_eq!(FaultKind::Stalled.tag(), "stalled");
+        assert_eq!(FaultKind::Diverged.tag(), "diverged");
+    }
+}

@@ -180,6 +180,60 @@ pub enum Event {
         /// Post-warmup divergent transitions across all chains.
         divergences: u64,
     },
+    /// One chain attempt failed with an isolated fault (supervisor).
+    ChainFault {
+        /// Chain index within the run.
+        chain: u64,
+        /// Attempt number that failed (0 = first run).
+        attempt: u64,
+        /// Fault taxonomy tag: `panic`, `non_finite`, `stalled`, or
+        /// `diverged`.
+        kind: String,
+        /// Iteration at which the fault surfaced, when known.
+        iter: Option<u64>,
+        /// Human-readable fault description.
+        message: String,
+    },
+    /// A faulted chain is being retried (supervisor).
+    ChainRetry {
+        /// Chain index within the run.
+        chain: u64,
+        /// Attempt number about to start (1 = first retry).
+        attempt: u64,
+        /// Whether the retry re-derived a fresh RNG stream.
+        reseed: bool,
+        /// The stream seed the retry will run on.
+        seed: u64,
+    },
+    /// A run-level checkpoint file was written (supervisor monitor).
+    CheckpointSaved {
+        /// Checkpoint file path.
+        path: String,
+        /// Iteration the checkpoint captures.
+        iter: u64,
+        /// Chains serialized into the checkpoint.
+        chains: u64,
+    },
+    /// A run resumed from a checkpoint file (supervisor).
+    Resume {
+        /// Checkpoint file path.
+        path: String,
+        /// Iteration the run resumed from.
+        iter: u64,
+        /// Model (workload) name.
+        model: String,
+    },
+    /// A run completed without its full chain complement (supervisor).
+    DegradedReport {
+        /// Model (workload) name.
+        model: String,
+        /// Chains that completed.
+        survivors: u64,
+        /// Chains permanently lost after exhausting retries.
+        lost: u64,
+        /// Total faults recorded over the run (retried ones included).
+        faults: u64,
+    },
 }
 
 /// Single-line JSON object writer: `{"type":"…", …}`.
@@ -427,6 +481,51 @@ impl Event {
                 .field_u64("total_draws", *total_draws)
                 .field_u64("divergences", *divergences)
                 .finish(),
+            Event::ChainFault {
+                chain,
+                attempt,
+                kind,
+                iter,
+                message,
+            } => Obj::new("chain_fault")
+                .field_u64("chain", *chain)
+                .field_u64("attempt", *attempt)
+                .field_str("kind", kind)
+                .field_opt_u64("iter", *iter)
+                .field_str("message", message)
+                .finish(),
+            Event::ChainRetry {
+                chain,
+                attempt,
+                reseed,
+                seed,
+            } => Obj::new("chain_retry")
+                .field_u64("chain", *chain)
+                .field_u64("attempt", *attempt)
+                .field_bool("reseed", *reseed)
+                .field_u64("seed", *seed)
+                .finish(),
+            Event::CheckpointSaved { path, iter, chains } => Obj::new("checkpoint_saved")
+                .field_str("path", path)
+                .field_u64("iter", *iter)
+                .field_u64("chains", *chains)
+                .finish(),
+            Event::Resume { path, iter, model } => Obj::new("resume")
+                .field_str("path", path)
+                .field_u64("iter", *iter)
+                .field_str("model", model)
+                .finish(),
+            Event::DegradedReport {
+                model,
+                survivors,
+                lost,
+                faults,
+            } => Obj::new("degraded_report")
+                .field_str("model", model)
+                .field_u64("survivors", *survivors)
+                .field_u64("lost", *lost)
+                .field_u64("faults", *faults)
+                .finish(),
         }
     }
 
@@ -509,6 +608,35 @@ impl Event {
                 stopped_at: get_opt_u64(&v, "stopped_at")?,
                 total_draws: get_u64(&v, "total_draws")?,
                 divergences: get_u64(&v, "divergences")?,
+            }),
+            "chain_fault" => Ok(Event::ChainFault {
+                chain: get_u64(&v, "chain")?,
+                attempt: get_u64(&v, "attempt")?,
+                kind: get_str(&v, "kind")?,
+                iter: get_opt_u64(&v, "iter")?,
+                message: get_str(&v, "message")?,
+            }),
+            "chain_retry" => Ok(Event::ChainRetry {
+                chain: get_u64(&v, "chain")?,
+                attempt: get_u64(&v, "attempt")?,
+                reseed: get_bool(&v, "reseed")?,
+                seed: get_u64(&v, "seed")?,
+            }),
+            "checkpoint_saved" => Ok(Event::CheckpointSaved {
+                path: get_str(&v, "path")?,
+                iter: get_u64(&v, "iter")?,
+                chains: get_u64(&v, "chains")?,
+            }),
+            "resume" => Ok(Event::Resume {
+                path: get_str(&v, "path")?,
+                iter: get_u64(&v, "iter")?,
+                model: get_str(&v, "model")?,
+            }),
+            "degraded_report" => Ok(Event::DegradedReport {
+                model: get_str(&v, "model")?,
+                survivors: get_u64(&v, "survivors")?,
+                lost: get_u64(&v, "lost")?,
+                faults: get_u64(&v, "faults")?,
             }),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -597,6 +725,42 @@ mod tests {
                 stopped_at: Some(600),
                 total_draws: 2400,
                 divergences: 3,
+            },
+            Event::ChainFault {
+                chain: 2,
+                attempt: 0,
+                kind: "panic".into(),
+                iter: Some(40),
+                message: "injected panic (chain 2, iter 40)".into(),
+            },
+            Event::ChainFault {
+                chain: 1,
+                attempt: 1,
+                kind: "stalled".into(),
+                iter: None,
+                message: "no progress within deadline".into(),
+            },
+            Event::ChainRetry {
+                chain: 2,
+                attempt: 1,
+                reseed: true,
+                seed: 9223372036854775809,
+            },
+            Event::CheckpointSaved {
+                path: "/tmp/ckpt.json".into(),
+                iter: 250,
+                chains: 4,
+            },
+            Event::Resume {
+                path: "/tmp/ckpt.json".into(),
+                iter: 250,
+                model: "12cities".into(),
+            },
+            Event::DegradedReport {
+                model: "12cities".into(),
+                survivors: 3,
+                lost: 1,
+                faults: 2,
             },
         ]
     }

@@ -1,0 +1,193 @@
+//! Deterministic fault injection for supervisor tests.
+//!
+//! The fault-tolerance claims of `bayes_mcmc::supervisor` — typed
+//! isolation, bit-reproducible retry, watchdog cancellation,
+//! checkpoint/resume — are only testable if faults strike at *exactly*
+//! chosen `(chain, attempt, iteration)` points, run after run.
+//! [`FaultPlan`] is that trigger: a pure function from those
+//! coordinates to an optional [`InjectedFault`], with no clocks, no
+//! ambient RNG, and no interior state. The same plan therefore
+//! produces the same fault sequence in every execution, which is what
+//! lets tests assert exact `bayes_obs` event traces and bitwise draw
+//! equality around a recovery.
+
+use bayes_mcmc::supervisor::{FaultInjector, InjectedFault};
+use bayes_mcmc::{Purpose, StreamKey};
+
+/// One scheduled fault: strike `chain` when iteration `iter` completes,
+/// on every attempt below `attempts`.
+///
+/// With `attempts == 1` the fault fires only on the original run, so a
+/// single retry recovers; with `attempts >= max_attempts` of the
+/// supervisor's retry policy the chain is permanently lost and the run
+/// degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Chain index to strike.
+    pub chain: usize,
+    /// Iteration (0-based) whose completion triggers the fault.
+    pub iter: usize,
+    /// What to inject.
+    pub fault: InjectedFault,
+    /// Number of attempts the fault fires on (attempt indices
+    /// `0..attempts`).
+    pub attempts: u32,
+}
+
+/// A deterministic schedule of [`FaultPoint`]s.
+///
+/// # Example
+///
+/// ```
+/// use bayes_mcmc::supervisor::{FaultInjector, InjectedFault};
+/// use bayes_testkit::FaultPlan;
+///
+/// let plan = FaultPlan::once(0, 60, InjectedFault::Panic);
+/// assert_eq!(plan.inject(0, 0, 60), Some(InjectedFault::Panic));
+/// assert_eq!(plan.inject(0, 1, 60), None, "retry runs clean");
+/// assert_eq!(plan.inject(1, 0, 60), None, "other chains untouched");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    points: Vec<FaultPoint>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single fault on the original attempt only — the "recovers
+    /// after one retry" scenario.
+    pub fn once(chain: usize, iter: usize, fault: InjectedFault) -> Self {
+        Self::persistent(chain, iter, fault, 1)
+    }
+
+    /// A fault that fires on the first `attempts` attempts — set this
+    /// at or above the supervisor's `max_attempts` for the "exhausts
+    /// retries" scenario.
+    pub fn persistent(chain: usize, iter: usize, fault: InjectedFault, attempts: u32) -> Self {
+        Self::scripted(vec![FaultPoint {
+            chain,
+            iter,
+            fault,
+            attempts,
+        }])
+    }
+
+    /// An arbitrary scripted schedule.
+    pub fn scripted(points: Vec<FaultPoint>) -> Self {
+        Self { points }
+    }
+
+    /// `n` single-shot faults at pseudo-random points derived from
+    /// `seed` via the [`Purpose::Test`] stream — chains in
+    /// `0..chains`, iterations in `0..max_iter`. Deterministic: the
+    /// same arguments always yield the same plan, and the points are
+    /// independent of every sampling stream (different
+    /// [`Purpose`]), so injection never collides with draw RNG.
+    pub fn derived(
+        seed: u64,
+        chains: usize,
+        max_iter: usize,
+        n: usize,
+        fault: InjectedFault,
+    ) -> Self {
+        assert!(chains > 0 && max_iter > 0, "derived plan needs a range");
+        let points = (0..n)
+            .map(|k| {
+                let h = StreamKey::new(seed)
+                    .chain(k as u64)
+                    .purpose(Purpose::Test)
+                    .derive();
+                FaultPoint {
+                    chain: (h % chains as u64) as usize,
+                    iter: ((h >> 20) % max_iter as u64) as usize,
+                    fault,
+                    attempts: 1,
+                }
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// Adds one more point to the schedule.
+    pub fn and(mut self, point: FaultPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// The scheduled points.
+    pub fn points(&self) -> &[FaultPoint] {
+        &self.points
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn inject(&self, chain: usize, attempt: u32, iter: usize) -> Option<InjectedFault> {
+        self.points
+            .iter()
+            .find(|p| p.chain == chain && p.iter == iter && attempt < p.attempts)
+            .map(|p| p.fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_fires_on_attempt_zero_only() {
+        let plan = FaultPlan::once(2, 100, InjectedFault::NonFinite);
+        assert_eq!(plan.inject(2, 0, 100), Some(InjectedFault::NonFinite));
+        assert_eq!(plan.inject(2, 1, 100), None);
+        assert_eq!(plan.inject(2, 0, 99), None);
+        assert_eq!(plan.inject(1, 0, 100), None);
+    }
+
+    #[test]
+    fn persistent_fires_until_attempts_exhausted() {
+        let plan = FaultPlan::persistent(0, 10, InjectedFault::Stall, 3);
+        for attempt in 0..3 {
+            assert_eq!(plan.inject(0, attempt, 10), Some(InjectedFault::Stall));
+        }
+        assert_eq!(plan.inject(0, 3, 10), None);
+    }
+
+    #[test]
+    fn scripted_points_are_independent() {
+        let plan = FaultPlan::once(0, 5, InjectedFault::Panic).and(FaultPoint {
+            chain: 1,
+            iter: 7,
+            fault: InjectedFault::Diverge,
+            attempts: 2,
+        });
+        assert_eq!(plan.inject(0, 0, 5), Some(InjectedFault::Panic));
+        assert_eq!(plan.inject(1, 1, 7), Some(InjectedFault::Diverge));
+        assert_eq!(plan.inject(1, 2, 7), None);
+        assert_eq!(plan.points().len(), 2);
+    }
+
+    #[test]
+    fn derived_plans_are_deterministic_and_in_range() {
+        let a = FaultPlan::derived(11, 4, 500, 8, InjectedFault::Panic);
+        let b = FaultPlan::derived(11, 4, 500, 8, InjectedFault::Panic);
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.points().len(), 8);
+        assert!(a.points().iter().all(|p| p.chain < 4 && p.iter < 500));
+        // A different seed moves the strike points.
+        let c = FaultPlan::derived(12, 4, 500, 8, InjectedFault::Panic);
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new();
+        for chain in 0..4 {
+            for iter in [0, 1, 50, 499] {
+                assert_eq!(plan.inject(chain, 0, iter), None);
+            }
+        }
+    }
+}

@@ -15,18 +15,24 @@
 //!   uniformity;
 //! * [`golden`] — plain-text golden fixtures for deterministic
 //!   diagnostic pipelines, regenerated with `BAYES_BLESS=1` and
-//!   self-blessing when a fixture does not exist yet.
+//!   self-blessing when a fixture does not exist yet;
+//! * [`faults`] — a deterministic fault-injection schedule
+//!   ([`FaultPlan`]) for exercising the run supervisor's isolation,
+//!   retry, watchdog, and degradation paths at exact
+//!   `(chain, attempt, iteration)` points.
 //!
 //! Everything here is test infrastructure: the crate is a
 //! `dev-dependency` of the workspace and never ships in a benchmark
 //! binary.
 
 pub mod asserts;
+pub mod faults;
 pub mod golden;
 pub mod sbc;
 
 pub use asserts::{
     assert_close_mcse, assert_ess_above, assert_mean_close, assert_rhat_below, assert_sd_close,
 };
+pub use faults::{FaultPlan, FaultPoint};
 pub use golden::{assert_golden, compare_or_bless, GoldenReport};
 pub use sbc::{run_sbc, SbcConfig, SbcOutcome, SbcParamOutcome};

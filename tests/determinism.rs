@@ -10,10 +10,13 @@
 
 use bayes_autodiff::Real;
 use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::supervisor::{InjectedFault, RunError, Runtime, SupervisorConfig};
 use bayes_mcmc::{
     chain, run_until_converged, AdModel, ConvergenceDetector, LogDensity, MultiChainRun, RunConfig,
     ShardedDensity, ShardedModel,
 };
+use bayes_testkit::FaultPlan;
+use std::sync::Arc;
 
 /// Mildly correlated 3-d Gaussian — cheap, but with enough structure
 /// that NUTS trees vary in depth (so interleaving bugs would show).
@@ -226,6 +229,120 @@ fn recorders_never_perturb_draws() {
                 "{label} recorder perturbed the draws (inner={inner})"
             );
         }
+    }
+}
+
+#[test]
+fn faulted_then_retried_runs_are_bit_identical_to_fault_free_runs() {
+    // A panic retry replays the identical RNG stream (the default
+    // ReseedPolicy::StreamFaults keeps the stream for environment
+    // faults), so a run that lost a chain at iteration 60 and retried
+    // it must match the fault-free supervised run draw for draw — at
+    // any inner-thread count.
+    let detector = ConvergenceDetector::new()
+        .with_check_every(20)
+        .with_min_iters(40);
+    for inner in [1usize, 4] {
+        let run = |plan: Option<FaultPlan>| {
+            let model = ShardedModel::new("gauss_shards", GaussShards::synthetic(64));
+            let cfg = RunConfig::new(200)
+                .with_chains(2)
+                .with_seed(11)
+                .with_inner_threads(inner);
+            let sup = match plan {
+                Some(p) => SupervisorConfig::new().with_injector(Arc::new(p)),
+                None => SupervisorConfig::new(),
+            };
+            Runtime::new(detector.clone())
+                .with_config(sup)
+                .run(&Nuts::default(), &model, &cfg)
+                .expect("supervised run")
+        };
+        let clean = run(None);
+        let faulted = run(Some(FaultPlan::once(0, 60, InjectedFault::Panic)));
+        assert!(!faulted.degraded, "one retry fits the default budget");
+        assert_eq!(faulted.faults.len(), 1, "inner={inner}");
+        assert_eq!(
+            faulted.stopped_at, clean.stopped_at,
+            "inner={inner}: retry changed the stop decision"
+        );
+        assert_eq!(
+            draws_of(&faulted.run),
+            draws_of(&clean.run),
+            "inner={inner}: retried run is not bit-identical"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_reproduces_the_uninterrupted_run_bitwise() {
+    // Segmented RNG streams make checkpoint/resume exact: a run killed
+    // mid-flight and resumed from its last on-disk checkpoint must
+    // finish with precisely the draws of the run that was never
+    // interrupted (both with checkpointing enabled, so both use the
+    // same segmented streams) — at any inner-thread count.
+    let detector = ConvergenceDetector::new()
+        .with_threshold(1.0 + 1e-12) // never converges: full-length runs
+        .with_check_every(20)
+        .with_min_iters(40);
+    for inner in [1usize, 4] {
+        let mk_model = || ShardedModel::new("gauss_shards", GaussShards::synthetic(64));
+        let mk_cfg = || {
+            RunConfig::new(200)
+                .with_chains(2)
+                .with_seed(11)
+                .with_inner_threads(inner)
+        };
+
+        // Uninterrupted checkpointed run: the bitwise reference.
+        let full_path = std::env::temp_dir().join(format!("bayes_det_ck_full_{inner}.json"));
+        let uninterrupted = Runtime::new(detector.clone())
+            .with_config(SupervisorConfig::new().with_checkpoint_path(&full_path))
+            .run(&Nuts::default(), &mk_model(), &mk_cfg())
+            .expect("uninterrupted run");
+
+        // Interrupted run: a persistent panic at iteration 110 with a
+        // single-attempt budget kills chain 0, the quorum collapses,
+        // and the run dies — leaving its last checkpoint (iteration
+        // 100) on disk.
+        let ck_path = std::env::temp_dir().join(format!("bayes_det_ck_mid_{inner}.json"));
+        let killed = Runtime::new(detector.clone())
+            .with_config(
+                SupervisorConfig::new()
+                    .with_checkpoint_path(&ck_path)
+                    .with_retry(bayes_mcmc::RetryPolicy {
+                        max_attempts: 1,
+                        reseed: bayes_mcmc::ReseedPolicy::StreamFaults,
+                    })
+                    .with_injector(Arc::new(FaultPlan::persistent(
+                        0,
+                        110,
+                        InjectedFault::Panic,
+                        1,
+                    ))),
+            )
+            .run(&Nuts::default(), &mk_model(), &mk_cfg());
+        assert!(
+            matches!(killed, Err(RunError::QuorumLost { survivors: 1, .. })),
+            "inner={inner}: the interrupted run must fail"
+        );
+
+        // Resume from the mid-run checkpoint and compare bitwise.
+        let resumed = Runtime::new(detector.clone())
+            .resume(&Nuts::default(), &mk_model(), &mk_cfg(), &ck_path)
+            .expect("resumed run");
+        assert_eq!(resumed.stopped_at, uninterrupted.stopped_at);
+        assert_eq!(
+            draws_of(&resumed.run),
+            draws_of(&uninterrupted.run),
+            "inner={inner}: resume is not bit-identical"
+        );
+        for c in &resumed.run.chains {
+            assert_eq!(c.draws.len(), 200, "inner={inner}: resumed run is short");
+            assert_eq!(c.evals_per_iter.len(), 200);
+        }
+        let _ = std::fs::remove_file(&full_path);
+        let _ = std::fs::remove_file(&ck_path);
     }
 }
 
