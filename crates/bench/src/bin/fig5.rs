@@ -7,15 +7,17 @@ use bayes_core::sched::StudyConfig;
 
 fn main() {
     let trace = bayes_bench::trace_recorder_from_args();
+    let profiler = bayes_bench::trace_profiler(&trace);
     bayes_bench::banner(
         "Figure 5",
         "12cities convergence: R-hat (blue line) and KL to ground truth (green line).",
     );
     let w = registry::workload("12cities", 1.0, 42).expect("registry name");
-    let study = ElisionStudy::run_recorded(
+    let study = ElisionStudy::run_profiled(
         w.dynamics_model(),
         &StudyConfig::new(4, w.meta().default_iters).with_seed(42),
         &trace,
+        &profiler,
     );
     println!("{:>6} {:>8} {:>12}", "iter", "R-hat", "KL");
     for ((t, r), (_, kl)) in study.rhat_trace.iter().zip(&study.kl_trace) {

@@ -1,0 +1,54 @@
+//! trace_report: characterize a bayes-obs JSONL trace.
+//!
+//! Usage: `trace_report <trace.jsonl> [--csv]`
+//!
+//! Reads the trace produced by any bench binary's `--trace` flag and
+//! prints the characterization aggregates — per-run phase time
+//! breakdown (from the span profiler), sampler totals, convergence
+//! and elision timelines, fault/retry summaries, and simulated
+//! counter rollups. `--csv` emits the same aggregates as flat CSV
+//! (`section,model,name,field,value`) for spreadsheet/plot ingestion.
+
+use bayes_bench::report::TraceReport;
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut csv = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!("usage: trace_report <trace.jsonl> [--csv]");
+                return;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_report <trace.jsonl> [--csv]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let report = match TraceReport::parse(&text) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("cannot decode {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    if csv {
+        print!("{}", report.to_csv());
+    } else {
+        print!("{report}");
+    }
+}

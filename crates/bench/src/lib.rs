@@ -5,9 +5,11 @@
 //! original. The harness keeps the expensive steps (signature
 //! measurement) in one place so figures stay consistent.
 
-use bayes_core::obs::JsonlRecorder;
+use bayes_core::obs::{JsonlRecorder, ProfilerHandle};
 use bayes_core::prelude::*;
 use std::sync::Arc;
+
+pub mod report;
 
 /// Builds a recorder from the process arguments: `--trace <path>`
 /// streams every event as one JSON line to `path`; without the flag
@@ -31,6 +33,18 @@ pub fn trace_recorder_from_args() -> RecorderHandle {
         }
     }
     RecorderHandle::null()
+}
+
+/// Builds a span profiler feeding the same trace: span events and the
+/// run's merged metrics snapshot land next to the sampler events, so
+/// `trace_report` can print the phase breakdown. Null (and free) when
+/// the recorder is the null recorder, i.e. without `--trace`.
+pub fn trace_profiler(trace: &RecorderHandle) -> ProfilerHandle {
+    if trace.enabled() {
+        ProfilerHandle::new(trace.clone())
+    } else {
+        ProfilerHandle::null()
+    }
 }
 
 /// A workload together with its measured signature.

@@ -1,0 +1,973 @@
+//! Trace aggregation for the `trace_report` characterization CLI.
+//!
+//! Ingests a bayes-obs JSONL trace (the `--trace` output of any bench
+//! binary) and reduces it to the characterization aggregates of the
+//! paper: per-run phase time breakdowns (from the span profiler's
+//! `metrics` snapshots), simulated counter rollups (Table 2 style),
+//! convergence/elision timelines, and fault/retry summaries.
+//!
+//! The same [`TraceReport`] renders both the human text report
+//! (`Display`) and a flat CSV ([`TraceReport::to_csv`]) whose rows
+//! round-trip through [`parse_csv`] without loss — every value is
+//! written with Rust's shortest-round-trip float formatting.
+
+use bayes_core::obs::{CheckpointSource, DecodeError, Event, MetricsSnapshot, Phase};
+use std::fmt;
+
+/// One convergence checkpoint in a run's timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRow {
+    /// `"online"` or `"posthoc"`.
+    pub source: &'static str,
+    /// Prefix length the checkpoint evaluated.
+    pub iter: u64,
+    /// Max split-R̂ at the checkpoint.
+    pub max_rhat: f64,
+    /// Consecutive sub-threshold checkpoints, this one included.
+    pub streak: u64,
+    /// Whether convergence was declared here.
+    pub converged: bool,
+}
+
+/// Outcome of an elision study attached to a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElisionRow {
+    /// Workload name.
+    pub workload: String,
+    /// User-configured iterations.
+    pub total_iters: u64,
+    /// Detected stop point, if the run converged.
+    pub converged_at: Option<u64>,
+    /// Fraction of iterations elided.
+    pub iter_saving: f64,
+    /// Fraction of gradient work elided on the slowest chain.
+    pub work_saving: f64,
+}
+
+/// Aggregate sharded-gradient telemetry for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRow {
+    /// Gradient sweeps accumulated.
+    pub sweeps: u64,
+    /// Shard count of the partition.
+    pub shards: u64,
+    /// Inner worker threads configured.
+    pub threads: u64,
+    /// Total tape bytes across sweeps.
+    pub tape_bytes: u64,
+    /// Wall-clock nanoseconds in gradient sweeps.
+    pub elapsed_ns: u64,
+}
+
+/// One isolated chain fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRow {
+    /// Chain index.
+    pub chain: u64,
+    /// Attempt that failed.
+    pub attempt: u64,
+    /// Fault taxonomy tag.
+    pub kind: String,
+    /// Iteration where the fault surfaced, when known.
+    pub iter: Option<u64>,
+}
+
+/// The `run_end` summary of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEndRow {
+    /// Stop decision of the convergence monitor, if any.
+    pub stopped_at: Option<u64>,
+    /// Draws kept across all chains.
+    pub total_draws: u64,
+    /// Post-warmup divergences across all chains.
+    pub divergences: u64,
+    /// Total gradient evaluations across all chains.
+    pub grad_evals: u64,
+    /// Total profiled span nanoseconds.
+    pub span_ns: u64,
+}
+
+/// The `degraded_report` summary of a run, when one was emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedRow {
+    /// Chains that completed.
+    pub survivors: u64,
+    /// Chains permanently lost.
+    pub lost: u64,
+    /// Total faults over the run.
+    pub faults: u64,
+}
+
+/// One simulated counter snapshot (Figure 1/2, Table 2 provenance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRow {
+    /// Workload name.
+    pub workload: String,
+    /// Platform codename.
+    pub platform: String,
+    /// Active cores simulated.
+    pub cores: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Off-chip bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// End-to-end latency, seconds.
+    pub time_s: f64,
+    /// Energy, joules.
+    pub energy_j: f64,
+}
+
+/// One row of the per-phase time breakdown, derived from the merged
+/// `span.*` histograms of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    /// Phase wire tag.
+    pub phase: &'static str,
+    /// Spans sampled.
+    pub count: u64,
+    /// Total self-time nanoseconds.
+    pub total_ns: u64,
+    /// Fraction of the run's profiled span time.
+    pub share: f64,
+    /// Mean span self-time, nanoseconds.
+    pub mean_ns: f64,
+    /// Upper bound on the median span, nanoseconds.
+    pub p50_ns: u64,
+    /// Upper bound on the 99th-percentile span, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Everything aggregated from one `run_start`..`run_end` window (plus
+/// trailing post-hoc events, which attach to the most recent run).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSection {
+    /// Model (workload) name.
+    pub model: String,
+    /// Configured chain count.
+    pub chains: u64,
+    /// Configured iterations per chain.
+    pub iters: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Iteration events observed.
+    pub iterations: u64,
+    /// Leapfrog steps summed over iteration events.
+    pub leapfrogs: u64,
+    /// Divergent iteration events.
+    pub divergent: u64,
+    /// `span_start`/`span_end` events observed.
+    pub span_events: u64,
+    /// Merged metrics snapshots (a run may emit more than one, e.g. a
+    /// post-hoc replay's follow-up; merge is associative so the order
+    /// cannot matter).
+    pub metrics: MetricsSnapshot,
+    /// Convergence checkpoint timeline, in trace order.
+    pub checkpoints: Vec<CheckpointRow>,
+    /// Elision outcome, when an elision study ran.
+    pub elision: Option<ElisionRow>,
+    /// Sharded-gradient telemetry, when the model shards.
+    pub shard: Option<ShardRow>,
+    /// Isolated chain faults, in trace order.
+    pub faults: Vec<FaultRow>,
+    /// Chain retries attempted.
+    pub retries: u64,
+    /// Run-level checkpoint files written.
+    pub checkpoint_saves: u64,
+    /// Resumes from a checkpoint file.
+    pub resumes: u64,
+    /// Degraded-completion summary, when emitted.
+    pub degraded: Option<DegradedRow>,
+    /// The `run_end` summary, when the run completed.
+    pub end: Option<RunEndRow>,
+}
+
+impl RunSection {
+    /// Per-phase breakdown in [`Phase::ALL`] order, skipping phases
+    /// with no samples. Shares are fractions of the run's total
+    /// profiled span time.
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        let total = self.metrics.span_total_ns();
+        Phase::ALL
+            .iter()
+            .filter_map(|p| {
+                let h = self.metrics.histograms.get(p.metric_name())?;
+                if h.count() == 0 {
+                    return None;
+                }
+                Some(PhaseRow {
+                    phase: p.tag(),
+                    count: h.count(),
+                    total_ns: h.sum(),
+                    share: if total > 0 {
+                        h.sum() as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                    mean_ns: h.mean(),
+                    p50_ns: h.quantile(0.5).unwrap_or(0),
+                    p99_ns: h.quantile(0.99).unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    /// The phase with the largest share of profiled time, if any span
+    /// was sampled.
+    pub fn dominant_phase(&self) -> Option<PhaseRow> {
+        self.phase_rows()
+            .into_iter()
+            .max_by(|a, b| a.total_ns.cmp(&b.total_ns))
+    }
+}
+
+/// The full aggregation of one trace file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceReport {
+    /// Schema version announced by the trace header, when present.
+    pub schema: Option<String>,
+    /// Lines read.
+    pub lines: usize,
+    /// Lines that failed to decode (malformed; counted, not fatal).
+    pub skipped: usize,
+    /// Run sections, in trace order.
+    pub runs: Vec<RunSection>,
+    /// Simulated counter snapshots (report-level: emitted outside
+    /// sampling runs by the characterization flows).
+    pub counters: Vec<CounterRow>,
+    /// Platform description rows seen.
+    pub platforms: Vec<String>,
+}
+
+impl TraceReport {
+    /// Aggregates a whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnsupportedSchema`] when the trace
+    /// header announces a schema major newer than this build
+    /// understands; malformed lines are merely counted in `skipped`.
+    pub fn parse(text: &str) -> Result<Self, DecodeError> {
+        let mut r = TraceReport::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            r.lines += 1;
+            match Event::from_json(line) {
+                Ok(ev) => r.ingest(ev),
+                Err(DecodeError::Malformed(_)) => r.skipped += 1,
+                Err(e @ DecodeError::UnsupportedSchema { .. }) => return Err(e),
+            }
+        }
+        Ok(r)
+    }
+
+    /// The most recent run section, creating an implicit one when an
+    /// event arrives before any `run_start` (tolerated, not expected).
+    fn current(&mut self, model: Option<&str>) -> &mut RunSection {
+        if self.runs.is_empty() {
+            self.runs.push(RunSection {
+                model: model.unwrap_or("(no run_start)").to_string(),
+                ..RunSection::default()
+            });
+        }
+        self.runs.last_mut().expect("non-empty")
+    }
+
+    fn ingest(&mut self, ev: Event) {
+        match ev {
+            Event::TraceHeader { schema_version } => self.schema = Some(schema_version),
+            Event::RunStart {
+                model,
+                chains,
+                iters,
+                seed,
+            } => self.runs.push(RunSection {
+                model,
+                chains,
+                iters,
+                seed,
+                ..RunSection::default()
+            }),
+            Event::Iteration {
+                leapfrogs,
+                divergent,
+                ..
+            } => {
+                let s = self.current(None);
+                s.iterations += 1;
+                s.leapfrogs += leapfrogs;
+                s.divergent += u64::from(divergent);
+            }
+            Event::SpanStart { .. } => self.current(None).span_events += 1,
+            Event::SpanEnd { .. } => self.current(None).span_events += 1,
+            Event::Metrics { model, snapshot } => {
+                self.current(Some(&model)).metrics.merge(&snapshot)
+            }
+            Event::Checkpoint {
+                source,
+                iter,
+                max_rhat,
+                streak,
+                converged,
+            } => self.current(None).checkpoints.push(CheckpointRow {
+                source: match source {
+                    CheckpointSource::Online => "online",
+                    CheckpointSource::PostHoc => "posthoc",
+                },
+                iter,
+                max_rhat,
+                streak,
+                converged,
+            }),
+            Event::ShardAggregate {
+                sweeps,
+                shards,
+                threads,
+                tape_bytes,
+                elapsed_ns,
+                ..
+            } => {
+                self.current(None).shard = Some(ShardRow {
+                    sweeps,
+                    shards,
+                    threads,
+                    tape_bytes,
+                    elapsed_ns,
+                })
+            }
+            Event::Elision {
+                workload,
+                total_iters,
+                converged_at,
+                iter_saving,
+                work_saving,
+            } => {
+                let section = self.current(Some(&workload));
+                section.elision = Some(ElisionRow {
+                    workload,
+                    total_iters,
+                    converged_at,
+                    iter_saving,
+                    work_saving,
+                })
+            }
+            Event::Subsample { .. } => {}
+            Event::Counters {
+                workload,
+                platform,
+                cores,
+                ipc,
+                llc_mpki,
+                bandwidth_gbs,
+                time_s,
+                energy_j,
+            } => self.counters.push(CounterRow {
+                workload,
+                platform,
+                cores,
+                ipc,
+                llc_mpki,
+                bandwidth_gbs,
+                time_s,
+                energy_j,
+            }),
+            Event::Platform { name, .. } => self.platforms.push(name),
+            Event::RunEnd {
+                stopped_at,
+                total_draws,
+                divergences,
+                grad_evals,
+                span_ns,
+                ..
+            } => {
+                self.current(None).end = Some(RunEndRow {
+                    stopped_at,
+                    total_draws,
+                    divergences,
+                    grad_evals,
+                    span_ns,
+                })
+            }
+            Event::ChainFault {
+                chain,
+                attempt,
+                kind,
+                iter,
+                ..
+            } => self.current(None).faults.push(FaultRow {
+                chain,
+                attempt,
+                kind,
+                iter,
+            }),
+            Event::ChainRetry { .. } => self.current(None).retries += 1,
+            Event::CheckpointSaved { .. } => self.current(None).checkpoint_saves += 1,
+            Event::Resume { model, .. } => self.current(Some(&model)).resumes += 1,
+            Event::DegradedReport {
+                survivors,
+                lost,
+                faults,
+                ..
+            } => {
+                self.current(None).degraded = Some(DegradedRow {
+                    survivors,
+                    lost,
+                    faults,
+                })
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- CSV
+
+/// One flat CSV row: `section,model,name,field,value`.
+///
+/// The five columns are free of commas by construction (numbers, wire
+/// tags, registry workload names), so parsing splits on `,` directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvRow {
+    /// Section tag: `run<N>` or `counters`.
+    pub section: String,
+    /// Model/workload name of the section.
+    pub model: String,
+    /// Row name within the section (phase tag, platform, `run`, …).
+    pub name: String,
+    /// Field name.
+    pub field: String,
+    /// Value, formatted for exact round-trip (`u64` or shortest `f64`).
+    pub value: String,
+}
+
+/// Header line of the CSV output.
+pub const CSV_HEADER: &str = "section,model,name,field,value";
+
+fn push_row(
+    rows: &mut Vec<CsvRow>,
+    section: &str,
+    model: &str,
+    name: &str,
+    field: &str,
+    value: String,
+) {
+    rows.push(CsvRow {
+        section: section.to_string(),
+        model: model.to_string(),
+        name: name.to_string(),
+        field: field.to_string(),
+        value,
+    });
+}
+
+impl TraceReport {
+    /// The flat rows the CSV output consists of. Parsing the rendered
+    /// CSV with [`parse_csv`] reproduces exactly this vector.
+    pub fn csv_rows(&self) -> Vec<CsvRow> {
+        let mut rows = Vec::new();
+        for (i, s) in self.runs.iter().enumerate() {
+            let sec = format!("run{}", i + 1);
+            let run_field = |field: &str, value: String, rows: &mut Vec<CsvRow>| {
+                push_row(rows, &sec, &s.model, "run", field, value);
+            };
+            run_field("chains", s.chains.to_string(), &mut rows);
+            run_field("iters", s.iters.to_string(), &mut rows);
+            run_field("seed", s.seed.to_string(), &mut rows);
+            run_field("iterations", s.iterations.to_string(), &mut rows);
+            run_field("leapfrogs", s.leapfrogs.to_string(), &mut rows);
+            run_field("divergent", s.divergent.to_string(), &mut rows);
+            run_field("span_events", s.span_events.to_string(), &mut rows);
+            run_field("checkpoints", s.checkpoints.len().to_string(), &mut rows);
+            run_field("faults", s.faults.len().to_string(), &mut rows);
+            run_field("retries", s.retries.to_string(), &mut rows);
+            run_field(
+                "checkpoint_saves",
+                s.checkpoint_saves.to_string(),
+                &mut rows,
+            );
+            run_field("resumes", s.resumes.to_string(), &mut rows);
+            if let Some(end) = &s.end {
+                run_field("total_draws", end.total_draws.to_string(), &mut rows);
+                run_field("divergences", end.divergences.to_string(), &mut rows);
+                run_field("grad_evals", end.grad_evals.to_string(), &mut rows);
+                run_field("span_ns", end.span_ns.to_string(), &mut rows);
+            }
+            for p in s.phase_rows() {
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    p.phase,
+                    "count",
+                    p.count.to_string(),
+                );
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    p.phase,
+                    "total_ns",
+                    p.total_ns.to_string(),
+                );
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    p.phase,
+                    "share",
+                    p.share.to_string(),
+                );
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    p.phase,
+                    "p50_ns",
+                    p.p50_ns.to_string(),
+                );
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    p.phase,
+                    "p99_ns",
+                    p.p99_ns.to_string(),
+                );
+            }
+            if let Some(e) = &s.elision {
+                let at = e.converged_at.map_or("none".to_string(), |c| c.to_string());
+                push_row(&mut rows, &sec, &s.model, "elision", "converged_at", at);
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    "elision",
+                    "iter_saving",
+                    e.iter_saving.to_string(),
+                );
+                push_row(
+                    &mut rows,
+                    &sec,
+                    &s.model,
+                    "elision",
+                    "work_saving",
+                    e.work_saving.to_string(),
+                );
+            }
+        }
+        for c in &self.counters {
+            let push = |rows: &mut Vec<CsvRow>, field: &str, value: String| {
+                push_row(rows, "counters", &c.workload, &c.platform, field, value);
+            };
+            push(&mut rows, "cores", c.cores.to_string());
+            push(&mut rows, "ipc", c.ipc.to_string());
+            push(&mut rows, "llc_mpki", c.llc_mpki.to_string());
+            push(&mut rows, "bandwidth_gbs", c.bandwidth_gbs.to_string());
+            push(&mut rows, "time_s", c.time_s.to_string());
+            push(&mut rows, "energy_j", c.energy_j.to_string());
+        }
+        rows
+    }
+
+    /// Renders the CSV: header line plus one line per row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for r in self.csv_rows() {
+            out.push_str(&r.section);
+            out.push(',');
+            out.push_str(&r.model);
+            out.push(',');
+            out.push_str(&r.name);
+            out.push(',');
+            out.push_str(&r.field);
+            out.push(',');
+            out.push_str(&r.value);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses [`TraceReport::to_csv`] output back into its rows.
+///
+/// # Errors
+///
+/// Returns a description of the first line that is not a five-column
+/// record, or of a missing/incorrect header.
+pub fn parse_csv(text: &str) -> Result<Vec<CsvRow>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == CSV_HEADER => {}
+        other => return Err(format!("bad CSV header: {other:?}")),
+    }
+    let mut rows = Vec::new();
+    for (n, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            return Err(format!(
+                "line {}: expected 5 columns, got {}",
+                n + 2,
+                cols.len()
+            ));
+        }
+        rows.push(CsvRow {
+            section: cols[0].to_string(),
+            model: cols[1].to_string(),
+            name: cols[2].to_string(),
+            field: cols[3].to_string(),
+            value: cols[4].to_string(),
+        });
+    }
+    Ok(rows)
+}
+
+// ------------------------------------------------------------ text
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+fn fmt_us(ns: f64) -> String {
+    format!("{:.1}", ns / 1e3)
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} lines, {} undecodable, schema {}",
+            self.lines,
+            self.skipped,
+            self.schema.as_deref().unwrap_or("(no header)")
+        )?;
+        for (i, s) in self.runs.iter().enumerate() {
+            writeln!(
+                f,
+                "\n--- run {}: {} ({} chains x {} iters, seed {}) ---",
+                i + 1,
+                s.model,
+                s.chains,
+                s.iters,
+                s.seed
+            )?;
+            if let Some(end) = &s.end {
+                writeln!(
+                    f,
+                    "totals: {} draws, {} grad evals, {} divergences, span total {} ms{}",
+                    end.total_draws,
+                    end.grad_evals,
+                    end.divergences,
+                    fmt_ms(end.span_ns),
+                    match end.stopped_at {
+                        Some(t) => format!(", stopped at {t}"),
+                        None => String::new(),
+                    },
+                )?;
+            }
+            let phases = s.phase_rows();
+            if phases.is_empty() {
+                writeln!(f, "phases: none profiled (run without --profile?)")?;
+            } else {
+                writeln!(
+                    f,
+                    "{:<16} {:>10} {:>12} {:>7} {:>10} {:>10} {:>10}",
+                    "phase", "count", "total(ms)", "share", "mean(us)", "p50(us)", "p99(us)"
+                )?;
+                for p in &phases {
+                    writeln!(
+                        f,
+                        "{:<16} {:>10} {:>12} {:>6.1}% {:>10} {:>10} {:>10}",
+                        p.phase,
+                        p.count,
+                        fmt_ms(p.total_ns),
+                        p.share * 100.0,
+                        fmt_us(p.mean_ns),
+                        fmt_us(p.p50_ns as f64),
+                        fmt_us(p.p99_ns as f64),
+                    )?;
+                }
+            }
+            if s.iterations > 0 {
+                writeln!(
+                    f,
+                    "sampler: {} iteration events, {} leapfrogs, {} divergent",
+                    s.iterations, s.leapfrogs, s.divergent
+                )?;
+            }
+            if let Some(sh) = &s.shard {
+                writeln!(
+                    f,
+                    "shards: {} sweeps over {} shards ({} threads), {} tape bytes, {} ms swept",
+                    sh.sweeps,
+                    sh.shards,
+                    sh.threads,
+                    sh.tape_bytes,
+                    fmt_ms(sh.elapsed_ns)
+                )?;
+            }
+            if !s.checkpoints.is_empty() {
+                let converged = s.checkpoints.iter().find(|c| c.converged);
+                writeln!(
+                    f,
+                    "convergence: {} checkpoints{}",
+                    s.checkpoints.len(),
+                    match converged {
+                        Some(c) => format!(
+                            ", converged at {} ({}, max R-hat {:.3}, streak {})",
+                            c.iter, c.source, c.max_rhat, c.streak
+                        ),
+                        None => ", no convergence declared".to_string(),
+                    }
+                )?;
+            }
+            if let Some(e) = &s.elision {
+                writeln!(
+                    f,
+                    "elision: {}, {:.0}% iterations and {:.0}% work elided",
+                    match e.converged_at {
+                        Some(c) => format!("stop at {} of {}", c, e.total_iters),
+                        None => format!("no stop within {}", e.total_iters),
+                    },
+                    e.iter_saving * 100.0,
+                    e.work_saving * 100.0
+                )?;
+            }
+            if !s.faults.is_empty() || s.retries > 0 {
+                writeln!(
+                    f,
+                    "faults: {} ({} retries{})",
+                    s.faults.len(),
+                    s.retries,
+                    match &s.degraded {
+                        Some(d) => format!(
+                            "; degraded: {} survivors, {} lost, {} faults",
+                            d.survivors, d.lost, d.faults
+                        ),
+                        None => String::new(),
+                    }
+                )?;
+                for fr in &s.faults {
+                    writeln!(
+                        f,
+                        "  chain {} attempt {}: {}{}",
+                        fr.chain,
+                        fr.attempt,
+                        fr.kind,
+                        match fr.iter {
+                            Some(it) => format!(" at iteration {it}"),
+                            None => String::new(),
+                        }
+                    )?;
+                }
+            }
+            if s.checkpoint_saves > 0 || s.resumes > 0 {
+                writeln!(
+                    f,
+                    "checkpoints: {} saved, {} resumes",
+                    s.checkpoint_saves, s.resumes
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "\n--- simulated counters ---")?;
+            writeln!(
+                f,
+                "{:<14} {:<14} {:>5} {:>6} {:>9} {:>9} {:>9} {:>10}",
+                "workload",
+                "platform",
+                "cores",
+                "ipc",
+                "llc_mpki",
+                "bw(GB/s)",
+                "time(s)",
+                "energy(J)"
+            )?;
+            for c in &self.counters {
+                writeln!(
+                    f,
+                    "{:<14} {:<14} {:>5} {:>6.2} {:>9.2} {:>9.2} {:>9.3} {:>10.1}",
+                    c.workload,
+                    c.platform,
+                    c.cores,
+                    c.ipc,
+                    c.llc_mpki,
+                    c.bandwidth_gbs,
+                    c.time_s,
+                    c.energy_j
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayes_core::obs::{MetricsRegistry, TRACE_SCHEMA_MAJOR, TRACE_SCHEMA_MINOR};
+
+    fn sample_trace() -> String {
+        let mut reg = MetricsRegistry::new();
+        for v in [1_000u64, 2_000, 4_000] {
+            reg.record("span.gradient_eval", v);
+        }
+        reg.record("span.adaptation", 500);
+        reg.counter_add("profiled_threads", 4);
+        let events = vec![
+            Event::trace_header(),
+            Event::RunStart {
+                model: "gauss".to_string(),
+                chains: 2,
+                iters: 100,
+                seed: 7,
+            },
+            Event::Iteration {
+                chain: 0,
+                iter: 0,
+                step_size: 0.5,
+                tree_depth: 2,
+                leapfrogs: 3,
+                divergent: false,
+                accept: 0.9,
+            },
+            Event::Iteration {
+                chain: 1,
+                iter: 0,
+                step_size: 0.5,
+                tree_depth: 3,
+                leapfrogs: 7,
+                divergent: true,
+                accept: 0.4,
+            },
+            Event::Metrics {
+                model: "gauss".to_string(),
+                snapshot: reg.snapshot(),
+            },
+            Event::Checkpoint {
+                source: CheckpointSource::PostHoc,
+                iter: 50,
+                max_rhat: 1.05,
+                streak: 1,
+                converged: true,
+            },
+            Event::RunEnd {
+                model: "gauss".to_string(),
+                chains: 2,
+                stopped_at: None,
+                total_draws: 200,
+                divergences: 1,
+                grad_evals: 10,
+                span_ns: 7_500,
+            },
+            Event::Elision {
+                workload: "gauss".to_string(),
+                total_iters: 100,
+                converged_at: Some(50),
+                iter_saving: 0.5,
+                work_saving: 0.25,
+            },
+            Event::Counters {
+                workload: "12cities".to_string(),
+                platform: "skylake".to_string(),
+                cores: 4,
+                ipc: 1.25,
+                llc_mpki: 0.8,
+                bandwidth_gbs: 3.5,
+                time_s: 12.25,
+                energy_j: 900.0,
+            },
+        ];
+        let mut s = String::new();
+        for e in events {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    #[test]
+    fn aggregates_one_run() {
+        let r = TraceReport::parse(&sample_trace()).unwrap();
+        assert_eq!(r.schema.as_deref(), Some("1.0"));
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.runs.len(), 1);
+        let s = &r.runs[0];
+        assert_eq!(s.model, "gauss");
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.leapfrogs, 10);
+        assert_eq!(s.divergent, 1);
+        let end = s.end.as_ref().unwrap();
+        assert_eq!(end.grad_evals, 10);
+        assert_eq!(end.span_ns, 7_500);
+        assert_eq!(s.checkpoints.len(), 1);
+        assert!(s.checkpoints[0].converged);
+        assert_eq!(s.elision.as_ref().unwrap().converged_at, Some(50));
+        assert_eq!(r.counters.len(), 1);
+
+        let phases = s.phase_rows();
+        assert_eq!(phases.len(), 2);
+        // Phase::ALL order: gradient_eval before adaptation.
+        assert_eq!(phases[0].phase, "gradient_eval");
+        assert_eq!(phases[0].count, 3);
+        assert_eq!(phases[0].total_ns, 7_000);
+        assert!((phases[0].share - 7000.0 / 7500.0).abs() < 1e-12);
+        assert_eq!(s.dominant_phase().unwrap().phase, "gradient_eval");
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let mut text = sample_trace();
+        text.push_str("{\"type\":\"nope\"}\nnot json at all\n");
+        let r = TraceReport::parse(&text).unwrap();
+        assert_eq!(r.skipped, 2);
+        assert_eq!(r.runs.len(), 1);
+    }
+
+    #[test]
+    fn newer_schema_major_is_fatal() {
+        let header = format!(
+            "{{\"type\":\"trace_header\",\"schema_version\":\"{}.0\"}}",
+            TRACE_SCHEMA_MAJOR + 1
+        );
+        match TraceReport::parse(&header) {
+            Err(DecodeError::UnsupportedSchema { major, supported }) => {
+                assert_eq!(major, TRACE_SCHEMA_MAJOR + 1);
+                assert_eq!(supported, TRACE_SCHEMA_MAJOR);
+            }
+            other => panic!("expected UnsupportedSchema, got {other:?}"),
+        }
+        // Sanity: the current minor decodes fine.
+        let _ = (TRACE_SCHEMA_MAJOR, TRACE_SCHEMA_MINOR);
+    }
+
+    #[test]
+    fn csv_round_trips_into_identical_rows() {
+        let r = TraceReport::parse(&sample_trace()).unwrap();
+        let rows = r.csv_rows();
+        assert!(!rows.is_empty());
+        let parsed = parse_csv(&r.to_csv()).unwrap();
+        assert_eq!(parsed, rows);
+        // Float values survive exactly via shortest-round-trip display.
+        let share = rows
+            .iter()
+            .find(|row| row.name == "gradient_eval" && row.field == "share")
+            .unwrap();
+        assert_eq!(share.value.parse::<f64>().unwrap(), 7000.0 / 7500.0);
+    }
+
+    #[test]
+    fn text_report_names_the_phases() {
+        let r = TraceReport::parse(&sample_trace()).unwrap();
+        let text = r.to_string();
+        assert!(text.contains("gradient_eval"));
+        assert!(text.contains("adaptation"));
+        assert!(text.contains("run 1: gauss"));
+        assert!(text.contains("skylake"));
+    }
+}

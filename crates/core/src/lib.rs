@@ -44,7 +44,8 @@ pub mod prelude {
         ReseedPolicy, RetryPolicy, RunConfig, RunError, RunReport, SupervisorConfig,
     };
     pub use bayes_obs::{
-        Event, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle,
+        DecodeError, Event, JsonlRecorder, MemoryRecorder, MetricsSnapshot, NullRecorder, Phase,
+        ProfilerHandle, Recorder, RecorderHandle,
     };
     pub use bayes_sched::{DesignSpace, ElisionStudy, LlcMissPredictor, Pipeline};
     pub use bayes_suite::{registry, Workload, WorkloadMeta};

@@ -6,7 +6,7 @@
 
 use crate::model::Model;
 use crate::stream::{Purpose, StreamKey};
-use bayes_obs::{Event, RecorderHandle};
+use bayes_obs::{Event, ProfilerHandle, RecorderHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,6 +110,12 @@ pub struct RunConfig {
     /// handle, which costs one branch per would-be event; recording
     /// never perturbs draws (no RNG use in any recording path).
     pub recorder: RecorderHandle,
+    /// Phase profiler for this run. Defaults to the disabled null
+    /// handle; the runners install a thread-local scope per chain so
+    /// `bayes_obs::span` timers inside the samplers attribute wall
+    /// time to phases. Like recording, profiling is observation only
+    /// and never perturbs draws.
+    pub profiler: ProfilerHandle,
     /// Index of the chain this config drives, set by the runner via
     /// [`RunConfig::for_chain`] so samplers can tag their
     /// per-iteration events.
@@ -127,6 +133,7 @@ impl RunConfig {
             parallelism: Parallelism::Sequential,
             inner_threads: None,
             recorder: RecorderHandle::null(),
+            profiler: ProfilerHandle::null(),
             chain_index: 0,
         }
     }
@@ -167,6 +174,15 @@ impl RunConfig {
     /// handle every emission site reduces to one branch.
     pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a phase profiler (see `bayes_obs::span`). The runners
+    /// install a per-chain thread-local scope so RAII span timers in
+    /// the samplers feed per-phase latency histograms; with the default
+    /// null handle every span site reduces to one thread-local check.
+    pub fn with_profiler(mut self, profiler: ProfilerHandle) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -419,6 +435,7 @@ fn run_validated<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) ->
             .iter()
             .enumerate()
             .map(|(c, init)| {
+                let _scope = cfg.profiler.install(Some(c as u64));
                 sampler.sample_chain(model, init, &cfg.for_chain(c), cfg.chain_seed(c))
             })
             .collect(),
@@ -435,7 +452,10 @@ fn run_validated<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) ->
                         .map(|(c, init)| {
                             let cfg_c = cfg.for_chain(c);
                             let seed = cfg.chain_seed(c);
-                            scope.spawn(move |_| sampler.sample_chain(model, init, &cfg_c, seed))
+                            scope.spawn(move |_| {
+                                let _scope = cfg_c.profiler.install(Some(c as u64));
+                                sampler.sample_chain(model, init, &cfg_c, seed)
+                            })
                         })
                         .collect();
                     handles.into_iter().map(|h| h.join()).collect()
@@ -446,6 +466,7 @@ fn run_validated<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) ->
     };
 
     model.flush_telemetry();
+    let snapshot = cfg.profiler.emit_metrics(model.name());
     if cfg.recorder.enabled() {
         cfg.recorder.record(Event::RunEnd {
             model: model.name().to_string(),
@@ -453,6 +474,8 @@ fn run_validated<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) ->
             stopped_at: None,
             total_draws: chains.iter().map(|c| c.draws.len() as u64).sum(),
             divergences: chains.iter().map(|c| c.divergences).sum(),
+            grad_evals: chains.iter().map(|c| c.grad_evals).sum(),
+            span_ns: snapshot.span_total_ns(),
         });
         cfg.recorder.flush();
     }

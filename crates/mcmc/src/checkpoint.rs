@@ -505,6 +505,7 @@ impl RunCheckpoint {
     ///
     /// Propagates the underlying I/O failure.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let _span = bayes_obs::span(bayes_obs::Phase::Serialize);
         std::fs::write(path, self.to_json())
     }
 
@@ -514,6 +515,7 @@ impl RunCheckpoint {
     ///
     /// Returns a description of the I/O or schema failure.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let _span = bayes_obs::span(bayes_obs::Phase::Resume);
         let text = std::fs::read_to_string(path.as_ref())
             .map_err(|e| format!("checkpoint: cannot read {}: {e}", path.as_ref().display()))?;
         Self::from_json(&text)

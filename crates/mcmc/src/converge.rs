@@ -229,6 +229,7 @@ impl ConvergenceDetector {
         let mut converged_at = None;
         let mut streak = 0usize;
         for t in self.checkpoints(total) {
+            let _span = bayes_obs::span(bayes_obs::Phase::CheckpointDiag);
             let r = self.rhat_at(&chains, t);
             trace.push((t, r));
             if r.is_finite() && r < self.threshold {

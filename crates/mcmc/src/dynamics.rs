@@ -68,6 +68,7 @@ impl<'m> Hamiltonian<'m> {
         eps: f64,
         grad_evals: &mut u64,
     ) -> (State, Vec<f64>) {
+        let _span = bayes_obs::span(bayes_obs::Phase::Leapfrog);
         let dim = s.q.len();
         let mut p_half = vec![0.0; dim];
         for i in 0..dim {
@@ -77,7 +78,10 @@ impl<'m> Hamiltonian<'m> {
         for i in 0..dim {
             q_new[i] = s.q[i] + eps * self.inv_mass[i] * p_half[i];
         }
-        let s_new = State::at(self.model, q_new);
+        let s_new = {
+            let _span = bayes_obs::span(bayes_obs::Phase::GradientEval);
+            State::at(self.model, q_new)
+        };
         *grad_evals += 1;
         let mut p_new = p_half;
         for i in 0..dim {

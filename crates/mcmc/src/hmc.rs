@@ -149,6 +149,7 @@ impl StaticHmc {
             }
 
             if iter < cfg.warmup {
+                let _span = bayes_obs::span(bayes_obs::Phase::Adaptation);
                 eps = da.update(accept_prob);
                 if iter >= window.0 && iter < window.1 {
                     welford.push(&state.q);

@@ -377,18 +377,25 @@ impl<D: ShardedDensity> Model for ShardedModel<D> {
             .map(|_| parking_lot::Mutex::new(None))
             .collect();
 
-        if threads == 1 {
-            for (i, range) in ranges.iter().enumerate() {
-                *slots[i].lock() = Some(self.eval_shard(theta, range.clone()));
-            }
-        } else {
-            par::with_pool(threads, |pool| {
-                pool.run(ranges.len(), &|i| {
-                    *slots[i].lock() = Some(self.eval_shard(theta, ranges[i].clone()));
+        {
+            // Profiled on the calling thread: pool workers have no
+            // profiler scope, so the sweep span covers the whole
+            // dispatch-and-wait window, nested under the gradient span.
+            let _span = bayes_obs::span(bayes_obs::Phase::ShardSweep);
+            if threads == 1 {
+                for (i, range) in ranges.iter().enumerate() {
+                    *slots[i].lock() = Some(self.eval_shard(theta, range.clone()));
+                }
+            } else {
+                par::with_pool(threads, |pool| {
+                    pool.run(ranges.len(), &|i| {
+                        *slots[i].lock() = Some(self.eval_shard(theta, ranges[i].clone()));
+                    });
                 });
-            });
+            }
         }
 
+        let _reduce_span = bayes_obs::span(bayes_obs::Phase::ShardReduce);
         let mut val = prior_val;
         grad.copy_from_slice(&prior_grad);
         let mut stats = prior_stats;
@@ -402,6 +409,7 @@ impl<D: ShardedDensity> Model for ShardedModel<D> {
                 *acc += gi;
             }
         }
+        drop(_reduce_span);
         if recording {
             self.telemetry.accumulate(stats, t0.map(|t| t.elapsed()));
         }

@@ -365,6 +365,9 @@ impl Nuts {
             };
 
             for depth in 0..self.cfg.max_depth {
+                // One doubling per span: self time is the merge
+                // bookkeeping, the leapfrogs inside account their own.
+                let _span = bayes_obs::span(bayes_obs::Phase::TreeDoubling);
                 depth_reached = depth + 1;
                 let dir: f64 = if rng.gen_range(0.0..1.0) < 0.5 {
                     -1.0
@@ -448,6 +451,7 @@ impl Nuts {
             }
 
             if iter < cfg.warmup {
+                let _span = bayes_obs::span(bayes_obs::Phase::Adaptation);
                 eps = da.update(accept_stat);
                 if iter >= window.0 && iter < window.1 {
                     welford.push(&state.q);

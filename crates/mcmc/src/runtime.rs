@@ -145,12 +145,14 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                 // The schedule is shared verbatim with the post-hoc
                 // `ConvergenceDetector::detect`, so the two walkers can
                 // never disagree on where a run stops.
+                let _prof_scope = cfg.profiler.install(None);
                 let mut schedule = detector.checkpoints(cfg.iters);
                 let mut pending = schedule.next();
                 let mut streak = 0usize;
                 let progress = || buffers.iter().map(|b| b.lock().len()).min().unwrap_or(0);
                 while let Some(next_check) = pending {
                     if progress() >= next_check {
+                        let _span = bayes_obs::span(bayes_obs::Phase::CheckpointDiag);
                         // Snapshot the prefixes and compute R̂ at t.
                         let snaps: Vec<Vec<Vec<f64>>> = buffers
                             .iter()
@@ -208,6 +210,7 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
                 let cfg_c = cfg.for_chain(c);
                 let seed = cfg.chain_seed(c);
                 scope.spawn(move |_| {
+                    let _prof_scope = cfg_c.profiler.install(Some(c as u64));
                     sampler.sample_chain_stoppable(
                         model,
                         init,
@@ -261,6 +264,7 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
         }
     }
     model.flush_telemetry();
+    let snapshot = cfg.profiler.emit_metrics(model.name());
     if cfg.recorder.enabled() {
         cfg.recorder.record(Event::RunEnd {
             model: model.name().to_string(),
@@ -268,6 +272,8 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
             stopped_at: stopped.map(|t| t as u64),
             total_draws: chains.iter().map(|c| c.draws.len() as u64).sum(),
             divergences: chains.iter().map(|c| c.divergences).sum(),
+            grad_evals: chains.iter().map(|c| c.grad_evals).sum(),
+            span_ns: snapshot.span_total_ns(),
         });
         cfg.recorder.flush();
     }

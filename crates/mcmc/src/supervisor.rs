@@ -317,6 +317,9 @@ pub struct RunReport {
     pub degraded: bool,
     /// Indices of the chains present in [`RunReport::run`].
     pub survivors: Vec<usize>,
+    /// Final merged profiler metrics for the run (empty when no
+    /// profiler was attached via [`RunConfig::with_profiler`]).
+    pub metrics: bayes_obs::MetricsSnapshot,
 }
 
 impl RunReport {
@@ -468,7 +471,13 @@ impl Runtime {
         cfg: &RunConfig,
         path: &Path,
     ) -> Result<RunReport, RunError> {
-        let ck = RunCheckpoint::load(path).map_err(ConfigError::CheckpointInvalid)?;
+        // Scoped so the load's `resume` span merges into the profiler
+        // before the run's final metrics emission.
+        let loaded = {
+            let _scope = cfg.profiler.install(None);
+            RunCheckpoint::load(path)
+        };
+        let ck = loaded.map_err(ConfigError::CheckpointInvalid)?;
         self.run_inner(sampler, model, cfg, Some((ck, path.display().to_string())))
     }
 
@@ -605,6 +614,11 @@ impl Runtime {
         }
         let inits = initial_points(cfg, model.dim());
 
+        // Caller-thread profiler scope: retry bookkeeping and the
+        // post-hoc degradation walk record under it. Dropped (merged)
+        // before the final metrics emission below.
+        let caller_scope = cfg.profiler.install(None);
+
         let mut pending: Vec<Attempt> = match resume {
             None => (0..cfg.chains)
                 .map(|c| Attempt {
@@ -686,6 +700,7 @@ impl Runtime {
                         }
                         let next_attempt = p.attempt + 1;
                         if next_attempt < self.sup.retry.max_attempts {
+                            let _span = bayes_obs::span(bayes_obs::Phase::Retry);
                             // A reseed-eligible fault at/past an
                             // already-decided stop point is retried on
                             // the SAME stream: the chain only has to
@@ -753,6 +768,7 @@ impl Runtime {
                 if views.iter().any(|v| v.len() < t) {
                     break;
                 }
+                let _span = bayes_obs::span(bayes_obs::Phase::CheckpointDiag);
                 let r = self.detector.rhat_at(&views, t);
                 if r.is_finite() && r < self.detector.threshold() {
                     streak += 1;
@@ -779,15 +795,23 @@ impl Runtime {
         }
 
         let degraded = !lost.is_empty();
+        // Merge the caller thread's spans (retry handling, degradation
+        // walk) before draining the run-level snapshot, so the final
+        // metrics include them.
+        drop(caller_scope);
+        model.flush_telemetry();
+        let snapshot = cfg.profiler.emit_metrics(model.name());
+        let total_grad_evals: u64 = completed.values().map(|c| c.grad_evals).sum();
         if degraded && cfg.recorder.enabled() {
             cfg.recorder.record(Event::DegradedReport {
                 model: model.name().to_string(),
                 survivors: completed.len() as u64,
                 lost: lost.len() as u64,
                 faults: faults.len() as u64,
+                grad_evals: total_grad_evals,
+                span_ns: snapshot.span_total_ns(),
             });
         }
-        model.flush_telemetry();
         if cfg.recorder.enabled() {
             cfg.recorder.record(Event::RunEnd {
                 model: model.name().to_string(),
@@ -795,6 +819,8 @@ impl Runtime {
                 stopped_at: decided.map(|t| t as u64),
                 total_draws: completed.values().map(|c| c.draws.len() as u64).sum(),
                 divergences: completed.values().map(|c| c.divergences).sum(),
+                grad_evals: total_grad_evals,
+                span_ns: snapshot.span_total_ns(),
             });
             cfg.recorder.flush();
         }
@@ -811,6 +837,7 @@ impl Runtime {
             faults,
             degraded,
             survivors,
+            metrics: snapshot,
         })
     }
 
@@ -873,6 +900,7 @@ impl Runtime {
                     let stall_deadline = self.sup.stall_deadline;
                     let checkpoint_path = self.sup.checkpoint_path.clone();
                     scope.spawn(move |_| {
+                        let _prof_scope = cfg.profiler.install(None);
                         let mut schedule = detector.checkpoints(cfg.iters);
                         let mut pending_ck = if walk { schedule.next() } else { None };
                         let mut streak = 0usize;
@@ -885,6 +913,8 @@ impl Runtime {
                             if let Some(t) = pending_ck {
                                 if progress() >= t {
                                     if monitoring {
+                                        let _span =
+                                            bayes_obs::span(bayes_obs::Phase::CheckpointDiag);
                                         // R̂ over chain-ordered prefixes:
                                         // finished chains contribute their
                                         // stored draws, running chains
@@ -1058,6 +1088,7 @@ impl Runtime {
                         let chain_segments: &[usize] =
                             if segments.is_empty() { &[] } else { segments };
                         scope.spawn(move |_| {
+                            let _prof_scope = cfg_c.profiler.install(Some(chain as u64));
                             let on_draw = move |iter: usize, draw: &[f64]| {
                                 let mut poisoned = false;
                                 if let Some(inj) = injector.as_deref() {

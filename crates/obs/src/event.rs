@@ -17,7 +17,56 @@
 //! unequal; compare [`Event::to_json`] strings when that matters.
 
 use crate::json::{parse, write_escaped, Json};
+use crate::metrics::MetricsSnapshot;
+use std::fmt;
 use std::fmt::Write as _;
+
+/// Major version of the trace schema. A trace whose header announces a
+/// *newer* major is rejected by [`Event::from_json`] with
+/// [`DecodeError::UnsupportedSchema`]; newer minors decode fine.
+pub const TRACE_SCHEMA_MAJOR: u64 = 1;
+/// Minor version of the trace schema (additive changes only).
+pub const TRACE_SCHEMA_MINOR: u64 = 0;
+
+/// Why one trace line failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Malformed JSON, an unknown `type` tag, or a missing/mistyped
+    /// field.
+    Malformed(String),
+    /// The trace header announces a schema major this decoder does not
+    /// understand.
+    UnsupportedSchema {
+        /// Major version the trace was written with.
+        major: u64,
+        /// Highest major this decoder supports.
+        supported: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Malformed(msg) => write!(f, "{msg}"),
+            DecodeError::UnsupportedSchema { major, supported } => write!(
+                f,
+                "trace schema major {major} is newer than supported major {supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Splits `"MAJOR.MINOR"` into its numeric parts.
+fn parse_schema_version(s: &str) -> Result<(u64, u64), String> {
+    let bad = || format!("schema_version '{s}' is not MAJOR.MINOR");
+    let (major, minor) = s.split_once('.').ok_or_else(bad)?;
+    Ok((
+        major.parse().map_err(|_| bad())?,
+        minor.parse().map_err(|_| bad())?,
+    ))
+}
 
 /// Which convergence walker emitted a checkpoint event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +97,43 @@ impl CheckpointSource {
 /// One structured observability event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
+    /// The first line of a JSONL trace file, announcing its schema
+    /// version (written by `JsonlRecorder::create`).
+    TraceHeader {
+        /// `"MAJOR.MINOR"`; decoding rejects newer majors.
+        schema_version: String,
+    },
+    /// A profiled span opened (coarse phases only — see `obs::span`).
+    SpanStart {
+        /// Chain index, or `None` for monitor/supervisor threads.
+        chain: Option<u64>,
+        /// Phase tag (`Phase::tag`).
+        phase: String,
+        /// Span-stack depth at open (0 = top level).
+        depth: u64,
+    },
+    /// A profiled span closed. Wall-clock fields are non-deterministic
+    /// and carved out of determinism comparisons.
+    SpanEnd {
+        /// Chain index, or `None` for monitor/supervisor threads.
+        chain: Option<u64>,
+        /// Phase tag (`Phase::tag`).
+        phase: String,
+        /// Span-stack depth at open (matches the `span_start`).
+        depth: u64,
+        /// Inclusive wall-clock nanoseconds (children included).
+        elapsed_ns: u64,
+        /// Exclusive nanoseconds (children subtracted).
+        self_ns: u64,
+    },
+    /// The run's merged metrics snapshot, emitted once before
+    /// `run_end` when a profiler is attached.
+    Metrics {
+        /// Model (workload) name.
+        model: String,
+        /// Merged counters/gauges/histograms for the run.
+        snapshot: MetricsSnapshot,
+    },
     /// A multi-chain run began.
     RunStart {
         /// Model (workload) name.
@@ -179,6 +265,12 @@ pub enum Event {
         total_draws: u64,
         /// Post-warmup divergent transitions across all chains.
         divergences: u64,
+        /// Total gradient evaluations across all chains (headline
+        /// metric; reports work without a full trace).
+        grad_evals: u64,
+        /// Total profiled span nanoseconds (0 when profiling is off;
+        /// wall-clock, excluded from determinism comparisons).
+        span_ns: u64,
     },
     /// One chain attempt failed with an isolated fault (supervisor).
     ChainFault {
@@ -233,6 +325,10 @@ pub enum Event {
         lost: u64,
         /// Total faults recorded over the run (retried ones included).
         faults: u64,
+        /// Total gradient evaluations across surviving chains.
+        grad_evals: u64,
+        /// Total profiled span nanoseconds (0 when profiling is off).
+        span_ns: u64,
     },
 }
 
@@ -284,6 +380,13 @@ impl Obj {
     fn field_bool(mut self, k: &str, v: bool) -> Self {
         self.key(k);
         self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-rendered JSON value verbatim (nested objects).
+    fn field_raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
         self
     }
 
@@ -347,9 +450,50 @@ fn get_opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, String> {
 }
 
 impl Event {
+    /// The header event every new trace starts with, stamped with the
+    /// current schema version.
+    pub fn trace_header() -> Self {
+        Event::TraceHeader {
+            schema_version: format!("{TRACE_SCHEMA_MAJOR}.{TRACE_SCHEMA_MINOR}"),
+        }
+    }
+
     /// Encodes the event as one line of JSON (no trailing newline).
     pub fn to_json(&self) -> String {
         match self {
+            Event::TraceHeader { schema_version } => Obj::new("trace_header")
+                .field_str("schema_version", schema_version)
+                .finish(),
+            Event::SpanStart {
+                chain,
+                phase,
+                depth,
+            } => Obj::new("span_start")
+                .field_opt_u64("chain", *chain)
+                .field_str("phase", phase)
+                .field_u64("depth", *depth)
+                .finish(),
+            Event::SpanEnd {
+                chain,
+                phase,
+                depth,
+                elapsed_ns,
+                self_ns,
+            } => Obj::new("span_end")
+                .field_opt_u64("chain", *chain)
+                .field_str("phase", phase)
+                .field_u64("depth", *depth)
+                .field_u64("elapsed_ns", *elapsed_ns)
+                .field_u64("self_ns", *self_ns)
+                .finish(),
+            Event::Metrics { model, snapshot } => {
+                let mut rendered = String::new();
+                snapshot.write_json(&mut rendered);
+                Obj::new("metrics")
+                    .field_str("model", model)
+                    .field_raw("snapshot", &rendered)
+                    .finish()
+            }
             Event::RunStart {
                 model,
                 chains,
@@ -474,12 +618,16 @@ impl Event {
                 stopped_at,
                 total_draws,
                 divergences,
+                grad_evals,
+                span_ns,
             } => Obj::new("run_end")
                 .field_str("model", model)
                 .field_u64("chains", *chains)
                 .field_opt_u64("stopped_at", *stopped_at)
                 .field_u64("total_draws", *total_draws)
                 .field_u64("divergences", *divergences)
+                .field_u64("grad_evals", *grad_evals)
+                .field_u64("span_ns", *span_ns)
                 .finish(),
             Event::ChainFault {
                 chain,
@@ -520,11 +668,15 @@ impl Event {
                 survivors,
                 lost,
                 faults,
+                grad_evals,
+                span_ns,
             } => Obj::new("degraded_report")
                 .field_str("model", model)
                 .field_u64("survivors", *survivors)
                 .field_u64("lost", *lost)
                 .field_u64("faults", *faults)
+                .field_u64("grad_evals", *grad_evals)
+                .field_u64("span_ns", *span_ns)
                 .finish(),
         }
     }
@@ -533,110 +685,148 @@ impl Event {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first schema violation: malformed
-    /// JSON, an unknown `type` tag, or a missing/mistyped field.
-    pub fn from_json(line: &str) -> Result<Self, String> {
-        let v = parse(line)?;
-        let tag = get_str(&v, "type")?;
-        match tag.as_str() {
+    /// [`DecodeError::Malformed`] on the first schema violation
+    /// (malformed JSON, an unknown `type` tag, a missing/mistyped
+    /// field); [`DecodeError::UnsupportedSchema`] when a `trace_header`
+    /// announces a schema major newer than [`TRACE_SCHEMA_MAJOR`].
+    pub fn from_json(line: &str) -> Result<Self, DecodeError> {
+        let v = parse(line).map_err(DecodeError::Malformed)?;
+        let tag = get_str(&v, "type").map_err(DecodeError::Malformed)?;
+        if tag == "trace_header" {
+            let schema_version = get_str(&v, "schema_version").map_err(DecodeError::Malformed)?;
+            let (major, _minor) =
+                parse_schema_version(&schema_version).map_err(DecodeError::Malformed)?;
+            if major > TRACE_SCHEMA_MAJOR {
+                return Err(DecodeError::UnsupportedSchema {
+                    major,
+                    supported: TRACE_SCHEMA_MAJOR,
+                });
+            }
+            return Ok(Event::TraceHeader { schema_version });
+        }
+        Self::decode(&v, &tag).map_err(DecodeError::Malformed)
+    }
+
+    fn decode(v: &Json, tag: &str) -> Result<Self, String> {
+        match tag {
+            "span_start" => Ok(Event::SpanStart {
+                chain: get_opt_u64(v, "chain")?,
+                phase: get_str(v, "phase")?,
+                depth: get_u64(v, "depth")?,
+            }),
+            "span_end" => Ok(Event::SpanEnd {
+                chain: get_opt_u64(v, "chain")?,
+                phase: get_str(v, "phase")?,
+                depth: get_u64(v, "depth")?,
+                elapsed_ns: get_u64(v, "elapsed_ns")?,
+                self_ns: get_u64(v, "self_ns")?,
+            }),
+            "metrics" => Ok(Event::Metrics {
+                model: get_str(v, "model")?,
+                snapshot: MetricsSnapshot::from_json(req(v, "snapshot")?)?,
+            }),
             "run_start" => Ok(Event::RunStart {
-                model: get_str(&v, "model")?,
-                chains: get_u64(&v, "chains")?,
-                iters: get_u64(&v, "iters")?,
-                seed: get_u64(&v, "seed")?,
+                model: get_str(v, "model")?,
+                chains: get_u64(v, "chains")?,
+                iters: get_u64(v, "iters")?,
+                seed: get_u64(v, "seed")?,
             }),
             "iteration" => Ok(Event::Iteration {
-                chain: get_u64(&v, "chain")?,
-                iter: get_u64(&v, "iter")?,
-                step_size: get_f64(&v, "step_size")?,
-                tree_depth: get_u64(&v, "tree_depth")?,
-                leapfrogs: get_u64(&v, "leapfrogs")?,
-                divergent: get_bool(&v, "divergent")?,
-                accept: get_f64(&v, "accept")?,
+                chain: get_u64(v, "chain")?,
+                iter: get_u64(v, "iter")?,
+                step_size: get_f64(v, "step_size")?,
+                tree_depth: get_u64(v, "tree_depth")?,
+                leapfrogs: get_u64(v, "leapfrogs")?,
+                divergent: get_bool(v, "divergent")?,
+                accept: get_f64(v, "accept")?,
             }),
             "checkpoint" => Ok(Event::Checkpoint {
-                source: CheckpointSource::from_tag(&get_str(&v, "source")?)?,
-                iter: get_u64(&v, "iter")?,
-                max_rhat: get_f64(&v, "max_rhat")?,
-                streak: get_u64(&v, "streak")?,
-                converged: get_bool(&v, "converged")?,
+                source: CheckpointSource::from_tag(&get_str(v, "source")?)?,
+                iter: get_u64(v, "iter")?,
+                max_rhat: get_f64(v, "max_rhat")?,
+                streak: get_u64(v, "streak")?,
+                converged: get_bool(v, "converged")?,
             }),
             "shard_aggregate" => Ok(Event::ShardAggregate {
-                model: get_str(&v, "model")?,
-                sweeps: get_u64(&v, "sweeps")?,
-                shards: get_u64(&v, "shards")?,
-                threads: get_u64(&v, "threads")?,
-                tape_nodes: get_u64(&v, "tape_nodes")?,
-                tape_bytes: get_u64(&v, "tape_bytes")?,
-                transcendental: get_u64(&v, "transcendental")?,
-                elapsed_ns: get_u64(&v, "elapsed_ns")?,
+                model: get_str(v, "model")?,
+                sweeps: get_u64(v, "sweeps")?,
+                shards: get_u64(v, "shards")?,
+                threads: get_u64(v, "threads")?,
+                tape_nodes: get_u64(v, "tape_nodes")?,
+                tape_bytes: get_u64(v, "tape_bytes")?,
+                transcendental: get_u64(v, "transcendental")?,
+                elapsed_ns: get_u64(v, "elapsed_ns")?,
             }),
             "elision" => Ok(Event::Elision {
-                workload: get_str(&v, "workload")?,
-                total_iters: get_u64(&v, "total_iters")?,
-                converged_at: get_opt_u64(&v, "converged_at")?,
-                iter_saving: get_f64(&v, "iter_saving")?,
-                work_saving: get_f64(&v, "work_saving")?,
+                workload: get_str(v, "workload")?,
+                total_iters: get_u64(v, "total_iters")?,
+                converged_at: get_opt_u64(v, "converged_at")?,
+                iter_saving: get_f64(v, "iter_saving")?,
+                work_saving: get_f64(v, "work_saving")?,
             }),
             "subsample" => Ok(Event::Subsample {
-                workload: get_str(&v, "workload")?,
-                fraction: get_f64(&v, "fraction")?,
-                working_set_bytes: get_u64(&v, "working_set_bytes")?,
-                speedup: get_f64(&v, "speedup")?,
+                workload: get_str(v, "workload")?,
+                fraction: get_f64(v, "fraction")?,
+                working_set_bytes: get_u64(v, "working_set_bytes")?,
+                speedup: get_f64(v, "speedup")?,
             }),
             "counters" => Ok(Event::Counters {
-                workload: get_str(&v, "workload")?,
-                platform: get_str(&v, "platform")?,
-                cores: get_u64(&v, "cores")?,
-                ipc: get_f64(&v, "ipc")?,
-                llc_mpki: get_f64(&v, "llc_mpki")?,
-                bandwidth_gbs: get_f64(&v, "bandwidth_gbs")?,
-                time_s: get_f64(&v, "time_s")?,
-                energy_j: get_f64(&v, "energy_j")?,
+                workload: get_str(v, "workload")?,
+                platform: get_str(v, "platform")?,
+                cores: get_u64(v, "cores")?,
+                ipc: get_f64(v, "ipc")?,
+                llc_mpki: get_f64(v, "llc_mpki")?,
+                bandwidth_gbs: get_f64(v, "bandwidth_gbs")?,
+                time_s: get_f64(v, "time_s")?,
+                energy_j: get_f64(v, "energy_j")?,
             }),
             "platform" => Ok(Event::Platform {
-                name: get_str(&v, "name")?,
-                processor: get_str(&v, "processor")?,
-                cores: get_u64(&v, "cores")?,
-                llc_bytes: get_u64(&v, "llc_bytes")?,
-                mem_bw_gbs: get_f64(&v, "mem_bw_gbs")?,
-                tdp_w: get_f64(&v, "tdp_w")?,
+                name: get_str(v, "name")?,
+                processor: get_str(v, "processor")?,
+                cores: get_u64(v, "cores")?,
+                llc_bytes: get_u64(v, "llc_bytes")?,
+                mem_bw_gbs: get_f64(v, "mem_bw_gbs")?,
+                tdp_w: get_f64(v, "tdp_w")?,
             }),
             "run_end" => Ok(Event::RunEnd {
-                model: get_str(&v, "model")?,
-                chains: get_u64(&v, "chains")?,
-                stopped_at: get_opt_u64(&v, "stopped_at")?,
-                total_draws: get_u64(&v, "total_draws")?,
-                divergences: get_u64(&v, "divergences")?,
+                model: get_str(v, "model")?,
+                chains: get_u64(v, "chains")?,
+                stopped_at: get_opt_u64(v, "stopped_at")?,
+                total_draws: get_u64(v, "total_draws")?,
+                divergences: get_u64(v, "divergences")?,
+                grad_evals: get_u64(v, "grad_evals")?,
+                span_ns: get_u64(v, "span_ns")?,
             }),
             "chain_fault" => Ok(Event::ChainFault {
-                chain: get_u64(&v, "chain")?,
-                attempt: get_u64(&v, "attempt")?,
-                kind: get_str(&v, "kind")?,
-                iter: get_opt_u64(&v, "iter")?,
-                message: get_str(&v, "message")?,
+                chain: get_u64(v, "chain")?,
+                attempt: get_u64(v, "attempt")?,
+                kind: get_str(v, "kind")?,
+                iter: get_opt_u64(v, "iter")?,
+                message: get_str(v, "message")?,
             }),
             "chain_retry" => Ok(Event::ChainRetry {
-                chain: get_u64(&v, "chain")?,
-                attempt: get_u64(&v, "attempt")?,
-                reseed: get_bool(&v, "reseed")?,
-                seed: get_u64(&v, "seed")?,
+                chain: get_u64(v, "chain")?,
+                attempt: get_u64(v, "attempt")?,
+                reseed: get_bool(v, "reseed")?,
+                seed: get_u64(v, "seed")?,
             }),
             "checkpoint_saved" => Ok(Event::CheckpointSaved {
-                path: get_str(&v, "path")?,
-                iter: get_u64(&v, "iter")?,
-                chains: get_u64(&v, "chains")?,
+                path: get_str(v, "path")?,
+                iter: get_u64(v, "iter")?,
+                chains: get_u64(v, "chains")?,
             }),
             "resume" => Ok(Event::Resume {
-                path: get_str(&v, "path")?,
-                iter: get_u64(&v, "iter")?,
-                model: get_str(&v, "model")?,
+                path: get_str(v, "path")?,
+                iter: get_u64(v, "iter")?,
+                model: get_str(v, "model")?,
             }),
             "degraded_report" => Ok(Event::DegradedReport {
-                model: get_str(&v, "model")?,
-                survivors: get_u64(&v, "survivors")?,
-                lost: get_u64(&v, "lost")?,
-                faults: get_u64(&v, "faults")?,
+                model: get_str(v, "model")?,
+                survivors: get_u64(v, "survivors")?,
+                lost: get_u64(v, "lost")?,
+                faults: get_u64(v, "faults")?,
+                grad_evals: get_u64(v, "grad_evals")?,
+                span_ns: get_u64(v, "span_ns")?,
             }),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -648,7 +838,41 @@ mod tests {
     use super::*;
 
     fn samples() -> Vec<Event> {
+        let mut registry = crate::metrics::MetricsRegistry::new();
+        registry.counter_add("grad_evals", 123456);
+        registry.gauge_set("final_eps", 0.30000000000000004);
+        registry.record("span.gradient_eval", 12_345);
+        registry.record("span.gradient_eval", 999);
         vec![
+            Event::trace_header(),
+            Event::SpanStart {
+                chain: Some(2),
+                phase: "tree_doubling".into(),
+                depth: 0,
+            },
+            Event::SpanEnd {
+                chain: Some(2),
+                phase: "tree_doubling".into(),
+                depth: 0,
+                elapsed_ns: 123_456_789,
+                self_ns: 456_789,
+            },
+            Event::SpanStart {
+                chain: None,
+                phase: "checkpoint_diag".into(),
+                depth: 1,
+            },
+            Event::SpanEnd {
+                chain: None,
+                phase: "checkpoint_diag".into(),
+                depth: 1,
+                elapsed_ns: 42,
+                self_ns: 42,
+            },
+            Event::Metrics {
+                model: "12cities".into(),
+                snapshot: registry.snapshot(),
+            },
             Event::RunStart {
                 model: "12cities".into(),
                 chains: 4,
@@ -725,6 +949,8 @@ mod tests {
                 stopped_at: Some(600),
                 total_draws: 2400,
                 divergences: 3,
+                grad_evals: 987_654,
+                span_ns: 1_234_567_890,
             },
             Event::ChainFault {
                 chain: 2,
@@ -761,6 +987,8 @@ mod tests {
                 survivors: 3,
                 lost: 1,
                 faults: 2,
+                grad_evals: 500_000,
+                span_ns: 0,
             },
         ]
     }
@@ -795,9 +1023,36 @@ mod tests {
 
     #[test]
     fn rejects_unknown_type_and_missing_fields() {
-        assert!(Event::from_json("{\"type\":\"nope\"}").is_err());
+        assert!(matches!(
+            Event::from_json("{\"type\":\"nope\"}"),
+            Err(DecodeError::Malformed(_))
+        ));
         assert!(Event::from_json("{\"type\":\"run_start\",\"model\":\"x\"}").is_err());
         assert!(Event::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn rejects_newer_schema_majors_with_a_typed_error() {
+        let newer = format!(
+            "{{\"type\":\"trace_header\",\"schema_version\":\"{}.0\"}}",
+            TRACE_SCHEMA_MAJOR + 1
+        );
+        assert_eq!(
+            Event::from_json(&newer),
+            Err(DecodeError::UnsupportedSchema {
+                major: TRACE_SCHEMA_MAJOR + 1,
+                supported: TRACE_SCHEMA_MAJOR,
+            })
+        );
+        // Newer minors of the current major decode fine.
+        let minor =
+            format!("{{\"type\":\"trace_header\",\"schema_version\":\"{TRACE_SCHEMA_MAJOR}.99\"}}");
+        assert!(Event::from_json(&minor).is_ok());
+        // Garbled versions are malformed, not silently accepted.
+        assert!(matches!(
+            Event::from_json("{\"type\":\"trace_header\",\"schema_version\":\"v2\"}"),
+            Err(DecodeError::Malformed(_))
+        ));
     }
 
     #[test]

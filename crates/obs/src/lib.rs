@@ -11,13 +11,25 @@
 //! * [`JsonlRecorder`] — streams one JSON object per line to a file
 //!   (the `--trace out.jsonl` flag on the bench bins).
 //!
+//! On top of the raw event stream sit two aggregation layers:
+//!
+//! * [`metrics`] — monotonic counters, gauges, and deterministic
+//!   log-linear histograms with associative + commutative
+//!   snapshot/merge semantics;
+//! * [`span`] — a hierarchical phase profiler with scoped RAII timers
+//!   ([`span::span`]) feeding per-phase histograms and, for coarse
+//!   phases, `span_start`/`span_end` events.
+//!
 //! Two invariants make tracing safe to leave wired into hot paths:
 //!
 //! 1. **Zero-cost when disabled.** Call sites guard event construction
-//!    on [`RecorderHandle::enabled`]; a null handle is one branch.
-//! 2. **Observation only.** Recording paths never use the RNG and
-//!    never touch sampler state, so draws are bit-identical with any
-//!    recorder attached (`tests/determinism.rs` proves it).
+//!    on [`RecorderHandle::enabled`]; a null handle is one branch. The
+//!    span profiler mirrors this with [`ProfilerHandle::enabled`].
+//! 2. **Observation only.** Recording and profiling paths never use
+//!    the RNG and never touch sampler state, so draws are bit-identical
+//!    with any recorder or profiler attached (`tests/determinism.rs`
+//!    proves it). Wall-clock payloads (`elapsed_ns`, span times) are
+//!    the one non-deterministic carve-out.
 //!
 //! The crate is dependency-free: the event schema is flat, so a small
 //! hand-rolled JSON module ([`json`]) replaces `serde_json`.
@@ -26,7 +38,11 @@
 
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod recorder;
+pub mod span;
 
-pub use event::{CheckpointSource, Event};
+pub use event::{CheckpointSource, DecodeError, Event, TRACE_SCHEMA_MAJOR, TRACE_SCHEMA_MINOR};
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle};
+pub use span::{span, Phase, Profiler, ProfilerHandle, ScopeGuard, SpanGuard};

@@ -1,0 +1,509 @@
+//! Dependency-free metrics: monotonic counters, gauges, and
+//! deterministic log-linear histograms with snapshot/merge semantics.
+//!
+//! The registry is the aggregation substrate under the span profiler
+//! ([`crate::span`]) and the `trace_report` characterization CLI. Two
+//! properties carry all the weight:
+//!
+//! * **Deterministic bucketing.** A histogram maps a `u64` sample to a
+//!   bucket index by pure integer arithmetic (16 linear sub-buckets per
+//!   power of two, exact below 16), so the same samples always land in
+//!   the same buckets on every platform.
+//! * **Associative + commutative merge.** Merging snapshots adds `u64`
+//!   bucket counts and counter values and takes the max of gauges, so
+//!   per-chain registries combine into bit-identical aggregates
+//!   regardless of join order — chain threads may finish in any order
+//!   without perturbing the merged result.
+//!
+//! Wall-clock *samples* recorded into histograms are of course not
+//! deterministic across runs; determinism here means the aggregation
+//! itself never depends on thread scheduling.
+
+use crate::json::{write_escaped, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Linear sub-buckets per power of two (relative error ≤ 1/16).
+const SUB: u64 = 16;
+
+/// Bucket index of a sample. Values below 16 get exact buckets; above
+/// that, each power of two splits into 16 linear sub-buckets.
+fn bucket_index(v: u64) -> u32 {
+    if v < SUB {
+        v as u32
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= 4
+        let sub = ((v >> (msb - 4)) & 15) as u32;
+        (msb - 3) * 16 + sub
+    }
+}
+
+/// Inclusive `[lower, upper]` value range of a bucket index.
+fn bucket_bounds(index: u32) -> (u64, u64) {
+    if index < SUB as u32 {
+        (index as u64, index as u64)
+    } else {
+        let octave = index / 16 + 3; // msb of values in this bucket
+        let sub = (index % 16) as u64;
+        let width = 1u64 << (octave - 4);
+        let lower = (SUB + sub) << (octave - 4);
+        (lower, lower + width - 1)
+    }
+}
+
+/// A deterministic log-linear histogram over `u64` samples.
+///
+/// Tracks count, sum, min, max, and sparse bucket counts. Recording is
+/// O(log buckets); merging is element-wise `u64` addition, hence
+/// associative and commutative.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any was recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any was recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile: the upper edge of the bucket
+    /// holding the `⌈q·count⌉`-th smallest sample, clamped to the
+    /// observed `[min, max]`. Within a factor of `1 + 1/16` of the true
+    /// quantile by construction. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                let (_, hi) = bucket_bounds(idx);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one. Associative and
+    /// commutative: bucket counts and sums add, min/max combine.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (&idx, &c) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += c;
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count, self.sum, self.min, self.max
+        );
+        for (i, (&idx, &c)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{c}]");
+        }
+        out.push_str("]}");
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram field '{k}' missing or not a u64"))
+        };
+        let mut buckets = BTreeMap::new();
+        match v.get("buckets") {
+            Some(Json::Arr(items)) => {
+                for item in items {
+                    let pair = match item {
+                        Json::Arr(p) if p.len() == 2 => p,
+                        _ => return Err("histogram bucket is not a [index, count] pair".into()),
+                    };
+                    let idx = pair[0].as_u64().ok_or("bucket index is not a u64")? as u32;
+                    let c = pair[1].as_u64().ok_or("bucket count is not a u64")?;
+                    buckets.insert(idx, c);
+                }
+            }
+            _ => return Err("histogram field 'buckets' missing or not an array".into()),
+        }
+        Ok(Self {
+            count: field("count")?,
+            sum: field("sum")?,
+            min: field("min")?,
+            max: field("max")?,
+            buckets,
+        })
+    }
+}
+
+/// A frozen, mergeable view of a [`MetricsRegistry`].
+///
+/// Merge semantics: counters add, gauges take the max, histograms
+/// merge bucket-wise. All three are associative and commutative, so
+/// any join order over per-chain snapshots yields the same bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (merge keeps the max).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another snapshot into this one (associative and
+    /// commutative; see the type-level docs).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            // f64::max ignores NaN on either side unless both are NaN.
+            *slot = slot.max(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Total nanoseconds across all `span.*` histograms — the headline
+    /// "span totals" number carried by `run_end`/`degraded_report`.
+    pub fn span_total_ns(&self) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|(k, _)| k.starts_with("span."))
+            .map(|(_, h)| h.sum())
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Encodes the snapshot as one JSON object (no surrounding event
+    /// framing); key order is the `BTreeMap` order, so encoding is
+    /// deterministic.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(out, k);
+            out.push(':');
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                out.push_str("null"); // non-finite → null → NaN
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(out, k);
+            out.push(':');
+            h.write_json(out);
+        }
+        out.push_str("}}");
+    }
+
+    /// Decodes a snapshot from a parsed JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let obj = |k: &str| -> Result<&Vec<(String, Json)>, String> {
+            match v.get(k) {
+                Some(Json::Obj(fields)) => Ok(fields),
+                _ => Err(format!("metrics field '{k}' missing or not an object")),
+            }
+        };
+        let mut snap = Self::new();
+        for (k, val) in obj("counters")? {
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("counter '{k}' is not a u64"))?;
+            snap.counters.insert(k.clone(), n);
+        }
+        for (k, val) in obj("gauges")? {
+            let g = if val.is_null() {
+                f64::NAN
+            } else {
+                val.as_f64()
+                    .ok_or_else(|| format!("gauge '{k}' is not a number"))?
+            };
+            snap.gauges.insert(k.clone(), g);
+        }
+        for (k, val) in obj("histograms")? {
+            snap.histograms
+                .insert(k.clone(), Histogram::from_json(val)?);
+        }
+        Ok(snap)
+    }
+}
+
+/// A live, single-threaded metrics registry.
+///
+/// The registry is deliberately not `Sync`: the span profiler keeps one
+/// per chain thread (no contention on the hot path) and merges frozen
+/// [`MetricsSnapshot`]s under a run-level mutex when each chain scope
+/// ends.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    snap: MetricsSnapshot,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.snap.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `v` (last write wins locally; merges
+    /// across registries keep the max).
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.snap.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn record(&mut self, name: &str, v: u64) {
+        self.snap
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// A frozen copy of the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snap.clone()
+    }
+
+    /// Takes the current state, leaving the registry empty.
+    pub fn take(&mut self) -> MetricsSnapshot {
+        std::mem::take(&mut self.snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn buckets_are_exact_below_16_and_bounded_above() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v));
+        }
+        for v in [16u64, 17, 31, 32, 100, 1_000, 123_456_789, u64::MAX / 2] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+            // Relative bucket width ≤ 1/16.
+            assert!(hi - lo <= v / 16 + 1, "bucket too wide for {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.min().is_none());
+        assert!(h.mean().is_nan());
+        for v in [5u64, 100, 7, 3000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 3112);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(3000));
+        assert!((h.mean() - 778.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_are_bounded_and_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!(est >= prev, "quantile not monotone at q={q}");
+            assert!(est >= 1 && est <= 1000);
+            prev = est;
+        }
+        // Upper edge of the max bucket clamps to the observed max.
+        assert_eq!(h.quantile(1.0), Some(1000));
+        let true_median = 500.0;
+        let est = h.quantile(0.5).unwrap() as f64;
+        assert!(est >= true_median && est <= true_median * (1.0 + 1.0 / 8.0));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[1, 50, 900]), mk(&[2, 2, 70000]), mk(&[0, 12345]));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_all_kinds() {
+        let mut r1 = MetricsRegistry::new();
+        r1.counter_add("evals", 10);
+        r1.gauge_set("eps", 0.5);
+        r1.record("span.gradient_eval", 100);
+        let mut r2 = MetricsRegistry::new();
+        r2.counter_add("evals", 7);
+        r2.gauge_set("eps", 0.25);
+        r2.record("span.gradient_eval", 300);
+        r2.record("span.adaptation", 40);
+
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(m.counters["evals"], 17);
+        assert_eq!(m.gauges["eps"], 0.5); // max wins
+        assert_eq!(m.histograms["span.gradient_eval"].count(), 2);
+        assert_eq!(m.span_total_ns(), 440);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("grad_evals", 9223372036854775809 % 1_000_000_007);
+        r.gauge_set("step_size", 0.30000000000000004);
+        r.gauge_set("bad", f64::NAN);
+        for v in [0u64, 3, 17, 1_000_000, u64::MAX / 3] {
+            r.record("span.leapfrog", v);
+        }
+        let snap = r.snapshot();
+        let mut s = String::new();
+        snap.write_json(&mut s);
+        let back = MetricsSnapshot::from_json(&parse(&s).unwrap()).unwrap();
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.histograms, snap.histograms);
+        assert!(back.gauges["bad"].is_nan());
+        assert_eq!(
+            back.gauges["step_size"].to_bits(),
+            snap.gauges["step_size"].to_bits()
+        );
+        // Encoding is stable across a decode cycle.
+        let mut s2 = String::new();
+        back.write_json(&mut s2);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_and_decodes() {
+        let snap = MetricsSnapshot::new();
+        assert!(snap.is_empty());
+        let mut s = String::new();
+        snap.write_json(&mut s);
+        let back = MetricsSnapshot::from_json(&parse(&s).unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+}

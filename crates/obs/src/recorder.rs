@@ -32,6 +32,15 @@ pub trait Recorder: Send + Sync {
 
     /// Pushes any buffered output to its destination.
     fn flush(&self) {}
+
+    /// Drains buffered events, for sinks that retain them in memory.
+    ///
+    /// The default returns nothing; only [`MemoryRecorder`] overrides
+    /// it. This is how [`RecorderHandle::take`] reaches the collected
+    /// events without downcasting.
+    fn drain(&self) -> Vec<Event> {
+        Vec::new()
+    }
 }
 
 /// Discards everything and reports itself disabled, so call sites skip
@@ -87,6 +96,10 @@ impl Recorder for MemoryRecorder {
             .expect("recorder mutex")
             .push(event.clone());
     }
+
+    fn drain(&self) -> Vec<Event> {
+        self.take()
+    }
 }
 
 /// Streams events to a file, one JSON object per line.
@@ -100,16 +113,20 @@ pub struct JsonlRecorder {
 }
 
 impl JsonlRecorder {
-    /// Creates (truncating) the trace file at `path`.
+    /// Creates (truncating) the trace file at `path` and writes the
+    /// `trace_header` line announcing the schema version, so readers
+    /// can refuse traces from a future incompatible writer.
     ///
     /// # Errors
     ///
     /// Propagates the underlying [`File::create`] failure.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self {
+        let rec = Self {
             out: Mutex::new(BufWriter::new(file)),
-        })
+        };
+        rec.record(&Event::trace_header());
+        Ok(rec)
     }
 }
 
@@ -121,6 +138,20 @@ impl Recorder for JsonlRecorder {
 
     fn flush(&self) {
         let _ = self.out.lock().expect("recorder mutex").flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    /// Explicit flush-on-drop. `BufWriter`'s own drop would also flush,
+    /// but being explicit keeps the guarantee independent of that
+    /// implementation detail: the trace must not lose its tail when the
+    /// recorder is dropped during a panic unwind.
+    fn drop(&mut self) {
+        let mut out = match self.out.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = out.flush();
     }
 }
 
@@ -163,6 +194,16 @@ impl RecorderHandle {
     pub fn flush(&self) {
         if let Some(r) = &self.inner {
             r.flush();
+        }
+    }
+
+    /// Drains buffered events from the underlying sink. Yields the
+    /// collected stream for a [`MemoryRecorder`] and an empty vec for
+    /// every other sink (see [`Recorder::drain`]).
+    pub fn take(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(r) => r.drain(),
+            None => Vec::new(),
         }
     }
 }
@@ -233,9 +274,30 @@ mod tests {
         }
         let text = std::fs::read_to_string(&path).expect("read trace file");
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert_eq!(Event::from_json(lines[0]).unwrap(), checkpoint(10));
-        assert_eq!(Event::from_json(lines[1]).unwrap(), checkpoint(20));
+        assert_eq!(lines.len(), 3, "header + 2 events");
+        assert_eq!(Event::from_json(lines[0]).unwrap(), Event::trace_header());
+        assert_eq!(Event::from_json(lines[1]).unwrap(), checkpoint(10));
+        assert_eq!(Event::from_json(lines[2]).unwrap(), checkpoint(20));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_recorder_flushes_on_panic_unwind() {
+        let path = std::env::temp_dir().join("bayes_obs_recorder_unwind.jsonl");
+        let result = std::panic::catch_unwind(|| {
+            let rec = JsonlRecorder::create(&path).expect("create trace file");
+            let h = RecorderHandle::new(Arc::new(rec));
+            h.record(checkpoint(10));
+            h.record(checkpoint(20));
+            // No flush: the buffered tail must survive the unwind via
+            // the recorder's drop.
+            panic!("injected");
+        });
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).expect("read trace file");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "unwind must not truncate the trace");
+        assert_eq!(Event::from_json(lines[2]).unwrap(), checkpoint(20));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -247,5 +309,20 @@ mod tests {
         h1.record(checkpoint(10));
         h2.record(checkpoint(20));
         assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn take_reaches_memory_events_through_the_handle() {
+        let h = RecorderHandle::new(Arc::new(MemoryRecorder::new()));
+        h.record(checkpoint(10));
+        h.record(checkpoint(20));
+        let drained = h.take();
+        assert_eq!(drained, vec![checkpoint(10), checkpoint(20)]);
+        assert!(h.take().is_empty(), "take drains");
+        // Non-memory sinks yield nothing rather than failing.
+        assert!(RecorderHandle::null().take().is_empty());
+        assert!(RecorderHandle::new(Arc::new(NullRecorder))
+            .take()
+            .is_empty());
     }
 }

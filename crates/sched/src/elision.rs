@@ -11,7 +11,7 @@
 use bayes_mcmc::diag::kl_to_ground_truth;
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::{chain, ConvergenceDetector, Model, MultiChainRun, RunConfig};
-use bayes_obs::{Event, RecorderHandle};
+use bayes_obs::{Event, ProfilerHandle, RecorderHandle};
 
 /// Configuration of one elision study.
 #[derive(Debug, Clone, Copy)]
@@ -122,10 +122,26 @@ impl ElisionStudy {
     /// run is deliberately untraced — its draws are reference material,
     /// not the workload under study.
     pub fn run_recorded(model: &dyn Model, cfg: &StudyConfig, recorder: &RecorderHandle) -> Self {
+        Self::run_profiled(model, cfg, recorder, &ProfilerHandle::null())
+    }
+
+    /// [`ElisionStudy::run_recorded`] with a phase profiler attached:
+    /// the main run samples under `profiler` (per-chain span scopes,
+    /// one `metrics` event at run end), and the post-hoc detector
+    /// replay records its R̂ work as `checkpoint_diag` spans, emitted
+    /// as a follow-up `metrics` event (snapshots merge downstream).
+    /// The ground-truth run stays unprofiled, like it stays untraced.
+    pub fn run_profiled(
+        model: &dyn Model,
+        cfg: &StudyConfig,
+        recorder: &RecorderHandle,
+        profiler: &ProfilerHandle,
+    ) -> Self {
         let run_cfg = RunConfig::new(cfg.iters)
             .with_chains(cfg.chains)
             .with_seed(cfg.seed)
-            .with_recorder(recorder.clone());
+            .with_recorder(recorder.clone())
+            .with_profiler(profiler.clone());
         let run = chain::run(&Nuts::default(), model, &run_cfg);
 
         // Ground truth: 2× the configured iterations (Section VI-A).
@@ -136,7 +152,14 @@ impl ElisionStudy {
         let truth = window_summary(&truth_run, cfg.iters, cfg.iters * 2);
 
         let detector = ConvergenceDetector::new().with_check_every(cfg.check_every);
-        let report = detector.detect_recorded(&run, recorder);
+        let report = {
+            let scope = profiler.install(None);
+            let report = detector.detect_recorded(&run, recorder);
+            // Merge this thread's replay spans before draining them.
+            drop(scope);
+            report
+        };
+        profiler.emit_metrics(model.name());
 
         let kl_trace: Vec<(usize, f64)> = report
             .rhat_trace

@@ -233,6 +233,49 @@ fn recorders_never_perturb_draws() {
 }
 
 #[test]
+fn profiling_never_perturbs_draws() {
+    // The span profiler is observation only: RAII wall-clock timers
+    // around gradient evals, leapfrogs, doublings, and checkpoint
+    // diagnostics never touch the RNG or any control flow, so a fully
+    // profiled run must match the unprofiled one bit for bit — at any
+    // inner-thread count.
+    use bayes_mcmc::obs::{MemoryRecorder, ProfilerHandle, RecorderHandle};
+    use std::sync::Arc;
+
+    let detector = ConvergenceDetector::new()
+        .with_check_every(20)
+        .with_min_iters(40);
+    let elide = |inner: usize, profiler: ProfilerHandle| {
+        let model = ShardedModel::new("gauss_shards", GaussShards::synthetic(64));
+        let cfg = RunConfig::new(200)
+            .with_chains(2)
+            .with_seed(11)
+            .with_inner_threads(inner)
+            .with_profiler(profiler);
+        run_until_converged(&Nuts::default(), &model, &cfg, &detector)
+    };
+
+    for inner in [1usize, 4] {
+        let baseline = elide(inner, ProfilerHandle::null());
+
+        let mem = Arc::new(MemoryRecorder::new());
+        let profiled = elide(inner, ProfilerHandle::new(RecorderHandle::new(mem.clone())));
+        let events = mem.take();
+        assert!(!events.is_empty(), "profiler emitted no events");
+
+        assert_eq!(
+            profiled.stopped_at, baseline.stopped_at,
+            "profiling changed the stop decision (inner={inner})"
+        );
+        assert_eq!(
+            draws_of(&profiled.run),
+            draws_of(&baseline.run),
+            "profiling perturbed the draws (inner={inner})"
+        );
+    }
+}
+
+#[test]
 fn faulted_then_retried_runs_are_bit_identical_to_fault_free_runs() {
     // A panic retry replays the identical RNG stream (the default
     // ReseedPolicy::StreamFaults keeps the stream for environment

@@ -154,8 +154,8 @@ fn panic_exhausts_retries_and_degrades() {
     assert_eq!(report.run.chains.len(), 2);
     assert_eq!(report.faults.len(), 2);
     assert_eq!(
-        events,
-        vec![
+        events[..3],
+        [
             Event::ChainFault {
                 chain: 0,
                 attempt: 0,
@@ -176,14 +176,22 @@ fn panic_exhausts_retries_and_degrades() {
                 iter: Some(50),
                 message: "injected panic (chain 0, iteration 50)".to_string(),
             },
-            Event::DegradedReport {
-                model: "gauss".to_string(),
-                survivors: 2,
-                lost: 1,
-                faults: 2,
-            },
         ]
     );
+    // With no profiler attached the span total is exactly zero; the
+    // gradient-eval total still reports the surviving chains' work.
+    assert!(matches!(
+        &events[3],
+        Event::DegradedReport {
+            model,
+            survivors: 2,
+            lost: 1,
+            faults: 2,
+            grad_evals,
+            span_ns: 0,
+        } if model == "gauss" && *grad_evals > 0
+    ));
+    assert_eq!(events.len(), 4);
 }
 
 // ----------------------------------------------------------- non-finite

@@ -102,6 +102,96 @@ fn iteration_events_mirror_the_chain_outputs() {
 }
 
 #[test]
+fn span_events_nest_well_formed_on_a_threaded_run() {
+    use bayes_mcmc::obs::{Phase, ProfilerHandle};
+    use std::collections::HashMap;
+
+    let mem = Arc::new(MemoryRecorder::new());
+    let rec = RecorderHandle::new(mem.clone());
+    let model = AdModel::new("funnel", Funnel);
+    let cfg = RunConfig::new(ITERS)
+        .with_chains(CHAINS)
+        .with_seed(19)
+        .threaded()
+        .with_recorder(rec.clone())
+        .with_profiler(ProfilerHandle::new(rec));
+    let _ = chain::run(&Nuts::default(), &model, &cfg);
+    let events = mem.take();
+
+    // RAII span guards make the per-thread event stream well formed:
+    // every span_end closes the innermost open span_start of the same
+    // phase, and the announced depth equals the open-span count (all
+    // event-emitting phases here are top-level or nested only in other
+    // event-emitting phases).
+    let mut stacks: HashMap<Option<u64>, Vec<(String, u64)>> = HashMap::new();
+    let mut starts = 0usize;
+    for e in &events {
+        match e {
+            Event::SpanStart {
+                chain,
+                phase,
+                depth,
+            } => {
+                starts += 1;
+                let p = Phase::from_tag(phase).expect("known phase tag");
+                assert!(p.emits_events(), "fine phase {phase} emitted an event");
+                stacks
+                    .entry(*chain)
+                    .or_default()
+                    .push((phase.clone(), *depth));
+            }
+            Event::SpanEnd {
+                chain,
+                phase,
+                depth,
+                elapsed_ns,
+                self_ns,
+            } => {
+                let stack = stacks.get_mut(chain).expect("span_end without span_start");
+                let (open_phase, open_depth) = stack.pop().expect("span_end with empty span stack");
+                assert_eq!(&open_phase, phase, "span_end closes a different phase");
+                assert_eq!(open_depth, *depth, "span_end depth mismatch");
+                assert!(self_ns <= elapsed_ns, "self time exceeds inclusive time");
+            }
+            _ => {}
+        }
+    }
+    assert!(starts > 0, "a profiled NUTS run must emit spans");
+    for (chain, stack) in &stacks {
+        assert!(stack.is_empty(), "chain {chain:?} left spans open");
+    }
+
+    // Every chain thread profiled tree doublings, and the merged
+    // snapshot agrees with the run_end headline.
+    for c in 0..CHAINS as u64 {
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                Event::SpanStart { chain: Some(ch), phase, .. }
+                    if *ch == c && phase == "tree_doubling"
+            )),
+            "chain {c} emitted no tree_doubling span"
+        );
+    }
+    let snapshot = events
+        .iter()
+        .find_map(|e| match e {
+            Event::Metrics { snapshot, .. } => Some(snapshot),
+            _ => None,
+        })
+        .expect("profiled run emits a metrics snapshot");
+    assert!(snapshot.histograms.contains_key("span.gradient_eval"));
+    assert!(snapshot.histograms.contains_key("span.leapfrog"));
+    match events.last().unwrap() {
+        Event::RunEnd { span_ns, .. } => {
+            assert_eq!(*span_ns, snapshot.span_total_ns());
+            assert!(*span_ns > 0, "profiled run recorded no span time");
+        }
+        other => panic!("expected RunEnd, got {other:?}"),
+    }
+}
+
+#[test]
 fn jsonl_sink_round_trips_the_event_stream() {
     // Sequential execution makes the cross-chain event order
     // deterministic, so the two recorders of the same run see the
@@ -117,8 +207,20 @@ fn jsonl_sink_round_trips_the_event_stream() {
     let text = std::fs::read_to_string(&path).expect("read trace back");
     let _ = std::fs::remove_file(&path);
     let lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), expected.len(), "one JSON line per event");
-    for (line, want) in lines.iter().zip(&expected) {
+    // The JSONL sink stamps a schema header as its first line; the
+    // memory recorder sees only the run's own events.
+    assert_eq!(
+        lines.len(),
+        expected.len() + 1,
+        "header + one JSON line per event"
+    );
+    match Event::from_json(lines[0]).expect("header parses") {
+        Event::TraceHeader { schema_version } => {
+            assert_eq!(schema_version, "1.0");
+        }
+        other => panic!("expected a trace_header first, got {other:?}"),
+    }
+    for (line, want) in lines[1..].iter().zip(&expected) {
         let got = Event::from_json(line).expect("every line parses");
         assert_eq!(got.to_json(), want.to_json(), "lossless round-trip");
     }

@@ -139,4 +139,84 @@ proptest! {
         prop_assert!(kl >= -1e-12);
         prop_assert!(gaussian_kl(m1, s1, m1, s1).abs() < 1e-12);
     }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(0u64..u64::MAX / 4, 0..60),
+        ys in proptest::collection::vec(0u64..u64::MAX / 4, 0..60),
+        zs in proptest::collection::vec(0u64..u64::MAX / 4, 0..60),
+    ) {
+        use bayes_obs::Histogram;
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+
+        // Commutativity: a⊕b == b⊕a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a⊕b)⊕c == a⊕(b⊕c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Merging is sample-order independence: one histogram over the
+        // concatenation equals the merge of the parts.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&mk(&all), &ab_c);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bounded_and_monotone(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        qs in proptest::collection::vec(0.0..=1.0f64, 1..8),
+    ) {
+        use bayes_obs::Histogram;
+        let mut h = Histogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        let lo = *xs.iter().min().unwrap();
+        let hi = *xs.iter().max().unwrap();
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+
+        let mut sorted = qs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0u64;
+        for &q in &sorted {
+            let est = h.quantile(q).unwrap();
+            // Clamped to the observed range and monotone in q.
+            prop_assert!(est >= lo && est <= hi, "q={} est={} outside [{}, {}]", q, est, lo, hi);
+            prop_assert!(est >= prev, "quantile not monotone at q={}", q);
+            prev = est;
+        }
+
+        // The estimate is an upper bound on the true quantile within
+        // one log-linear bucket (relative error <= 1/16 + one unit).
+        let mut ordered = xs.clone();
+        ordered.sort_unstable();
+        for &q in &sorted {
+            let target = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let truth = ordered[target - 1];
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est >= truth, "q={}: estimate {} below true {}", q, est, truth);
+            prop_assert!(
+                est <= truth + truth / 16 + 1,
+                "q={}: estimate {} beyond bucket of true {}", q, est, truth
+            );
+        }
+    }
 }
