@@ -9,30 +9,95 @@ use bayes_core::obs::{JsonlRecorder, ProfilerHandle};
 use bayes_core::prelude::*;
 use std::sync::Arc;
 
+pub mod matrix;
 pub mod report;
+
+/// Flags every bench binary understands, parsed in one place so
+/// `--trace` and `--inner-threads` behave identically across binaries
+/// (the env fallback `BAYES_INNER_THREADS` is resolved by
+/// [`RunConfig::effective_inner_threads`], not here).
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// `--trace <path>`: stream every event as one JSON line to path.
+    pub trace: Option<String>,
+    /// `--inner-threads <n>`: explicit within-chain worker override
+    /// (takes precedence over the `BAYES_INNER_THREADS` env variable).
+    pub inner_threads: Option<usize>,
+    rest: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parses the common flags out of an argument list; everything the
+    /// common layer does not understand is kept, in order, for the
+    /// binary's own parser ([`CommonArgs::rest`]).
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trace" => {
+                    let path = it.next().ok_or("--trace requires a file path")?;
+                    out.trace = Some(path.clone());
+                }
+                "--inner-threads" => {
+                    let n = it.next().ok_or("--inner-threads requires a count")?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("--inner-threads: bad count {n:?}"))?;
+                    out.inner_threads = Some(n);
+                }
+                _ => out.rest.push(arg.clone()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with status 2 on a
+    /// malformed common flag — the behaviour every bench binary shares.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args).unwrap_or_else(|err| {
+            eprintln!("{err}");
+            std::process::exit(2);
+        })
+    }
+
+    /// Arguments left for the binary's own parser.
+    pub fn rest(&self) -> &[String] {
+        &self.rest
+    }
+
+    /// Builds the recorder the flags ask for: a [`JsonlRecorder`] on
+    /// `--trace <path>`, the null recorder otherwise. Exits with
+    /// status 2 if the trace file cannot be created.
+    pub fn recorder(&self) -> RecorderHandle {
+        let Some(path) = &self.trace else {
+            return RecorderHandle::null();
+        };
+        match JsonlRecorder::create(path) {
+            Ok(rec) => RecorderHandle::new(Arc::new(rec)),
+            Err(err) => {
+                eprintln!("cannot create trace file {path}: {err}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Applies the common flags to a run configuration.
+    pub fn configure(&self, mut cfg: RunConfig) -> RunConfig {
+        if let Some(n) = self.inner_threads {
+            cfg = cfg.with_inner_threads(n);
+        }
+        cfg
+    }
+}
 
 /// Builds a recorder from the process arguments: `--trace <path>`
 /// streams every event as one JSON line to `path`; without the flag
 /// the returned handle is the null recorder and recording costs
 /// nothing. Exits with status 2 if the trace file cannot be created.
 pub fn trace_recorder_from_args() -> RecorderHandle {
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        if arg == "--trace" {
-            let Some(path) = argv.next() else {
-                eprintln!("--trace requires a file path");
-                std::process::exit(2);
-            };
-            match JsonlRecorder::create(&path) {
-                Ok(rec) => return RecorderHandle::new(Arc::new(rec)),
-                Err(err) => {
-                    eprintln!("cannot create trace file {path}: {err}");
-                    std::process::exit(2);
-                }
-            }
-        }
-    }
-    RecorderHandle::null()
+    CommonArgs::parse().recorder()
 }
 
 /// Builds a span profiler feeding the same trace: span events and the

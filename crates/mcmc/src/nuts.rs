@@ -294,7 +294,7 @@ impl Nuts {
         ) = match from {
             None => {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let mut ham = Hamiltonian::unit(model);
+                let ham = Hamiltonian::unit(model);
                 let state = State::at(model, init.to_vec());
                 let mut grad_evals = 1u64;
                 let eps0 = ham.find_initial_eps(&state, &mut rng, &mut grad_evals);

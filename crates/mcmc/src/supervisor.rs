@@ -1219,9 +1219,10 @@ impl Runtime {
             })
             .expect("crossbeam scope failed after all children were joined");
 
+        let decided = *round_stopped.lock();
         Ok(RoundResult {
             outcomes: outcomes?,
-            decided: *round_stopped.lock(),
+            decided,
         })
     }
 }

@@ -16,10 +16,9 @@
 //! two events whose only difference is a `NaN` diagnostic compare
 //! unequal; compare [`Event::to_json`] strings when that matters.
 
-use crate::json::{parse, write_escaped, Json};
+use crate::json::{parse, Json};
 use crate::metrics::MetricsSnapshot;
 use std::fmt;
-use std::fmt::Write as _;
 
 /// Major version of the trace schema. A trace whose header announces a
 /// *newer* major is rejected by [`Event::from_json`] with
@@ -332,80 +331,7 @@ pub enum Event {
     },
 }
 
-/// Single-line JSON object writer: `{"type":"…", …}`.
-struct Obj {
-    buf: String,
-}
-
-impl Obj {
-    fn new(kind: &str) -> Self {
-        let mut buf = String::with_capacity(160);
-        buf.push_str("{\"type\":\"");
-        buf.push_str(kind);
-        buf.push('"');
-        Self { buf }
-    }
-
-    fn key(&mut self, k: &str) {
-        self.buf.push(',');
-        self.buf.push('"');
-        self.buf.push_str(k);
-        self.buf.push_str("\":");
-    }
-
-    fn field_str(mut self, k: &str, v: &str) -> Self {
-        self.key(k);
-        write_escaped(&mut self.buf, v);
-        self
-    }
-
-    fn field_u64(mut self, k: &str, v: u64) -> Self {
-        self.key(k);
-        let _ = write!(self.buf, "{v}");
-        self
-    }
-
-    fn field_f64(mut self, k: &str, v: f64) -> Self {
-        self.key(k);
-        if v.is_finite() {
-            // `Display` for f64 is the shortest decimal that parses
-            // back to the same bits, so traces round-trip exactly.
-            let _ = write!(self.buf, "{v}");
-        } else {
-            self.buf.push_str("null");
-        }
-        self
-    }
-
-    fn field_bool(mut self, k: &str, v: bool) -> Self {
-        self.key(k);
-        self.buf.push_str(if v { "true" } else { "false" });
-        self
-    }
-
-    /// Appends a pre-rendered JSON value verbatim (nested objects).
-    fn field_raw(mut self, k: &str, v: &str) -> Self {
-        self.key(k);
-        self.buf.push_str(v);
-        self
-    }
-
-    fn field_opt_u64(mut self, k: &str, v: Option<u64>) -> Self {
-        self.key(k);
-        match v {
-            Some(n) => {
-                let _ = write!(self.buf, "{n}");
-            }
-            None => self.buf.push_str("null"),
-        }
-        self
-    }
-
-    fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
+use crate::json::ObjWriter as Obj;
 
 fn req<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
     obj.get(key).ok_or_else(|| format!("missing field '{key}'"))

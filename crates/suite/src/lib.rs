@@ -33,8 +33,12 @@
 //! ```
 
 pub mod meta;
+pub mod reference;
 pub mod registry;
 pub mod sbc;
+pub mod score;
 pub mod workloads;
 
 pub use meta::{Workload, WorkloadMeta};
+pub use reference::{RefParam, ReferencePosterior};
+pub use score::{score_gaussian_fit, score_run, score_summaries, RunScore};

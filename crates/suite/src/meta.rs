@@ -9,6 +9,11 @@ use bayes_obs::RecorderHandle;
 pub struct WorkloadMeta {
     /// Canonical name (`"12cities"`, `"ad"`, …).
     pub name: &'static str,
+    /// Data scale this instance was generated at (1.0 = the full
+    /// synthetic dataset; see [`crate::registry::SCALES`]). Scale is a
+    /// first-class axis of the registry: the same (name, scale, seed)
+    /// triple always regenerates bit-identical data.
+    pub scale: f64,
     /// Model family, as in Table I.
     pub family: &'static str,
     /// One-line application description, as in Table I.

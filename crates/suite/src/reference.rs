@@ -1,0 +1,273 @@
+//! Golden reference posteriors.
+//!
+//! A [`ReferencePosterior`] is the per-dimension summary (mean, sd,
+//! quantiles, MCSE, ESS) of a long blessed NUTS run on one registry
+//! cell — a `(workload, scale)` pair whose data is regenerated from
+//! [`crate::registry::REFERENCE_SEED`]. Benchmark runs compare against
+//! it statistically: the MCSE of both sides calibrates the tolerance
+//! (see [`crate::score`]), so a reference blessed on one machine or
+//! RNG stream stays valid on another.
+//!
+//! References are stored as text files under
+//! `tests/golden/references/` (one per cell, named by
+//! [`crate::registry::reference_file_name`]) in a line-oriented format
+//! that mirrors the testkit golden codec: every float is written as
+//! `{:.17e}`, which round-trips `f64` bit-exactly, and the canonical
+//! rendering is deterministic so re-encoding a parsed file reproduces
+//! it byte-for-byte.
+
+use bayes_mcmc::chain::MultiChainRun;
+use bayes_mcmc::summary::{summarize, ParamSummary};
+
+/// Format version written in the file header; bump on layout changes.
+pub const REFERENCE_FORMAT_VERSION: u64 = 1;
+
+/// Golden summary of one posterior dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefParam {
+    /// Posterior mean.
+    pub mean: f64,
+    /// Posterior standard deviation.
+    pub sd: f64,
+    /// Monte-Carlo standard error of the mean in the blessed run.
+    pub mcse: f64,
+    /// 5% quantile.
+    pub q05: f64,
+    /// Median.
+    pub q50: f64,
+    /// 95% quantile.
+    pub q95: f64,
+    /// Effective sample size of the blessed run.
+    pub ess: f64,
+}
+
+/// A blessed posterior for one `(workload, scale)` registry cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferencePosterior {
+    /// Workload name the reference was blessed for.
+    pub workload: String,
+    /// Data scale of the cell.
+    pub scale: f64,
+    /// Base seed the blessed run used (data seed derivation included).
+    pub seed: u64,
+    /// Chains in the blessed run.
+    pub chains: usize,
+    /// Total iterations per chain in the blessed run.
+    pub iters: usize,
+    /// Per-dimension summaries, in parameter order.
+    pub params: Vec<RefParam>,
+}
+
+impl ReferencePosterior {
+    /// Summarizes a finished run into a reference.
+    pub fn from_run(
+        workload: &str,
+        scale: f64,
+        seed: u64,
+        iters: usize,
+        run: &MultiChainRun,
+    ) -> Self {
+        Self {
+            workload: workload.to_string(),
+            scale,
+            seed,
+            chains: run.chains.len(),
+            iters,
+            params: summarize(run).iter().map(RefParam::from_summary).collect(),
+        }
+    }
+
+    /// Renders the canonical text form. Floats use `{:.17e}` so the
+    /// rendering round-trips bit-exactly through [`Self::parse`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# BayesSuite golden reference posterior\n");
+        out.push_str("# regenerate with BAYES_BLESS=1 (see crates/testkit/src/reference.rs)\n");
+        out.push_str(&format!("format {REFERENCE_FORMAT_VERSION}\n"));
+        out.push_str(&format!("workload {}\n", self.workload));
+        out.push_str(&format!("scale {:.17e}\n", self.scale));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("chains {}\n", self.chains));
+        out.push_str(&format!("iters {}\n", self.iters));
+        out.push_str(&format!("params {}\n", self.params.len()));
+        for (j, p) in self.params.iter().enumerate() {
+            out.push_str(&format!(
+                "p{j} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e} {:.17e}\n",
+                p.mean, p.sd, p.mcse, p.q05, p.q50, p.q95, p.ess
+            ));
+        }
+        out
+    }
+
+    /// Parses the text form produced by [`Self::render`]. Comment lines
+    /// (`#`) and blank lines are ignored.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut format = None;
+        let mut workload = None;
+        let mut scale = None;
+        let mut seed = None;
+        let mut chains = None;
+        let mut iters = None;
+        let mut declared = None;
+        let mut params = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let key = it.next().expect("non-empty line has a token");
+            let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            match key {
+                "format" => format = Some(parse_u64(it.next(), &err)?),
+                "workload" => workload = Some(it.next().ok_or_else(|| err("missing workload"))?),
+                "scale" => scale = Some(parse_f64(it.next(), &err)?),
+                "seed" => seed = Some(parse_u64(it.next(), &err)?),
+                "chains" => chains = Some(parse_u64(it.next(), &err)? as usize),
+                "iters" => iters = Some(parse_u64(it.next(), &err)? as usize),
+                "params" => declared = Some(parse_u64(it.next(), &err)? as usize),
+                k if k.starts_with('p') => {
+                    let idx: usize = k[1..]
+                        .parse()
+                        .map_err(|_| err("bad parameter index token"))?;
+                    if idx != params.len() {
+                        return Err(err("parameter rows out of order"));
+                    }
+                    let mut f = [0.0f64; 7];
+                    for slot in f.iter_mut() {
+                        *slot = parse_f64(it.next(), &err)?;
+                    }
+                    params.push(RefParam {
+                        mean: f[0],
+                        sd: f[1],
+                        mcse: f[2],
+                        q05: f[3],
+                        q50: f[4],
+                        q95: f[5],
+                        ess: f[6],
+                    });
+                }
+                _ => return Err(err("unknown key")),
+            }
+            if it.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        let format = format.ok_or("missing `format` line")?;
+        if format > REFERENCE_FORMAT_VERSION {
+            return Err(format!(
+                "reference format {format} is newer than supported {REFERENCE_FORMAT_VERSION}"
+            ));
+        }
+        let declared = declared.ok_or("missing `params` line")?;
+        if declared != params.len() {
+            return Err(format!(
+                "declared {declared} params but found {}",
+                params.len()
+            ));
+        }
+        Ok(Self {
+            workload: workload.ok_or("missing `workload` line")?.to_string(),
+            scale: scale.ok_or("missing `scale` line")?,
+            seed: seed.ok_or("missing `seed` line")?,
+            chains: chains.ok_or("missing `chains` line")?,
+            iters: iters.ok_or("missing `iters` line")?,
+            params,
+        })
+    }
+}
+
+impl RefParam {
+    /// Converts one [`ParamSummary`] row.
+    pub fn from_summary(s: &ParamSummary) -> Self {
+        Self {
+            mean: s.mean,
+            sd: s.sd,
+            mcse: s.mcse,
+            q05: s.q05,
+            q50: s.q50,
+            q95: s.q95,
+            ess: s.ess,
+        }
+    }
+}
+
+fn parse_u64(tok: Option<&str>, err: &dyn Fn(&str) -> String) -> Result<u64, String> {
+    tok.ok_or_else(|| err("missing integer"))?
+        .parse()
+        .map_err(|_| err("bad integer"))
+}
+
+fn parse_f64(tok: Option<&str>, err: &dyn Fn(&str) -> String) -> Result<f64, String> {
+    tok.ok_or_else(|| err("missing float"))?
+        .parse()
+        .map_err(|_| err("bad float"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReferencePosterior {
+        ReferencePosterior {
+            workload: "votes".into(),
+            scale: 0.25,
+            seed: 42,
+            chains: 4,
+            iters: 2000,
+            params: vec![
+                RefParam {
+                    mean: 0.1234567890123456789,
+                    sd: 1.0,
+                    mcse: 0.01,
+                    q05: -1.5,
+                    q50: 0.12,
+                    q95: 1.7,
+                    ess: 812.5,
+                },
+                RefParam {
+                    mean: -3.0e-17,
+                    sd: 2.5,
+                    mcse: 0.0625,
+                    q05: -4.0,
+                    q50: 0.0,
+                    q95: 4.0,
+                    ess: 99.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips_bit_exactly() {
+        let r = sample();
+        let text = r.render();
+        let back = ReferencePosterior::parse(&text).unwrap();
+        assert_eq!(back, r);
+        // Canonical: re-encoding the parse reproduces the bytes.
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn parse_rejects_newer_format() {
+        let text = sample().render().replace("format 1", "format 2");
+        let e = ReferencePosterior::parse(&text).unwrap_err();
+        assert!(e.contains("newer"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ReferencePosterior::parse("format 1\nbogus line\n").is_err());
+        assert!(ReferencePosterior::parse("").is_err());
+        // Out-of-order parameter rows.
+        let text = sample().render().replace("\np0 ", "\np1 ");
+        assert!(ReferencePosterior::parse(&text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let r = sample();
+        let text = format!("# leading comment\n\n{}\n# trailing\n", r.render());
+        assert_eq!(ReferencePosterior::parse(&text).unwrap(), r);
+    }
+}

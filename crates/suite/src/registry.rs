@@ -23,6 +23,66 @@ pub fn workload_names() -> &'static [&'static str] {
     &NAMES
 }
 
+/// Data scales every workload declares: the paper's full (`1.0`),
+/// half (`-h`, `0.5`) and quarter (`-q`, `0.25`) points of Figure 3.
+pub const SCALES: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// The scale used by the tier-1 smoke subset of the benchmark matrix
+/// (small enough to run in CI).
+pub const SMOKE_SCALE: f64 = 0.25;
+
+/// Base seed blessed reference posteriors are generated from. The
+/// workload data seed in every benchmark cell is pinned to this value
+/// so a run is always compared against a reference over the *same*
+/// dataset; only chain seeds vary.
+pub const REFERENCE_SEED: u64 = 42;
+
+/// One registry row: a workload name plus the scales it declares.
+/// Together with [`REFERENCE_SEED`] each `(name, scale)` pair denotes
+/// a (model, data generator, reference posterior) triple — the data
+/// generator is deterministic in `(scale, seed)` and the reference is
+/// the golden file named by [`reference_file_name`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryEntry {
+    /// Canonical workload name.
+    pub name: &'static str,
+    /// Scales this workload declares references for.
+    pub scales: &'static [f64],
+}
+
+impl RegistryEntry {
+    /// Builds this entry's workload at `scale`. Panics if `scale` is
+    /// not one of the declared [`RegistryEntry::scales`].
+    pub fn build(&self, scale: f64, seed: u64) -> Workload {
+        assert!(
+            self.scales.contains(&scale),
+            "workload {} does not declare scale {scale}",
+            self.name
+        );
+        workload(self.name, scale, seed).expect("registry names are valid")
+    }
+}
+
+/// Every registry entry, in Table I order.
+pub fn entries() -> [RegistryEntry; 10] {
+    NAMES.map(|name| RegistryEntry {
+        name,
+        scales: &SCALES,
+    })
+}
+
+/// File-name-safe tag for a scale: `0.25` → `"0p25"`, `1` → `"1"`.
+pub fn scale_tag(scale: f64) -> String {
+    format!("{scale}").replace('.', "p").replace('-', "m")
+}
+
+/// Name of the golden reference file for a `(workload, scale)` cell,
+/// e.g. `"votes_s0p25.ref"`. Files live under
+/// `tests/golden/references/` at the repo root.
+pub fn reference_file_name(name: &str, scale: f64) -> String {
+    format!("{name}_s{}.ref", scale_tag(scale))
+}
+
 /// Builds one workload by name at the given data `scale` (1.0 = the
 /// full synthetic dataset; 0.5 / 0.25 are the `-h` / `-q` points of
 /// Figure 3).

@@ -141,6 +141,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "ad",
+            scale,
             family: "Logistic Regression",
             application: "Advertising attribution in the movie industry",
             data: "StanCon 2017 survey (synthetic, 4.5k respondents)",

@@ -154,6 +154,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "butterfly",
+            scale,
             family: "Hierarchical Bayesian",
             application: "Estimating butterfly species richness and accumulation",
             data: "Swedish grassland transects (synthetic detection counts)",

@@ -197,6 +197,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "disease",
+            scale,
             family: "Logistic Regression",
             application: "Measuring the continually worsening progression of Alzheimer's disease",
             data: "ADNI biomarkers (synthetic monotone trajectories)",

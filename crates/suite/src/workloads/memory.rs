@@ -181,6 +181,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "memory",
+            scale,
             family: "Hierarchical Bayesian",
             application: "Modeling memory retrieval in sentence comprehension",
             data: "recall accuracy/latency experiments (synthetic trials)",

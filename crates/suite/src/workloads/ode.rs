@@ -234,6 +234,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "ode",
+            scale,
             family: "Friberg-Karlsson Semi-Mechanistic",
             application: "Solving ordinary differential equations of non-linear systems",
             data: "PK/PD trial (synthetic Friberg trajectories)",

@@ -187,6 +187,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "racial",
+            scale,
             family: "Hierarchical Bayesian",
             application: "Testing for racial bias in vehicle searches by police",
             data: "NC police stops (synthetic dept × group counts)",

@@ -182,6 +182,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "survival",
+            scale,
             family: "Cormack-Jolly-Seber",
             application: "Estimating animal survival probabilities",
             data: "BPA capture-recapture histories (synthetic CJS simulation)",

@@ -181,6 +181,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "tickets",
+            scale,
             family: "Logistic Regression",
             application: "Do police officers alter ticket writing to match departmental targets?",
             data: "NYC tickets 2014-2015 (synthetic officer-month counts)",

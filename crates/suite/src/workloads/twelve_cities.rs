@@ -148,6 +148,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "12cities",
+            scale,
             family: "Poisson Regression",
             application: "Does lowering speed limits save pedestrian lives?",
             data: "FARS fatality counts (synthetic panel, 12 cities)",

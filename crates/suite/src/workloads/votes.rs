@@ -215,6 +215,7 @@ pub fn workload(scale: f64, seed: u64) -> Workload {
     Workload::new(
         WorkloadMeta {
             name: "votes",
+            scale,
             family: "Hierarchical Gaussian Processes",
             application: "Forecasting presidential votes",
             data: "1976-2016 presidential votes (synthetic GP series)",

@@ -16,6 +16,10 @@
 //! * [`golden`] — plain-text golden fixtures for deterministic
 //!   diagnostic pipelines, regenerated with `BAYES_BLESS=1` and
 //!   self-blessing when a fixture does not exist yet;
+//! * [`reference`] — the golden *reference posterior* store backing
+//!   the benchmark matrix: long blessed NUTS runs per registry cell,
+//!   loaded from `tests/golden/references/` and re-blessed with
+//!   `BAYES_BLESS=1`;
 //! * [`faults`] — a deterministic fault-injection schedule
 //!   ([`FaultPlan`]) for exercising the run supervisor's isolation,
 //!   retry, watchdog, and degradation paths at exact
@@ -28,6 +32,7 @@
 pub mod asserts;
 pub mod faults;
 pub mod golden;
+pub mod reference;
 pub mod sbc;
 
 pub use asserts::{
@@ -35,4 +40,5 @@ pub use asserts::{
 };
 pub use faults::{FaultPlan, FaultPoint};
 pub use golden::{assert_golden, compare_or_bless, GoldenReport};
+pub use reference::{load_or_bless, load_or_bless_with, reference_dir};
 pub use sbc::{run_sbc, SbcConfig, SbcOutcome, SbcParamOutcome};

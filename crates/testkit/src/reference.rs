@@ -1,0 +1,132 @@
+//! Loading and blessing golden reference posteriors.
+//!
+//! The reference store follows the same workflow as [`crate::golden`]:
+//! a missing reference is generated on first use (self-bless) with a
+//! warning on stderr, and `BAYES_BLESS=1` forces regeneration of every
+//! reference a run touches. A blessed reference is the summary of a
+//! long NUTS run on the workload's dynamics model with data pinned to
+//! [`bayes_suite::registry::REFERENCE_SEED`]; commit the file under
+//! `tests/golden/references/` to pin it.
+
+use bayes_mcmc::chain;
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::RunConfig;
+use bayes_suite::registry::{self, REFERENCE_SEED};
+use bayes_suite::ReferencePosterior;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Iterations per chain of a blessed reference run. Long relative to
+/// the benchmark cells it calibrates, so the reference MCSE term is
+/// small in the combined tolerance.
+pub const BLESS_ITERS: usize = 2000;
+
+/// Chains of a blessed reference run.
+pub const BLESS_CHAINS: usize = 4;
+
+/// The repo-root reference directory (`tests/golden/references/`),
+/// resolved relative to this crate so tests work from any cwd.
+pub fn reference_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/references")
+}
+
+/// Runs the blessed sampler configuration for one registry cell and
+/// summarizes it into a reference. Data and chains both derive from
+/// [`REFERENCE_SEED`] (the data stream via `Purpose::DataGen`, so they
+/// never overlap).
+pub fn bless_reference(name: &str, scale: f64, iters: usize, chains: usize) -> ReferencePosterior {
+    let w = registry::workload(name, scale, REFERENCE_SEED)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let cfg = RunConfig::new(iters)
+        .with_chains(chains)
+        .with_seed(REFERENCE_SEED)
+        .threaded();
+    let run = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
+    ReferencePosterior::from_run(name, scale, REFERENCE_SEED, iters, &run)
+}
+
+/// Loads the reference for `(name, scale)` from `dir`, blessing it
+/// first when the file is missing or `BAYES_BLESS=1` — with the given
+/// run length. Panics if a present file fails to parse (a corrupt
+/// golden file should never be silently regenerated).
+pub fn load_or_bless_with(
+    dir: &Path,
+    name: &str,
+    scale: f64,
+    iters: usize,
+    chains: usize,
+) -> ReferencePosterior {
+    let path = dir.join(registry::reference_file_name(name, scale));
+    let force = std::env::var(crate::golden::BLESS_ENV)
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if !force {
+        match fs::read_to_string(&path) {
+            Ok(text) => {
+                return ReferencePosterior::parse(&text).unwrap_or_else(|e| {
+                    panic!(
+                        "reference {} is corrupt ({e}); delete it or re-bless \
+                         with BAYES_BLESS=1 if the change is intentional",
+                        path.display()
+                    )
+                });
+            }
+            Err(_) => {
+                eprintln!(
+                    "reference: {} did not exist — blessing it now (long NUTS run); \
+                     commit it to pin the posterior",
+                    path.display()
+                );
+            }
+        }
+    }
+    let reference = bless_reference(name, scale, iters, chains);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create reference directory");
+    }
+    fs::write(&path, reference.render()).expect("write reference file");
+    reference
+}
+
+/// [`load_or_bless_with`] at the blessed defaults
+/// ([`BLESS_ITERS`] × [`BLESS_CHAINS`]).
+pub fn load_or_bless(dir: &Path, name: &str, scale: f64) -> ReferencePosterior {
+    load_or_bless_with(dir, name, scale, BLESS_ITERS, BLESS_CHAINS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir() -> PathBuf {
+        std::env::temp_dir()
+            .join("bayes-testkit-references")
+            .join(format!("pid-{}", std::process::id()))
+    }
+
+    #[test]
+    fn bless_then_load_round_trips() {
+        let dir = scratch_dir();
+        let _ = fs::remove_dir_all(&dir);
+        // Short run: the test pins the store workflow, not the
+        // statistics.
+        let blessed = load_or_bless_with(&dir, "12cities", 0.25, 200, 2);
+        assert_eq!(blessed.workload, "12cities");
+        assert_eq!(blessed.seed, REFERENCE_SEED);
+        let loaded = load_or_bless_with(&dir, "12cities", 0.25, 200, 2);
+        assert_eq!(loaded, blessed, "second call must load, not re-run");
+        // The stored bytes are the canonical rendering.
+        let path = dir.join(registry::reference_file_name("12cities", 0.25));
+        assert_eq!(fs::read_to_string(path).unwrap(), blessed.render());
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn corrupt_reference_panics_instead_of_reblessing() {
+        let dir = scratch_dir().join("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(registry::reference_file_name("votes", 0.25));
+        fs::write(&path, "format 1\nnot a reference\n").unwrap();
+        load_or_bless_with(&dir, "votes", 0.25, 50, 2);
+    }
+}

@@ -3,6 +3,84 @@
 use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
 
 use bayes_suite::registry;
+use bayes_suite::registry::{REFERENCE_SEED, SMOKE_SCALE};
+use bayes_suite::ReferencePosterior;
+
+#[test]
+fn registry_entries_cover_every_name_with_declared_scales() {
+    let entries = registry::entries();
+    let names: Vec<&str> = entries.iter().map(|e| e.name).collect();
+    assert_eq!(names, registry::workload_names().to_vec());
+    for e in &entries {
+        assert!(!e.scales.is_empty(), "{}: no declared scales", e.name);
+        assert!(
+            e.scales.contains(&SMOKE_SCALE),
+            "{}: smoke scale not declared",
+            e.name
+        );
+    }
+}
+
+#[test]
+fn data_generators_are_deterministic_at_every_declared_scale() {
+    // The registry's (name, scale, seed) triple must regenerate
+    // bit-identical data: two independently built workloads must agree
+    // on the density value and gradient exactly, not approximately.
+    for e in registry::entries() {
+        for &scale in e.scales {
+            let a = e.build(scale, REFERENCE_SEED);
+            let b = e.build(scale, REFERENCE_SEED);
+            assert_eq!(a.meta().scale, scale, "{}: meta.scale not set", e.name);
+            assert_eq!(
+                a.meta().modeled_data_bytes,
+                b.meta().modeled_data_bytes,
+                "{}@{scale}: data size differs between rebuilds",
+                e.name
+            );
+            let dim = a.dynamics_model().dim();
+            assert_eq!(dim, b.dynamics_model().dim());
+            let theta: Vec<f64> = (0..dim).map(|i| 0.1 * ((i % 5) as f64 - 2.0)).collect();
+            let (mut ga, mut gb) = (vec![0.0; dim], vec![0.0; dim]);
+            let lpa = a.dynamics_model().ln_posterior_grad(&theta, &mut ga);
+            let lpb = b.dynamics_model().ln_posterior_grad(&theta, &mut gb);
+            assert_eq!(lpa, lpb, "{}@{scale}: density differs bit-for-bit", e.name);
+            assert_eq!(ga, gb, "{}@{scale}: gradient differs bit-for-bit", e.name);
+        }
+    }
+}
+
+#[test]
+fn committed_references_exist_and_round_trip_bit_exactly() {
+    // Every registry entry has a blessed reference at the smoke scale,
+    // and each committed file is in canonical form: decode → re-encode
+    // reproduces the bytes exactly (same contract as the golden
+    // fixture codec).
+    let dir = bayes_testkit::reference_dir();
+    for e in registry::entries() {
+        let path = dir.join(registry::reference_file_name(e.name, SMOKE_SCALE));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            panic!(
+                "{}: missing committed reference {} ({err}); \
+                 bless it with `cargo run --release --bin bench_matrix`",
+                e.name,
+                path.display()
+            )
+        });
+        let parsed = ReferencePosterior::parse(&text)
+            .unwrap_or_else(|err| panic!("{}: corrupt reference: {err}", e.name));
+        assert_eq!(parsed.workload, e.name);
+        assert_eq!(parsed.scale, SMOKE_SCALE);
+        assert_eq!(parsed.seed, REFERENCE_SEED);
+        assert_eq!(
+            parsed.render(),
+            text,
+            "{}: reference not in canonical form",
+            e.name
+        );
+        let dim = e.build(SMOKE_SCALE, REFERENCE_SEED).dynamics_model().dim();
+        assert_eq!(parsed.params.len(), dim, "{}: reference dim", e.name);
+    }
+}
 
 #[test]
 fn every_workload_has_finite_density_and_gradient_at_typical_points() {
