@@ -1,0 +1,2 @@
+//! Empty stand-in: `serde` is declared in the workspace manifest but no
+//! crate in the workspace currently uses it.
