@@ -43,7 +43,7 @@ impl CacheSim {
         let line_bytes = 64;
         assert!(ways > 0, "cache needs at least one way");
         assert!(
-            size_bytes % (ways * line_bytes) == 0 && size_bytes > 0,
+            size_bytes.is_multiple_of(ways * line_bytes) && size_bytes > 0,
             "cache size must be a positive multiple of ways × line size"
         );
         let sets = size_bytes / (ways * line_bytes);

@@ -13,7 +13,7 @@ fn bench_gradients(c: &mut Criterion) {
         let dim = w.model().dim();
         let theta = vec![0.1; dim];
         let mut grad = vec![0.0; dim];
-        group.bench_function(*name, |b| {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let lp = w.model().ln_posterior_grad(black_box(&theta), &mut grad);
                 black_box(lp)

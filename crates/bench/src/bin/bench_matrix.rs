@@ -11,6 +11,7 @@
 //!              [--baseline OLD.json] [--time-factor F]
 //!              [--compare NEW.json OLD.json]
 //!              [--trace out.jsonl] [--inner-threads N]
+//!              [--fastpath on|off]
 //! ```
 //!
 //! `--tier1` selects the CI smoke subset (3 workloads × small scale ×
@@ -54,6 +55,7 @@ struct Args {
     baseline: Option<PathBuf>,
     time_factor: f64,
     compare_files: Option<(PathBuf, PathBuf)>,
+    fastpath: bool,
 }
 
 fn usage(err: &str) -> ! {
@@ -79,6 +81,7 @@ fn parse_args(rest: &[String]) -> Args {
         baseline: None,
         time_factor: DEFAULT_TIME_FACTOR,
         compare_files: None,
+        fastpath: true,
     };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -135,6 +138,13 @@ fn parse_args(rest: &[String]) -> Args {
                 let b = PathBuf::from(value());
                 args.compare_files = Some((a, b));
             }
+            "--fastpath" => {
+                args.fastpath = match value().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => usage(&format!("bad --fastpath {other:?} (use on|off)")),
+                };
+            }
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
@@ -183,6 +193,9 @@ fn run_cell(
     w.attach_recorder(recorder);
     let model = w.dynamics_model();
     let (score, chains) = if sampler == "advi" {
+        // ADVI drives the model directly (no RunConfig), so the
+        // fast-path toggle is applied by hand.
+        model.set_fast_path(args.fastpath);
         let t0 = Instant::now();
         let fit = Advi::new(AdviConfig {
             steps: args.iters,
@@ -202,6 +215,8 @@ fn run_cell(
                 .with_chains(args.chains)
                 .with_seed(args.seed)
                 .with_recorder(recorder.clone())
+                .with_profiler(bayes_bench::trace_profiler(recorder))
+                .with_fast_path(args.fastpath)
                 .threaded(),
         );
         let t0 = Instant::now();
@@ -226,6 +241,7 @@ fn run_cell(
         chains,
         args.seed,
         inner_threads,
+        args.fastpath,
         &score,
     )
 }

@@ -28,7 +28,9 @@ use bayes_core::suite::RunScore;
 /// changes; decoders reject anything newer than they know.
 pub const BENCH_SCHEMA_MAJOR: u64 = 1;
 /// Minor version of the `BENCH_*.json` schema (additive changes only).
-pub const BENCH_SCHEMA_MINOR: u64 = 0;
+/// 1.1 added the `fastpath` cell field; 1.0 documents decode with
+/// `fastpath = true` (the runtime default for qualifying workloads).
+pub const BENCH_SCHEMA_MINOR: u64 = 1;
 
 /// Default factor by which ESS/sec may drop before the baseline
 /// comparison calls it a regression. Wall-clock throughput varies a
@@ -59,6 +61,10 @@ pub struct BenchCell {
     pub seed: u64,
     /// Within-chain gradient workers the run used.
     pub inner_threads: u64,
+    /// Whether the sufficient-statistics fast path was enabled for the
+    /// run (workloads without one simply ignore it). Not part of the
+    /// cell identity: on/off flavors live in separate matrix files.
+    pub fastpath: bool,
     /// Wall-clock seconds of the sampling run.
     pub wall_time_s: f64,
     /// Minimum ESS across dimensions (NaN → `null` for `advi`).
@@ -90,6 +96,7 @@ impl BenchCell {
         chains: usize,
         seed: u64,
         inner_threads: usize,
+        fastpath: bool,
         score: &RunScore,
     ) -> Self {
         Self {
@@ -100,6 +107,7 @@ impl BenchCell {
             chains: chains as u64,
             seed,
             inner_threads: inner_threads as u64,
+            fastpath,
             wall_time_s: score.wall_time_s,
             min_ess: score.min_ess,
             ess_per_sec: score.ess_per_sec,
@@ -127,6 +135,7 @@ impl BenchCell {
             .field_u64("chains", self.chains)
             .field_u64("seed", self.seed)
             .field_u64("inner_threads", self.inner_threads)
+            .field_bool("fastpath", self.fastpath)
             .field_f64("wall_time_s", self.wall_time_s)
             .field_f64("min_ess", self.min_ess)
             .field_f64("ess_per_sec", self.ess_per_sec)
@@ -176,6 +185,9 @@ impl BenchCell {
             chains: u64_of("chains")?,
             seed: u64_of("seed")?,
             inner_threads: u64_of("inner_threads")?,
+            // Added in schema 1.1; 1.0 documents ran with the runtime
+            // default, which is fast-path on.
+            fastpath: v.get("fastpath").and_then(Json::as_bool).unwrap_or(true),
             wall_time_s: f64_of("wall_time_s")?,
             min_ess: f64_of("min_ess")?,
             ess_per_sec: f64_of("ess_per_sec")?,
@@ -366,6 +378,7 @@ mod tests {
             chains: 4,
             seed: 7,
             inner_threads: 1,
+            fastpath: true,
             wall_time_s: 1.5,
             min_ess: 210.0,
             ess_per_sec: 140.0,
@@ -405,6 +418,22 @@ mod tests {
         let back = BenchMatrix::from_json(&text).unwrap();
         assert!(back.cells[0].min_ess.is_nan());
         assert!(back.cells[0].max_rhat.is_nan());
+    }
+
+    #[test]
+    fn schema_1_0_cells_decode_with_fastpath_on() {
+        // A pre-1.1 document has no `fastpath` field; those runs used
+        // the runtime default, so the field must decode as true.
+        let text = BenchMatrix {
+            cells: vec![cell("memory", "nuts")],
+            malformed: 0,
+        }
+        .to_json()
+        .replace("\"schema_minor\":1", "\"schema_minor\":0")
+        .replace("\"fastpath\":true,", "");
+        let back = BenchMatrix::from_json(&text).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert!(back.cells[0].fastpath);
     }
 
     #[test]

@@ -7,6 +7,10 @@
 //! "contains a diverse collection of vector and matrix operations beyond
 //! matrix multiplication" (Section VII-A); these are those kernels.
 
+// Triangular solves and factorizations index several slices in
+// lock-step; the textbook indexed form stays.
+#![allow(clippy::needless_range_loop)]
+
 mod cholesky;
 mod lu;
 mod matrix;

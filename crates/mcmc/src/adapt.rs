@@ -172,9 +172,9 @@ mod tests {
         // Toy response: accept prob = exp(-eps). Fixed point for target
         // 0.6 is eps = -ln 0.6 ≈ 0.51.
         let mut da = DualAveraging::new(1.0, 0.6);
-        let mut eps = 1.0;
+        let mut eps = 1.0f64;
         for _ in 0..5000 {
-            let a = (-eps as f64).exp().min(1.0);
+            let a = (-eps).exp().min(1.0);
             eps = da.update(a);
         }
         let fixed = -(0.6f64.ln());

@@ -106,6 +106,11 @@ pub struct RunConfig {
     /// chains×inner-threads split is what `bayes_sched::core_split`
     /// chooses. Results are bit-identical for every setting.
     pub inner_threads: Option<usize>,
+    /// Whether models with a sufficient-statistics fast path
+    /// ([`crate::StatsModel`]) should use it; `None` defers to the
+    /// `BAYES_FASTPATH` environment variable, then to on. Models
+    /// without a fast path ignore the setting either way.
+    pub fast_path: Option<bool>,
     /// Observability sink for this run. Defaults to the disabled null
     /// handle, which costs one branch per would-be event; recording
     /// never perturbs draws (no RNG use in any recording path).
@@ -132,6 +137,7 @@ impl RunConfig {
             seed: 0,
             parallelism: Parallelism::Sequential,
             inner_threads: None,
+            fast_path: None,
             recorder: RecorderHandle::null(),
             profiler: ProfilerHandle::null(),
             chain_index: 0,
@@ -166,6 +172,14 @@ impl RunConfig {
     /// overriding the `BAYES_INNER_THREADS` environment variable.
     pub fn with_inner_threads(mut self, threads: usize) -> Self {
         self.inner_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Pins the sufficient-statistics fast path on or off for models
+    /// that have one, overriding the `BAYES_FASTPATH` environment
+    /// variable.
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = Some(on);
         self
     }
 
@@ -208,6 +222,20 @@ impl RunConfig {
             })
             .unwrap_or(1)
             .max(1)
+    }
+
+    /// Resolves the fast-path toggle: an explicit
+    /// [`RunConfig::with_fast_path`] wins, then the `BAYES_FASTPATH`
+    /// environment variable (`0`/`off`/`false` disable, anything else
+    /// enables), then on.
+    pub fn effective_fast_path(&self) -> bool {
+        self.fast_path
+            .or_else(|| {
+                std::env::var("BAYES_FASTPATH")
+                    .ok()
+                    .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+            })
+            .unwrap_or(true)
     }
 
     /// RNG seed for chain `c`'s transition kernel, derived so that no
@@ -420,6 +448,7 @@ pub fn try_run<S: Sampler>(
 fn run_validated<S: Sampler>(sampler: &S, model: &dyn Model, cfg: &RunConfig) -> MultiChainRun {
     model.set_inner_threads(cfg.effective_inner_threads());
     model.set_recorder(&cfg.recorder);
+    model.set_fast_path(cfg.effective_fast_path());
     if cfg.recorder.enabled() {
         cfg.recorder.record(Event::RunStart {
             model: model.name().to_string(),

@@ -107,14 +107,18 @@ impl StaticHmc {
 
         for iter in 0..cfg.iters {
             let evals_at_start = grad_evals;
-            let eps_used = eps;
+            // Fixed eps·L trajectories can resonate with the target's
+            // period (near-periodic orbits accept ~1 but barely move);
+            // ±10% step-size jitter breaks the resonance (Neal 2011,
+            // Section 5.4.2.2).
+            let eps_used = eps * rng.gen_range(0.9..1.1);
             let p0 = ham.draw_momentum(&mut rng);
             let h0 = ham.log_joint(&state, &p0);
             let mut s = state.clone();
             let mut p = p0;
             let mut diverged = false;
             for _ in 0..self.steps {
-                let (s1, p1) = ham.leapfrog(&s, &p, eps, &mut grad_evals);
+                let (s1, p1) = ham.leapfrog(&s, &p, eps_used, &mut grad_evals);
                 if !s1.lp.is_finite() {
                     diverged = true;
                     break;
@@ -156,7 +160,12 @@ impl StaticHmc {
                 }
                 if iter + 1 == window.1 && welford.count() >= 10 {
                     ham.inv_mass = welford.regularized_variance();
-                    // Re-anchor step-size adaptation on the new metric.
+                    // The running step size was tuned under the unit
+                    // metric; trusting it as the anchor for the rest of
+                    // warmup left dual averaging converging from a badly
+                    // scaled start on anisotropic targets. Probe a fresh
+                    // eps under the new metric and re-anchor on that.
+                    eps = ham.find_initial_eps(&state, &mut rng, &mut grad_evals);
                     da = DualAveraging::new(eps, self.target_accept);
                 }
                 if iter + 1 == cfg.warmup {
@@ -211,20 +220,38 @@ mod tests {
 
     #[test]
     fn recovers_anisotropic_gaussian() {
-        // Static HMC's fixed leapfrog count makes warmup adaptation
-        // stream-sensitive: on some RNG streams dual averaging settles
-        // well below the 0.8 target (accept ≈ 0.95+) and the sd=3
-        // coordinate mixes slowly (split R̂ > 1.4 even at 4000 iters).
-        // The seed pins a stream where adaptation converges; the
-        // robustness issue itself is tracked in ROADMAP (static-HMC
-        // warmup).
+        // Multi-seed: since the mass-matrix window now re-probes the
+        // step size under the new metric (instead of anchoring dual
+        // averaging on the unit-metric eps), adaptation converges on
+        // every RNG stream — no pinned seed. Tolerances are calibrated
+        // against the Monte-Carlo error of 2 chains × 1000 kept draws
+        // with modest autocorrelation (MCSE of the sd=3 coordinate's
+        // mean is ≈ 0.1–0.15, so 0.6 is a ≥4σ band).
         let model = AdModel::new("g", CorrGauss);
-        let cfg = RunConfig::new(2000).with_chains(2).with_seed(5);
-        let out = chain::run(&StaticHmc::new(16), &model, &cfg);
-        assert!((out.mean(0) - 1.0).abs() < 0.25, "mean0 {}", out.mean(0));
-        assert!((out.mean(1) + 1.0).abs() < 0.6, "mean1 {}", out.mean(1));
-        assert!((out.sd(1) - 3.0).abs() < 0.8, "sd1 {}", out.sd(1));
-        assert!(out.max_rhat() < 1.1, "max_rhat {}", out.max_rhat());
+        for seed in [1u64, 2, 3, 5, 7, 11, 13, 17] {
+            let cfg = RunConfig::new(2000).with_chains(2).with_seed(seed);
+            let out = chain::run(&StaticHmc::new(16), &model, &cfg);
+            assert!(
+                (out.mean(0) - 1.0).abs() < 0.25,
+                "seed {seed}: mean0 {}",
+                out.mean(0)
+            );
+            assert!(
+                (out.mean(1) + 1.0).abs() < 0.6,
+                "seed {seed}: mean1 {}",
+                out.mean(1)
+            );
+            assert!(
+                (out.sd(1) - 3.0).abs() < 0.8,
+                "seed {seed}: sd1 {}",
+                out.sd(1)
+            );
+            assert!(
+                out.max_rhat() < 1.1,
+                "seed {seed}: max_rhat {}",
+                out.max_rhat()
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,11 @@
 //! from [`ShardedModel`]. Recording is observation only and never
 //! perturbs draws (`bayes_obs` is re-exported as [`obs`]).
 
+// Leapfrog/adaptation kernels index several coordinate slices in
+// lock-step (indexed form stays); the `on_draw` hook type is spelled
+// out at each sampler override rather than hidden behind an alias.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+
 pub mod chain;
 pub mod checkpoint;
 pub mod converge;
@@ -65,7 +70,7 @@ pub use checkpoint::{RunCheckpoint, SamplerCheckpoint};
 pub use converge::{CheckpointSchedule, ConvergenceDetector, ConvergenceReport};
 pub use model::{
     shard_ranges, AdModel, EvalProfile, LogDensity, Model, ShardedDensity, ShardedModel,
-    DEFAULT_SHARDS,
+    StatsModel, SufficientStats, DEFAULT_SHARDS,
 };
 pub use nuts::NutsConfig;
 pub use par::WorkerPool;

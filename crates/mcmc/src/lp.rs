@@ -15,7 +15,9 @@
 use bayes_autodiff::Real;
 use bayes_prob::special::{ln_choose, ln_factorial};
 
-const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
+/// `ln √2π`, the normal-family normalizing constant (public so
+/// sufficient-statistics evaluators can fold it into their reductions).
+pub const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
 const LN_PI: f64 = 1.144_729_885_849_400_2;
 const LN_2: f64 = std::f64::consts::LN_2;
 

@@ -2,7 +2,7 @@
 //! data-parallel layer.
 
 use crate::par;
-use bayes_autodiff::{grad_of, grad_of_in, Real, Tape, TapeStats, Var};
+use bayes_autodiff::{grad_forward, grad_of, grad_of_in, Real, Tape, TapeStats, Var};
 use bayes_obs::{Event, RecorderHandle};
 use rand::Rng;
 use std::ops::Range;
@@ -74,6 +74,20 @@ pub trait Model: Send + Sync {
     /// [`Model::set_recorder`]/flush into the attached recorder. The
     /// multi-chain runners call this once after sampling completes.
     fn flush_telemetry(&self) {}
+
+    /// Switches the model between its sufficient-statistics fast path
+    /// and its raw-data sweep path, where it has one ([`StatsModel`]).
+    /// Models without a fast path ignore the call; like
+    /// [`Model::set_inner_threads`], interior mutability keeps the
+    /// receiver `&self` so the runtime can toggle it through
+    /// `&dyn Model` before sampling starts.
+    fn set_fast_path(&self, _on: bool) {}
+
+    /// Whether density/gradient calls currently evaluate via
+    /// precomputed sufficient statistics instead of sweeping the data.
+    fn fast_path(&self) -> bool {
+        false
+    }
 }
 
 /// A log-density written once against [`Real`]; implementors get a
@@ -465,6 +479,155 @@ impl<D: ShardedDensity> Model for ShardedModel<D> {
     }
 }
 
+/// A posterior that can be evaluated from sufficient statistics
+/// precomputed once at model build time — the Pichler–Jewson reduction:
+/// for exponential-family-shaped likelihoods the O(N) per-iteration
+/// data sweep collapses to an O(groups) weighted sum over statistics
+/// that never change during sampling.
+///
+/// Implementors write [`SufficientStats::ln_posterior_stats`] once
+/// against [`Real`], so the same code runs as plain `f64` (value), as
+/// forward-mode [`bayes_autodiff::Dual`]s (the default tape-free
+/// gradient below), or as taped [`Var`]s (the equivalence tests
+/// cross-check the stats formula on the tape). Workloads whose hot
+/// densities have cheap closed-form derivatives (normal / lognormal /
+/// Bernoulli counts) override [`SufficientStats::ln_posterior_grad_stats`]
+/// with a fused analytic gradient instead.
+///
+/// # Qualification rules
+///
+/// A workload qualifies when its likelihood factorizes so that every
+/// data-dependent term is a weighted sum of per-group statistics that
+/// are independent of the parameters — grouped location/scale families
+/// (normal, lognormal, gamma, exponential), discrete counts against a
+/// shared logit/log rate, and marginal likelihoods whose data enter
+/// only through fixed matrices (the GP posteriors). Likelihoods where
+/// every observation carries its own covariate value (e.g. the
+/// `12cities` exposure offsets) do not qualify and keep the sweep path
+/// plus the vectorized `ln_pdf_sum`/`ln_pmf_sum` slice kernels in
+/// `bayes_prob`.
+pub trait SufficientStats: Send + Sync {
+    /// Number of unconstrained parameters (must match the sweep model).
+    fn dim(&self) -> usize;
+
+    /// Log-posterior (prior + likelihood-from-statistics) at `theta`.
+    fn ln_posterior_stats<R: Real>(&self, theta: &[R]) -> R;
+
+    /// Log-posterior and gradient from the statistics; `grad` has
+    /// length [`SufficientStats::dim`]. The default runs tape-free
+    /// forward-mode sweeps over [`SufficientStats::ln_posterior_stats`]
+    /// (`⌈dim/4⌉` passes of an O(groups) evaluation — still far below
+    /// one O(N) tape sweep); hot densities override it with a fused
+    /// analytic gradient.
+    fn ln_posterior_grad_stats(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let (value, g) = grad_forward(theta, |t| self.ln_posterior_stats(t));
+        grad.copy_from_slice(&g);
+        value
+    }
+}
+
+/// [`Model`] adapter pairing a raw-data sweep model with a
+/// [`SufficientStats`] evaluator for the same posterior.
+///
+/// The fast path is on by default; [`Model::set_fast_path`] (driven by
+/// `RunConfig`/`BAYES_FASTPATH`) switches back to the sweep model, and
+/// the equivalence test tier holds both paths to documented tolerance
+/// bounds. Two behaviors are deliberately path-independent:
+///
+/// - [`Model::grad_profile`] always profiles the *sweep* path: the
+///   architecture simulation's working-set probe measures the tape the
+///   paper characterizes, not the O(groups) shortcut.
+/// - The stats path never touches the inner thread pool — it is a
+///   single O(groups) reduction, so results are bit-identical at any
+///   `inner_threads` by construction.
+pub struct StatsModel<S> {
+    inner: Box<dyn Model>,
+    stats: S,
+    fast: AtomicBool,
+}
+
+impl<S: SufficientStats> StatsModel<S> {
+    /// Wraps `inner` (the sweep path) with `stats` (the fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two disagree on dimensionality.
+    pub fn new(inner: Box<dyn Model>, stats: S) -> Self {
+        assert_eq!(
+            inner.dim(),
+            stats.dim(),
+            "sweep model and sufficient statistics disagree on dim"
+        );
+        Self {
+            inner,
+            stats,
+            fast: AtomicBool::new(true),
+        }
+    }
+
+    /// The sufficient-statistics evaluator (for equivalence tests).
+    pub fn stats(&self) -> &S {
+        &self.stats
+    }
+
+    /// The wrapped sweep model.
+    pub fn sweep(&self) -> &dyn Model {
+        self.inner.as_ref()
+    }
+}
+
+impl<S: SufficientStats> Model for StatsModel<S> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn ln_posterior(&self, theta: &[f64]) -> f64 {
+        if self.fast.load(Ordering::Relaxed) {
+            self.stats.ln_posterior_stats(theta)
+        } else {
+            self.inner.ln_posterior(theta)
+        }
+    }
+
+    fn ln_posterior_grad(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        if self.fast.load(Ordering::Relaxed) {
+            let _span = bayes_obs::span(bayes_obs::Phase::StatsReduce);
+            self.stats.ln_posterior_grad_stats(theta, grad)
+        } else {
+            self.inner.ln_posterior_grad(theta, grad)
+        }
+    }
+
+    fn grad_profile(&self, theta: &[f64]) -> EvalProfile {
+        // Always the sweep path — see the type-level docs.
+        self.inner.grad_profile(theta)
+    }
+
+    fn set_inner_threads(&self, threads: usize) {
+        self.inner.set_inner_threads(threads);
+    }
+
+    fn set_recorder(&self, recorder: &RecorderHandle) {
+        self.inner.set_recorder(recorder);
+    }
+
+    fn flush_telemetry(&self) {
+        self.inner.flush_telemetry();
+    }
+
+    fn set_fast_path(&self, on: bool) {
+        self.fast.store(on, Ordering::Relaxed);
+    }
+
+    fn fast_path(&self) -> bool {
+        self.fast.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,7 +670,7 @@ mod tests {
     fn profile_scales_with_dim() {
         let small = AdModel::new("s", Quadratic { dim: 2 });
         let large = AdModel::new("l", Quadratic { dim: 50 });
-        let p_small = small.grad_profile(&vec![0.0; 2]);
+        let p_small = small.grad_profile(&[0.0; 2]);
         let p_large = large.grad_profile(&vec![0.0; 50]);
         assert!(p_large.tape_nodes > p_small.tape_nodes * 10);
         assert!(p_large.tape_bytes > 0);

@@ -110,6 +110,7 @@ pub fn run_until_converged<S: StoppableSampler + Sync>(
     }
     model.set_inner_threads(cfg.effective_inner_threads());
     model.set_recorder(&cfg.recorder);
+    model.set_fast_path(cfg.effective_fast_path());
     if cfg.recorder.enabled() {
         cfg.recorder.record(Event::RunStart {
             model: model.name().to_string(),

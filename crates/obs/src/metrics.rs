@@ -417,7 +417,7 @@ mod tests {
         for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
             let est = h.quantile(q).unwrap();
             assert!(est >= prev, "quantile not monotone at q={q}");
-            assert!(est >= 1 && est <= 1000);
+            assert!((1..=1000).contains(&est));
             prev = est;
         }
         // Upper edge of the max bucket clamps to the observed max.

@@ -49,6 +49,9 @@ pub enum Phase {
     ShardSweep,
     /// Fixed-order shard-gradient reduction on the calling thread.
     ShardReduce,
+    /// Sufficient-statistics fast-path evaluation: log-density +
+    /// gradient from precomputed group statistics, no data sweep.
+    StatsReduce,
     /// One R̂ checkpoint diagnostic (online monitor or post-hoc).
     CheckpointDiag,
     /// Supervisor retry handling for one faulted chain.
@@ -61,13 +64,14 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in a fixed report order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::GradientEval,
         Phase::Leapfrog,
         Phase::TreeDoubling,
         Phase::Adaptation,
         Phase::ShardSweep,
         Phase::ShardReduce,
+        Phase::StatsReduce,
         Phase::CheckpointDiag,
         Phase::Retry,
         Phase::Serialize,
@@ -83,6 +87,7 @@ impl Phase {
             Phase::Adaptation => "adaptation",
             Phase::ShardSweep => "shard_sweep",
             Phase::ShardReduce => "shard_reduce",
+            Phase::StatsReduce => "stats_reduce",
             Phase::CheckpointDiag => "checkpoint_diag",
             Phase::Retry => "retry",
             Phase::Serialize => "serialize",
@@ -104,6 +109,7 @@ impl Phase {
             Phase::Adaptation => "span.adaptation",
             Phase::ShardSweep => "span.shard_sweep",
             Phase::ShardReduce => "span.shard_reduce",
+            Phase::StatsReduce => "span.stats_reduce",
             Phase::CheckpointDiag => "span.checkpoint_diag",
             Phase::Retry => "span.retry",
             Phase::Serialize => "span.serialize",

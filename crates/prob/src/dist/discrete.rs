@@ -163,11 +163,21 @@ impl DiscreteDist for Poisson {
 
     fn ln_pmf_sum(&self, ks: &[u64]) -> f64 {
         // Shard-sweep hot path: `ln λ` and `λ` are computed once, not
-        // per observed count.
+        // per observed count, and the sum runs in the four-lane fixed
+        // reduction order documented on [`DiscreteDist::ln_pmf_sum`].
         let ln_lambda = self.lambda.ln();
-        let mut acc = 0.0;
-        for &k in ks {
-            acc += k as f64 * ln_lambda - self.lambda - ln_gamma(k as f64 + 1.0);
+        let term = |k: u64| k as f64 * ln_lambda - self.lambda - ln_gamma(k as f64 + 1.0);
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = ks.chunks_exact(4);
+        for c in chunks.by_ref() {
+            lanes[0] += term(c[0]);
+            lanes[1] += term(c[1]);
+            lanes[2] += term(c[2]);
+            lanes[3] += term(c[3]);
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for &k in chunks.remainder() {
+            acc += term(k);
         }
         acc
     }
@@ -259,16 +269,29 @@ impl DiscreteDist for NegBinomial {
 
     fn ln_pmf_sum(&self, ks: &[u64]) -> f64 {
         // Hoists `ln Γ(φ)` and both log-ratio terms out of the loop —
-        // three of the five transcendentals per observation.
+        // three of the five transcendentals per observation — and
+        // accumulates in the four-lane fixed reduction order documented
+        // on [`DiscreteDist::ln_pmf_sum`].
         let ln_gamma_phi = ln_gamma(self.phi);
         let ln_ratio_phi = self.phi * (self.phi / (self.phi + self.mu)).ln();
         let ln_ratio_mu = (self.mu / (self.phi + self.mu)).ln();
-        let mut acc = 0.0;
-        for &k in ks {
+        let term = |k: u64| {
             let k = k as f64;
-            acc += ln_gamma(k + self.phi) - ln_gamma_phi - ln_gamma(k + 1.0)
+            ln_gamma(k + self.phi) - ln_gamma_phi - ln_gamma(k + 1.0)
                 + ln_ratio_phi
-                + k * ln_ratio_mu;
+                + k * ln_ratio_mu
+        };
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = ks.chunks_exact(4);
+        for c in chunks.by_ref() {
+            lanes[0] += term(c[0]);
+            lanes[1] += term(c[1]);
+            lanes[2] += term(c[2]);
+            lanes[3] += term(c[3]);
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for &k in chunks.remainder() {
+            acc += term(k);
         }
         acc
     }
@@ -528,6 +551,46 @@ mod tests {
     fn poisson_sampling_large_lambda() {
         let p = Poisson::new(80.0).unwrap();
         assert_discrete_moments(&p, 40_000, 23, 0.02);
+    }
+
+    #[test]
+    fn ln_pmf_sum_pins_the_documented_lane_order() {
+        // Both overrides build each term with operation-for-operation
+        // the same expression as `ln_pmf`, so `ln_pmf` is a bitwise
+        // per-term reference; reduce it in the documented order (four
+        // lanes over full chunks, `(l0 + l1) + (l2 + l3)`, then the
+        // tail left-to-right) and require exact equality.
+        fn four_lane_sum(terms: &[f64]) -> f64 {
+            let mut lanes = [0.0f64; 4];
+            let mut chunks = terms.chunks_exact(4);
+            for c in chunks.by_ref() {
+                for j in 0..4 {
+                    lanes[j] += c[j];
+                }
+            }
+            let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            for &t in chunks.remainder() {
+                acc += t;
+            }
+            acc
+        }
+        let p = Poisson::new(6.3).unwrap();
+        let nb = NegBinomial::new(4.2, 1.7).unwrap();
+        for len in [0usize, 3, 8, 101] {
+            let ks: Vec<u64> = (0..len as u64).map(|i| i % 17).collect();
+            let expect_p = four_lane_sum(&ks.iter().map(|&k| p.ln_pmf(k)).collect::<Vec<_>>());
+            assert_eq!(
+                p.ln_pmf_sum(&ks).to_bits(),
+                expect_p.to_bits(),
+                "poisson len={len}"
+            );
+            let expect_nb = four_lane_sum(&ks.iter().map(|&k| nb.ln_pmf(k)).collect::<Vec<_>>());
+            assert_eq!(
+                nb.ln_pmf_sum(&ks).to_bits(),
+                expect_nb.to_bits(),
+                "neg-binomial len={len}"
+            );
+        }
     }
 
     #[test]

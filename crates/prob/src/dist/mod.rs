@@ -68,8 +68,20 @@ pub trait ContinuousDist {
     /// the shape of a likelihood shard. Hot distributions override this
     /// to hoist parameter-only terms (normalizing constants, `ln σ`)
     /// out of the per-observation loop, so shard evaluation does not
-    /// re-dispatch per datum. Overrides must accumulate left-to-right
-    /// so the result is reproducible.
+    /// re-dispatch per datum.
+    ///
+    /// # Reduction order
+    ///
+    /// The result must be a deterministic function of the slice alone,
+    /// so sharded evaluation stays bit-identical at any thread count.
+    /// Overrides use exactly this fixed order: observations are
+    /// consumed in chunks of four into four independent accumulator
+    /// lanes (`lanes[j] += term(chunk[j])`), the lanes are combined
+    /// pairwise as `(l0 + l1) + (l2 + l3)` after the last full chunk,
+    /// and the `len % 4` tail is then added left-to-right. The default
+    /// implementation's plain left-to-right sum is also deterministic
+    /// but does not match the lane order bit-for-bit; a distribution
+    /// must keep one order or the other, never mix them.
     fn ln_pdf_sum(&self, xs: &[f64]) -> f64 {
         xs.iter().map(|&x| self.ln_pdf(x)).sum()
     }
@@ -104,7 +116,8 @@ pub trait DiscreteDist {
 
     /// Sum of [`DiscreteDist::ln_pmf`] over a slice of observed counts
     /// (see [`ContinuousDist::ln_pdf_sum`]). Overrides hoist
-    /// parameter-only terms and must accumulate left-to-right.
+    /// parameter-only terms and follow the same fixed four-lane
+    /// reduction order documented there.
     fn ln_pmf_sum(&self, ks: &[u64]) -> f64 {
         ks.iter().map(|&k| self.ln_pmf(k)).sum()
     }

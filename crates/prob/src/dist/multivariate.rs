@@ -136,7 +136,8 @@ impl Multinomial {
         let mut remaining = self.n;
         let mut rest_mass = 1.0;
         let mut counts = vec![0u64; self.probs.len()];
-        for k in 0..self.probs.len() - 1 {
+        let last = self.probs.len() - 1;
+        for (k, count) in counts.iter_mut().enumerate().take(last) {
             if remaining == 0 || rest_mass <= 0.0 {
                 break;
             }
@@ -144,7 +145,7 @@ impl Multinomial {
             let draw = super::Binomial::new(remaining, p)
                 .expect("valid p")
                 .sample(rng);
-            counts[k] = draw;
+            *count = draw;
             remaining -= draw;
             rest_mass -= self.probs[k];
         }
@@ -185,7 +186,7 @@ mod tests {
         let d = Dirichlet::new(vec![2.0, 5.0, 3.0]).unwrap();
         let mut rng = rng(51);
         let n = 20_000;
-        let mut acc = vec![0.0; 3];
+        let mut acc = [0.0; 3];
         for _ in 0..n {
             let p = d.sample(&mut rng);
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -219,7 +220,7 @@ mod tests {
         let m = Multinomial::new(60, &[0.5, 0.25, 0.25]).unwrap();
         let mut rng = rng(52);
         let n = 20_000;
-        let mut acc = vec![0.0; 3];
+        let mut acc = [0.0; 3];
         for _ in 0..n {
             let c = m.sample(&mut rng);
             assert_eq!(c.iter().sum::<u64>(), 60);

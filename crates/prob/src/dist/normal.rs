@@ -71,13 +71,27 @@ impl ContinuousDist for Normal {
     fn ln_pdf_sum(&self, xs: &[f64]) -> f64 {
         // Hot path for likelihood shards: the division and the
         // normalizing constant (`ln σ + ln √2π`) are hoisted out of the
-        // per-observation loop.
+        // per-observation loop, and the sum runs in four independent
+        // accumulator lanes (the fixed reduction order documented on
+        // [`ContinuousDist::ln_pdf_sum`]) so the adds pipeline instead
+        // of serializing on one register.
         let inv_sigma = 1.0 / self.sigma;
         let norm = self.sigma.ln() + LN_SQRT_2PI;
-        let mut acc = 0.0;
-        for &x in xs {
+        let term = |x: f64| {
             let z = (x - self.mu) * inv_sigma;
-            acc += -0.5 * z * z - norm;
+            -0.5 * z * z - norm
+        };
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = xs.chunks_exact(4);
+        for c in chunks.by_ref() {
+            lanes[0] += term(c[0]);
+            lanes[1] += term(c[1]);
+            lanes[2] += term(c[2]);
+            lanes[3] += term(c[3]);
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for &x in chunks.remainder() {
+            acc += term(x);
         }
         acc
     }
@@ -135,16 +149,33 @@ impl ContinuousDist for LogNormal {
     }
 
     fn ln_pdf_sum(&self, xs: &[f64]) -> f64 {
+        // Same four-lane fixed reduction order as [`Normal::ln_pdf_sum`];
+        // the support check stays per-observation so any `x ≤ 0` still
+        // short-circuits to `-∞` before `ln` can produce a NaN.
         let inv_sigma = 1.0 / self.sigma;
         let norm = self.sigma.ln() + LN_SQRT_2PI;
-        let mut acc = 0.0;
-        for &x in xs {
+        let term = |x: f64| {
+            let lx = x.ln();
+            let z = (lx - self.mu) * inv_sigma;
+            -0.5 * z * z - norm - lx
+        };
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = xs.chunks_exact(4);
+        for c in chunks.by_ref() {
+            if c[0] <= 0.0 || c[1] <= 0.0 || c[2] <= 0.0 || c[3] <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            lanes[0] += term(c[0]);
+            lanes[1] += term(c[1]);
+            lanes[2] += term(c[2]);
+            lanes[3] += term(c[3]);
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for &x in chunks.remainder() {
             if x <= 0.0 {
                 return f64::NEG_INFINITY;
             }
-            let lx = x.ln();
-            let z = (lx - self.mu) * inv_sigma;
-            acc += -0.5 * z * z - norm - lx;
+            acc += term(x);
         }
         acc
     }
@@ -290,6 +321,58 @@ mod tests {
         let fast = d.ln_pdf_sum(&xs);
         assert!((naive - fast).abs() < 1e-10 * (1.0 + naive.abs()));
         assert_eq!(d.ln_pdf_sum(&[1.0, -2.0, 3.0]), f64::NEG_INFINITY);
+    }
+
+    /// Reference implementation of the documented reduction order:
+    /// four lanes over full chunks, combined `(l0 + l1) + (l2 + l3)`,
+    /// then the tail left-to-right.
+    fn four_lane_sum(terms: &[f64]) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        let mut chunks = terms.chunks_exact(4);
+        for c in chunks.by_ref() {
+            for j in 0..4 {
+                lanes[j] += c[j];
+            }
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for &t in chunks.remainder() {
+            acc += t;
+        }
+        acc
+    }
+
+    #[test]
+    fn ln_pdf_sum_pins_the_documented_lane_order() {
+        // Per-observation terms are rebuilt with the same hoisted
+        // expressions the overrides use, then reduced in the documented
+        // order; lengths straddle the chunk boundary (empty, tail-only,
+        // exact multiple, multiple + tail) so every code path is pinned.
+        let n = Normal::new(0.8, 1.7).unwrap();
+        let n_term = |x: f64| {
+            let z = (x - n.mu) * (1.0 / n.sigma);
+            -0.5 * z * z - (n.sigma.ln() + LN_SQRT_2PI)
+        };
+        let d = LogNormal::new(0.2, 0.9).unwrap();
+        let d_term = |x: f64| {
+            let lx = x.ln();
+            let z = (lx - d.mu) * (1.0 / d.sigma);
+            -0.5 * z * z - (d.sigma.ln() + LN_SQRT_2PI) - lx
+        };
+        for len in [0usize, 3, 8, 203] {
+            let xs: Vec<f64> = (0..len).map(|i| 0.05 + 0.031 * i as f64).collect();
+            let expect_n = four_lane_sum(&xs.iter().map(|&x| n_term(x)).collect::<Vec<_>>());
+            assert_eq!(
+                n.ln_pdf_sum(&xs).to_bits(),
+                expect_n.to_bits(),
+                "normal len={len}"
+            );
+            let expect_d = four_lane_sum(&xs.iter().map(|&x| d_term(x)).collect::<Vec<_>>());
+            assert_eq!(
+                d.ln_pdf_sum(&xs).to_bits(),
+                expect_d.to_bits(),
+                "lognormal len={len}"
+            );
+        }
     }
 
     #[test]

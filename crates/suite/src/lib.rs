@@ -32,6 +32,10 @@
 //! assert!(w.meta().modeled_data_bytes > 0);
 //! ```
 
+// Workload generators/densities index parameter blocks by group in
+// lock-step with data layouts; the indexed form stays.
+#![allow(clippy::needless_range_loop)]
+
 pub mod meta;
 pub mod reference;
 pub mod registry;

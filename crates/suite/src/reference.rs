@@ -208,6 +208,9 @@ fn parse_f64(tok: Option<&str>, err: &dyn Fn(&str) -> String) -> Result<f64, Str
 mod tests {
     use super::*;
 
+    // The over-long mean literal is deliberate: the codec round-trip
+    // must preserve every representable digit.
+    #[allow(clippy::excessive_precision)]
     fn sample() -> ReferencePosterior {
         ReferencePosterior {
             workload: "votes".into(),

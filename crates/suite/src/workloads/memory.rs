@@ -15,12 +15,15 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel, StatsModel, SufficientStats};
 use bayes_prob::dist::{ContinuousDist, LogNormal, Normal};
 use bayes_prob::special::sigmoid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
+
+/// Distinct values of the centered load covariate (`(t % 5) - 2`).
+const LOAD_LEVELS: usize = 5;
 
 /// Trials per subject.
 pub const TRIALS: usize = 50;
@@ -94,6 +97,30 @@ impl MemoryData {
     }
 }
 
+/// The prior, shared verbatim by the sweep density and the
+/// sufficient-statistics evaluator so both paths apply identical
+/// floating-point operations to the O(dim) terms.
+fn ln_prior_terms<R: Real>(theta: &[R], j: usize) -> R {
+    let mu_alpha = theta[0];
+    let tau_alpha = theta[1].exp();
+    let mu_delta = theta[4];
+    let tau_delta = theta[5].exp();
+    let alphas = &theta[6..6 + j];
+    let deltas = &theta[6 + j..6 + 2 * j];
+    let mut acc = lp::normal_prior(theta[0], 0.0, 1.0)
+        + lp::normal_prior(theta[1], -1.0, 1.0)
+        + lp::normal_prior(theta[2], 0.0, 0.5)
+        + lp::normal_prior(theta[3], -1.0, 1.0)
+        + lp::normal_prior(theta[4], 0.0, 1.5)
+        + lp::normal_prior(theta[5], -1.0, 1.0);
+    for s in 0..j {
+        acc = acc
+            + lp::normal_lpdf(alphas[s], mu_alpha, tau_alpha)
+            + lp::normal_lpdf(deltas[s], mu_delta, tau_delta);
+    }
+    acc
+}
+
 /// Log-posterior of the direct-access retrieval model.
 #[derive(Debug, Clone)]
 pub struct MemoryDensity {
@@ -117,25 +144,7 @@ impl ShardedDensity for MemoryDensity {
     }
 
     fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
-        let j = self.data.subjects();
-        let mu_alpha = theta[0];
-        let tau_alpha = theta[1].exp();
-        let mu_delta = theta[4];
-        let tau_delta = theta[5].exp();
-        let alphas = &theta[6..6 + j];
-        let deltas = &theta[6 + j..6 + 2 * j];
-        let mut acc = lp::normal_prior(theta[0], 0.0, 1.0)
-            + lp::normal_prior(theta[1], -1.0, 1.0)
-            + lp::normal_prior(theta[2], 0.0, 0.5)
-            + lp::normal_prior(theta[3], -1.0, 1.0)
-            + lp::normal_prior(theta[4], 0.0, 1.5)
-            + lp::normal_prior(theta[5], -1.0, 1.0);
-        for s in 0..j {
-            acc = acc
-                + lp::normal_lpdf(alphas[s], mu_alpha, tau_alpha)
-                + lp::normal_lpdf(deltas[s], mu_delta, tau_delta);
-        }
-        acc
+        ln_prior_terms(theta, self.data.subjects())
     }
 
     fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
@@ -168,16 +177,167 @@ impl LogDensity for MemoryDensity {
     }
 }
 
+/// One `(subject, load level)` cell of the reduced dataset. Both
+/// likelihood components are exponential-family given the cell: the
+/// log-normal latencies enter only through `(n, Σln y, Σ(ln y)²)` and
+/// the Bernoulli accuracies only through the success count.
+#[derive(Debug, Clone, Copy)]
+struct MemoryGroup {
+    subject: usize,
+    load: f64,
+    /// Trials in the cell.
+    n: f64,
+    /// `Σ ln latency`.
+    s1: f64,
+    /// `Σ (ln latency)²`.
+    s2: f64,
+    /// Correct recalls.
+    k: f64,
+}
+
+/// Sufficient statistics of [`MemoryDensity`]: the `subjects × TRIALS`
+/// sweep collapses to `subjects × LOAD_LEVELS` cells, reduced once at
+/// build time in a fixed order (subject-major, then load level) so the
+/// statistics themselves are deterministic.
+#[derive(Debug, Clone)]
+pub struct MemoryStats {
+    subjects: usize,
+    groups: Vec<MemoryGroup>,
+    /// `-Σ ln latency - N·ln√2π`, the parameter-free part of the
+    /// log-normal terms.
+    ln_const: f64,
+}
+
+impl MemoryStats {
+    /// Reduces `data` to its sufficient statistics.
+    pub fn new(data: &MemoryData) -> Self {
+        let j = data.subjects();
+        let mut groups: Vec<MemoryGroup> = (0..j * LOAD_LEVELS)
+            .map(|g| MemoryGroup {
+                subject: g / LOAD_LEVELS,
+                load: (g % LOAD_LEVELS) as f64 - 2.0,
+                n: 0.0,
+                s1: 0.0,
+                s2: 0.0,
+                k: 0.0,
+            })
+            .collect();
+        let mut ln_const = 0.0;
+        for i in 0..data.len() {
+            let level = (data.load[i] + 2.0) as usize;
+            let g = &mut groups[data.subject[i] * LOAD_LEVELS + level];
+            let lx = data.latency[i].ln();
+            g.n += 1.0;
+            g.s1 += lx;
+            g.s2 += lx * lx;
+            if data.correct[i] {
+                g.k += 1.0;
+            }
+            ln_const -= lx + lp::LN_SQRT_2PI;
+        }
+        groups.retain(|g| g.n > 0.0);
+        Self {
+            subjects: j,
+            groups,
+            ln_const,
+        }
+    }
+}
+
+impl SufficientStats for MemoryStats {
+    fn dim(&self) -> usize {
+        6 + 2 * self.subjects
+    }
+
+    fn ln_posterior_stats<R: Real>(&self, theta: &[R]) -> R {
+        let j = self.subjects;
+        let beta = theta[2];
+        let sigma = theta[3].exp();
+        let alphas = &theta[6..6 + j];
+        let deltas = &theta[6 + j..6 + 2 * j];
+        // Per cell: Σ lognormal_lpdf = -(S2 - 2μS1 + nμ²)/(2σ²) - n·lnσ
+        // plus the data-only constant folded into `ln_const`, and
+        // Σ bernoulli_logit_lpmf = k·logit - n·log1p_exp(logit).
+        let half_inv_var = (sigma.square() * 2.0).recip();
+        let mut acc = ln_prior_terms(theta, j) + self.ln_const;
+        let mut n_total = 0.0;
+        for g in &self.groups {
+            let mu = alphas[g.subject] + beta * g.load;
+            let ssq = mu.square() * g.n - mu * (2.0 * g.s1) + g.s2;
+            acc = acc - ssq * half_inv_var;
+            n_total += g.n;
+            let logit = deltas[g.subject] - g.load * 0.2;
+            acc = acc + logit * g.k - logit.log1p_exp() * g.n;
+        }
+        acc - theta[3] * n_total
+    }
+
+    fn ln_posterior_grad_stats(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        // Fused analytic gradient: normal/log-normal and Bernoulli-count
+        // derivatives in closed form, one O(groups) pass, no tape and no
+        // dual sweeps. The returned value re-runs the generic `f64`
+        // evaluator so value-only and gradient calls agree bit-for-bit.
+        let j = self.subjects;
+        let (mu_a, ln_tau_a, beta, ln_sigma, mu_d, ln_tau_d) =
+            (theta[0], theta[1], theta[2], theta[3], theta[4], theta[5]);
+        let inv_tau_a2 = (-2.0 * ln_tau_a).exp();
+        let inv_tau_d2 = (-2.0 * ln_tau_d).exp();
+        let inv_sigma2 = (-2.0 * ln_sigma).exp();
+        grad.fill(0.0);
+        // Fixed-variance hyperpriors: d/dx normal_prior(x, m, sd).
+        grad[0] = -mu_a;
+        grad[1] = -(ln_tau_a + 1.0);
+        grad[2] = -beta / 0.25;
+        grad[3] = -(ln_sigma + 1.0);
+        grad[4] = -mu_d / 2.25;
+        grad[5] = -(ln_tau_d + 1.0);
+        for s in 0..j {
+            // Hierarchical normals with log-scale parameters τ = e^θ:
+            // d/dlnτ of -(Δ²/2)e^(-2lnτ) - lnτ is Δ²e^(-2lnτ) - 1.
+            let da = theta[6 + s] - mu_a;
+            grad[6 + s] -= da * inv_tau_a2;
+            grad[0] += da * inv_tau_a2;
+            grad[1] += da * da * inv_tau_a2 - 1.0;
+            let dd = theta[6 + j + s] - mu_d;
+            grad[6 + j + s] -= dd * inv_tau_d2;
+            grad[4] += dd * inv_tau_d2;
+            grad[5] += dd * dd * inv_tau_d2 - 1.0;
+        }
+        for g in &self.groups {
+            let mu = theta[6 + g.subject] + beta * g.load;
+            // d/dμ of -(S2 - 2μS1 + nμ²)/(2σ²) = (S1 - nμ)/σ².
+            let dmu = (g.s1 - g.n * mu) * inv_sigma2;
+            grad[6 + g.subject] += dmu;
+            grad[2] += dmu * g.load;
+            let ssq = g.s2 - mu * (2.0 * g.s1) + g.n * mu * mu;
+            grad[3] += ssq * inv_sigma2 - g.n;
+            let logit = theta[6 + j + g.subject] - g.load * 0.2;
+            grad[6 + j + g.subject] += g.k - g.n * sigmoid(logit);
+        }
+        self.ln_posterior_stats(theta)
+    }
+}
+
 /// Builds the `memory` workload at the given data scale. Trials are
-/// conditionally independent given the subject effects, so the model is
-/// sharded over the trial sweep.
+/// conditionally independent given the subject effects, so the sweep
+/// path shards over trials; both likelihood components are
+/// exponential-family given the `(subject, load)` cell, so the default
+/// evaluation path runs on [`MemoryStats`] instead.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let subjects = scaled_count(30, scale, 3);
     let data = MemoryData::generate(subjects, seed);
     let bytes = data.modeled_bytes();
-    let model = ShardedModel::new("memory", MemoryDensity::new(data));
+    let stats = MemoryStats::new(&data);
+    let model = StatsModel::new(
+        Box::new(ShardedModel::new("memory", MemoryDensity::new(data))),
+        stats,
+    );
     let dyn_data = MemoryData::generate(scaled_count(30, scale * 0.3, 3), seed);
-    let dynamics = ShardedModel::new("memory", MemoryDensity::new(dyn_data));
+    let dyn_stats = MemoryStats::new(&dyn_data);
+    let dynamics = StatsModel::new(
+        Box::new(ShardedModel::new("memory", MemoryDensity::new(dyn_data))),
+        dyn_stats,
+    );
     Workload::new(
         WorkloadMeta {
             name: "memory",
@@ -322,6 +482,53 @@ mod tests {
         let out = chain::run(&Nuts::default(), w.dynamics_model(), &cfg);
         let beta = out.mean(2);
         assert!(beta > 0.05, "beta {beta} should be positive");
+    }
+
+    #[test]
+    fn stats_path_matches_the_sweep_path() {
+        use bayes_mcmc::SufficientStats;
+        let data = MemoryData::generate(4, 3);
+        let sweep = AdModel::new("m", MemoryDensity::new(data.clone()));
+        let stats = MemoryStats::new(&data);
+        let theta: Vec<f64> = (0..sweep.dim())
+            .map(|i| 0.1 * ((i % 7) as f64 - 3.0))
+            .collect();
+        let lp_sweep = sweep.ln_posterior(&theta);
+        let lp_stats = stats.ln_posterior_stats(&theta);
+        assert!(
+            (lp_sweep - lp_stats).abs() < 1e-9 * (1.0 + lp_sweep.abs()),
+            "{lp_sweep} vs {lp_stats}"
+        );
+        let mut g_sweep = vec![0.0; sweep.dim()];
+        let mut g_stats = vec![0.0; sweep.dim()];
+        sweep.ln_posterior_grad(&theta, &mut g_sweep);
+        let v = stats.ln_posterior_grad_stats(&theta, &mut g_stats);
+        assert_eq!(v.to_bits(), lp_stats.to_bits(), "grad path value drifted");
+        for i in 0..sweep.dim() {
+            assert!(
+                (g_sweep[i] - g_stats[i]).abs() < 1e-9 * (1.0 + g_sweep[i].abs()),
+                "coord {i}: {} vs {}",
+                g_sweep[i],
+                g_stats[i]
+            );
+        }
+    }
+
+    #[test]
+    fn workload_model_toggles_between_paths() {
+        let w = workload(0.1, 7);
+        let m = w.model();
+        assert!(m.fast_path(), "fast path must be the default");
+        let theta = vec![0.05; m.dim()];
+        let fast = m.ln_posterior(&theta);
+        m.set_fast_path(false);
+        assert!(!m.fast_path());
+        let sweep = m.ln_posterior(&theta);
+        m.set_fast_path(true);
+        assert!(
+            (fast - sweep).abs() < 1e-9 * (1.0 + sweep.abs()),
+            "{fast} vs {sweep}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::meta::{Workload, WorkloadMeta};
 use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, ShardedModel, StatsModel, SufficientStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;
@@ -84,6 +84,17 @@ impl SurvivalData {
     }
 }
 
+/// The prior — logistic(0,1)-ish normals on the logit scale — shared
+/// verbatim by the sweep density and the sufficient-statistics
+/// evaluator so both paths apply identical floating-point operations.
+fn ln_prior_terms<R: Real>(theta: &[R]) -> R {
+    let mut acc = theta[0] * 0.0;
+    for &th in theta {
+        acc = acc + lp::normal_prior(th, 0.0, 1.5);
+    }
+    acc
+}
+
 /// Log-posterior of the time-varying CJS model.
 #[derive(Debug, Clone)]
 pub struct SurvivalDensity {
@@ -107,12 +118,7 @@ impl ShardedDensity for SurvivalDensity {
     }
 
     fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
-        // Priors: logistic(0,1) on the logit scale ≈ uniform on (0,1).
-        let mut acc = theta[0] * 0.0;
-        for &th in theta {
-            acc = acc + lp::normal_prior(th, 0.0, 1.5);
-        }
-        acc
+        ln_prior_terms(theta)
     }
 
     fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
@@ -124,7 +130,7 @@ impl ShardedDensity for SurvivalDensity {
         let ps: Vec<R> = (0..t_int).map(|t| theta[t_int + t].sigmoid()).collect();
 
         // χ_t: probability of never being seen after occasion t.
-        let mut chi = vec![theta[0] * 0.0 + 1.0; OCCASIONS];
+        let mut chi = [theta[0] * 0.0 + 1.0; OCCASIONS];
         for t in (0..t_int).rev() {
             chi[t] = (-phis[t] + 1.0) + phis[t] * (-ps[t] + 1.0) * chi[t + 1];
         }
@@ -169,16 +175,105 @@ impl LogDensity for SurvivalDensity {
     }
 }
 
+/// Sufficient statistics of [`SurvivalDensity`]: because every
+/// individual shares the release occasion and the likelihood reads a
+/// history only through "survived interval t", "(not) recaptured at
+/// t+1", and "last seen at l", the O(n) individual sweep collapses to
+/// discrete counts over `OCCASIONS` intervals — a CJS m-array in
+/// disguise. All counts are reduced once at build time.
+#[derive(Debug, Clone)]
+pub struct SurvivalStats {
+    /// `m_phi[t]`: individuals whose last capture is after `t` (each
+    /// contributes one `ln φ_t` term).
+    m_phi: [f64; OCCASIONS - 1],
+    /// `c_p[t]`: of those, the ones recaptured at `t+1` (`ln p_t`).
+    c_p: [f64; OCCASIONS - 1],
+    /// `nc_p[t]`: the rest (`ln(1-p_t)`).
+    nc_p: [f64; OCCASIONS - 1],
+    /// `n_chi[l]`: individuals last seen at `l` (`ln χ_l`).
+    n_chi: [f64; OCCASIONS],
+}
+
+impl SurvivalStats {
+    /// Reduces `data` to its per-interval counts.
+    pub fn new(data: &SurvivalData) -> Self {
+        let mut stats = Self {
+            m_phi: [0.0; OCCASIONS - 1],
+            c_p: [0.0; OCCASIONS - 1],
+            nc_p: [0.0; OCCASIONS - 1],
+            n_chi: [0.0; OCCASIONS],
+        };
+        for i in 0..data.len() {
+            let last = data.last_capture(i);
+            for t in 0..last {
+                stats.m_phi[t] += 1.0;
+                if data.captured(i, t + 1) {
+                    stats.c_p[t] += 1.0;
+                } else {
+                    stats.nc_p[t] += 1.0;
+                }
+            }
+            stats.n_chi[last] += 1.0;
+        }
+        stats
+    }
+}
+
+impl SufficientStats for SurvivalStats {
+    fn dim(&self) -> usize {
+        2 * (OCCASIONS - 1)
+    }
+
+    fn ln_posterior_stats<R: Real>(&self, theta: &[R]) -> R {
+        let t_int = OCCASIONS - 1;
+        // Same hoisted transforms as the sweep path…
+        let phis: Vec<R> = (0..t_int).map(|t| theta[t].sigmoid()).collect();
+        let ps: Vec<R> = (0..t_int).map(|t| theta[t_int + t].sigmoid()).collect();
+        let mut chi = [theta[0] * 0.0 + 1.0; OCCASIONS];
+        for t in (0..t_int).rev() {
+            chi[t] = (-phis[t] + 1.0) + phis[t] * (-ps[t] + 1.0) * chi[t + 1];
+        }
+        // …but the data sweep is a count-weighted sum over intervals.
+        let mut acc = ln_prior_terms(theta);
+        for t in 0..t_int {
+            acc = acc
+                + phis[t].ln() * self.m_phi[t]
+                + ps[t].ln() * self.c_p[t]
+                + (-ps[t] + 1.0).ln() * self.nc_p[t];
+        }
+        for l in 0..OCCASIONS {
+            acc = acc + chi[l].ln() * self.n_chi[l];
+        }
+        acc
+    }
+    // Gradient: the default tape-free forward-mode sweep — two
+    // 4-lane passes over this O(OCCASIONS) evaluation, versus one
+    // reverse sweep over an O(n·OCCASIONS) tape.
+}
+
 /// Builds the `survival` workload at the given data scale. Individual
-/// capture histories are independent, so the model is sharded for
-/// data-parallel gradient sweeps.
+/// capture histories are independent, so the sweep path shards over
+/// individuals; the shared release occasion makes the likelihood a
+/// function of per-interval counts, so the default evaluation path
+/// runs on [`SurvivalStats`] instead.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let n = scaled_count(24_000, scale, 60);
     let data = SurvivalData::generate(n, seed);
     let bytes = data.modeled_bytes();
-    let model = ShardedModel::new("survival", SurvivalDensity::new(data));
+    let stats = SurvivalStats::new(&data);
+    let model = StatsModel::new(
+        Box::new(ShardedModel::new("survival", SurvivalDensity::new(data))),
+        stats,
+    );
     let dyn_data = SurvivalData::generate(scaled_count(24_000, scale * 0.03, 60), seed);
-    let dynamics = ShardedModel::new("survival", SurvivalDensity::new(dyn_data));
+    let dyn_stats = SurvivalStats::new(&dyn_data);
+    let dynamics = StatsModel::new(
+        Box::new(ShardedModel::new(
+            "survival",
+            SurvivalDensity::new(dyn_data),
+        )),
+        dyn_stats,
+    );
     Workload::new(
         WorkloadMeta {
             name: "survival",
@@ -312,6 +407,32 @@ mod tests {
         // identified through its product.
         let r0 = bayes_mcmc::diag::split_rhat(&out.traces(0));
         assert!(r0 < 1.2, "rhat of phi0 {r0}");
+    }
+
+    #[test]
+    fn stats_path_matches_the_sweep_path() {
+        let data = SurvivalData::generate(400, 3);
+        let sweep = AdModel::new("s", SurvivalDensity::new(data.clone()));
+        let stats = SurvivalStats::new(&data);
+        let theta: Vec<f64> = (0..sweep.dim()).map(|i| 0.3 - 0.1 * i as f64).collect();
+        let lp_sweep = sweep.ln_posterior(&theta);
+        let lp_stats = stats.ln_posterior_stats(&theta);
+        assert!(
+            (lp_sweep - lp_stats).abs() < 1e-9 * (1.0 + lp_sweep.abs()),
+            "{lp_sweep} vs {lp_stats}"
+        );
+        let mut g_sweep = vec![0.0; sweep.dim()];
+        let mut g_stats = vec![0.0; sweep.dim()];
+        sweep.ln_posterior_grad(&theta, &mut g_sweep);
+        stats.ln_posterior_grad_stats(&theta, &mut g_stats);
+        for i in 0..sweep.dim() {
+            assert!(
+                (g_sweep[i] - g_stats[i]).abs() < 1e-9 * (1.0 + g_sweep[i].abs()),
+                "coord {i}: {} vs {}",
+                g_sweep[i],
+                g_stats[i]
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::workloads::scaled_count;
 use bayes_autodiff::Real;
 use bayes_linalg::{Cholesky, Matrix};
 use bayes_mcmc::lp;
-use bayes_mcmc::{AdModel, LogDensity, ShardedDensity};
+use bayes_mcmc::{AdModel, LogDensity, ShardedDensity, StatsModel, SufficientStats};
 use bayes_prob::dist::{ContinuousDist, Normal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,6 +104,16 @@ fn cholesky_generic<R: Real>(n: usize, a: &mut [R]) -> Option<()> {
     Some(())
 }
 
+/// The hyper-parameter priors, shared verbatim by the sweep density and
+/// the sufficient-statistics evaluator so both paths apply identical
+/// floating-point operations.
+fn ln_prior_terms<R: Real>(theta: &[R]) -> R {
+    lp::normal_prior(theta[0], 0.0, 1.0)
+        + lp::normal_prior(theta[1], -1.0, 1.0)
+        + lp::normal_prior(theta[2], -2.0, 1.0)
+        + lp::normal_prior(theta[3], 0.0, 1.0)
+}
+
 /// Log-posterior of the marginalized GP regression.
 #[derive(Debug, Clone)]
 pub struct VotesDensity {
@@ -134,10 +144,7 @@ impl ShardedDensity for VotesDensity {
     }
 
     fn ln_prior<R: Real>(&self, theta: &[R]) -> R {
-        lp::normal_prior(theta[0], 0.0, 1.0)
-            + lp::normal_prior(theta[1], -1.0, 1.0)
-            + lp::normal_prior(theta[2], -2.0, 1.0)
-            + lp::normal_prior(theta[3], 0.0, 1.0)
+        ln_prior_terms(theta)
     }
 
     fn ln_likelihood_shard<R: Real>(&self, theta: &[R], range: Range<usize>) -> R {
@@ -200,18 +207,117 @@ impl LogDensity for VotesDensity {
     }
 }
 
+/// Sufficient "statistics" of [`VotesDensity`]: the data enter the
+/// marginal GP likelihood only through the fixed time-difference
+/// triangle and the observation vector, both precomputed once. The
+/// fast-path win here is not a smaller sweep — it is evaluating the
+/// same generic Cholesky *tape-free* with 4-lane forward-mode duals
+/// (dim = 4, so value + full gradient in a single pass where the tape
+/// records and reverse-sweeps O(n³) nodes).
+#[derive(Debug, Clone)]
+pub struct VotesStats {
+    n: usize,
+    /// Lower-triangle `t[i] - t[j]` (row-major, `j ≤ i`), exactly the
+    /// differences the sweep path recomputes per evaluation.
+    dt: Vec<f64>,
+    /// Observed shares.
+    y: Vec<f64>,
+}
+
+impl VotesStats {
+    /// Precomputes the kernel-input triangle from `data`.
+    pub fn new(data: &VotesData) -> Self {
+        let n = data.len();
+        let mut dt = Vec::with_capacity(n * (n + 1) / 2);
+        for i in 0..n {
+            for j in 0..=i {
+                dt.push(data.t[i] - data.t[j]);
+            }
+        }
+        Self {
+            n,
+            dt,
+            y: data.y.clone(),
+        }
+    }
+}
+
+impl SufficientStats for VotesStats {
+    fn dim(&self) -> usize {
+        4
+    }
+
+    fn ln_posterior_stats<R: Real>(&self, theta: &[R]) -> R {
+        // Mirrors `VotesDensity::eval` operation-for-operation (with
+        // `dt` read from the precomputed triangle, which holds the
+        // identical f64 differences), so the `f64` instantiation is
+        // bit-identical to the sweep path.
+        let n = self.n;
+        let rho = theta[0].exp();
+        let alpha2 = (theta[1] * 2.0).exp();
+        let sigma_n2 = (theta[2] * 2.0).exp();
+        let mu = theta[3];
+        let prior = ln_prior_terms(theta);
+
+        let mut k: Vec<R> = Vec::with_capacity(n * (n + 1) / 2);
+        let mut flat = 0;
+        for i in 0..n {
+            for j in 0..=i {
+                let z = (rho.recip() * self.dt[flat]).square() * (-0.5);
+                let mut kij = alpha2 * z.exp();
+                if i == j {
+                    kij = kij + sigma_n2 + 1e-8;
+                }
+                k.push(kij);
+                flat += 1;
+            }
+        }
+        if cholesky_generic(n, &mut k).is_none() {
+            return prior + (theta[0] * 0.0 + f64::NEG_INFINITY);
+        }
+        let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
+        let mut w: Vec<R> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut s = -mu + self.y[i];
+            for j in 0..i {
+                s = s - k[idx(i, j)] * w[j];
+            }
+            w.push(s / k[idx(i, i)]);
+        }
+        let mut quad = theta[0] * 0.0;
+        let mut ln_det_half = theta[0] * 0.0;
+        for i in 0..n {
+            quad = quad + w[i].square();
+            ln_det_half = ln_det_half + k[idx(i, i)].ln();
+        }
+        prior + (quad * (-0.5) - ln_det_half - (n as f64) * LN_SQRT_2PI)
+    }
+    // Gradient: the default tape-free forward-mode sweep — dim = 4
+    // fits one 4-lane pass, sharing each kernel `exp` across all four
+    // directional derivatives.
+}
+
 /// Builds the `votes` workload at the given data scale.
 ///
-/// Stays on the serial [`AdModel`] path: the marginalized GP is one
-/// indivisible likelihood unit (see [`ShardedDensity`] impl above), so
-/// inner threads cannot help it.
+/// The sweep path stays on the serial [`AdModel`]: the marginalized GP
+/// is one indivisible likelihood unit (see [`ShardedDensity`] impl
+/// above), so inner threads cannot help it. The default evaluation
+/// path runs tape-free on [`VotesStats`] instead.
 pub fn workload(scale: f64, seed: u64) -> Workload {
     let n = scaled_count(36, scale, 8);
     let data = VotesData::generate(n, seed);
     let bytes = data.modeled_bytes();
-    let model = AdModel::new("votes", VotesDensity::new(data));
+    let stats = VotesStats::new(&data);
+    let model = StatsModel::new(
+        Box::new(AdModel::new("votes", VotesDensity::new(data))),
+        stats,
+    );
     let dyn_data = VotesData::generate(scaled_count(36, scale * 0.5, 8), seed);
-    let dynamics = AdModel::new("votes", VotesDensity::new(dyn_data));
+    let dyn_stats = VotesStats::new(&dyn_data);
+    let dynamics = StatsModel::new(
+        Box::new(AdModel::new("votes", VotesDensity::new(dyn_data))),
+        dyn_stats,
+    );
     Workload::new(
         WorkloadMeta {
             name: "votes",
@@ -352,6 +458,53 @@ mod tests {
                 "coord {i}: {} vs {fd}",
                 g[i]
             );
+        }
+    }
+
+    #[test]
+    fn stats_path_value_is_bitwise_and_gradient_matches() {
+        let data = VotesData::generate(12, 3);
+        let sweep = AdModel::new("v", VotesDensity::new(data.clone()));
+        let stats = VotesStats::new(&data);
+        for theta in [
+            [0.2, -0.8, -1.5, 0.1],
+            [0.0, -1.0, -2.0, 0.0],
+            [-0.4, -0.3, -1.8, 0.25],
+        ] {
+            // Same f64 operations in the same order → bit-identical.
+            let lp_sweep = sweep.ln_posterior(&theta);
+            let lp_stats = stats.ln_posterior_stats(&theta);
+            assert_eq!(lp_sweep.to_bits(), lp_stats.to_bits(), "at {theta:?}");
+            let mut g_sweep = vec![0.0; 4];
+            let mut g_stats = vec![0.0; 4];
+            sweep.ln_posterior_grad(&theta, &mut g_sweep);
+            let v = stats.ln_posterior_grad_stats(&theta, &mut g_stats);
+            assert_eq!(v.to_bits(), lp_sweep.to_bits(), "grad-path value");
+            for i in 0..4 {
+                assert!(
+                    (g_sweep[i] - g_stats[i]).abs() < 1e-9 * (1.0 + g_sweep[i].abs()),
+                    "coord {i} at {theta:?}: {} vs {}",
+                    g_sweep[i],
+                    g_stats[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_path_rejects_non_spd_like_the_sweep() {
+        // A huge amplitude with tiny noise drives the kernel outside
+        // the numerically-SPD region on both paths identically.
+        let data = VotesData::generate(12, 3);
+        let sweep = AdModel::new("v", VotesDensity::new(data.clone()));
+        let stats = VotesStats::new(&data);
+        let theta = [12.0, 18.0, -40.0, 0.0];
+        let lp_sweep = sweep.ln_posterior(&theta);
+        let lp_stats = stats.ln_posterior_stats(&theta);
+        assert_eq!(lp_sweep.is_finite(), lp_stats.is_finite());
+        if !lp_sweep.is_finite() {
+            assert_eq!(lp_sweep, f64::NEG_INFINITY);
+            assert_eq!(lp_stats, f64::NEG_INFINITY);
         }
     }
 

@@ -137,7 +137,7 @@ pub fn uniformity_p(counts: &[usize]) -> (f64, f64) {
 /// replicate produces fewer than `thin_to` posterior draws.
 pub fn run_sbc(case: &dyn SbcCase, cfg: &SbcConfig) -> SbcOutcome {
     assert!(
-        cfg.bins >= 2 && (cfg.thin_to + 1) % cfg.bins == 0,
+        cfg.bins >= 2 && (cfg.thin_to + 1).is_multiple_of(cfg.bins),
         "bins ({}) must divide thin_to + 1 ({})",
         cfg.bins,
         cfg.thin_to + 1

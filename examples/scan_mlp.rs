@@ -20,7 +20,7 @@ fn main() {
         for sig in &sigs {
             let iters = 200;
             let t1 = characterize(
-                &sig,
+                sig,
                 &sky,
                 &SimConfig {
                     cores: 1,
@@ -30,7 +30,7 @@ fn main() {
             )
             .time_s;
             let t4 = characterize(
-                &sig,
+                sig,
                 &sky,
                 &SimConfig {
                     cores: 4,

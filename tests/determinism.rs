@@ -390,6 +390,35 @@ fn checkpoint_resume_reproduces_the_uninterrupted_run_bitwise() {
 }
 
 #[test]
+fn stats_fast_path_workload_replays_bitwise_across_inner_threads() {
+    // A sufficient-statistics workload never touches the sharded sweep
+    // during sampling, so its NUTS run must be draw-for-draw identical
+    // at any inner-thread hint — and across repeated invocations.
+    let runs: Vec<_> = [1usize, 4, 1]
+        .iter()
+        .map(|&t| {
+            let w = bayes_suite::workloads::memory::workload(0.25, 3);
+            let cfg = RunConfig::new(120)
+                .with_chains(2)
+                .with_seed(9)
+                .with_inner_threads(t);
+            assert!(
+                w.model().fast_path(),
+                "memory must default to the fast path"
+            );
+            chain::run(&Nuts::default(), w.model(), &cfg)
+        })
+        .collect();
+    for (i, r) in runs.iter().enumerate().skip(1) {
+        assert_eq!(
+            draws_of(r),
+            draws_of(&runs[0]),
+            "run {i}: stats-path draws changed with the inner-thread hint"
+        );
+    }
+}
+
+#[test]
 fn adjacent_seeds_do_not_share_chain_streams() {
     // The old `seed + chain_id` scheme made (seed 0, chain 1) collide
     // with (seed 1, chain 0); derived streams must not.
