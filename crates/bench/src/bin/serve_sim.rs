@@ -1,0 +1,214 @@
+//! serve_sim: synthetic multi-tenant job mix on the inference server.
+//!
+//! Drives `bayes_serve::JobServer` with concurrent heterogeneous jobs
+//! — different workloads, priorities, and samplers — on a small core
+//! budget, so the run demonstrates the full serving lifecycle:
+//! predictor-driven admission and placement, priority preemption with
+//! a bit-exact pause/resume, and per-job event streaming.
+//!
+//! ```text
+//! serve_sim [--cores N] [--trace <path>]
+//! ```
+//!
+//! `--trace` writes the server's `job_*` lifecycle events as JSONL
+//! (`trace_report` prints them as a jobs section). The binary
+//! validates its own run — every job completes, the high-priority job
+//! preempted a low-priority one, and the preempted job resumed — and
+//! exits 1 otherwise, so CI can run it as a check.
+
+use bayes_bench::{banner, trace_recorder_from_args};
+use bayes_core::mcmc::ConvergenceDetector;
+use bayes_core::obs::{Event, MemoryRecorder, Recorder, RecorderHandle};
+use bayes_core::sched::predictor::MissSample;
+use bayes_core::sched::LlcMissPredictor;
+use bayes_serve::{JobOutcome, JobServer, JobSpec, SamplerKind, ServerConfig};
+use std::sync::Arc;
+
+/// Records into an in-memory buffer (for self-validation) and the
+/// `--trace` sink (for `trace_report`) at once.
+struct Tee {
+    memory: Arc<MemoryRecorder>,
+    file: RecorderHandle,
+}
+
+impl Recorder for Tee {
+    fn record(&self, event: &Event) {
+        self.memory.record(event);
+        self.file.record(event.clone());
+    }
+    fn flush(&self) {
+        self.file.flush();
+    }
+}
+
+/// A hand-built Figure-3-like training set: the LLC-bound trio plus
+/// the compute-bound cloud, enough for a sensible threshold.
+fn predictor() -> LlcMissPredictor {
+    let samples = [
+        (280_000, 6.7),
+        (480_000, 11.2),
+        (768_000, 18.7),
+        (384_000, 16.8),
+        (192_000, 12.4),
+        (240_000, 0.2),
+        (3_500, 0.1),
+        (48_000, 0.3),
+        (8_000, 0.05),
+        (140_000, 0.0),
+    ]
+    .map(|(data_bytes, mpki)| MissSample { data_bytes, mpki });
+    LlcMissPredictor::fit(&samples)
+}
+
+/// A detector whose threshold is unreachable: jobs run their full
+/// iteration budget, so the preemption window is deterministic, while
+/// the checkpoint schedule still provides pause boundaries every 20
+/// iterations.
+fn full_length_detector() -> ConvergenceDetector {
+    ConvergenceDetector::new()
+        .with_threshold(1.0 + 1e-12)
+        .with_check_every(20)
+        .with_min_iters(20)
+}
+
+fn main() {
+    let mut cores = 4usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--cores" => {
+                cores = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--cores requires a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--trace" => {
+                let _ = argv.next(); // consumed by trace_recorder_from_args
+            }
+            other => {
+                eprintln!("unknown argument '{other}'; expected --cores <n>, --trace <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    banner(
+        "Job server simulation",
+        "Concurrent heterogeneous jobs with predictor-driven placement and preemption.",
+    );
+
+    let memory = Arc::new(MemoryRecorder::new());
+    let trace = RecorderHandle::new(Arc::new(Tee {
+        memory: memory.clone(),
+        file: trace_recorder_from_args(),
+    }));
+    let server = JobServer::start(
+        ServerConfig::new(cores, predictor())
+            .with_llc_budget(8 * 1024 * 1024)
+            .with_trace(trace.clone()),
+    );
+
+    // The mix: two low-priority batch jobs that saturate the box, one
+    // non-preemptible MH job, then a high-priority job that must
+    // preempt a batch job to get on.
+    let batch_a = server.submit(
+        JobSpec::new("batch-12cities", "12cities")
+            .with_iters(240)
+            .with_priority(1)
+            .with_seed(11)
+            .with_detector(full_length_detector()),
+    );
+    let batch_b = server.submit(
+        JobSpec::new("batch-votes", "votes")
+            .with_iters(160)
+            .with_priority(1)
+            .with_seed(12)
+            .with_detector(full_length_detector()),
+    );
+    let mh = server.submit(
+        JobSpec::new("mh-butterfly", "butterfly")
+            .with_iters(400)
+            .with_priority(2)
+            .with_seed(13)
+            .with_sampler(SamplerKind::Mh)
+            .with_detector(full_length_detector()),
+    );
+    let urgent = server.submit(
+        JobSpec::new("urgent-ad", "ad")
+            .with_iters(120)
+            .with_priority(5)
+            .with_seed(14)
+            .with_detector(full_length_detector()),
+    );
+    let handles = [batch_a, batch_b, mh, urgent];
+
+    let mut ok = true;
+    let mut finished = Vec::new();
+    for handle in handles {
+        let job = handle.wait();
+        match &job.outcome {
+            JobOutcome::Completed(result) => {
+                println!(
+                    "job {} completed: {} iters, {} grad evals, {} preemption(s), degraded={}",
+                    job.id,
+                    result.iters_done,
+                    result.grad_evals,
+                    job.preemptions.len(),
+                    result.degraded
+                );
+                if result.degraded {
+                    eprintln!("FAIL: job {} degraded in a fault-free mix", job.id);
+                    ok = false;
+                }
+            }
+            JobOutcome::Failed(msg) => {
+                eprintln!("FAIL: job {} failed: {msg}", job.id);
+                ok = false;
+            }
+            JobOutcome::Rejected(msg) => {
+                eprintln!("FAIL: job {} rejected: {msg}", job.id);
+                ok = false;
+            }
+        }
+        finished.push(job);
+    }
+    server.join();
+    trace.flush();
+
+    // Self-validate the lifecycle against the server trace.
+    let events = memory.events();
+    let count = |pred: &dyn Fn(&Event) -> bool| events.iter().filter(|e| pred(e)).count();
+    let submitted = count(&|e| matches!(e, Event::JobSubmitted { .. }));
+    let placed = count(&|e| matches!(e, Event::JobPlaced { .. }));
+    let preempted = count(&|e| matches!(e, Event::JobPreempted { .. }));
+    let completed = count(&|e| matches!(e, Event::JobCompleted { .. }));
+    let resumed = count(&|e| {
+        matches!(
+            e,
+            Event::JobPlaced {
+                resumed_from: Some(_),
+                ..
+            }
+        )
+    });
+    println!(
+        "lifecycle: {submitted} submitted, {placed} placements, \
+         {preempted} preempted, {resumed} resumed, {completed} completed"
+    );
+    if submitted != 4 || completed != 4 {
+        eprintln!("FAIL: expected all 4 jobs to be admitted and completed");
+        ok = false;
+    }
+    if preempted == 0 || resumed == 0 {
+        eprintln!("FAIL: the high-priority job should have preempted a batch job");
+        ok = false;
+    }
+    if placed < submitted + preempted {
+        eprintln!("FAIL: every preemption must be followed by a resume placement");
+        ok = false;
+    }
+    if ok {
+        println!("PASS");
+    } else {
+        std::process::exit(1);
+    }
+}

@@ -32,19 +32,47 @@ fn time_grad(model: &dyn Model, theta: &[f64], grad: &mut [f64]) -> f64 {
 }
 
 fn main() {
-    let trace = bayes_bench::trace_recorder_from_args();
+    let args = bayes_bench::CommonArgs::parse();
+    let trace = args.recorder();
     bayes_bench::banner(
         "Inner-thread scaling of the sharded likelihood",
         "Wall-clock per gradient at 1/2/4 inner threads, full-scale models; identical \
          gradients required at every thread count. Times are machine-dependent — the \
          speedup columns are the stable quantity.",
     );
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("host parallelism: {cores} (speedups need >1 core; bitwise holds regardless)\n");
-    println!(
-        "{:<10} | {:>9} | {:>10} {:>10} {:>10} | {:>6} {:>6} | {:>9}",
-        "name", "grad s", "t=1", "t=2", "t=4", "x2", "x4", "bitwise"
-    );
+    // The allotment, not bare available_parallelism: under a scheduler
+    // this process owns only its `--cores` grant, and timing thread
+    // counts beyond it would report contention, not scaling.
+    let cores = args.core_allotment();
+    match args.cores {
+        Some(_) => println!("core allotment: {cores} (from --cores)\n"),
+        None => println!(
+            "host parallelism: {cores} (sole-tenancy fallback; pass --cores under a scheduler)\n"
+        ),
+    }
+    // Under an explicit grant the sweep stops at the allotment; the
+    // sole-tenancy fallback keeps the full 1/2/4 sweep even on small
+    // hosts (oversubscribed timings are noisy but the bitwise check —
+    // the layer's actual contract — holds at any thread count).
+    let threads: Vec<usize> = match args.cores {
+        Some(grant) => THREADS
+            .iter()
+            .copied()
+            .filter(|&t| t <= grant.max(1))
+            .collect(),
+        None => THREADS.to_vec(),
+    };
+    let threads = if threads.is_empty() { vec![1] } else { threads };
+    let mut header = format!("{:<10} | {:>9} |", "name", "grad s");
+    for &t in &threads {
+        header.push_str(&format!(" {:>10}", format!("t={t}")));
+    }
+    header.push_str(" |");
+    for &t in &threads[1..] {
+        header.push_str(&format!(" {:>6}", format!("x{t}")));
+    }
+    header.push_str(&format!(" | {:>9}", "bitwise"));
+    println!("{header}");
     for name in registry::workload_names() {
         let w = registry::workload(name, 1.0, 42).expect("registry name");
         w.attach_recorder(&trace);
@@ -57,9 +85,9 @@ fn main() {
         let mut reference = vec![0.0; dim];
         let serial_s = time_grad(model, &theta, &mut reference);
 
-        let mut times = Vec::with_capacity(THREADS.len());
+        let mut times = Vec::with_capacity(threads.len());
         let mut bitwise = true;
-        for &t in &THREADS {
+        for &t in &threads {
             model.set_inner_threads(t);
             let mut grad = vec![0.0; dim];
             times.push(time_grad(model, &theta, &mut grad));
@@ -70,17 +98,16 @@ fn main() {
                 .zip(&reference)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
         }
-        println!(
-            "{:<10} | {:>9.2e} | {:>10.2e} {:>10.2e} {:>10.2e} | {:>6.2} {:>6.2} | {:>9}",
-            name,
-            serial_s,
-            times[0],
-            times[1],
-            times[2],
-            serial_s / times[1],
-            serial_s / times[2],
-            if bitwise { "ok" } else { "FAIL" }
-        );
+        let mut row = format!("{:<10} | {:>9.2e} |", name, serial_s);
+        for &t in &times {
+            row.push_str(&format!(" {:>10.2e}", t));
+        }
+        row.push_str(" |");
+        for &t in &times[1..] {
+            row.push_str(&format!(" {:>6.2}", serial_s / t));
+        }
+        row.push_str(&format!(" | {:>9}", if bitwise { "ok" } else { "FAIL" }));
+        println!("{row}");
         model.set_inner_threads(1);
         // One shard-sweep aggregate event per workload in the trace.
         w.flush_telemetry();

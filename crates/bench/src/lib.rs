@@ -23,6 +23,11 @@ pub struct CommonArgs {
     /// `--inner-threads <n>`: explicit within-chain worker override
     /// (takes precedence over the `BAYES_INNER_THREADS` env variable).
     pub inner_threads: Option<usize>,
+    /// `--cores <n>`: the core allotment granted to this process by an
+    /// outer scheduler. Binaries that size work from host parallelism
+    /// must prefer this over `available_parallelism`, which assumes
+    /// sole tenancy of the machine.
+    pub cores: Option<usize>,
     rest: Vec<String>,
 }
 
@@ -45,6 +50,14 @@ impl CommonArgs {
                         .parse()
                         .map_err(|_| format!("--inner-threads: bad count {n:?}"))?;
                     out.inner_threads = Some(n);
+                }
+                "--cores" => {
+                    let n = it.next().ok_or("--cores requires a count")?;
+                    let n: usize = n.parse().map_err(|_| format!("--cores: bad count {n:?}"))?;
+                    if n == 0 {
+                        return Err("--cores: allotment must be at least 1".into());
+                    }
+                    out.cores = Some(n);
                 }
                 _ => out.rest.push(arg.clone()),
             }
@@ -88,7 +101,19 @@ impl CommonArgs {
         if let Some(n) = self.inner_threads {
             cfg = cfg.with_inner_threads(n);
         }
+        if let Some(n) = self.cores {
+            cfg = cfg.with_core_allotment(n);
+        }
         cfg
+    }
+
+    /// The core allotment for this process: the explicit `--cores`
+    /// grant when present, else the host's full parallelism — the
+    /// sole-tenancy fallback for binaries run outside a scheduler.
+    pub fn core_allotment(&self) -> usize {
+        self.cores
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
     }
 }
 

@@ -98,6 +98,47 @@ pub struct DegradedRow {
     pub faults: u64,
 }
 
+/// Lifecycle of one job server job, folded from its `job_*` events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobRow {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Client-supplied job name.
+    pub name: String,
+    /// Workload the job sampled.
+    pub workload: String,
+    /// Scheduling priority.
+    pub priority: u64,
+    /// Placements observed (`job_placed` events; first start plus any
+    /// post-preemption resumes).
+    pub placements: u64,
+    /// Preemptions survived (`job_preempted` events).
+    pub preemptions: u64,
+    /// Cores of the most recent placement.
+    pub cores: u64,
+    /// Whether the predictor classified the job LLC-bound.
+    pub llc_bound: bool,
+    /// Predicted LLC MPKI at the job's working set.
+    pub predicted_mpki: f64,
+    /// Terminal `job_completed` summary, when the job finished.
+    pub completed: Option<JobEndRow>,
+}
+
+/// The `job_completed` summary of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEndRow {
+    /// Stop decision of the convergence monitor, if any.
+    pub stopped_at: Option<u64>,
+    /// Iterations executed per chain.
+    pub iters_done: u64,
+    /// Whether the job finished under a degraded quorum (or failed).
+    pub degraded: bool,
+    /// Faults across all of the job's placements.
+    pub faults: u64,
+    /// Gradient evaluations across surviving chains.
+    pub grad_evals: u64,
+}
+
 /// One simulated counter snapshot (Figure 1/2, Table 2 provenance).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CounterRow {
@@ -238,6 +279,8 @@ pub struct TraceReport {
     pub counters: Vec<CounterRow>,
     /// Platform description rows seen.
     pub platforms: Vec<String>,
+    /// Job server lifecycles, in first-submission order.
+    pub jobs: Vec<JobRow>,
 }
 
 impl TraceReport {
@@ -274,6 +317,19 @@ impl TraceReport {
             });
         }
         self.runs.last_mut().expect("non-empty")
+    }
+
+    /// The lifecycle row for `job`, creating one when its first event
+    /// arrives (a trace may start mid-lifecycle).
+    fn job(&mut self, job: u64) -> &mut JobRow {
+        if let Some(i) = self.jobs.iter().position(|j| j.job == job) {
+            return &mut self.jobs[i];
+        }
+        self.jobs.push(JobRow {
+            job,
+            ..JobRow::default()
+        });
+        self.jobs.last_mut().expect("non-empty")
     }
 
     fn ingest(&mut self, ev: Event) {
@@ -416,6 +472,48 @@ impl TraceReport {
                     survivors,
                     lost,
                     faults,
+                })
+            }
+            Event::JobSubmitted {
+                job,
+                name,
+                workload,
+                priority,
+                ..
+            } => {
+                let row = self.job(job);
+                row.name = name;
+                row.workload = workload;
+                row.priority = priority;
+            }
+            Event::JobPlaced {
+                job,
+                cores,
+                llc_bound,
+                predicted_mpki,
+                ..
+            } => {
+                let row = self.job(job);
+                row.placements += 1;
+                row.cores = cores;
+                row.llc_bound = llc_bound;
+                row.predicted_mpki = predicted_mpki;
+            }
+            Event::JobPreempted { job, .. } => self.job(job).preemptions += 1,
+            Event::JobCompleted {
+                job,
+                stopped_at,
+                iters_done,
+                degraded,
+                faults,
+                grad_evals,
+            } => {
+                self.job(job).completed = Some(JobEndRow {
+                    stopped_at,
+                    iters_done,
+                    degraded,
+                    faults,
+                    grad_evals,
                 })
             }
         }
@@ -567,6 +665,26 @@ impl TraceReport {
             push(&mut rows, "bandwidth_gbs", c.bandwidth_gbs.to_string());
             push(&mut rows, "time_s", c.time_s.to_string());
             push(&mut rows, "energy_j", c.energy_j.to_string());
+        }
+        for j in &self.jobs {
+            let name = format!("job{}", j.job);
+            let push = |rows: &mut Vec<CsvRow>, field: &str, value: String| {
+                push_row(rows, "jobs", &j.workload, &name, field, value);
+            };
+            push(&mut rows, "priority", j.priority.to_string());
+            push(&mut rows, "placements", j.placements.to_string());
+            push(&mut rows, "preemptions", j.preemptions.to_string());
+            push(&mut rows, "cores", j.cores.to_string());
+            push(&mut rows, "llc_bound", j.llc_bound.to_string());
+            push(&mut rows, "predicted_mpki", j.predicted_mpki.to_string());
+            if let Some(end) = &j.completed {
+                let at = end.stopped_at.map_or("none".to_string(), |t| t.to_string());
+                push(&mut rows, "stopped_at", at);
+                push(&mut rows, "iters_done", end.iters_done.to_string());
+                push(&mut rows, "degraded", end.degraded.to_string());
+                push(&mut rows, "faults", end.faults.to_string());
+                push(&mut rows, "grad_evals", end.grad_evals.to_string());
+            }
         }
         rows
     }
@@ -774,6 +892,49 @@ impl fmt::Display for TraceReport {
                 )?;
             }
         }
+        if !self.jobs.is_empty() {
+            writeln!(f, "\n--- jobs ---")?;
+            writeln!(
+                f,
+                "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>9}",
+                "job",
+                "name",
+                "workload",
+                "prio",
+                "places",
+                "preempt",
+                "cores",
+                "bound",
+                "iters",
+                "grad_evals",
+                "outcome"
+            )?;
+            for j in &self.jobs {
+                let (iters, grads, outcome) = match &j.completed {
+                    Some(end) => (
+                        end.iters_done.to_string(),
+                        end.grad_evals.to_string(),
+                        if end.degraded { "degraded" } else { "ok" },
+                    ),
+                    None => ("-".to_string(), "-".to_string(), "running"),
+                };
+                writeln!(
+                    f,
+                    "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>9}",
+                    j.job,
+                    j.name,
+                    j.workload,
+                    j.priority,
+                    j.placements,
+                    j.preemptions,
+                    j.cores,
+                    if j.llc_bound { "llc" } else { "cache" },
+                    iters,
+                    grads,
+                    outcome
+                )?;
+            }
+        }
         if !self.counters.is_empty() {
             writeln!(f, "\n--- simulated counters ---")?;
             writeln!(
@@ -894,7 +1055,7 @@ mod tests {
     #[test]
     fn aggregates_one_run() {
         let r = TraceReport::parse(&sample_trace()).unwrap();
-        assert_eq!(r.schema.as_deref(), Some("1.0"));
+        assert_eq!(r.schema.as_deref(), Some("1.1"));
         assert_eq!(r.skipped, 0);
         assert_eq!(r.runs.len(), 1);
         let s = &r.runs[0];
@@ -918,6 +1079,99 @@ mod tests {
         assert_eq!(phases[0].total_ns, 7_000);
         assert!((phases[0].share - 7000.0 / 7500.0).abs() < 1e-12);
         assert_eq!(s.dominant_phase().unwrap().phase, "gradient_eval");
+    }
+
+    #[test]
+    fn folds_job_lifecycles() {
+        let events = vec![
+            Event::trace_header(),
+            Event::JobSubmitted {
+                job: 1,
+                name: "batch-lo".to_string(),
+                workload: "12cities".to_string(),
+                priority: 1,
+                chains: 2,
+                iters: 100,
+                seed: 7,
+                data_bytes: 4096,
+            },
+            Event::JobPlaced {
+                job: 1,
+                cores: 4,
+                inner_threads: 2,
+                llc_bound: false,
+                predicted_mpki: 0.25,
+                resumed_from: None,
+            },
+            Event::JobSubmitted {
+                job: 2,
+                name: "urgent".to_string(),
+                workload: "ad".to_string(),
+                priority: 5,
+                chains: 2,
+                iters: 50,
+                seed: 9,
+                data_bytes: 1 << 20,
+            },
+            Event::JobPreempted {
+                job: 1,
+                at_iter: 40,
+                by: 2,
+                checkpoint: "/tmp/job-1.ckpt".to_string(),
+            },
+            Event::JobPlaced {
+                job: 2,
+                cores: 4,
+                inner_threads: 2,
+                llc_bound: true,
+                predicted_mpki: 6.5,
+                resumed_from: None,
+            },
+            Event::JobCompleted {
+                job: 2,
+                stopped_at: Some(40),
+                iters_done: 40,
+                degraded: false,
+                faults: 0,
+                grad_evals: 900,
+            },
+            Event::JobPlaced {
+                job: 1,
+                cores: 4,
+                inner_threads: 2,
+                llc_bound: false,
+                predicted_mpki: 0.25,
+                resumed_from: Some(40),
+            },
+            Event::JobCompleted {
+                job: 1,
+                stopped_at: None,
+                iters_done: 100,
+                degraded: false,
+                faults: 0,
+                grad_evals: 2100,
+            },
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let r = TraceReport::parse(&text).unwrap();
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.jobs.len(), 2);
+        let preempted = &r.jobs[0];
+        assert_eq!(preempted.job, 1);
+        assert_eq!(preempted.name, "batch-lo");
+        assert_eq!(preempted.placements, 2);
+        assert_eq!(preempted.preemptions, 1);
+        assert_eq!(preempted.completed.as_ref().unwrap().iters_done, 100);
+        let urgent = &r.jobs[1];
+        assert_eq!(urgent.preemptions, 0);
+        assert!(urgent.llc_bound);
+        assert_eq!(urgent.completed.as_ref().unwrap().stopped_at, Some(40));
+        // The jobs section survives both renderings.
+        assert!(r.to_string().contains("--- jobs ---"));
+        let rows = parse_csv(&r.to_csv()).unwrap();
+        assert!(rows
+            .iter()
+            .any(|row| row.section == "jobs" && row.name == "job1" && row.field == "preemptions"));
     }
 
     #[test]

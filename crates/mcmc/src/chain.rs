@@ -52,6 +52,9 @@ pub enum ConfigError {
     /// Checkpointing or resume was requested of a sampler that does
     /// not implement resumable checkpoints.
     ResumeUnsupported,
+    /// A pause control was attached without a checkpoint path; a pause
+    /// can only be honoured by serializing a resume point.
+    PauseWithoutCheckpoint,
     /// A checkpoint file failed to load or parse.
     CheckpointInvalid(String),
     /// A checkpoint was taken under a different model, seed, or
@@ -74,6 +77,9 @@ impl std::fmt::Display for ConfigError {
             }
             Self::ResumeUnsupported => {
                 write!(f, "sampler does not support checkpoint/resume")
+            }
+            Self::PauseWithoutCheckpoint => {
+                write!(f, "pause control requires a checkpoint path")
             }
             Self::CheckpointInvalid(msg) => write!(f, "invalid checkpoint: {msg}"),
             Self::CheckpointMismatch(msg) => {
@@ -111,6 +117,16 @@ pub struct RunConfig {
     /// `BAYES_FASTPATH` environment variable, then to on. Models
     /// without a fast path ignore the setting either way.
     pub fast_path: Option<bool>,
+    /// Cores granted to this run by an external placement (the job
+    /// server, or `--cores` on a bench bin); `None` means the run may
+    /// assume sole tenancy of the machine. When set and no explicit
+    /// inner-thread count is pinned, the run derives
+    /// `allotment / chains` shard workers per chain — the same split
+    /// `bayes_sched::core_split` chooses for that many cores — instead
+    /// of deferring to `BAYES_INNER_THREADS`, so a granted job never
+    /// oversubscribes its slice of the box. Draws are bit-identical
+    /// for every allotment.
+    pub core_allotment: Option<usize>,
     /// Observability sink for this run. Defaults to the disabled null
     /// handle, which costs one branch per would-be event; recording
     /// never perturbs draws (no RNG use in any recording path).
@@ -138,6 +154,7 @@ impl RunConfig {
             parallelism: Parallelism::Sequential,
             inner_threads: None,
             fast_path: None,
+            core_allotment: None,
             recorder: RecorderHandle::null(),
             profiler: ProfilerHandle::null(),
             chain_index: 0,
@@ -183,6 +200,13 @@ impl RunConfig {
         self
     }
 
+    /// Records the core allotment granted to this run by an external
+    /// placement. Clamped to at least one core.
+    pub fn with_core_allotment(mut self, cores: usize) -> Self {
+        self.core_allotment = Some(cores.max(1));
+        self
+    }
+
     /// Attaches an event recorder (see `bayes_obs`). The runtime emits
     /// run/iteration/checkpoint events into it; with the default null
     /// handle every emission site reduces to one branch.
@@ -210,11 +234,17 @@ impl RunConfig {
     }
 
     /// Resolves the inner-thread count: an explicit
-    /// [`RunConfig::with_inner_threads`] wins, then the
-    /// `BAYES_INNER_THREADS` environment variable, then 1 (serial
-    /// gradient sweep).
+    /// [`RunConfig::with_inner_threads`] wins, then a granted
+    /// [`RunConfig::with_core_allotment`] (which derives
+    /// `allotment / chains` workers so the run stays inside its
+    /// grant), then the `BAYES_INNER_THREADS` environment variable,
+    /// then 1 (serial gradient sweep).
     pub fn effective_inner_threads(&self) -> usize {
         self.inner_threads
+            .or_else(|| {
+                self.core_allotment
+                    .map(|cores| (cores / self.chains.max(1)).max(1))
+            })
             .or_else(|| {
                 std::env::var("BAYES_INNER_THREADS")
                     .ok()
@@ -724,6 +754,26 @@ mod tests {
                 .effective_inner_threads(),
             1
         );
+    }
+
+    #[test]
+    fn core_allotment_derives_inner_threads_below_explicit_pin() {
+        // A granted allotment splits into allotment / chains workers.
+        let granted = RunConfig::new(10).with_chains(4).with_core_allotment(8);
+        assert_eq!(granted.effective_inner_threads(), 2);
+        // Sub-chain grants clamp to one worker, never zero.
+        let tight = RunConfig::new(10).with_chains(4).with_core_allotment(2);
+        assert_eq!(tight.effective_inner_threads(), 1);
+        assert_eq!(
+            RunConfig::new(10).with_core_allotment(0).core_allotment,
+            Some(1)
+        );
+        // An explicit pin still beats the allotment.
+        let pinned = RunConfig::new(10)
+            .with_chains(4)
+            .with_core_allotment(8)
+            .with_inner_threads(5);
+        assert_eq!(pinned.effective_inner_threads(), 5);
     }
 
     #[test]

@@ -77,6 +77,6 @@ pub use par::WorkerPool;
 pub use runtime::{run_until_converged, ElidedRun, StoppableSampler};
 pub use stream::{Purpose, StreamKey};
 pub use supervisor::{
-    ChainFault, FaultInjector, FaultKind, InjectedFault, ReseedPolicy, ResumableSampler,
-    RetryPolicy, RunError, RunReport, Runtime, SupervisorConfig,
+    ChainFault, FaultInjector, FaultKind, InjectedFault, PauseControl, ReseedPolicy,
+    ResumableSampler, RetryPolicy, RunError, RunReport, Runtime, SupervisorConfig,
 };

@@ -49,13 +49,23 @@ pub enum Purpose {
     /// boundary, which makes resume-from-checkpoint bit-identical by
     /// construction without serializing raw generator state.
     Segment,
+    /// Ground-truth reference runs (the DSE's 2×-iteration KL
+    /// baseline), kept off every other stream so truth never shares
+    /// randomness with the runs it scores.
+    GroundTruth,
+    /// A design-space-exploration quality run at `n` chains. The chain
+    /// count is part of the purpose so studies at different chain
+    /// counts never share a stream — the old `seed + 10 + chains`
+    /// scheme collided across `(seed, chains)` pairs (`seed=1,
+    /// chains=2` and `seed=2, chains=1` were the same stream).
+    Study(u32),
 }
 
 impl Purpose {
     /// Stable 64-bit code absorbed into the stream hash. The unit
     /// purposes keep their historical discriminants (1–6) so every
-    /// pre-existing stream is unchanged; `Retry(n)` occupies a disjoint
-    /// range above 2^32.
+    /// pre-existing stream is unchanged; `Retry(n)` and `Study(n)`
+    /// occupy disjoint ranges above 2^32.
     pub fn code(self) -> u64 {
         match self {
             Self::Sample => 1,
@@ -65,7 +75,9 @@ impl Purpose {
             Self::Bench => 5,
             Self::Test => 6,
             Self::Segment => 7,
+            Self::GroundTruth => 8,
             Self::Retry(attempt) => (1u64 << 32) | attempt as u64,
+            Self::Study(chains) => (2u64 << 32) | chains as u64,
         }
     }
 }
@@ -172,9 +184,13 @@ mod tests {
                     Purpose::Bench,
                     Purpose::Test,
                     Purpose::Segment,
+                    Purpose::GroundTruth,
                     Purpose::Retry(0),
                     Purpose::Retry(1),
                     Purpose::Retry(2),
+                    Purpose::Study(1),
+                    Purpose::Study(2),
+                    Purpose::Study(4),
                 ] {
                     let s = StreamKey::new(seed).chain(chain).purpose(purpose).derive();
                     assert!(seen.insert(s), "collision at {seed}/{chain}/{purpose:?}");
@@ -194,10 +210,32 @@ mod tests {
         assert_eq!(Purpose::Bench.code(), 5);
         assert_eq!(Purpose::Test.code(), 6);
         assert_eq!(Purpose::Segment.code(), 7);
+        assert_eq!(Purpose::GroundTruth.code(), 8);
         // Retry codes live above 2^32, disjoint from any unit code.
         assert_eq!(Purpose::Retry(0).code(), 1u64 << 32);
         assert_ne!(Purpose::Retry(0).code(), Purpose::Retry(1).code());
         assert!(Purpose::Retry(u32::MAX).code() > Purpose::Segment.code());
+        // Study codes live above 2^33, disjoint from Retry codes.
+        assert_eq!(Purpose::Study(0).code(), 2u64 << 32);
+        assert!(Purpose::Study(0).code() > Purpose::Retry(u32::MAX).code());
+        assert_ne!(Purpose::Study(1).code(), Purpose::Study(2).code());
+    }
+
+    #[test]
+    fn study_streams_never_collide_across_seed_chain_pairs() {
+        // The old scheme seeded quality runs at `seed + 10 + chains`,
+        // so (seed=1, chains=2) and (seed=2, chains=1) shared a
+        // stream. Derived study keys cannot.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for seed in 0..64u64 {
+            for chains in 1..=8u32 {
+                let s = StreamKey::new(seed)
+                    .purpose(Purpose::Study(chains))
+                    .derive();
+                assert!(seen.insert(s), "collision at seed={seed} chains={chains}");
+            }
+        }
     }
 
     #[test]

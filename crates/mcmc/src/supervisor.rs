@@ -27,6 +27,13 @@
 //!   run on segmented RNG streams (see [`crate::checkpoint`]) and the
 //!   supervisor serializes a [`RunCheckpoint`] at detector checkpoint
 //!   boundaries; [`Runtime::resume`] continues bit-identically.
+//! * **Preemption pause** — an external controller (the job server in
+//!   `bayes_serve`) can ask a checkpointing run to pause
+//!   ([`PauseControl`]); the run parks its chains at the next common
+//!   checkpoint boundary, serializes the [`RunCheckpoint`] there, and
+//!   returns early with [`RunReport::paused_at`] set. Parked time is
+//!   excluded from the stall watchdog, and a later [`Runtime::resume`]
+//!   replays the identical draws on any core allotment.
 //! * **Graceful degradation** — once retries are exhausted the run
 //!   completes with the surviving chains and a degraded
 //!   [`RunReport`]; convergence is only declared while at least
@@ -51,9 +58,75 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Cooperative pause shared between a supervised run and an external
+/// controller (the job server's preemption path, `bayes_serve`).
+///
+/// The controller calls [`PauseControl::request`]; the run's monitor
+/// picks the first remaining checkpoint boundary every chain can still
+/// reach, lets chains run exactly to it (a chain already at the
+/// boundary parks, releasing its core's work, while stragglers catch
+/// up), serializes a [`RunCheckpoint`] there, and returns early with
+/// [`RunReport::paused_at`] set. Parked time is excluded from the
+/// stall watchdog's progress clock. Because the boundary is an RNG
+/// segment boundary, a later [`Runtime::resume`] replays the identical
+/// draws — on any core allotment or inner-thread count.
+///
+/// A pause is abandoned (the run simply completes) when no boundary
+/// remains, the checkpoint write fails, or a chain faults before
+/// reaching the boundary; [`PauseControl::is_paused`] stays false.
+#[derive(Debug, Default)]
+pub struct PauseControl {
+    requested: AtomicBool,
+    /// Iteration chains may run up to before parking: 0 until the
+    /// monitor publishes the pause boundary (chains freeze at their
+    /// next draw), then the boundary itself, or `usize::MAX` once the
+    /// pause is abandoned and chains must run free.
+    limit: AtomicUsize,
+    paused: AtomicBool,
+}
+
+impl PauseControl {
+    /// A fresh control, shareable between controller and run.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Asks the run to pause at the next common checkpoint boundary.
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::Release);
+    }
+
+    /// True once a pause has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.requested.load(Ordering::Acquire)
+    }
+
+    /// True once the run has committed the pause checkpoint; the run
+    /// is returning with [`RunReport::paused_at`] set.
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Acquire)
+    }
+
+    fn limit(&self) -> usize {
+        self.limit.load(Ordering::Acquire)
+    }
+
+    fn set_limit(&self, t: usize) {
+        self.limit.store(t, Ordering::Release);
+    }
+
+    fn release(&self) {
+        self.limit.store(usize::MAX, Ordering::Release);
+    }
+
+    fn mark_paused(&self) {
+        self.paused.store(true, Ordering::Release);
+    }
+}
 
 /// Classification of a chain failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +308,10 @@ pub struct SupervisorConfig {
     pub checkpoint_path: Option<PathBuf>,
     /// Deterministic fault injector, for tests and smoke runs.
     pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Cooperative pause shared with an external controller. Requires
+    /// [`SupervisorConfig::checkpoint_path`]; a pause commits only in
+    /// rounds that write checkpoints (retry rounds ignore it).
+    pub pause: Option<Arc<PauseControl>>,
 }
 
 impl std::fmt::Debug for SupervisorConfig {
@@ -246,6 +323,7 @@ impl std::fmt::Debug for SupervisorConfig {
             .field("min_quorum", &self.min_quorum)
             .field("checkpoint_path", &self.checkpoint_path)
             .field("injector", &self.injector.is_some())
+            .field("pause", &self.pause.is_some())
             .finish()
     }
 }
@@ -295,6 +373,14 @@ impl SupervisorConfig {
         self.injector = Some(injector);
         self
     }
+
+    /// Attaches a cooperative pause control (preemption support).
+    /// Requires a checkpoint path; [`Runtime::run`] rejects the config
+    /// otherwise.
+    pub fn with_pause(mut self, pause: Arc<PauseControl>) -> Self {
+        self.pause = Some(pause);
+        self
+    }
 }
 
 // `new()` must start from quorum 2, but `derive(Default)` would give
@@ -308,6 +394,11 @@ pub struct RunReport {
     pub run: MultiChainRun,
     /// Iteration at which convergence stopped the run, if it did.
     pub stopped_at: Option<usize>,
+    /// Boundary at which a requested pause committed its checkpoint.
+    /// The chains in [`RunReport::run`] are truncated to it, and the
+    /// run continues bit-identically via [`Runtime::resume`] from
+    /// [`SupervisorConfig::checkpoint_path`].
+    pub paused_at: Option<usize>,
     /// Iterations configured by the user.
     pub configured_iters: usize,
     /// Every fault observed, in resolution order.
@@ -408,6 +499,10 @@ struct RoundResult {
     outcomes: Vec<Result<ChainOutput, FaultInfo>>,
     /// Stop decision the round's monitor made, if any.
     decided: Option<usize>,
+    /// A committed pause: the boundary and the chain states the pause
+    /// checkpoint was written from (authoritative over `outcomes`,
+    /// which may include post-boundary overrun or moot faults).
+    paused: Option<(usize, Vec<ChainCheckpoint>)>,
 }
 
 /// The fault-tolerant counterpart of
@@ -583,6 +678,9 @@ impl Runtime {
         if checkpointing && !sampler.supports_resume() {
             return Err(ConfigError::ResumeUnsupported.into());
         }
+        if self.sup.pause.is_some() && self.sup.checkpoint_path.is_none() {
+            return Err(ConfigError::PauseWithoutCheckpoint.into());
+        }
         // The detector checkpoint schedule doubles as the RNG segment
         // schedule, so checkpointed and resumed runs agree on where
         // every stream is re-derived.
@@ -649,6 +747,7 @@ impl Runtime {
         let mut lost: BTreeSet<usize> = BTreeSet::new();
         let mut faults: Vec<ChainFault> = Vec::new();
         let mut decided: Option<usize> = None;
+        let mut paused_at: Option<usize> = None;
 
         while !pending.is_empty() {
             let all_pending = completed.is_empty() && pending.len() == cfg.chains;
@@ -666,6 +765,42 @@ impl Runtime {
             )?;
             if decided.is_none() {
                 decided = round.decided;
+            }
+            if let Some((t, states)) = round.paused {
+                // A committed pause: every chain reached boundary `t`
+                // and the checkpoint is on disk. The checkpoint's
+                // chain states are authoritative — a chain may have
+                // overrun the boundary (or even faulted past it)
+                // between the write and its cancellation, and all of
+                // that is discarded territory a resume replays.
+                for cs in states {
+                    let grad: u64 = cs.evals_per_iter.iter().map(|&e| u64::from(e)).sum();
+                    let sampling = t.saturating_sub(cfg.warmup).max(1) as f64;
+                    completed.insert(
+                        cs.chain,
+                        ChainOutput {
+                            draws: cs.draws,
+                            warmup: cfg.warmup,
+                            accept_mean: cs.sampler.accept_sum / sampling,
+                            grad_evals: grad,
+                            divergences: cs.sampler.divergences,
+                            evals_per_iter: cs.evals_per_iter,
+                        },
+                    );
+                }
+                for (p, outcome) in pending.iter().zip(round.outcomes) {
+                    if let Err((kind, iter, message)) = outcome {
+                        faults.push(ChainFault {
+                            chain: p.chain,
+                            attempt: p.attempt,
+                            kind,
+                            iter,
+                            message,
+                        });
+                    }
+                }
+                paused_at = Some(t);
+                break;
             }
 
             let mut next: Vec<Attempt> = Vec::new();
@@ -834,6 +969,7 @@ impl Runtime {
                 dim: model.dim(),
             },
             stopped_at: decided,
+            paused_at,
             configured_iters: cfg.iters,
             faults,
             degraded,
@@ -874,6 +1010,14 @@ impl Runtime {
         let snapshots: Vec<Mutex<BTreeMap<usize, SamplerCheckpoint>>> =
             (0..n).map(|_| Mutex::new(BTreeMap::new())).collect();
         let round_stopped: Mutex<Option<usize>> = Mutex::new(None);
+        // A pause can only commit in a round that writes checkpoints;
+        // retry rounds run with the control inert (no chain parks).
+        let pause: Option<Arc<PauseControl>> = if write_checkpoints {
+            self.sup.pause.clone()
+        } else {
+            None
+        };
+        let round_paused: Mutex<Option<(usize, Vec<ChainCheckpoint>)>> = Mutex::new(None);
         let done = AtomicBool::new(false);
         let wake_mx = Mutex::new(());
         let wake_cv = Condvar::new();
@@ -893,6 +1037,8 @@ impl Runtime {
                     let buffers = &buffers;
                     let snapshots = &snapshots;
                     let round_stopped = &round_stopped;
+                    let round_paused = &round_paused;
+                    let pause = pause.clone();
                     let done = &done;
                     let wake_mx = &wake_mx;
                     let wake_cv = &wake_cv;
@@ -910,7 +1056,57 @@ impl Runtime {
                             .iter()
                             .map(|b| (b.lock().len(), Instant::now()))
                             .collect();
+                        // Boundary a requested pause will commit at,
+                        // once published; `pause_dead` marks a pause
+                        // abandoned for the rest of the round.
+                        let mut pause_target: Option<usize> = None;
+                        let mut pause_dead = false;
                         loop {
+                            if let Some(pc) = pause.as_deref() {
+                                if !pause_dead && pause_target.is_none() && pc.is_requested() {
+                                    // Publish the first remaining
+                                    // boundary every chain can still
+                                    // reach; chains freeze at their
+                                    // next draw until it lands, then
+                                    // run exactly to it.
+                                    let max_len =
+                                        buffers.iter().map(|b| b.lock().len()).max().unwrap_or(0);
+                                    let floor = pending_ck.unwrap_or(usize::MAX);
+                                    match segments
+                                        .iter()
+                                        .copied()
+                                        .find(|&b| b >= max_len && b >= floor)
+                                    {
+                                        Some(t) => {
+                                            pause_target = Some(t);
+                                            pc.set_limit(t);
+                                        }
+                                        None => {
+                                            // Past the last boundary:
+                                            // let the run finish.
+                                            pause_dead = true;
+                                            pc.release();
+                                        }
+                                    }
+                                }
+                                if let Some(t) = pause_target {
+                                    // A chain that ended below the
+                                    // boundary can never deliver its
+                                    // snapshot; abandon the pause so
+                                    // parked chains don't wait on it
+                                    // forever.
+                                    let unreachable = (0..n).any(|i| {
+                                        (chain_done[i].load(Ordering::Acquire)
+                                            || cancels[i].load(Ordering::Acquire))
+                                            && buffers[i].lock().len() < t
+                                    });
+                                    if unreachable {
+                                        pause_target = None;
+                                        pause_dead = true;
+                                        pc.release();
+                                    }
+                                }
+                            }
                             if let Some(t) = pending_ck {
                                 if progress() >= t {
                                     if monitoring {
@@ -962,6 +1158,7 @@ impl Runtime {
                                             let have_all =
                                                 snapshots.iter().all(|s| s.lock().contains_key(&t));
                                             if have_all {
+                                                let ck_started = Instant::now();
                                                 let chain_states: Vec<ChainCheckpoint> = pending
                                                     .iter()
                                                     .enumerate()
@@ -1005,7 +1202,8 @@ impl Runtime {
                                                 // Best-effort: an unwritable
                                                 // checkpoint must not kill a
                                                 // healthy run.
-                                                if ck.save(path).is_ok() && cfg.recorder.enabled() {
+                                                let saved = ck.save(path).is_ok();
+                                                if saved && cfg.recorder.enabled() {
                                                     cfg.recorder.record(Event::CheckpointSaved {
                                                         path: path.display().to_string(),
                                                         iter: t as u64,
@@ -1014,6 +1212,38 @@ impl Runtime {
                                                 }
                                                 for s in snapshots {
                                                     s.lock().retain(|&k, _| k > t);
+                                                }
+                                                // A chain blocked on its
+                                                // buffer lock while the
+                                                // assembly cloned it must
+                                                // not see that time on its
+                                                // progress clock.
+                                                let spent = ck_started.elapsed();
+                                                for hb in heartbeats.iter_mut() {
+                                                    hb.1 += spent;
+                                                }
+                                                if pause_target == Some(t) {
+                                                    if saved {
+                                                        *round_paused.lock() =
+                                                            Some((t, ck.chain_states));
+                                                        if let Some(pc) = pause.as_deref() {
+                                                            pc.mark_paused();
+                                                        }
+                                                        for cancel in cancels {
+                                                            cancel.store(true, Ordering::Release);
+                                                        }
+                                                        break;
+                                                    }
+                                                    // An unwritable pause
+                                                    // checkpoint cannot
+                                                    // preempt: release the
+                                                    // parked chains and let
+                                                    // the run finish.
+                                                    pause_target = None;
+                                                    pause_dead = true;
+                                                    if let Some(pc) = pause.as_deref() {
+                                                        pc.release();
+                                                    }
                                                 }
                                             }
                                         }
@@ -1030,6 +1260,16 @@ impl Runtime {
                             // chain's draws exactly.
                             if let Some(deadline) = stall_deadline {
                                 let now = Instant::now();
+                                // Chains parked by a pause request are
+                                // waiting on the supervisor, not
+                                // stalled: keep their clocks current.
+                                // While the boundary is unpublished
+                                // (limit 0) every chain is about to
+                                // park, so all are exempt.
+                                let hold_limit = pause
+                                    .as_deref()
+                                    .filter(|pc| pc.is_requested())
+                                    .map(PauseControl::limit);
                                 for i in 0..n {
                                     if chain_done[i].load(Ordering::Acquire)
                                         || cancels[i].load(Ordering::Acquire)
@@ -1039,6 +1279,8 @@ impl Runtime {
                                     let len = buffers[i].lock().len();
                                     if len > heartbeats[i].0 {
                                         heartbeats[i] = (len, now);
+                                    } else if hold_limit.is_some_and(|l| len >= l) {
+                                        heartbeats[i].1 = now;
                                     } else if now.duration_since(heartbeats[i].1) >= deadline {
                                         let mut slot = fault_slots[i].lock();
                                         if slot.is_none() {
@@ -1079,6 +1321,8 @@ impl Runtime {
                         let wake_mx = &wake_mx;
                         let wake_cv = &wake_cv;
                         let injector = self.sup.injector.clone();
+                        let pause_w = pause.clone();
+                        let total_iters = cfg.iters;
                         let chain = p.chain;
                         let attempt = p.attempt;
                         let seed = p.stream_seed;
@@ -1150,6 +1394,24 @@ impl Runtime {
                                 }
                                 drop(wake_mx.lock());
                                 wake_cv.notify_one();
+                                // Pause park: once a pause is
+                                // requested, a chain at or past the
+                                // published boundary (0 until the
+                                // monitor picks it) idles here —
+                                // after the draw and the snapshot are
+                                // visible — until the pause commits
+                                // (cancel) or is abandoned (limit
+                                // raised to MAX). The hold touches no
+                                // RNG, so draws are unaffected.
+                                if let Some(pc) = pause_w.as_deref() {
+                                    while pc.is_requested()
+                                        && len >= pc.limit()
+                                        && len < total_iters
+                                        && !cancel.load(Ordering::Acquire)
+                                    {
+                                        std::thread::sleep(Duration::from_millis(1));
+                                    }
+                                }
                             };
                             let on_snapshot = move |s: SamplerCheckpoint| {
                                 if write_checkpoints {
@@ -1224,6 +1486,7 @@ impl Runtime {
         Ok(RoundResult {
             outcomes: outcomes?,
             decided,
+            paused: round_paused.into_inner(),
         })
     }
 }
@@ -1322,6 +1585,252 @@ mod tests {
         assert_eq!(report.run.chains.len(), 2);
         for c in &report.run.chains {
             assert_eq!(c.draws.len(), 300);
+        }
+    }
+
+    /// A deterministic resumable sampler with per-chain speed
+    /// asymmetry: chain 0 sleeps `slow_ms` per iteration, the rest
+    /// `fast_ms`. Draw `i` is `[i; dim]`, snapshots land at every
+    /// segment boundary (before `on_draw`, like NUTS), and resume
+    /// continues from `from.iter` — enough to exercise the
+    /// pause/park/watchdog plumbing without NUTS cost.
+    struct SleepyCounter {
+        slow_ms: u64,
+        fast_ms: u64,
+    }
+
+    impl crate::chain::Sampler for SleepyCounter {
+        fn sample_chain(
+            &self,
+            _model: &dyn Model,
+            _init: &[f64],
+            _cfg: &RunConfig,
+            _seed: u64,
+        ) -> ChainOutput {
+            unreachable!("the supervisor always uses the resumable path")
+        }
+    }
+
+    impl StoppableSampler for SleepyCounter {}
+
+    impl ResumableSampler for SleepyCounter {
+        fn supports_resume(&self) -> bool {
+            true
+        }
+
+        fn sample_chain_resumable(
+            &self,
+            model: &dyn Model,
+            _init: &[f64],
+            cfg: &RunConfig,
+            _seed: u64,
+            from: Option<&SamplerCheckpoint>,
+            hooks: &ChainHooks<'_>,
+        ) -> ChainOutput {
+            use crate::checkpoint::{DualAveragingState, WelfordState};
+            let start = from.map_or(0, |f| f.iter);
+            let delay = if cfg.chain_index == 0 {
+                self.slow_ms
+            } else {
+                self.fast_ms
+            };
+            let mut draws = Vec::new();
+            for iter in start..cfg.iters {
+                std::thread::sleep(Duration::from_millis(delay));
+                let q = vec![iter as f64; model.dim()];
+                draws.push(q.clone());
+                let completed = iter + 1;
+                if hooks.segments.binary_search(&completed).is_ok() {
+                    (hooks.on_snapshot)(SamplerCheckpoint {
+                        iter: completed,
+                        q: q.clone(),
+                        lp: 0.0,
+                        grad: vec![0.0; model.dim()],
+                        eps: 0.1,
+                        inv_mass: vec![1.0; model.dim()],
+                        step_adapt: DualAveragingState {
+                            mu: 0.0,
+                            log_eps: 0.0,
+                            log_eps_bar: 0.0,
+                            h_bar: 0.0,
+                            t: 0.0,
+                            target: 0.8,
+                            gamma: 0.05,
+                            t0: 10.0,
+                            kappa: 0.75,
+                        },
+                        mass_adapt: WelfordState {
+                            n: 0.0,
+                            mean: vec![0.0; model.dim()],
+                            m2: vec![0.0; model.dim()],
+                        },
+                        accept_sum: 0.0,
+                        divergences: 0,
+                        grad_evals: completed as u64,
+                        evals_per_iter: vec![1; completed - start],
+                    });
+                }
+                (hooks.on_draw)(iter, &q);
+                if hooks.stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            let executed = draws.len();
+            ChainOutput {
+                draws,
+                warmup: cfg.warmup,
+                accept_mean: 1.0,
+                grad_evals: executed as u64,
+                divergences: 0,
+                evals_per_iter: vec![1; executed],
+            }
+        }
+    }
+
+    #[test]
+    fn pause_requires_checkpoint_path() {
+        let model = AdModel::new("g", Gauss);
+        let cfg = RunConfig::new(50).with_chains(2);
+        let rt = Runtime::new(unreachable_detector())
+            .with_config(SupervisorConfig::new().with_pause(PauseControl::new()));
+        assert!(matches!(
+            rt.run(&Nuts::default(), &model, &cfg),
+            Err(RunError::Config(ConfigError::PauseWithoutCheckpoint))
+        ));
+    }
+
+    #[test]
+    fn preemption_park_past_the_stall_deadline_is_not_a_stall() {
+        let model = AdModel::new("g", Gauss);
+        let path = std::env::temp_dir().join("bayes_mcmc_supervisor_park_ck.json");
+        let det = unreachable_detector()
+            .with_check_every(20)
+            .with_min_iters(20);
+        let pause = PauseControl::new();
+        let rt = Runtime::new(det.clone()).with_config(
+            SupervisorConfig::new()
+                .with_checkpoint_path(&path)
+                .with_pause(pause.clone())
+                .with_stall_deadline(Duration::from_millis(100)),
+        );
+        let cfg = RunConfig::new(40)
+            .with_chains(3)
+            .with_seed(7)
+            .with_warmup(0);
+        // Chain 0 needs ~160ms to reach the first boundary at 20; the
+        // fast chains get there in ~20ms and park far past the 100ms
+        // stall deadline. The parked time must not read as a stall.
+        pause.request();
+        let sampler = SleepyCounter {
+            slow_ms: 8,
+            fast_ms: 1,
+        };
+        let report = rt.run(&sampler, &model, &cfg).expect("pause commits");
+        assert_eq!(report.paused_at, Some(20));
+        assert!(pause.is_paused());
+        assert!(
+            report.faults.is_empty(),
+            "parked chains must not trip the watchdog: {:?}",
+            report.faults
+        );
+        assert!(!report.degraded);
+        for c in &report.run.chains {
+            assert_eq!(c.draws.len(), 20);
+        }
+        // The pause checkpoint resumes into the full run.
+        let resumed = Runtime::new(det)
+            .with_config(SupervisorConfig::new().with_checkpoint_path(&path))
+            .resume(&sampler, &model, &cfg, &path)
+            .expect("resume");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(resumed.paused_at, None);
+        for c in &resumed.run.chains {
+            let expect: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64; 2]).collect();
+            assert_eq!(c.draws, expect);
+        }
+    }
+
+    #[test]
+    fn pause_with_no_reachable_boundary_is_abandoned() {
+        let model = AdModel::new("g", Gauss);
+        let path = std::env::temp_dir().join("bayes_mcmc_supervisor_noboundary_ck.json");
+        // min_iters beyond the run: the schedule is empty, so there is
+        // no boundary to pause at — the run must complete instead of
+        // parking forever.
+        let det = unreachable_detector()
+            .with_check_every(500)
+            .with_min_iters(1000);
+        let pause = PauseControl::new();
+        let rt = Runtime::new(det).with_config(
+            SupervisorConfig::new()
+                .with_checkpoint_path(&path)
+                .with_pause(pause.clone()),
+        );
+        let cfg = RunConfig::new(30)
+            .with_chains(2)
+            .with_seed(3)
+            .with_warmup(0);
+        pause.request();
+        let sampler = SleepyCounter {
+            slow_ms: 1,
+            fast_ms: 1,
+        };
+        let report = rt.run(&sampler, &model, &cfg).expect("run completes");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(report.paused_at, None);
+        assert!(!pause.is_paused());
+        for c in &report.run.chains {
+            assert_eq!(c.draws.len(), 30);
+        }
+    }
+
+    #[test]
+    fn paused_then_resumed_nuts_run_matches_uninterrupted_checkpointed_run() {
+        let model = AdModel::new("g", Gauss);
+        let det = unreachable_detector()
+            .with_check_every(25)
+            .with_min_iters(25);
+        let cfg = RunConfig::new(150).with_chains(2).with_seed(11);
+        // Reference: checkpointing but uninterrupted, so both runs use
+        // the same segmented streams.
+        let ref_path = std::env::temp_dir().join("bayes_mcmc_supervisor_pause_ref.json");
+        let reference = Runtime::new(det.clone())
+            .with_config(SupervisorConfig::new().with_checkpoint_path(&ref_path))
+            .run(&Nuts::default(), &model, &cfg)
+            .expect("reference run");
+        let _ = std::fs::remove_file(&ref_path);
+
+        let pause = PauseControl::new();
+        let p_path = std::env::temp_dir().join("bayes_mcmc_supervisor_pause_ck.json");
+        pause.request();
+        let paused = Runtime::new(det.clone())
+            .with_config(
+                SupervisorConfig::new()
+                    .with_checkpoint_path(&p_path)
+                    .with_pause(pause.clone()),
+            )
+            .run(&Nuts::default(), &model, &cfg)
+            .expect("paused run");
+        let t = paused.paused_at.expect("pause commits at a boundary");
+        assert!(pause.is_paused());
+        for (a, b) in paused.run.chains.iter().zip(&reference.run.chains) {
+            assert_eq!(a.draws[..], b.draws[..t], "pause prefix must match");
+        }
+
+        // Resume on a different core allotment: the inner-thread split
+        // changes, the draws must not.
+        let resumed = Runtime::new(det)
+            .with_config(SupervisorConfig::new().with_checkpoint_path(&p_path))
+            .resume(
+                &Nuts::default(),
+                &model,
+                &cfg.clone().with_core_allotment(2),
+                &p_path,
+            )
+            .expect("resume");
+        let _ = std::fs::remove_file(&p_path);
+        for (a, b) in resumed.run.chains.iter().zip(&reference.run.chains) {
+            assert_eq!(a.draws, b.draws, "resumed draws must be bit-identical");
         }
     }
 

@@ -25,7 +25,8 @@ use std::fmt;
 /// [`DecodeError::UnsupportedSchema`]; newer minors decode fine.
 pub const TRACE_SCHEMA_MAJOR: u64 = 1;
 /// Minor version of the trace schema (additive changes only).
-pub const TRACE_SCHEMA_MINOR: u64 = 0;
+/// Minor 1 added the `job_*` lifecycle events of the serving layer.
+pub const TRACE_SCHEMA_MINOR: u64 = 1;
 
 /// Why one trace line failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -314,6 +315,69 @@ pub enum Event {
         /// Model (workload) name.
         model: String,
     },
+    /// A job entered the server's submission queue (job server).
+    JobSubmitted {
+        /// Server-assigned job id (monotonic per server).
+        job: u64,
+        /// Client-supplied job name (free-form label).
+        name: String,
+        /// Workload (model) the job samples.
+        workload: String,
+        /// Scheduling priority (higher preempts lower).
+        priority: u64,
+        /// Requested chain count.
+        chains: u64,
+        /// Requested iterations per chain.
+        iters: u64,
+        /// Base RNG seed of the job.
+        seed: u64,
+        /// Modeled per-chain working set, bytes (admission feature).
+        data_bytes: u64,
+    },
+    /// The placement policy granted a job cores and started (or
+    /// resumed) it (job server).
+    JobPlaced {
+        /// Server-assigned job id.
+        job: u64,
+        /// Cores granted to this placement.
+        cores: u64,
+        /// Inner worker threads per chain derived from the grant.
+        inner_threads: u64,
+        /// Whether the predictor classified the job as LLC-bound.
+        llc_bound: bool,
+        /// Predicted LLC misses per kilo-instruction at the job's
+        /// working set.
+        predicted_mpki: f64,
+        /// Iteration the job resumed from, or `None` for a fresh start.
+        resumed_from: Option<u64>,
+    },
+    /// A running job was paused bit-exactly to free cores for a
+    /// higher-priority job (job server).
+    JobPreempted {
+        /// Server-assigned job id of the paused job.
+        job: u64,
+        /// Iteration the pause committed at (checkpoint boundary).
+        at_iter: u64,
+        /// Job id of the higher-priority job that forced the pause.
+        by: u64,
+        /// Checkpoint file the paused state was serialized to.
+        checkpoint: String,
+    },
+    /// A job left the server (job server).
+    JobCompleted {
+        /// Server-assigned job id.
+        job: u64,
+        /// Stop decision of the convergence monitor, if any.
+        stopped_at: Option<u64>,
+        /// Iterations actually executed per chain.
+        iters_done: u64,
+        /// Whether the job finished under a degraded chain quorum.
+        degraded: bool,
+        /// Total faults recorded over the job's placements.
+        faults: u64,
+        /// Total gradient evaluations across surviving chains.
+        grad_evals: u64,
+    },
     /// A run completed without its full chain complement (supervisor).
     DegradedReport {
         /// Model (workload) name.
@@ -589,6 +653,66 @@ impl Event {
                 .field_u64("iter", *iter)
                 .field_str("model", model)
                 .finish(),
+            Event::JobSubmitted {
+                job,
+                name,
+                workload,
+                priority,
+                chains,
+                iters,
+                seed,
+                data_bytes,
+            } => Obj::new("job_submitted")
+                .field_u64("job", *job)
+                .field_str("name", name)
+                .field_str("workload", workload)
+                .field_u64("priority", *priority)
+                .field_u64("chains", *chains)
+                .field_u64("iters", *iters)
+                .field_u64("seed", *seed)
+                .field_u64("data_bytes", *data_bytes)
+                .finish(),
+            Event::JobPlaced {
+                job,
+                cores,
+                inner_threads,
+                llc_bound,
+                predicted_mpki,
+                resumed_from,
+            } => Obj::new("job_placed")
+                .field_u64("job", *job)
+                .field_u64("cores", *cores)
+                .field_u64("inner_threads", *inner_threads)
+                .field_bool("llc_bound", *llc_bound)
+                .field_f64("predicted_mpki", *predicted_mpki)
+                .field_opt_u64("resumed_from", *resumed_from)
+                .finish(),
+            Event::JobPreempted {
+                job,
+                at_iter,
+                by,
+                checkpoint,
+            } => Obj::new("job_preempted")
+                .field_u64("job", *job)
+                .field_u64("at_iter", *at_iter)
+                .field_u64("by", *by)
+                .field_str("checkpoint", checkpoint)
+                .finish(),
+            Event::JobCompleted {
+                job,
+                stopped_at,
+                iters_done,
+                degraded,
+                faults,
+                grad_evals,
+            } => Obj::new("job_completed")
+                .field_u64("job", *job)
+                .field_opt_u64("stopped_at", *stopped_at)
+                .field_u64("iters_done", *iters_done)
+                .field_bool("degraded", *degraded)
+                .field_u64("faults", *faults)
+                .field_u64("grad_evals", *grad_evals)
+                .finish(),
             Event::DegradedReport {
                 model,
                 survivors,
@@ -745,6 +869,38 @@ impl Event {
                 path: get_str(v, "path")?,
                 iter: get_u64(v, "iter")?,
                 model: get_str(v, "model")?,
+            }),
+            "job_submitted" => Ok(Event::JobSubmitted {
+                job: get_u64(v, "job")?,
+                name: get_str(v, "name")?,
+                workload: get_str(v, "workload")?,
+                priority: get_u64(v, "priority")?,
+                chains: get_u64(v, "chains")?,
+                iters: get_u64(v, "iters")?,
+                seed: get_u64(v, "seed")?,
+                data_bytes: get_u64(v, "data_bytes")?,
+            }),
+            "job_placed" => Ok(Event::JobPlaced {
+                job: get_u64(v, "job")?,
+                cores: get_u64(v, "cores")?,
+                inner_threads: get_u64(v, "inner_threads")?,
+                llc_bound: get_bool(v, "llc_bound")?,
+                predicted_mpki: get_f64(v, "predicted_mpki")?,
+                resumed_from: get_opt_u64(v, "resumed_from")?,
+            }),
+            "job_preempted" => Ok(Event::JobPreempted {
+                job: get_u64(v, "job")?,
+                at_iter: get_u64(v, "at_iter")?,
+                by: get_u64(v, "by")?,
+                checkpoint: get_str(v, "checkpoint")?,
+            }),
+            "job_completed" => Ok(Event::JobCompleted {
+                job: get_u64(v, "job")?,
+                stopped_at: get_opt_u64(v, "stopped_at")?,
+                iters_done: get_u64(v, "iters_done")?,
+                degraded: get_bool(v, "degraded")?,
+                faults: get_u64(v, "faults")?,
+                grad_evals: get_u64(v, "grad_evals")?,
             }),
             "degraded_report" => Ok(Event::DegradedReport {
                 model: get_str(v, "model")?,
@@ -915,6 +1071,54 @@ mod tests {
                 faults: 2,
                 grad_evals: 500_000,
                 span_ns: 0,
+            },
+            Event::JobSubmitted {
+                job: 7,
+                name: "nightly-ad".into(),
+                workload: "ad".into(),
+                priority: 2,
+                chains: 4,
+                iters: 2000,
+                seed: 9223372036854775809,
+                data_bytes: 48 * 1024 * 1024,
+            },
+            Event::JobPlaced {
+                job: 7,
+                cores: 8,
+                inner_threads: 2,
+                llc_bound: true,
+                predicted_mpki: 9.125,
+                resumed_from: None,
+            },
+            Event::JobPlaced {
+                job: 3,
+                cores: 2,
+                inner_threads: 1,
+                llc_bound: false,
+                predicted_mpki: 0.5,
+                resumed_from: Some(250),
+            },
+            Event::JobPreempted {
+                job: 3,
+                at_iter: 250,
+                by: 7,
+                checkpoint: "/tmp/job-3.ckpt".into(),
+            },
+            Event::JobCompleted {
+                job: 7,
+                stopped_at: Some(600),
+                iters_done: 600,
+                degraded: false,
+                faults: 0,
+                grad_evals: 987_654,
+            },
+            Event::JobCompleted {
+                job: 3,
+                stopped_at: None,
+                iters_done: 2000,
+                degraded: true,
+                faults: 2,
+                grad_evals: 500_000,
             },
         ]
     }

@@ -14,6 +14,7 @@ use crate::elision::{ElisionStudy, StudyConfig};
 use bayes_archsim::{characterize, Platform, SimConfig, WorkloadSignature};
 use bayes_mcmc::diag::kl_to_ground_truth;
 use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::stream::{Purpose, StreamKey};
 use bayes_mcmc::{chain, Model, RunConfig};
 
 /// One explored configuration.
@@ -87,20 +88,27 @@ impl QualityProbe {
         );
         let detected_iters = study.converged_at.unwrap_or(full_iters);
 
-        // Ground truth for KL scoring (the study's 2× convention).
+        // Ground truth for KL scoring (the study's 2× convention). The
+        // seed is derived, not offset: `seed + 1` was itself a valid
+        // user seed, so truth runs shared streams with adjacent-seed
+        // studies.
         let truth_cfg = RunConfig::new(full_iters * 2)
             .with_chains(4)
-            .with_seed(seed + 1);
+            .with_seed(StreamKey::new(seed).purpose(Purpose::GroundTruth).derive());
         let truth_run = chain::run(&Nuts::default(), model, &truth_cfg);
         let truth = gaussian_window(&truth_run, full_iters, full_iters * 2);
 
         // Real runs per chain count for quality scoring; the 4-chain
-        // run is the study's own.
+        // run is the study's own. Each chain count gets its own derived
+        // stream — the old `seed + 10 + chains` offsets collided across
+        // `(seed, chains)` pairs.
         let mut runs = Vec::new();
         for &chains in &[1usize, 2] {
-            let cfg = RunConfig::new(full_iters)
-                .with_chains(chains)
-                .with_seed(seed + 10 + chains as u64);
+            let cfg = RunConfig::new(full_iters).with_chains(chains).with_seed(
+                StreamKey::new(seed)
+                    .purpose(Purpose::Study(chains as u32))
+                    .derive(),
+            );
             runs.push((chains, chain::run(&Nuts::default(), model, &cfg)));
         }
         runs.push((4, study.run.clone()));

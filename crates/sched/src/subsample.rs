@@ -77,8 +77,11 @@ impl SubsampleAdvisor {
         plat: &Platform,
         chains: usize,
     ) -> f64 {
-        let fixed = (sig.dim * 8 * 4) as f64; // sampler state
-        let scalable = (sig.data_bytes + sig.tape_bytes) as f64;
+        // Saturating u64 arithmetic: at pathological signature sizes
+        // (fuzzed or corrupted captures) the old usize addition wrapped
+        // and recommended fractions for a tiny phantom working set.
+        let fixed = (sig.dim as u64).saturating_mul(8 * 4) as f64; // sampler state
+        let scalable = (sig.data_bytes as u64).saturating_add(sig.tape_bytes as u64) as f64;
         let budget = plat.llc_bytes as f64 * self.llc_occupancy / chains.max(1) as f64;
         if fixed + scalable <= budget {
             return 1.0;
@@ -133,12 +136,18 @@ impl SubsampleAdvisor {
 /// instruction stream all shrink proportionally.
 pub fn scale_signature(sig: &WorkloadSignature, fraction: f64) -> WorkloadSignature {
     let f = fraction.clamp(0.0, 1.0);
+    // The product is computed in f64 and clamped back into the usize
+    // range before converting, so extreme `data_bytes` saturates at
+    // `usize::MAX` (`f * bytes` can round *up* past `usize::MAX as
+    // f64`; the clamp makes the saturation explicit instead of leaning
+    // on cast semantics).
+    let scaled = |bytes: usize| (bytes as f64 * f).clamp(0.0, usize::MAX as f64) as usize;
     WorkloadSignature {
         name: format!("{}@{:.2}", sig.name, f),
-        data_bytes: (sig.data_bytes as f64 * f) as usize,
-        tape_nodes: ((sig.tape_nodes as f64 * f) as usize).max(1),
-        tape_bytes: ((sig.tape_bytes as f64 * f) as usize).max(64),
-        transcendental_nodes: (sig.transcendental_nodes as f64 * f) as usize,
+        data_bytes: scaled(sig.data_bytes),
+        tape_nodes: scaled(sig.tape_nodes).max(1),
+        tape_bytes: scaled(sig.tape_bytes).max(64),
+        transcendental_nodes: scaled(sig.transcendental_nodes),
         code_bytes: sig.code_bytes,
         dim: sig.dim,
         leapfrogs_per_iter: sig.leapfrogs_per_iter,
@@ -225,6 +234,28 @@ mod tests {
         let s = sig(64 * 1024 * 1024, 512 * 1024 * 1024); // absurd
         let f = advisor.recommend_fraction(&s, &Platform::skylake(), 4);
         assert!((0.2..0.21).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn extreme_data_sizes_saturate_instead_of_wrapping() {
+        // data_bytes + tape_bytes would wrap usize; the advisor must
+        // see "enormous", not a tiny wrapped sum, and recommend its
+        // floor fraction.
+        let advisor = SubsampleAdvisor::new();
+        let mut s = sig(usize::MAX - 4096, 8192);
+        s.dim = usize::MAX / 16;
+        let f = advisor.recommend_fraction(&s, &Platform::skylake(), 4);
+        assert!(
+            (f - advisor.min_fraction).abs() < 1e-12,
+            "fraction {f} should hit the floor"
+        );
+        // Scaling the monster signature saturates rather than
+        // truncating (the f64 product rounds up past usize::MAX).
+        let scaled = scale_signature(&s, 1.0);
+        assert!(scaled.data_bytes >= usize::MAX - 4096);
+        let shrunk = scale_signature(&s, 0.5);
+        assert!(shrunk.data_bytes <= s.data_bytes);
+        assert!(shrunk.data_bytes > usize::MAX / 4, "{}", shrunk.data_bytes);
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Multi-tenant inference job server.
+//!
+//! The paper's Section-V scheduler picks a platform for one run at a
+//! time from a static LLC-miss prediction. This crate is the serving
+//! layer the ROADMAP's "millions of users" item asks for on top of the
+//! same machinery: many heterogeneous inference jobs share one box,
+//! multiplexed over the fault-tolerant supervisor.
+//!
+//! * [`JobSpec`] — one client request: workload × scale × sampler ×
+//!   run shape, plus a scheduling priority;
+//! * [`JobServer`] — the server: a submission queue, admission control
+//!   and core placement driven by [`bayes_sched::LlcMissPredictor`],
+//!   and per-job priorities with preemption;
+//! * [`JobHandle`] — the client side: a stream of [`JobUpdate`]s
+//!   carrying every `bayes_obs` event of the job's runs (convergence
+//!   checkpoints, fault/retry reports, `job_*` lifecycle rows) plus
+//!   partial posterior summaries at each preemption point.
+//!
+//! Preemption is bit-exact: a paused job's state is serialized through
+//! the supervisor's [`bayes_mcmc::RunCheckpoint`] machinery and resumed
+//! later — on a possibly different core grant — with draws identical
+//! to an uninterrupted run (inner-thread parallelism never changes
+//! sampler output). The placement policy is documented in DESIGN.md §
+//! "The job server".
+
+pub mod job;
+pub mod server;
+
+pub use job::{CompletedJob, JobHandle, JobOutcome, JobResult, JobSpec, JobUpdate, SamplerKind};
+pub use server::{JobServer, ServerConfig};

@@ -1,0 +1,710 @@
+//! The job server: submission queue, admission, placement, preemption.
+//!
+//! One scheduler thread owns all state and is the only writer of
+//! `job_*` lifecycle events, so every trace and client stream observes
+//! transitions in a single consistent order. Each placement runs on
+//! its own worker thread under the fault-tolerant supervisor
+//! ([`bayes_mcmc::supervisor::Runtime`]); workers report back over a
+//! channel and never touch scheduler state.
+//!
+//! Placement policy (see DESIGN.md for the rationale):
+//!
+//! 1. Admission: a job whose modeled working set alone exceeds the
+//!    server's LLC budget is rejected outright, as are unknown
+//!    workloads and zero-shape runs.
+//! 2. Fit: a pending job (scanned in priority-then-FIFO order) is
+//!    placed when at least one core is free, the sum of resident
+//!    working sets stays within the LLC budget, and — when the
+//!    predictor classifies it LLC-bound — no other LLC-bound job is
+//!    resident (two streaming jobs thrash the shared cache).
+//! 3. Grant: an LLC-bound job gets at most one core per chain (extra
+//!    inner threads would only stall on memory); a cache-resident job
+//!    gets up to two per chain. The grant flows into
+//!    [`bayes_mcmc::RunConfig::with_core_allotment`], which derives
+//!    per-chain inner threads without oversubscribing the slice.
+//! 4. Preemption: when the highest-priority pending job cannot fit,
+//!    the newest lowest-priority *preemptible* running job below that
+//!    priority is paused bit-exactly at its next checkpoint boundary
+//!    and re-queued; its next placement resumes from the checkpoint
+//!    with identical draws.
+
+use crate::job::{JobHandle, JobResult, JobSpec, JobUpdate, SamplerKind};
+use bayes_mcmc::mh::MetropolisHastings;
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::summary::{summarize, ParamSummary};
+use bayes_mcmc::supervisor::{PauseControl, Runtime, SupervisorConfig};
+use bayes_mcmc::RunConfig;
+use bayes_obs::{Event, Recorder, RecorderHandle};
+use bayes_sched::LlcMissPredictor;
+use bayes_suite::registry;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Static resources and policy knobs of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Cores the server may hand out across all resident jobs.
+    pub cores: usize,
+    /// Shared last-level-cache budget, bytes; the admission and
+    /// co-residency limit for summed working sets.
+    pub llc_budget_bytes: usize,
+    /// The Section-V working-set predictor driving placement.
+    pub predictor: LlcMissPredictor,
+    /// Directory preemption checkpoints are written under.
+    pub checkpoint_dir: PathBuf,
+    /// Server-level trace sink for `job_*` lifecycle events.
+    pub trace: RecorderHandle,
+}
+
+impl ServerConfig {
+    /// A server over `cores` cores using `predictor`, with an 8 MiB
+    /// LLC budget, checkpoints under the system temp dir, and no
+    /// trace.
+    pub fn new(cores: usize, predictor: LlcMissPredictor) -> Self {
+        Self {
+            cores: cores.max(1),
+            llc_budget_bytes: 8 * 1024 * 1024,
+            predictor,
+            checkpoint_dir: std::env::temp_dir(),
+            trace: RecorderHandle::null(),
+        }
+    }
+
+    /// Sets the LLC budget.
+    pub fn with_llc_budget(mut self, bytes: usize) -> Self {
+        self.llc_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the checkpoint directory.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = dir.into();
+        self
+    }
+
+    /// Attaches a server-level trace sink.
+    pub fn with_trace(mut self, trace: RecorderHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// Messages into the scheduler thread.
+enum Msg {
+    Submit(u64, JobSpec, mpsc::Sender<JobUpdate>),
+    Done(u64, Outcome),
+    /// Reply on the channel once every admitted job reached a terminal
+    /// state; the scheduler then exits.
+    Drain(mpsc::Sender<()>),
+    Shutdown,
+}
+
+/// What one placement's worker reported back.
+enum Outcome {
+    Paused {
+        at: usize,
+        faults: usize,
+        summary: Vec<ParamSummary>,
+    },
+    Finished(Box<JobResult>),
+    Failed {
+        faults: usize,
+        message: String,
+    },
+}
+
+enum Phase {
+    Pending,
+    Running {
+        cores: usize,
+        pause: Option<Arc<PauseControl>>,
+        /// Set when a pause was requested on behalf of a
+        /// higher-priority job (the preemptor's id).
+        draining_for: Option<u64>,
+    },
+}
+
+struct JobState {
+    spec: JobSpec,
+    tx: mpsc::Sender<JobUpdate>,
+    data_bytes: usize,
+    llc_bound: bool,
+    mpki: f64,
+    ckpt: PathBuf,
+    /// `Some(iter)` when the next placement resumes a checkpoint.
+    resume_at: Option<usize>,
+    /// Faults accumulated over earlier (preempted) placements.
+    faults: usize,
+}
+
+/// The multi-tenant job server. Submit jobs with
+/// [`JobServer::submit`], then either [`JobServer::join`] (run the
+/// queue dry and stop) or drop the server (abandon in-flight work).
+pub struct JobServer {
+    tx: mpsc::Sender<Msg>,
+    next_id: AtomicU64,
+    sched: Option<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Starts a server; the scheduler thread lives until
+    /// [`JobServer::join`] or drop.
+    pub fn start(cfg: ServerConfig) -> Self {
+        let (tx, rx) = mpsc::channel();
+        let done_tx = tx.clone();
+        let sched = std::thread::Builder::new()
+            .name("bayes-serve-sched".into())
+            .spawn(move || Scheduler::new(cfg, rx, done_tx).run())
+            .expect("spawn scheduler thread");
+        Self {
+            tx,
+            next_id: AtomicU64::new(1),
+            sched: Some(sched),
+        }
+    }
+
+    /// Queues a job. Admission happens asynchronously: a refused job's
+    /// handle yields a single [`JobUpdate::Rejected`].
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        // A closed scheduler (post-join) drops the sender, so the
+        // handle reports the stream as closed rather than hanging.
+        let _ = self.tx.send(Msg::Submit(id, spec, tx));
+        JobHandle { id, rx }
+    }
+
+    /// Runs the queue dry — every admitted job reaches a terminal
+    /// state — then stops the scheduler.
+    pub fn join(mut self) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let _ = self.tx.send(Msg::Drain(ack_tx));
+        let _ = ack_rx.recv();
+        if let Some(h) = self.sched.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        if let Some(h) = self.sched.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = h.join();
+        }
+    }
+}
+
+/// Forwards every run event onto the job's client stream.
+struct ClientRecorder {
+    tx: Mutex<mpsc::Sender<JobUpdate>>,
+}
+
+impl Recorder for ClientRecorder {
+    fn record(&self, event: &Event) {
+        let _ = self
+            .tx
+            .lock()
+            .expect("client sender lock")
+            .send(JobUpdate::Event(event.clone()));
+    }
+}
+
+struct Scheduler {
+    cfg: ServerConfig,
+    rx: mpsc::Receiver<Msg>,
+    /// Cloned into workers so they can report completion.
+    tx: mpsc::Sender<Msg>,
+    jobs: BTreeMap<u64, JobState>,
+    phases: BTreeMap<u64, Phase>,
+    workers: Vec<JoinHandle<()>>,
+    drain: Option<mpsc::Sender<()>>,
+}
+
+impl Scheduler {
+    fn new(cfg: ServerConfig, rx: mpsc::Receiver<Msg>, tx: mpsc::Sender<Msg>) -> Self {
+        Self {
+            cfg,
+            rx,
+            tx,
+            jobs: BTreeMap::new(),
+            phases: BTreeMap::new(),
+            workers: Vec::new(),
+            drain: None,
+        }
+    }
+
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                Msg::Submit(id, spec, tx) => self.admit(id, spec, tx),
+                Msg::Done(id, outcome) => self.settle(id, outcome),
+                Msg::Drain(ack) => self.drain = Some(ack),
+                Msg::Shutdown => break,
+            }
+            self.place();
+            if self.drain.is_some() && self.jobs.is_empty() {
+                if let Some(ack) = self.drain.take() {
+                    let _ = ack.send(());
+                }
+                break;
+            }
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Records a lifecycle event in the server trace and on the
+    /// owning job's client stream.
+    fn emit(&self, id: u64, event: Event) {
+        self.cfg.trace.record(event.clone());
+        if let Some(job) = self.jobs.get(&id) {
+            let _ = job.tx.send(JobUpdate::Event(event));
+        }
+    }
+
+    fn admit(&mut self, id: u64, spec: JobSpec, tx: mpsc::Sender<JobUpdate>) {
+        let reject = |msg: String| {
+            let _ = tx.send(JobUpdate::Rejected(msg));
+        };
+        if spec.chains == 0 || spec.iters == 0 {
+            return reject(format!(
+                "job '{}' has a zero run shape ({} chains × {} iters)",
+                spec.name, spec.chains, spec.iters
+            ));
+        }
+        let Some(wl) = registry::workload(&spec.workload, spec.scale, spec.seed) else {
+            return reject(format!("unknown workload '{}'", spec.workload));
+        };
+        let data_bytes = wl.meta().modeled_data_bytes;
+        drop(wl);
+        if data_bytes > self.cfg.llc_budget_bytes {
+            return reject(format!(
+                "job '{}' working set ({data_bytes} B) exceeds the server LLC budget ({} B)",
+                spec.name, self.cfg.llc_budget_bytes
+            ));
+        }
+        let ckpt = self
+            .cfg
+            .checkpoint_dir
+            .join(format!("bayes-serve-job-{id}.ckpt.json"));
+        let event = Event::JobSubmitted {
+            job: id,
+            name: spec.name.clone(),
+            workload: spec.workload.clone(),
+            priority: u64::from(spec.priority),
+            chains: spec.chains as u64,
+            iters: spec.iters as u64,
+            seed: spec.seed,
+            data_bytes: data_bytes as u64,
+        };
+        self.jobs.insert(
+            id,
+            JobState {
+                llc_bound: self.cfg.predictor.is_llc_bound(data_bytes),
+                mpki: self.cfg.predictor.predict_mpki(data_bytes),
+                spec,
+                tx,
+                data_bytes,
+                ckpt,
+                resume_at: None,
+                faults: 0,
+            },
+        );
+        self.phases.insert(id, Phase::Pending);
+        self.emit(id, event);
+    }
+
+    fn settle(&mut self, id: u64, outcome: Outcome) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return; // job dropped at shutdown
+        };
+        match outcome {
+            Outcome::Paused {
+                at,
+                faults,
+                summary,
+            } => {
+                job.faults += faults;
+                job.resume_at = Some(at);
+                let by = match self.phases.get(&id) {
+                    Some(Phase::Running {
+                        draining_for: Some(by),
+                        ..
+                    }) => *by,
+                    _ => 0,
+                };
+                let checkpoint = job.ckpt.display().to_string();
+                let tx = job.tx.clone();
+                self.phases.insert(id, Phase::Pending);
+                self.emit(
+                    id,
+                    Event::JobPreempted {
+                        job: id,
+                        at_iter: at as u64,
+                        by,
+                        checkpoint,
+                    },
+                );
+                let _ = tx.send(JobUpdate::Preempted { at, by, summary });
+            }
+            Outcome::Finished(mut result) => {
+                result.faults += job.faults;
+                let tx = job.tx.clone();
+                self.emit(
+                    id,
+                    Event::JobCompleted {
+                        job: id,
+                        stopped_at: result.stopped_at.map(|t| t as u64),
+                        iters_done: result.iters_done as u64,
+                        degraded: result.degraded,
+                        faults: result.faults as u64,
+                        grad_evals: result.grad_evals,
+                    },
+                );
+                let _ = tx.send(JobUpdate::Completed(result));
+                self.jobs.remove(&id);
+                self.phases.remove(&id);
+            }
+            Outcome::Failed { faults, message } => {
+                let total = job.faults + faults;
+                let tx = job.tx.clone();
+                self.emit(
+                    id,
+                    Event::JobCompleted {
+                        job: id,
+                        stopped_at: None,
+                        iters_done: 0,
+                        degraded: true,
+                        faults: total as u64,
+                        grad_evals: 0,
+                    },
+                );
+                let _ = tx.send(JobUpdate::Failed(message));
+                self.jobs.remove(&id);
+                self.phases.remove(&id);
+            }
+        }
+    }
+
+    fn running_cores(&self) -> usize {
+        self.phases
+            .values()
+            .map(|p| match p {
+                Phase::Running { cores, .. } => *cores,
+                Phase::Pending => 0,
+            })
+            .sum()
+    }
+
+    fn pending_order(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .phases
+            .iter()
+            .filter(|(_, p)| matches!(p, Phase::Pending))
+            .map(|(id, _)| *id)
+            .collect();
+        // Priority first, FIFO (id order) within a priority.
+        ids.sort_by_key(|id| (std::cmp::Reverse(self.jobs[id].spec.priority), *id));
+        ids
+    }
+
+    /// Greedy placement pass; loops until nothing else fits, then
+    /// considers one preemption for the head of the queue.
+    fn place(&mut self) {
+        loop {
+            let free = self.cfg.cores - self.running_cores();
+            let resident_bytes: usize = self
+                .phases
+                .iter()
+                .filter(|(_, p)| matches!(p, Phase::Running { .. }))
+                .map(|(id, _)| self.jobs[id].data_bytes)
+                .sum();
+            let resident_llc_bound = self
+                .phases
+                .iter()
+                .any(|(id, p)| matches!(p, Phase::Running { .. }) && self.jobs[id].llc_bound);
+            let pending = self.pending_order();
+            let fit = pending.iter().copied().find_map(|id| {
+                let job = &self.jobs[&id];
+                grant(
+                    free,
+                    self.cfg.llc_budget_bytes,
+                    resident_bytes,
+                    resident_llc_bound,
+                    job.spec.chains,
+                    job.data_bytes,
+                    job.llc_bound,
+                )
+                .map(|cores| (id, cores))
+            });
+            match fit {
+                Some((id, cores)) => self.start(id, cores),
+                None => {
+                    if let Some(&head) = pending.first() {
+                        self.preempt_for(head);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Requests a bit-exact pause of the newest lowest-priority
+    /// preemptible running job strictly below `head`'s priority. At
+    /// most one drain is in flight at a time — the paused cores come
+    /// back through [`Scheduler::settle`], which re-runs placement.
+    fn preempt_for(&mut self, head: u64) {
+        let head_priority = self.jobs[&head].spec.priority;
+        if self
+            .phases
+            .values()
+            .any(|p| matches!(p, Phase::Running { draining_for, .. } if draining_for.is_some()))
+        {
+            return;
+        }
+        let victim = self
+            .phases
+            .iter()
+            .filter_map(|(id, p)| match p {
+                Phase::Running {
+                    pause: Some(_),
+                    draining_for: None,
+                    ..
+                } if self.jobs[id].spec.priority < head_priority => {
+                    Some((self.jobs[id].spec.priority, *id))
+                }
+                _ => None,
+            })
+            .min_by_key(|&(priority, id)| (priority, std::cmp::Reverse(id)))
+            .map(|(_, id)| id);
+        if let Some(victim) = victim {
+            if let Some(Phase::Running {
+                pause: Some(pc),
+                draining_for,
+                ..
+            }) = self.phases.get_mut(&victim)
+            {
+                *draining_for = Some(head);
+                pc.request();
+            }
+        }
+    }
+
+    fn start(&mut self, id: u64, cores: usize) {
+        let job = self.jobs.get_mut(&id).expect("placed job exists");
+        let spec = job.spec.clone();
+        let resume_at = job.resume_at.take();
+        let ckpt = job.ckpt.clone();
+        let updates = job.tx.clone();
+        let pause = match spec.sampler {
+            SamplerKind::Nuts => Some(PauseControl::new()),
+            SamplerKind::Mh => None,
+        };
+        let inner_threads = (cores / spec.chains.max(1)).max(1);
+        let (llc_bound, mpki) = (job.llc_bound, job.mpki);
+        self.phases.insert(
+            id,
+            Phase::Running {
+                cores,
+                pause: pause.clone(),
+                draining_for: None,
+            },
+        );
+        self.emit(
+            id,
+            Event::JobPlaced {
+                job: id,
+                cores: cores as u64,
+                inner_threads: inner_threads as u64,
+                llc_bound,
+                predicted_mpki: mpki,
+                resumed_from: resume_at.map(|t| t as u64),
+            },
+        );
+        let done = self.tx.clone();
+        let worker = std::thread::Builder::new()
+            .name(format!("bayes-serve-job-{id}"))
+            .spawn(move || {
+                let outcome = run_placement(id, &spec, cores, resume_at, &ckpt, pause, updates);
+                let _ = done.send(Msg::Done(id, outcome));
+            })
+            .expect("spawn job worker");
+        self.workers.push(worker);
+    }
+}
+
+/// Core grant for one candidate, or `None` when it does not fit.
+///
+/// LLC-bound jobs get one core per chain and sole LLC-bound
+/// residency; cache-resident jobs get up to two cores per chain
+/// (inner shard threads scale until the working set spills).
+fn grant(
+    free: usize,
+    llc_budget: usize,
+    resident_bytes: usize,
+    resident_llc_bound: bool,
+    chains: usize,
+    data_bytes: usize,
+    llc_bound: bool,
+) -> Option<usize> {
+    if free == 0 {
+        return None;
+    }
+    if resident_bytes.saturating_add(data_bytes) > llc_budget {
+        return None;
+    }
+    if llc_bound && resident_llc_bound {
+        return None;
+    }
+    let desired = chains.max(1) * if llc_bound { 1 } else { 2 };
+    Some(desired.min(free))
+}
+
+/// One placement: build the workload, run (or resume) it under the
+/// supervisor, and report how it ended. Runs on a worker thread.
+fn run_placement(
+    id: u64,
+    spec: &JobSpec,
+    cores: usize,
+    resume_at: Option<usize>,
+    ckpt: &PathBuf,
+    pause: Option<Arc<PauseControl>>,
+    updates: mpsc::Sender<JobUpdate>,
+) -> Outcome {
+    let Some(wl) = registry::workload(&spec.workload, spec.scale, spec.seed) else {
+        return Outcome::Failed {
+            faults: 0,
+            message: format!("workload '{}' vanished from the registry", spec.workload),
+        };
+    };
+    let recorder = RecorderHandle::new(Arc::new(ClientRecorder {
+        tx: Mutex::new(updates),
+    }));
+    wl.attach_recorder(&recorder);
+    let cfg = RunConfig::new(spec.iters)
+        .with_chains(spec.chains)
+        .with_seed(spec.seed)
+        .with_core_allotment(cores)
+        .with_recorder(recorder);
+    // The supervisor's default quorum (2) would reject every
+    // single-chain job at validation, so the server clamps the quorum
+    // — explicit or default — to the job's chain count.
+    let mut sup = SupervisorConfig::new();
+    let quorum = spec.min_quorum.unwrap_or(2).clamp(1, spec.chains.max(1));
+    sup = sup.with_min_quorum(quorum);
+    if let Some(injector) = &spec.injector {
+        sup = sup.with_injector(injector.clone());
+    }
+    if spec.sampler == SamplerKind::Nuts {
+        sup = sup.with_checkpoint_path(ckpt);
+        if let Some(pc) = &pause {
+            sup = sup.with_pause(pc.clone());
+        }
+    }
+    let runtime = Runtime::new(spec.detector.clone()).with_config(sup);
+    // The dynamics model carries the same posterior at study scale —
+    // what every sampling study in the repo runs; the full-scale model
+    // is the admission feature, not the sampling target.
+    let model = wl.dynamics_model();
+    let result = match spec.sampler {
+        SamplerKind::Nuts => match resume_at {
+            Some(_) => runtime.resume(&Nuts::default(), model, &cfg, ckpt),
+            None => runtime.run(&Nuts::default(), model, &cfg),
+        },
+        SamplerKind::Mh => runtime.run(&MetropolisHastings::new(), model, &cfg),
+    };
+    wl.flush_telemetry();
+    match result {
+        Ok(report) => {
+            let summary = summarize(&report.run);
+            if let Some(at) = report.paused_at {
+                return Outcome::Paused {
+                    at,
+                    faults: report.faults.len(),
+                    summary,
+                };
+            }
+            let iters_done = report
+                .run
+                .chains
+                .iter()
+                .map(|c| c.draws.len())
+                .max()
+                .unwrap_or(0);
+            Outcome::Finished(Box::new(JobResult {
+                job: id,
+                stopped_at: report.stopped_at,
+                iters_done,
+                degraded: report.degraded,
+                survivors: report.survivors.clone(),
+                faults: report.faults.len(),
+                grad_evals: report.run.chains.iter().map(|c| c.grad_evals).sum(),
+                summary,
+                draws: report.run.chains.iter().map(|c| c.draws.clone()).collect(),
+            }))
+        }
+        Err(e) => Outcome::Failed {
+            faults: match &e {
+                bayes_mcmc::supervisor::RunError::QuorumLost { faults, .. } => faults.len(),
+                _ => 0,
+            },
+            message: format!("job '{}' failed: {e}", spec.name),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_policy_fits_and_sizes() {
+        // Cache-resident job: two cores per chain, capped at free.
+        assert_eq!(grant(8, 100, 0, false, 2, 10, false), Some(4));
+        assert_eq!(grant(3, 100, 0, false, 2, 10, false), Some(3));
+        // LLC-bound job: one core per chain.
+        assert_eq!(grant(8, 100, 0, false, 2, 10, true), Some(2));
+        // No free cores — never fits.
+        assert_eq!(grant(0, 100, 0, false, 2, 10, false), None);
+        // Footprint sum over budget — wait.
+        assert_eq!(grant(8, 100, 95, false, 2, 10, false), None);
+        // Two LLC-bound jobs never co-reside.
+        assert_eq!(grant(8, 100, 10, true, 2, 10, true), None);
+        // ... but a cache-resident job may join an LLC-bound one.
+        assert_eq!(grant(8, 100, 10, true, 2, 10, false), Some(4));
+        // Footprint math saturates instead of wrapping.
+        assert_eq!(
+            grant(8, usize::MAX - 1, usize::MAX, false, 2, 10, false),
+            None
+        );
+    }
+
+    #[test]
+    fn rejects_zero_shapes_and_unknown_workloads() {
+        let predictor = LlcMissPredictor::fit(&[
+            bayes_sched::predictor::MissSample {
+                data_bytes: 64 * 1024,
+                mpki: 0.2,
+            },
+            bayes_sched::predictor::MissSample {
+                data_bytes: 16 * 1024 * 1024,
+                mpki: 12.0,
+            },
+        ]);
+        let server = JobServer::start(ServerConfig::new(4, predictor));
+        let bad_shape = server.submit(JobSpec::new("empty", "12cities").with_chains(0));
+        let bad_name = server.submit(JobSpec::new("typo", "13cities"));
+        for handle in [bad_shape, bad_name] {
+            match handle.wait().outcome {
+                crate::job::JobOutcome::Rejected(_) => {}
+                other => panic!("expected rejection, got {other:?}"),
+            }
+        }
+        server.join();
+    }
+}

@@ -1,0 +1,313 @@
+//! Service tier: multi-tenant job-server integration tests.
+//!
+//! The serving layer's headline guarantee is that scheduling is
+//! invisible in the posterior: a job preempted at a checkpoint
+//! boundary and resumed later — possibly on a different core grant —
+//! produces draws bit-identical to the same job run uninterrupted,
+//! and concurrent jobs produce draws bit-identical to isolated runs.
+//! These tests pin that guarantee, plus the admission and per-job
+//! fault-containment behaviour of the server.
+//!
+//! All runs use an unreachable R̂ threshold so every chain executes
+//! its full iteration budget and draw comparisons are exact.
+
+use bayes_mcmc::nuts::Nuts;
+use bayes_mcmc::supervisor::{InjectedFault, Runtime, SupervisorConfig};
+use bayes_mcmc::{ConvergenceDetector, MultiChainRun, RunConfig};
+use bayes_sched::predictor::MissSample;
+use bayes_sched::LlcMissPredictor;
+use bayes_serve::{JobOutcome, JobServer, JobSpec, SamplerKind, ServerConfig};
+use bayes_suite::registry;
+use bayes_testkit::FaultPlan;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Threshold barely above 1: no finite run ever converges, so every
+/// job runs its full budget and draws are exactly reproducible. The
+/// 20-iteration checkpoint schedule doubles as the set of legal
+/// preemption boundaries.
+fn full_length_detector() -> ConvergenceDetector {
+    ConvergenceDetector::new()
+        .with_threshold(1.0 + 1e-12)
+        .with_check_every(20)
+        .with_min_iters(20)
+}
+
+/// Two-point training set with the LLC threshold far above every
+/// study-scale working set, so placement grants the cache-resident
+/// two-cores-per-chain slice and co-residency is unconstrained.
+fn cache_resident_predictor() -> LlcMissPredictor {
+    LlcMissPredictor::fit(&[
+        MissSample {
+            data_bytes: 4 * 1024 * 1024,
+            mpki: 0.2,
+        },
+        MissSample {
+            data_bytes: 64 * 1024 * 1024,
+            mpki: 12.0,
+        },
+    ])
+}
+
+/// A per-test checkpoint directory so parallel tests never collide on
+/// the server's `bayes-serve-job-<id>` checkpoint names.
+fn checkpoint_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bayes-service-{}-{test}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+/// The uninterrupted reference: the same workload/shape/seed run under
+/// the supervisor with the same detector *and checkpointing enabled*
+/// (checkpointing segments the chain RNG streams, so it is part of the
+/// run's identity — the server always checkpoints NUTS jobs).
+fn uninterrupted(workload: &str, scale: f64, cfg: &RunConfig, test: &str) -> MultiChainRun {
+    let wl = registry::workload(workload, scale, cfg.seed).expect("registry workload");
+    let ckpt = checkpoint_dir(test).join(format!("ref-{workload}.ckpt.json"));
+    let report = Runtime::new(full_length_detector())
+        .with_config(SupervisorConfig::new().with_checkpoint_path(&ckpt))
+        .run(&Nuts::default(), wl.dynamics_model(), cfg)
+        .expect("uninterrupted reference run");
+    assert!(!report.degraded);
+    report.run
+}
+
+fn draws_of(run: &MultiChainRun) -> Vec<Vec<Vec<f64>>> {
+    run.chains.iter().map(|c| c.draws.clone()).collect()
+}
+
+fn assert_bitwise_eq(a: &[Vec<Vec<f64>>], b: &[Vec<Vec<f64>>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: chain count");
+    for (ci, (ca, cb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ca.len(), cb.len(), "{what}: chain {ci} draw count");
+        for (t, (da, db)) in ca.iter().zip(cb).enumerate() {
+            for (j, (x, y)) in da.iter().zip(db).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{what}: chain {ci} iter {t} dim {j}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// A preempted-then-resumed job is bit-identical to the uninterrupted
+/// run, and the guarantee is independent of the within-chain worker
+/// count: the reference is computed under `BAYES_INNER_THREADS` 1 and
+/// 4 while the server run derives its own inner threads from each
+/// placement's core grant.
+#[test]
+fn preempted_job_resumes_bit_identically() {
+    let server = JobServer::start(
+        ServerConfig::new(2, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("preempt")),
+    );
+    // The victim saturates both cores; the urgent job cannot fit and
+    // must preempt it at a checkpoint boundary.
+    let victim = server.submit(
+        JobSpec::new("victim", "12cities")
+            .with_chains(2)
+            .with_iters(240)
+            .with_seed(11)
+            .with_detector(full_length_detector()),
+    );
+    let urgent = server.submit(
+        JobSpec::new("urgent", "votes")
+            .with_chains(1)
+            .with_iters(60)
+            .with_seed(12)
+            .with_priority(5)
+            .with_detector(full_length_detector()),
+    );
+
+    let victim = victim.wait();
+    let urgent = urgent.wait();
+    server.join();
+    assert!(
+        !victim.preemptions.is_empty(),
+        "urgent job should have preempted the saturating batch job"
+    );
+    let JobOutcome::Completed(result) = &victim.outcome else {
+        panic!("victim should complete after resume: {:?}", victim.outcome);
+    };
+    assert!(!result.degraded);
+    assert_eq!(result.iters_done, 240);
+    let JobOutcome::Completed(_) = &urgent.outcome else {
+        panic!("urgent job should complete: {:?}", urgent.outcome);
+    };
+
+    // The env fallback only applies when neither an explicit override
+    // nor a core allotment is set, which is exactly the reference
+    // configuration here.
+    for threads in [1usize, 4] {
+        std::env::set_var("BAYES_INNER_THREADS", threads.to_string());
+        let cfg = RunConfig::new(240).with_chains(2).with_seed(11);
+        let reference = uninterrupted("12cities", 0.25, &cfg, "preempt");
+        assert_bitwise_eq(
+            &result.draws,
+            &draws_of(&reference),
+            &format!("preempted vs uninterrupted at {threads} inner threads"),
+        );
+    }
+    std::env::remove_var("BAYES_INNER_THREADS");
+}
+
+/// Three heterogeneous jobs sharing the server produce the same draws
+/// as each job run alone: placement, co-residency, and core grants
+/// never leak into the posterior.
+#[test]
+fn concurrent_jobs_match_isolated_runs() {
+    let server = JobServer::start(
+        ServerConfig::new(8, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("concurrent")),
+    );
+    let specs = [("12cities", 7u64), ("votes", 8), ("butterfly", 9)];
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|&(workload, seed)| {
+            server.submit(
+                JobSpec::new(format!("job-{workload}"), workload)
+                    .with_chains(2)
+                    .with_iters(120)
+                    .with_seed(seed)
+                    .with_detector(full_length_detector()),
+            )
+        })
+        .collect();
+    let jobs: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    server.join();
+
+    for (job, &(workload, seed)) in jobs.iter().zip(&specs) {
+        let JobOutcome::Completed(result) = &job.outcome else {
+            panic!("{workload} should complete: {:?}", job.outcome);
+        };
+        assert!(!result.degraded, "{workload} degraded in a fault-free mix");
+        let cfg = RunConfig::new(120)
+            .with_chains(2)
+            .with_seed(seed)
+            .with_inner_threads(1);
+        let isolated = uninterrupted(workload, 0.25, &cfg, "concurrent");
+        assert_bitwise_eq(
+            &result.draws,
+            &draws_of(&isolated),
+            &format!("concurrent vs isolated {workload}"),
+        );
+    }
+}
+
+/// Admission control refuses a job whose modeled working set alone
+/// exceeds the server's LLC budget — it never queues, never runs, and
+/// the refusal names the budget.
+#[test]
+fn admission_rejects_over_footprint_jobs() {
+    let server = JobServer::start(
+        ServerConfig::new(4, cache_resident_predictor())
+            .with_llc_budget(256)
+            .with_checkpoint_dir(checkpoint_dir("admission")),
+    );
+    let job = server
+        .submit(JobSpec::new("whale", "tickets").with_detector(full_length_detector()))
+        .wait();
+    match &job.outcome {
+        JobOutcome::Rejected(msg) => {
+            assert!(
+                msg.contains("exceeds the server LLC budget"),
+                "unhelpful rejection: {msg}"
+            );
+        }
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+    assert!(
+        job.events.is_empty(),
+        "a refused job must not emit lifecycle events"
+    );
+    server.join();
+}
+
+/// Quorum degradation is contained to the faulting job: a job whose
+/// chain dies past the retry budget completes degraded on its
+/// survivors, while a clean co-resident job is untouched.
+#[test]
+fn quorum_degradation_stays_per_job() {
+    let server = JobServer::start(
+        ServerConfig::new(8, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("quorum")),
+    );
+    // Chain 1 panics on every attempt: the default retry budget (2)
+    // exhausts and the chain is permanently lost.
+    let faulty = server.submit(
+        JobSpec::new("faulty", "12cities")
+            .with_chains(2)
+            .with_iters(120)
+            .with_seed(21)
+            .with_min_quorum(1)
+            .with_injector(Arc::new(FaultPlan::persistent(
+                1,
+                30,
+                InjectedFault::Panic,
+                u32::MAX,
+            )))
+            .with_detector(full_length_detector()),
+    );
+    let clean = server.submit(
+        JobSpec::new("clean", "votes")
+            .with_chains(2)
+            .with_iters(120)
+            .with_seed(22)
+            .with_detector(full_length_detector()),
+    );
+
+    let faulty = faulty.wait();
+    let clean = clean.wait();
+    server.join();
+
+    let JobOutcome::Completed(result) = &faulty.outcome else {
+        panic!(
+            "quorum of 1 should let the job degrade, not fail: {:?}",
+            faulty.outcome
+        );
+    };
+    assert!(result.degraded, "losing a chain must mark the job degraded");
+    assert_eq!(result.survivors, vec![0]);
+    assert!(result.faults >= 2, "both attempts should be on record");
+
+    let JobOutcome::Completed(result) = &clean.outcome else {
+        panic!("clean job should complete: {:?}", clean.outcome);
+    };
+    assert!(!result.degraded, "faults leaked into a co-resident job");
+    assert_eq!(result.faults, 0);
+    assert_eq!(result.survivors, vec![0, 1]);
+}
+
+/// A non-preemptible MH job is scheduled around, never paused: it
+/// completes with no preemptions even when a higher-priority job
+/// arrives while it saturates the box.
+#[test]
+fn mh_jobs_are_never_preempted() {
+    let server = JobServer::start(
+        ServerConfig::new(2, cache_resident_predictor()).with_checkpoint_dir(checkpoint_dir("mh")),
+    );
+    let mh = server.submit(
+        JobSpec::new("mh", "butterfly")
+            .with_chains(2)
+            .with_iters(300)
+            .with_seed(31)
+            .with_sampler(SamplerKind::Mh)
+            .with_detector(full_length_detector()),
+    );
+    let urgent = server.submit(
+        JobSpec::new("urgent", "votes")
+            .with_chains(1)
+            .with_iters(40)
+            .with_seed(32)
+            .with_priority(5)
+            .with_detector(full_length_detector()),
+    );
+    let mh = mh.wait();
+    let urgent = urgent.wait();
+    server.join();
+    assert!(mh.preemptions.is_empty(), "MH job has no pause boundaries");
+    assert!(matches!(mh.outcome, JobOutcome::Completed(_)));
+    assert!(matches!(urgent.outcome, JobOutcome::Completed(_)));
+}
