@@ -7,22 +7,39 @@
 //! a bit-exact pause/resume, and per-job event streaming.
 //!
 //! ```text
-//! serve_sim [--cores N] [--trace <path>]
+//! serve_sim [--cores N] [--trace <path>] [--state-dir <dir>]
+//!           [--kill-after-ms <T>] [--recover] [--policy-demo]
 //! ```
 //!
+//! Modes:
+//!
+//! * default — run the four-job mix to completion and self-validate
+//!   the lifecycle (admission, preemption, resume, completion);
+//! * `--state-dir <dir> --kill-after-ms <T>` — run the mix durably
+//!   (journal + checkpoints under `<dir>`), then kill the server
+//!   mid-flight after `T` ms, leaving the crash state on disk;
+//! * `--state-dir <dir> --recover` — recover the killed server from
+//!   `<dir>`, wait for the recovered jobs, and assert each one's
+//!   draws are bit-identical to a fresh isolated run of the same
+//!   spec (the paper's reproducibility bar survives a process crash);
+//! * `--policy-demo` — exercise overload shedding (bounded queue,
+//!   priority-aware victim selection) and a running-job deadline
+//!   expiry, validating the typed outcomes and their trace events.
+//!
 //! `--trace` writes the server's `job_*` lifecycle events as JSONL
-//! (`trace_report` prints them as a jobs section). The binary
-//! validates its own run — every job completes, the high-priority job
-//! preempted a low-priority one, and the preempted job resumed — and
-//! exits 1 otherwise, so CI can run it as a check.
+//! (`trace_report` prints them as a jobs section). Every mode
+//! validates its own run and exits 1 otherwise, so CI can run each
+//! as a check.
 
 use bayes_bench::{banner, trace_recorder_from_args};
 use bayes_core::mcmc::ConvergenceDetector;
 use bayes_core::obs::{Event, MemoryRecorder, Recorder, RecorderHandle};
 use bayes_core::sched::predictor::MissSample;
 use bayes_core::sched::LlcMissPredictor;
-use bayes_serve::{JobOutcome, JobServer, JobSpec, SamplerKind, ServerConfig};
+use bayes_serve::{JobHandle, JobOutcome, JobServer, JobSpec, SamplerKind, ServerConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Records into an in-memory buffer (for self-validation) and the
 /// `--trace` sink (for `trace_report`) at once.
@@ -71,26 +88,123 @@ fn full_length_detector() -> ConvergenceDetector {
         .with_min_iters(20)
 }
 
-fn main() {
-    let mut cores = 4usize;
+/// The job mix, in submission order (server ids 1..=4). `durable`
+/// scales the iteration budgets up so a `--kill-after-ms` strike
+/// reliably lands while jobs are still in flight.
+fn mix(durable: bool) -> Vec<JobSpec> {
+    let scale = if durable { 8 } else { 1 };
+    vec![
+        JobSpec::new("batch-12cities", "12cities")
+            .with_iters(240 * scale)
+            .with_priority(1)
+            .with_seed(11)
+            .with_detector(full_length_detector()),
+        JobSpec::new("batch-votes", "votes")
+            .with_iters(160 * scale)
+            .with_priority(1)
+            .with_seed(12)
+            .with_detector(full_length_detector()),
+        JobSpec::new("mh-butterfly", "butterfly")
+            .with_iters(400 * scale)
+            .with_priority(2)
+            .with_seed(13)
+            .with_sampler(SamplerKind::Mh)
+            .with_detector(full_length_detector()),
+        JobSpec::new("urgent-ad", "ad")
+            .with_iters(120 * scale)
+            .with_priority(5)
+            .with_seed(14)
+            .with_detector(full_length_detector()),
+    ]
+}
+
+/// Bitwise equality over `draws[chain][iter][dim]`.
+fn draws_bits_equal(a: &[Vec<Vec<f64>>], b: &[Vec<Vec<f64>>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ca, cb)| {
+            ca.len() == cb.len()
+                && ca.iter().zip(cb).all(|(da, db)| {
+                    da.len() == db.len()
+                        && da.iter().zip(db).all(|(x, y)| x.to_bits() == y.to_bits())
+                })
+        })
+}
+
+struct Args {
+    cores: usize,
+    state_dir: Option<PathBuf>,
+    kill_after_ms: Option<u64>,
+    recover: bool,
+    policy_demo: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cores: 4,
+        state_dir: None,
+        kill_after_ms: None,
+        recover: false,
+        policy_demo: false,
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--cores" => {
-                cores = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                args.cores = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--cores requires a positive integer");
                     std::process::exit(2);
                 })
             }
+            "--state-dir" => {
+                args.state_dir = Some(PathBuf::from(argv.next().unwrap_or_else(|| {
+                    eprintln!("--state-dir requires a path");
+                    std::process::exit(2);
+                })))
+            }
+            "--kill-after-ms" => {
+                args.kill_after_ms =
+                    Some(argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--kill-after-ms requires a duration in milliseconds");
+                        std::process::exit(2);
+                    }))
+            }
+            "--recover" => args.recover = true,
+            "--policy-demo" => args.policy_demo = true,
             "--trace" => {
                 let _ = argv.next(); // consumed by trace_recorder_from_args
             }
             other => {
-                eprintln!("unknown argument '{other}'; expected --cores <n>, --trace <path>");
+                eprintln!(
+                    "unknown argument '{other}'; expected --cores <n>, --trace <path>, \
+                     --state-dir <dir>, --kill-after-ms <T>, --recover, --policy-demo"
+                );
                 std::process::exit(2);
             }
         }
     }
+    if (args.kill_after_ms.is_some() || args.recover) && args.state_dir.is_none() {
+        eprintln!("--kill-after-ms and --recover require --state-dir <dir>");
+        std::process::exit(2);
+    }
+    if args.kill_after_ms.is_some() && args.recover {
+        eprintln!("--kill-after-ms and --recover are mutually exclusive");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// Builds the durable server config over `dir`: checkpoints in the
+/// directory, journal at `<dir>/journal.wal`.
+fn durable_config(cores: usize, dir: &PathBuf, trace: RecorderHandle) -> ServerConfig {
+    ServerConfig::new(cores, predictor())
+        .with_llc_budget(8 * 1024 * 1024)
+        .with_trace(trace)
+        .with_checkpoint_dir(dir)
+        .with_journal(dir.join("journal.wal"))
+}
+
+fn main() {
+    let args = parse_args();
     banner(
         "Job server simulation",
         "Concurrent heterogeneous jobs with predictor-driven placement and preemption.",
@@ -101,48 +215,54 @@ fn main() {
         memory: memory.clone(),
         file: trace_recorder_from_args(),
     }));
-    let server = JobServer::start(
-        ServerConfig::new(cores, predictor())
+
+    if args.policy_demo {
+        let ok = run_policy_demo(&memory, trace);
+        finish(ok);
+    }
+    if let Some(kill_ms) = args.kill_after_ms {
+        let dir = args.state_dir.expect("validated in parse_args");
+        run_kill(args.cores, &dir, kill_ms, trace);
+        return; // run_kill prints its own marker and always exits 0
+    }
+    if args.recover {
+        let dir = args.state_dir.expect("validated in parse_args");
+        let ok = run_recover(args.cores, &dir, &memory, trace);
+        finish(ok);
+    }
+    let ok = run_mix(args.cores, args.state_dir.as_ref(), &memory, trace);
+    finish(ok);
+}
+
+fn finish(ok: bool) -> ! {
+    if ok {
+        println!("PASS");
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
+
+/// Default mode: the full mix to completion, self-validated.
+fn run_mix(
+    cores: usize,
+    state_dir: Option<&PathBuf>,
+    memory: &MemoryRecorder,
+    trace: RecorderHandle,
+) -> bool {
+    let cfg = match state_dir {
+        Some(dir) => durable_config(cores, dir, trace.clone()),
+        None => ServerConfig::new(cores, predictor())
             .with_llc_budget(8 * 1024 * 1024)
             .with_trace(trace.clone()),
-    );
+    };
+    let server = JobServer::start(cfg);
 
     // The mix: two low-priority batch jobs that saturate the box, one
     // non-preemptible MH job, then a high-priority job that must
     // preempt a batch job to get on.
-    let batch_a = server.submit(
-        JobSpec::new("batch-12cities", "12cities")
-            .with_iters(240)
-            .with_priority(1)
-            .with_seed(11)
-            .with_detector(full_length_detector()),
-    );
-    let batch_b = server.submit(
-        JobSpec::new("batch-votes", "votes")
-            .with_iters(160)
-            .with_priority(1)
-            .with_seed(12)
-            .with_detector(full_length_detector()),
-    );
-    let mh = server.submit(
-        JobSpec::new("mh-butterfly", "butterfly")
-            .with_iters(400)
-            .with_priority(2)
-            .with_seed(13)
-            .with_sampler(SamplerKind::Mh)
-            .with_detector(full_length_detector()),
-    );
-    let urgent = server.submit(
-        JobSpec::new("urgent-ad", "ad")
-            .with_iters(120)
-            .with_priority(5)
-            .with_seed(14)
-            .with_detector(full_length_detector()),
-    );
-    let handles = [batch_a, batch_b, mh, urgent];
+    let handles: Vec<JobHandle> = mix(false).into_iter().map(|s| server.submit(s)).collect();
 
     let mut ok = true;
-    let mut finished = Vec::new();
     for handle in handles {
         let job = handle.wait();
         match &job.outcome {
@@ -160,16 +280,11 @@ fn main() {
                     ok = false;
                 }
             }
-            JobOutcome::Failed(msg) => {
-                eprintln!("FAIL: job {} failed: {msg}", job.id);
-                ok = false;
-            }
-            JobOutcome::Rejected(msg) => {
-                eprintln!("FAIL: job {} rejected: {msg}", job.id);
+            other => {
+                eprintln!("FAIL: job {} did not complete: {other:?}", job.id);
                 ok = false;
             }
         }
-        finished.push(job);
     }
     server.join();
     trace.flush();
@@ -206,9 +321,216 @@ fn main() {
         eprintln!("FAIL: every preemption must be followed by a resume placement");
         ok = false;
     }
-    if ok {
-        println!("PASS");
-    } else {
-        std::process::exit(1);
+    ok
+}
+
+/// Kill mode: run the durable mix, strike after `kill_ms`, leave the
+/// journal and checkpoints on disk for `--recover`.
+fn run_kill(cores: usize, dir: &PathBuf, kill_ms: u64, trace: RecorderHandle) {
+    std::fs::create_dir_all(dir).expect("create state dir");
+    let server = JobServer::start(durable_config(cores, dir, trace.clone()));
+    // Hold the handles so their channels stay open until the strike.
+    let handles: Vec<JobHandle> = mix(true).into_iter().map(|s| server.submit(s)).collect();
+    std::thread::sleep(Duration::from_millis(kill_ms));
+    server.kill();
+    trace.flush();
+    drop(handles);
+    println!(
+        "KILLED after {kill_ms}ms; durable state in {}",
+        dir.display()
+    );
+}
+
+/// Recover mode: rebuild the killed server from `dir`, wait for the
+/// recovered jobs, and prove each one's draws are bit-identical to a
+/// fresh isolated run of the same spec.
+fn run_recover(
+    cores: usize,
+    dir: &PathBuf,
+    memory: &MemoryRecorder,
+    trace: RecorderHandle,
+) -> bool {
+    let (server, handles) = match JobServer::recover(durable_config(cores, dir, trace.clone())) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("FAIL: recover from {}: {e}", dir.display());
+            return false;
+        }
+    };
+    if handles.is_empty() {
+        eprintln!(
+            "FAIL: no jobs to recover — was the server killed mid-flight? \
+             (try a smaller --kill-after-ms)"
+        );
+        server.join();
+        return false;
     }
+    println!("recovered {} job(s) from {}", handles.len(), dir.display());
+
+    let specs = mix(true);
+    let mut ok = true;
+    for handle in handles {
+        let id = handle.id;
+        let job = handle.wait();
+        let result = match &job.outcome {
+            JobOutcome::Completed(result) => result,
+            other => {
+                eprintln!("FAIL: recovered job {id} did not complete: {other:?}");
+                ok = false;
+                continue;
+            }
+        };
+        // The reproducibility bar: the crash, the replay, and the
+        // checkpoint resume must not perturb a single bit of the
+        // posterior. Re-run the same spec alone on a fresh server and
+        // compare draw-for-draw.
+        let spec = match specs.get(id as usize - 1) {
+            Some(spec) => spec.clone(),
+            None => {
+                eprintln!("FAIL: recovered job {id} outside the known mix");
+                ok = false;
+                continue;
+            }
+        };
+        let reference = JobServer::start(
+            ServerConfig::new(cores, predictor()).with_llc_budget(8 * 1024 * 1024),
+        );
+        let ref_handle = reference.submit(spec);
+        let ref_job = ref_handle.wait();
+        reference.join();
+        match &ref_job.outcome {
+            JobOutcome::Completed(ref_result) => {
+                if draws_bits_equal(&result.draws, &ref_result.draws) {
+                    println!(
+                        "job {id}: {} iters, bit-identical to the isolated reference run",
+                        result.iters_done
+                    );
+                } else {
+                    eprintln!("FAIL: job {id} draws differ from the isolated reference run");
+                    ok = false;
+                }
+            }
+            other => {
+                eprintln!("FAIL: reference run for job {id} did not complete: {other:?}");
+                ok = false;
+            }
+        }
+    }
+    server.join();
+    trace.flush();
+
+    let events = memory.events();
+    let replayed = events
+        .iter()
+        .any(|e| matches!(e, Event::JournalReplayed { .. }));
+    let recovered = events
+        .iter()
+        .filter(|e| matches!(e, Event::JobRecovered { .. }))
+        .count();
+    if !replayed {
+        eprintln!("FAIL: recovery must emit journal_replayed");
+        ok = false;
+    }
+    if recovered == 0 {
+        eprintln!("FAIL: recovery must emit job_recovered for each rebuilt job");
+        ok = false;
+    }
+    ok
+}
+
+/// Policy demo: overload shedding under a bounded queue, then a
+/// running-job deadline expiry.
+fn run_policy_demo(memory: &MemoryRecorder, trace: RecorderHandle) -> bool {
+    // One core and a one-slot queue: the hog occupies the core, the
+    // victim waits, and the urgent submission overflows the queue —
+    // shedding must evict the strictly-lower-priority victim, never
+    // the newcomer.
+    let server = JobServer::start(
+        ServerConfig::new(1, predictor())
+            .with_llc_budget(8 * 1024 * 1024)
+            .with_trace(trace.clone())
+            .with_queue_limit(1),
+    );
+    let hog = server.submit(
+        JobSpec::new("hog", "12cities")
+            .with_iters(2_000)
+            .with_priority(3)
+            .with_seed(21)
+            .with_detector(full_length_detector()),
+    );
+    // Let the hog take the core so the next job queues behind it.
+    std::thread::sleep(Duration::from_millis(50));
+    let victim = server.submit(
+        JobSpec::new("victim", "votes")
+            .with_iters(200)
+            .with_priority(1)
+            .with_seed(22)
+            .with_detector(full_length_detector()),
+    );
+    std::thread::sleep(Duration::from_millis(20));
+    let urgent = server.submit(
+        JobSpec::new("urgent", "ad")
+            .with_iters(120)
+            .with_priority(5)
+            .with_seed(23)
+            .with_detector(full_length_detector()),
+    );
+
+    let mut ok = true;
+    match victim.wait().outcome {
+        JobOutcome::Shed(reason) => println!("victim shed as expected: {reason}"),
+        other => {
+            eprintln!("FAIL: victim should have been shed, got {other:?}");
+            ok = false;
+        }
+    }
+    for (name, handle) in [("hog", hog), ("urgent", urgent)] {
+        match handle.wait().outcome {
+            JobOutcome::Completed(_) => println!("{name} completed"),
+            other => {
+                eprintln!("FAIL: {name} should have completed, got {other:?}");
+                ok = false;
+            }
+        }
+    }
+
+    // Deadline: a job that cannot possibly finish in 150ms must come
+    // back Expired, cancelled cooperatively mid-placement.
+    let overdue = server.submit(
+        JobSpec::new("overdue", "12cities")
+            .with_iters(50_000)
+            .with_priority(2)
+            .with_seed(24)
+            .with_deadline(Duration::from_millis(150))
+            .with_detector(full_length_detector()),
+    );
+    match overdue.wait().outcome {
+        JobOutcome::Expired(reason) => println!("overdue expired as expected: {reason}"),
+        other => {
+            eprintln!("FAIL: overdue job should have expired, got {other:?}");
+            ok = false;
+        }
+    }
+    server.join();
+    trace.flush();
+
+    let events = memory.events();
+    let shed_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::JobShed { .. }))
+        .count();
+    let expired_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::JobExpired { .. }))
+        .count();
+    println!("policy: {shed_events} job_shed, {expired_events} job_expired");
+    if shed_events == 0 {
+        eprintln!("FAIL: shedding must emit job_shed");
+        ok = false;
+    }
+    if expired_events == 0 {
+        eprintln!("FAIL: deadline expiry must emit job_expired");
+        ok = false;
+    }
+    ok
 }

@@ -120,8 +120,18 @@ pub struct JobRow {
     pub llc_bound: bool,
     /// Predicted LLC MPKI at the job's working set.
     pub predicted_mpki: f64,
+    /// Crash recoveries survived (`job_recovered` events).
+    pub recoveries: u64,
+    /// Checkpoint generations that failed their checksum during
+    /// recovery lookups, summed over all recoveries.
+    pub corrupt_skipped: u64,
     /// Terminal `job_completed` summary, when the job finished.
     pub completed: Option<JobEndRow>,
+    /// Terminal `job_expired` summary, when the deadline fired.
+    pub expired: Option<JobExpiredRow>,
+    /// Terminal `job_shed` summary, when overload shedding evicted
+    /// the job.
+    pub shed: Option<JobShedRow>,
 }
 
 /// The `job_completed` summary of a job.
@@ -137,6 +147,38 @@ pub struct JobEndRow {
     pub faults: u64,
     /// Gradient evaluations across surviving chains.
     pub grad_evals: u64,
+}
+
+/// The `job_expired` summary of a job that ran past its deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobExpiredRow {
+    /// Configured deadline, milliseconds.
+    pub deadline_ms: u64,
+    /// Iterations completed before the cancel took effect.
+    pub iters_done: u64,
+}
+
+/// The `job_shed` summary of a job refused or evicted under overload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobShedRow {
+    /// Pending-queue depth at the shedding decision.
+    pub queue_depth: u64,
+    /// Summed predicted working set of queued + running jobs, bytes.
+    pub queued_bytes: u64,
+}
+
+/// Journal replay observed on a server recovery, folded per journal
+/// path from `journal_truncated` / `journal_replayed` events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JournalRow {
+    /// Journal file path.
+    pub path: String,
+    /// Valid records replayed.
+    pub records: u64,
+    /// Jobs reconstructed into the queue.
+    pub jobs_recovered: u64,
+    /// Bytes dropped past the last valid record (torn tail).
+    pub truncated_bytes: u64,
 }
 
 /// One simulated counter snapshot (Figure 1/2, Table 2 provenance).
@@ -281,6 +323,8 @@ pub struct TraceReport {
     pub platforms: Vec<String>,
     /// Job server lifecycles, in first-submission order.
     pub jobs: Vec<JobRow>,
+    /// Journal replays observed (one per recovered server journal).
+    pub journal: Vec<JournalRow>,
 }
 
 impl TraceReport {
@@ -330,6 +374,20 @@ impl TraceReport {
             ..JobRow::default()
         });
         self.jobs.last_mut().expect("non-empty")
+    }
+
+    /// The replay row for the journal at `path`, creating one when its
+    /// first event arrives (`journal_truncated` precedes
+    /// `journal_replayed` for the same recovery).
+    fn journal(&mut self, path: &str) -> &mut JournalRow {
+        if let Some(i) = self.journal.iter().position(|j| j.path == path) {
+            return &mut self.journal[i];
+        }
+        self.journal.push(JournalRow {
+            path: path.to_string(),
+            ..JournalRow::default()
+        });
+        self.journal.last_mut().expect("non-empty")
     }
 
     fn ingest(&mut self, ev: Event) {
@@ -516,6 +574,58 @@ impl TraceReport {
                     grad_evals,
                 })
             }
+            Event::JobRecovered {
+                job,
+                corrupt_skipped,
+                ..
+            } => {
+                let row = self.job(job);
+                row.recoveries += 1;
+                row.corrupt_skipped += corrupt_skipped;
+            }
+            Event::JobExpired {
+                job,
+                deadline_ms,
+                iters_done,
+            } => {
+                self.job(job).expired = Some(JobExpiredRow {
+                    deadline_ms,
+                    iters_done,
+                })
+            }
+            Event::JobShed {
+                job,
+                priority,
+                queue_depth,
+                queued_bytes,
+            } => {
+                let row = self.job(job);
+                // A job shed at admission never got a `job_submitted`
+                // event; the shed record is the only priority source.
+                row.priority = priority;
+                row.shed = Some(JobShedRow {
+                    queue_depth,
+                    queued_bytes,
+                });
+            }
+            Event::JournalReplayed {
+                path,
+                records,
+                jobs_recovered,
+            } => {
+                let row = self.journal(&path);
+                row.records = records;
+                row.jobs_recovered = jobs_recovered;
+            }
+            Event::JournalTruncated {
+                path,
+                truncated_bytes,
+                records,
+            } => {
+                let row = self.journal(&path);
+                row.truncated_bytes = truncated_bytes;
+                row.records = records;
+            }
         }
     }
 }
@@ -528,7 +638,7 @@ impl TraceReport {
 /// tags, registry workload names), so parsing splits on `,` directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsvRow {
-    /// Section tag: `run<N>` or `counters`.
+    /// Section tag: `run<N>`, `counters`, `jobs`, or `journal`.
     pub section: String,
     /// Model/workload name of the section.
     pub model: String,
@@ -677,6 +787,8 @@ impl TraceReport {
             push(&mut rows, "cores", j.cores.to_string());
             push(&mut rows, "llc_bound", j.llc_bound.to_string());
             push(&mut rows, "predicted_mpki", j.predicted_mpki.to_string());
+            push(&mut rows, "recoveries", j.recoveries.to_string());
+            push(&mut rows, "corrupt_skipped", j.corrupt_skipped.to_string());
             if let Some(end) = &j.completed {
                 let at = end.stopped_at.map_or("none".to_string(), |t| t.to_string());
                 push(&mut rows, "stopped_at", at);
@@ -685,6 +797,26 @@ impl TraceReport {
                 push(&mut rows, "faults", end.faults.to_string());
                 push(&mut rows, "grad_evals", end.grad_evals.to_string());
             }
+            if let Some(e) = &j.expired {
+                push(&mut rows, "deadline_ms", e.deadline_ms.to_string());
+                push(&mut rows, "expired_iters_done", e.iters_done.to_string());
+            }
+            if let Some(sh) = &j.shed {
+                push(&mut rows, "shed_queue_depth", sh.queue_depth.to_string());
+                push(&mut rows, "shed_queued_bytes", sh.queued_bytes.to_string());
+            }
+        }
+        // The journal path stays out of the CSV (paths are the one
+        // string here not comma-free by construction); the text
+        // rendering carries it.
+        for (i, jr) in self.journal.iter().enumerate() {
+            let name = format!("journal{}", i + 1);
+            let push = |rows: &mut Vec<CsvRow>, field: &str, value: String| {
+                push_row(rows, "journal", "-", &name, field, value);
+            };
+            push(&mut rows, "records", jr.records.to_string());
+            push(&mut rows, "jobs_recovered", jr.jobs_recovered.to_string());
+            push(&mut rows, "truncated_bytes", jr.truncated_bytes.to_string());
         }
         rows
     }
@@ -896,13 +1028,14 @@ impl fmt::Display for TraceReport {
             writeln!(f, "\n--- jobs ---")?;
             writeln!(
                 f,
-                "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>9}",
+                "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>6} {:>5} {:>6} {:>8} {:>10} {:>9}",
                 "job",
                 "name",
                 "workload",
                 "prio",
                 "places",
                 "preempt",
+                "recov",
                 "cores",
                 "bound",
                 "iters",
@@ -910,28 +1043,48 @@ impl fmt::Display for TraceReport {
                 "outcome"
             )?;
             for j in &self.jobs {
-                let (iters, grads, outcome) = match &j.completed {
-                    Some(end) => (
+                let (iters, grads, outcome) = match (&j.completed, &j.expired, &j.shed) {
+                    (Some(end), _, _) => (
                         end.iters_done.to_string(),
                         end.grad_evals.to_string(),
                         if end.degraded { "degraded" } else { "ok" },
                     ),
-                    None => ("-".to_string(), "-".to_string(), "running"),
+                    (None, Some(e), _) => (e.iters_done.to_string(), "-".to_string(), "expired"),
+                    (None, None, Some(_)) => ("-".to_string(), "-".to_string(), "shed"),
+                    (None, None, None) => ("-".to_string(), "-".to_string(), "running"),
                 };
                 writeln!(
                     f,
-                    "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>5} {:>6} {:>8} {:>10} {:>9}",
+                    "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>6} {:>5} {:>6} {:>8} {:>10} {:>9}",
                     j.job,
                     j.name,
                     j.workload,
                     j.priority,
                     j.placements,
                     j.preemptions,
+                    j.recoveries,
                     j.cores,
                     if j.llc_bound { "llc" } else { "cache" },
                     iters,
                     grads,
                     outcome
+                )?;
+            }
+        }
+        if !self.journal.is_empty() {
+            writeln!(f, "\n--- journal replays ---")?;
+            for jr in &self.journal {
+                writeln!(
+                    f,
+                    "{}: {} records, {} jobs recovered{}",
+                    jr.path,
+                    jr.records,
+                    jr.jobs_recovered,
+                    if jr.truncated_bytes > 0 {
+                        format!(", {} torn bytes truncated", jr.truncated_bytes)
+                    } else {
+                        String::new()
+                    }
                 )?;
             }
         }
@@ -1055,7 +1208,7 @@ mod tests {
     #[test]
     fn aggregates_one_run() {
         let r = TraceReport::parse(&sample_trace()).unwrap();
-        assert_eq!(r.schema.as_deref(), Some("1.1"));
+        assert_eq!(r.schema.as_deref(), Some("1.2"));
         assert_eq!(r.skipped, 0);
         assert_eq!(r.runs.len(), 1);
         let s = &r.runs[0];
@@ -1172,6 +1325,80 @@ mod tests {
         assert!(rows
             .iter()
             .any(|row| row.section == "jobs" && row.name == "job1" && row.field == "preemptions"));
+    }
+
+    #[test]
+    fn folds_durability_events() {
+        let events = [
+            Event::trace_header(),
+            Event::JournalTruncated {
+                path: "/tmp/state/journal.wal".to_string(),
+                truncated_bytes: 13,
+                records: 6,
+            },
+            Event::JournalReplayed {
+                path: "/tmp/state/journal.wal".to_string(),
+                records: 6,
+                jobs_recovered: 2,
+            },
+            Event::JobSubmitted {
+                job: 1,
+                name: "batch".to_string(),
+                workload: "12cities".to_string(),
+                priority: 1,
+                chains: 2,
+                iters: 100,
+                seed: 7,
+                data_bytes: 4096,
+            },
+            Event::JobRecovered {
+                job: 1,
+                resumed_from: Some(40),
+                corrupt_skipped: 1,
+            },
+            Event::JobExpired {
+                job: 2,
+                deadline_ms: 150,
+                iters_done: 60,
+            },
+            Event::JobShed {
+                job: 3,
+                priority: 1,
+                queue_depth: 4,
+                queued_bytes: 1 << 20,
+            },
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let r = TraceReport::parse(&text).unwrap();
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.journal.len(), 1);
+        let jr = &r.journal[0];
+        assert_eq!(jr.records, 6);
+        assert_eq!(jr.jobs_recovered, 2);
+        assert_eq!(jr.truncated_bytes, 13);
+        let recovered = &r.jobs[0];
+        assert_eq!(recovered.recoveries, 1);
+        assert_eq!(recovered.corrupt_skipped, 1);
+        let expired = r.jobs.iter().find(|j| j.job == 2).unwrap();
+        assert_eq!(expired.expired.as_ref().unwrap().deadline_ms, 150);
+        let shed = r.jobs.iter().find(|j| j.job == 3).unwrap();
+        assert_eq!(shed.priority, 1);
+        assert_eq!(shed.shed.as_ref().unwrap().queue_depth, 4);
+        let rendered = r.to_string();
+        assert!(rendered.contains("--- journal replays ---"));
+        assert!(rendered.contains("13 torn bytes truncated"));
+        assert!(rendered.contains("expired"));
+        assert!(rendered.contains("shed"));
+        let rows = parse_csv(&r.to_csv()).unwrap();
+        assert!(rows.iter().any(|row| row.section == "journal"
+            && row.field == "jobs_recovered"
+            && row.value == "2"));
+        assert!(rows
+            .iter()
+            .any(|row| row.name == "job2" && row.field == "deadline_ms" && row.value == "150"));
+        assert!(rows
+            .iter()
+            .any(|row| row.name == "job3" && row.field == "shed_queue_depth" && row.value == "4"));
     }
 
     #[test]

@@ -31,6 +31,23 @@ use std::path::Path;
 /// Current checkpoint-file schema version.
 pub const CHECKPOINT_VERSION: u64 = 1;
 
+/// Magic token opening the checksummed checkpoint header line.
+const CHECKPOINT_MAGIC: &str = "BAYESCKPT";
+
+/// Where [`RunCheckpoint::save`] rotates the previous generation of
+/// `path` before the atomic rename lands the new one.
+///
+/// The two-generation scheme is what makes corruption recoverable: a
+/// reader that finds the current file torn or checksum-broken falls
+/// back to this path, which always holds the last fully-committed
+/// checkpoint (one boundary earlier).
+pub fn previous_checkpoint_path(path: impl AsRef<Path>) -> std::path::PathBuf {
+    let p = path.as_ref();
+    let mut name = p.file_name().unwrap_or_default().to_os_string();
+    name.push(".prev");
+    p.with_file_name(name)
+}
+
 /// Seed of the RNG segment starting at iteration `iter` of the chain
 /// whose transition stream seed is `chain_stream_seed`.
 ///
@@ -499,26 +516,104 @@ impl RunCheckpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` (truncating).
+    /// Serializes the checkpoint with its checksummed header line:
+    /// `BAYESCKPT <version> <payload_bytes> <fnv1a64-hex>\n<json>`.
+    pub fn to_durable_bytes(&self) -> String {
+        let payload = self.to_json();
+        let mut out = String::with_capacity(payload.len() + 48);
+        let _ = writeln!(
+            out,
+            "{CHECKPOINT_MAGIC} {CHECKPOINT_VERSION} {} {:016x}",
+            payload.len(),
+            bayes_obs::fnv1a64(payload.as_bytes())
+        );
+        out.push_str(&payload);
+        out
+    }
+
+    /// Decodes a durable checkpoint document: validates the header's
+    /// length and checksum, then parses the JSON payload. Headerless
+    /// input (a pre-durability checkpoint) is accepted as plain JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first framing, checksum, or schema
+    /// violation.
+    pub fn from_durable_bytes(text: &str) -> Result<Self, String> {
+        let Some(rest) = text.strip_prefix(CHECKPOINT_MAGIC) else {
+            // Legacy headerless checkpoint: the payload is the file.
+            return Self::from_json(text);
+        };
+        let (header, payload) = rest
+            .split_once('\n')
+            .ok_or("checkpoint: header line is unterminated")?;
+        let mut fields = header.split_ascii_whitespace();
+        let version: u64 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("checkpoint: header is missing the version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint: unsupported header version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let len: usize = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("checkpoint: header is missing the payload length")?;
+        let sum: u64 = fields
+            .next()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or("checkpoint: header is missing the checksum")?;
+        if payload.len() != len {
+            return Err(format!(
+                "checkpoint: torn payload ({} bytes, header says {len})",
+                payload.len()
+            ));
+        }
+        let actual = bayes_obs::fnv1a64(payload.as_bytes());
+        if actual != sum {
+            return Err(format!(
+                "checkpoint: checksum mismatch (stored {sum:016x}, computed {actual:016x})"
+            ));
+        }
+        Self::from_json(payload)
+    }
+
+    /// Writes the checkpoint to `path` atomically: the bytes land in a
+    /// temporary sibling first, the previous generation (if any) is
+    /// rotated to [`previous_checkpoint_path`], and a rename commits
+    /// the new file. A crash at any point leaves either the old
+    /// generation, the new one, or the old one under its `.prev` name
+    /// — never a half-written current file.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O failure.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let _span = bayes_obs::span(bayes_obs::Phase::Serialize);
-        std::fs::write(path, self.to_json())
+        let path = path.as_ref();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, self.to_durable_bytes())?;
+        if path.exists() {
+            std::fs::rename(path, previous_checkpoint_path(path))?;
+        }
+        std::fs::rename(&tmp, path)
     }
 
-    /// Reads a checkpoint back from `path`.
+    /// Reads a checkpoint back from `path`, rejecting torn or
+    /// corrupted files by header checksum.
     ///
     /// # Errors
     ///
-    /// Returns a description of the I/O or schema failure.
+    /// Returns a description of the I/O, framing, or schema failure.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
         let _span = bayes_obs::span(bayes_obs::Phase::Resume);
         let text = std::fs::read_to_string(path.as_ref())
             .map_err(|e| format!("checkpoint: cannot read {}: {e}", path.as_ref().display()))?;
-        Self::from_json(&text)
+        Self::from_durable_bytes(&text)
     }
 }
 
@@ -622,6 +717,54 @@ mod tests {
             .contains("version"));
         assert!(RunCheckpoint::from_json("not json").is_err());
         assert!(RunCheckpoint::from_json("{\"version\":1}").is_err());
+    }
+
+    #[test]
+    fn corrupted_and_torn_durable_bytes_are_rejected() {
+        let ck = sample_checkpoint();
+        let good = ck.to_durable_bytes();
+        assert_eq!(RunCheckpoint::from_durable_bytes(&good).unwrap(), ck);
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut flipped = good.clone().into_bytes();
+        let last = flipped.len() - 10;
+        flipped[last] ^= 0x01;
+        let flipped = String::from_utf8(flipped).unwrap();
+        assert!(RunCheckpoint::from_durable_bytes(&flipped)
+            .unwrap_err()
+            .contains("checksum"));
+
+        // A torn tail (truncated payload) must be caught by length.
+        let torn = &good[..good.len() - 7];
+        assert!(RunCheckpoint::from_durable_bytes(torn)
+            .unwrap_err()
+            .contains("torn"));
+
+        // Legacy headerless JSON still loads.
+        assert_eq!(
+            RunCheckpoint::from_durable_bytes(&ck.to_json()).unwrap(),
+            ck
+        );
+    }
+
+    #[test]
+    fn save_rotates_the_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("bayes-ckpt-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.json");
+        let mut first = sample_checkpoint();
+        first.iter = 25;
+        first.save(&path).expect("first save");
+        let second = sample_checkpoint();
+        second.save(&path).expect("second save");
+        assert_eq!(RunCheckpoint::load(&path).unwrap().iter, second.iter);
+        let prev = previous_checkpoint_path(&path);
+        assert_eq!(
+            RunCheckpoint::load(&prev).unwrap().iter,
+            25,
+            "rotation must keep the last good generation"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

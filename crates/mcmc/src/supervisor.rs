@@ -312,6 +312,16 @@ pub struct SupervisorConfig {
     /// [`SupervisorConfig::checkpoint_path`]; a pause commits only in
     /// rounds that write checkpoints (retry rounds ignore it).
     pub pause: Option<Arc<PauseControl>>,
+    /// Wall-clock budget for the whole run (retries included). When it
+    /// elapses the monitor cancels every chain cooperatively — never
+    /// touching the RNG — and the run returns early with
+    /// [`RunReport::interrupted`] set to [`Interrupt::DeadlineExpired`]
+    /// and whatever draws were in the buffers. `None` disables it.
+    pub deadline: Option<Duration>,
+    /// External abort token (the job server's crash-simulation and
+    /// shutdown path): raising it cancels every chain cooperatively
+    /// and the run returns with [`Interrupt::Aborted`].
+    pub abort: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for SupervisorConfig {
@@ -324,6 +334,8 @@ impl std::fmt::Debug for SupervisorConfig {
             .field("checkpoint_path", &self.checkpoint_path)
             .field("injector", &self.injector.is_some())
             .field("pause", &self.pause.is_some())
+            .field("deadline", &self.deadline)
+            .field("abort", &self.abort.is_some())
             .finish()
     }
 }
@@ -381,10 +393,32 @@ impl SupervisorConfig {
         self.pause = Some(pause);
         self
     }
+
+    /// Sets the run-level wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches an external abort token.
+    pub fn with_abort(mut self, abort: Arc<AtomicBool>) -> Self {
+        self.abort = Some(abort);
+        self
+    }
 }
 
 // `new()` must start from quorum 2, but `derive(Default)` would give
 // 0; keep Default usable by making it identical to `new()`.
+
+/// Why a supervised run returned before finishing its configured work
+/// (other than a pause or an early convergence stop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// [`SupervisorConfig::deadline`] elapsed.
+    DeadlineExpired,
+    /// The external [`SupervisorConfig::abort`] token was raised.
+    Aborted,
+}
 
 /// Outcome of a supervised run.
 #[derive(Debug, Clone)]
@@ -399,6 +433,11 @@ pub struct RunReport {
     /// run continues bit-identically via [`Runtime::resume`] from
     /// [`SupervisorConfig::checkpoint_path`].
     pub paused_at: Option<usize>,
+    /// Set when the run was cut short by the deadline or the abort
+    /// token; [`RunReport::run`] holds the partial draws. A checkpoint
+    /// written before the interrupt (if checkpointing was on) resumes
+    /// the run bit-identically.
+    pub interrupted: Option<Interrupt>,
     /// Iterations configured by the user.
     pub configured_iters: usize,
     /// Every fault observed, in resolution order.
@@ -503,6 +542,8 @@ struct RoundResult {
     /// checkpoint was written from (authoritative over `outcomes`,
     /// which may include post-boundary overrun or moot faults).
     paused: Option<(usize, Vec<ChainCheckpoint>)>,
+    /// The round was cut short by the deadline or the abort token.
+    interrupted: Option<Interrupt>,
 }
 
 /// The fault-tolerant counterpart of
@@ -748,6 +789,9 @@ impl Runtime {
         let mut faults: Vec<ChainFault> = Vec::new();
         let mut decided: Option<usize> = None;
         let mut paused_at: Option<usize> = None;
+        let mut interrupted: Option<Interrupt> = None;
+        // The deadline clock covers the whole run, retries included.
+        let deadline_at = self.sup.deadline.map(|d| Instant::now() + d);
 
         while !pending.is_empty() {
             let all_pending = completed.is_empty() && pending.len() == cfg.chains;
@@ -762,6 +806,7 @@ impl Runtime {
                 &segments,
                 decided,
                 write_checkpoints,
+                deadline_at,
             )?;
             if decided.is_none() {
                 decided = round.decided;
@@ -800,6 +845,36 @@ impl Runtime {
                     }
                 }
                 paused_at = Some(t);
+                break;
+            }
+            if let Some(reason) = round.interrupted {
+                // The cut is cooperative: chains were cancelled at a
+                // draw boundary and returned whatever they had. Keep
+                // the partial draws (prefix re-attached) and record
+                // faults without retrying — the run is over.
+                for (p, outcome) in pending.iter().zip(round.outcomes) {
+                    match outcome {
+                        Ok(mut out) => {
+                            if !p.prefix_draws.is_empty() {
+                                let mut draws = p.prefix_draws.clone();
+                                draws.append(&mut out.draws);
+                                out.draws = draws;
+                                let mut evals = p.prefix_evals.clone();
+                                evals.append(&mut out.evals_per_iter);
+                                out.evals_per_iter = evals;
+                            }
+                            completed.insert(p.chain, out);
+                        }
+                        Err((kind, iter, message)) => faults.push(ChainFault {
+                            chain: p.chain,
+                            attempt: p.attempt,
+                            kind,
+                            iter,
+                            message,
+                        }),
+                    }
+                }
+                interrupted = Some(reason);
                 break;
             }
 
@@ -897,7 +972,11 @@ impl Runtime {
         // schedule over them post-hoc (quorum permitting) so graceful
         // degradation still elides converged tails. No events: the
         // online monitor already reported the checkpoints it reached.
-        if decided.is_none() && !lost.is_empty() && completed.len() >= self.sup.min_quorum.max(2) {
+        if interrupted.is_none()
+            && decided.is_none()
+            && !lost.is_empty()
+            && completed.len() >= self.sup.min_quorum.max(2)
+        {
             let views: Vec<&[Vec<f64>]> = completed.values().map(|c| c.draws.as_slice()).collect();
             let mut streak = 0usize;
             for t in self.detector.checkpoints(cfg.iters) {
@@ -970,6 +1049,7 @@ impl Runtime {
             },
             stopped_at: decided,
             paused_at,
+            interrupted,
             configured_iters: cfg.iters,
             faults,
             degraded,
@@ -993,6 +1073,7 @@ impl Runtime {
         segments: &[usize],
         decided: Option<usize>,
         write_checkpoints: bool,
+        deadline_at: Option<Instant>,
     ) -> Result<RoundResult, RunError> {
         let n = pending.len();
         // Convergence may only be decided while enough chains
@@ -1018,6 +1099,7 @@ impl Runtime {
             None
         };
         let round_paused: Mutex<Option<(usize, Vec<ChainCheckpoint>)>> = Mutex::new(None);
+        let round_interrupted: Mutex<Option<Interrupt>> = Mutex::new(None);
         let done = AtomicBool::new(false);
         let wake_mx = Mutex::new(());
         let wake_cv = Condvar::new();
@@ -1038,6 +1120,8 @@ impl Runtime {
                     let snapshots = &snapshots;
                     let round_stopped = &round_stopped;
                     let round_paused = &round_paused;
+                    let round_interrupted = &round_interrupted;
+                    let abort = self.sup.abort.clone();
                     let pause = pause.clone();
                     let done = &done;
                     let wake_mx = &wake_mx;
@@ -1062,6 +1146,25 @@ impl Runtime {
                         let mut pause_target: Option<usize> = None;
                         let mut pause_dead = false;
                         loop {
+                            // Deadline/abort cut: cancel every chain
+                            // cooperatively (the same flag the elision
+                            // stop uses — no RNG is touched) and end
+                            // the round with the partial buffers.
+                            let cut = if abort.as_deref().is_some_and(|a| a.load(Ordering::Acquire))
+                            {
+                                Some(Interrupt::Aborted)
+                            } else if deadline_at.is_some_and(|d| Instant::now() >= d) {
+                                Some(Interrupt::DeadlineExpired)
+                            } else {
+                                None
+                            };
+                            if let Some(reason) = cut {
+                                *round_interrupted.lock() = Some(reason);
+                                for cancel in cancels {
+                                    cancel.store(true, Ordering::Release);
+                                }
+                                break;
+                            }
                             if let Some(pc) = pause.as_deref() {
                                 if !pause_dead && pause_target.is_none() && pc.is_requested() {
                                     // Publish the first remaining
@@ -1487,6 +1590,7 @@ impl Runtime {
             outcomes: outcomes?,
             decided,
             paused: round_paused.into_inner(),
+            interrupted: round_interrupted.into_inner(),
         })
     }
 }

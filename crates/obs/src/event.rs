@@ -25,8 +25,10 @@ use std::fmt;
 /// [`DecodeError::UnsupportedSchema`]; newer minors decode fine.
 pub const TRACE_SCHEMA_MAJOR: u64 = 1;
 /// Minor version of the trace schema (additive changes only).
-/// Minor 1 added the `job_*` lifecycle events of the serving layer.
-pub const TRACE_SCHEMA_MINOR: u64 = 1;
+/// Minor 1 added the `job_*` lifecycle events of the serving layer;
+/// minor 2 added the durability events (`job_recovered`, `job_expired`,
+/// `job_shed`, `journal_replayed`, `journal_truncated`).
+pub const TRACE_SCHEMA_MINOR: u64 = 2;
 
 /// Why one trace line failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -378,6 +380,61 @@ pub enum Event {
         /// Total gradient evaluations across surviving chains.
         grad_evals: u64,
     },
+    /// A restarted server re-queued a job reconstructed from the
+    /// journal (job server recovery).
+    JobRecovered {
+        /// Server-assigned job id (preserved across the restart).
+        job: u64,
+        /// Checkpoint boundary the job will resume from, or `None`
+        /// for a clean restart of the same RNG stream.
+        resumed_from: Option<u64>,
+        /// Checkpoint generations that failed their checksum and were
+        /// skipped while looking for the newest valid one.
+        corrupt_skipped: u64,
+    },
+    /// A job ran past its deadline and was cancelled cooperatively
+    /// (job server).
+    JobExpired {
+        /// Server-assigned job id.
+        job: u64,
+        /// Configured deadline, milliseconds.
+        deadline_ms: u64,
+        /// Iterations completed before the cancel took effect.
+        iters_done: u64,
+    },
+    /// Admission-side load shedding refused or evicted a job under
+    /// overload (job server).
+    JobShed {
+        /// Server-assigned job id.
+        job: u64,
+        /// Scheduling priority of the shed job.
+        priority: u64,
+        /// Pending-queue depth at the shedding decision.
+        queue_depth: u64,
+        /// Summed predicted working set of queued + running jobs,
+        /// bytes, at the shedding decision.
+        queued_bytes: u64,
+    },
+    /// A server replayed its write-ahead journal on recovery
+    /// (job server).
+    JournalReplayed {
+        /// Journal file path.
+        path: String,
+        /// Valid records replayed.
+        records: u64,
+        /// Jobs reconstructed into the queue.
+        jobs_recovered: u64,
+    },
+    /// A torn tail was truncated from the journal on open (job
+    /// server) — everything up to the last complete record survives.
+    JournalTruncated {
+        /// Journal file path.
+        path: String,
+        /// Bytes dropped past the last valid record.
+        truncated_bytes: u64,
+        /// Valid records kept.
+        records: u64,
+    },
     /// A run completed without its full chain complement (supervisor).
     DegradedReport {
         /// Model (workload) name.
@@ -713,6 +770,53 @@ impl Event {
                 .field_u64("faults", *faults)
                 .field_u64("grad_evals", *grad_evals)
                 .finish(),
+            Event::JobRecovered {
+                job,
+                resumed_from,
+                corrupt_skipped,
+            } => Obj::new("job_recovered")
+                .field_u64("job", *job)
+                .field_opt_u64("resumed_from", *resumed_from)
+                .field_u64("corrupt_skipped", *corrupt_skipped)
+                .finish(),
+            Event::JobExpired {
+                job,
+                deadline_ms,
+                iters_done,
+            } => Obj::new("job_expired")
+                .field_u64("job", *job)
+                .field_u64("deadline_ms", *deadline_ms)
+                .field_u64("iters_done", *iters_done)
+                .finish(),
+            Event::JobShed {
+                job,
+                priority,
+                queue_depth,
+                queued_bytes,
+            } => Obj::new("job_shed")
+                .field_u64("job", *job)
+                .field_u64("priority", *priority)
+                .field_u64("queue_depth", *queue_depth)
+                .field_u64("queued_bytes", *queued_bytes)
+                .finish(),
+            Event::JournalReplayed {
+                path,
+                records,
+                jobs_recovered,
+            } => Obj::new("journal_replayed")
+                .field_str("path", path)
+                .field_u64("records", *records)
+                .field_u64("jobs_recovered", *jobs_recovered)
+                .finish(),
+            Event::JournalTruncated {
+                path,
+                truncated_bytes,
+                records,
+            } => Obj::new("journal_truncated")
+                .field_str("path", path)
+                .field_u64("truncated_bytes", *truncated_bytes)
+                .field_u64("records", *records)
+                .finish(),
             Event::DegradedReport {
                 model,
                 survivors,
@@ -901,6 +1005,32 @@ impl Event {
                 degraded: get_bool(v, "degraded")?,
                 faults: get_u64(v, "faults")?,
                 grad_evals: get_u64(v, "grad_evals")?,
+            }),
+            "job_recovered" => Ok(Event::JobRecovered {
+                job: get_u64(v, "job")?,
+                resumed_from: get_opt_u64(v, "resumed_from")?,
+                corrupt_skipped: get_u64(v, "corrupt_skipped")?,
+            }),
+            "job_expired" => Ok(Event::JobExpired {
+                job: get_u64(v, "job")?,
+                deadline_ms: get_u64(v, "deadline_ms")?,
+                iters_done: get_u64(v, "iters_done")?,
+            }),
+            "job_shed" => Ok(Event::JobShed {
+                job: get_u64(v, "job")?,
+                priority: get_u64(v, "priority")?,
+                queue_depth: get_u64(v, "queue_depth")?,
+                queued_bytes: get_u64(v, "queued_bytes")?,
+            }),
+            "journal_replayed" => Ok(Event::JournalReplayed {
+                path: get_str(v, "path")?,
+                records: get_u64(v, "records")?,
+                jobs_recovered: get_u64(v, "jobs_recovered")?,
+            }),
+            "journal_truncated" => Ok(Event::JournalTruncated {
+                path: get_str(v, "path")?,
+                truncated_bytes: get_u64(v, "truncated_bytes")?,
+                records: get_u64(v, "records")?,
             }),
             "degraded_report" => Ok(Event::DegradedReport {
                 model: get_str(v, "model")?,
@@ -1119,6 +1249,37 @@ mod tests {
                 degraded: true,
                 faults: 2,
                 grad_evals: 500_000,
+            },
+            Event::JobRecovered {
+                job: 4,
+                resumed_from: Some(120),
+                corrupt_skipped: 1,
+            },
+            Event::JobRecovered {
+                job: 5,
+                resumed_from: None,
+                corrupt_skipped: 0,
+            },
+            Event::JobExpired {
+                job: 6,
+                deadline_ms: 1500,
+                iters_done: 80,
+            },
+            Event::JobShed {
+                job: 9,
+                priority: 1,
+                queue_depth: 4,
+                queued_bytes: 96 * 1024 * 1024,
+            },
+            Event::JournalReplayed {
+                path: "/tmp/serve.journal".into(),
+                records: 17,
+                jobs_recovered: 3,
+            },
+            Event::JournalTruncated {
+                path: "/tmp/serve.journal".into(),
+                truncated_bytes: 42,
+                records: 16,
             },
         ]
     }

@@ -162,6 +162,22 @@ impl ObjWriter {
     }
 }
 
+/// FNV-1a 64-bit checksum over `bytes`.
+///
+/// The durable-state layers (`RunCheckpoint` headers, the job-server
+/// journal) frame their JSON payloads with this checksum so torn or
+/// corrupted writes are detected on read. FNV-1a is not cryptographic —
+/// it guards against partial writes and bit rot, not adversaries — but
+/// it is deterministic, dependency-free, and one multiply per byte.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// Appends `s` to `out` as a JSON string literal (quotes included).
 pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');

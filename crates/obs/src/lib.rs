@@ -43,6 +43,7 @@ pub mod recorder;
 pub mod span;
 
 pub use event::{CheckpointSource, DecodeError, Event, TRACE_SCHEMA_MAJOR, TRACE_SCHEMA_MINOR};
+pub use json::fnv1a64;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 pub use span::{span, Phase, Profiler, ProfilerHandle, ScopeGuard, SpanGuard};

@@ -5,6 +5,7 @@ use bayes_mcmc::supervisor::FaultInjector;
 use bayes_mcmc::ConvergenceDetector;
 use bayes_obs::Event;
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Which sampler a job runs under the supervisor.
 ///
@@ -49,6 +50,18 @@ pub struct JobSpec {
     /// Minimum surviving chains before the job fails (`None` keeps the
     /// supervisor default).
     pub min_quorum: Option<usize>,
+    /// Wall-clock budget from admission, all placements and queue time
+    /// included; an over-deadline job terminates with
+    /// [`JobOutcome::Expired`]. `None` means no deadline. After a
+    /// crash recovery the clock restarts — the journal records no wall
+    /// time, so the budget is per server incarnation.
+    pub deadline: Option<Duration>,
+    /// Extra placements the scheduler may grant after a failed run
+    /// before declaring the job failed (the restart budget).
+    pub restarts: u32,
+    /// Base delay before a restarted placement becomes eligible;
+    /// doubles per consumed restart, capped at 2 s.
+    pub backoff: Duration,
     /// Deterministic fault injector applied to every placement of this
     /// job (tests and smoke runs); `None` in production. Faults stream
     /// on the job's own update channel and never touch co-resident
@@ -68,6 +81,9 @@ impl std::fmt::Debug for JobSpec {
             .field("priority", &self.priority)
             .field("sampler", &self.sampler)
             .field("min_quorum", &self.min_quorum)
+            .field("deadline", &self.deadline)
+            .field("restarts", &self.restarts)
+            .field("backoff", &self.backoff)
             .field("injector", &self.injector.is_some())
             .finish()
     }
@@ -88,6 +104,9 @@ impl JobSpec {
             sampler: SamplerKind::Nuts,
             detector: ConvergenceDetector::new(),
             min_quorum: None,
+            deadline: None,
+            restarts: 0,
+            backoff: Duration::from_millis(50),
             injector: None,
         }
     }
@@ -137,6 +156,24 @@ impl JobSpec {
     /// Sets the chain quorum the job fails below.
     pub fn with_min_quorum(mut self, quorum: usize) -> Self {
         self.min_quorum = Some(quorum);
+        self
+    }
+
+    /// Sets a wall-clock deadline measured from admission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Grants `restarts` extra placements after failed runs.
+    pub fn with_restarts(mut self, restarts: u32) -> Self {
+        self.restarts = restarts;
+        self
+    }
+
+    /// Sets the base restart backoff (doubles per restart, capped).
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
         self
     }
 
@@ -194,6 +231,18 @@ pub enum JobUpdate {
     /// Terminal: admission refused the job (unknown workload, zero
     /// shape, or a working set over the server's LLC budget).
     Rejected(String),
+    /// Terminal: the job's wall-clock deadline passed before it
+    /// finished; partial work stays on disk but no result is returned.
+    Expired(String),
+    /// Terminal: the server shed the job under overload — either at
+    /// admission, or later from the pending queue to make room for a
+    /// higher-priority submission.
+    Shed(String),
+    /// Terminal: the server went away (crash, kill, or drop) before
+    /// the job reached any other terminal state. A journaling server
+    /// can be recovered with [`crate::JobServer::recover`], which
+    /// re-issues handles for every job that ended this way.
+    ServerLost,
 }
 
 /// How a job ended.
@@ -205,6 +254,12 @@ pub enum JobOutcome {
     Failed(String),
     /// Refused at admission.
     Rejected(String),
+    /// Deadline passed before completion.
+    Expired(String),
+    /// Dropped under overload.
+    Shed(String),
+    /// The server crashed or shut down with the job still live.
+    ServerLost,
 }
 
 /// Everything a job streamed plus its terminal outcome, as collected
@@ -239,8 +294,10 @@ impl JobHandle {
     /// Drains the stream to its terminal update, collecting events and
     /// preemption points along the way.
     ///
-    /// A closed stream without a terminal update (the server dropped
-    /// the job, e.g. on shutdown) reports as a `Failed` outcome.
+    /// A closed stream without a terminal update (a race against server
+    /// teardown) reports as [`JobOutcome::ServerLost`], the same
+    /// outcome the scheduler sends explicitly on crash or drop — every
+    /// handle is guaranteed a terminal outcome either way.
     pub fn wait(self) -> CompletedJob {
         let mut events = Vec::new();
         let mut preemptions = Vec::new();
@@ -252,14 +309,16 @@ impl JobHandle {
                 JobUpdate::Completed(r) => outcome = Some(JobOutcome::Completed(r)),
                 JobUpdate::Failed(msg) => outcome = Some(JobOutcome::Failed(msg)),
                 JobUpdate::Rejected(msg) => outcome = Some(JobOutcome::Rejected(msg)),
+                JobUpdate::Expired(msg) => outcome = Some(JobOutcome::Expired(msg)),
+                JobUpdate::Shed(msg) => outcome = Some(JobOutcome::Shed(msg)),
+                JobUpdate::ServerLost => outcome = Some(JobOutcome::ServerLost),
             }
         }
         CompletedJob {
             id: self.id,
             events,
             preemptions,
-            outcome: outcome
-                .unwrap_or_else(|| JobOutcome::Failed("job stream closed by server".into())),
+            outcome: outcome.unwrap_or(JobOutcome::ServerLost),
         }
     }
 }

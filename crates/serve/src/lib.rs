@@ -24,7 +24,11 @@
 //! "The job server".
 
 pub mod job;
+pub mod journal;
 pub mod server;
+pub mod store;
 
 pub use job::{CompletedJob, JobHandle, JobOutcome, JobResult, JobSpec, JobUpdate, SamplerKind};
+pub use journal::{Journal, JournalRecord, Replay, SpecRecord, WalFault, WalFaultInjector};
 pub use server::{JobServer, ServerConfig};
+pub use store::CheckpointStore;

@@ -1,4 +1,5 @@
-//! The job server: submission queue, admission, placement, preemption.
+//! The job server: submission queue, admission, placement, preemption,
+//! and crash-safe durability.
 //!
 //! One scheduler thread owns all state and is the only writer of
 //! `job_*` lifecycle events, so every trace and client stream observes
@@ -27,24 +28,63 @@
 //!    priority is paused bit-exactly at its next checkpoint boundary
 //!    and re-queued; its next placement resumes from the checkpoint
 //!    with identical draws.
+//!
+//! Durability (DESIGN.md § "Durability & recovery"): with a journal
+//! configured ([`ServerConfig::with_journal`]), every lifecycle
+//! transition is appended to a checksummed write-ahead log *before*
+//! its trace event is emitted, and every NUTS checkpoint lands in the
+//! [`CheckpointStore`] through an atomic two-generation write. A
+//! SIGKILL'd (or [`JobServer::kill`]ed) server restarts through
+//! [`JobServer::recover`], which replays the journal, re-queues every
+//! job that had no terminal record, and resumes each from its newest
+//! valid checkpoint — draws come out bit-identical to an uninterrupted
+//! run because resuming restores the exact segmented RNG streams.
+//!
+//! Job-level robustness policy:
+//!
+//! * a per-job wall-clock deadline ([`JobSpec::with_deadline`]) expires
+//!   pending jobs at the queue and interrupts running placements
+//!   cooperatively through the supervisor's deadline, terminating with
+//!   [`JobUpdate::Expired`];
+//! * a restart budget ([`JobSpec::with_restarts`]) re-queues a failed
+//!   job under capped exponential backoff before it is declared failed;
+//! * admission-side load shedding ([`ServerConfig::with_queue_limit`],
+//!   [`ServerConfig::with_shed_watermark`]) bounds the pending queue
+//!   and the summed predicted working set, shedding the lowest-priority
+//!   pending job — or the newcomer itself when nothing cheaper is
+//!   queued — with [`JobUpdate::Shed`].
 
 use crate::job::{JobHandle, JobResult, JobSpec, JobUpdate, SamplerKind};
+use crate::journal::{Journal, JournalRecord, SpecRecord, WalFaultInjector};
+use crate::store::CheckpointStore;
 use bayes_mcmc::mh::MetropolisHastings;
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::summary::{summarize, ParamSummary};
-use bayes_mcmc::supervisor::{PauseControl, Runtime, SupervisorConfig};
+use bayes_mcmc::supervisor::{Interrupt, PauseControl, Runtime, SupervisorConfig};
 use bayes_mcmc::RunConfig;
 use bayes_obs::{Event, Recorder, RecorderHandle};
 use bayes_sched::LlcMissPredictor;
 use bayes_suite::registry;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Distinguishes concurrent servers in one process so their default
+/// checkpoint directories never collide.
+static SERVER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Ceiling on the per-restart exponential backoff.
+const MAX_BACKOFF: Duration = Duration::from_secs(2);
+
+/// Scheduler poll period: how often deadlines, backoff eligibility,
+/// and placement are re-evaluated when no message arrives.
+const POLL: Duration = Duration::from_millis(20);
 
 /// Static resources and policy knobs of one server instance.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Cores the server may hand out across all resident jobs.
     pub cores: usize,
@@ -53,23 +93,62 @@ pub struct ServerConfig {
     pub llc_budget_bytes: usize,
     /// The Section-V working-set predictor driving placement.
     pub predictor: LlcMissPredictor,
-    /// Directory preemption checkpoints are written under.
+    /// Directory preemption/recovery checkpoints are written under.
+    /// Defaults to a unique per-server subdirectory of the system temp
+    /// dir, removed again on graceful [`JobServer::join`].
     pub checkpoint_dir: PathBuf,
     /// Server-level trace sink for `job_*` lifecycle events.
     pub trace: RecorderHandle,
+    /// Write-ahead-log path; `None` (the default) disables journaling
+    /// and with it crash recovery.
+    pub journal_path: Option<PathBuf>,
+    /// Pending-queue depth above which admission sheds (`None` =
+    /// unbounded).
+    pub max_pending: Option<usize>,
+    /// High-water mark, bytes, on the summed predicted working set of
+    /// all live jobs above which admission sheds (`None` = unbounded).
+    pub shed_bytes: Option<usize>,
+    /// Deterministic journal fault injector (chaos tests only).
+    pub wal_injector: Option<Arc<dyn WalFaultInjector>>,
+    /// True while `checkpoint_dir` is the generated default, which
+    /// [`JobServer::join`] deletes on a clean drain.
+    default_dir: bool,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("cores", &self.cores)
+            .field("llc_budget_bytes", &self.llc_budget_bytes)
+            .field("predictor", &self.predictor)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("journal_path", &self.journal_path)
+            .field("max_pending", &self.max_pending)
+            .field("shed_bytes", &self.shed_bytes)
+            .field("wal_injector", &self.wal_injector.is_some())
+            .field("default_dir", &self.default_dir)
+            .finish()
+    }
 }
 
 impl ServerConfig {
     /// A server over `cores` cores using `predictor`, with an 8 MiB
-    /// LLC budget, checkpoints under the system temp dir, and no
-    /// trace.
+    /// LLC budget, checkpoints under a fresh per-server temp
+    /// subdirectory, no journal, no shedding limits, and no trace.
     pub fn new(cores: usize, predictor: LlcMissPredictor) -> Self {
+        let seq = SERVER_SEQ.fetch_add(1, Ordering::Relaxed);
         Self {
             cores: cores.max(1),
             llc_budget_bytes: 8 * 1024 * 1024,
             predictor,
-            checkpoint_dir: std::env::temp_dir(),
+            checkpoint_dir: std::env::temp_dir()
+                .join(format!("bayes-serve-{}-{seq}", std::process::id())),
             trace: RecorderHandle::null(),
+            journal_path: None,
+            max_pending: None,
+            shed_bytes: None,
+            wal_injector: None,
+            default_dir: true,
         }
     }
 
@@ -79,9 +158,11 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the checkpoint directory.
+    /// Sets the checkpoint directory (and opts out of the default
+    /// dir's automatic removal on [`JobServer::join`]).
     pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.checkpoint_dir = dir.into();
+        self.default_dir = false;
         self
     }
 
@@ -90,12 +171,42 @@ impl ServerConfig {
         self.trace = trace;
         self
     }
+
+    /// Enables the durable write-ahead log at `path`.
+    /// [`JobServer::start`] truncates any existing file (a new server
+    /// incarnation); [`JobServer::recover`] replays it.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Bounds the pending queue; admissions past the bound shed.
+    pub fn with_queue_limit(mut self, max_pending: usize) -> Self {
+        self.max_pending = Some(max_pending);
+        self
+    }
+
+    /// Sets the working-set high-water mark; admissions that would
+    /// push the summed predicted working set past it shed.
+    pub fn with_shed_watermark(mut self, bytes: usize) -> Self {
+        self.shed_bytes = Some(bytes);
+        self
+    }
+
+    /// Attaches a deterministic journal fault injector (chaos tests).
+    pub fn with_wal_injector(mut self, injector: Arc<dyn WalFaultInjector>) -> Self {
+        self.wal_injector = Some(injector);
+        self
+    }
 }
 
 /// Messages into the scheduler thread.
 enum Msg {
     Submit(u64, JobSpec, mpsc::Sender<JobUpdate>),
     Done(u64, Outcome),
+    /// A placement persisted a run checkpoint at the given iteration
+    /// (observed by the client recorder; journaled for recovery).
+    Ckpt(u64, u64),
     /// Reply on the channel once every admitted job reached a terminal
     /// state; the scheduler then exits.
     Drain(mpsc::Sender<()>),
@@ -114,6 +225,15 @@ enum Outcome {
         faults: usize,
         message: String,
     },
+    /// The run hit the job's wall-clock deadline; `at` is the furthest
+    /// completed iteration.
+    Expired {
+        at: usize,
+        faults: usize,
+    },
+    /// The run was cancelled by the server's kill switch; the
+    /// scheduler is already gone, so this is never settled.
+    Aborted,
 }
 
 enum Phase {
@@ -134,40 +254,154 @@ struct JobState {
     llc_bound: bool,
     mpki: f64,
     ckpt: PathBuf,
-    /// `Some(iter)` when the next placement resumes a checkpoint.
-    resume_at: Option<usize>,
-    /// Faults accumulated over earlier (preempted) placements.
+    /// True when the next placement should look for a checkpoint in
+    /// the store (set on preemption, restart, and recovery). The store
+    /// lookup at placement time — not a remembered iteration — decides
+    /// what actually resumes, so a corrupted current generation falls
+    /// back to the previous one on every path.
+    resume: bool,
+    /// Faults accumulated over earlier placements.
     faults: usize,
+    /// When the deadline clock started (admission or re-admission by
+    /// recovery).
+    submitted_at: Instant,
+    /// Restarts consumed from the budget.
+    attempt: u32,
+    /// Backoff gate: the job is not placeable before this instant.
+    not_before: Option<Instant>,
+    /// Newest journaled checkpoint iteration (progress reporting).
+    last_ckpt: Option<u64>,
+}
+
+/// Live jobs reconstructed from the journal, handed to the scheduler
+/// to re-admit before it starts serving.
+struct Recovery {
+    jobs: Vec<(u64, SpecRecord, mpsc::Sender<JobUpdate>)>,
+    records: u64,
+    truncated_bytes: u64,
 }
 
 /// The multi-tenant job server. Submit jobs with
 /// [`JobServer::submit`], then either [`JobServer::join`] (run the
 /// queue dry and stop) or drop the server (abandon in-flight work).
+/// With a journal configured, [`JobServer::kill`] simulates a crash
+/// and [`JobServer::recover`] restarts from the durable state.
 pub struct JobServer {
     tx: mpsc::Sender<Msg>,
     next_id: AtomicU64,
     sched: Option<JoinHandle<()>>,
+    /// Shared abort token: set by [`JobServer::kill`], observed by
+    /// every running placement's supervisor.
+    kill: Arc<AtomicBool>,
+    /// The generated default checkpoint dir, removed on a clean join.
+    cleanup: Option<PathBuf>,
 }
 
 impl JobServer {
-    /// Starts a server; the scheduler thread lives until
-    /// [`JobServer::join`] or drop.
+    /// Starts a fresh server; the scheduler thread lives until
+    /// [`JobServer::join`], [`JobServer::kill`], or drop. Any existing
+    /// journal at the configured path is truncated — use
+    /// [`JobServer::recover`] to continue a previous incarnation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint directory or journal cannot be
+    /// created.
     pub fn start(cfg: ServerConfig) -> Self {
+        let journal = cfg
+            .journal_path
+            .clone()
+            .map(|p| Journal::create(p).expect("create job-server journal"));
+        Self::launch(cfg, journal, None, 1).expect("start job server")
+    }
+
+    /// Restarts a crashed (or killed) server from its journal: replays
+    /// the log, truncates any torn tail, re-queues every job without a
+    /// terminal record, and returns a fresh [`JobHandle`] per
+    /// recovered job (ascending id order). Each recovered NUTS job
+    /// resumes from its newest valid checkpoint generation — falling
+    /// back past corrupted files, or to a clean restart of the same
+    /// RNG streams — so its draws are bit-identical to an
+    /// uninterrupted run. Deadline clocks restart at recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no journal path is configured or the log cannot be
+    /// opened.
+    pub fn recover(cfg: ServerConfig) -> std::io::Result<(Self, Vec<JobHandle>)> {
+        let Some(path) = cfg.journal_path.clone() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "recover requires ServerConfig::with_journal",
+            ));
+        };
+        let (journal, replay) = Journal::open(path)?;
+        let mut live: BTreeMap<u64, SpecRecord> = BTreeMap::new();
+        let mut max_id = 0;
+        for record in &replay.records {
+            max_id = max_id.max(record.job());
+            match record {
+                JournalRecord::Submitted { job, spec } => {
+                    live.insert(*job, spec.clone());
+                }
+                JournalRecord::Completed { job }
+                | JournalRecord::Failed { job }
+                | JournalRecord::Expired { job }
+                | JournalRecord::Shed { job } => {
+                    live.remove(job);
+                }
+                _ => {}
+            }
+        }
+        let mut handles = Vec::new();
+        let mut jobs = Vec::new();
+        for (id, spec) in live {
+            let (tx, rx) = mpsc::channel();
+            handles.push(JobHandle { id, rx });
+            jobs.push((id, spec, tx));
+        }
+        let recovery = Recovery {
+            jobs,
+            records: replay.records.len() as u64,
+            truncated_bytes: replay.truncated_bytes,
+        };
+        let server = Self::launch(cfg, Some(journal), Some(recovery), max_id + 1)?;
+        Ok((server, handles))
+    }
+
+    fn launch(
+        cfg: ServerConfig,
+        journal: Option<Journal>,
+        recovery: Option<Recovery>,
+        next_id: u64,
+    ) -> std::io::Result<Self> {
+        let store = CheckpointStore::new(&cfg.checkpoint_dir)?;
+        let journal = match (&cfg.wal_injector, journal) {
+            (Some(injector), Some(j)) => Some(j.with_injector(injector.clone())),
+            (_, j) => j,
+        };
+        let kill = Arc::new(AtomicBool::new(false));
+        let cleanup = cfg.default_dir.then(|| cfg.checkpoint_dir.clone());
         let (tx, rx) = mpsc::channel();
         let done_tx = tx.clone();
+        let kill_token = kill.clone();
         let sched = std::thread::Builder::new()
             .name("bayes-serve-sched".into())
-            .spawn(move || Scheduler::new(cfg, rx, done_tx).run())
-            .expect("spawn scheduler thread");
-        Self {
+            .spawn(move || {
+                Scheduler::new(cfg, rx, done_tx, journal, store, kill_token, recovery).run()
+            })?;
+        Ok(Self {
             tx,
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             sched: Some(sched),
-        }
+            kill,
+            cleanup,
+        })
     }
 
     /// Queues a job. Admission happens asynchronously: a refused job's
-    /// handle yields a single [`JobUpdate::Rejected`].
+    /// handle yields a single [`JobUpdate::Rejected`] (or
+    /// [`JobUpdate::Shed`] under overload).
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -178,7 +412,9 @@ impl JobServer {
     }
 
     /// Runs the queue dry — every admitted job reaches a terminal
-    /// state — then stops the scheduler.
+    /// state — then stops the scheduler and removes the default
+    /// checkpoint directory (an explicitly configured one is left
+    /// alone).
     pub fn join(mut self) {
         let (ack_tx, ack_rx) = mpsc::channel();
         let _ = self.tx.send(Msg::Drain(ack_tx));
@@ -186,6 +422,24 @@ impl JobServer {
         if let Some(h) = self.sched.take() {
             let _ = h.join();
         }
+        if let Some(dir) = self.cleanup.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    /// Simulated crash: cancels every running placement through the
+    /// shared abort token and stops the scheduler without writing any
+    /// terminal journal records — exactly the durable state a SIGKILL
+    /// leaves behind. Every outstanding handle receives
+    /// [`JobUpdate::ServerLost`]; [`JobServer::recover`] on the same
+    /// config picks the jobs back up.
+    pub fn kill(mut self) {
+        self.kill.store(true, Ordering::Release);
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.sched.take() {
+            let _ = h.join();
+        }
+        // Deliberately no cleanup: the durable state is the point.
     }
 }
 
@@ -198,13 +452,23 @@ impl Drop for JobServer {
     }
 }
 
-/// Forwards every run event onto the job's client stream.
+/// Forwards every run event onto the job's client stream and tells
+/// the scheduler about persisted checkpoints (which it journals).
 struct ClientRecorder {
+    job: u64,
     tx: Mutex<mpsc::Sender<JobUpdate>>,
+    sched: Mutex<mpsc::Sender<Msg>>,
 }
 
 impl Recorder for ClientRecorder {
     fn record(&self, event: &Event) {
+        if let Event::CheckpointSaved { iter, .. } = event {
+            let _ = self
+                .sched
+                .lock()
+                .expect("scheduler sender lock")
+                .send(Msg::Ckpt(self.job, *iter));
+        }
         let _ = self
             .tx
             .lock()
@@ -222,10 +486,22 @@ struct Scheduler {
     phases: BTreeMap<u64, Phase>,
     workers: Vec<JoinHandle<()>>,
     drain: Option<mpsc::Sender<()>>,
+    journal: Option<Journal>,
+    store: CheckpointStore,
+    kill: Arc<AtomicBool>,
+    recovery: Option<Recovery>,
 }
 
 impl Scheduler {
-    fn new(cfg: ServerConfig, rx: mpsc::Receiver<Msg>, tx: mpsc::Sender<Msg>) -> Self {
+    fn new(
+        cfg: ServerConfig,
+        rx: mpsc::Receiver<Msg>,
+        tx: mpsc::Sender<Msg>,
+        journal: Option<Journal>,
+        store: CheckpointStore,
+        kill: Arc<AtomicBool>,
+        recovery: Option<Recovery>,
+    ) -> Self {
         Self {
             cfg,
             rx,
@@ -234,17 +510,29 @@ impl Scheduler {
             phases: BTreeMap::new(),
             workers: Vec::new(),
             drain: None,
+            journal,
+            store,
+            kill,
+            recovery,
         }
     }
 
     fn run(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            match msg {
-                Msg::Submit(id, spec, tx) => self.admit(id, spec, tx),
-                Msg::Done(id, outcome) => self.settle(id, outcome),
-                Msg::Drain(ack) => self.drain = Some(ack),
-                Msg::Shutdown => break,
+        if let Some(recovery) = self.recovery.take() {
+            self.readmit(recovery);
+        }
+        loop {
+            match self.rx.recv_timeout(POLL) {
+                Ok(Msg::Submit(id, spec, tx)) => self.admit(id, spec, tx),
+                Ok(Msg::Done(id, outcome)) => self.settle(id, outcome),
+                Ok(Msg::Ckpt(id, iter)) => self.note_checkpoint(id, iter),
+                Ok(Msg::Drain(ack)) => self.drain = Some(ack),
+                Ok(Msg::Shutdown) => break,
+                // Idle tick: deadlines and backoff gates still advance.
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
+            self.expire_overdue();
             self.place();
             if self.drain.is_some() && self.jobs.is_empty() {
                 if let Some(ack) = self.drain.take() {
@@ -253,8 +541,23 @@ impl Scheduler {
                 break;
             }
         }
+        // Whatever is still live did not reach a terminal state — tell
+        // every waiting client the server went away. No terminal
+        // journal records are written here: on a crash/kill path these
+        // jobs must replay as live.
+        for job in self.jobs.values() {
+            let _ = job.tx.send(JobUpdate::ServerLost);
+        }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+    }
+
+    /// Best-effort journal append: the WAL protects restarts, but a
+    /// full disk must not take the serving path down with it.
+    fn journal_append(&mut self, record: &JournalRecord) {
+        if let Some(journal) = self.journal.as_mut() {
+            let _ = journal.append(record);
         }
     }
 
@@ -264,6 +567,72 @@ impl Scheduler {
         self.cfg.trace.record(event.clone());
         if let Some(job) = self.jobs.get(&id) {
             let _ = job.tx.send(JobUpdate::Event(event));
+        }
+    }
+
+    /// Re-admits journal-recovered jobs ahead of normal service.
+    fn readmit(&mut self, recovery: Recovery) {
+        let path = self
+            .journal
+            .as_ref()
+            .map(|j| j.path().display().to_string())
+            .unwrap_or_default();
+        if recovery.truncated_bytes > 0 {
+            self.cfg.trace.record(Event::JournalTruncated {
+                path: path.clone(),
+                truncated_bytes: recovery.truncated_bytes,
+                records: recovery.records,
+            });
+        }
+        self.cfg.trace.record(Event::JournalReplayed {
+            path,
+            records: recovery.records,
+            jobs_recovered: recovery.jobs.len() as u64,
+        });
+        for (id, spec_record, tx) in recovery.jobs {
+            let spec = spec_record.to_spec();
+            let Some(wl) = registry::workload(&spec.workload, spec.scale, spec.seed) else {
+                self.journal_append(&JournalRecord::Failed { job: id });
+                let _ = tx.send(JobUpdate::Failed(format!(
+                    "workload '{}' vanished from the registry across restarts",
+                    spec.workload
+                )));
+                continue;
+            };
+            let data_bytes = wl.meta().modeled_data_bytes;
+            drop(wl);
+            let lookup = self.store.lookup(id);
+            let resumed_from = lookup.checkpoint.as_ref().map(|(iter, _)| *iter as u64);
+            self.journal_append(&JournalRecord::Recovered {
+                job: id,
+                resumed_from,
+            });
+            self.jobs.insert(
+                id,
+                JobState {
+                    llc_bound: self.cfg.predictor.is_llc_bound(data_bytes),
+                    mpki: self.cfg.predictor.predict_mpki(data_bytes),
+                    ckpt: self.store.path_for(id),
+                    spec,
+                    tx,
+                    data_bytes,
+                    resume: true,
+                    faults: 0,
+                    submitted_at: Instant::now(),
+                    attempt: 0,
+                    not_before: None,
+                    last_ckpt: resumed_from,
+                },
+            );
+            self.phases.insert(id, Phase::Pending);
+            self.emit(
+                id,
+                Event::JobRecovered {
+                    job: id,
+                    resumed_from,
+                    corrupt_skipped: lookup.corrupt_skipped,
+                },
+            );
         }
     }
 
@@ -288,10 +657,55 @@ impl Scheduler {
                 spec.name, self.cfg.llc_budget_bytes
             ));
         }
-        let ckpt = self
-            .cfg
-            .checkpoint_dir
-            .join(format!("bayes-serve-job-{id}.ckpt.json"));
+        // Overload shedding. Queue depth counts pending jobs; the
+        // watermark sums the predicted working set of every live job
+        // plus the candidate. At most one victim is shed per
+        // admission, and only one with strictly lower priority than
+        // the newcomer — otherwise the newcomer itself is shed.
+        let pending_now = self
+            .phases
+            .values()
+            .filter(|p| matches!(p, Phase::Pending))
+            .count();
+        let queued_bytes = self
+            .jobs
+            .values()
+            .map(|j| j.data_bytes)
+            .sum::<usize>()
+            .saturating_add(data_bytes);
+        let overloaded = self.cfg.max_pending.is_some_and(|m| pending_now + 1 > m)
+            || self.cfg.shed_bytes.is_some_and(|m| queued_bytes > m);
+        if overloaded {
+            let victim = self
+                .phases
+                .iter()
+                .filter(|(_, p)| matches!(p, Phase::Pending))
+                .map(|(vid, _)| *vid)
+                .filter(|vid| self.jobs[vid].spec.priority < spec.priority)
+                .min_by_key(|vid| (self.jobs[vid].spec.priority, std::cmp::Reverse(*vid)));
+            match victim {
+                Some(vid) => self.shed(vid, (pending_now + 1) as u64, queued_bytes as u64),
+                None => {
+                    // Never admitted, so never journaled: recovery
+                    // must not resurrect a shed submission.
+                    let event = Event::JobShed {
+                        job: id,
+                        priority: u64::from(spec.priority),
+                        queue_depth: (pending_now + 1) as u64,
+                        queued_bytes: queued_bytes as u64,
+                    };
+                    self.cfg.trace.record(event.clone());
+                    let _ = tx.send(JobUpdate::Event(event));
+                    let _ = tx.send(JobUpdate::Shed(format!(
+                        "job '{}' shed at admission: server overloaded \
+                         ({pending_now} pending, {queued_bytes} B predicted working set)",
+                        spec.name
+                    )));
+                    return;
+                }
+            }
+        }
+        let ckpt = self.store.path_for(id);
         let event = Event::JobSubmitted {
             job: id,
             name: spec.name.clone(),
@@ -302,6 +716,10 @@ impl Scheduler {
             seed: spec.seed,
             data_bytes: data_bytes as u64,
         };
+        self.journal_append(&JournalRecord::Submitted {
+            job: id,
+            spec: SpecRecord::of(&spec),
+        });
         self.jobs.insert(
             id,
             JobState {
@@ -311,26 +729,122 @@ impl Scheduler {
                 tx,
                 data_bytes,
                 ckpt,
-                resume_at: None,
+                resume: false,
                 faults: 0,
+                submitted_at: Instant::now(),
+                attempt: 0,
+                not_before: None,
+                last_ckpt: None,
             },
         );
         self.phases.insert(id, Phase::Pending);
         self.emit(id, event);
     }
 
-    fn settle(&mut self, id: u64, outcome: Outcome) {
-        let Some(job) = self.jobs.get_mut(&id) else {
-            return; // job dropped at shutdown
+    /// Drops a pending job under overload (terminal).
+    fn shed(&mut self, id: u64, queue_depth: u64, queued_bytes: u64) {
+        self.journal_append(&JournalRecord::Shed { job: id });
+        let Some(job) = self.jobs.get(&id) else {
+            return;
         };
+        let priority = u64::from(job.spec.priority);
+        let name = job.spec.name.clone();
+        let tx = job.tx.clone();
+        self.emit(
+            id,
+            Event::JobShed {
+                job: id,
+                priority,
+                queue_depth,
+                queued_bytes,
+            },
+        );
+        let _ = tx.send(JobUpdate::Shed(format!(
+            "job '{name}' shed from the pending queue: server overloaded \
+             (depth {queue_depth}, {queued_bytes} B predicted working set)"
+        )));
+        self.jobs.remove(&id);
+        self.phases.remove(&id);
+    }
+
+    /// Expires pending jobs whose wall-clock deadline has passed.
+    /// Running placements expire through the supervisor's own deadline
+    /// and come back as [`Outcome::Expired`].
+    fn expire_overdue(&mut self) {
+        let now = Instant::now();
+        let overdue: Vec<u64> = self
+            .phases
+            .iter()
+            .filter(|(_, p)| matches!(p, Phase::Pending))
+            .map(|(id, _)| *id)
+            .filter(|id| {
+                let job = &self.jobs[id];
+                job.spec
+                    .deadline
+                    .is_some_and(|d| now.duration_since(job.submitted_at) >= d)
+            })
+            .collect();
+        for id in overdue {
+            let iters_done = self.jobs[&id].last_ckpt.unwrap_or(0);
+            self.expire(id, iters_done);
+        }
+    }
+
+    /// Terminates an over-deadline job (terminal).
+    fn expire(&mut self, id: u64, iters_done: u64) {
+        self.journal_append(&JournalRecord::Expired { job: id });
+        let Some(job) = self.jobs.get(&id) else {
+            return;
+        };
+        let deadline_ms = job
+            .spec
+            .deadline
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or_default();
+        let name = job.spec.name.clone();
+        let tx = job.tx.clone();
+        self.emit(
+            id,
+            Event::JobExpired {
+                job: id,
+                deadline_ms,
+                iters_done,
+            },
+        );
+        let _ = tx.send(JobUpdate::Expired(format!(
+            "job '{name}' exceeded its {deadline_ms} ms deadline after {iters_done} iters"
+        )));
+        self.jobs.remove(&id);
+        self.phases.remove(&id);
+    }
+
+    /// Journals a checkpoint the placement just persisted.
+    fn note_checkpoint(&mut self, id: u64, iter: u64) {
+        if self.jobs.contains_key(&id) {
+            self.journal_append(&JournalRecord::Checkpointed { job: id, iter });
+            if let Some(job) = self.jobs.get_mut(&id) {
+                job.last_ckpt = Some(iter);
+            }
+        }
+    }
+
+    fn settle(&mut self, id: u64, outcome: Outcome) {
+        if !self.jobs.contains_key(&id) {
+            return; // job dropped at shutdown
+        }
         match outcome {
             Outcome::Paused {
                 at,
                 faults,
                 summary,
             } => {
+                self.journal_append(&JournalRecord::Preempted {
+                    job: id,
+                    at: at as u64,
+                });
+                let job = self.jobs.get_mut(&id).expect("settled job exists");
                 job.faults += faults;
-                job.resume_at = Some(at);
+                job.resume = true;
                 let by = match self.phases.get(&id) {
                     Some(Phase::Running {
                         draining_for: Some(by),
@@ -338,8 +852,8 @@ impl Scheduler {
                     }) => *by,
                     _ => 0,
                 };
-                let checkpoint = job.ckpt.display().to_string();
-                let tx = job.tx.clone();
+                let checkpoint = self.jobs[&id].ckpt.display().to_string();
+                let tx = self.jobs[&id].tx.clone();
                 self.phases.insert(id, Phase::Pending);
                 self.emit(
                     id,
@@ -353,6 +867,8 @@ impl Scheduler {
                 let _ = tx.send(JobUpdate::Preempted { at, by, summary });
             }
             Outcome::Finished(mut result) => {
+                self.journal_append(&JournalRecord::Completed { job: id });
+                let job = &self.jobs[&id];
                 result.faults += job.faults;
                 let tx = job.tx.clone();
                 self.emit(
@@ -371,8 +887,29 @@ impl Scheduler {
                 self.phases.remove(&id);
             }
             Outcome::Failed { faults, message } => {
-                let total = job.faults + faults;
+                let job = self.jobs.get_mut(&id).expect("settled job exists");
+                job.faults += faults;
+                if job.attempt < job.spec.restarts {
+                    // Consume restart budget: re-queue behind a capped
+                    // exponential backoff, resuming from the last good
+                    // checkpoint when one exists.
+                    job.attempt += 1;
+                    let shift = (job.attempt - 1).min(16);
+                    let backoff = job
+                        .spec
+                        .backoff
+                        .saturating_mul(1u32 << shift)
+                        .min(MAX_BACKOFF);
+                    job.not_before = Some(Instant::now() + backoff);
+                    job.resume = true;
+                    let attempt = u64::from(job.attempt);
+                    self.phases.insert(id, Phase::Pending);
+                    self.journal_append(&JournalRecord::Restarted { job: id, attempt });
+                    return;
+                }
+                let total = job.faults;
                 let tx = job.tx.clone();
+                self.journal_append(&JournalRecord::Failed { job: id });
                 self.emit(
                     id,
                     Event::JobCompleted {
@@ -388,6 +925,16 @@ impl Scheduler {
                 self.jobs.remove(&id);
                 self.phases.remove(&id);
             }
+            Outcome::Expired { at, faults } => {
+                if let Some(job) = self.jobs.get_mut(&id) {
+                    job.faults += faults;
+                }
+                self.expire(id, at as u64);
+            }
+            Outcome::Aborted => {
+                // Kill in progress: leave the job live so the exit
+                // path reports ServerLost and recovery replays it.
+            }
         }
     }
 
@@ -402,10 +949,14 @@ impl Scheduler {
     }
 
     fn pending_order(&self) -> Vec<u64> {
+        let now = Instant::now();
         let mut ids: Vec<u64> = self
             .phases
             .iter()
-            .filter(|(_, p)| matches!(p, Phase::Pending))
+            .filter(|(id, p)| {
+                matches!(p, Phase::Pending)
+                    && self.jobs[*id].not_before.is_none_or(|gate| now >= gate)
+            })
             .map(|(id, _)| *id)
             .collect();
         // Priority first, FIFO (id order) within a priority.
@@ -496,17 +1047,35 @@ impl Scheduler {
     }
 
     fn start(&mut self, id: u64, cores: usize) {
+        // The store lookup — not a remembered iteration — decides what
+        // the placement resumes: the newest checkpoint generation that
+        // validates, or a clean start when none does.
+        let resume_from = {
+            let job = &self.jobs[&id];
+            if job.resume && job.spec.sampler == SamplerKind::Nuts {
+                self.store.lookup(id).checkpoint
+            } else {
+                None
+            }
+        };
         let job = self.jobs.get_mut(&id).expect("placed job exists");
+        job.resume = false;
         let spec = job.spec.clone();
-        let resume_at = job.resume_at.take();
         let ckpt = job.ckpt.clone();
         let updates = job.tx.clone();
+        let deadline_left = spec
+            .deadline
+            .map(|d| d.saturating_sub(job.submitted_at.elapsed()));
         let pause = match spec.sampler {
             SamplerKind::Nuts => Some(PauseControl::new()),
             SamplerKind::Mh => None,
         };
         let inner_threads = (cores / spec.chains.max(1)).max(1);
         let (llc_bound, mpki) = (job.llc_bound, job.mpki);
+        self.journal_append(&JournalRecord::Placed {
+            job: id,
+            cores: cores as u64,
+        });
         self.phases.insert(
             id,
             Phase::Running {
@@ -523,14 +1092,27 @@ impl Scheduler {
                 inner_threads: inner_threads as u64,
                 llc_bound,
                 predicted_mpki: mpki,
-                resumed_from: resume_at.map(|t| t as u64),
+                resumed_from: resume_from.as_ref().map(|(iter, _)| *iter as u64),
             },
         );
         let done = self.tx.clone();
+        let sched = self.tx.clone();
+        let abort = self.kill.clone();
         let worker = std::thread::Builder::new()
             .name(format!("bayes-serve-job-{id}"))
             .spawn(move || {
-                let outcome = run_placement(id, &spec, cores, resume_at, &ckpt, pause, updates);
+                let outcome = run_placement(
+                    id,
+                    &spec,
+                    cores,
+                    resume_from,
+                    &ckpt,
+                    pause,
+                    updates,
+                    deadline_left,
+                    abort,
+                    sched,
+                );
                 let _ = done.send(Msg::Done(id, outcome));
             })
             .expect("spawn job worker");
@@ -567,14 +1149,18 @@ fn grant(
 
 /// One placement: build the workload, run (or resume) it under the
 /// supervisor, and report how it ended. Runs on a worker thread.
+#[allow(clippy::too_many_arguments)]
 fn run_placement(
     id: u64,
     spec: &JobSpec,
     cores: usize,
-    resume_at: Option<usize>,
+    resume_from: Option<(usize, PathBuf)>,
     ckpt: &PathBuf,
     pause: Option<Arc<PauseControl>>,
     updates: mpsc::Sender<JobUpdate>,
+    deadline_left: Option<Duration>,
+    abort: Arc<AtomicBool>,
+    sched: mpsc::Sender<Msg>,
 ) -> Outcome {
     let Some(wl) = registry::workload(&spec.workload, spec.scale, spec.seed) else {
         return Outcome::Failed {
@@ -583,7 +1169,9 @@ fn run_placement(
         };
     };
     let recorder = RecorderHandle::new(Arc::new(ClientRecorder {
+        job: id,
         tx: Mutex::new(updates),
+        sched: Mutex::new(sched),
     }));
     wl.attach_recorder(&recorder);
     let cfg = RunConfig::new(spec.iters)
@@ -596,7 +1184,10 @@ fn run_placement(
     // — explicit or default — to the job's chain count.
     let mut sup = SupervisorConfig::new();
     let quorum = spec.min_quorum.unwrap_or(2).clamp(1, spec.chains.max(1));
-    sup = sup.with_min_quorum(quorum);
+    sup = sup.with_min_quorum(quorum).with_abort(abort);
+    if let Some(left) = deadline_left {
+        sup = sup.with_deadline(left);
+    }
     if let Some(injector) = &spec.injector {
         sup = sup.with_injector(injector.clone());
     }
@@ -612,8 +1203,11 @@ fn run_placement(
     // is the admission feature, not the sampling target.
     let model = wl.dynamics_model();
     let result = match spec.sampler {
-        SamplerKind::Nuts => match resume_at {
-            Some(_) => runtime.resume(&Nuts::default(), model, &cfg, ckpt),
+        SamplerKind::Nuts => match &resume_from {
+            // Resume from the newest valid generation (possibly the
+            // rotated `.prev` file); new checkpoints still land at the
+            // job's canonical path through `with_checkpoint_path`.
+            Some((_, path)) => runtime.resume(&Nuts::default(), model, &cfg, path),
             None => runtime.run(&Nuts::default(), model, &cfg),
         },
         SamplerKind::Mh => runtime.run(&MetropolisHastings::new(), model, &cfg),
@@ -636,6 +1230,15 @@ fn run_placement(
                 .map(|c| c.draws.len())
                 .max()
                 .unwrap_or(0);
+            if let Some(reason) = report.interrupted {
+                return match reason {
+                    Interrupt::DeadlineExpired => Outcome::Expired {
+                        at: iters_done,
+                        faults: report.faults.len(),
+                    },
+                    Interrupt::Aborted => Outcome::Aborted,
+                };
+            }
             Outcome::Finished(Box::new(JobResult {
                 job: id,
                 stopped_at: report.stopped_at,
@@ -706,5 +1309,20 @@ mod tests {
             }
         }
         server.join();
+    }
+
+    #[test]
+    fn recover_without_a_journal_is_an_error() {
+        let predictor = LlcMissPredictor::fit(&[
+            bayes_sched::predictor::MissSample {
+                data_bytes: 64 * 1024,
+                mpki: 0.2,
+            },
+            bayes_sched::predictor::MissSample {
+                data_bytes: 16 * 1024 * 1024,
+                mpki: 12.0,
+            },
+        ]);
+        assert!(JobServer::recover(ServerConfig::new(4, predictor)).is_err());
     }
 }

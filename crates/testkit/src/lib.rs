@@ -23,7 +23,11 @@
 //! * [`faults`] — a deterministic fault-injection schedule
 //!   ([`FaultPlan`]) for exercising the run supervisor's isolation,
 //!   retry, watchdog, and degradation paths at exact
-//!   `(chain, attempt, iteration)` points.
+//!   `(chain, attempt, iteration)` points;
+//! * [`wal`] — the server-layer counterpart ([`WalFaultPlan`]):
+//!   deterministic journal crashes (torn write, disk full,
+//!   crash-before/after-append) at exact append indices, plus a
+//!   [`corrupt_file`] helper for checkpoint-corruption scenarios.
 //!
 //! Everything here is test infrastructure: the crate is a
 //! `dev-dependency` of the workspace and never ships in a benchmark
@@ -34,6 +38,7 @@ pub mod faults;
 pub mod golden;
 pub mod reference;
 pub mod sbc;
+pub mod wal;
 
 pub use asserts::{
     assert_close_mcse, assert_ess_above, assert_mean_close, assert_rhat_below, assert_sd_close,
@@ -42,3 +47,4 @@ pub use faults::{FaultPlan, FaultPoint};
 pub use golden::{assert_golden, compare_or_bless, GoldenReport};
 pub use reference::{load_or_bless, load_or_bless_with, reference_dir};
 pub use sbc::{run_sbc, SbcConfig, SbcOutcome, SbcParamOutcome};
+pub use wal::{corrupt_file, WalFaultPlan, WalFaultPoint};

@@ -1,0 +1,131 @@
+//! Deterministic server-layer fault injection: journal crashes and
+//! checkpoint corruption.
+//!
+//! [`crate::FaultPlan`] strikes inside a *run* (chain/attempt/iter);
+//! [`WalFaultPlan`] strikes the durability layer around runs — the
+//! job server's write-ahead log — at exact append indices, so chaos
+//! tests can make the journal tear, wedge, or fill mid-lifecycle and
+//! then assert what [`bayes_serve::JobServer::recover`] rebuilds. Like
+//! every injector in this crate it is a pure function of its
+//! coordinates: no clocks, no ambient RNG, no interior state.
+
+use bayes_serve::{WalFault, WalFaultInjector};
+
+/// One scheduled journal fault: inject `fault` at append `index`
+/// (0-based, counted per journal instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalFaultPoint {
+    /// Append index the fault fires at.
+    pub index: u64,
+    /// What to inject.
+    pub fault: WalFault,
+}
+
+/// A deterministic schedule of [`WalFaultPoint`]s implementing the
+/// job server's [`WalFaultInjector`].
+///
+/// # Example
+///
+/// ```
+/// use bayes_serve::{WalFault, WalFaultInjector};
+/// use bayes_testkit::WalFaultPlan;
+///
+/// let plan = WalFaultPlan::at(3, WalFault::TornWrite);
+/// assert_eq!(plan.fault_at(3), Some(WalFault::TornWrite));
+/// assert_eq!(plan.fault_at(2), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WalFaultPlan {
+    points: Vec<WalFaultPoint>,
+}
+
+impl WalFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single fault at append `index`.
+    pub fn at(index: u64, fault: WalFault) -> Self {
+        Self::scripted(vec![WalFaultPoint { index, fault }])
+    }
+
+    /// An arbitrary scripted schedule.
+    pub fn scripted(points: Vec<WalFaultPoint>) -> Self {
+        Self { points }
+    }
+
+    /// Adds one more point to the schedule.
+    pub fn and(mut self, index: u64, fault: WalFault) -> Self {
+        self.points.push(WalFaultPoint { index, fault });
+        self
+    }
+
+    /// The scheduled points.
+    pub fn points(&self) -> &[WalFaultPoint] {
+        &self.points
+    }
+}
+
+impl WalFaultInjector for WalFaultPlan {
+    fn fault_at(&self, append_index: u64) -> Option<WalFault> {
+        self.points
+            .iter()
+            .find(|p| p.index == append_index)
+            .map(|p| p.fault)
+    }
+}
+
+/// Flips one bit midway through the file at `path` — the canonical
+/// "bit rot / torn sector" corruption for checkpoint and journal
+/// tests. The flip position is deterministic (the byte at `len / 2`),
+/// so a corrupted fixture is the same corrupted fixture in every run.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read or written, or is empty — a
+/// corruption test pointed at a missing file is itself broken.
+pub fn corrupt_file(path: impl AsRef<std::path::Path>) {
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path)
+        .unwrap_or_else(|e| panic!("corrupt_file: cannot read {}: {e}", path.display()));
+    assert!(
+        !bytes.is_empty(),
+        "corrupt_file: {} is empty",
+        path.display()
+    );
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(path, &bytes)
+        .unwrap_or_else(|e| panic!("corrupt_file: cannot write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_at_exact_indices_only() {
+        let plan = WalFaultPlan::at(0, WalFault::CrashBeforeAppend).and(5, WalFault::DiskFull);
+        assert_eq!(plan.fault_at(0), Some(WalFault::CrashBeforeAppend));
+        assert_eq!(plan.fault_at(5), Some(WalFault::DiskFull));
+        for idx in [1, 2, 3, 4, 6, 100] {
+            assert_eq!(plan.fault_at(idx), None);
+        }
+        assert_eq!(plan.points().len(), 2);
+        assert_eq!(WalFaultPlan::new().fault_at(0), None);
+    }
+
+    #[test]
+    fn corrupt_file_flips_exactly_one_bit() {
+        let path = std::env::temp_dir().join(format!("bayes-corrupt-{}.bin", std::process::id()));
+        let original = vec![0xAAu8; 64];
+        std::fs::write(&path, &original).unwrap();
+        corrupt_file(&path);
+        let corrupted = std::fs::read(&path).unwrap();
+        let flipped: Vec<usize> = (0..64).filter(|&i| corrupted[i] != original[i]).collect();
+        assert_eq!(flipped, vec![32]);
+        assert_eq!(corrupted[32] ^ original[32], 0x01);
+        let _ = std::fs::remove_file(&path);
+    }
+}

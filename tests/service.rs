@@ -11,6 +11,7 @@
 //! All runs use an unreachable R̂ threshold so every chain executes
 //! its full iteration budget and draw comparisons are exact.
 
+use bayes_core::obs::{Event, MemoryRecorder, RecorderHandle};
 use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::supervisor::{InjectedFault, Runtime, SupervisorConfig};
 use bayes_mcmc::{ConvergenceDetector, MultiChainRun, RunConfig};
@@ -18,9 +19,10 @@ use bayes_sched::predictor::MissSample;
 use bayes_sched::LlcMissPredictor;
 use bayes_serve::{JobOutcome, JobServer, JobSpec, SamplerKind, ServerConfig};
 use bayes_suite::registry;
-use bayes_testkit::FaultPlan;
+use bayes_testkit::{corrupt_file, FaultPlan};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Threshold barely above 1: no finite run ever converges, so every
 /// job runs its full budget and draws are exactly reproducible. The
@@ -310,4 +312,294 @@ fn mh_jobs_are_never_preempted() {
     assert!(mh.preemptions.is_empty(), "MH job has no pause boundaries");
     assert!(matches!(mh.outcome, JobOutcome::Completed(_)));
     assert!(matches!(urgent.outcome, JobOutcome::Completed(_)));
+}
+
+/// Polls until `path` exists (a checkpoint generation has been
+/// persisted), panicking after 30s — long past any sane first
+/// checkpoint on these tiny workloads.
+fn wait_for_file(path: &std::path::Path, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !path.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "{what} never appeared at {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// A killed server recovers into bit-identical draws: the job in
+/// flight at the kill resumes from its durable checkpoint after a
+/// journal replay, and its final posterior matches the uninterrupted
+/// reference bit-for-bit — verified against references computed at
+/// `BAYES_INNER_THREADS` 1 and 4, like the preemption guarantee.
+#[test]
+fn killed_server_recovers_bit_identically() {
+    let dir = checkpoint_dir("kill-recover");
+    let journal = dir.join("journal.wal");
+    let durable = || {
+        ServerConfig::new(2, cache_resident_predictor())
+            .with_checkpoint_dir(&dir)
+            .with_journal(&journal)
+    };
+
+    let server = JobServer::start(durable());
+    let handle = server.submit(
+        JobSpec::new("crashme", "12cities")
+            .with_chains(2)
+            .with_iters(240)
+            .with_seed(41)
+            .with_detector(full_length_detector()),
+    );
+    // Strike once the job has a durable generation to resume from —
+    // this is the SIGKILL moment: no drain, no terminal journal
+    // records, checkpoints and journal left as-is on disk.
+    wait_for_file(&dir.join("bayes-serve-job-1.ckpt.json"), "first checkpoint");
+    server.kill();
+    assert!(
+        matches!(handle.wait().outcome, JobOutcome::ServerLost),
+        "a live handle must learn its server died"
+    );
+
+    let memory = Arc::new(MemoryRecorder::new());
+    let (server, handles) =
+        JobServer::recover(durable().with_trace(RecorderHandle::new(memory.clone())))
+            .expect("recover from journal");
+    assert_eq!(handles.len(), 1, "exactly the in-flight job comes back");
+    let job = handles.into_iter().next().unwrap().wait();
+    server.join();
+
+    let JobOutcome::Completed(result) = &job.outcome else {
+        panic!("recovered job should complete: {:?}", job.outcome);
+    };
+    assert!(!result.degraded);
+    assert_eq!(result.iters_done, 240);
+
+    let events = memory.events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::JournalReplayed { .. })),
+        "recovery must announce the journal replay"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::JobRecovered {
+                job: 1,
+                resumed_from: Some(_),
+                ..
+            }
+        )),
+        "the recovered job must resume from a checkpoint, not restart"
+    );
+
+    for threads in [1usize, 4] {
+        std::env::set_var("BAYES_INNER_THREADS", threads.to_string());
+        let cfg = RunConfig::new(240).with_chains(2).with_seed(41);
+        let reference = uninterrupted("12cities", 0.25, &cfg, "kill-recover-ref");
+        assert_bitwise_eq(
+            &result.draws,
+            &draws_of(&reference),
+            &format!("recovered vs uninterrupted at {threads} inner threads"),
+        );
+    }
+    std::env::remove_var("BAYES_INNER_THREADS");
+}
+
+/// A corrupted current checkpoint generation is detected by checksum
+/// and recovery falls back to the previous good generation: the job
+/// still completes, still bit-identical to the uninterrupted run.
+#[test]
+fn corrupt_checkpoint_falls_back_to_previous_generation() {
+    let dir = checkpoint_dir("corrupt-ckpt");
+    let journal = dir.join("journal.wal");
+    let durable = || {
+        ServerConfig::new(2, cache_resident_predictor())
+            .with_checkpoint_dir(&dir)
+            .with_journal(&journal)
+    };
+
+    let server = JobServer::start(durable());
+    let handle = server.submit(
+        JobSpec::new("rotten", "votes")
+            .with_chains(2)
+            .with_iters(240)
+            .with_seed(42)
+            .with_detector(full_length_detector()),
+    );
+    let current = dir.join("bayes-serve-job-1.ckpt.json");
+    let previous = dir.join("bayes-serve-job-1.ckpt.json.prev");
+    // Two generations on disk means the store has something to fall
+    // back to once the newest one is rotted.
+    wait_for_file(&previous, "second checkpoint generation");
+    server.kill();
+    drop(handle);
+    corrupt_file(&current);
+
+    let memory = Arc::new(MemoryRecorder::new());
+    let (server, handles) =
+        JobServer::recover(durable().with_trace(RecorderHandle::new(memory.clone())))
+            .expect("recover with a rotten current generation");
+    assert_eq!(handles.len(), 1);
+    let job = handles.into_iter().next().unwrap().wait();
+    server.join();
+
+    let JobOutcome::Completed(result) = &job.outcome else {
+        panic!(
+            "recovery should survive a corrupt generation: {:?}",
+            job.outcome
+        );
+    };
+    assert_eq!(result.iters_done, 240);
+
+    let events = memory.events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::JobRecovered {
+                job: 1,
+                resumed_from: Some(_),
+                corrupt_skipped,
+            } if *corrupt_skipped >= 1
+        )),
+        "the skipped corrupt generation must be on the record: {events:?}"
+    );
+
+    let cfg = RunConfig::new(240).with_chains(2).with_seed(42);
+    let reference = uninterrupted("votes", 0.25, &cfg, "corrupt-ckpt-ref");
+    assert_bitwise_eq(
+        &result.draws,
+        &draws_of(&reference),
+        "recovered-from-previous-generation vs uninterrupted",
+    );
+}
+
+/// A job that blows its wall-clock deadline is cancelled cooperatively
+/// and comes back `Expired` — with the matching `job_expired` trace
+/// event — instead of hanging or pretending to complete.
+#[test]
+fn deadline_expiry_is_a_typed_outcome() {
+    let memory = Arc::new(MemoryRecorder::new());
+    let server = JobServer::start(
+        ServerConfig::new(2, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("deadline"))
+            .with_trace(RecorderHandle::new(memory.clone())),
+    );
+    let job = server
+        .submit(
+            JobSpec::new("overdue", "12cities")
+                .with_chains(2)
+                .with_iters(1_000_000)
+                .with_seed(43)
+                .with_deadline(Duration::from_millis(120))
+                .with_detector(full_length_detector()),
+        )
+        .wait();
+    server.join();
+
+    match &job.outcome {
+        JobOutcome::Expired(msg) => {
+            assert!(msg.contains("deadline"), "unhelpful expiry message: {msg}");
+        }
+        other => panic!("expected deadline expiry, got {other:?}"),
+    }
+    assert!(
+        memory
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::JobExpired { job: 1, .. })),
+        "expiry must be on the trace"
+    );
+}
+
+/// Under overload (bounded pending queue), admission sheds the
+/// strictly-lower-priority queued job in favour of the newcomer; the
+/// victim gets a typed `Shed` outcome and a `job_shed` trace event,
+/// while the running and urgent jobs are untouched.
+#[test]
+fn overload_sheds_lower_priority_pending_work() {
+    let memory = Arc::new(MemoryRecorder::new());
+    let server = JobServer::start(
+        ServerConfig::new(1, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("shed"))
+            .with_trace(RecorderHandle::new(memory.clone()))
+            .with_queue_limit(1),
+    );
+    // The hog takes the single core; the victim queues behind it; the
+    // urgent job overflows the one-slot queue and must displace the
+    // victim, never itself.
+    let hog = server.submit(
+        JobSpec::new("hog", "12cities")
+            .with_chains(1)
+            .with_iters(2_000)
+            .with_priority(3)
+            .with_seed(44)
+            .with_detector(full_length_detector()),
+    );
+    let victim = server.submit(
+        JobSpec::new("victim", "votes")
+            .with_chains(1)
+            .with_iters(100)
+            .with_priority(1)
+            .with_seed(45)
+            .with_detector(full_length_detector()),
+    );
+    let urgent = server.submit(
+        JobSpec::new("urgent", "ad")
+            .with_chains(1)
+            .with_iters(60)
+            .with_priority(5)
+            .with_seed(46)
+            .with_detector(full_length_detector()),
+    );
+
+    let victim = victim.wait();
+    match &victim.outcome {
+        JobOutcome::Shed(msg) => {
+            assert!(msg.contains("overload"), "unhelpful shed message: {msg}");
+        }
+        other => panic!("victim should have been shed, got {other:?}"),
+    }
+    assert!(matches!(hog.wait().outcome, JobOutcome::Completed(_)));
+    assert!(matches!(urgent.wait().outcome, JobOutcome::Completed(_)));
+    server.join();
+
+    assert!(
+        memory
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::JobShed { priority: 1, .. })),
+        "the shed decision must be on the trace"
+    );
+}
+
+/// Killing a server (or losing its scheduler any other way) delivers a
+/// terminal `ServerLost` to every outstanding handle — no client ever
+/// blocks forever on a dead server.
+#[test]
+fn killed_server_notifies_every_live_handle() {
+    let server = JobServer::start(
+        ServerConfig::new(2, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("server-lost")),
+    );
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            server.submit(
+                JobSpec::new(format!("doomed-{i}"), "12cities")
+                    .with_chains(1)
+                    .with_iters(100_000)
+                    .with_seed(50 + i)
+                    .with_detector(full_length_detector()),
+            )
+        })
+        .collect();
+    server.kill();
+    for handle in handles {
+        assert!(
+            matches!(handle.wait().outcome, JobOutcome::ServerLost),
+            "every live handle must terminate with ServerLost"
+        );
+    }
 }
