@@ -9,6 +9,7 @@
 //! ```text
 //! serve_sim [--cores N] [--trace <path>] [--state-dir <dir>]
 //!           [--kill-after-ms <T>] [--recover] [--policy-demo]
+//!           [--telemetry] [--inject-fault]
 //! ```
 //!
 //! Modes:
@@ -27,13 +28,20 @@
 //!   expiry, validating the typed outcomes and their trace events.
 //!
 //! `--trace` writes the server's `job_*` lifecycle events as JSONL
-//! (`trace_report` prints them as a jobs section). Every mode
-//! validates its own run and exits 1 otherwise, so CI can run each
-//! as a check.
+//! (`trace_report` prints them as a jobs section). `--telemetry`
+//! attaches a server-side [`TelemetrySampler`] so the trace carries
+//! periodic `metrics_sample` events (`serve_top` renders them live).
+//! `--inject-fault` panics one chain of the votes batch job mid-run;
+//! the retry absorbs it, and the server dumps the job's flight
+//! recorder to `<checkpoint_dir>/job-<id>-flight-chain_fault.jsonl`.
+//! Every mode validates its own run and exits 1 otherwise, so CI can
+//! run each as a check.
 
 use bayes_bench::{banner, trace_recorder_from_args};
-use bayes_core::mcmc::ConvergenceDetector;
-use bayes_core::obs::{Event, MemoryRecorder, Recorder, RecorderHandle};
+use bayes_core::mcmc::{ConvergenceDetector, FaultInjector, InjectedFault};
+use bayes_core::obs::{
+    Event, MemoryRecorder, Recorder, RecorderHandle, TelemetryHandle, TelemetrySampler,
+};
 use bayes_core::sched::predictor::MissSample;
 use bayes_core::sched::LlcMissPredictor;
 use bayes_serve::{JobHandle, JobOutcome, JobServer, JobSpec, SamplerKind, ServerConfig};
@@ -55,6 +63,17 @@ impl Recorder for Tee {
     }
     fn flush(&self) {
         self.file.flush();
+    }
+}
+
+/// Panics chain 0 of its job the first time iteration 60 completes —
+/// absorbed by one deterministic same-stream retry, but the fault
+/// event triggers the job's flight-recorder dump on the way through.
+struct PanicOnce;
+
+impl FaultInjector for PanicOnce {
+    fn inject(&self, chain: usize, attempt: u32, iter: usize) -> Option<InjectedFault> {
+        (chain == 0 && attempt == 0 && iter == 60).then_some(InjectedFault::Panic)
     }
 }
 
@@ -136,6 +155,8 @@ struct Args {
     kill_after_ms: Option<u64>,
     recover: bool,
     policy_demo: bool,
+    telemetry: bool,
+    inject_fault: bool,
 }
 
 fn parse_args() -> Args {
@@ -145,6 +166,8 @@ fn parse_args() -> Args {
         kill_after_ms: None,
         recover: false,
         policy_demo: false,
+        telemetry: false,
+        inject_fault: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -170,13 +193,16 @@ fn parse_args() -> Args {
             }
             "--recover" => args.recover = true,
             "--policy-demo" => args.policy_demo = true,
+            "--telemetry" => args.telemetry = true,
+            "--inject-fault" => args.inject_fault = true,
             "--trace" => {
                 let _ = argv.next(); // consumed by trace_recorder_from_args
             }
             other => {
                 eprintln!(
                     "unknown argument '{other}'; expected --cores <n>, --trace <path>, \
-                     --state-dir <dir>, --kill-after-ms <T>, --recover, --policy-demo"
+                     --state-dir <dir>, --kill-after-ms <T>, --recover, --policy-demo, \
+                     --telemetry, --inject-fault"
                 );
                 std::process::exit(2);
             }
@@ -230,8 +256,15 @@ fn main() {
         let ok = run_recover(args.cores, &dir, &memory, trace);
         finish(ok);
     }
-    let ok = run_mix(args.cores, args.state_dir.as_ref(), &memory, trace);
+    let ok = run_mix(&args, &memory, trace);
     finish(ok);
+}
+
+/// A server-side telemetry sampler on a cadence fast enough for the
+/// short simulated mix (the scheduler polls every 20 ms, so a 25 ms
+/// wall interval yields a steady sample stream).
+fn telemetry_sampler(trace: RecorderHandle) -> TelemetryHandle {
+    TelemetryHandle::new(TelemetrySampler::new(trace).with_wall_interval(Duration::from_millis(25)))
 }
 
 fn finish(ok: bool) -> ! {
@@ -243,30 +276,38 @@ fn finish(ok: bool) -> ! {
 }
 
 /// Default mode: the full mix to completion, self-validated.
-fn run_mix(
-    cores: usize,
-    state_dir: Option<&PathBuf>,
-    memory: &MemoryRecorder,
-    trace: RecorderHandle,
-) -> bool {
-    let cfg = match state_dir {
+fn run_mix(args: &Args, memory: &MemoryRecorder, trace: RecorderHandle) -> bool {
+    let cores = args.cores;
+    let mut cfg = match args.state_dir.as_ref() {
         Some(dir) => durable_config(cores, dir, trace.clone()),
         None => ServerConfig::new(cores, predictor())
             .with_llc_budget(8 * 1024 * 1024)
             .with_trace(trace.clone()),
     };
+    if args.telemetry {
+        cfg = cfg.with_telemetry(telemetry_sampler(trace.clone()));
+    }
+    let checkpoint_dir = cfg.checkpoint_dir.clone();
     let server = JobServer::start(cfg);
 
     // The mix: two low-priority batch jobs that saturate the box, one
     // non-preemptible MH job, then a high-priority job that must
     // preempt a batch job to get on.
-    let handles: Vec<JobHandle> = mix(false).into_iter().map(|s| server.submit(s)).collect();
+    let mut specs = mix(false);
+    if args.inject_fault {
+        // The votes batch job (server id 2) takes the chain panic; one
+        // retry absorbs it, and the fault dumps the flight recorder.
+        specs[1] = specs[1].clone().with_injector(Arc::new(PanicOnce));
+    }
+    let handles: Vec<JobHandle> = specs.into_iter().map(|s| server.submit(s)).collect();
 
     let mut ok = true;
+    let mut total_faults = 0usize;
     for handle in handles {
         let job = handle.wait();
         match &job.outcome {
             JobOutcome::Completed(result) => {
+                total_faults += result.faults;
                 println!(
                     "job {} completed: {} iters, {} grad evals, {} preemption(s), degraded={}",
                     job.id,
@@ -282,6 +323,32 @@ fn run_mix(
             }
             other => {
                 eprintln!("FAIL: job {} did not complete: {other:?}", job.id);
+                ok = false;
+            }
+        }
+    }
+
+    // The fault dump is written while the job runs and the default
+    // checkpoint dir is removed on join, so validate it first.
+    if args.inject_fault {
+        let dump = checkpoint_dir.join("job-2-flight-chain_fault.jsonl");
+        match std::fs::read_to_string(&dump) {
+            Ok(text) if text.lines().any(|l| l.contains("\"chain_fault\"")) => {
+                println!(
+                    "flight dump: {} ({} events)",
+                    dump.display(),
+                    text.lines().count()
+                );
+            }
+            Ok(_) => {
+                eprintln!(
+                    "FAIL: flight dump {} lacks the chain_fault event",
+                    dump.display()
+                );
+                ok = false;
+            }
+            Err(err) => {
+                eprintln!("FAIL: no flight dump at {}: {err}", dump.display());
                 ok = false;
             }
         }
@@ -320,6 +387,23 @@ fn run_mix(
     if placed < submitted + preempted {
         eprintln!("FAIL: every preemption must be followed by a resume placement");
         ok = false;
+    }
+    if args.telemetry {
+        let samples = count(&|e| matches!(e, Event::MetricsSample { .. }));
+        println!("telemetry: {samples} metrics_sample events");
+        if samples == 0 {
+            eprintln!("FAIL: --telemetry produced no metrics_sample events");
+            ok = false;
+        }
+    }
+    if args.inject_fault {
+        // Chain faults stream on the job's own update channel, not
+        // the server trace; the result counter is the witness.
+        println!("faults: {total_faults} absorbed across the mix");
+        if total_faults == 0 {
+            eprintln!("FAIL: --inject-fault produced no absorbed fault");
+            ok = false;
+        }
     }
     ok
 }

@@ -1,0 +1,204 @@
+//! serve_top: live text dashboard over a job server trace.
+//!
+//! Usage: `serve_top <trace.jsonl> [--interval-ms N] [--once]`
+//!
+//! Re-reads the JSONL trace a running server writes through
+//! `--trace` and redraws a compact status screen each tick: the
+//! telemetry rates from `metrics_sample` events (with an ASCII trend
+//! strip per source), the jobs table folded from the `job_*`
+//! lifecycle events, and the journal-replay footer. The dashboard is
+//! a pure trace consumer — it shares no state with the server, so it
+//! can watch a run from another process or replay a finished trace.
+//!
+//! `--once` renders a single frame without clearing the screen and
+//! exits (CI smoke and piping into files); the default mode clears
+//! and redraws every `--interval-ms` (default 500) until killed. A
+//! missing file is waited on, not fatal: the dashboard may start
+//! before the server.
+
+use bayes_bench::report::TraceReport;
+use std::time::Duration;
+
+/// Trend strip glyphs, lowest to highest.
+const RAMP: &[u8] = b" .:-=+*#@";
+
+/// Renders the last `width` values as an ASCII trend strip scaled to
+/// the window maximum (a flat zero window renders as spaces).
+fn sparkline(values: &[f64], width: usize) -> String {
+    let tail = &values[values.len().saturating_sub(width)..];
+    let max = tail.iter().cloned().fold(0.0_f64, f64::max);
+    tail.iter()
+        .map(|v| {
+            if max <= 0.0 || !v.is_finite() {
+                ' '
+            } else {
+                let idx = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+                RAMP[idx.min(RAMP.len() - 1)] as char
+            }
+        })
+        .collect()
+}
+
+fn render(report: &TraceReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve_top — {} trace lines, {} undecodable, schema {}",
+        report.lines,
+        report.skipped,
+        report.schema.as_deref().unwrap_or("(no header)")
+    );
+
+    let rollups = report.telemetry();
+    if rollups.is_empty() {
+        let _ = writeln!(
+            out,
+            "\ntelemetry: no metrics_sample events yet (server started without a sampler?)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "\n{:<14} {:>8} {:>10} {:>10} {:>9} {:>12}  trend(it/s)",
+            "source", "samples", "it/s", "grad/s", "wal_apnd", "wal_p99(us)"
+        );
+        for t in &rollups {
+            let series: Vec<f64> = report
+                .samples
+                .iter()
+                .filter(|s| s.source == t.source)
+                .map(|s| s.iters_per_sec)
+                .collect();
+            let last = series.last().copied().unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>10.1} {:>10.1} {:>9} {:>12.1}  [{}]",
+                t.source,
+                t.samples,
+                last,
+                report
+                    .samples
+                    .iter()
+                    .rev()
+                    .find(|s| s.source == t.source)
+                    .map_or(0.0, |s| s.grad_evals_per_sec),
+                t.wal_appends,
+                t.last_wal_p99_ns / 1e3,
+                sparkline(&series, 24),
+            );
+        }
+    }
+
+    if report.jobs.is_empty() {
+        let _ = writeln!(out, "\njobs: none submitted yet");
+    } else {
+        let _ = writeln!(
+            out,
+            "\n{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>6} {:>9}",
+            "job", "name", "workload", "prio", "places", "preempt", "recov", "state"
+        );
+        for j in &report.jobs {
+            let state = if j.completed.is_some() {
+                "done"
+            } else if j.expired.is_some() {
+                "expired"
+            } else if j.shed.is_some() {
+                "shed"
+            } else if j.placements > 0 {
+                "running"
+            } else {
+                "queued"
+            };
+            let _ = writeln!(
+                out,
+                "{:<6} {:<14} {:<12} {:>4} {:>7} {:>8} {:>6} {:>9}",
+                j.job,
+                j.name,
+                j.workload,
+                j.priority,
+                j.placements,
+                j.preemptions,
+                j.recoveries,
+                state
+            );
+        }
+        let done = report.jobs.iter().filter(|j| j.completed.is_some()).count();
+        let _ = writeln!(out, "{} of {} jobs finished", done, report.jobs.len());
+    }
+
+    for jr in &report.journal {
+        let _ = writeln!(
+            out,
+            "journal {}: {} records, {} jobs recovered",
+            jr.path, jr.records, jr.jobs_recovered
+        );
+    }
+    out
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut interval_ms: u64 = 500;
+    let mut once = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval-ms" => {
+                interval_ms = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--interval-ms requires a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: serve_top <trace.jsonl> [--interval-ms N] [--once]");
+                return;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: serve_top <trace.jsonl> [--interval-ms N] [--once]");
+        std::process::exit(2);
+    };
+
+    if once {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                std::process::exit(2);
+            }
+        };
+        match TraceReport::parse(&text) {
+            Ok(r) => print!("{}", render(&r)),
+            Err(err) => {
+                eprintln!("cannot decode {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let interval = Duration::from_millis(interval_ms.max(1));
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match TraceReport::parse(&text) {
+                Ok(r) => {
+                    // Clear and home, then the fresh frame.
+                    print!("\x1b[2J\x1b[H{}", render(&r));
+                }
+                Err(err) => {
+                    eprintln!("cannot decode {path}: {err}");
+                    std::process::exit(1);
+                }
+            },
+            Err(_) => println!("waiting for {path} ..."),
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -1,24 +1,44 @@
 //! trace_report: characterize a bayes-obs JSONL trace.
 //!
-//! Usage: `trace_report <trace.jsonl> [--csv]`
+//! Usage: `trace_report <trace.jsonl> [--csv] [--follow [--interval-ms N]]`
 //!
 //! Reads the trace produced by any bench binary's `--trace` flag and
 //! prints the characterization aggregates — per-run phase time
 //! breakdown (from the span profiler), sampler totals, convergence
-//! and elision timelines, fault/retry summaries, and simulated
-//! counter rollups. `--csv` emits the same aggregates as flat CSV
-//! (`section,model,name,field,value`) for spreadsheet/plot ingestion.
+//! and elision timelines, fault/retry summaries, live telemetry
+//! rollups, and simulated counter rollups. `--csv` emits the same
+//! aggregates as flat CSV (`section,model,name,field,value`) for
+//! spreadsheet/plot ingestion.
+//!
+//! `--follow` tails a live trace: the file is re-read whenever it
+//! grows and the refreshed report is printed after a `=== refresh`
+//! separator, so an in-flight server run can be watched with nothing
+//! fancier than a second terminal. The mode tolerates the file not
+//! existing yet (it waits) and a torn last line (the writer flushes
+//! whole lines, a partial tail merely counts as undecodable until the
+//! next refresh).
 
 use bayes_bench::report::TraceReport;
+use std::time::Duration;
 
 fn main() {
     let mut path: Option<String> = None;
     let mut csv = false;
-    for arg in std::env::args().skip(1) {
+    let mut follow = false;
+    let mut interval_ms: u64 = 500;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--csv" => csv = true,
+            "--follow" => follow = true,
+            "--interval-ms" => {
+                interval_ms = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--interval-ms requires a positive integer");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
-                println!("usage: trace_report <trace.jsonl> [--csv]");
+                println!("usage: trace_report <trace.jsonl> [--csv] [--follow [--interval-ms N]]");
                 return;
             }
             other if path.is_none() => path = Some(other.to_string()),
@@ -29,26 +49,58 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace_report <trace.jsonl> [--csv]");
+        eprintln!("usage: trace_report <trace.jsonl> [--csv] [--follow [--interval-ms N]]");
         std::process::exit(2);
     };
-    let text = match std::fs::read_to_string(&path) {
+    if follow {
+        follow_trace(&path, csv, Duration::from_millis(interval_ms.max(1)));
+    }
+    let report = report_or_exit(&path, read_or_exit(&path));
+    if csv {
+        print!("{}", report.to_csv());
+    } else {
+        print!("{report}");
+    }
+}
+
+fn read_or_exit(path: &str) -> String {
+    match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(err) => {
             eprintln!("cannot read {path}: {err}");
             std::process::exit(2);
         }
-    };
-    let report = match TraceReport::parse(&text) {
+    }
+}
+
+fn report_or_exit(path: &str, text: String) -> TraceReport {
+    match TraceReport::parse(&text) {
         Ok(r) => r,
         Err(err) => {
             eprintln!("cannot decode {path}: {err}");
             std::process::exit(1);
         }
-    };
-    if csv {
-        print!("{}", report.to_csv());
-    } else {
-        print!("{report}");
+    }
+}
+
+/// Tail mode: re-render whenever the trace grows. Runs until killed.
+fn follow_trace(path: &str, csv: bool, interval: Duration) -> ! {
+    let mut last_len: Option<u64> = None;
+    loop {
+        let len = std::fs::metadata(path).map(|m| m.len()).ok();
+        if len.is_some() && len != last_len {
+            last_len = len;
+            let report = report_or_exit(path, read_or_exit(path));
+            println!(
+                "=== refresh ({} lines, {} undecodable) ===",
+                report.lines, report.skipped
+            );
+            if csv {
+                print!("{}", report.to_csv());
+            } else {
+                print!("{report}");
+            }
+        }
+        std::thread::sleep(interval);
     }
 }

@@ -98,6 +98,53 @@ pub struct DegradedRow {
     pub faults: u64,
 }
 
+/// One periodic live-telemetry sample (`metrics_sample` events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRow {
+    /// Emitting sampler: a model name, or `"server"`.
+    pub source: String,
+    /// Monotone sequence number within the source.
+    pub seq: u64,
+    /// Iteration (or scheduler tick) count at the sample.
+    pub iter: u64,
+    /// Wall nanoseconds since the sampler started.
+    pub elapsed_ns: u64,
+    /// Iterations per second over the sample window.
+    pub iters_per_sec: f64,
+    /// Gradient evaluations per second over the sample window.
+    pub grad_evals_per_sec: f64,
+    /// Fraction of windowed span time spent in gradient evaluation
+    /// (NaN when no span time accrued).
+    pub grad_share: f64,
+    /// WAL appends over the sample window.
+    pub wal_appends: u64,
+    /// Median WAL append latency, nanoseconds (cumulative).
+    pub wal_p50_ns: f64,
+    /// 99th-percentile WAL append latency, nanoseconds (cumulative).
+    pub wal_p99_ns: f64,
+}
+
+/// Per-source rollup of the telemetry stream, for the report footer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Emitting sampler.
+    pub source: String,
+    /// Samples observed.
+    pub samples: u64,
+    /// Iteration count of the last sample.
+    pub last_iter: u64,
+    /// Peak windowed iteration rate.
+    pub peak_iters_per_sec: f64,
+    /// Peak windowed gradient-evaluation rate.
+    pub peak_grad_evals_per_sec: f64,
+    /// Mean gradient share over samples with a finite share.
+    pub mean_grad_share: f64,
+    /// WAL appends summed over all sample windows.
+    pub wal_appends: u64,
+    /// Last reported p99 WAL append latency, nanoseconds.
+    pub last_wal_p99_ns: f64,
+}
+
 /// Lifecycle of one job server job, folded from its `job_*` events.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct JobRow {
@@ -321,10 +368,12 @@ pub struct TraceReport {
     pub counters: Vec<CounterRow>,
     /// Platform description rows seen.
     pub platforms: Vec<String>,
-    /// Job server lifecycles, in first-submission order.
+    /// Job server lifecycles, sorted by job id.
     pub jobs: Vec<JobRow>,
     /// Journal replays observed (one per recovered server journal).
     pub journal: Vec<JournalRow>,
+    /// Periodic telemetry samples, in trace order.
+    pub samples: Vec<SampleRow>,
 }
 
 impl TraceReport {
@@ -348,7 +397,67 @@ impl TraceReport {
                 Err(e @ DecodeError::UnsupportedSchema { .. }) => return Err(e),
             }
         }
+        // Rollup tables render in key order, not arrival order, so the
+        // report bytes are stable across trace interleavings (runs and
+        // samples keep trace order — they are timelines).
+        r.jobs.sort_by_key(|j| j.job);
+        r.counters.sort_by(|a, b| {
+            (a.workload.as_str(), a.platform.as_str(), a.cores).cmp(&(
+                b.workload.as_str(),
+                b.platform.as_str(),
+                b.cores,
+            ))
+        });
+        r.journal.sort_by(|a, b| a.path.cmp(&b.path));
+        r.platforms.sort();
         Ok(r)
+    }
+
+    /// Per-source telemetry rollups, sorted by source name.
+    pub fn telemetry(&self) -> Vec<TelemetrySummary> {
+        let mut out: Vec<TelemetrySummary> = Vec::new();
+        for s in &self.samples {
+            let row = match out.iter_mut().find(|t| t.source == s.source) {
+                Some(row) => row,
+                None => {
+                    out.push(TelemetrySummary {
+                        source: s.source.clone(),
+                        samples: 0,
+                        last_iter: 0,
+                        peak_iters_per_sec: 0.0,
+                        peak_grad_evals_per_sec: 0.0,
+                        mean_grad_share: 0.0,
+                        wal_appends: 0,
+                        last_wal_p99_ns: 0.0,
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            row.samples += 1;
+            row.last_iter = row.last_iter.max(s.iter);
+            row.peak_iters_per_sec = row.peak_iters_per_sec.max(s.iters_per_sec);
+            row.peak_grad_evals_per_sec = row.peak_grad_evals_per_sec.max(s.grad_evals_per_sec);
+            if s.grad_share.is_finite() {
+                // Running mean over finite shares only.
+                row.mean_grad_share += s.grad_share;
+            }
+            row.wal_appends += s.wal_appends;
+            if s.wal_p99_ns.is_finite() {
+                row.last_wal_p99_ns = s.wal_p99_ns;
+            }
+        }
+        for row in &mut out {
+            let finite = self
+                .samples
+                .iter()
+                .filter(|s| s.source == row.source && s.grad_share.is_finite())
+                .count();
+            if finite > 0 {
+                row.mean_grad_share /= finite as f64;
+            }
+        }
+        out.sort_by(|a, b| a.source.cmp(&b.source));
+        out
     }
 
     /// The most recent run section, creating an implicit one when an
@@ -626,6 +735,30 @@ impl TraceReport {
                 row.truncated_bytes = truncated_bytes;
                 row.records = records;
             }
+            Event::MetricsSample {
+                source,
+                seq,
+                iter,
+                elapsed_ns,
+                iters_per_sec,
+                grad_evals_per_sec,
+                grad_share,
+                wal_appends,
+                wal_p50_ns,
+                wal_p99_ns,
+                ..
+            } => self.samples.push(SampleRow {
+                source,
+                seq,
+                iter,
+                elapsed_ns,
+                iters_per_sec,
+                grad_evals_per_sec,
+                grad_share,
+                wal_appends,
+                wal_p50_ns,
+                wal_p99_ns,
+            }),
         }
     }
 }
@@ -817,6 +950,26 @@ impl TraceReport {
             push(&mut rows, "records", jr.records.to_string());
             push(&mut rows, "jobs_recovered", jr.jobs_recovered.to_string());
             push(&mut rows, "truncated_bytes", jr.truncated_bytes.to_string());
+        }
+        for t in self.telemetry() {
+            let push = |rows: &mut Vec<CsvRow>, field: &str, value: String| {
+                push_row(rows, "telemetry", &t.source, "rollup", field, value);
+            };
+            push(&mut rows, "samples", t.samples.to_string());
+            push(&mut rows, "last_iter", t.last_iter.to_string());
+            push(
+                &mut rows,
+                "peak_iters_per_sec",
+                t.peak_iters_per_sec.to_string(),
+            );
+            push(
+                &mut rows,
+                "peak_grad_evals_per_sec",
+                t.peak_grad_evals_per_sec.to_string(),
+            );
+            push(&mut rows, "mean_grad_share", t.mean_grad_share.to_string());
+            push(&mut rows, "wal_appends", t.wal_appends.to_string());
+            push(&mut rows, "last_wal_p99_ns", t.last_wal_p99_ns.to_string());
         }
         rows
     }
@@ -1088,6 +1241,35 @@ impl fmt::Display for TraceReport {
                 )?;
             }
         }
+        if !self.samples.is_empty() {
+            writeln!(f, "\n--- telemetry ---")?;
+            writeln!(
+                f,
+                "{:<14} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9} {:>12}",
+                "source",
+                "samples",
+                "last_iter",
+                "peak_it/s",
+                "peak_grad/s",
+                "grad_shr",
+                "wal_apnd",
+                "wal_p99(us)"
+            )?;
+            for t in self.telemetry() {
+                writeln!(
+                    f,
+                    "{:<14} {:>8} {:>10} {:>12.1} {:>12.1} {:>9.1}% {:>9} {:>12}",
+                    t.source,
+                    t.samples,
+                    t.last_iter,
+                    t.peak_iters_per_sec,
+                    t.peak_grad_evals_per_sec,
+                    t.mean_grad_share * 100.0,
+                    t.wal_appends,
+                    fmt_us(t.last_wal_p99_ns),
+                )?;
+            }
+        }
         if !self.counters.is_empty() {
             writeln!(f, "\n--- simulated counters ---")?;
             writeln!(
@@ -1208,7 +1390,7 @@ mod tests {
     #[test]
     fn aggregates_one_run() {
         let r = TraceReport::parse(&sample_trace()).unwrap();
-        assert_eq!(r.schema.as_deref(), Some("1.2"));
+        assert_eq!(r.schema.as_deref(), Some("1.3"));
         assert_eq!(r.skipped, 0);
         assert_eq!(r.runs.len(), 1);
         let s = &r.runs[0];
@@ -1440,6 +1622,130 @@ mod tests {
             .find(|row| row.name == "gradient_eval" && row.field == "share")
             .unwrap();
         assert_eq!(share.value.parse::<f64>().unwrap(), 7000.0 / 7500.0);
+    }
+
+    #[test]
+    fn folds_metrics_samples_into_telemetry_rollups() {
+        let events = [
+            Event::trace_header(),
+            Event::MetricsSample {
+                source: "server".to_string(),
+                chain: None,
+                seq: 0,
+                iter: 10,
+                elapsed_ns: 1_000_000,
+                iters_per_sec: 10.0,
+                grad_evals_per_sec: 0.0,
+                grad_share: f64::NAN,
+                wal_appends: 3,
+                wal_p50_ns: 400.0,
+                wal_p99_ns: 900.0,
+            },
+            Event::MetricsSample {
+                source: "gauss".to_string(),
+                chain: None,
+                seq: 0,
+                iter: 64,
+                elapsed_ns: 2_000_000,
+                iters_per_sec: 320.0,
+                grad_evals_per_sec: 1_500.0,
+                grad_share: 0.5,
+                wal_appends: 0,
+                wal_p50_ns: f64::NAN,
+                wal_p99_ns: f64::NAN,
+            },
+            Event::MetricsSample {
+                source: "gauss".to_string(),
+                chain: None,
+                seq: 1,
+                iter: 128,
+                elapsed_ns: 4_000_000,
+                iters_per_sec: 250.0,
+                grad_evals_per_sec: 2_000.0,
+                grad_share: 0.7,
+                wal_appends: 0,
+                wal_p50_ns: f64::NAN,
+                wal_p99_ns: f64::NAN,
+            },
+        ];
+        let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+        let r = TraceReport::parse(&text).unwrap();
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.samples.len(), 3);
+        let rollups = r.telemetry();
+        assert_eq!(rollups.len(), 2);
+        // Sorted by source: "gauss" before "server".
+        assert_eq!(rollups[0].source, "gauss");
+        assert_eq!(rollups[0].samples, 2);
+        assert_eq!(rollups[0].last_iter, 128);
+        assert_eq!(rollups[0].peak_iters_per_sec, 320.0);
+        assert_eq!(rollups[0].peak_grad_evals_per_sec, 2_000.0);
+        assert!((rollups[0].mean_grad_share - 0.6).abs() < 1e-12);
+        assert_eq!(rollups[1].source, "server");
+        assert_eq!(rollups[1].wal_appends, 3);
+        assert_eq!(rollups[1].last_wal_p99_ns, 900.0);
+        // NaN shares are excluded from the mean, not poisoning it.
+        assert_eq!(rollups[1].mean_grad_share, 0.0);
+        let rendered = r.to_string();
+        assert!(rendered.contains("--- telemetry ---"));
+        assert!(rendered.contains("server"));
+        let rows = parse_csv(&r.to_csv()).unwrap();
+        assert!(rows.iter().any(|row| row.section == "telemetry"
+            && row.model == "gauss"
+            && row.field == "peak_iters_per_sec"
+            && row.value == "320"));
+    }
+
+    #[test]
+    fn rollup_tables_render_in_key_order_regardless_of_arrival() {
+        // The same logical content in two arrival orders must render
+        // byte-identically: jobs by id, counters by workload/platform,
+        // journal by path.
+        let submitted = |job: u64, name: &str| Event::JobSubmitted {
+            job,
+            name: name.to_string(),
+            workload: "12cities".to_string(),
+            priority: 1,
+            chains: 2,
+            iters: 100,
+            seed: 7,
+            data_bytes: 4096,
+        };
+        let counters = |workload: &str| Event::Counters {
+            workload: workload.to_string(),
+            platform: "skylake".to_string(),
+            cores: 4,
+            ipc: 1.0,
+            llc_mpki: 0.5,
+            bandwidth_gbs: 3.0,
+            time_s: 1.0,
+            energy_j: 10.0,
+        };
+        let forward = [
+            Event::trace_header(),
+            submitted(1, "a"),
+            submitted(2, "b"),
+            counters("ad"),
+            counters("votes"),
+        ];
+        let reversed = [
+            Event::trace_header(),
+            submitted(2, "b"),
+            submitted(1, "a"),
+            counters("votes"),
+            counters("ad"),
+        ];
+        let render = |events: &[Event]| {
+            let text: String = events.iter().map(|e| e.to_json() + "\n").collect();
+            let r = TraceReport::parse(&text).unwrap();
+            (r.to_string(), r.to_csv())
+        };
+        let (text_a, csv_a) = render(&forward);
+        let (text_b, csv_b) = render(&reversed);
+        assert_eq!(text_a, text_b);
+        assert_eq!(csv_a, csv_b);
+        // And the order is the key order, not luck.
+        assert!(text_a.find("ad").unwrap() < text_a.find("votes").unwrap());
     }
 
     #[test]

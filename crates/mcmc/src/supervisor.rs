@@ -53,7 +53,7 @@ use crate::converge::ConvergenceDetector;
 use crate::model::Model;
 use crate::runtime::StoppableSampler;
 use crate::stream::{Purpose, StreamKey};
-use bayes_obs::{CheckpointSource, Event};
+use bayes_obs::{CheckpointSource, Event, TelemetryHandle};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -322,6 +322,10 @@ pub struct SupervisorConfig {
     /// shutdown path): raising it cancels every chain cooperatively
     /// and the run returns with [`Interrupt::Aborted`].
     pub abort: Option<Arc<AtomicBool>>,
+    /// Live telemetry sampler, polled from the monitor thread (never a
+    /// chain worker) each pass of its wait loop. Observation only —
+    /// the null handle is free, and sampling never perturbs draws.
+    pub telemetry: TelemetryHandle,
 }
 
 impl std::fmt::Debug for SupervisorConfig {
@@ -336,6 +340,7 @@ impl std::fmt::Debug for SupervisorConfig {
             .field("pause", &self.pause.is_some())
             .field("deadline", &self.deadline)
             .field("abort", &self.abort.is_some())
+            .field("telemetry", &self.telemetry.enabled())
             .finish()
     }
 }
@@ -403,6 +408,13 @@ impl SupervisorConfig {
     /// Attaches an external abort token.
     pub fn with_abort(mut self, abort: Arc<AtomicBool>) -> Self {
         self.abort = Some(abort);
+        self
+    }
+
+    /// Attaches a live telemetry sampler (see
+    /// [`bayes_obs::TelemetrySampler`]).
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -1015,6 +1027,16 @@ impl Runtime {
         // metrics include them.
         drop(caller_scope);
         model.flush_telemetry();
+        // One final sample before the drain, so even a run shorter
+        // than the sampling cadence leaves at least one
+        // `metrics_sample` in the trace — with the complete metrics,
+        // since every profiler scope has merged by this point.
+        if self.sup.telemetry.enabled() {
+            let final_iter = completed.values().map(|c| c.draws.len()).min().unwrap_or(0) as u64;
+            self.sup
+                .telemetry
+                .force_sample(model.name(), final_iter, &cfg.profiler.snapshot());
+        }
         let snapshot = cfg.profiler.emit_metrics(model.name());
         let total_grad_evals: u64 = completed.values().map(|c| c.grad_evals).sum();
         if degraded && cfg.recorder.enabled() {
@@ -1130,6 +1152,8 @@ impl Runtime {
                     let detector = &self.detector;
                     let stall_deadline = self.sup.stall_deadline;
                     let checkpoint_path = self.sup.checkpoint_path.clone();
+                    let telemetry = self.sup.telemetry.clone();
+                    let model_name = model.name().to_string();
                     scope.spawn(move |_| {
                         let _prof_scope = cfg.profiler.install(None);
                         let mut schedule = detector.checkpoints(cfg.iters);
@@ -1397,6 +1421,19 @@ impl Runtime {
                                         cancels[i].store(true, Ordering::Release);
                                     }
                                 }
+                            }
+                            // Live telemetry: cadence-checked once per
+                            // monitor pass. The monitor thread is off
+                            // the sampling hot path, and the sampler
+                            // only observes (cumulative snapshot in,
+                            // metrics_sample event out) — chains never
+                            // see it.
+                            if telemetry.enabled() {
+                                telemetry.maybe_sample(
+                                    &model_name,
+                                    progress() as u64,
+                                    &cfg.profiler.snapshot(),
+                                );
                             }
                             let mut guard = wake_mx.lock();
                             if let Some(t) = pending_ck {

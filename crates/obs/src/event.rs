@@ -27,8 +27,9 @@ pub const TRACE_SCHEMA_MAJOR: u64 = 1;
 /// Minor version of the trace schema (additive changes only).
 /// Minor 1 added the `job_*` lifecycle events of the serving layer;
 /// minor 2 added the durability events (`job_recovered`, `job_expired`,
-/// `job_shed`, `journal_replayed`, `journal_truncated`).
-pub const TRACE_SCHEMA_MINOR: u64 = 2;
+/// `job_shed`, `journal_replayed`, `journal_truncated`);
+/// minor 3 added the live-telemetry event (`metrics_sample`).
+pub const TRACE_SCHEMA_MINOR: u64 = 3;
 
 /// Why one trace line failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -435,6 +436,42 @@ pub enum Event {
         /// Valid records kept.
         records: u64,
     },
+    /// One periodic live-telemetry sample (schema minor 3). Emitted by
+    /// `telemetry::TelemetrySampler` off the sampling hot path —
+    /// supervisor monitor thread, job-server scheduler thread — on an
+    /// iteration- and wall-clock-bounded cadence. All rate and latency
+    /// fields are wall-clock derived and therefore carved out of
+    /// determinism comparisons, like `span_end` durations.
+    MetricsSample {
+        /// What was sampled: a model (workload) name or `"server"`.
+        source: String,
+        /// Chain index for per-chain samples, `None` for aggregates.
+        chain: Option<u64>,
+        /// Sample sequence number within this sampler (0-based).
+        seq: u64,
+        /// Progress marker at the sample: minimum iteration across the
+        /// run's chains, or a scheduler-defined progress counter.
+        iter: u64,
+        /// Wall-clock nanoseconds since the sampler started.
+        elapsed_ns: u64,
+        /// Iterations per second over the sample window (≥ 0).
+        iters_per_sec: f64,
+        /// Gradient evaluations per second over the window (≥ 0; 0
+        /// when no profiler feeds the sampler).
+        grad_evals_per_sec: f64,
+        /// Share of profiled span time spent in gradient work
+        /// (`gradient_eval` + shard sweep/reduce + `stats_reduce`)
+        /// over the window; NaN (encoded `null`) without a profiler.
+        grad_share: f64,
+        /// WAL appends observed in the window (0 outside the server).
+        wal_appends: u64,
+        /// Median WAL append latency over the window, nanoseconds;
+        /// NaN (encoded `null`) when no appends were observed.
+        wal_p50_ns: f64,
+        /// p99 WAL append latency over the window, nanoseconds; NaN
+        /// (encoded `null`) when no appends were observed.
+        wal_p99_ns: f64,
+    },
     /// A run completed without its full chain complement (supervisor).
     DegradedReport {
         /// Model (workload) name.
@@ -817,6 +854,31 @@ impl Event {
                 .field_u64("truncated_bytes", *truncated_bytes)
                 .field_u64("records", *records)
                 .finish(),
+            Event::MetricsSample {
+                source,
+                chain,
+                seq,
+                iter,
+                elapsed_ns,
+                iters_per_sec,
+                grad_evals_per_sec,
+                grad_share,
+                wal_appends,
+                wal_p50_ns,
+                wal_p99_ns,
+            } => Obj::new("metrics_sample")
+                .field_str("source", source)
+                .field_opt_u64("chain", *chain)
+                .field_u64("seq", *seq)
+                .field_u64("iter", *iter)
+                .field_u64("elapsed_ns", *elapsed_ns)
+                .field_f64("iters_per_sec", *iters_per_sec)
+                .field_f64("grad_evals_per_sec", *grad_evals_per_sec)
+                .field_f64("grad_share", *grad_share)
+                .field_u64("wal_appends", *wal_appends)
+                .field_f64("wal_p50_ns", *wal_p50_ns)
+                .field_f64("wal_p99_ns", *wal_p99_ns)
+                .finish(),
             Event::DegradedReport {
                 model,
                 survivors,
@@ -1031,6 +1093,19 @@ impl Event {
                 path: get_str(v, "path")?,
                 truncated_bytes: get_u64(v, "truncated_bytes")?,
                 records: get_u64(v, "records")?,
+            }),
+            "metrics_sample" => Ok(Event::MetricsSample {
+                source: get_str(v, "source")?,
+                chain: get_opt_u64(v, "chain")?,
+                seq: get_u64(v, "seq")?,
+                iter: get_u64(v, "iter")?,
+                elapsed_ns: get_u64(v, "elapsed_ns")?,
+                iters_per_sec: get_f64(v, "iters_per_sec")?,
+                grad_evals_per_sec: get_f64(v, "grad_evals_per_sec")?,
+                grad_share: get_f64(v, "grad_share")?,
+                wal_appends: get_u64(v, "wal_appends")?,
+                wal_p50_ns: get_f64(v, "wal_p50_ns")?,
+                wal_p99_ns: get_f64(v, "wal_p99_ns")?,
             }),
             "degraded_report" => Ok(Event::DegradedReport {
                 model: get_str(v, "model")?,
@@ -1280,6 +1355,32 @@ mod tests {
                 path: "/tmp/serve.journal".into(),
                 truncated_bytes: 42,
                 records: 16,
+            },
+            Event::MetricsSample {
+                source: "12cities".into(),
+                chain: None,
+                seq: 3,
+                iter: 180,
+                elapsed_ns: 2_500_000_000,
+                iters_per_sec: 72.5,
+                grad_evals_per_sec: 2105.25,
+                grad_share: 0.875,
+                wal_appends: 0,
+                wal_p50_ns: 0.0,
+                wal_p99_ns: 0.0,
+            },
+            Event::MetricsSample {
+                source: "server".into(),
+                chain: Some(1),
+                seq: 0,
+                iter: 40,
+                elapsed_ns: 125_000_000,
+                iters_per_sec: 320.0,
+                grad_evals_per_sec: 0.0,
+                grad_share: 0.0,
+                wal_appends: 12,
+                wal_p50_ns: 1850.0,
+                wal_p99_ns: 42_000.0,
             },
         ]
     }

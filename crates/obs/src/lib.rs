@@ -18,7 +18,12 @@
 //!   snapshot/merge semantics;
 //! * [`span`] — a hierarchical phase profiler with scoped RAII timers
 //!   ([`span::span`]) feeding per-phase histograms and, for coarse
-//!   phases, `span_start`/`span_end` events.
+//!   phases, `span_start`/`span_end` events;
+//! * [`telemetry`] — the live signal path: a wall-clock- and
+//!   iteration-cadenced [`TelemetrySampler`] turns cumulative
+//!   snapshots into window rates, ring-buffer [`TimeSeries`], and
+//!   `metrics_sample` events, and a bounded [`FlightRecorder`] keeps
+//!   the last-N events for post-mortem dumps.
 //!
 //! Two invariants make tracing safe to leave wired into hot paths:
 //!
@@ -41,9 +46,11 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
+pub mod telemetry;
 
 pub use event::{CheckpointSource, DecodeError, Event, TRACE_SCHEMA_MAJOR, TRACE_SCHEMA_MINOR};
 pub use json::fnv1a64;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, RecorderHandle};
 pub use span::{span, Phase, Profiler, ProfilerHandle, ScopeGuard, SpanGuard};
+pub use telemetry::{FlightRecorder, SamplePoint, TelemetryHandle, TelemetrySampler, TimeSeries};

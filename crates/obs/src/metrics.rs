@@ -228,14 +228,31 @@ impl MetricsSnapshot {
 
     /// Merges another snapshot into this one (associative and
     /// commutative; see the type-level docs).
+    ///
+    /// Gauges are **max-gauges**: merging takes the per-key maximum,
+    /// never last-write-wins, so the result is independent of merge
+    /// order. `f64::max` semantics apply when both sides hold a value
+    /// (NaN loses to any number, NaN only survives if both sides are
+    /// NaN); a key present on one side only is copied verbatim.
     pub fn merge(&mut self, other: &MetricsSnapshot) {
+        use std::collections::btree_map::Entry;
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
         for (k, v) in &other.gauges {
-            let slot = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
-            // f64::max ignores NaN on either side unless both are NaN.
-            *slot = slot.max(*v);
+            match self.gauges.entry(k.clone()) {
+                Entry::Occupied(mut slot) => {
+                    let cur = *slot.get();
+                    *slot.get_mut() = cur.max(*v);
+                }
+                // Copy verbatim (even NaN) rather than seeding a
+                // sentinel — max against a -inf seed would turn a
+                // NaN-only gauge into -inf on one merge order but not
+                // the other, breaking commutativity.
+                Entry::Vacant(slot) => {
+                    slot.insert(*v);
+                }
+            }
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -469,6 +486,52 @@ mod tests {
         assert_eq!(m.gauges["eps"], 0.5); // max wins
         assert_eq!(m.histograms["span.gradient_eval"].count(), 2);
         assert_eq!(m.span_total_ns(), 440);
+    }
+
+    #[test]
+    fn gauge_merge_is_commutative_and_takes_the_max() {
+        let mut a = MetricsSnapshot::new();
+        a.gauges.insert("eps".into(), -2.0);
+        a.gauges.insert("only_a".into(), 1.5);
+        a.gauges.insert("sick".into(), f64::NAN);
+        let mut b = MetricsSnapshot::new();
+        b.gauges.insert("eps".into(), -1.0);
+        b.gauges.insert("only_b".into(), -7.0);
+        b.gauges.insert("sick".into(), 3.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.gauges["eps"], -1.0, "max wins, not last write");
+        assert_eq!(ab.gauges["only_a"], 1.5, "one-sided keys copied");
+        assert_eq!(ab.gauges["only_b"], -7.0);
+        assert_eq!(ab.gauges["sick"], 3.0, "NaN loses to any number");
+        for k in ["eps", "only_a", "only_b", "sick"] {
+            assert_eq!(ab.gauges[k].to_bits(), ba.gauges[k].to_bits(), "{k}");
+        }
+
+        // A NaN-only gauge survives merge in either direction — the
+        // one-sided copy must not launder it through a -inf seed.
+        let mut nan_only = MetricsSnapshot::new();
+        nan_only.gauges.insert("sick".into(), f64::NAN);
+        let mut empty_first = MetricsSnapshot::new();
+        empty_first.merge(&nan_only);
+        assert!(empty_first.gauges["sick"].is_nan());
+        let mut nan_first = nan_only.clone();
+        nan_first.merge(&MetricsSnapshot::new());
+        assert!(nan_first.gauges["sick"].is_nan());
+
+        // Associativity across three snapshots.
+        let mut c = MetricsSnapshot::new();
+        c.gauges.insert("eps".into(), 0.25);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.gauges["eps"], a_bc.gauges["eps"]);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A sink for structured events.
 ///
@@ -104,12 +105,25 @@ impl Recorder for MemoryRecorder {
 
 /// Streams events to a file, one JSON object per line.
 ///
-/// Writes are buffered; the buffer is flushed on [`Recorder::flush`]
-/// and when the recorder is dropped. I/O errors are deliberately
-/// swallowed — tracing must never abort an inference run.
+/// Writes are buffered; the buffer is flushed on [`Recorder::flush`],
+/// when the recorder is dropped, and — so tail consumers
+/// (`trace_report --follow`, `serve_top`) see events promptly on a
+/// long run — whenever a record arrives more than the flush interval
+/// (default 200 ms) after the previous flush. The interval check is
+/// one `Instant::now()` per record under the lock already held for
+/// the write. I/O errors are deliberately swallowed — tracing must
+/// never abort an inference run.
 #[derive(Debug)]
 pub struct JsonlRecorder {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<Sink>,
+}
+
+/// Writer plus interval-flush state, guarded by one mutex.
+#[derive(Debug)]
+struct Sink {
+    w: BufWriter<File>,
+    flush_every: Option<Duration>,
+    last_flush: Instant,
 }
 
 impl JsonlRecorder {
@@ -123,21 +137,40 @@ impl JsonlRecorder {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         let file = File::create(path)?;
         let rec = Self {
-            out: Mutex::new(BufWriter::new(file)),
+            out: Mutex::new(Sink {
+                w: BufWriter::new(file),
+                flush_every: Some(Duration::from_millis(200)),
+                last_flush: Instant::now(),
+            }),
         };
         rec.record(&Event::trace_header());
         Ok(rec)
+    }
+
+    /// Sets the bounded flush interval (`None` disables interval
+    /// flushing, restoring flush-on-demand/drop only).
+    pub fn with_flush_every(self, interval: Option<Duration>) -> Self {
+        self.out.lock().expect("recorder mutex").flush_every = interval;
+        self
     }
 }
 
 impl Recorder for JsonlRecorder {
     fn record(&self, event: &Event) {
         let mut out = self.out.lock().expect("recorder mutex");
-        let _ = writeln!(out, "{}", event.to_json());
+        let _ = writeln!(out.w, "{}", event.to_json());
+        if let Some(every) = out.flush_every {
+            if out.last_flush.elapsed() >= every {
+                let _ = out.w.flush();
+                out.last_flush = Instant::now();
+            }
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("recorder mutex").flush();
+        let mut out = self.out.lock().expect("recorder mutex");
+        let _ = out.w.flush();
+        out.last_flush = Instant::now();
     }
 }
 
@@ -151,7 +184,7 @@ impl Drop for JsonlRecorder {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
         };
-        let _ = out.flush();
+        let _ = out.w.flush();
     }
 }
 
@@ -278,6 +311,27 @@ mod tests {
         assert_eq!(Event::from_json(lines[0]).unwrap(), Event::trace_header());
         assert_eq!(Event::from_json(lines[1]).unwrap(), checkpoint(10));
         assert_eq!(Event::from_json(lines[2]).unwrap(), checkpoint(20));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interval_flush_makes_a_long_running_trace_readable_mid_run() {
+        let path = std::env::temp_dir().join("bayes_obs_recorder_midrun.jsonl");
+        // A zero interval flushes after every record — the degenerate
+        // case of "bounded staleness" that needs no sleeping to test.
+        let rec = JsonlRecorder::create(&path)
+            .expect("create trace file")
+            .with_flush_every(Some(Duration::ZERO));
+        let h = RecorderHandle::new(Arc::new(rec));
+        h.record(checkpoint(10));
+        h.record(checkpoint(20));
+        // The recorder is still alive and nobody called flush(): a
+        // tail consumer must already see every line.
+        let text = std::fs::read_to_string(&path).expect("read mid-run");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 events visible mid-run");
+        assert_eq!(Event::from_json(lines[2]).unwrap(), checkpoint(20));
+        drop(h);
         let _ = std::fs::remove_file(&path);
     }
 

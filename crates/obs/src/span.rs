@@ -29,10 +29,17 @@
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::recorder::RecorderHandle;
 use crate::Event;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How often a chain thread folds its registry into the run-level
+/// snapshot mid-run (checked only when a *top-level* span closes, so
+/// the cost is one `Instant::now()` per outermost span, not per
+/// leapfrog). Live consumers — the telemetry sampler polling
+/// [`ProfilerHandle::snapshot`] — see metrics at most this stale.
+const LIVE_PUBLISH_INTERVAL: Duration = Duration::from_millis(100);
 
 /// A profiled phase of the inference runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,13 +196,17 @@ impl ProfilerHandle {
             profiler: Arc::clone(profiler),
             registry: RefCell::new(MetricsRegistry::new()),
             stack: RefCell::new(Vec::new()),
+            last_publish: Cell::new(Instant::now()),
         });
         let prev = CURRENT.with(|c| c.replace(Some(core)));
         ScopeGuard { prev, active: true }
     }
 
-    /// A copy of the merged snapshot (chains still running are not yet
-    /// included — their registries merge when their scopes end).
+    /// A copy of the merged snapshot. Running chains publish their
+    /// registries periodically (each time a top-level span closes and
+    /// `LIVE_PUBLISH_INTERVAL` has elapsed), so mid-run snapshots are
+    /// live to within that interval; the remainder merges when each
+    /// chain's scope ends.
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.inner {
             Some(p) => lock(&p.merged).clone(),
@@ -245,6 +256,7 @@ struct ThreadCore {
     profiler: Arc<Profiler>,
     registry: RefCell<MetricsRegistry>,
     stack: RefCell<Vec<Frame>>,
+    last_publish: Cell<Instant>,
 }
 
 thread_local! {
@@ -348,6 +360,16 @@ impl Drop for SpanGuard {
                 elapsed_ns: elapsed,
                 self_ns,
             });
+        }
+        // Live publish: when a top-level span closes and the interval
+        // elapsed, fold this thread's registry into the run-level
+        // snapshot so mid-run `ProfilerHandle::snapshot()` calls see
+        // fresh metrics. Take + merge keeps totals exact — nothing is
+        // counted twice, and the scope-end merge picks up the tail.
+        if open.depth == 0 && open.core.last_publish.get().elapsed() >= LIVE_PUBLISH_INTERVAL {
+            let snap = open.core.registry.borrow_mut().take();
+            lock(&open.core.profiler.merged).merge(&snap);
+            open.core.last_publish.set(Instant::now());
         }
     }
 }

@@ -30,5 +30,5 @@ pub mod store;
 
 pub use job::{CompletedJob, JobHandle, JobOutcome, JobResult, JobSpec, JobUpdate, SamplerKind};
 pub use journal::{Journal, JournalRecord, Replay, SpecRecord, WalFault, WalFaultInjector};
-pub use server::{JobServer, ServerConfig};
+pub use server::{JobProgress, JobServer, ServerConfig, ServerStatus};
 pub use store::CheckpointStore;

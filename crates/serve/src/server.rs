@@ -62,7 +62,9 @@ use bayes_mcmc::nuts::Nuts;
 use bayes_mcmc::summary::{summarize, ParamSummary};
 use bayes_mcmc::supervisor::{Interrupt, PauseControl, Runtime, SupervisorConfig};
 use bayes_mcmc::RunConfig;
-use bayes_obs::{Event, Recorder, RecorderHandle};
+use bayes_obs::{
+    Event, FlightRecorder, MetricsRegistry, Recorder, RecorderHandle, TelemetryHandle,
+};
 use bayes_sched::LlcMissPredictor;
 use bayes_suite::registry;
 use std::collections::BTreeMap;
@@ -82,6 +84,10 @@ const MAX_BACKOFF: Duration = Duration::from_secs(2);
 /// Scheduler poll period: how often deadlines, backoff eligibility,
 /// and placement are re-evaluated when no message arrives.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Events each per-job flight recorder retains (the last-N window a
+/// fault dump carries).
+const FLIGHT_CAPACITY: usize = 64;
 
 /// Static resources and policy knobs of one server instance.
 #[derive(Clone)]
@@ -110,6 +116,11 @@ pub struct ServerConfig {
     pub shed_bytes: Option<usize>,
     /// Deterministic journal fault injector (chaos tests only).
     pub wal_injector: Option<Arc<dyn WalFaultInjector>>,
+    /// Server-level live telemetry: polled once per scheduler pass,
+    /// emitting `metrics_sample` events with source `"server"` (WAL
+    /// append-latency rollups, scheduler tick rate) into the sampler's
+    /// recorder. The null handle (default) is free.
+    pub telemetry: TelemetryHandle,
     /// True while `checkpoint_dir` is the generated default, which
     /// [`JobServer::join`] deletes on a clean drain.
     default_dir: bool,
@@ -126,6 +137,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("max_pending", &self.max_pending)
             .field("shed_bytes", &self.shed_bytes)
             .field("wal_injector", &self.wal_injector.is_some())
+            .field("telemetry", &self.telemetry.enabled())
             .field("default_dir", &self.default_dir)
             .finish()
     }
@@ -148,6 +160,7 @@ impl ServerConfig {
             max_pending: None,
             shed_bytes: None,
             wal_injector: None,
+            telemetry: TelemetryHandle::null(),
             default_dir: true,
         }
     }
@@ -198,6 +211,14 @@ impl ServerConfig {
         self.wal_injector = Some(injector);
         self
     }
+
+    /// Attaches a server-level telemetry sampler (usually built over
+    /// the same sink as [`ServerConfig::with_trace`], so the
+    /// `metrics_sample` stream lands in the server trace).
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 /// Messages into the scheduler thread.
@@ -207,10 +228,97 @@ enum Msg {
     /// A placement persisted a run checkpoint at the given iteration
     /// (observed by the client recorder; journaled for recovery).
     Ckpt(u64, u64),
+    /// Reply with a live status snapshot. The scheduler is the single
+    /// writer of all queue state, so answering on its thread gives a
+    /// consistent view without any shared locks.
+    Status(mpsc::Sender<ServerStatus>),
     /// Reply on the channel once every admitted job reached a terminal
     /// state; the scheduler then exits.
     Drain(mpsc::Sender<()>),
     Shutdown,
+}
+
+/// Point-in-time view of the server, answered by the scheduler thread
+/// (see [`JobServer::status`]). Clients and online controllers poll
+/// this instead of parsing traces.
+#[derive(Debug, Clone)]
+pub struct ServerStatus {
+    /// Jobs waiting for placement (backoff-gated ones included).
+    pub pending: usize,
+    /// Jobs currently placed on cores.
+    pub running: usize,
+    /// Running jobs draining toward a preemption checkpoint.
+    pub preempting: usize,
+    /// Cores currently granted to running jobs.
+    pub cores_busy: usize,
+    /// Total cores the server schedules over.
+    pub cores_total: usize,
+    /// Summed predicted working set of the *running* jobs, bytes.
+    pub resident_bytes: usize,
+    /// The shared-LLC budget those working sets are packed into.
+    pub llc_budget_bytes: usize,
+    /// Jobs completed successfully over the server's lifetime.
+    pub completions: u64,
+    /// Jobs declared failed (restart budget exhausted).
+    pub failures: u64,
+    /// Restarts consumed across all jobs.
+    pub restarts: u64,
+    /// Jobs shed under overload.
+    pub sheds: u64,
+    /// Jobs expired past their deadline.
+    pub expiries: u64,
+    /// Bit-exact preemption pauses completed.
+    pub preemptions: u64,
+    /// Jobs re-admitted by crash recovery.
+    pub recoveries: u64,
+    /// Per-job progress, ascending job id.
+    pub jobs: Vec<JobProgress>,
+}
+
+/// One live job inside a [`ServerStatus`] snapshot.
+#[derive(Debug, Clone)]
+pub struct JobProgress {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Client-supplied label.
+    pub name: String,
+    /// Registry workload name.
+    pub workload: String,
+    /// Scheduling priority (higher wins).
+    pub priority: u8,
+    /// Whether the job is currently placed (false = pending).
+    pub running: bool,
+    /// Cores granted (0 while pending).
+    pub cores: usize,
+    /// Furthest iteration any chain of the job has completed, live
+    /// from the placement's event stream.
+    pub iteration: u64,
+    /// Crude ESS-so-far proxy: the running sum of per-iteration mean
+    /// Metropolis acceptance (≈ "effectively independent draws" if
+    /// draws were independent with that probability). An *estimate*
+    /// for dashboards — real ESS comes from the post-hoc summary.
+    pub ess_so_far: f64,
+    /// Predicted working set, bytes.
+    pub data_bytes: usize,
+    /// Whether the predictor classifies the job LLC-bound.
+    pub llc_bound: bool,
+    /// Faults absorbed so far (all placements).
+    pub faults: usize,
+    /// Restarts consumed from the budget.
+    pub attempt: u32,
+    /// Newest journaled checkpoint iteration, if any.
+    pub last_ckpt: Option<u64>,
+}
+
+/// Lock-free live progress, shared between a placement's client
+/// recorder (writer, on run threads) and the scheduler's status
+/// snapshots (reader). Monotone: survives preemption and restarts.
+#[derive(Debug, Default)]
+struct ProgressCell {
+    /// Furthest iteration any chain completed (+1, i.e. a count).
+    iter: AtomicU64,
+    /// Σ mean-acceptance over iteration events, in milli-units.
+    accept_milli: AtomicU64,
 }
 
 /// What one placement's worker reported back.
@@ -271,6 +379,12 @@ struct JobState {
     not_before: Option<Instant>,
     /// Newest journaled checkpoint iteration (progress reporting).
     last_ckpt: Option<u64>,
+    /// Live iteration/ESS progress written by the placement's client
+    /// recorder, read by status snapshots.
+    progress: Arc<ProgressCell>,
+    /// Last-N event ring; dumped to JSONL on `chain_fault`, expiry,
+    /// shed, and crash-recovery.
+    flight: Arc<FlightRecorder>,
 }
 
 /// Live jobs reconstructed from the journal, handed to the scheduler
@@ -411,6 +525,17 @@ impl JobServer {
         JobHandle { id, rx }
     }
 
+    /// A live status snapshot, answered synchronously by the
+    /// scheduler thread: queue depths, per-job progress (iteration,
+    /// ESS-so-far estimate), lifetime restart/shed/recovery counters,
+    /// and the resident working set against the LLC budget. Returns
+    /// `None` once the scheduler has exited (post-join/kill).
+    pub fn status(&self) -> Option<ServerStatus> {
+        let (tx, rx) = mpsc::channel();
+        self.tx.send(Msg::Status(tx)).ok()?;
+        rx.recv().ok()
+    }
+
     /// Runs the queue dry — every admitted job reaches a terminal
     /// state — then stops the scheduler and removes the default
     /// checkpoint directory (an explicitly configured one is left
@@ -452,22 +577,47 @@ impl Drop for JobServer {
     }
 }
 
-/// Forwards every run event onto the job's client stream and tells
-/// the scheduler about persisted checkpoints (which it journals).
+/// Forwards every run event onto the job's client stream, tells the
+/// scheduler about persisted checkpoints (which it journals), feeds
+/// the job's flight-recorder ring, keeps the live progress cell
+/// current, and dumps the flight ring the moment a `chain_fault`
+/// arrives — while the fault event is guaranteed still in the window.
 struct ClientRecorder {
     job: u64,
     tx: Mutex<mpsc::Sender<JobUpdate>>,
     sched: Mutex<mpsc::Sender<Msg>>,
+    progress: Arc<ProgressCell>,
+    flight: Arc<FlightRecorder>,
+    /// Where a fault-triggered dump lands.
+    fault_dump: PathBuf,
 }
 
 impl Recorder for ClientRecorder {
     fn record(&self, event: &Event) {
-        if let Event::CheckpointSaved { iter, .. } = event {
-            let _ = self
-                .sched
-                .lock()
-                .expect("scheduler sender lock")
-                .send(Msg::Ckpt(self.job, *iter));
+        self.flight.record(event);
+        match event {
+            Event::CheckpointSaved { iter, .. } => {
+                let _ = self
+                    .sched
+                    .lock()
+                    .expect("scheduler sender lock")
+                    .send(Msg::Ckpt(self.job, *iter));
+            }
+            Event::Iteration { iter, accept, .. } => {
+                self.progress.iter.fetch_max(iter + 1, Ordering::Relaxed);
+                if accept.is_finite() && *accept > 0.0 {
+                    let milli = (accept.min(1.0) * 1000.0) as u64;
+                    self.progress
+                        .accept_milli
+                        .fetch_add(milli, Ordering::Relaxed);
+                }
+            }
+            Event::ChainFault { .. } => {
+                // Rare, and on the supervisor's fault path rather than
+                // a sampling hot path: a small bounded file write.
+                let _ = self.flight.dump(&self.fault_dump);
+            }
+            _ => {}
         }
         let _ = self
             .tx
@@ -475,6 +625,18 @@ impl Recorder for ClientRecorder {
             .expect("client sender lock")
             .send(JobUpdate::Event(event.clone()));
     }
+}
+
+/// Lifetime counters surfaced by [`ServerStatus`].
+#[derive(Debug, Default)]
+struct LifetimeCounters {
+    completions: u64,
+    failures: u64,
+    restarts: u64,
+    sheds: u64,
+    expiries: u64,
+    preemptions: u64,
+    recoveries: u64,
 }
 
 struct Scheduler {
@@ -490,6 +652,13 @@ struct Scheduler {
     store: CheckpointStore,
     kill: Arc<AtomicBool>,
     recovery: Option<Recovery>,
+    /// Lifetime terminal/restart counts for status snapshots.
+    stats: LifetimeCounters,
+    /// Scheduler-owned metrics (WAL append latency histogram); the
+    /// cumulative snapshot feeds the server-level telemetry sampler.
+    metrics: MetricsRegistry,
+    /// Scheduler passes completed — the telemetry iteration counter.
+    ticks: u64,
 }
 
 impl Scheduler {
@@ -514,6 +683,9 @@ impl Scheduler {
             store,
             kill,
             recovery,
+            stats: LifetimeCounters::default(),
+            metrics: MetricsRegistry::new(),
+            ticks: 0,
         }
     }
 
@@ -526,6 +698,9 @@ impl Scheduler {
                 Ok(Msg::Submit(id, spec, tx)) => self.admit(id, spec, tx),
                 Ok(Msg::Done(id, outcome)) => self.settle(id, outcome),
                 Ok(Msg::Ckpt(id, iter)) => self.note_checkpoint(id, iter),
+                Ok(Msg::Status(tx)) => {
+                    let _ = tx.send(self.status_snapshot());
+                }
                 Ok(Msg::Drain(ack)) => self.drain = Some(ack),
                 Ok(Msg::Shutdown) => break,
                 // Idle tick: deadlines and backoff gates still advance.
@@ -534,6 +709,14 @@ impl Scheduler {
             }
             self.expire_overdue();
             self.place();
+            // Server-level live telemetry: once per pass, off every
+            // sampling hot path (this thread only schedules).
+            self.ticks += 1;
+            if self.cfg.telemetry.enabled() {
+                self.cfg
+                    .telemetry
+                    .maybe_sample("server", self.ticks, &self.metrics.snapshot());
+            }
             if self.drain.is_some() && self.jobs.is_empty() {
                 if let Some(ack) = self.drain.take() {
                     let _ = ack.send(());
@@ -554,19 +737,104 @@ impl Scheduler {
     }
 
     /// Best-effort journal append: the WAL protects restarts, but a
-    /// full disk must not take the serving path down with it.
+    /// full disk must not take the serving path down with it. Append
+    /// latency lands in the `wal.append_ns` histogram, whose rollups
+    /// the server telemetry samples.
     fn journal_append(&mut self, record: &JournalRecord) {
         if let Some(journal) = self.journal.as_mut() {
+            let started = Instant::now();
             let _ = journal.append(record);
+            self.metrics
+                .record("wal.append_ns", started.elapsed().as_nanos() as u64);
         }
     }
 
-    /// Records a lifecycle event in the server trace and on the
-    /// owning job's client stream.
+    /// Records a lifecycle event in the server trace, on the owning
+    /// job's client stream, and in the job's flight-recorder ring.
     fn emit(&self, id: u64, event: Event) {
         self.cfg.trace.record(event.clone());
         if let Some(job) = self.jobs.get(&id) {
+            job.flight.record(&event);
             let _ = job.tx.send(JobUpdate::Event(event));
+        }
+    }
+
+    /// Dumps a job's flight-recorder ring to
+    /// `<checkpoint_dir>/job-<id>-flight-<reason>.jsonl` (best
+    /// effort — a post-mortem aid must not affect serving).
+    fn flight_dump(&self, id: u64, reason: &str) {
+        if let Some(job) = self.jobs.get(&id) {
+            let path = self
+                .cfg
+                .checkpoint_dir
+                .join(format!("job-{id}-flight-{reason}.jsonl"));
+            let _ = job.flight.dump(&path);
+        }
+    }
+
+    /// Assembles the [`ServerStatus`] snapshot answered to
+    /// [`JobServer::status`]. Runs on the scheduler thread, so queue
+    /// state is internally consistent; per-job iteration/ESS numbers
+    /// are read from the placements' lock-free progress cells.
+    fn status_snapshot(&self) -> ServerStatus {
+        let mut pending = 0usize;
+        let mut running = 0usize;
+        let mut preempting = 0usize;
+        let mut cores_busy = 0usize;
+        let mut resident_bytes = 0usize;
+        let mut jobs = Vec::with_capacity(self.jobs.len());
+        for (id, job) in &self.jobs {
+            let (is_running, cores) = match self.phases.get(id) {
+                Some(Phase::Running {
+                    cores,
+                    draining_for,
+                    ..
+                }) => {
+                    running += 1;
+                    cores_busy += cores;
+                    resident_bytes += job.data_bytes;
+                    if draining_for.is_some() {
+                        preempting += 1;
+                    }
+                    (true, *cores)
+                }
+                _ => {
+                    pending += 1;
+                    (false, 0)
+                }
+            };
+            jobs.push(JobProgress {
+                job: *id,
+                name: job.spec.name.clone(),
+                workload: job.spec.workload.clone(),
+                priority: job.spec.priority,
+                running: is_running,
+                cores,
+                iteration: job.progress.iter.load(Ordering::Relaxed),
+                ess_so_far: job.progress.accept_milli.load(Ordering::Relaxed) as f64 / 1000.0,
+                data_bytes: job.data_bytes,
+                llc_bound: job.llc_bound,
+                faults: job.faults,
+                attempt: job.attempt,
+                last_ckpt: job.last_ckpt,
+            });
+        }
+        ServerStatus {
+            pending,
+            running,
+            preempting,
+            cores_busy,
+            cores_total: self.cfg.cores,
+            resident_bytes,
+            llc_budget_bytes: self.cfg.llc_budget_bytes,
+            completions: self.stats.completions,
+            failures: self.stats.failures,
+            restarts: self.stats.restarts,
+            sheds: self.stats.sheds,
+            expiries: self.stats.expiries,
+            preemptions: self.stats.preemptions,
+            recoveries: self.stats.recoveries,
+            jobs,
         }
     }
 
@@ -622,9 +890,12 @@ impl Scheduler {
                     attempt: 0,
                     not_before: None,
                     last_ckpt: resumed_from,
+                    progress: Arc::new(ProgressCell::default()),
+                    flight: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY)),
                 },
             );
             self.phases.insert(id, Phase::Pending);
+            self.stats.recoveries += 1;
             self.emit(
                 id,
                 Event::JobRecovered {
@@ -633,6 +904,7 @@ impl Scheduler {
                     corrupt_skipped: lookup.corrupt_skipped,
                 },
             );
+            self.flight_dump(id, "recovered");
         }
     }
 
@@ -695,6 +967,7 @@ impl Scheduler {
                         queued_bytes: queued_bytes as u64,
                     };
                     self.cfg.trace.record(event.clone());
+                    self.stats.sheds += 1;
                     let _ = tx.send(JobUpdate::Event(event));
                     let _ = tx.send(JobUpdate::Shed(format!(
                         "job '{}' shed at admission: server overloaded \
@@ -735,6 +1008,8 @@ impl Scheduler {
                 attempt: 0,
                 not_before: None,
                 last_ckpt: None,
+                progress: Arc::new(ProgressCell::default()),
+                flight: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY)),
             },
         );
         self.phases.insert(id, Phase::Pending);
@@ -759,6 +1034,8 @@ impl Scheduler {
                 queued_bytes,
             },
         );
+        self.flight_dump(id, "shed");
+        self.stats.sheds += 1;
         let _ = tx.send(JobUpdate::Shed(format!(
             "job '{name}' shed from the pending queue: server overloaded \
              (depth {queue_depth}, {queued_bytes} B predicted working set)"
@@ -811,6 +1088,8 @@ impl Scheduler {
                 iters_done,
             },
         );
+        self.flight_dump(id, "expired");
+        self.stats.expiries += 1;
         let _ = tx.send(JobUpdate::Expired(format!(
             "job '{name}' exceeded its {deadline_ms} ms deadline after {iters_done} iters"
         )));
@@ -855,6 +1134,7 @@ impl Scheduler {
                 let checkpoint = self.jobs[&id].ckpt.display().to_string();
                 let tx = self.jobs[&id].tx.clone();
                 self.phases.insert(id, Phase::Pending);
+                self.stats.preemptions += 1;
                 self.emit(
                     id,
                     Event::JobPreempted {
@@ -868,6 +1148,7 @@ impl Scheduler {
             }
             Outcome::Finished(mut result) => {
                 self.journal_append(&JournalRecord::Completed { job: id });
+                self.stats.completions += 1;
                 let job = &self.jobs[&id];
                 result.faults += job.faults;
                 let tx = job.tx.clone();
@@ -904,11 +1185,13 @@ impl Scheduler {
                     job.resume = true;
                     let attempt = u64::from(job.attempt);
                     self.phases.insert(id, Phase::Pending);
+                    self.stats.restarts += 1;
                     self.journal_append(&JournalRecord::Restarted { job: id, attempt });
                     return;
                 }
                 let total = job.faults;
                 let tx = job.tx.clone();
+                self.stats.failures += 1;
                 self.journal_append(&JournalRecord::Failed { job: id });
                 self.emit(
                     id,
@@ -1063,6 +1346,12 @@ impl Scheduler {
         let spec = job.spec.clone();
         let ckpt = job.ckpt.clone();
         let updates = job.tx.clone();
+        let progress = job.progress.clone();
+        let flight = job.flight.clone();
+        let fault_dump = self
+            .cfg
+            .checkpoint_dir
+            .join(format!("job-{id}-flight-chain_fault.jsonl"));
         let deadline_left = spec
             .deadline
             .map(|d| d.saturating_sub(job.submitted_at.elapsed()));
@@ -1112,6 +1401,9 @@ impl Scheduler {
                     deadline_left,
                     abort,
                     sched,
+                    progress,
+                    flight,
+                    fault_dump,
                 );
                 let _ = done.send(Msg::Done(id, outcome));
             })
@@ -1161,6 +1453,9 @@ fn run_placement(
     deadline_left: Option<Duration>,
     abort: Arc<AtomicBool>,
     sched: mpsc::Sender<Msg>,
+    progress: Arc<ProgressCell>,
+    flight: Arc<FlightRecorder>,
+    fault_dump: PathBuf,
 ) -> Outcome {
     let Some(wl) = registry::workload(&spec.workload, spec.scale, spec.seed) else {
         return Outcome::Failed {
@@ -1172,6 +1467,9 @@ fn run_placement(
         job: id,
         tx: Mutex::new(updates),
         sched: Mutex::new(sched),
+        progress,
+        flight,
+        fault_dump,
     }));
     wl.attach_recorder(&recorder);
     let cfg = RunConfig::new(spec.iters)

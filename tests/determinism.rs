@@ -276,6 +276,68 @@ fn profiling_never_perturbs_draws() {
 }
 
 #[test]
+fn telemetry_never_perturbs_draws() {
+    // The telemetry sampler reads cumulative profiler snapshots from
+    // the supervisor's monitor thread — off the sampling hot path —
+    // and diffs them into rate samples. Like the profiler itself, it
+    // must be observation only: a fully telemetered run (profiler +
+    // sampler on an aggressive cadence) matches the bare run bit for
+    // bit at any inner-thread count.
+    use bayes_mcmc::obs::{
+        MemoryRecorder, ProfilerHandle, RecorderHandle, TelemetryHandle, TelemetrySampler,
+    };
+    use std::time::Duration;
+
+    let detector = ConvergenceDetector::new()
+        .with_check_every(20)
+        .with_min_iters(40);
+    let run = |inner: usize, profiler: ProfilerHandle, telemetry: TelemetryHandle| {
+        let model = ShardedModel::new("gauss_shards", GaussShards::synthetic(64));
+        let cfg = RunConfig::new(200)
+            .with_chains(2)
+            .with_seed(11)
+            .with_inner_threads(inner)
+            .with_profiler(profiler);
+        Runtime::new(detector.clone())
+            .with_config(SupervisorConfig::new().with_telemetry(telemetry))
+            .run(&Nuts::default(), &model, &cfg)
+            .expect("supervised run")
+    };
+
+    for inner in [1usize, 4] {
+        let baseline = run(inner, ProfilerHandle::null(), TelemetryHandle::null());
+
+        let mem = Arc::new(MemoryRecorder::new());
+        let recorder = RecorderHandle::new(mem.clone());
+        let sampler = TelemetrySampler::new(recorder.clone())
+            .with_wall_interval(Duration::from_millis(1))
+            .with_iter_stride(8);
+        let telemetered = run(
+            inner,
+            ProfilerHandle::new(recorder),
+            TelemetryHandle::new(sampler),
+        );
+
+        let samples = mem
+            .take()
+            .into_iter()
+            .filter(|e| matches!(e, bayes_mcmc::obs::Event::MetricsSample { .. }))
+            .count();
+        assert!(samples > 0, "sampler emitted no metrics_sample events");
+
+        assert_eq!(
+            telemetered.stopped_at, baseline.stopped_at,
+            "telemetry changed the stop decision (inner={inner})"
+        );
+        assert_eq!(
+            draws_of(&telemetered.run),
+            draws_of(&baseline.run),
+            "telemetry perturbed the draws (inner={inner})"
+        );
+    }
+}
+
+#[test]
 fn faulted_then_retried_runs_are_bit_identical_to_fault_free_runs() {
     // A panic retry replays the identical RNG stream (the default
     // ReseedPolicy::StreamFaults keeps the stream for environment

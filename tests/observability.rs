@@ -216,7 +216,7 @@ fn jsonl_sink_round_trips_the_event_stream() {
     );
     match Event::from_json(lines[0]).expect("header parses") {
         Event::TraceHeader { schema_version } => {
-            assert_eq!(schema_version, "1.2");
+            assert_eq!(schema_version, "1.3");
         }
         other => panic!("expected a trace_header first, got {other:?}"),
     }

@@ -220,3 +220,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn time_series_is_bounded_monotone_and_merge_associative(
+        cap in 1usize..32,
+        pts in proptest::collection::vec((0u64..1_000_000, -1.0e6..1.0e6f64), 0..96),
+        split in 0usize..96,
+    ) {
+        use bayes_mcmc::obs::TimeSeries;
+
+        // Pushing any point stream keeps the ring within capacity and
+        // the retained timestamps monotone (out-of-order stamps are
+        // clamped, never reordered).
+        let mut all = TimeSeries::new(cap);
+        for &(t, v) in &pts {
+            all.push(t, v);
+        }
+        prop_assert!(all.len() <= cap);
+        let stamps: Vec<u64> = all.iter().map(|p| p.t_ns).collect();
+        prop_assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+
+        // Merge is associative and commutative over equal-capacity
+        // series: any bracketing of disjoint sub-streams converges to
+        // the same retained window.
+        let cut = split.min(pts.len());
+        let (left, right) = pts.split_at(cut);
+        let mid = right.len() / 2;
+        let mut a = TimeSeries::new(cap);
+        let mut b = TimeSeries::new(cap);
+        let mut c = TimeSeries::new(cap);
+        for &(t, v) in left { a.push(t, v); }
+        for &(t, v) in &right[..mid] { b.push(t, v); }
+        for &(t, v) in &right[mid..] { c.push(t, v); }
+
+        let ab_c = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let a_bc = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut out = a.clone();
+            out.merge(&bc);
+            out
+        };
+        let c_ba = {
+            let mut ba = b.clone();
+            ba.merge(&a);
+            let mut out = c.clone();
+            out.merge(&ba);
+            out
+        };
+        let collect = |s: &TimeSeries| s.iter().cloned().collect::<Vec<_>>();
+        prop_assert_eq!(collect(&ab_c), collect(&a_bc));
+        prop_assert_eq!(collect(&ab_c), collect(&c_ba));
+        prop_assert!(ab_c.len() <= cap);
+    }
+
+    #[test]
+    fn window_rates_are_finite_and_non_negative(
+        delta in 0u64..1_000_000_000,
+        dt_ns in 0u64..10_000_000_000,
+    ) {
+        use bayes_mcmc::obs::telemetry::rate_per_sec;
+
+        let rate = rate_per_sec(delta, dt_ns);
+        prop_assert!(rate.is_finite(), "rate must never be inf/NaN");
+        prop_assert!(rate >= 0.0);
+        if dt_ns == 0 {
+            prop_assert_eq!(rate, 0.0, "degenerate window reads as zero");
+        }
+    }
+}

@@ -603,3 +603,120 @@ fn killed_server_notifies_every_live_handle() {
         );
     }
 }
+
+/// `status()` is a live, non-blocking snapshot: polled mid-run it
+/// reports the running jobs with advancing iteration counts, and
+/// after completion the lifetime counters. After `join` the channel
+/// is gone and `status()` degrades to `None` instead of hanging.
+#[test]
+fn status_snapshots_a_live_multi_job_run() {
+    let server = JobServer::start(
+        ServerConfig::new(8, cache_resident_predictor())
+            .with_checkpoint_dir(checkpoint_dir("status")),
+    );
+    let a = server.submit(
+        JobSpec::new("status-a", "12cities")
+            .with_chains(2)
+            .with_iters(400)
+            .with_seed(61)
+            .with_detector(full_length_detector()),
+    );
+    let b = server.submit(
+        JobSpec::new("status-b", "votes")
+            .with_chains(2)
+            .with_iters(400)
+            .with_seed(62)
+            .with_detector(full_length_detector()),
+    );
+
+    // Poll until both jobs are visibly running and at least one has
+    // made iteration progress (bounded: the jobs run a while).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_progress = false;
+    while Instant::now() < deadline {
+        let status = server.status().expect("scheduler alive");
+        assert_eq!(status.cores_total, 8);
+        assert!(status.cores_busy <= status.cores_total);
+        assert_eq!(
+            status.jobs.len(),
+            status.pending + status.running + status.preempting,
+            "jobs table must cover every live phase"
+        );
+        if status.running == 2 {
+            let names: Vec<&str> = status.jobs.iter().map(|j| j.name.as_str()).collect();
+            assert!(names.contains(&"status-a") && names.contains(&"status-b"));
+            for j in &status.jobs {
+                assert!(j.cores > 0, "a running job holds a core grant");
+                // The ESS proxy sums mean acceptance per iteration
+                // event over both chains.
+                assert!(j.ess_so_far <= 2.0 * j.iteration as f64 + 2.0);
+            }
+            if status.jobs.iter().any(|j| j.iteration > 0) {
+                saw_progress = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        saw_progress,
+        "never observed both jobs running with progress"
+    );
+
+    assert!(matches!(a.wait().outcome, JobOutcome::Completed(_)));
+    assert!(matches!(b.wait().outcome, JobOutcome::Completed(_)));
+
+    let settled = server.status().expect("scheduler alive");
+    assert_eq!(settled.completions, 2);
+    assert_eq!(settled.failures, 0);
+    assert!(settled.jobs.is_empty(), "completed jobs leave the table");
+
+    server.join();
+}
+
+/// A chain fault mid-placement dumps the job's bounded flight
+/// recorder next to its checkpoints; the dump is a parseable JSONL
+/// trace whose window contains the fault itself.
+#[test]
+fn chain_fault_dumps_the_flight_recorder() {
+    let dir = checkpoint_dir("flight");
+    let server = JobServer::start(
+        ServerConfig::new(4, cache_resident_predictor()).with_checkpoint_dir(&dir),
+    );
+    let handle = server.submit(
+        JobSpec::new("flighty", "12cities")
+            .with_chains(2)
+            .with_iters(120)
+            .with_seed(71)
+            .with_injector(Arc::new(FaultPlan::once(0, 30, InjectedFault::Panic)))
+            .with_detector(full_length_detector()),
+    );
+    let id = handle.id;
+    let job = handle.wait();
+    let JobOutcome::Completed(result) = &job.outcome else {
+        panic!("retry should absorb the fault: {:?}", job.outcome);
+    };
+    assert!(!result.degraded);
+    assert!(result.faults >= 1);
+    server.join();
+
+    let dump = dir.join(format!("job-{id}-flight-chain_fault.jsonl"));
+    let text = std::fs::read_to_string(&dump)
+        .unwrap_or_else(|e| panic!("flight dump missing at {}: {e}", dump.display()));
+    let mut events = Vec::new();
+    for line in text.lines() {
+        events.push(Event::from_json(line).expect("every dumped line decodes"));
+    }
+    assert!(
+        matches!(events.first(), Some(Event::TraceHeader { .. })),
+        "dump opens with a trace header"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e, Event::ChainFault { .. })),
+        "the fault that triggered the dump is inside the window"
+    );
+    assert!(
+        events.iter().any(|e| matches!(e, Event::Iteration { .. })),
+        "the window carries the iterations leading up to the fault"
+    );
+}
